@@ -1,0 +1,161 @@
+// Command tealeaf runs the heat-conduction mini-app: it reads a tea.in
+// deck (or one of the built-in tea_bm benchmarks), selects one of the
+// seventeen TeaLeaf versions from the registry and runs the time-marching
+// loop, printing the per-step solver log and the QA field summary exactly
+// like the original mini-app driver.
+//
+// Examples:
+//
+//	tealeaf -benchmark bm_250 -version manual-omp -threads 8
+//	tealeaf -in tea.in -version ops-mpi-tiled -ranks 4
+//	tealeaf -benchmark bm_500 -version manual-cuda -blockx 64 -blocky 8 -profile
+//	tealeaf -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/backends/serial"
+	"github.com/warwick-hpsc/tealeaf-go/internal/config"
+	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
+	"github.com/warwick-hpsc/tealeaf-go/internal/grid"
+	"github.com/warwick-hpsc/tealeaf-go/internal/profiler"
+	"github.com/warwick-hpsc/tealeaf-go/internal/registry"
+	"github.com/warwick-hpsc/tealeaf-go/internal/simgpu"
+	"github.com/warwick-hpsc/tealeaf-go/internal/solver"
+	"github.com/warwick-hpsc/tealeaf-go/internal/vis"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tealeaf:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		inPath    = flag.String("in", "", "path to a tea.in input deck")
+		benchmark = flag.String("benchmark", "", "built-in benchmark deck (e.g. bm_250); see -list")
+		version   = flag.String("version", "manual-serial", "TeaLeaf version to run; see -list")
+		threads   = flag.Int("threads", 0, "threads per process/team (0: all cores)")
+		ranks     = flag.Int("ranks", 0, "ranks for distributed versions (0: 4)")
+		blockX    = flag.Int("blockx", 0, "GPU kernel block width (0: version default)")
+		blockY    = flag.Int("blocky", 0, "GPU kernel block height")
+		tileX     = flag.Int("tilex", 0, "OPS tile width (0: default)")
+		tileY     = flag.Int("tiley", 0, "OPS tile height")
+		profile   = flag.Bool("profile", false, "print the per-kernel profile after the run")
+		qa        = flag.Bool("qa", false, "verify the result against the serial reference")
+		visit     = flag.String("visit", "", "write the final density/energy/temperature fields to this .vtk file")
+		list      = flag.Bool("list", false, "list versions and benchmark decks, then exit")
+		dump      = flag.Bool("dump-config", false, "print the resolved configuration, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("versions:")
+		for _, v := range registry.All() {
+			fmt.Printf("  %-20s %-7s %-16s %s\n", v.Name, v.Group, v.Model, v.Notes)
+		}
+		fmt.Println("benchmarks:")
+		for _, b := range config.BenchmarkNames() {
+			fmt.Printf("  %s\n", b)
+		}
+		return nil
+	}
+
+	var cfg config.Config
+	var err error
+	switch {
+	case *inPath != "" && *benchmark != "":
+		return fmt.Errorf("-in and -benchmark are mutually exclusive")
+	case *inPath != "":
+		cfg, err = config.ParseFile(*inPath)
+	case *benchmark != "":
+		cfg, err = config.Benchmark(*benchmark)
+	default:
+		cfg, err = config.Benchmark("bm_250")
+	}
+	if err != nil {
+		return err
+	}
+	if *dump {
+		fmt.Print(cfg.Summary())
+		return nil
+	}
+
+	v, err := registry.Get(*version)
+	if err != nil {
+		return err
+	}
+	params := registry.Params{
+		Threads: *threads,
+		Ranks:   *ranks,
+		Block:   simgpu.Dim2{X: *blockX, Y: *blockY},
+		TileX:   *tileX,
+		TileY:   *tileY,
+	}
+	k, err := v.Make(params)
+	if err != nil {
+		return err
+	}
+	defer k.Close()
+
+	var kernels driver.Kernels = k
+	var prof *profiler.Profile
+	if *profile {
+		prof = profiler.New()
+		kernels = driver.Instrument(k, prof)
+	}
+
+	fmt.Printf("TeaLeaf-Go  version=%s  mesh=%dx%d  solver=%s  eps=%g\n",
+		v.Name, cfg.NX, cfg.NY, cfg.Solver, cfg.Eps)
+	start := time.Now()
+	res, err := driver.Run(cfg, kernels, solver.New(solver.FromConfig(&cfg)), os.Stdout)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+	fmt.Printf("wall clock %12s   total iterations %d\n", wall.Round(time.Microsecond), res.TotalIterations)
+
+	if prof != nil {
+		fmt.Println()
+		prof.Report(os.Stdout)
+	}
+	if *visit != "" {
+		m, err := grid.NewMesh(cfg.XMin, cfg.XMax, cfg.YMin, cfg.YMax, cfg.NX, cfg.NY)
+		if err != nil {
+			return err
+		}
+		fields := []vis.Field{
+			{Name: "density", Data: k.FetchField(driver.FieldDensity)},
+			{Name: "energy", Data: k.FetchField(driver.FieldEnergy0)},
+			{Name: "temperature", Data: k.FetchField(driver.FieldU)},
+		}
+		if err := vis.WriteFile(*visit, m, fields); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *visit)
+	}
+	if *qa {
+		ref := serial.New()
+		defer ref.Close()
+		refRes, err := driver.Run(cfg, ref, solver.New(solver.FromConfig(&cfg)), nil)
+		if err != nil {
+			return fmt.Errorf("qa reference run: %w", err)
+		}
+		diff := driver.CompareTotals(res.Final, refRes.Final)
+		status := "PASSED"
+		if diff > 1e-8 {
+			status = "FAILED"
+		}
+		fmt.Printf("qa check vs manual-serial: max relative difference %.3e  %s\n", diff, status)
+		if status == "FAILED" {
+			return fmt.Errorf("qa check failed")
+		}
+	}
+	return nil
+}

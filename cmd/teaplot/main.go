@@ -1,0 +1,76 @@
+// Command teaplot renders the modeled figure data as ASCII bar charts, a
+// quick visual check of the reproduced Figures 1 and 2 without leaving the
+// terminal.
+//
+// Usage:
+//
+//	teaplot -figure 1a     # 1000^2 CPU versions
+//	teaplot -figure 2b     # 4000^2 GPU versions
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/perfmodel"
+	"github.com/warwick-hpsc/tealeaf-go/internal/registry"
+)
+
+const barWidth = 48
+
+func main() {
+	fig := flag.String("figure", "1a", "which figure to draw: 1a, 1b, 2a, 2b")
+	flag.Parse()
+	var n int
+	var arch registry.Arch
+	switch *fig {
+	case "1a":
+		n, arch = 1000, registry.CPU
+	case "1b":
+		n, arch = 1000, registry.GPU
+	case "2a":
+		n, arch = 4000, registry.CPU
+	case "2b":
+		n, arch = 4000, registry.GPU
+	default:
+		fmt.Fprintf(os.Stderr, "teaplot: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+	draw(n, arch)
+}
+
+func draw(n int, arch registry.Arch) {
+	wl := perfmodel.BM(n)
+	type bar struct {
+		label   string
+		machine perfmodel.MachineID
+		seconds float64
+	}
+	var bars []bar
+	maxSec := 0.0
+	for _, v := range registry.ByArch(arch) {
+		for _, m := range perfmodel.Machines() {
+			if (arch == registry.GPU) != m.IsGPU || !perfmodel.Supported(v.Name, m.ID) {
+				continue
+			}
+			est, err := perfmodel.Time(v.Name, m, wl)
+			if err != nil {
+				continue
+			}
+			bars = append(bars, bar{v.Name, m.ID, est.Seconds})
+			if est.Seconds > maxSec {
+				maxSec = est.Seconds
+			}
+		}
+	}
+	fmt.Printf("%d^2 dataset (%s) — modeled seconds\n\n", n, arch)
+	for _, b := range bars {
+		w := int(b.seconds / maxSec * barWidth)
+		if w < 1 {
+			w = 1
+		}
+		fmt.Printf("%-20s %-5s |%s %.2f\n", b.label, b.machine, strings.Repeat("#", w), b.seconds)
+	}
+}

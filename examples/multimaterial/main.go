@@ -1,0 +1,54 @@
+// Multimaterial: build a custom problem programmatically — a dense cold
+// background, a hot strip, a light circular inclusion and a point source —
+// and watch heat diffuse between the materials over time. Demonstrates
+// constructing a Config without a tea.in deck and reading per-step
+// summaries.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	tealeaf "github.com/warwick-hpsc/tealeaf-go"
+)
+
+func main() {
+	cfg := tealeaf.Benchmark(200) // start from the standard deck...
+	cfg.EndStep = 8
+	cfg.SummaryFrequency = 1 // ...but summarise every step
+	cfg.States = []tealeaf.State{
+		// State 1 is the background and must cover everything.
+		{Index: 1, Density: 100, Energy: 0.0001, Geometry: tealeaf.GeomRectangle},
+		// A hot, light strip along the bottom-left (the tea_bm layout).
+		{Index: 2, Density: 0.1, Energy: 25, Geometry: tealeaf.GeomRectangle,
+			XMin: 0, XMax: 1, YMin: 1, YMax: 2},
+		// A circular inclusion of intermediate material in the centre.
+		{Index: 3, Density: 5, Energy: 4, Geometry: tealeaf.GeomCircular,
+			XMin: 5, YMin: 5, Radius: 1.5},
+		// A point heat source near the top-right corner.
+		{Index: 4, Density: 1, Energy: 80, Geometry: tealeaf.GeomPoint,
+			XMin: 8.5, YMin: 8.5},
+	}
+
+	res, err := tealeaf.Run(cfg, tealeaf.Options{Version: "ops-openmp"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("step   sim time    iterations   temperature total   drift")
+	initialTemp := math.NaN()
+	for _, s := range res.Steps {
+		if s.Totals == nil {
+			continue
+		}
+		if math.IsNaN(initialTemp) {
+			initialTemp = s.Totals.Temperature
+		}
+		drift := math.Abs(s.Totals.Temperature-initialTemp) / initialTemp
+		fmt.Printf("%4d   %8.4f    %10d   %17.10f   %8.2e\n",
+			s.Step, s.Time, s.Stats.Iterations, s.Totals.Temperature, drift)
+	}
+	fmt.Println("\nthe temperature total stays constant: reflective boundaries make")
+	fmt.Println("the solve conservative, however many materials are in the box.")
+}

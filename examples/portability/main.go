@@ -1,0 +1,123 @@
+// Portability: reproduce the paper's Section V analysis end to end —
+// collect runtimes for every implementation family on every platform and
+// reduce them to Pennycook performance-portability scores.
+//
+// Two platform sets are analysed, exactly like the paper:
+//
+//  1. the three modeled study machines (Xeon E5-2660 v4, KNL, P100) at the
+//     paper's 4000^2 workload, and
+//  2. real measured runtimes of this host's ports at a reduced mesh, with
+//     the host's "CPU-style" and "GPU-style" execution treated as two
+//     platforms.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	tealeaf "github.com/warwick-hpsc/tealeaf-go"
+)
+
+// families groups versions the way Table III combines the manual ports
+// into one "Manual" application.
+var families = map[string][]string{
+	"Manual": {"manual-omp", "manual-mpi", "manual-mpi-omp", "manual-openacc-cpu", "manual-cuda", "manual-openacc-gpu"},
+	"OPS":    {"ops-openmp", "ops-mpi", "ops-mpi-omp", "ops-mpi-tiled", "ops-cuda", "ops-openacc"},
+	"Kokkos": {"kokkos-openmp", "kokkos-cuda"},
+	"RAJA":   {"raja-openmp", "raja-cuda"},
+}
+
+func main() {
+	fmt.Println("=== modeled study machines, 4000^2 (paper scale) ===")
+	modeled()
+	fmt.Println()
+	fmt.Println("=== this host, measured at 128^2 ===")
+	measuredOnHost()
+}
+
+func modeled() {
+	platforms := tealeaf.ModeledMachines()
+	times := map[string]map[string]float64{}
+	for fam, versions := range families {
+		times[fam] = map[string]float64{}
+		for _, v := range versions {
+			for _, m := range platforms {
+				if sec, ok := tealeaf.ModeledTime(v, m, 4000); ok {
+					if cur, seen := times[fam][m]; !seen || sec < cur {
+						times[fam][m] = sec // family = its best version per machine
+					}
+				}
+			}
+		}
+	}
+	printScores(times, platforms)
+}
+
+func measuredOnHost() {
+	cfg := tealeaf.Benchmark(128)
+	cfg.EndStep = 2
+	// Treat the host's CPU-style and simulated-GPU execution as two
+	// platforms; a family's time on a platform is its best version there.
+	times := map[string]map[string]float64{}
+	for fam, versions := range families {
+		times[fam] = map[string]float64{}
+		for _, v := range versions {
+			info := lookup(v)
+			platform := "host-cpu"
+			if info.GPU {
+				platform = "host-gpu"
+			}
+			start := time.Now()
+			if _, err := tealeaf.Run(cfg, tealeaf.Options{Version: v}); err != nil {
+				log.Fatalf("%s: %v", v, err)
+			}
+			sec := time.Since(start).Seconds()
+			if cur, seen := times[fam][platform]; !seen || sec < cur {
+				times[fam][platform] = sec
+			}
+		}
+	}
+	printScores(times, []string{"host-cpu", "host-gpu"})
+}
+
+func lookup(name string) tealeaf.VersionInfo {
+	for _, v := range tealeaf.Versions() {
+		if v.Name == name {
+			return v
+		}
+	}
+	log.Fatalf("unknown version %s", name)
+	return tealeaf.VersionInfo{}
+}
+
+func printScores(times map[string]map[string]float64, platforms []string) {
+	effs := tealeaf.AppEfficiencies(times, platforms)
+	fams := make([]string, 0, len(times))
+	for f := range times {
+		fams = append(fams, f)
+	}
+	sort.Strings(fams)
+	fmt.Printf("%-8s", "family")
+	for _, p := range platforms {
+		fmt.Printf("  %12s", p)
+	}
+	fmt.Printf("  %10s\n", "P (app)")
+	for _, f := range fams {
+		fmt.Printf("%-8s", f)
+		byPlatform := map[string]tealeaf.Efficiency{}
+		for _, e := range effs[f] {
+			byPlatform[e.Platform] = e
+		}
+		for _, p := range platforms {
+			e := byPlatform[p]
+			if !e.Supported {
+				fmt.Printf("  %12s", "n/a")
+			} else {
+				fmt.Printf("  %11.1f%%", 100*e.Value)
+			}
+		}
+		fmt.Printf("  %9.1f%%\n", 100*tealeaf.Pennycook(effs[f]))
+	}
+}

@@ -1,0 +1,64 @@
+package tealeaf_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example end to end — the examples are
+// user-facing documentation, so they must keep working. Skipped under
+// -short (each takes a few seconds).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples take a few seconds each")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 5 {
+		t.Fatalf("expected at least 5 examples, found %d", len(entries))
+	}
+	expect := map[string][]string{
+		"quickstart":    {"final state", "conservation"},
+		"multimaterial": {"temperature total stays constant"},
+		"solvercompare": {"all solvers agree"},
+		"portability":   {"P (app)", "Manual"},
+		"heatmap":       {"temperature field", "wrote"},
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./"+filepath.Join("examples", name))
+			cmd.Dir = "."
+			if name == "heatmap" {
+				// The heatmap example writes heatmap.vtk into the working
+				// directory; clean it up after the run.
+				defer os.Remove("heatmap.vtk")
+			}
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example failed: %v\n%s", err, out)
+			}
+			for _, want := range expect[name] {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("output missing %q:\n%s", want, truncate(string(out), 2000))
+				}
+			}
+		})
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

@@ -1,0 +1,3 @@
+module github.com/warwick-hpsc/tealeaf-go
+
+go 1.22

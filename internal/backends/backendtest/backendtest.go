@@ -1,0 +1,196 @@
+// Package backendtest is the cross-port conformance suite: every TeaLeaf
+// port must reproduce the serial reference physics. Each backend package
+// runs Conformance against its own factory, so all nine ports face the
+// same battery.
+package backendtest
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/backends/serial"
+	"github.com/warwick-hpsc/tealeaf-go/internal/config"
+	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
+	"github.com/warwick-hpsc/tealeaf-go/internal/solver"
+)
+
+// Factory creates a fresh port instance.
+type Factory func() driver.Kernels
+
+func relDiff(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := 1.0
+	if s := max(abs(a), abs(b)); s > 1 {
+		scale = s
+	}
+	return d / scale
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Run executes a full simulation of cfg on a fresh port from factory.
+func Run(t *testing.T, factory Factory, cfg config.Config) driver.Result {
+	t.Helper()
+	k := factory()
+	defer k.Close()
+	res, err := driver.Run(cfg, k, solver.New(solver.FromConfig(&cfg)), nil)
+	if err != nil {
+		t.Fatalf("%s run failed: %v", k.Name(), err)
+	}
+	return res
+}
+
+// reference memoises serial-reference results per configuration so the
+// suite does not recompute them for every backend.
+var (
+	refMu    sync.Mutex
+	refCache = map[string]driver.Result{}
+)
+
+func reference(t *testing.T, cfg config.Config) driver.Result {
+	t.Helper()
+	key := cfg.Summary()
+	refMu.Lock()
+	defer refMu.Unlock()
+	if res, ok := refCache[key]; ok {
+		return res
+	}
+	res := Run(t, func() driver.Kernels { return serial.New() }, cfg)
+	refCache[key] = res
+	return res
+}
+
+// Conformance checks a port against the serial reference across solvers,
+// problem shapes and preconditioning.
+func Conformance(t *testing.T, factory Factory) {
+	t.Run("CGMatchesSerial", func(t *testing.T) {
+		cfg := config.BenchmarkN(20)
+		cfg.EndStep = 3
+		want := reference(t, cfg)
+		got := Run(t, factory, cfg)
+		if d := driver.CompareTotals(want.Final, got.Final); d > 1e-8 {
+			t.Errorf("totals diverge from serial by %g:\n got %+v\nwant %+v", d, got.Final, want.Final)
+		}
+	})
+	t.Run("NonSquareMesh", func(t *testing.T) {
+		// A wide, shallow mesh stresses decomposition and halo indexing
+		// asymmetry.
+		cfg := config.BenchmarkN(16)
+		cfg.NX, cfg.NY = 33, 7
+		cfg.EndStep = 2
+		want := reference(t, cfg)
+		got := Run(t, factory, cfg)
+		if d := driver.CompareTotals(want.Final, got.Final); d > 1e-8 {
+			t.Errorf("totals diverge from serial by %g", d)
+		}
+	})
+	t.Run("RecipCoefficient", func(t *testing.T) {
+		cfg := config.BenchmarkN(16)
+		cfg.EndStep = 2
+		cfg.Coefficient = config.RecipConductivity
+		want := reference(t, cfg)
+		got := Run(t, factory, cfg)
+		if d := driver.CompareTotals(want.Final, got.Final); d > 1e-8 {
+			t.Errorf("totals diverge from serial by %g", d)
+		}
+	})
+	t.Run("PreconditionedCG", func(t *testing.T) {
+		cfg := config.BenchmarkN(16)
+		cfg.EndStep = 2
+		cfg.Preconditioner = config.PrecondJacDiag
+		want := reference(t, cfg)
+		got := Run(t, factory, cfg)
+		if d := driver.CompareTotals(want.Final, got.Final); d > 1e-8 {
+			t.Errorf("totals diverge from serial by %g", d)
+		}
+	})
+	t.Run("BlockPreconditionedCG", func(t *testing.T) {
+		// jac_block is decomposition-dependent (each chunk line-solves its
+		// own rows), so distributed ports legitimately take slightly
+		// different CG trajectories than serial; the hard convergence
+		// tolerance still pins the answers together.
+		cfg := config.BenchmarkN(16)
+		cfg.EndStep = 2
+		cfg.Preconditioner = config.PrecondJacBlock
+		want := reference(t, cfg)
+		got := Run(t, factory, cfg)
+		if d := driver.CompareTotals(want.Final, got.Final); d > 1e-7 {
+			t.Errorf("totals diverge from serial by %g", d)
+		}
+	})
+	for _, kind := range []config.SolverKind{config.SolverJacobi, config.SolverChebyshev, config.SolverPPCG} {
+		kind := kind
+		t.Run("Solver_"+kind.String(), func(t *testing.T) {
+			cfg := config.BenchmarkN(16)
+			cfg.EndStep = 2
+			cfg.Solver = kind
+			if kind == config.SolverJacobi {
+				cfg.Eps = 1e-12
+				cfg.MaxIters = 100000
+			}
+			want := reference(t, cfg)
+			got := Run(t, factory, cfg)
+			if d := driver.CompareTotals(want.Final, got.Final); d > 1e-6 {
+				t.Errorf("%s totals diverge from serial by %g", kind, d)
+			}
+		})
+	}
+	t.Run("FieldLevelAgreement", func(t *testing.T) {
+		// Beyond the four QA totals: the full temperature and energy fields
+		// must match the serial reference cell for cell.
+		cfg := config.BenchmarkN(18)
+		cfg.EndStep = 2
+		refK := serial.New()
+		defer refK.Close()
+		if _, err := driver.Run(cfg, refK, solver.New(solver.FromConfig(&cfg)), nil); err != nil {
+			t.Fatal(err)
+		}
+		k := factory()
+		defer k.Close()
+		if _, err := driver.Run(cfg, k, solver.New(solver.FromConfig(&cfg)), nil); err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range []driver.FieldID{driver.FieldU, driver.FieldEnergy0, driver.FieldDensity} {
+			want := refK.FetchField(id)
+			got := k.FetchField(id)
+			if len(got) != len(want) {
+				t.Fatalf("%v: fetched %d cells, want %d", id, len(got), len(want))
+			}
+			worst, at := 0.0, -1
+			for i := range want {
+				d := relDiff(got[i], want[i])
+				if d > worst {
+					worst, at = d, i
+				}
+			}
+			if worst > 1e-8 {
+				t.Errorf("%v: cell %d differs by %g (got %g want %g)",
+					id, at, worst, got[at], want[at])
+			}
+		}
+	})
+	t.Run("MultiState", func(t *testing.T) {
+		// Three material states including a circle and a point source.
+		cfg := config.BenchmarkN(20)
+		cfg.EndStep = 2
+		cfg.States = append(cfg.States,
+			config.State{Index: 3, Density: 5, Energy: 10,
+				Geometry: config.GeomCircular, XMin: 7, YMin: 7, Radius: 2},
+			config.State{Index: 4, Density: 2, Energy: 40,
+				Geometry: config.GeomPoint, XMin: 2.5, YMin: 8.5},
+		)
+		want := reference(t, cfg)
+		got := Run(t, factory, cfg)
+		if d := driver.CompareTotals(want.Final, got.Final); d > 1e-8 {
+			t.Errorf("totals diverge from serial by %g", d)
+		}
+	})
+}

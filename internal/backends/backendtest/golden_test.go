@@ -1,0 +1,55 @@
+package backendtest
+
+import (
+	"math"
+	"testing"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/backends/serial"
+	"github.com/warwick-hpsc/tealeaf-go/internal/config"
+	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
+	"github.com/warwick-hpsc/tealeaf-go/internal/solver"
+)
+
+// Golden QA values for the tea_bm deck, pinned from a verified build (the
+// mini-app's tea.problems mechanism). These guard the numerics against
+// silent regressions: any change to the stencil, the coefficients, the
+// state geometry or the solver control flow that alters physics shows up
+// here first.
+var golden = []struct {
+	n      int
+	solver config.SolverKind
+	want   driver.Totals
+	iters  int
+}{
+	{32, config.SolverCG, driver.Totals{Volume: 100, Mass: 9941.46484375, InternalEnergy: 2.4589843749999996, Temperature: 2.4589843749999996}, 61},
+	{32, config.SolverPPCG, driver.Totals{Volume: 100, Mass: 9941.46484375, InternalEnergy: 2.4589843749999996, Temperature: 2.4589843749999996}, 61},
+	{64, config.SolverCG, driver.Totals{Volume: 100, Mass: 9926.8310546875, InternalEnergy: 2.8237304687499978, Temperature: 2.8237304687499978}, 205},
+	{64, config.SolverPPCG, driver.Totals{Volume: 100, Mass: 9926.8310546875, InternalEnergy: 2.8237304687499973, Temperature: 2.8237304687499973}, 204},
+}
+
+func TestGoldenValues(t *testing.T) {
+	for _, g := range golden {
+		g := g
+		t.Run(g.solver.String(), func(t *testing.T) {
+			cfg := config.BenchmarkN(g.n)
+			cfg.Solver = g.solver
+			k := serial.New()
+			defer k.Close()
+			res, err := driver.Run(cfg, k, solver.New(solver.FromConfig(&cfg)), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := driver.CompareTotals(res.Final, g.want); d > 1e-12 {
+				t.Errorf("bm_%d %s: totals drifted by %g\n got %+v\nwant %+v",
+					g.n, g.solver, d, res.Final, g.want)
+			}
+			// Iteration counts are part of the pin: a convergence change is
+			// a behaviour change even if the answer survives. Allow a ±2
+			// wiggle for FP-order effects on other platforms.
+			if math.Abs(float64(res.TotalIterations-g.iters)) > 2 {
+				t.Errorf("bm_%d %s: %d iterations, golden %d",
+					g.n, g.solver, res.TotalIterations, g.iters)
+			}
+		})
+	}
+}

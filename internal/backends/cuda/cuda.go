@@ -1,0 +1,647 @@
+// Package cuda is the accelerator TeaLeaf port, the analogue of the
+// mini-app's hand-written CUDA build: every field lives in (simulated)
+// device memory, every kernel is a launch over a (grid, block) index space
+// with per-thread bound checks, reductions are per-block partials combined
+// on the stream, and the host only sees data it explicitly copies back.
+// The block size is a tuning parameter exactly as on real GPUs; the paper
+// fixes (64, 8) for the OPS CUDA build and we default to the same.
+package cuda
+
+import (
+	"github.com/warwick-hpsc/tealeaf-go/internal/config"
+	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
+	"github.com/warwick-hpsc/tealeaf-go/internal/grid"
+	"github.com/warwick-hpsc/tealeaf-go/internal/simgpu"
+	"github.com/warwick-hpsc/tealeaf-go/internal/state"
+)
+
+// DefaultBlock is the kernel block size used when none is configured.
+var DefaultBlock = simgpu.Dim2{X: 64, Y: 8}
+
+const halo = grid.DefaultHalo
+
+// Chunk is the CUDA-style port: one chunk, all fields device-resident as
+// flattened (nx+4)x(ny+4) buffers.
+type Chunk struct {
+	mesh    *grid.Mesh
+	nx, ny  int
+	stride  int
+	rows    int
+	dev     *simgpu.Device
+	block   simgpu.Dim2
+	ownDev  bool
+	precond config.Preconditioner
+
+	density, energy0, energy1 *simgpu.Buffer
+	u, u0                     *simgpu.Buffer
+	p, r, w, z, sd, mi        *simgpu.Buffer
+	kx, ky                    *simgpu.Buffer
+	un, rtemp, tcp, tdp       *simgpu.Buffer
+	byID                      [driver.NumFields]*simgpu.Buffer
+}
+
+var _ driver.Kernels = (*Chunk)(nil)
+
+// New creates the port on a fresh device with the given kernel block size
+// (zero value selects DefaultBlock).
+func New(block simgpu.Dim2) *Chunk {
+	if block.X <= 0 || block.Y <= 0 {
+		block = DefaultBlock
+	}
+	return &Chunk{
+		dev:    simgpu.NewDevice(simgpu.Props{Name: "simulated-p100"}),
+		ownDev: true,
+		block:  block,
+	}
+}
+
+// NewOnDevice creates the port on an existing device (shared by tests and
+// the block-size sweep bench).
+func NewOnDevice(dev *simgpu.Device, block simgpu.Dim2) *Chunk {
+	if block.X <= 0 || block.Y <= 0 {
+		block = DefaultBlock
+	}
+	return &Chunk{dev: dev, block: block}
+}
+
+// Name implements driver.Kernels.
+func (c *Chunk) Name() string { return "manual-cuda" }
+
+// Device exposes the underlying device for stats inspection.
+func (c *Chunk) Device() *simgpu.Device { return c.dev }
+
+// launchGrid is the grid extent covering the interior with c.block.
+func (c *Chunk) launchGrid() simgpu.Dim2 { return simgpu.GridFor(c.nx, c.ny, c.block) }
+
+// Generate implements driver.Kernels: build the initial fields on the host,
+// then copy them up, mirroring the CUDA port's start-of-run transfers.
+func (c *Chunk) Generate(m *grid.Mesh, states []config.State) error {
+	c.mesh = m
+	c.nx, c.ny = m.Nx, m.Ny
+	c.stride = c.nx + 2*halo
+	c.rows = c.ny + 2*halo
+	n := c.stride * c.rows
+	alloc := func() *simgpu.Buffer { return c.dev.Malloc(n) }
+	c.density, c.energy0, c.energy1 = alloc(), alloc(), alloc()
+	c.u, c.u0 = alloc(), alloc()
+	c.p, c.r, c.w, c.z, c.sd, c.mi = alloc(), alloc(), alloc(), alloc(), alloc(), alloc()
+	c.kx, c.ky = alloc(), alloc()
+	c.un, c.rtemp = alloc(), alloc()
+	c.tcp, c.tdp = alloc(), alloc()
+	c.byID = [driver.NumFields]*simgpu.Buffer{
+		driver.FieldDensity: c.density,
+		driver.FieldEnergy0: c.energy0,
+		driver.FieldEnergy1: c.energy1,
+		driver.FieldU:       c.u,
+		driver.FieldU0:      c.u0,
+		driver.FieldP:       c.p,
+		driver.FieldR:       c.r,
+		driver.FieldW:       c.w,
+		driver.FieldZ:       c.z,
+		driver.FieldSD:      c.sd,
+		driver.FieldKx:      c.kx,
+		driver.FieldKy:      c.ky,
+	}
+	hostDensity := make([]float64, n)
+	hostEnergy := make([]float64, n)
+	err := state.Generate(m, states, halo, func(i, j int, density, energy float64) {
+		at := (j+halo)*c.stride + i + halo
+		hostDensity[at] = density
+		hostEnergy[at] = energy
+	})
+	if err != nil {
+		return err
+	}
+	c.dev.MemcpyH2D(c.density, hostDensity)
+	c.dev.MemcpyH2D(c.energy0, hostEnergy)
+	return nil
+}
+
+// SetField implements driver.Kernels.
+func (c *Chunk) SetField() { c.dev.MemcpyD2D(c.energy1, c.energy0, c.stride*c.rows) }
+
+// ResetField implements driver.Kernels.
+func (c *Chunk) ResetField() { c.dev.MemcpyD2D(c.energy0, c.energy1, c.stride*c.rows) }
+
+// FieldSummary implements driver.Kernels: four block-reduction launches,
+// read back as scalars.
+func (c *Chunk) FieldSummary() driver.Totals {
+	cellVol := c.mesh.CellVolume()
+	nx, ny, stride := c.nx, c.ny, c.stride
+	reduce := func(name string, args []*simgpu.Buffer, cell func(a [][]float64, at int) float64) float64 {
+		return c.dev.LaunchReduce(name, c.launchGrid(), c.block, args,
+			func(b simgpu.Block, a [][]float64) float64 {
+				var s float64
+				b.ForThreads(func(gx, gy int) {
+					if gx >= nx || gy >= ny {
+						return
+					}
+					s += cell(a, (gy+halo)*stride+gx+halo)
+				})
+				return s
+			})
+	}
+	var t driver.Totals
+	t.Volume = float64(nx) * float64(ny) * cellVol
+	t.Mass = reduce("summary_mass", simgpu.Args(c.density),
+		func(a [][]float64, at int) float64 { return a[0][at] * cellVol })
+	t.InternalEnergy = reduce("summary_ie", simgpu.Args(c.density, c.energy0),
+		func(a [][]float64, at int) float64 { return a[0][at] * a[1][at] * cellVol })
+	t.Temperature = reduce("summary_temp", simgpu.Args(c.u),
+		func(a [][]float64, at int) float64 { return a[0][at] * cellVol })
+	return t
+}
+
+// HaloExchange implements driver.Kernels: reflective boundary kernels run
+// on the device, one launch per direction pair, exactly like the CUDA
+// port's update_halo kernels.
+func (c *Chunk) HaloExchange(fields []driver.FieldID, depth int) {
+	nx, ny, stride := c.nx, c.ny, c.stride
+	for _, id := range fields {
+		buf := c.byID[id]
+		// X faces: one thread per (halo layer, interior row).
+		gx := simgpu.GridFor(depth, ny, c.block)
+		c.dev.Launch("update_halo_x", gx, c.block, simgpu.Args(buf),
+			func(b simgpu.Block, a [][]float64) {
+				f := a[0]
+				b.ForThreads(func(k, gy int) {
+					if k >= depth || gy >= ny {
+						return
+					}
+					row := (gy + halo) * stride
+					f[row+halo-1-k] = f[row+halo+k]       // left: f[-1-k] = f[k]
+					f[row+halo+nx+k] = f[row+halo+nx-1-k] // right: f[nx+k] = f[nx-1-k]
+				})
+			})
+		// Y faces over the full width including x halos.
+		width := nx + 2*depth
+		gy := simgpu.GridFor(width, depth, c.block)
+		c.dev.Launch("update_halo_y", gy, c.block, simgpu.Args(buf),
+			func(b simgpu.Block, a [][]float64) {
+				f := a[0]
+				b.ForThreads(func(t, k int) {
+					if t >= width || k >= depth {
+						return
+					}
+					i := halo - depth + t
+					f[(halo-1-k)*stride+i] = f[(halo+k)*stride+i]       // bottom
+					f[(halo+ny+k)*stride+i] = f[(halo+ny-1-k)*stride+i] // top
+				})
+			})
+	}
+}
+
+// SolveInit implements driver.Kernels.
+func (c *Chunk) SolveInit(coef config.Coefficient, rx, ry float64, precond config.Preconditioner) {
+	c.precond = precond
+	nx, ny, stride := c.nx, c.ny, c.stride
+	// u = u0 = energy1 * density and the coefficient source, full extent.
+	full := simgpu.GridFor(nx+2*halo, ny+2*halo, c.block)
+	recip := coef == config.RecipConductivity
+	c.dev.Launch("tea_leaf_init_u", full, c.block,
+		simgpu.Args(c.density, c.energy1, c.u, c.u0, c.w),
+		func(b simgpu.Block, a [][]float64) {
+			density, energy, u, u0, w := a[0], a[1], a[2], a[3], a[4]
+			b.ForThreads(func(gx, gy int) {
+				if gx >= nx+2*halo || gy >= ny+2*halo {
+					return
+				}
+				at := gy*stride + gx
+				u[at] = energy[at] * density[at]
+				u0[at] = u[at]
+				if recip {
+					w[at] = 1 / density[at]
+				} else {
+					w[at] = density[at]
+				}
+			})
+		})
+	// Face coefficients over one ring beyond the interior.
+	ring := simgpu.GridFor(nx+2, ny+2, c.block)
+	c.dev.Launch("tea_leaf_init_k", ring, c.block,
+		simgpu.Args(c.w, c.kx, c.ky),
+		func(b simgpu.Block, a [][]float64) {
+			w, kx, ky := a[0], a[1], a[2]
+			b.ForThreads(func(gx, gy int) {
+				if gx >= nx+2 || gy >= ny+2 {
+					return
+				}
+				at := (gy+halo-1)*stride + gx + halo - 1 // cell (gx-1, gy-1)
+				kx[at] = rx * (w[at-1] + w[at]) / (2 * w[at-1] * w[at])
+				ky[at] = ry * (w[at-stride] + w[at]) / (2 * w[at-stride] * w[at])
+			})
+		})
+	c.CalcResidual()
+	if precond == config.PrecondJacDiag {
+		c.dev.Launch("tea_leaf_init_mi", c.launchGrid(), c.block,
+			simgpu.Args(c.kx, c.ky, c.mi),
+			func(b simgpu.Block, a [][]float64) {
+				kx, ky, mi := a[0], a[1], a[2]
+				b.ForThreads(func(gx, gy int) {
+					if gx >= nx || gy >= ny {
+						return
+					}
+					at := (gy+halo)*stride + gx + halo
+					mi[at] = 1 / (1 + kx[at+1] + kx[at] + ky[at+stride] + ky[at])
+				})
+			})
+	}
+	if precond != config.PrecondNone {
+		c.ApplyPrecond()
+	}
+}
+
+// launchOperator launches dst = A src over the interior.
+func (c *Chunk) launchOperator(name string, dst, src *simgpu.Buffer) {
+	nx, ny, stride := c.nx, c.ny, c.stride
+	c.dev.Launch(name, c.launchGrid(), c.block,
+		simgpu.Args(src, dst, c.kx, c.ky),
+		func(b simgpu.Block, a [][]float64) {
+			s, d, kx, ky := a[0], a[1], a[2], a[3]
+			b.ForThreads(func(gx, gy int) {
+				if gx >= nx || gy >= ny {
+					return
+				}
+				at := (gy+halo)*stride + gx + halo
+				d[at] = (1+kx[at+1]+kx[at]+ky[at+stride]+ky[at])*s[at] -
+					(kx[at+1]*s[at+1] + kx[at]*s[at-1]) -
+					(ky[at+stride]*s[at+stride] + ky[at]*s[at-stride])
+			})
+		})
+}
+
+// CalcResidual implements driver.Kernels.
+func (c *Chunk) CalcResidual() {
+	c.launchOperator("tea_leaf_w_u", c.w, c.u)
+	nx, ny, stride := c.nx, c.ny, c.stride
+	c.dev.Launch("tea_leaf_residual", c.launchGrid(), c.block,
+		simgpu.Args(c.u0, c.w, c.r),
+		func(b simgpu.Block, a [][]float64) {
+			u0, w, r := a[0], a[1], a[2]
+			b.ForThreads(func(gx, gy int) {
+				if gx >= nx || gy >= ny {
+					return
+				}
+				at := (gy+halo)*stride + gx + halo
+				r[at] = u0[at] - w[at]
+			})
+		})
+}
+
+// reduceInterior sums cell(a, at) over the interior with one block-reduce
+// launch.
+func (c *Chunk) reduceInterior(name string, args []*simgpu.Buffer, cell func(a [][]float64, at int) float64) float64 {
+	nx, ny, stride := c.nx, c.ny, c.stride
+	return c.dev.LaunchReduce(name, c.launchGrid(), c.block, args,
+		func(b simgpu.Block, a [][]float64) float64 {
+			var s float64
+			b.ForThreads(func(gx, gy int) {
+				if gx >= nx || gy >= ny {
+					return
+				}
+				s += cell(a, (gy+halo)*stride+gx+halo)
+			})
+			return s
+		})
+}
+
+// Norm2R implements driver.Kernels.
+func (c *Chunk) Norm2R() float64 {
+	return c.reduceInterior("norm2_r", simgpu.Args(c.r),
+		func(a [][]float64, at int) float64 { return a[0][at] * a[0][at] })
+}
+
+// DotRZ implements driver.Kernels.
+func (c *Chunk) DotRZ() float64 {
+	return c.reduceInterior("dot_rz", simgpu.Args(c.r, c.z),
+		func(a [][]float64, at int) float64 { return a[0][at] * a[1][at] })
+}
+
+// ApplyPrecond implements driver.Kernels. The jac_block path launches one
+// thread per mesh row, each running a serial Thomas solve along x — the
+// standard CUDA formulation of batched line solves.
+func (c *Chunk) ApplyPrecond() {
+	nx, ny, stride := c.nx, c.ny, c.stride
+	if c.precond == config.PrecondJacBlock {
+		rowGrid := simgpu.GridFor(ny, 1, c.block)
+		c.dev.Launch("block_solve", rowGrid, c.block,
+			simgpu.Args(c.r, c.z, c.kx, c.ky, c.tcp, c.tdp),
+			func(b simgpu.Block, a [][]float64) {
+				r, z, kx, ky, cp, dp := a[0], a[1], a[2], a[3], a[4], a[5]
+				b.ForThreads(func(gj, gy int) {
+					if gj >= ny || gy >= 1 {
+						return
+					}
+					row := (gj + halo) * stride
+					diag := func(i int) float64 {
+						at := row + i + halo
+						return 1 + kx[at+1] + kx[at] + ky[at+stride] + ky[at]
+					}
+					b0 := diag(0)
+					cp[row+halo] = -kx[row+halo+1] / b0
+					dp[row+halo] = r[row+halo] / b0
+					for i := 1; i < nx; i++ {
+						at := row + i + halo
+						av := -kx[at]
+						m := 1 / (diag(i) - av*cp[at-1])
+						cp[at] = -kx[at+1] * m
+						dp[at] = (r[at] - av*dp[at-1]) * m
+					}
+					last := row + nx - 1 + halo
+					z[last] = dp[last]
+					for i := nx - 2; i >= 0; i-- {
+						at := row + i + halo
+						z[at] = dp[at] - cp[at]*z[at+1]
+					}
+				})
+			})
+		return
+	}
+	c.dev.Launch("apply_precond", c.launchGrid(), c.block,
+		simgpu.Args(c.mi, c.r, c.z),
+		func(b simgpu.Block, a [][]float64) {
+			mi, r, z := a[0], a[1], a[2]
+			b.ForThreads(func(gx, gy int) {
+				if gx >= nx || gy >= ny {
+					return
+				}
+				at := (gy+halo)*stride + gx + halo
+				z[at] = mi[at] * r[at]
+			})
+		})
+}
+
+// CGInitP implements driver.Kernels.
+func (c *Chunk) CGInitP(precond bool) float64 {
+	src := c.r
+	if precond {
+		src = c.z
+	}
+	nx, ny, stride := c.nx, c.ny, c.stride
+	return c.dev.LaunchReduce("cg_init_p", c.launchGrid(), c.block,
+		simgpu.Args(src, c.p, c.r),
+		func(b simgpu.Block, a [][]float64) float64 {
+			s, p, r := a[0], a[1], a[2]
+			var rro float64
+			b.ForThreads(func(gx, gy int) {
+				if gx >= nx || gy >= ny {
+					return
+				}
+				at := (gy+halo)*stride + gx + halo
+				p[at] = s[at]
+				rro += r[at] * s[at]
+			})
+			return rro
+		})
+}
+
+// CGCalcW implements driver.Kernels.
+func (c *Chunk) CGCalcW() float64 {
+	c.launchOperator("cg_calc_w", c.w, c.p)
+	return c.reduceInterior("cg_dot_pw", simgpu.Args(c.p, c.w),
+		func(a [][]float64, at int) float64 { return a[0][at] * a[1][at] })
+}
+
+// CGCalcUR implements driver.Kernels.
+func (c *Chunk) CGCalcUR(alpha float64, precond bool) float64 {
+	nx, ny, stride := c.nx, c.ny, c.stride
+	if precond {
+		c.dev.Launch("cg_calc_ur_update", c.launchGrid(), c.block,
+			simgpu.Args(c.u, c.p, c.r, c.w),
+			func(b simgpu.Block, a [][]float64) {
+				u, p, r, w := a[0], a[1], a[2], a[3]
+				b.ForThreads(func(gx, gy int) {
+					if gx >= nx || gy >= ny {
+						return
+					}
+					at := (gy+halo)*stride + gx + halo
+					u[at] += alpha * p[at]
+					r[at] -= alpha * w[at]
+				})
+			})
+		c.ApplyPrecond()
+		return c.DotRZ()
+	}
+	return c.dev.LaunchReduce("cg_calc_ur", c.launchGrid(), c.block,
+		simgpu.Args(c.u, c.p, c.r, c.w),
+		func(b simgpu.Block, a [][]float64) float64 {
+			u, p, r, w := a[0], a[1], a[2], a[3]
+			var rrn float64
+			b.ForThreads(func(gx, gy int) {
+				if gx >= nx || gy >= ny {
+					return
+				}
+				at := (gy+halo)*stride + gx + halo
+				u[at] += alpha * p[at]
+				r[at] -= alpha * w[at]
+				rrn += r[at] * r[at]
+			})
+			return rrn
+		})
+}
+
+// CGCalcP implements driver.Kernels.
+func (c *Chunk) CGCalcP(beta float64, precond bool) {
+	src := c.r
+	if precond {
+		src = c.z
+	}
+	nx, ny, stride := c.nx, c.ny, c.stride
+	c.dev.Launch("cg_calc_p", c.launchGrid(), c.block,
+		simgpu.Args(src, c.p),
+		func(b simgpu.Block, a [][]float64) {
+			s, p := a[0], a[1]
+			b.ForThreads(func(gx, gy int) {
+				if gx >= nx || gy >= ny {
+					return
+				}
+				at := (gy+halo)*stride + gx + halo
+				p[at] = s[at] + beta*p[at]
+			})
+		})
+}
+
+// JacobiCopyU implements driver.Kernels.
+func (c *Chunk) JacobiCopyU() { c.dev.MemcpyD2D(c.un, c.u, c.stride*c.rows) }
+
+// JacobiIterate implements driver.Kernels.
+func (c *Chunk) JacobiIterate() float64 {
+	nx, ny, stride := c.nx, c.ny, c.stride
+	return c.dev.LaunchReduce("jacobi_iterate", c.launchGrid(), c.block,
+		simgpu.Args(c.un, c.u0, c.kx, c.ky, c.u),
+		func(b simgpu.Block, a [][]float64) float64 {
+			un, u0, kx, ky, u := a[0], a[1], a[2], a[3], a[4]
+			var errSum float64
+			b.ForThreads(func(gx, gy int) {
+				if gx >= nx || gy >= ny {
+					return
+				}
+				at := (gy+halo)*stride + gx + halo
+				num := u0[at] +
+					kx[at+1]*un[at+1] + kx[at]*un[at-1] +
+					ky[at+stride]*un[at+stride] + ky[at]*un[at-stride]
+				den := 1 + kx[at+1] + kx[at] + ky[at+stride] + ky[at]
+				u[at] = num / den
+				dv := u[at] - un[at]
+				if dv < 0 {
+					dv = -dv
+				}
+				errSum += dv
+			})
+			return errSum
+		})
+}
+
+// ChebyInit implements driver.Kernels.
+func (c *Chunk) ChebyInit(theta float64, precond bool) {
+	src := c.r
+	if precond {
+		src = c.z
+	}
+	nx, ny, stride := c.nx, c.ny, c.stride
+	c.dev.Launch("cheby_init", c.launchGrid(), c.block,
+		simgpu.Args(src, c.sd, c.u),
+		func(b simgpu.Block, a [][]float64) {
+			s, sd, u := a[0], a[1], a[2]
+			b.ForThreads(func(gx, gy int) {
+				if gx >= nx || gy >= ny {
+					return
+				}
+				at := (gy+halo)*stride + gx + halo
+				sd[at] = s[at] / theta
+				u[at] += sd[at]
+			})
+		})
+}
+
+// ChebyIterate implements driver.Kernels.
+func (c *Chunk) ChebyIterate(alpha, beta float64, precond bool) {
+	c.launchOperator("cheby_w_sd", c.w, c.sd)
+	nx, ny, stride := c.nx, c.ny, c.stride
+	c.dev.Launch("cheby_update_r", c.launchGrid(), c.block,
+		simgpu.Args(c.r, c.w),
+		func(b simgpu.Block, a [][]float64) {
+			r, w := a[0], a[1]
+			b.ForThreads(func(gx, gy int) {
+				if gx >= nx || gy >= ny {
+					return
+				}
+				at := (gy+halo)*stride + gx + halo
+				r[at] -= w[at]
+			})
+		})
+	if precond {
+		c.ApplyPrecond()
+	}
+	src := c.r
+	if precond {
+		src = c.z
+	}
+	c.dev.Launch("cheby_update_sd_u", c.launchGrid(), c.block,
+		simgpu.Args(src, c.sd, c.u),
+		func(b simgpu.Block, a [][]float64) {
+			s, sd, u := a[0], a[1], a[2]
+			b.ForThreads(func(gx, gy int) {
+				if gx >= nx || gy >= ny {
+					return
+				}
+				at := (gy+halo)*stride + gx + halo
+				sd[at] = alpha*sd[at] + beta*s[at]
+				u[at] += sd[at]
+			})
+		})
+}
+
+// PPCGInitInner implements driver.Kernels.
+func (c *Chunk) PPCGInitInner(theta float64) {
+	nx, ny, stride := c.nx, c.ny, c.stride
+	c.dev.Launch("ppcg_init_inner", c.launchGrid(), c.block,
+		simgpu.Args(c.r, c.rtemp, c.z, c.sd),
+		func(b simgpu.Block, a [][]float64) {
+			r, rt, z, sd := a[0], a[1], a[2], a[3]
+			b.ForThreads(func(gx, gy int) {
+				if gx >= nx || gy >= ny {
+					return
+				}
+				at := (gy+halo)*stride + gx + halo
+				rt[at] = r[at]
+				z[at] = 0
+				sd[at] = r[at] / theta
+			})
+		})
+}
+
+// PPCGInnerIterate implements driver.Kernels. Two launches: the operator
+// application must complete before any thread rewrites sd.
+func (c *Chunk) PPCGInnerIterate(alpha, beta float64) {
+	c.launchOperator("ppcg_w_sd", c.w, c.sd)
+	nx, ny, stride := c.nx, c.ny, c.stride
+	c.dev.Launch("ppcg_inner_update", c.launchGrid(), c.block,
+		simgpu.Args(c.z, c.sd, c.rtemp, c.w),
+		func(b simgpu.Block, a [][]float64) {
+			z, sd, rt, w := a[0], a[1], a[2], a[3]
+			b.ForThreads(func(gx, gy int) {
+				if gx >= nx || gy >= ny {
+					return
+				}
+				at := (gy+halo)*stride + gx + halo
+				z[at] += sd[at]
+				rt[at] -= w[at]
+				sd[at] = alpha*sd[at] + beta*rt[at]
+			})
+		})
+}
+
+// PPCGFinishInner implements driver.Kernels.
+func (c *Chunk) PPCGFinishInner() {
+	nx, ny, stride := c.nx, c.ny, c.stride
+	c.dev.Launch("ppcg_finish_inner", c.launchGrid(), c.block,
+		simgpu.Args(c.z, c.sd),
+		func(b simgpu.Block, a [][]float64) {
+			z, sd := a[0], a[1]
+			b.ForThreads(func(gx, gy int) {
+				if gx >= nx || gy >= ny {
+					return
+				}
+				at := (gy+halo)*stride + gx + halo
+				z[at] += sd[at]
+			})
+		})
+}
+
+// SolveFinalise implements driver.Kernels.
+func (c *Chunk) SolveFinalise() {
+	nx, ny, stride := c.nx, c.ny, c.stride
+	c.dev.Launch("tea_leaf_finalise", c.launchGrid(), c.block,
+		simgpu.Args(c.u, c.density, c.energy1),
+		func(b simgpu.Block, a [][]float64) {
+			u, density, energy := a[0], a[1], a[2]
+			b.ForThreads(func(gx, gy int) {
+				if gx >= nx || gy >= ny {
+					return
+				}
+				at := (gy+halo)*stride + gx + halo
+				energy[at] = u[at] / density[at]
+			})
+		})
+}
+
+// FetchField implements driver.Kernels: a device-to-host copy followed by
+// interior extraction.
+func (c *Chunk) FetchField(id driver.FieldID) []float64 {
+	host := make([]float64, c.stride*c.rows)
+	c.dev.MemcpyD2H(host, c.byID[id])
+	out := make([]float64, 0, c.nx*c.ny)
+	for j := 0; j < c.ny; j++ {
+		row := (j + halo) * c.stride
+		out = append(out, host[row+halo:row+halo+c.nx]...)
+	}
+	return out
+}
+
+// Close implements driver.Kernels.
+func (c *Chunk) Close() {
+	if c.ownDev {
+		c.dev.Close()
+	}
+}

@@ -1,0 +1,58 @@
+package cuda
+
+import (
+	"testing"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/backends/backendtest"
+	"github.com/warwick-hpsc/tealeaf-go/internal/config"
+	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
+	"github.com/warwick-hpsc/tealeaf-go/internal/simgpu"
+	"github.com/warwick-hpsc/tealeaf-go/internal/solver"
+)
+
+func TestConformance(t *testing.T) {
+	backendtest.Conformance(t, func() driver.Kernels { return New(simgpu.Dim2{}) })
+}
+
+// TestBlockSizeInvariance: the physics must not depend on the launch block
+// shape (reductions combine per block, so sums differ in rounding only).
+func TestBlockSizeInvariance(t *testing.T) {
+	cfg := config.BenchmarkN(20)
+	cfg.EndStep = 2
+	base := backendtest.Run(t, func() driver.Kernels { return New(simgpu.Dim2{X: 64, Y: 8}) }, cfg)
+	for _, blk := range []simgpu.Dim2{{X: 1, Y: 1}, {X: 7, Y: 3}, {X: 32, Y: 1}, {X: 256, Y: 4}} {
+		blk := blk
+		got := backendtest.Run(t, func() driver.Kernels { return New(blk) }, cfg)
+		if d := driver.CompareTotals(base.Final, got.Final); d > 1e-9 {
+			t.Errorf("block %v totals diverge by %g", blk, d)
+		}
+	}
+}
+
+// TestDeviceAccounting checks the port really behaves like an accelerator
+// port: data goes up once, kernels launch per operation, and nothing leaks
+// back to the host outside reductions.
+func TestDeviceAccounting(t *testing.T) {
+	cfg := config.BenchmarkN(16)
+	cfg.EndStep = 1
+	k := New(simgpu.Dim2{})
+	defer k.Close()
+	res, err := driver.Run(cfg, k, solver.New(solver.FromConfig(&cfg)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalIterations == 0 {
+		t.Fatal("no iterations recorded")
+	}
+	st := k.Device().Stats()
+	if st.BytesH2D == 0 {
+		t.Error("expected host-to-device transfers at generate")
+	}
+	if st.Launches < int64(res.TotalIterations) {
+		t.Errorf("expected at least one launch per CG iteration, got %d launches for %d iterations",
+			st.Launches, res.TotalIterations)
+	}
+	if st.Allocations != 17 {
+		t.Errorf("expected 17 device buffers, got %d", st.Allocations)
+	}
+}

@@ -1,0 +1,452 @@
+// Package kokkosport is TeaLeaf re-engineered on the Kokkos-like template
+// layer (internal/kokkos), the analogue of the paper's Kokkos builds.
+// Every field is a rank-2 View whose layout follows the execution space
+// (LayoutRight on the host spaces, LayoutLeft on the device space), every
+// kernel a ParallelFor/ParallelReduce functor over an MDRange, and initial
+// data reaches the device through host mirrors and deep copies.
+package kokkosport
+
+import (
+	"github.com/warwick-hpsc/tealeaf-go/internal/config"
+	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
+	"github.com/warwick-hpsc/tealeaf-go/internal/grid"
+	"github.com/warwick-hpsc/tealeaf-go/internal/kokkos"
+	"github.com/warwick-hpsc/tealeaf-go/internal/state"
+)
+
+const halo = grid.DefaultHalo
+
+// Chunk is the Kokkos port: one chunk, fields as space-resident Views.
+// View index 0 is the mesh row (y) and index 1 the column (x), both offset
+// by the halo depth.
+type Chunk struct {
+	space   kokkos.ExecSpace
+	name    string
+	mesh    *grid.Mesh
+	nx, ny  int
+	precond config.Preconditioner
+
+	density, energy0, energy1 *kokkos.View
+	u, u0                     *kokkos.View
+	p, r, w, z, sd, mi        *kokkos.View
+	kx, ky                    *kokkos.View
+	un, rtemp, tcp, tdp       *kokkos.View
+	byID                      [driver.NumFields]*kokkos.View
+}
+
+var _ driver.Kernels = (*Chunk)(nil)
+
+// New creates the port on the given execution space. The port owns the
+// space and closes it.
+func New(space kokkos.ExecSpace) *Chunk {
+	return &Chunk{space: space, name: "kokkos-" + lower(space.Name())}
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c - 'A' + 'a'
+		}
+	}
+	return string(b)
+}
+
+// Name implements driver.Kernels.
+func (c *Chunk) Name() string { return c.name }
+
+// Space exposes the execution space, for tests and reporting.
+func (c *Chunk) Space() kokkos.ExecSpace { return c.space }
+
+// Generate implements driver.Kernels: stage density/energy on host mirrors
+// and deep-copy into the space, the canonical Kokkos initialisation.
+func (c *Chunk) Generate(m *grid.Mesh, states []config.State) error {
+	c.mesh = m
+	c.nx, c.ny = m.Nx, m.Ny
+	n0, n1 := c.ny+2*halo, c.nx+2*halo
+	alloc := func(label string) *kokkos.View { return kokkos.NewView(c.space, label, n0, n1) }
+	c.density, c.energy0, c.energy1 = alloc("density"), alloc("energy0"), alloc("energy1")
+	c.u, c.u0 = alloc("u"), alloc("u0")
+	c.p, c.r, c.w = alloc("p"), alloc("r"), alloc("w")
+	c.z, c.sd, c.mi = alloc("z"), alloc("sd"), alloc("mi")
+	c.kx, c.ky = alloc("kx"), alloc("ky")
+	c.un, c.rtemp = alloc("un"), alloc("rtemp")
+	c.tcp, c.tdp = alloc("tcp"), alloc("tdp")
+	c.byID = [driver.NumFields]*kokkos.View{
+		driver.FieldDensity: c.density,
+		driver.FieldEnergy0: c.energy0,
+		driver.FieldEnergy1: c.energy1,
+		driver.FieldU:       c.u,
+		driver.FieldU0:      c.u0,
+		driver.FieldP:       c.p,
+		driver.FieldR:       c.r,
+		driver.FieldW:       c.w,
+		driver.FieldZ:       c.z,
+		driver.FieldSD:      c.sd,
+		driver.FieldKx:      c.kx,
+		driver.FieldKy:      c.ky,
+	}
+	hd := kokkos.CreateMirror(c.density)
+	he := kokkos.CreateMirror(c.energy0)
+	err := state.Generate(m, states, halo, func(i, j int, density, energy float64) {
+		hd.Set(j+halo, i+halo, density)
+		he.Set(j+halo, i+halo, energy)
+	})
+	if err != nil {
+		return err
+	}
+	kokkos.DeepCopy(c.density, hd)
+	kokkos.DeepCopy(c.energy0, he)
+	return nil
+}
+
+// interior is the MDRange over interior cells.
+func (c *Chunk) interior() kokkos.MDRange {
+	return kokkos.MDRange{B0: halo, E0: halo + c.ny, B1: halo, E1: halo + c.nx}
+}
+
+// full is the MDRange over the whole padded extent.
+func (c *Chunk) full() kokkos.MDRange {
+	return kokkos.MDRange{B0: 0, E0: c.ny + 2*halo, B1: 0, E1: c.nx + 2*halo}
+}
+
+// SetField implements driver.Kernels.
+func (c *Chunk) SetField() {
+	e0, e1 := c.energy0, c.energy1
+	kokkos.ParallelFor(c.space, "set_field", c.full(), func(j, i int) {
+		e1.Set(j, i, e0.At(j, i))
+	})
+}
+
+// ResetField implements driver.Kernels.
+func (c *Chunk) ResetField() {
+	e0, e1 := c.energy0, c.energy1
+	kokkos.ParallelFor(c.space, "reset_field", c.full(), func(j, i int) {
+		e0.Set(j, i, e1.At(j, i))
+	})
+}
+
+// FieldSummary implements driver.Kernels: four reductions, matching the
+// Kokkos port's use of one ParallelReduce per quantity.
+func (c *Chunk) FieldSummary() driver.Totals {
+	vol := c.mesh.CellVolume()
+	d, e, u := c.density, c.energy0, c.u
+	var t driver.Totals
+	t.Volume = float64(c.nx) * float64(c.ny) * vol
+	t.Mass = kokkos.ParallelReduce(c.space, "summary_mass", c.interior(), func(j, i int, l *float64) {
+		*l += d.At(j, i) * vol
+	})
+	t.InternalEnergy = kokkos.ParallelReduce(c.space, "summary_ie", c.interior(), func(j, i int, l *float64) {
+		*l += d.At(j, i) * e.At(j, i) * vol
+	})
+	t.Temperature = kokkos.ParallelReduce(c.space, "summary_temp", c.interior(), func(j, i int, l *float64) {
+		*l += u.At(j, i) * vol
+	})
+	return t
+}
+
+// HaloExchange implements driver.Kernels: reflective boundaries as
+// ParallelFor functors, space-resident like every other kernel.
+func (c *Chunk) HaloExchange(fields []driver.FieldID, depth int) {
+	nx, ny := c.nx, c.ny
+	for _, id := range fields {
+		f := c.byID[id]
+		kokkos.ParallelFor(c.space, "halo_x",
+			kokkos.MDRange{B0: halo, E0: halo + ny, B1: 0, E1: depth},
+			func(j, k int) {
+				f.Set(j, halo-1-k, f.At(j, halo+k))
+				f.Set(j, halo+nx+k, f.At(j, halo+nx-1-k))
+			})
+		kokkos.ParallelFor(c.space, "halo_y",
+			kokkos.MDRange{B0: 0, E0: depth, B1: halo - depth, E1: halo + nx + depth},
+			func(k, i int) {
+				f.Set(halo-1-k, i, f.At(halo+k, i))
+				f.Set(halo+ny+k, i, f.At(halo+ny-1-k, i))
+			})
+	}
+}
+
+// SolveInit implements driver.Kernels.
+func (c *Chunk) SolveInit(coef config.Coefficient, rx, ry float64, precond config.Preconditioner) {
+	c.precond = precond
+	recip := coef == config.RecipConductivity
+	d, e1, u, u0, w := c.density, c.energy1, c.u, c.u0, c.w
+	kokkos.ParallelFor(c.space, "tea_leaf_init", c.full(), func(j, i int) {
+		den := d.At(j, i)
+		v := e1.At(j, i) * den
+		u.Set(j, i, v)
+		u0.Set(j, i, v)
+		if recip {
+			w.Set(j, i, 1/den)
+		} else {
+			w.Set(j, i, den)
+		}
+	})
+	kx, ky := c.kx, c.ky
+	ring := kokkos.MDRange{B0: halo - 1, E0: halo + c.ny + 1, B1: halo - 1, E1: halo + c.nx + 1}
+	kokkos.ParallelFor(c.space, "init_kx_ky", ring, func(j, i int) {
+		w0 := w.At(j, i)
+		wl := w.At(j, i-1)
+		wd := w.At(j-1, i)
+		kx.Set(j, i, rx*(wl+w0)/(2*wl*w0))
+		ky.Set(j, i, ry*(wd+w0)/(2*wd*w0))
+	})
+	c.CalcResidual()
+	if precond == config.PrecondJacDiag {
+		mi := c.mi
+		kokkos.ParallelFor(c.space, "init_mi", c.interior(), func(j, i int) {
+			mi.Set(j, i, 1/(1+kx.At(j, i+1)+kx.At(j, i)+ky.At(j+1, i)+ky.At(j, i)))
+		})
+	}
+	if precond != config.PrecondNone {
+		c.ApplyPrecond()
+	}
+}
+
+// applyA evaluates the conduction operator on src at (j, i).
+func (c *Chunk) applyA(src *kokkos.View, j, i int) float64 {
+	kx, ky := c.kx, c.ky
+	kx1, kx0 := kx.At(j, i+1), kx.At(j, i)
+	ky1, ky0 := ky.At(j+1, i), ky.At(j, i)
+	return (1+kx1+kx0+ky1+ky0)*src.At(j, i) -
+		(kx1*src.At(j, i+1) + kx0*src.At(j, i-1)) -
+		(ky1*src.At(j+1, i) + ky0*src.At(j-1, i))
+}
+
+// CalcResidual implements driver.Kernels.
+func (c *Chunk) CalcResidual() {
+	u, u0, r := c.u, c.u0, c.r
+	kokkos.ParallelFor(c.space, "residual", c.interior(), func(j, i int) {
+		r.Set(j, i, u0.At(j, i)-c.applyA(u, j, i))
+	})
+}
+
+// Norm2R implements driver.Kernels.
+func (c *Chunk) Norm2R() float64 {
+	r := c.r
+	return kokkos.ParallelReduce(c.space, "norm2_r", c.interior(), func(j, i int, l *float64) {
+		v := r.At(j, i)
+		*l += v * v
+	})
+}
+
+// DotRZ implements driver.Kernels.
+func (c *Chunk) DotRZ() float64 {
+	r, z := c.r, c.z
+	return kokkos.ParallelReduce(c.space, "dot_rz", c.interior(), func(j, i int, l *float64) {
+		*l += r.At(j, i) * z.At(j, i)
+	})
+}
+
+// ApplyPrecond implements driver.Kernels. The jac_block path is a
+// ParallelFor over rows (an MDRange with a unit second extent); each
+// functor invocation runs the Thomas solve for its row, which is how a
+// Kokkos port expresses batched line solves.
+func (c *Chunk) ApplyPrecond() {
+	if c.precond == config.PrecondJacBlock {
+		nx := c.nx
+		r, z, kx, ky, cp, dp := c.r, c.z, c.kx, c.ky, c.tcp, c.tdp
+		rows := kokkos.MDRange{B0: halo, E0: halo + c.ny, B1: 0, E1: 1}
+		kokkos.ParallelFor(c.space, "block_solve", rows, func(j, _ int) {
+			diag := func(i int) float64 {
+				return 1 + kx.At(j, i+1) + kx.At(j, i) + ky.At(j+1, i) + ky.At(j, i)
+			}
+			b0 := diag(halo)
+			cp.Set(j, halo, -kx.At(j, halo+1)/b0)
+			dp.Set(j, halo, r.At(j, halo)/b0)
+			for i := halo + 1; i < halo+nx; i++ {
+				av := -kx.At(j, i)
+				m := 1 / (diag(i) - av*cp.At(j, i-1))
+				cp.Set(j, i, -kx.At(j, i+1)*m)
+				dp.Set(j, i, (r.At(j, i)-av*dp.At(j, i-1))*m)
+			}
+			last := halo + nx - 1
+			z.Set(j, last, dp.At(j, last))
+			for i := last - 1; i >= halo; i-- {
+				z.Set(j, i, dp.At(j, i)-cp.At(j, i)*z.At(j, i+1))
+			}
+		})
+		return
+	}
+	mi, r, z := c.mi, c.r, c.z
+	kokkos.ParallelFor(c.space, "apply_precond", c.interior(), func(j, i int) {
+		z.Set(j, i, mi.At(j, i)*r.At(j, i))
+	})
+}
+
+// CGInitP implements driver.Kernels.
+func (c *Chunk) CGInitP(precond bool) float64 {
+	src := c.r
+	if precond {
+		src = c.z
+	}
+	r, p := c.r, c.p
+	return kokkos.ParallelReduce(c.space, "cg_init_p", c.interior(), func(j, i int, l *float64) {
+		s := src.At(j, i)
+		p.Set(j, i, s)
+		*l += r.At(j, i) * s
+	})
+}
+
+// CGCalcW implements driver.Kernels.
+func (c *Chunk) CGCalcW() float64 {
+	p, w := c.p, c.w
+	return kokkos.ParallelReduce(c.space, "cg_calc_w", c.interior(), func(j, i int, l *float64) {
+		v := c.applyA(p, j, i)
+		w.Set(j, i, v)
+		*l += p.At(j, i) * v
+	})
+}
+
+// CGCalcUR implements driver.Kernels.
+func (c *Chunk) CGCalcUR(alpha float64, precond bool) float64 {
+	u, p, r, w := c.u, c.p, c.r, c.w
+	if precond {
+		kokkos.ParallelFor(c.space, "cg_calc_ur_update", c.interior(), func(j, i int) {
+			u.Add(j, i, alpha*p.At(j, i))
+			r.Add(j, i, -alpha*w.At(j, i))
+		})
+		c.ApplyPrecond()
+		return c.DotRZ()
+	}
+	return kokkos.ParallelReduce(c.space, "cg_calc_ur", c.interior(), func(j, i int, l *float64) {
+		u.Add(j, i, alpha*p.At(j, i))
+		rv := r.At(j, i) - alpha*w.At(j, i)
+		r.Set(j, i, rv)
+		*l += rv * rv
+	})
+}
+
+// CGCalcP implements driver.Kernels.
+func (c *Chunk) CGCalcP(beta float64, precond bool) {
+	src := c.r
+	if precond {
+		src = c.z
+	}
+	p := c.p
+	kokkos.ParallelFor(c.space, "cg_calc_p", c.interior(), func(j, i int) {
+		p.Set(j, i, src.At(j, i)+beta*p.At(j, i))
+	})
+}
+
+// JacobiCopyU implements driver.Kernels.
+func (c *Chunk) JacobiCopyU() {
+	u, un := c.u, c.un
+	kokkos.ParallelFor(c.space, "jacobi_copy_u", c.full(), func(j, i int) {
+		un.Set(j, i, u.At(j, i))
+	})
+}
+
+// JacobiIterate implements driver.Kernels.
+func (c *Chunk) JacobiIterate() float64 {
+	un, u0, u, kx, ky := c.un, c.u0, c.u, c.kx, c.ky
+	return kokkos.ParallelReduce(c.space, "jacobi_solve", c.interior(), func(j, i int, l *float64) {
+		kx1, kx0 := kx.At(j, i+1), kx.At(j, i)
+		ky1, ky0 := ky.At(j+1, i), ky.At(j, i)
+		num := u0.At(j, i) +
+			kx1*un.At(j, i+1) + kx0*un.At(j, i-1) +
+			ky1*un.At(j+1, i) + ky0*un.At(j-1, i)
+		v := num / (1 + kx1 + kx0 + ky1 + ky0)
+		u.Set(j, i, v)
+		dv := v - un.At(j, i)
+		if dv < 0 {
+			dv = -dv
+		}
+		*l += dv
+	})
+}
+
+// ChebyInit implements driver.Kernels.
+func (c *Chunk) ChebyInit(theta float64, precond bool) {
+	src := c.r
+	if precond {
+		src = c.z
+	}
+	sd, u := c.sd, c.u
+	kokkos.ParallelFor(c.space, "cheby_init", c.interior(), func(j, i int) {
+		v := src.At(j, i) / theta
+		sd.Set(j, i, v)
+		u.Add(j, i, v)
+	})
+}
+
+// ChebyIterate implements driver.Kernels.
+func (c *Chunk) ChebyIterate(alpha, beta float64, precond bool) {
+	sd, r, u := c.sd, c.r, c.u
+	kokkos.ParallelFor(c.space, "cheby_calc_r", c.interior(), func(j, i int) {
+		r.Add(j, i, -c.applyA(sd, j, i))
+	})
+	if precond {
+		c.ApplyPrecond()
+	}
+	src := c.r
+	if precond {
+		src = c.z
+	}
+	kokkos.ParallelFor(c.space, "cheby_calc_sd_u", c.interior(), func(j, i int) {
+		v := alpha*sd.At(j, i) + beta*src.At(j, i)
+		sd.Set(j, i, v)
+		u.Add(j, i, v)
+	})
+}
+
+// PPCGInitInner implements driver.Kernels.
+func (c *Chunk) PPCGInitInner(theta float64) {
+	r, rt, z, sd := c.r, c.rtemp, c.z, c.sd
+	kokkos.ParallelFor(c.space, "ppcg_init_inner", c.interior(), func(j, i int) {
+		rv := r.At(j, i)
+		rt.Set(j, i, rv)
+		z.Set(j, i, 0)
+		sd.Set(j, i, rv/theta)
+	})
+}
+
+// PPCGInnerIterate implements driver.Kernels (two kernels: the stencil must
+// see the previous sd everywhere before it is rewritten).
+func (c *Chunk) PPCGInnerIterate(alpha, beta float64) {
+	sd, w, z, rt := c.sd, c.w, c.z, c.rtemp
+	kokkos.ParallelFor(c.space, "ppcg_calc_w", c.interior(), func(j, i int) {
+		w.Set(j, i, c.applyA(sd, j, i))
+	})
+	kokkos.ParallelFor(c.space, "ppcg_inner_update", c.interior(), func(j, i int) {
+		sv := sd.At(j, i)
+		z.Add(j, i, sv)
+		rv := rt.At(j, i) - w.At(j, i)
+		rt.Set(j, i, rv)
+		sd.Set(j, i, alpha*sv+beta*rv)
+	})
+}
+
+// PPCGFinishInner implements driver.Kernels.
+func (c *Chunk) PPCGFinishInner() {
+	z, sd := c.z, c.sd
+	kokkos.ParallelFor(c.space, "ppcg_finish_inner", c.interior(), func(j, i int) {
+		z.Add(j, i, sd.At(j, i))
+	})
+}
+
+// SolveFinalise implements driver.Kernels.
+func (c *Chunk) SolveFinalise() {
+	u, d, e1 := c.u, c.density, c.energy1
+	kokkos.ParallelFor(c.space, "finalise", c.interior(), func(j, i int) {
+		e1.Set(j, i, u.At(j, i)/d.At(j, i))
+	})
+}
+
+// FetchField implements driver.Kernels: mirror + deep_copy + interior
+// extraction, the canonical Kokkos read-back.
+func (c *Chunk) FetchField(id driver.FieldID) []float64 {
+	v := c.byID[id]
+	host := kokkos.CreateMirror(v)
+	kokkos.DeepCopy(host, v)
+	out := make([]float64, 0, c.nx*c.ny)
+	for j := 0; j < c.ny; j++ {
+		for i := 0; i < c.nx; i++ {
+			out = append(out, host.At(j+halo, i+halo))
+		}
+	}
+	return out
+}
+
+// Close implements driver.Kernels.
+func (c *Chunk) Close() { c.space.Close() }

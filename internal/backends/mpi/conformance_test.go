@@ -1,0 +1,16 @@
+package mpi
+
+import (
+	"testing"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/backends/backendtest"
+	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
+)
+
+func TestConformancePureMPI(t *testing.T) {
+	backendtest.Conformance(t, func() driver.Kernels { return New(4, 1) })
+}
+
+func TestConformanceHybrid(t *testing.T) {
+	backendtest.Conformance(t, func() driver.Kernels { return New(2, 2) })
+}

@@ -1,0 +1,640 @@
+package mpi
+
+import (
+	"github.com/warwick-hpsc/tealeaf-go/internal/comm"
+	"github.com/warwick-hpsc/tealeaf-go/internal/config"
+	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
+	"github.com/warwick-hpsc/tealeaf-go/internal/grid"
+	"github.com/warwick-hpsc/tealeaf-go/internal/par"
+	"github.com/warwick-hpsc/tealeaf-go/internal/state"
+)
+
+// rankState is one rank's half of the port: its chunk of the mesh, its
+// fields, and (for the hybrid build) its thread team.
+type rankState struct {
+	port     *Port
+	rank     *comm.Rank
+	team     *par.Team // nil for the pure-MPI build
+	chunk    comm.Chunk
+	mesh     *grid.Mesh // this rank's sub-mesh
+	nx, ny   int
+	gnx, gny int // global mesh extent (for field gathers)
+	precond  config.Preconditioner
+
+	density, energy0, energy1 *grid.Field
+	u, u0                     *grid.Field
+	p, r, w, z, sd, mi        *grid.Field
+	kx, ky                    *grid.Field
+	un, rtemp, tcp, tdp       *grid.Field
+	fieldsByID                [driver.NumFields]*grid.Field
+}
+
+func (rs *rankState) init(global *grid.Mesh, ch comm.Chunk, states []config.State) error {
+	rs.chunk = ch
+	rs.gnx, rs.gny = global.Nx, global.Ny
+	rs.mesh = global.Sub(ch.X0, ch.Y0, ch.NX, ch.NY)
+	rs.nx, rs.ny = ch.NX, ch.NY
+	alloc := func() *grid.Field { return grid.New(rs.nx, rs.ny) }
+	rs.density, rs.energy0, rs.energy1 = alloc(), alloc(), alloc()
+	rs.u, rs.u0 = alloc(), alloc()
+	rs.p, rs.r, rs.w, rs.z, rs.sd, rs.mi = alloc(), alloc(), alloc(), alloc(), alloc(), alloc()
+	rs.kx, rs.ky = alloc(), alloc()
+	rs.un, rs.rtemp = alloc(), alloc()
+	rs.tcp, rs.tdp = alloc(), alloc()
+	rs.fieldsByID = [driver.NumFields]*grid.Field{
+		driver.FieldDensity: rs.density,
+		driver.FieldEnergy0: rs.energy0,
+		driver.FieldEnergy1: rs.energy1,
+		driver.FieldU:       rs.u,
+		driver.FieldU0:      rs.u0,
+		driver.FieldP:       rs.p,
+		driver.FieldR:       rs.r,
+		driver.FieldW:       rs.w,
+		driver.FieldZ:       rs.z,
+		driver.FieldSD:      rs.sd,
+		driver.FieldKx:      rs.kx,
+		driver.FieldKy:      rs.ky,
+	}
+	return state.Generate(rs.mesh, states, grid.DefaultHalo, func(i, j int, density, energy float64) {
+		rs.density.Set(i, j, density)
+		rs.energy0.Set(i, j, energy)
+	})
+}
+
+// forRows runs body for each row in [lo, hi), on the team when present.
+func (rs *rankState) forRows(lo, hi int, body func(j int)) {
+	if rs.team == nil {
+		for j := lo; j < hi; j++ {
+			body(j)
+		}
+		return
+	}
+	rs.team.For(lo, hi, func(j0, j1 int) {
+		for j := j0; j < j1; j++ {
+			body(j)
+		}
+	})
+}
+
+// reduceRows sums body over rows [lo, hi), on the team when present.
+func (rs *rankState) reduceRows(lo, hi int, body func(j int) float64) float64 {
+	if rs.team == nil {
+		var s float64
+		for j := lo; j < hi; j++ {
+			s += body(j)
+		}
+		return s
+	}
+	return rs.team.ReduceSum(lo, hi, func(j0, j1 int) float64 {
+		var s float64
+		for j := j0; j < j1; j++ {
+			s += body(j)
+		}
+		return s
+	})
+}
+
+// --- halo exchange ---------------------------------------------------------
+
+// Message tags encode field and travel direction; the mailbox's FIFO order
+// per (source, tag) makes reusing them across exchanges safe.
+const (
+	dirWest = iota // toward smaller x
+	dirEast        // toward larger x
+	dirSouth
+	dirNorth
+	numDirs
+)
+
+func tag(fid driver.FieldID, dir int) int { return int(fid)*numDirs + dir }
+
+func (rs *rankState) haloExchange(fields []driver.FieldID, depth int) {
+	for _, id := range fields {
+		rs.exchangeField(rs.fieldsByID[id], id, depth)
+	}
+}
+
+func (rs *rankState) exchangeField(f *grid.Field, fid driver.FieldID, depth int) {
+	nx, ny, d := f.Nx, f.Ny, f.Depth
+	ch := rs.chunk
+	// X phase over interior rows: post both sends eagerly, then receive.
+	if ch.Left >= 0 {
+		rs.rank.Send(ch.Left, tag(fid, dirWest), packCols(f, 0, depth))
+	}
+	if ch.Right >= 0 {
+		rs.rank.Send(ch.Right, tag(fid, dirEast), packCols(f, nx-depth, depth))
+	}
+	if ch.Left >= 0 {
+		unpackCols(f, -depth, depth, rs.rank.Recv(ch.Left, tag(fid, dirEast)))
+	} else {
+		for j := 0; j < ny; j++ {
+			row := f.Row(j)
+			for k := 1; k <= depth; k++ {
+				row[d-k] = row[d+k-1]
+			}
+		}
+	}
+	if ch.Right >= 0 {
+		unpackCols(f, nx, depth, rs.rank.Recv(ch.Right, tag(fid, dirWest)))
+	} else {
+		for j := 0; j < ny; j++ {
+			row := f.Row(j)
+			for k := 1; k <= depth; k++ {
+				row[d+nx-1+k] = row[d+nx-k]
+			}
+		}
+	}
+	// Y phase over the full width (including the x halos just filled), so
+	// corner halos carry diagonal-neighbour data after both phases.
+	lo, hi := d-depth, d+nx+depth
+	if ch.Down >= 0 {
+		rs.rank.Send(ch.Down, tag(fid, dirSouth), packRows(f, 0, depth, lo, hi))
+	}
+	if ch.Up >= 0 {
+		rs.rank.Send(ch.Up, tag(fid, dirNorth), packRows(f, ny-depth, depth, lo, hi))
+	}
+	if ch.Down >= 0 {
+		unpackRows(f, -depth, depth, lo, hi, rs.rank.Recv(ch.Down, tag(fid, dirNorth)))
+	} else {
+		for k := 1; k <= depth; k++ {
+			copy(f.Row(-k)[lo:hi], f.Row(k - 1)[lo:hi])
+		}
+	}
+	if ch.Up >= 0 {
+		unpackRows(f, ny, depth, lo, hi, rs.rank.Recv(ch.Up, tag(fid, dirSouth)))
+	} else {
+		for k := 1; k <= depth; k++ {
+			copy(f.Row(ny - 1 + k)[lo:hi], f.Row(ny - k)[lo:hi])
+		}
+	}
+}
+
+// packCols packs columns [i0, i0+w) over interior rows into a buffer,
+// column-major within rows (row-major traversal).
+func packCols(f *grid.Field, i0, w int) []float64 {
+	buf := make([]float64, w*f.Ny)
+	n := 0
+	for j := 0; j < f.Ny; j++ {
+		row := f.Row(j)
+		for k := 0; k < w; k++ {
+			buf[n] = row[f.Depth+i0+k]
+			n++
+		}
+	}
+	return buf
+}
+
+func unpackCols(f *grid.Field, i0, w int, buf []float64) {
+	n := 0
+	for j := 0; j < f.Ny; j++ {
+		row := f.Row(j)
+		for k := 0; k < w; k++ {
+			row[f.Depth+i0+k] = buf[n]
+			n++
+		}
+	}
+}
+
+// packRows packs rows [j0, j0+h) over columns [lo, hi) (offsets into the
+// padded row) into a buffer.
+func packRows(f *grid.Field, j0, h, lo, hi int) []float64 {
+	w := hi - lo
+	buf := make([]float64, h*w)
+	for k := 0; k < h; k++ {
+		copy(buf[k*w:(k+1)*w], f.Row(j0 + k)[lo:hi])
+	}
+	return buf
+}
+
+func unpackRows(f *grid.Field, j0, h, lo, hi int, buf []float64) {
+	w := hi - lo
+	for k := 0; k < h; k++ {
+		copy(f.Row(j0 + k)[lo:hi], buf[k*w:(k+1)*w])
+	}
+}
+
+// --- kernels ----------------------------------------------------------------
+
+func (rs *rankState) setField() {
+	rs.forRows(-2, rs.ny+2, func(j int) {
+		copy(rs.energy1.Row(j), rs.energy0.Row(j))
+	})
+}
+
+func (rs *rankState) resetField() {
+	rs.forRows(-2, rs.ny+2, func(j int) {
+		copy(rs.energy0.Row(j), rs.energy1.Row(j))
+	})
+}
+
+func (rs *rankState) fieldSummary() driver.Totals {
+	cellVol := rs.mesh.CellVolume()
+	var t driver.Totals
+	// Reduce the four quantities in one sweep; for the hybrid build, reduce
+	// pairs via the team then recombine (deterministic per shape).
+	t.Volume = rs.reduceRows(0, rs.ny, func(j int) float64 { return float64(rs.nx) * cellVol })
+	t.Mass = rs.reduceRows(0, rs.ny, func(j int) float64 {
+		var s float64
+		for _, v := range rs.density.InteriorRow(j) {
+			s += v * cellVol
+		}
+		return s
+	})
+	t.InternalEnergy = rs.reduceRows(0, rs.ny, func(j int) float64 {
+		var s float64
+		dr := rs.density.InteriorRow(j)
+		er := rs.energy0.InteriorRow(j)
+		for i := range dr {
+			s += dr[i] * er[i] * cellVol
+		}
+		return s
+	})
+	t.Temperature = rs.reduceRows(0, rs.ny, func(j int) float64 {
+		var s float64
+		for _, v := range rs.u.InteriorRow(j) {
+			s += v * cellVol
+		}
+		return s
+	})
+	return t
+}
+
+func (rs *rankState) solveInit(coef config.Coefficient, rx, ry float64, precond config.Preconditioner) {
+	rs.precond = precond
+	nx, ny := rs.nx, rs.ny
+	rs.forRows(-2, ny+2, func(j int) {
+		dr := rs.density.Row(j)
+		er := rs.energy1.Row(j)
+		ur := rs.u.Row(j)
+		u0r := rs.u0.Row(j)
+		wr := rs.w.Row(j)
+		for i := range ur {
+			ur[i] = er[i] * dr[i]
+			u0r[i] = ur[i]
+		}
+		if coef == config.Conductivity {
+			copy(wr, dr)
+		} else {
+			for i := range wr {
+				wr[i] = 1 / dr[i]
+			}
+		}
+	})
+	d := rs.w.Depth
+	rs.forRows(-1, ny+1, func(j int) {
+		wr := rs.w.Row(j)
+		wd := rs.w.Row(j - 1)
+		kxr := rs.kx.Row(j)
+		kyr := rs.ky.Row(j)
+		for i := -1; i < nx+1; i++ {
+			kxr[d+i] = rx * (wr[d+i-1] + wr[d+i]) / (2 * wr[d+i-1] * wr[d+i])
+			kyr[d+i] = ry * (wd[d+i] + wr[d+i]) / (2 * wd[d+i] * wr[d+i])
+		}
+	})
+	rs.calcResidual()
+	if precond == config.PrecondJacDiag {
+		rs.forRows(0, ny, func(j int) {
+			kxr := rs.kx.Row(j)
+			kyr := rs.ky.Row(j)
+			kyu := rs.ky.Row(j + 1)
+			mir := rs.mi.Row(j)
+			for i := 0; i < nx; i++ {
+				mir[d+i] = 1 / (1 + kxr[d+i+1] + kxr[d+i] + kyu[d+i] + kyr[d+i])
+			}
+		})
+	}
+	if precond != config.PrecondNone {
+		rs.applyPrecond()
+	}
+}
+
+func (rs *rankState) applyOperatorRow(dst, src *grid.Field, j int) {
+	d := src.Depth
+	sr := src.Row(j)
+	su := src.Row(j + 1)
+	sdw := src.Row(j - 1)
+	kxr := rs.kx.Row(j)
+	kyr := rs.ky.Row(j)
+	kyu := rs.ky.Row(j + 1)
+	dr := dst.Row(j)
+	for i := 0; i < rs.nx; i++ {
+		ii := d + i
+		dr[ii] = (1+kxr[ii+1]+kxr[ii]+kyu[ii]+kyr[ii])*sr[ii] -
+			(kxr[ii+1]*sr[ii+1] + kxr[ii]*sr[ii-1]) -
+			(kyu[ii]*su[ii] + kyr[ii]*sdw[ii])
+	}
+}
+
+func (rs *rankState) calcResidual() {
+	rs.forRows(0, rs.ny, func(j int) {
+		rs.applyOperatorRow(rs.w, rs.u, j)
+		u0r := rs.u0.InteriorRow(j)
+		wr := rs.w.InteriorRow(j)
+		rr := rs.r.InteriorRow(j)
+		for i := range rr {
+			rr[i] = u0r[i] - wr[i]
+		}
+	})
+}
+
+func (rs *rankState) norm2R() float64 {
+	return rs.reduceRows(0, rs.ny, func(j int) float64 {
+		var s float64
+		for _, v := range rs.r.InteriorRow(j) {
+			s += v * v
+		}
+		return s
+	})
+}
+
+func (rs *rankState) dotRZ() float64 {
+	return rs.reduceRows(0, rs.ny, func(j int) float64 {
+		var s float64
+		rr := rs.r.InteriorRow(j)
+		zr := rs.z.InteriorRow(j)
+		for i := range rr {
+			s += rr[i] * zr[i]
+		}
+		return s
+	})
+}
+
+func (rs *rankState) applyPrecond() {
+	if rs.precond == config.PrecondJacBlock {
+		// Line Jacobi within the rank's chunk: each local row's tridiagonal
+		// slice is solved exactly. The preconditioner is block-diagonal
+		// over rows (no cross-rank coupling), so no halo traffic is needed.
+		rs.forRows(0, rs.ny, func(j int) { rs.blockSolveRow(j) })
+		return
+	}
+	rs.forRows(0, rs.ny, func(j int) {
+		rr := rs.r.InteriorRow(j)
+		mir := rs.mi.InteriorRow(j)
+		zr := rs.z.InteriorRow(j)
+		for i := range zr {
+			zr[i] = mir[i] * rr[i]
+		}
+	})
+}
+
+func (rs *rankState) blockSolveRow(j int) {
+	nx := rs.nx
+	d := rs.r.Depth
+	rr := rs.r.Row(j)
+	zr := rs.z.Row(j)
+	kxr := rs.kx.Row(j)
+	kyr := rs.ky.Row(j)
+	kyu := rs.ky.Row(j + 1)
+	cp := rs.tcp.Row(j)
+	dp := rs.tdp.Row(j)
+	diag := func(i int) float64 {
+		return 1 + kxr[d+i+1] + kxr[d+i] + kyu[d+i] + kyr[d+i]
+	}
+	b0 := diag(0)
+	cp[d] = -kxr[d+1] / b0
+	dp[d] = rr[d] / b0
+	for i := 1; i < nx; i++ {
+		a := -kxr[d+i]
+		m := 1 / (diag(i) - a*cp[d+i-1])
+		cp[d+i] = -kxr[d+i+1] * m
+		dp[d+i] = (rr[d+i] - a*dp[d+i-1]) * m
+	}
+	zr[d+nx-1] = dp[d+nx-1]
+	for i := nx - 2; i >= 0; i-- {
+		zr[d+i] = dp[d+i] - cp[d+i]*zr[d+i+1]
+	}
+}
+
+func (rs *rankState) cgInitP(precond bool) float64 {
+	return rs.reduceRows(0, rs.ny, func(j int) float64 {
+		var rro float64
+		rr := rs.r.InteriorRow(j)
+		pr := rs.p.InteriorRow(j)
+		src := rr
+		if precond {
+			src = rs.z.InteriorRow(j)
+		}
+		for i := range pr {
+			pr[i] = src[i]
+			rro += rr[i] * src[i]
+		}
+		return rro
+	})
+}
+
+func (rs *rankState) cgCalcW() float64 {
+	return rs.reduceRows(0, rs.ny, func(j int) float64 {
+		rs.applyOperatorRow(rs.w, rs.p, j)
+		var pw float64
+		pr := rs.p.InteriorRow(j)
+		wr := rs.w.InteriorRow(j)
+		for i := range pr {
+			pw += pr[i] * wr[i]
+		}
+		return pw
+	})
+}
+
+func (rs *rankState) cgCalcUR(alpha float64, precond bool) float64 {
+	rrn := rs.reduceRows(0, rs.ny, func(j int) float64 {
+		var s float64
+		ur := rs.u.InteriorRow(j)
+		pr := rs.p.InteriorRow(j)
+		rr := rs.r.InteriorRow(j)
+		wr := rs.w.InteriorRow(j)
+		for i := range rr {
+			ur[i] += alpha * pr[i]
+			rr[i] -= alpha * wr[i]
+		}
+		if !precond {
+			for i := range rr {
+				s += rr[i] * rr[i]
+			}
+		}
+		return s
+	})
+	if precond {
+		rs.applyPrecond()
+		return rs.dotRZ()
+	}
+	return rrn
+}
+
+func (rs *rankState) cgCalcP(beta float64, precond bool) {
+	rs.forRows(0, rs.ny, func(j int) {
+		pr := rs.p.InteriorRow(j)
+		src := rs.r.InteriorRow(j)
+		if precond {
+			src = rs.z.InteriorRow(j)
+		}
+		for i := range pr {
+			pr[i] = src[i] + beta*pr[i]
+		}
+	})
+}
+
+func (rs *rankState) jacobiCopyU() {
+	rs.forRows(-2, rs.ny+2, func(j int) {
+		copy(rs.un.Row(j), rs.u.Row(j))
+	})
+}
+
+func (rs *rankState) jacobiIterate() float64 {
+	d := rs.u.Depth
+	return rs.reduceRows(0, rs.ny, func(j int) float64 {
+		var errSum float64
+		unr := rs.un.Row(j)
+		unu := rs.un.Row(j + 1)
+		und := rs.un.Row(j - 1)
+		u0r := rs.u0.Row(j)
+		kxr := rs.kx.Row(j)
+		kyr := rs.ky.Row(j)
+		kyu := rs.ky.Row(j + 1)
+		ur := rs.u.Row(j)
+		for i := 0; i < rs.nx; i++ {
+			ii := d + i
+			num := u0r[ii] +
+				kxr[ii+1]*unr[ii+1] + kxr[ii]*unr[ii-1] +
+				kyu[ii]*unu[ii] + kyr[ii]*und[ii]
+			den := 1 + kxr[ii+1] + kxr[ii] + kyu[ii] + kyr[ii]
+			ur[ii] = num / den
+			dv := ur[ii] - unr[ii]
+			if dv < 0 {
+				dv = -dv
+			}
+			errSum += dv
+		}
+		return errSum
+	})
+}
+
+func (rs *rankState) chebyInit(theta float64, precond bool) {
+	rs.forRows(0, rs.ny, func(j int) {
+		src := rs.r.InteriorRow(j)
+		if precond {
+			src = rs.z.InteriorRow(j)
+		}
+		sdr := rs.sd.InteriorRow(j)
+		ur := rs.u.InteriorRow(j)
+		for i := range sdr {
+			sdr[i] = src[i] / theta
+			ur[i] += sdr[i]
+		}
+	})
+}
+
+func (rs *rankState) chebyIterate(alpha, beta float64, precond bool) {
+	rs.forRows(0, rs.ny, func(j int) {
+		rs.applyOperatorRow(rs.w, rs.sd, j)
+		rr := rs.r.InteriorRow(j)
+		wr := rs.w.InteriorRow(j)
+		for i := range rr {
+			rr[i] -= wr[i]
+		}
+	})
+	if precond {
+		rs.applyPrecond()
+	}
+	rs.forRows(0, rs.ny, func(j int) {
+		src := rs.r.InteriorRow(j)
+		if precond {
+			src = rs.z.InteriorRow(j)
+		}
+		sdr := rs.sd.InteriorRow(j)
+		ur := rs.u.InteriorRow(j)
+		for i := range sdr {
+			sdr[i] = alpha*sdr[i] + beta*src[i]
+			ur[i] += sdr[i]
+		}
+	})
+}
+
+func (rs *rankState) ppcgInitInner(theta float64) {
+	rs.forRows(0, rs.ny, func(j int) {
+		rr := rs.r.InteriorRow(j)
+		rt := rs.rtemp.InteriorRow(j)
+		zr := rs.z.InteriorRow(j)
+		sdr := rs.sd.InteriorRow(j)
+		for i := range rr {
+			rt[i] = rr[i]
+			zr[i] = 0
+			sdr[i] = rr[i] / theta
+		}
+	})
+}
+
+func (rs *rankState) ppcgInnerIterate(alpha, beta float64) {
+	// Two phases: the stencil must see the previous sd everywhere before
+	// any row rewrites it.
+	rs.forRows(0, rs.ny, func(j int) {
+		rs.applyOperatorRow(rs.w, rs.sd, j)
+	})
+	rs.forRows(0, rs.ny, func(j int) {
+		zr := rs.z.InteriorRow(j)
+		sdr := rs.sd.InteriorRow(j)
+		rt := rs.rtemp.InteriorRow(j)
+		wr := rs.w.InteriorRow(j)
+		for i := range sdr {
+			zr[i] += sdr[i]
+			rt[i] -= wr[i]
+			sdr[i] = alpha*sdr[i] + beta*rt[i]
+		}
+	})
+}
+
+func (rs *rankState) ppcgFinishInner() {
+	rs.forRows(0, rs.ny, func(j int) {
+		zr := rs.z.InteriorRow(j)
+		sdr := rs.sd.InteriorRow(j)
+		for i := range zr {
+			zr[i] += sdr[i]
+		}
+	})
+}
+
+func (rs *rankState) solveFinalise() {
+	rs.forRows(0, rs.ny, func(j int) {
+		ur := rs.u.InteriorRow(j)
+		dr := rs.density.InteriorRow(j)
+		er := rs.energy1.InteriorRow(j)
+		for i := range er {
+			er[i] = ur[i] / dr[i]
+		}
+	})
+}
+
+// Field-gather tags live above the halo-exchange tag space.
+const (
+	tagFetchMeta = 100000 + iota
+	tagFetchData
+)
+
+// fetchField gathers the named field's interior onto rank 0 in global
+// row-major order; other ranks return nil.
+func (rs *rankState) fetchField(id driver.FieldID) []float64 {
+	f := rs.fieldsByID[id]
+	local := make([]float64, 0, rs.nx*rs.ny)
+	for j := 0; j < rs.ny; j++ {
+		local = append(local, f.InteriorRow(j)...)
+	}
+	if rs.rank.ID() != 0 {
+		rs.rank.Send(0, tagFetchMeta, []float64{
+			float64(rs.chunk.X0), float64(rs.chunk.Y0), float64(rs.nx), float64(rs.ny),
+		})
+		rs.rank.Send(0, tagFetchData, local)
+		return nil
+	}
+	out := make([]float64, rs.gnx*rs.gny)
+	place := func(x0, y0, nx, ny int, data []float64) {
+		for j := 0; j < ny; j++ {
+			copy(out[(y0+j)*rs.gnx+x0:(y0+j)*rs.gnx+x0+nx], data[j*nx:(j+1)*nx])
+		}
+	}
+	place(rs.chunk.X0, rs.chunk.Y0, rs.nx, rs.ny, local)
+	for r := 1; r < rs.rank.Size(); r++ {
+		meta := rs.rank.Recv(r, tagFetchMeta)
+		data := rs.rank.Recv(r, tagFetchData)
+		place(int(meta[0]), int(meta[1]), int(meta[2]), int(meta[3]), data)
+	}
+	return out
+}

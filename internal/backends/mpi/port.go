@@ -1,0 +1,254 @@
+// Package mpi is the distributed-memory TeaLeaf port, the analogue of the
+// mini-app's reference MPI (and hybrid MPI+OpenMP) build: the mesh is
+// decomposed into one chunk per rank, ranks run SPMD on the message-passing
+// runtime (internal/comm), halos are exchanged with eager sends, and
+// reductions are MPI-style allreduces. Each rank may additionally
+// parallelise its kernels over a thread team, giving the paper's
+// "OpenMP and MPI" version.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/comm"
+	"github.com/warwick-hpsc/tealeaf-go/internal/config"
+	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
+	"github.com/warwick-hpsc/tealeaf-go/internal/grid"
+	"github.com/warwick-hpsc/tealeaf-go/internal/par"
+)
+
+// Port drives a world of ranks from the single-threaded driver: every
+// kernel call broadcasts a command all ranks execute SPMD. Rank goroutines
+// persist for the port's lifetime, like MPI processes.
+type Port struct {
+	name    string
+	nranks  int
+	threads int
+
+	world *comm.World
+	cmds  []chan func(*rankState)
+	calls sync.WaitGroup // outstanding rank executions of the current call
+
+	resF chan float64
+	resT chan driver.Totals
+	resE chan error
+
+	runDone chan struct{}
+	closed  bool
+}
+
+var _ driver.Kernels = (*Port)(nil)
+
+// New creates the port with the given rank count and threads per rank.
+// threads <= 1 is the pure-MPI build; threads > 1 the hybrid build.
+func New(ranks, threads int) *Port {
+	if ranks <= 0 {
+		panic(fmt.Sprintf("mpi: rank count must be positive, got %d", ranks))
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	name := "manual-mpi"
+	if threads > 1 {
+		name = "manual-mpi-omp"
+	}
+	p := &Port{
+		name:    name,
+		nranks:  ranks,
+		threads: threads,
+		world:   comm.NewWorld(ranks),
+		cmds:    make([]chan func(*rankState), ranks),
+		resF:    make(chan float64, 1),
+		resT:    make(chan driver.Totals, 1),
+		resE:    make(chan error, 1),
+		runDone: make(chan struct{}),
+	}
+	for i := range p.cmds {
+		p.cmds[i] = make(chan func(*rankState), 1)
+	}
+	go func() {
+		p.world.Run(func(r *comm.Rank) {
+			rs := &rankState{port: p, rank: r}
+			if threads > 1 {
+				rs.team = par.NewTeam(threads)
+				defer rs.team.Close()
+			}
+			for fn := range p.cmds[r.ID()] {
+				fn(rs)
+			}
+		})
+		close(p.runDone)
+	}()
+	return p
+}
+
+// Name implements driver.Kernels.
+func (p *Port) Name() string { return p.name }
+
+// Ranks returns the world size, for reporting.
+func (p *Port) Ranks() int { return p.nranks }
+
+// Threads returns the per-rank team width, for reporting.
+func (p *Port) Threads() int { return p.threads }
+
+// do runs fn on every rank and waits for all of them to finish.
+func (p *Port) do(fn func(rs *rankState)) {
+	p.calls.Add(p.nranks)
+	for _, ch := range p.cmds {
+		ch <- func(rs *rankState) {
+			fn(rs)
+			p.calls.Done()
+		}
+	}
+	p.calls.Wait()
+}
+
+// doReduce runs fn on every rank, allreduces the per-rank partials and
+// returns the global sum (identical on every rank; rank 0 reports it).
+func (p *Port) doReduce(fn func(rs *rankState) float64) float64 {
+	p.do(func(rs *rankState) {
+		global := rs.rank.AllreduceSum(fn(rs))
+		if rs.rank.ID() == 0 {
+			p.resF <- global
+		}
+	})
+	return <-p.resF
+}
+
+// Generate implements driver.Kernels: decompose the mesh, then generate
+// each rank's chunk from its physically-offset sub-mesh.
+func (p *Port) Generate(m *grid.Mesh, states []config.State) error {
+	cart := comm.Decompose(p.nranks, m.Nx, m.Ny)
+	p.do(func(rs *rankState) {
+		ch := cart.ChunkOf(rs.rank.ID(), m.Nx, m.Ny)
+		err := rs.init(m, ch, states)
+		if rs.rank.ID() == 0 {
+			p.resE <- err
+		}
+	})
+	return <-p.resE
+}
+
+// SetField implements driver.Kernels.
+func (p *Port) SetField() { p.do((*rankState).setField) }
+
+// ResetField implements driver.Kernels.
+func (p *Port) ResetField() { p.do((*rankState).resetField) }
+
+// FieldSummary implements driver.Kernels.
+func (p *Port) FieldSummary() driver.Totals {
+	p.do(func(rs *rankState) {
+		local := rs.fieldSummary()
+		global := rs.rank.AllreduceVec([]float64{
+			local.Volume, local.Mass, local.InternalEnergy, local.Temperature,
+		})
+		if rs.rank.ID() == 0 {
+			p.resT <- driver.Totals{
+				Volume:         global[0],
+				Mass:           global[1],
+				InternalEnergy: global[2],
+				Temperature:    global[3],
+			}
+		}
+	})
+	return <-p.resT
+}
+
+// HaloExchange implements driver.Kernels.
+func (p *Port) HaloExchange(fields []driver.FieldID, depth int) {
+	p.do(func(rs *rankState) { rs.haloExchange(fields, depth) })
+}
+
+// SolveInit implements driver.Kernels.
+func (p *Port) SolveInit(coef config.Coefficient, rx, ry float64, precond config.Preconditioner) {
+	p.do(func(rs *rankState) { rs.solveInit(coef, rx, ry, precond) })
+}
+
+// SolveFinalise implements driver.Kernels.
+func (p *Port) SolveFinalise() { p.do((*rankState).solveFinalise) }
+
+// CalcResidual implements driver.Kernels.
+func (p *Port) CalcResidual() { p.do((*rankState).calcResidual) }
+
+// Norm2R implements driver.Kernels.
+func (p *Port) Norm2R() float64 { return p.doReduce((*rankState).norm2R) }
+
+// DotRZ implements driver.Kernels.
+func (p *Port) DotRZ() float64 { return p.doReduce((*rankState).dotRZ) }
+
+// ApplyPrecond implements driver.Kernels.
+func (p *Port) ApplyPrecond() { p.do((*rankState).applyPrecond) }
+
+// CGInitP implements driver.Kernels.
+func (p *Port) CGInitP(precond bool) float64 {
+	return p.doReduce(func(rs *rankState) float64 { return rs.cgInitP(precond) })
+}
+
+// CGCalcW implements driver.Kernels.
+func (p *Port) CGCalcW() float64 {
+	return p.doReduce((*rankState).cgCalcW)
+}
+
+// CGCalcUR implements driver.Kernels.
+func (p *Port) CGCalcUR(alpha float64, precond bool) float64 {
+	return p.doReduce(func(rs *rankState) float64 { return rs.cgCalcUR(alpha, precond) })
+}
+
+// CGCalcP implements driver.Kernels.
+func (p *Port) CGCalcP(beta float64, precond bool) {
+	p.do(func(rs *rankState) { rs.cgCalcP(beta, precond) })
+}
+
+// JacobiCopyU implements driver.Kernels.
+func (p *Port) JacobiCopyU() { p.do((*rankState).jacobiCopyU) }
+
+// JacobiIterate implements driver.Kernels.
+func (p *Port) JacobiIterate() float64 { return p.doReduce((*rankState).jacobiIterate) }
+
+// ChebyInit implements driver.Kernels.
+func (p *Port) ChebyInit(theta float64, precond bool) {
+	p.do(func(rs *rankState) { rs.chebyInit(theta, precond) })
+}
+
+// ChebyIterate implements driver.Kernels.
+func (p *Port) ChebyIterate(alpha, beta float64, precond bool) {
+	p.do(func(rs *rankState) { rs.chebyIterate(alpha, beta, precond) })
+}
+
+// PPCGInitInner implements driver.Kernels.
+func (p *Port) PPCGInitInner(theta float64) {
+	p.do(func(rs *rankState) { rs.ppcgInitInner(theta) })
+}
+
+// PPCGInnerIterate implements driver.Kernels.
+func (p *Port) PPCGInnerIterate(alpha, beta float64) {
+	p.do(func(rs *rankState) { rs.ppcgInnerIterate(alpha, beta) })
+}
+
+// PPCGFinishInner implements driver.Kernels.
+func (p *Port) PPCGFinishInner() { p.do((*rankState).ppcgFinishInner) }
+
+// FetchField implements driver.Kernels: gather the chunks onto rank 0 and
+// return the assembled global field.
+func (p *Port) FetchField(id driver.FieldID) []float64 {
+	res := make(chan []float64, 1)
+	p.do(func(rs *rankState) {
+		if out := rs.fetchField(id); out != nil {
+			res <- out
+		}
+	})
+	return <-res
+}
+
+// Close implements driver.Kernels: shut down the rank goroutines.
+func (p *Port) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	for _, ch := range p.cmds {
+		close(ch)
+	}
+	<-p.runDone
+}

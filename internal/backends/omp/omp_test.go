@@ -1,0 +1,30 @@
+package omp
+
+import (
+	"testing"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/backends/backendtest"
+	"github.com/warwick-hpsc/tealeaf-go/internal/config"
+	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
+)
+
+func TestConformance(t *testing.T) {
+	backendtest.Conformance(t, func() driver.Kernels { return New(4) })
+}
+
+func TestSingleThread(t *testing.T) {
+	backendtest.Conformance(t, func() driver.Kernels { return New(1) })
+}
+
+// TestThreadCountInvariance: the physics must not depend on the team width.
+func TestThreadCountInvariance(t *testing.T) {
+	cfg := config.BenchmarkN(20)
+	cfg.EndStep = 2
+	base := backendtest.Run(t, func() driver.Kernels { return New(1) }, cfg)
+	for _, n := range []int{2, 3, 5, 8} {
+		got := backendtest.Run(t, func() driver.Kernels { return New(n) }, cfg)
+		if d := driver.CompareTotals(base.Final, got.Final); d > 1e-9 {
+			t.Errorf("%d threads: totals diverge by %g", n, d)
+		}
+	}
+}

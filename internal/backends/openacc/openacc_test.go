@@ -1,0 +1,51 @@
+package openacc
+
+import (
+	"testing"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/backends/backendtest"
+	"github.com/warwick-hpsc/tealeaf-go/internal/config"
+	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
+)
+
+func TestConformanceHost(t *testing.T) {
+	backendtest.Conformance(t, func() driver.Kernels { return New(TargetHost, 4) })
+}
+
+func TestConformanceDevice(t *testing.T) {
+	backendtest.Conformance(t, func() driver.Kernels { return New(TargetDevice, 4) })
+}
+
+// TestTargetsAgree: the single-source property — the same kernels must give
+// identical physics on both targets.
+func TestTargetsAgree(t *testing.T) {
+	cfg := config.BenchmarkN(20)
+	cfg.EndStep = 2
+	host := backendtest.Run(t, func() driver.Kernels { return New(TargetHost, 3) }, cfg)
+	dev := backendtest.Run(t, func() driver.Kernels { return New(TargetDevice, 5) }, cfg)
+	if d := driver.CompareTotals(host.Final, dev.Final); d > 1e-9 {
+		t.Errorf("targets disagree by %g", d)
+	}
+}
+
+// TestDeviceAccounting: the device target must charge data-region traffic
+// and count offloaded regions; the host target must not.
+func TestDeviceAccounting(t *testing.T) {
+	cfg := config.BenchmarkN(16)
+	cfg.EndStep = 1
+	k := New(TargetDevice, 2)
+	res := backendtest.Run(t, func() driver.Kernels { return k }, cfg)
+	st := k.Stats()
+	if st.BytesIn == 0 {
+		t.Error("device target charged no copyin traffic")
+	}
+	if st.Regions < int64(res.TotalIterations) {
+		t.Errorf("expected at least one region per iteration, got %d for %d iterations",
+			st.Regions, res.TotalIterations)
+	}
+	kh := New(TargetHost, 2)
+	backendtest.Run(t, func() driver.Kernels { return kh }, cfg)
+	if kh.Stats().BytesIn != 0 {
+		t.Error("host target charged copyin traffic")
+	}
+}

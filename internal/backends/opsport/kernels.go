@@ -1,0 +1,685 @@
+package opsport
+
+import (
+	"fmt"
+	"github.com/warwick-hpsc/tealeaf-go/internal/comm"
+	"github.com/warwick-hpsc/tealeaf-go/internal/config"
+	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
+	"github.com/warwick-hpsc/tealeaf-go/internal/grid"
+	"github.com/warwick-hpsc/tealeaf-go/internal/ops"
+	"github.com/warwick-hpsc/tealeaf-go/internal/state"
+)
+
+// Stencils of the TeaLeaf kernels, declared once like the generated OPS
+// code does.
+var (
+	sPoint = ops.S2D00
+	s5pt   = ops.S2D5pt
+	// sKxOp/sKyOp: the operator reads each face coefficient at the cell and
+	// its +1 face.
+	sKxOp = ops.S2D00P10
+	sKyOp = ops.S2D00_0P1
+	// sWFace: the coefficient kernel reads the cell and its -1 neighbours.
+	sWFace = ops.NewStencil("w_faces", [2]int{0, 0}, [2]int{-1, 0}, [2]int{0, -1})
+)
+
+// rankState is one rank's OPS context, block and dats.
+type rankState struct {
+	port     *Port
+	rank     *comm.Rank
+	ctx      *ops.Context
+	chunk    comm.Chunk
+	mesh     *grid.Mesh
+	nx, ny   int
+	gnx, gny int // global extent for field gathers
+	precond  config.Preconditioner
+	block    *ops.Block
+
+	density, energy0, energy1 *ops.Dat
+	u, u0                     *ops.Dat
+	p, r, w, z, sd, mi        *ops.Dat
+	kx, ky                    *ops.Dat
+	un, rtemp, tcp, tdp       *ops.Dat
+	byID                      [driver.NumFields]*ops.Dat
+}
+
+func (rs *rankState) init(global *grid.Mesh, ch comm.Chunk, states []config.State) error {
+	rs.chunk = ch
+	rs.gnx, rs.gny = global.Nx, global.Ny
+	rs.mesh = global.Sub(ch.X0, ch.Y0, ch.NX, ch.NY)
+	rs.nx, rs.ny = ch.NX, ch.NY
+	rs.block = rs.ctx.DeclBlock("tea", rs.nx, rs.ny)
+	decl := func(name string) *ops.Dat { return rs.block.DeclDat(name, grid.DefaultHalo) }
+	rs.density, rs.energy0, rs.energy1 = decl("density"), decl("energy0"), decl("energy1")
+	rs.u, rs.u0 = decl("u"), decl("u0")
+	rs.p, rs.r, rs.w = decl("p"), decl("r"), decl("w")
+	rs.z, rs.sd, rs.mi = decl("z"), decl("sd"), decl("mi")
+	rs.kx, rs.ky = decl("kx"), decl("ky")
+	rs.un, rs.rtemp = decl("un"), decl("rtemp")
+	rs.tcp, rs.tdp = decl("tcp"), decl("tdp")
+	rs.byID = [driver.NumFields]*ops.Dat{
+		driver.FieldDensity: rs.density,
+		driver.FieldEnergy0: rs.energy0,
+		driver.FieldEnergy1: rs.energy1,
+		driver.FieldU:       rs.u,
+		driver.FieldU0:      rs.u0,
+		driver.FieldP:       rs.p,
+		driver.FieldR:       rs.r,
+		driver.FieldW:       rs.w,
+		driver.FieldZ:       rs.z,
+		driver.FieldSD:      rs.sd,
+		driver.FieldKx:      rs.kx,
+		driver.FieldKy:      rs.ky,
+	}
+	// generate_chunk as a ParLoop with an index argument (ops_arg_idx):
+	// state containment is evaluated per point in the kernel, so the
+	// initial condition is computed by whichever backend runs the loops —
+	// on the CUDA backend it never touches the host at all.
+	if len(states) == 0 || states[0].Index != 1 {
+		return fmt.Errorf("opsport: the first state must be state 1 (the background)")
+	}
+	mesh := rs.mesh
+	rs.ctx.ParLoop("generate_chunk", rs.block, rs.fullRange(),
+		[]ops.Arg{
+			ops.ArgIdx(),
+			ops.ArgDat(rs.density, sPoint, ops.Write),
+			ops.ArgDat(rs.energy0, sPoint, ops.Write),
+		},
+		func(a []*ops.Acc, _ []float64) {
+			i, j := a[0].I, a[0].J
+			d, e := states[0].Density, states[0].Energy
+			for _, st := range states[1:] {
+				if state.Contains(st, mesh, i, j) {
+					d, e = st.Density, st.Energy
+				}
+			}
+			a[1].Set(0, 0, d)
+			a[2].Set(0, 0, e)
+		})
+	rs.ctx.Flush()
+	return nil
+}
+
+func (rs *rankState) interior() ops.Range { return ops.Range{XLo: 0, XHi: rs.nx, YLo: 0, YHi: rs.ny} }
+
+func (rs *rankState) fullRange() ops.Range {
+	return ops.Range{XLo: -2, XHi: rs.nx + 2, YLo: -2, YHi: rs.ny + 2}
+}
+
+func (rs *rankState) setField() {
+	rs.ctx.ParLoop("set_field", rs.block, rs.fullRange(),
+		[]ops.Arg{ops.ArgDat(rs.energy0, sPoint, ops.Read), ops.ArgDat(rs.energy1, sPoint, ops.Write)},
+		func(a []*ops.Acc, _ []float64) { a[1].Set(0, 0, a[0].Get(0, 0)) })
+}
+
+func (rs *rankState) resetField() {
+	rs.ctx.ParLoop("reset_field", rs.block, rs.fullRange(),
+		[]ops.Arg{ops.ArgDat(rs.energy1, sPoint, ops.Read), ops.ArgDat(rs.energy0, sPoint, ops.Write)},
+		func(a []*ops.Acc, _ []float64) { a[1].Set(0, 0, a[0].Get(0, 0)) })
+}
+
+func (rs *rankState) fieldSummary() driver.Totals {
+	vol := rs.mesh.CellVolume()
+	red := rs.ctx.ParLoopRed("field_summary", rs.block, rs.interior(), 4,
+		[]ops.Arg{
+			ops.ArgDat(rs.density, sPoint, ops.Read),
+			ops.ArgDat(rs.energy0, sPoint, ops.Read),
+			ops.ArgDat(rs.u, sPoint, ops.Read),
+		},
+		func(a []*ops.Acc, red []float64) {
+			d := a[0].Get(0, 0)
+			red[0] += vol
+			red[1] += d * vol
+			red[2] += d * a[1].Get(0, 0) * vol
+			red[3] += a[2].Get(0, 0) * vol
+		})
+	return driver.Totals{Volume: red[0], Mass: red[1], InternalEnergy: red[2], Temperature: red[3]}
+}
+
+// --- halo exchange ----------------------------------------------------------
+
+const (
+	dirWest = iota
+	dirEast
+	dirSouth
+	dirNorth
+	numDirs
+)
+
+func tag(fid driver.FieldID, dir int) int { return int(fid)*numDirs + dir }
+
+func (rs *rankState) haloExchange(fields []driver.FieldID, depth int) {
+	// Packing reads dats on the host, so any deferred loops must land
+	// before a rank with neighbours exchanges. A single-chunk run's
+	// reflective boundary is pure ParLoops, so it stays queueable and a
+	// tiled context can fuse across whole solver iterations.
+	ch := rs.chunk
+	hasNeighbour := ch.Left >= 0 || ch.Right >= 0 || ch.Down >= 0 || ch.Up >= 0
+	if hasNeighbour {
+		rs.ctx.Flush()
+	}
+	for _, id := range fields {
+		rs.exchangeDat(rs.byID[id], id, depth, hasNeighbour)
+	}
+}
+
+func (rs *rankState) exchangeDat(d *ops.Dat, fid driver.FieldID, depth int, hasNeighbour bool) {
+	nx, ny := rs.nx, rs.ny
+	ch := rs.chunk
+	// X phase between ranks (host-resident backends only reach here with
+	// neighbours; the CUDA variant is single-chunk).
+	if ch.Left >= 0 {
+		rs.rank.Send(ch.Left, tag(fid, dirWest), rs.packCols(d, 0, depth))
+	}
+	if ch.Right >= 0 {
+		rs.rank.Send(ch.Right, tag(fid, dirEast), rs.packCols(d, nx-depth, depth))
+	}
+	if ch.Left >= 0 {
+		rs.unpackCols(d, -depth, depth, rs.rank.Recv(ch.Left, tag(fid, dirEast)))
+	} else {
+		rs.reflectX(d, depth, true)
+	}
+	if ch.Right >= 0 {
+		rs.unpackCols(d, nx, depth, rs.rank.Recv(ch.Right, tag(fid, dirWest)))
+	} else {
+		rs.reflectX(d, depth, false)
+	}
+	if hasNeighbour {
+		rs.ctx.Flush() // reflective loops must land before the y-phase packs
+	}
+	// Y phase over the full width so corners carry diagonal data.
+	if ch.Down >= 0 {
+		rs.rank.Send(ch.Down, tag(fid, dirSouth), rs.packRows(d, 0, depth))
+	}
+	if ch.Up >= 0 {
+		rs.rank.Send(ch.Up, tag(fid, dirNorth), rs.packRows(d, ny-depth, depth))
+	}
+	if ch.Down >= 0 {
+		rs.unpackRows(d, -depth, depth, rs.rank.Recv(ch.Down, tag(fid, dirNorth)))
+	} else {
+		rs.reflectY(d, depth, true)
+	}
+	if ch.Up >= 0 {
+		rs.unpackRows(d, ny, depth, rs.rank.Recv(ch.Up, tag(fid, dirSouth)))
+	} else {
+		rs.reflectY(d, depth, false)
+	}
+}
+
+// reflectX mirrors depth layers at the left (low=true) or right physical
+// boundary, one ParLoop per layer so the boundary code is itself
+// backend-portable (and device-resident on CUDA).
+func (rs *rankState) reflectX(d *ops.Dat, depth int, low bool) {
+	for k := 1; k <= depth; k++ {
+		off := 2*k - 1
+		if low {
+			st := ops.NewStencil("mirror_xl", [2]int{0, 0}, [2]int{off, 0})
+			rs.ctx.ParLoop("halo_left", rs.block, ops.Range{XLo: -k, XHi: -k + 1, YLo: 0, YHi: rs.ny},
+				[]ops.Arg{ops.ArgDat(d, st, ops.RW)},
+				func(a []*ops.Acc, _ []float64) { a[0].Set(0, 0, a[0].Get(off, 0)) })
+		} else {
+			st := ops.NewStencil("mirror_xr", [2]int{0, 0}, [2]int{-off, 0})
+			rs.ctx.ParLoop("halo_right", rs.block, ops.Range{XLo: rs.nx - 1 + k, XHi: rs.nx + k, YLo: 0, YHi: rs.ny},
+				[]ops.Arg{ops.ArgDat(d, st, ops.RW)},
+				func(a []*ops.Acc, _ []float64) { a[0].Set(0, 0, a[0].Get(-off, 0)) })
+		}
+	}
+}
+
+func (rs *rankState) reflectY(d *ops.Dat, depth int, low bool) {
+	wide := ops.Range{XLo: -depth, XHi: rs.nx + depth}
+	for k := 1; k <= depth; k++ {
+		off := 2*k - 1
+		if low {
+			st := ops.NewStencil("mirror_yl", [2]int{0, 0}, [2]int{0, off})
+			r := wide
+			r.YLo, r.YHi = -k, -k+1
+			rs.ctx.ParLoop("halo_bottom", rs.block, r,
+				[]ops.Arg{ops.ArgDat(d, st, ops.RW)},
+				func(a []*ops.Acc, _ []float64) { a[0].Set(0, 0, a[0].Get(0, off)) })
+		} else {
+			st := ops.NewStencil("mirror_yr", [2]int{0, 0}, [2]int{0, -off})
+			r := wide
+			r.YLo, r.YHi = rs.ny-1+k, rs.ny+k
+			rs.ctx.ParLoop("halo_top", rs.block, r,
+				[]ops.Arg{ops.ArgDat(d, st, ops.RW)},
+				func(a []*ops.Acc, _ []float64) { a[0].Set(0, 0, a[0].Get(0, -off)) })
+		}
+	}
+}
+
+func (rs *rankState) packCols(d *ops.Dat, i0, w int) []float64 {
+	buf := make([]float64, 0, w*rs.ny)
+	for j := 0; j < rs.ny; j++ {
+		for k := 0; k < w; k++ {
+			buf = append(buf, d.At(i0+k, j))
+		}
+	}
+	return buf
+}
+
+func (rs *rankState) unpackCols(d *ops.Dat, i0, w int, buf []float64) {
+	n := 0
+	for j := 0; j < rs.ny; j++ {
+		for k := 0; k < w; k++ {
+			d.Set(i0+k, j, buf[n])
+			n++
+		}
+	}
+}
+
+func (rs *rankState) packRows(d *ops.Dat, j0, h int) []float64 {
+	depth := d.Depth()
+	buf := make([]float64, 0, h*(rs.nx+2*depth))
+	for k := 0; k < h; k++ {
+		for i := -depth; i < rs.nx+depth; i++ {
+			buf = append(buf, d.At(i, j0+k))
+		}
+	}
+	return buf
+}
+
+func (rs *rankState) unpackRows(d *ops.Dat, j0, h int, buf []float64) {
+	depth := d.Depth()
+	n := 0
+	for k := 0; k < h; k++ {
+		for i := -depth; i < rs.nx+depth; i++ {
+			d.Set(i, j0+k, buf[n])
+			n++
+		}
+	}
+}
+
+// --- solver kernels (one source for every variant) --------------------------
+
+func (rs *rankState) solveInit(coef config.Coefficient, rx, ry float64, precond config.Preconditioner) {
+	rs.precond = precond
+	recip := coef == config.RecipConductivity
+	rs.ctx.ParLoop("tea_leaf_init", rs.block, rs.fullRange(),
+		[]ops.Arg{
+			ops.ArgDat(rs.density, sPoint, ops.Read),
+			ops.ArgDat(rs.energy1, sPoint, ops.Read),
+			ops.ArgDat(rs.u, sPoint, ops.Write),
+			ops.ArgDat(rs.u0, sPoint, ops.Write),
+			ops.ArgDat(rs.w, sPoint, ops.Write),
+		},
+		func(a []*ops.Acc, _ []float64) {
+			d := a[0].Get(0, 0)
+			u := a[1].Get(0, 0) * d
+			a[2].Set(0, 0, u)
+			a[3].Set(0, 0, u)
+			if recip {
+				a[4].Set(0, 0, 1/d)
+			} else {
+				a[4].Set(0, 0, d)
+			}
+		})
+	ring := ops.Range{XLo: -1, XHi: rs.nx + 1, YLo: -1, YHi: rs.ny + 1}
+	rs.ctx.ParLoop("tea_leaf_init_kx_ky", rs.block, ring,
+		[]ops.Arg{
+			ops.ArgDat(rs.w, sWFace, ops.Read),
+			ops.ArgDat(rs.kx, sPoint, ops.Write),
+			ops.ArgDat(rs.ky, sPoint, ops.Write),
+		},
+		func(a []*ops.Acc, _ []float64) {
+			w0 := a[0].Get(0, 0)
+			wl := a[0].Get(-1, 0)
+			wd := a[0].Get(0, -1)
+			a[1].Set(0, 0, rx*(wl+w0)/(2*wl*w0))
+			a[2].Set(0, 0, ry*(wd+w0)/(2*wd*w0))
+		})
+	rs.calcResidual()
+	if precond == config.PrecondJacDiag {
+		rs.ctx.ParLoop("tea_leaf_init_mi", rs.block, rs.interior(),
+			[]ops.Arg{
+				ops.ArgDat(rs.kx, sKxOp, ops.Read),
+				ops.ArgDat(rs.ky, sKyOp, ops.Read),
+				ops.ArgDat(rs.mi, sPoint, ops.Write),
+			},
+			func(a []*ops.Acc, _ []float64) {
+				a[2].Set(0, 0, 1/(1+a[0].Get(1, 0)+a[0].Get(0, 0)+a[1].Get(0, 1)+a[1].Get(0, 0)))
+			})
+	}
+	if precond != config.PrecondNone {
+		rs.applyPrecond()
+	}
+}
+
+// operatorArgs are the common arguments of every A-application kernel.
+func (rs *rankState) operatorArgs(src *ops.Dat) []ops.Arg {
+	return []ops.Arg{
+		ops.ArgDat(src, s5pt, ops.Read),
+		ops.ArgDat(rs.kx, sKxOp, ops.Read),
+		ops.ArgDat(rs.ky, sKyOp, ops.Read),
+	}
+}
+
+// applyA evaluates (A src) at the current point given the operator accs.
+func applyA(a []*ops.Acc) float64 {
+	kx1, kx0 := a[1].Get(1, 0), a[1].Get(0, 0)
+	ky1, ky0 := a[2].Get(0, 1), a[2].Get(0, 0)
+	return (1+kx1+kx0+ky1+ky0)*a[0].Get(0, 0) -
+		(kx1*a[0].Get(1, 0) + kx0*a[0].Get(-1, 0)) -
+		(ky1*a[0].Get(0, 1) + ky0*a[0].Get(0, -1))
+}
+
+func (rs *rankState) calcResidual() {
+	args := append(rs.operatorArgs(rs.u),
+		ops.ArgDat(rs.u0, sPoint, ops.Read),
+		ops.ArgDat(rs.r, sPoint, ops.Write))
+	rs.ctx.ParLoop("tea_leaf_residual", rs.block, rs.interior(), args,
+		func(a []*ops.Acc, _ []float64) {
+			a[4].Set(0, 0, a[3].Get(0, 0)-applyA(a))
+		})
+}
+
+func (rs *rankState) norm2R() float64 {
+	red := rs.ctx.ParLoopRed("norm2_r", rs.block, rs.interior(), 1,
+		[]ops.Arg{ops.ArgDat(rs.r, sPoint, ops.Read)},
+		func(a []*ops.Acc, red []float64) {
+			v := a[0].Get(0, 0)
+			red[0] += v * v
+		})
+	return red[0]
+}
+
+func (rs *rankState) dotRZ() float64 {
+	red := rs.ctx.ParLoopRed("dot_rz", rs.block, rs.interior(), 1,
+		[]ops.Arg{ops.ArgDat(rs.r, sPoint, ops.Read), ops.ArgDat(rs.z, sPoint, ops.Read)},
+		func(a []*ops.Acc, red []float64) {
+			red[0] += a[0].Get(0, 0) * a[1].Get(0, 0)
+		})
+	return red[0]
+}
+
+func (rs *rankState) applyPrecond() {
+	if rs.precond == config.PrecondJacBlock {
+		rs.blockSolve()
+		return
+	}
+	rs.ctx.ParLoop("apply_precond", rs.block, rs.interior(),
+		[]ops.Arg{
+			ops.ArgDat(rs.mi, sPoint, ops.Read),
+			ops.ArgDat(rs.r, sPoint, ops.Read),
+			ops.ArgDat(rs.z, sPoint, ops.Write),
+		},
+		func(a []*ops.Acc, _ []float64) { a[2].Set(0, 0, a[0].Get(0, 0)*a[1].Get(0, 0)) })
+}
+
+// blockSolve is the line-Jacobi preconditioner as a ParLoop over a 1-cell-
+// wide range: one iteration per mesh row, each accessing the whole row
+// through x offsets. Its stencil radius equals the row length, which would
+// poison the tiling skew, so it executes outside any deferred chain.
+func (rs *rankState) blockSolve() {
+	rs.ctx.Flush()
+	nx := rs.nx
+	rowStencil := ops.NewStencil("whole_row", [2]int{0, 0}, [2]int{nx, 0})
+	rowStencilK := ops.NewStencil("whole_row_k", [2]int{0, 0}, [2]int{nx, 0}, [2]int{nx, 1}, [2]int{0, 1})
+	rs.ctx.ParLoop("block_solve", rs.block,
+		ops.Range{XLo: 0, XHi: 1, YLo: 0, YHi: rs.ny},
+		[]ops.Arg{
+			ops.ArgDat(rs.r, rowStencil, ops.Read),
+			ops.ArgDat(rs.z, rowStencil, ops.Write),
+			ops.ArgDat(rs.kx, rowStencilK, ops.Read),
+			ops.ArgDat(rs.ky, rowStencilK, ops.Read),
+			ops.ArgDat(rs.tcp, rowStencil, ops.Write),
+			ops.ArgDat(rs.tdp, rowStencil, ops.Write),
+		},
+		func(a []*ops.Acc, _ []float64) {
+			r, z, kx, ky, cp, dp := a[0], a[1], a[2], a[3], a[4], a[5]
+			diag := func(i int) float64 {
+				return 1 + kx.Get(i+1, 0) + kx.Get(i, 0) + ky.Get(i, 1) + ky.Get(i, 0)
+			}
+			b0 := diag(0)
+			cp.Set(0, 0, -kx.Get(1, 0)/b0)
+			dp.Set(0, 0, r.Get(0, 0)/b0)
+			for i := 1; i < nx; i++ {
+				av := -kx.Get(i, 0)
+				m := 1 / (diag(i) - av*cp.Get(i-1, 0))
+				cp.Set(i, 0, -kx.Get(i+1, 0)*m)
+				dp.Set(i, 0, (r.Get(i, 0)-av*dp.Get(i-1, 0))*m)
+			}
+			z.Set(nx-1, 0, dp.Get(nx-1, 0))
+			for i := nx - 2; i >= 0; i-- {
+				z.Set(i, 0, dp.Get(i, 0)-cp.Get(i, 0)*z.Get(i+1, 0))
+			}
+		})
+	rs.ctx.Flush()
+}
+
+func (rs *rankState) cgInitP(precond bool) float64 {
+	src := rs.r
+	if precond {
+		src = rs.z
+	}
+	red := rs.ctx.ParLoopRed("cg_init_p", rs.block, rs.interior(), 1,
+		[]ops.Arg{
+			ops.ArgDat(src, sPoint, ops.Read),
+			ops.ArgDat(rs.r, sPoint, ops.Read),
+			ops.ArgDat(rs.p, sPoint, ops.Write),
+		},
+		func(a []*ops.Acc, red []float64) {
+			s := a[0].Get(0, 0)
+			a[2].Set(0, 0, s)
+			red[0] += a[1].Get(0, 0) * s
+		})
+	return red[0]
+}
+
+func (rs *rankState) cgCalcW() float64 {
+	args := append(rs.operatorArgs(rs.p), ops.ArgDat(rs.w, sPoint, ops.Write))
+	red := rs.ctx.ParLoopRed("cg_calc_w", rs.block, rs.interior(), 1, args,
+		func(a []*ops.Acc, red []float64) {
+			w := applyA(a)
+			a[3].Set(0, 0, w)
+			red[0] += a[0].Get(0, 0) * w
+		})
+	return red[0]
+}
+
+func (rs *rankState) cgCalcUR(alpha float64, precond bool) float64 {
+	if precond {
+		rs.ctx.ParLoop("cg_calc_ur_update", rs.block, rs.interior(),
+			[]ops.Arg{
+				ops.ArgDat(rs.u, sPoint, ops.RW),
+				ops.ArgDat(rs.p, sPoint, ops.Read),
+				ops.ArgDat(rs.r, sPoint, ops.RW),
+				ops.ArgDat(rs.w, sPoint, ops.Read),
+			},
+			func(a []*ops.Acc, _ []float64) {
+				a[0].Add(0, 0, alpha*a[1].Get(0, 0))
+				a[2].Add(0, 0, -alpha*a[3].Get(0, 0))
+			})
+		rs.applyPrecond()
+		return rs.dotRZ()
+	}
+	red := rs.ctx.ParLoopRed("cg_calc_ur", rs.block, rs.interior(), 1,
+		[]ops.Arg{
+			ops.ArgDat(rs.u, sPoint, ops.RW),
+			ops.ArgDat(rs.p, sPoint, ops.Read),
+			ops.ArgDat(rs.r, sPoint, ops.RW),
+			ops.ArgDat(rs.w, sPoint, ops.Read),
+		},
+		func(a []*ops.Acc, red []float64) {
+			a[0].Add(0, 0, alpha*a[1].Get(0, 0))
+			r := a[2].Get(0, 0) - alpha*a[3].Get(0, 0)
+			a[2].Set(0, 0, r)
+			red[0] += r * r
+		})
+	return red[0]
+}
+
+func (rs *rankState) cgCalcP(beta float64, precond bool) {
+	src := rs.r
+	if precond {
+		src = rs.z
+	}
+	rs.ctx.ParLoop("cg_calc_p", rs.block, rs.interior(),
+		[]ops.Arg{ops.ArgDat(src, sPoint, ops.Read), ops.ArgDat(rs.p, sPoint, ops.RW)},
+		func(a []*ops.Acc, _ []float64) {
+			a[1].Set(0, 0, a[0].Get(0, 0)+beta*a[1].Get(0, 0))
+		})
+}
+
+func (rs *rankState) jacobiCopyU() {
+	rs.ctx.ParLoop("jacobi_copy_u", rs.block, rs.fullRange(),
+		[]ops.Arg{ops.ArgDat(rs.u, sPoint, ops.Read), ops.ArgDat(rs.un, sPoint, ops.Write)},
+		func(a []*ops.Acc, _ []float64) { a[1].Set(0, 0, a[0].Get(0, 0)) })
+}
+
+func (rs *rankState) jacobiIterate() float64 {
+	args := append(rs.operatorArgs(rs.un),
+		ops.ArgDat(rs.u0, sPoint, ops.Read),
+		ops.ArgDat(rs.u, sPoint, ops.Write))
+	red := rs.ctx.ParLoopRed("jacobi_solve", rs.block, rs.interior(), 1, args,
+		func(a []*ops.Acc, red []float64) {
+			kx1, kx0 := a[1].Get(1, 0), a[1].Get(0, 0)
+			ky1, ky0 := a[2].Get(0, 1), a[2].Get(0, 0)
+			un := a[0]
+			num := a[3].Get(0, 0) +
+				kx1*un.Get(1, 0) + kx0*un.Get(-1, 0) +
+				ky1*un.Get(0, 1) + ky0*un.Get(0, -1)
+			u := num / (1 + kx1 + kx0 + ky1 + ky0)
+			a[4].Set(0, 0, u)
+			dv := u - un.Get(0, 0)
+			if dv < 0 {
+				dv = -dv
+			}
+			red[0] += dv
+		})
+	return red[0]
+}
+
+func (rs *rankState) chebyInit(theta float64, precond bool) {
+	src := rs.r
+	if precond {
+		src = rs.z
+	}
+	rs.ctx.ParLoop("cheby_init", rs.block, rs.interior(),
+		[]ops.Arg{
+			ops.ArgDat(src, sPoint, ops.Read),
+			ops.ArgDat(rs.sd, sPoint, ops.Write),
+			ops.ArgDat(rs.u, sPoint, ops.RW),
+		},
+		func(a []*ops.Acc, _ []float64) {
+			sd := a[0].Get(0, 0) / theta
+			a[1].Set(0, 0, sd)
+			a[2].Add(0, 0, sd)
+		})
+}
+
+func (rs *rankState) chebyIterate(alpha, beta float64, precond bool) {
+	args := append(rs.operatorArgs(rs.sd), ops.ArgDat(rs.r, sPoint, ops.RW))
+	rs.ctx.ParLoop("cheby_calc_r", rs.block, rs.interior(), args,
+		func(a []*ops.Acc, _ []float64) { a[3].Add(0, 0, -applyA(a)) })
+	if precond {
+		rs.applyPrecond()
+	}
+	src := rs.r
+	if precond {
+		src = rs.z
+	}
+	rs.ctx.ParLoop("cheby_calc_sd_u", rs.block, rs.interior(),
+		[]ops.Arg{
+			ops.ArgDat(src, sPoint, ops.Read),
+			ops.ArgDat(rs.sd, sPoint, ops.RW),
+			ops.ArgDat(rs.u, sPoint, ops.RW),
+		},
+		func(a []*ops.Acc, _ []float64) {
+			sd := alpha*a[1].Get(0, 0) + beta*a[0].Get(0, 0)
+			a[1].Set(0, 0, sd)
+			a[2].Add(0, 0, sd)
+		})
+}
+
+func (rs *rankState) ppcgInitInner(theta float64) {
+	rs.ctx.ParLoop("ppcg_init_inner", rs.block, rs.interior(),
+		[]ops.Arg{
+			ops.ArgDat(rs.r, sPoint, ops.Read),
+			ops.ArgDat(rs.rtemp, sPoint, ops.Write),
+			ops.ArgDat(rs.z, sPoint, ops.Write),
+			ops.ArgDat(rs.sd, sPoint, ops.Write),
+		},
+		func(a []*ops.Acc, _ []float64) {
+			r := a[0].Get(0, 0)
+			a[1].Set(0, 0, r)
+			a[2].Set(0, 0, 0)
+			a[3].Set(0, 0, r/theta)
+		})
+}
+
+func (rs *rankState) ppcgInnerIterate(alpha, beta float64) {
+	args := append(rs.operatorArgs(rs.sd), ops.ArgDat(rs.w, sPoint, ops.Write))
+	rs.ctx.ParLoop("ppcg_calc_w", rs.block, rs.interior(), args,
+		func(a []*ops.Acc, _ []float64) { a[3].Set(0, 0, applyA(a)) })
+	rs.ctx.ParLoop("ppcg_inner_update", rs.block, rs.interior(),
+		[]ops.Arg{
+			ops.ArgDat(rs.z, sPoint, ops.RW),
+			ops.ArgDat(rs.sd, sPoint, ops.RW),
+			ops.ArgDat(rs.rtemp, sPoint, ops.RW),
+			ops.ArgDat(rs.w, sPoint, ops.Read),
+		},
+		func(a []*ops.Acc, _ []float64) {
+			sd := a[1].Get(0, 0)
+			a[0].Add(0, 0, sd)
+			rt := a[2].Get(0, 0) - a[3].Get(0, 0)
+			a[2].Set(0, 0, rt)
+			a[1].Set(0, 0, alpha*sd+beta*rt)
+		})
+}
+
+func (rs *rankState) ppcgFinishInner() {
+	rs.ctx.ParLoop("ppcg_finish_inner", rs.block, rs.interior(),
+		[]ops.Arg{ops.ArgDat(rs.z, sPoint, ops.RW), ops.ArgDat(rs.sd, sPoint, ops.Read)},
+		func(a []*ops.Acc, _ []float64) { a[0].Add(0, 0, a[1].Get(0, 0)) })
+}
+
+func (rs *rankState) solveFinalise() {
+	rs.ctx.ParLoop("tea_leaf_finalise", rs.block, rs.interior(),
+		[]ops.Arg{
+			ops.ArgDat(rs.u, sPoint, ops.Read),
+			ops.ArgDat(rs.density, sPoint, ops.Read),
+			ops.ArgDat(rs.energy1, sPoint, ops.Write),
+		},
+		func(a []*ops.Acc, _ []float64) { a[2].Set(0, 0, a[0].Get(0, 0)/a[1].Get(0, 0)) })
+}
+
+// Field-gather tags live above the halo-exchange tag space.
+const (
+	tagFetchMeta = 100000 + iota
+	tagFetchData
+)
+
+// fetchField gathers the dat's interior onto rank 0 in global row-major
+// order (downloading from the device first on the CUDA backend).
+func (rs *rankState) fetchField(id driver.FieldID) []float64 {
+	rs.ctx.Flush()
+	d := rs.byID[id]
+	d.Download()
+	local := make([]float64, 0, rs.nx*rs.ny)
+	for j := 0; j < rs.ny; j++ {
+		for i := 0; i < rs.nx; i++ {
+			local = append(local, d.At(i, j))
+		}
+	}
+	if rs.rank.ID() != 0 {
+		rs.rank.Send(0, tagFetchMeta, []float64{
+			float64(rs.chunk.X0), float64(rs.chunk.Y0), float64(rs.nx), float64(rs.ny),
+		})
+		rs.rank.Send(0, tagFetchData, local)
+		return nil
+	}
+	out := make([]float64, rs.gnx*rs.gny)
+	place := func(x0, y0, nx, ny int, data []float64) {
+		for j := 0; j < ny; j++ {
+			copy(out[(y0+j)*rs.gnx+x0:(y0+j)*rs.gnx+x0+nx], data[j*nx:(j+1)*nx])
+		}
+	}
+	place(rs.chunk.X0, rs.chunk.Y0, rs.nx, rs.ny, local)
+	for r := 1; r < rs.rank.Size(); r++ {
+		meta := rs.rank.Recv(r, tagFetchMeta)
+		data := rs.rank.Recv(r, tagFetchData)
+		place(int(meta[0]), int(meta[1]), int(meta[2]), int(meta[3]), data)
+	}
+	return out
+}

@@ -1,0 +1,312 @@
+// Package opsport is TeaLeaf re-engineered on the OPS embedded DSL
+// (internal/ops), the analogue of the paper's OPS builds. Every kernel is
+// written exactly once as an ops.ParLoop with stencils and access
+// descriptors; the variant matrix — OpenMP, MPI, OpenMP+MPI, MPI Tiled,
+// CUDA, OpenACC — comes entirely from library configuration, which is the
+// productivity claim the paper evaluates.
+//
+// Distributed variants run one OPS context per rank SPMD on the
+// message-passing runtime; halo exchanges move dat strips between ranks
+// and apply the reflective physical boundary as ParLoops, so even the
+// boundary code is backend-portable.
+package opsport
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/comm"
+	"github.com/warwick-hpsc/tealeaf-go/internal/config"
+	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
+	"github.com/warwick-hpsc/tealeaf-go/internal/grid"
+	"github.com/warwick-hpsc/tealeaf-go/internal/ops"
+	"github.com/warwick-hpsc/tealeaf-go/internal/simgpu"
+)
+
+// Options selects an OPS TeaLeaf variant.
+type Options struct {
+	// Backend is the per-rank OPS backend.
+	Backend ops.Backend
+	// Ranks is the number of distributed chunks (1 = single chunk).
+	Ranks int
+	// Threads per rank for the OpenMP/ACC backends.
+	Threads int
+	// Tiling enables the lazy cache-block tiling pass per rank.
+	Tiling       bool
+	TileX, TileY int
+	// Block is the CUDA kernel block size (paper: 64x8).
+	Block simgpu.Dim2
+	// Name overrides the reported variant name.
+	Name string
+}
+
+func (o Options) variantName() string {
+	if o.Name != "" {
+		return o.Name
+	}
+	switch {
+	case o.Ranks > 1 && o.Tiling:
+		return "ops-mpi-tiled"
+	case o.Ranks > 1 && o.Backend == ops.BackendOpenMP:
+		return "ops-mpi-omp"
+	case o.Ranks > 1:
+		return "ops-mpi"
+	case o.Backend == ops.BackendCUDA:
+		return "ops-cuda"
+	case o.Backend == ops.BackendACC:
+		return "ops-openacc"
+	case o.Tiling:
+		return "ops-tiled"
+	default:
+		return "ops-openmp"
+	}
+}
+
+// Port drives the OPS variant through the driver.Kernels contract.
+type Port struct {
+	name   string
+	opt    Options
+	nranks int
+
+	world *comm.World
+	cmds  []chan func(*rankState)
+	calls sync.WaitGroup
+
+	resF chan float64
+	resT chan driver.Totals
+	resE chan error
+
+	runDone chan struct{}
+	closed  bool
+}
+
+var _ driver.Kernels = (*Port)(nil)
+
+// New creates the OPS TeaLeaf variant described by opt.
+func New(opt Options) (*Port, error) {
+	if opt.Ranks <= 0 {
+		opt.Ranks = 1
+	}
+	if opt.Ranks > 1 && opt.Backend == ops.BackendCUDA {
+		return nil, fmt.Errorf("opsport: the CUDA backend runs single-chunk (no MPI+CUDA variant in the study)")
+	}
+	p := &Port{
+		name:    opt.variantName(),
+		opt:     opt,
+		nranks:  opt.Ranks,
+		world:   comm.NewWorld(opt.Ranks),
+		cmds:    make([]chan func(*rankState), opt.Ranks),
+		resF:    make(chan float64, 1),
+		resT:    make(chan driver.Totals, 1),
+		resE:    make(chan error, 1),
+		runDone: make(chan struct{}),
+	}
+	for i := range p.cmds {
+		p.cmds[i] = make(chan func(*rankState), 1)
+	}
+	ctxErr := make(chan error, opt.Ranks)
+	go func() {
+		p.world.Run(func(r *comm.Rank) {
+			ctx, err := ops.NewContext(ops.Options{
+				Backend: opt.Backend,
+				Threads: opt.Threads,
+				Block:   opt.Block,
+				Tiling:  opt.Tiling,
+				TileX:   opt.TileX,
+				TileY:   opt.TileY,
+			})
+			ctxErr <- err
+			if err != nil {
+				return
+			}
+			defer ctx.Close()
+			rs := &rankState{port: p, rank: r, ctx: ctx}
+			for fn := range p.cmds[r.ID()] {
+				fn(rs)
+			}
+		})
+		close(p.runDone)
+	}()
+	for i := 0; i < opt.Ranks; i++ {
+		if err := <-ctxErr; err != nil {
+			p.closeChannels()
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+func (p *Port) closeChannels() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	for _, ch := range p.cmds {
+		close(ch)
+	}
+	<-p.runDone
+}
+
+// Name implements driver.Kernels.
+func (p *Port) Name() string { return p.name }
+
+// Stats aggregates the per-rank OPS execution counters.
+func (p *Port) Stats() ops.Stats {
+	agg := make(chan ops.Stats, p.nranks)
+	p.do(func(rs *rankState) { agg <- rs.ctx.Stats() })
+	close(agg)
+	var total ops.Stats
+	for s := range agg {
+		total.LoopsEnqueued += s.LoopsEnqueued
+		total.LoopsExecuted += s.LoopsExecuted
+		total.Flushes += s.Flushes
+		total.Tiles += s.Tiles
+	}
+	return total
+}
+
+func (p *Port) do(fn func(rs *rankState)) {
+	p.calls.Add(p.nranks)
+	for _, ch := range p.cmds {
+		ch <- func(rs *rankState) {
+			fn(rs)
+			p.calls.Done()
+		}
+	}
+	p.calls.Wait()
+}
+
+func (p *Port) doReduce(fn func(rs *rankState) float64) float64 {
+	p.do(func(rs *rankState) {
+		global := rs.rank.AllreduceSum(fn(rs))
+		if rs.rank.ID() == 0 {
+			p.resF <- global
+		}
+	})
+	return <-p.resF
+}
+
+// Generate implements driver.Kernels.
+func (p *Port) Generate(m *grid.Mesh, states []config.State) error {
+	cart := comm.Decompose(p.nranks, m.Nx, m.Ny)
+	p.do(func(rs *rankState) {
+		ch := cart.ChunkOf(rs.rank.ID(), m.Nx, m.Ny)
+		err := rs.init(m, ch, states)
+		if rs.rank.ID() == 0 {
+			p.resE <- err
+		}
+	})
+	return <-p.resE
+}
+
+// SetField implements driver.Kernels.
+func (p *Port) SetField() { p.do((*rankState).setField) }
+
+// ResetField implements driver.Kernels.
+func (p *Port) ResetField() { p.do((*rankState).resetField) }
+
+// FieldSummary implements driver.Kernels.
+func (p *Port) FieldSummary() driver.Totals {
+	p.do(func(rs *rankState) {
+		local := rs.fieldSummary()
+		global := rs.rank.AllreduceVec([]float64{
+			local.Volume, local.Mass, local.InternalEnergy, local.Temperature,
+		})
+		if rs.rank.ID() == 0 {
+			p.resT <- driver.Totals{
+				Volume:         global[0],
+				Mass:           global[1],
+				InternalEnergy: global[2],
+				Temperature:    global[3],
+			}
+		}
+	})
+	return <-p.resT
+}
+
+// HaloExchange implements driver.Kernels.
+func (p *Port) HaloExchange(fields []driver.FieldID, depth int) {
+	p.do(func(rs *rankState) { rs.haloExchange(fields, depth) })
+}
+
+// SolveInit implements driver.Kernels.
+func (p *Port) SolveInit(coef config.Coefficient, rx, ry float64, precond config.Preconditioner) {
+	p.do(func(rs *rankState) { rs.solveInit(coef, rx, ry, precond) })
+}
+
+// SolveFinalise implements driver.Kernels.
+func (p *Port) SolveFinalise() { p.do((*rankState).solveFinalise) }
+
+// CalcResidual implements driver.Kernels.
+func (p *Port) CalcResidual() { p.do((*rankState).calcResidual) }
+
+// Norm2R implements driver.Kernels.
+func (p *Port) Norm2R() float64 { return p.doReduce((*rankState).norm2R) }
+
+// DotRZ implements driver.Kernels.
+func (p *Port) DotRZ() float64 { return p.doReduce((*rankState).dotRZ) }
+
+// ApplyPrecond implements driver.Kernels.
+func (p *Port) ApplyPrecond() { p.do((*rankState).applyPrecond) }
+
+// CGInitP implements driver.Kernels.
+func (p *Port) CGInitP(precond bool) float64 {
+	return p.doReduce(func(rs *rankState) float64 { return rs.cgInitP(precond) })
+}
+
+// CGCalcW implements driver.Kernels.
+func (p *Port) CGCalcW() float64 { return p.doReduce((*rankState).cgCalcW) }
+
+// CGCalcUR implements driver.Kernels.
+func (p *Port) CGCalcUR(alpha float64, precond bool) float64 {
+	return p.doReduce(func(rs *rankState) float64 { return rs.cgCalcUR(alpha, precond) })
+}
+
+// CGCalcP implements driver.Kernels.
+func (p *Port) CGCalcP(beta float64, precond bool) {
+	p.do(func(rs *rankState) { rs.cgCalcP(beta, precond) })
+}
+
+// JacobiCopyU implements driver.Kernels.
+func (p *Port) JacobiCopyU() { p.do((*rankState).jacobiCopyU) }
+
+// JacobiIterate implements driver.Kernels.
+func (p *Port) JacobiIterate() float64 { return p.doReduce((*rankState).jacobiIterate) }
+
+// ChebyInit implements driver.Kernels.
+func (p *Port) ChebyInit(theta float64, precond bool) {
+	p.do(func(rs *rankState) { rs.chebyInit(theta, precond) })
+}
+
+// ChebyIterate implements driver.Kernels.
+func (p *Port) ChebyIterate(alpha, beta float64, precond bool) {
+	p.do(func(rs *rankState) { rs.chebyIterate(alpha, beta, precond) })
+}
+
+// PPCGInitInner implements driver.Kernels.
+func (p *Port) PPCGInitInner(theta float64) {
+	p.do(func(rs *rankState) { rs.ppcgInitInner(theta) })
+}
+
+// PPCGInnerIterate implements driver.Kernels.
+func (p *Port) PPCGInnerIterate(alpha, beta float64) {
+	p.do(func(rs *rankState) { rs.ppcgInnerIterate(alpha, beta) })
+}
+
+// PPCGFinishInner implements driver.Kernels.
+func (p *Port) PPCGFinishInner() { p.do((*rankState).ppcgFinishInner) }
+
+// FetchField implements driver.Kernels: gather the chunks onto rank 0 and
+// return the assembled global field.
+func (p *Port) FetchField(id driver.FieldID) []float64 {
+	res := make(chan []float64, 1)
+	p.do(func(rs *rankState) {
+		if out := rs.fetchField(id); out != nil {
+			res <- out
+		}
+	})
+	return <-res
+}
+
+// Close implements driver.Kernels.
+func (p *Port) Close() { p.closeChannels() }

@@ -1,0 +1,463 @@
+// Package rajaport is TeaLeaf re-engineered on the RAJA-like portability
+// layer (internal/raja), the analogue of the paper's RAJA builds: fields
+// stay raw flat arrays allocated by the execution policy, and every kernel
+// is a lambda handed to RAJA::kernel/forall-style dispatchers, with typed
+// sum reductions. Swapping the policy object retargets the whole port
+// between sequential, OpenMP-style and simulated-CUDA execution.
+package rajaport
+
+import (
+	"github.com/warwick-hpsc/tealeaf-go/internal/config"
+	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
+	"github.com/warwick-hpsc/tealeaf-go/internal/grid"
+	"github.com/warwick-hpsc/tealeaf-go/internal/raja"
+	"github.com/warwick-hpsc/tealeaf-go/internal/state"
+)
+
+const halo = grid.DefaultHalo
+
+// Chunk is the RAJA port: one chunk, fields as policy-allocated flat
+// arrays addressed (j+halo)*stride + i + halo.
+type Chunk struct {
+	pol     raja.ExecPolicy
+	name    string
+	mesh    *grid.Mesh
+	nx, ny  int
+	stride  int
+	precond config.Preconditioner
+
+	density, energy0, energy1 []float64
+	u, u0                     []float64
+	p, r, w, z, sd, mi        []float64
+	kx, ky                    []float64
+	un, rtemp, tcp, tdp       []float64
+	byID                      [driver.NumFields][]float64
+}
+
+var _ driver.Kernels = (*Chunk)(nil)
+
+// New creates the port on the given execution policy. The port owns the
+// policy and closes it.
+func New(pol raja.ExecPolicy) *Chunk {
+	name := "raja-seq"
+	switch pol.Name() {
+	case "omp_parallel_for_exec":
+		name = "raja-openmp"
+	case "cuda_exec":
+		name = "raja-cuda"
+	}
+	return &Chunk{pol: pol, name: name}
+}
+
+// Name implements driver.Kernels.
+func (c *Chunk) Name() string { return c.name }
+
+// Policy exposes the execution policy for tests and reporting.
+func (c *Chunk) Policy() raja.ExecPolicy { return c.pol }
+
+// at is the flat index of cell (i, j).
+func (c *Chunk) at(i, j int) int { return (j+halo)*c.stride + i + halo }
+
+// rows/cols are the interior segments; rowsFull/colsFull include the halo.
+func (c *Chunk) rows() raja.RangeSegment { return raja.RangeSegment{Begin: 0, End: c.ny} }
+func (c *Chunk) cols() raja.RangeSegment { return raja.RangeSegment{Begin: 0, End: c.nx} }
+func (c *Chunk) rowsFull() raja.RangeSegment {
+	return raja.RangeSegment{Begin: -halo, End: c.ny + halo}
+}
+func (c *Chunk) colsFull() raja.RangeSegment {
+	return raja.RangeSegment{Begin: -halo, End: c.nx + halo}
+}
+
+// Generate implements driver.Kernels.
+func (c *Chunk) Generate(m *grid.Mesh, states []config.State) error {
+	c.mesh = m
+	c.nx, c.ny = m.Nx, m.Ny
+	c.stride = c.nx + 2*halo
+	n := c.stride * (c.ny + 2*halo)
+	alloc := func() []float64 { return c.pol.Alloc(n) }
+	c.density, c.energy0, c.energy1 = alloc(), alloc(), alloc()
+	c.u, c.u0 = alloc(), alloc()
+	c.p, c.r, c.w = alloc(), alloc(), alloc()
+	c.z, c.sd, c.mi = alloc(), alloc(), alloc()
+	c.kx, c.ky = alloc(), alloc()
+	c.un, c.rtemp = alloc(), alloc()
+	c.tcp, c.tdp = alloc(), alloc()
+	c.byID = [driver.NumFields][]float64{
+		driver.FieldDensity: c.density,
+		driver.FieldEnergy0: c.energy0,
+		driver.FieldEnergy1: c.energy1,
+		driver.FieldU:       c.u,
+		driver.FieldU0:      c.u0,
+		driver.FieldP:       c.p,
+		driver.FieldR:       c.r,
+		driver.FieldW:       c.w,
+		driver.FieldZ:       c.z,
+		driver.FieldSD:      c.sd,
+		driver.FieldKx:      c.kx,
+		driver.FieldKy:      c.ky,
+	}
+	host := make([]float64, 2*n)
+	hd, he := host[:n], host[n:]
+	if err := state.Generate(m, states, halo, func(i, j int, density, energy float64) {
+		hd[c.at(i, j)] = density
+		he[c.at(i, j)] = energy
+	}); err != nil {
+		return err
+	}
+	// Initialisation copy into policy memory, expressed as a forall so the
+	// data lands device-side under the CUDA policy.
+	density, energy0 := c.density, c.energy0
+	raja.ForAllN(c.pol, "generate_copyin", raja.RangeSegment{Begin: 0, End: n}, func(i int) {
+		density[i] = hd[i]
+		energy0[i] = he[i]
+	})
+	return nil
+}
+
+// SetField implements driver.Kernels.
+func (c *Chunk) SetField() {
+	e0, e1 := c.energy0, c.energy1
+	raja.Kernel2D(c.pol, "set_field", c.rowsFull(), c.colsFull(), func(j, i int) {
+		e1[c.at(i, j)] = e0[c.at(i, j)]
+	})
+}
+
+// ResetField implements driver.Kernels.
+func (c *Chunk) ResetField() {
+	e0, e1 := c.energy0, c.energy1
+	raja.Kernel2D(c.pol, "reset_field", c.rowsFull(), c.colsFull(), func(j, i int) {
+		e0[c.at(i, j)] = e1[c.at(i, j)]
+	})
+}
+
+// FieldSummary implements driver.Kernels.
+func (c *Chunk) FieldSummary() driver.Totals {
+	vol := c.mesh.CellVolume()
+	d, e, u := c.density, c.energy0, c.u
+	var t driver.Totals
+	t.Volume = float64(c.nx) * float64(c.ny) * vol
+	t.Mass = raja.Kernel2DReduce(c.pol, "summary_mass", c.rows(), c.cols(), func(j, i int, s *float64) {
+		*s += d[c.at(i, j)] * vol
+	})
+	t.InternalEnergy = raja.Kernel2DReduce(c.pol, "summary_ie", c.rows(), c.cols(), func(j, i int, s *float64) {
+		*s += d[c.at(i, j)] * e[c.at(i, j)] * vol
+	})
+	t.Temperature = raja.Kernel2DReduce(c.pol, "summary_temp", c.rows(), c.cols(), func(j, i int, s *float64) {
+		*s += u[c.at(i, j)] * vol
+	})
+	return t
+}
+
+// HaloExchange implements driver.Kernels.
+func (c *Chunk) HaloExchange(fields []driver.FieldID, depth int) {
+	nx, ny := c.nx, c.ny
+	for _, id := range fields {
+		f := c.byID[id]
+		raja.Kernel2D(c.pol, "halo_x", c.rows(), raja.RangeSegment{Begin: 0, End: depth},
+			func(j, k int) {
+				f[c.at(-1-k, j)] = f[c.at(k, j)]
+				f[c.at(nx+k, j)] = f[c.at(nx-1-k, j)]
+			})
+		raja.Kernel2D(c.pol, "halo_y", raja.RangeSegment{Begin: 0, End: depth},
+			raja.RangeSegment{Begin: -depth, End: nx + depth},
+			func(k, i int) {
+				f[c.at(i, -1-k)] = f[c.at(i, k)]
+				f[c.at(i, ny+k)] = f[c.at(i, ny-1-k)]
+			})
+	}
+}
+
+// SolveInit implements driver.Kernels.
+func (c *Chunk) SolveInit(coef config.Coefficient, rx, ry float64, precond config.Preconditioner) {
+	c.precond = precond
+	recip := coef == config.RecipConductivity
+	d, e1, u, u0, w := c.density, c.energy1, c.u, c.u0, c.w
+	raja.Kernel2D(c.pol, "tea_leaf_init", c.rowsFull(), c.colsFull(), func(j, i int) {
+		at := c.at(i, j)
+		u[at] = e1[at] * d[at]
+		u0[at] = u[at]
+		if recip {
+			w[at] = 1 / d[at]
+		} else {
+			w[at] = d[at]
+		}
+	})
+	kx, ky := c.kx, c.ky
+	ring := raja.RangeSegment{Begin: -1, End: c.ny + 1}
+	ringX := raja.RangeSegment{Begin: -1, End: c.nx + 1}
+	raja.Kernel2D(c.pol, "init_kx_ky", ring, ringX, func(j, i int) {
+		at := c.at(i, j)
+		w0 := w[at]
+		wl := w[at-1]
+		wd := w[at-c.stride]
+		kx[at] = rx * (wl + w0) / (2 * wl * w0)
+		ky[at] = ry * (wd + w0) / (2 * wd * w0)
+	})
+	c.CalcResidual()
+	if precond == config.PrecondJacDiag {
+		mi := c.mi
+		raja.Kernel2D(c.pol, "init_mi", c.rows(), c.cols(), func(j, i int) {
+			at := c.at(i, j)
+			mi[at] = 1 / (1 + kx[at+1] + kx[at] + ky[at+c.stride] + ky[at])
+		})
+	}
+	if precond != config.PrecondNone {
+		c.ApplyPrecond()
+	}
+}
+
+// applyA evaluates the conduction operator on src at flat index `at`.
+func (c *Chunk) applyA(src []float64, at int) float64 {
+	kx, ky := c.kx, c.ky
+	kx1, kx0 := kx[at+1], kx[at]
+	ky1, ky0 := ky[at+c.stride], ky[at]
+	return (1+kx1+kx0+ky1+ky0)*src[at] -
+		(kx1*src[at+1] + kx0*src[at-1]) -
+		(ky1*src[at+c.stride] + ky0*src[at-c.stride])
+}
+
+// CalcResidual implements driver.Kernels.
+func (c *Chunk) CalcResidual() {
+	u, u0, r := c.u, c.u0, c.r
+	raja.Kernel2D(c.pol, "residual", c.rows(), c.cols(), func(j, i int) {
+		at := c.at(i, j)
+		r[at] = u0[at] - c.applyA(u, at)
+	})
+}
+
+// Norm2R implements driver.Kernels.
+func (c *Chunk) Norm2R() float64 {
+	r := c.r
+	return raja.Kernel2DReduce(c.pol, "norm2_r", c.rows(), c.cols(), func(j, i int, s *float64) {
+		v := r[c.at(i, j)]
+		*s += v * v
+	})
+}
+
+// DotRZ implements driver.Kernels.
+func (c *Chunk) DotRZ() float64 {
+	r, z := c.r, c.z
+	return raja.Kernel2DReduce(c.pol, "dot_rz", c.rows(), c.cols(), func(j, i int, s *float64) {
+		at := c.at(i, j)
+		*s += r[at] * z[at]
+	})
+}
+
+// ApplyPrecond implements driver.Kernels. The jac_block path is a forall
+// over rows, each lambda invocation running the Thomas solve for its row.
+func (c *Chunk) ApplyPrecond() {
+	if c.precond == config.PrecondJacBlock {
+		nx, stride := c.nx, c.stride
+		r, z, kx, ky, cp, dp := c.r, c.z, c.kx, c.ky, c.tcp, c.tdp
+		raja.ForAllN(c.pol, "block_solve", c.rows(), func(j int) {
+			row := (j + halo) * stride
+			diag := func(i int) float64 {
+				at := row + i + halo
+				return 1 + kx[at+1] + kx[at] + ky[at+stride] + ky[at]
+			}
+			b0 := diag(0)
+			cp[row+halo] = -kx[row+halo+1] / b0
+			dp[row+halo] = r[row+halo] / b0
+			for i := 1; i < nx; i++ {
+				at := row + i + halo
+				av := -kx[at]
+				m := 1 / (diag(i) - av*cp[at-1])
+				cp[at] = -kx[at+1] * m
+				dp[at] = (r[at] - av*dp[at-1]) * m
+			}
+			last := row + nx - 1 + halo
+			z[last] = dp[last]
+			for i := nx - 2; i >= 0; i-- {
+				at := row + i + halo
+				z[at] = dp[at] - cp[at]*z[at+1]
+			}
+		})
+		return
+	}
+	mi, r, z := c.mi, c.r, c.z
+	raja.Kernel2D(c.pol, "apply_precond", c.rows(), c.cols(), func(j, i int) {
+		at := c.at(i, j)
+		z[at] = mi[at] * r[at]
+	})
+}
+
+// CGInitP implements driver.Kernels.
+func (c *Chunk) CGInitP(precond bool) float64 {
+	src := c.r
+	if precond {
+		src = c.z
+	}
+	r, p := c.r, c.p
+	return raja.Kernel2DReduce(c.pol, "cg_init_p", c.rows(), c.cols(), func(j, i int, s *float64) {
+		at := c.at(i, j)
+		p[at] = src[at]
+		*s += r[at] * src[at]
+	})
+}
+
+// CGCalcW implements driver.Kernels.
+func (c *Chunk) CGCalcW() float64 {
+	p, w := c.p, c.w
+	return raja.Kernel2DReduce(c.pol, "cg_calc_w", c.rows(), c.cols(), func(j, i int, s *float64) {
+		at := c.at(i, j)
+		v := c.applyA(p, at)
+		w[at] = v
+		*s += p[at] * v
+	})
+}
+
+// CGCalcUR implements driver.Kernels.
+func (c *Chunk) CGCalcUR(alpha float64, precond bool) float64 {
+	u, p, r, w := c.u, c.p, c.r, c.w
+	if precond {
+		raja.Kernel2D(c.pol, "cg_calc_ur_update", c.rows(), c.cols(), func(j, i int) {
+			at := c.at(i, j)
+			u[at] += alpha * p[at]
+			r[at] -= alpha * w[at]
+		})
+		c.ApplyPrecond()
+		return c.DotRZ()
+	}
+	return raja.Kernel2DReduce(c.pol, "cg_calc_ur", c.rows(), c.cols(), func(j, i int, s *float64) {
+		at := c.at(i, j)
+		u[at] += alpha * p[at]
+		r[at] -= alpha * w[at]
+		*s += r[at] * r[at]
+	})
+}
+
+// CGCalcP implements driver.Kernels.
+func (c *Chunk) CGCalcP(beta float64, precond bool) {
+	src := c.r
+	if precond {
+		src = c.z
+	}
+	p := c.p
+	raja.Kernel2D(c.pol, "cg_calc_p", c.rows(), c.cols(), func(j, i int) {
+		at := c.at(i, j)
+		p[at] = src[at] + beta*p[at]
+	})
+}
+
+// JacobiCopyU implements driver.Kernels.
+func (c *Chunk) JacobiCopyU() {
+	u, un := c.u, c.un
+	raja.Kernel2D(c.pol, "jacobi_copy_u", c.rowsFull(), c.colsFull(), func(j, i int) {
+		at := c.at(i, j)
+		un[at] = u[at]
+	})
+}
+
+// JacobiIterate implements driver.Kernels.
+func (c *Chunk) JacobiIterate() float64 {
+	un, u0, u, kx, ky := c.un, c.u0, c.u, c.kx, c.ky
+	return raja.Kernel2DReduce(c.pol, "jacobi_solve", c.rows(), c.cols(), func(j, i int, s *float64) {
+		at := c.at(i, j)
+		kx1, kx0 := kx[at+1], kx[at]
+		ky1, ky0 := ky[at+c.stride], ky[at]
+		num := u0[at] +
+			kx1*un[at+1] + kx0*un[at-1] +
+			ky1*un[at+c.stride] + ky0*un[at-c.stride]
+		v := num / (1 + kx1 + kx0 + ky1 + ky0)
+		u[at] = v
+		dv := v - un[at]
+		if dv < 0 {
+			dv = -dv
+		}
+		*s += dv
+	})
+}
+
+// ChebyInit implements driver.Kernels.
+func (c *Chunk) ChebyInit(theta float64, precond bool) {
+	src := c.r
+	if precond {
+		src = c.z
+	}
+	sd, u := c.sd, c.u
+	raja.Kernel2D(c.pol, "cheby_init", c.rows(), c.cols(), func(j, i int) {
+		at := c.at(i, j)
+		sd[at] = src[at] / theta
+		u[at] += sd[at]
+	})
+}
+
+// ChebyIterate implements driver.Kernels.
+func (c *Chunk) ChebyIterate(alpha, beta float64, precond bool) {
+	sd, r, u := c.sd, c.r, c.u
+	raja.Kernel2D(c.pol, "cheby_calc_r", c.rows(), c.cols(), func(j, i int) {
+		at := c.at(i, j)
+		r[at] -= c.applyA(sd, at)
+	})
+	if precond {
+		c.ApplyPrecond()
+	}
+	src := c.r
+	if precond {
+		src = c.z
+	}
+	raja.Kernel2D(c.pol, "cheby_calc_sd_u", c.rows(), c.cols(), func(j, i int) {
+		at := c.at(i, j)
+		sd[at] = alpha*sd[at] + beta*src[at]
+		u[at] += sd[at]
+	})
+}
+
+// PPCGInitInner implements driver.Kernels.
+func (c *Chunk) PPCGInitInner(theta float64) {
+	r, rt, z, sd := c.r, c.rtemp, c.z, c.sd
+	raja.Kernel2D(c.pol, "ppcg_init_inner", c.rows(), c.cols(), func(j, i int) {
+		at := c.at(i, j)
+		rt[at] = r[at]
+		z[at] = 0
+		sd[at] = r[at] / theta
+	})
+}
+
+// PPCGInnerIterate implements driver.Kernels (two kernels: the stencil
+// must see the previous sd everywhere before it is rewritten).
+func (c *Chunk) PPCGInnerIterate(alpha, beta float64) {
+	sd, w, z, rt := c.sd, c.w, c.z, c.rtemp
+	raja.Kernel2D(c.pol, "ppcg_calc_w", c.rows(), c.cols(), func(j, i int) {
+		at := c.at(i, j)
+		w[at] = c.applyA(sd, at)
+	})
+	raja.Kernel2D(c.pol, "ppcg_inner_update", c.rows(), c.cols(), func(j, i int) {
+		at := c.at(i, j)
+		z[at] += sd[at]
+		rt[at] -= w[at]
+		sd[at] = alpha*sd[at] + beta*rt[at]
+	})
+}
+
+// PPCGFinishInner implements driver.Kernels.
+func (c *Chunk) PPCGFinishInner() {
+	z, sd := c.z, c.sd
+	raja.Kernel2D(c.pol, "ppcg_finish_inner", c.rows(), c.cols(), func(j, i int) {
+		at := c.at(i, j)
+		z[at] += sd[at]
+	})
+}
+
+// SolveFinalise implements driver.Kernels.
+func (c *Chunk) SolveFinalise() {
+	u, d, e1 := c.u, c.density, c.energy1
+	raja.Kernel2D(c.pol, "finalise", c.rows(), c.cols(), func(j, i int) {
+		at := c.at(i, j)
+		e1[at] = u[at] / d[at]
+	})
+}
+
+// FetchField implements driver.Kernels.
+func (c *Chunk) FetchField(id driver.FieldID) []float64 {
+	f := c.byID[id]
+	out := make([]float64, 0, c.nx*c.ny)
+	for j := 0; j < c.ny; j++ {
+		row := (j + halo) * c.stride
+		out = append(out, f[row+halo:row+halo+c.nx]...)
+	}
+	return out
+}
+
+// Close implements driver.Kernels.
+func (c *Chunk) Close() { c.pol.Close() }

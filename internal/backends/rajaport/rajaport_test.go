@@ -1,0 +1,22 @@
+package rajaport
+
+import (
+	"testing"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/backends/backendtest"
+	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
+	"github.com/warwick-hpsc/tealeaf-go/internal/raja"
+	"github.com/warwick-hpsc/tealeaf-go/internal/simgpu"
+)
+
+func TestConformanceSeq(t *testing.T) {
+	backendtest.Conformance(t, func() driver.Kernels { return New(raja.SeqExec{}) })
+}
+
+func TestConformanceOmp(t *testing.T) {
+	backendtest.Conformance(t, func() driver.Kernels { return New(raja.NewOmp(4)) })
+}
+
+func TestConformanceCuda(t *testing.T) {
+	backendtest.Conformance(t, func() driver.Kernels { return New(raja.NewCuda(simgpu.Dim2{X: 32, Y: 2})) })
+}

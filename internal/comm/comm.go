@@ -1,0 +1,259 @@
+// Package comm is the message-passing runtime used by the MPI-style ports:
+// a fixed-size world of ranks (goroutines) exchanging typed messages through
+// eager, unbounded mailboxes, with the collectives TeaLeaf needs (barrier,
+// allreduce, broadcast, gather).
+//
+// It stands in for MPI in this study (see DESIGN.md): programs are written
+// SPMD — NewWorld(n).Run(func(r *Rank) { ... }) — with explicit sends,
+// receives and halo exchanges between sub-domains, so the distributed-memory
+// ports retain the communication structure and costs (copies plus
+// synchronisation) of their MPI originals.
+package comm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// message is one point-to-point transfer. Payloads are copied on send so a
+// rank may immediately reuse its buffer, matching MPI's eager protocol for
+// the message sizes TeaLeaf exchanges.
+type message struct {
+	src, tag int
+	data     []float64
+}
+
+// mailbox is an unbounded, order-preserving queue of incoming messages for
+// one rank. Receives match on (source, tag), like MPI point-to-point
+// matching with non-overtaking order per (source, tag) pair.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []message
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(msg message) {
+	m.mu.Lock()
+	m.pending = append(m.pending, msg)
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+func (m *mailbox) get(src, tag int) message {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, msg := range m.pending {
+			if msg.src == src && msg.tag == tag {
+				m.pending = append(m.pending[:i], m.pending[i+1:]...)
+				return msg
+			}
+		}
+		m.cond.Wait()
+	}
+}
+
+// World is a communicator: a fixed set of ranks with mailboxes, a reusable
+// barrier and a reduction scratch area.
+type World struct {
+	size  int
+	boxes []*mailbox
+
+	bar barrier
+
+	redMu  sync.Mutex
+	redBuf []float64
+}
+
+// NewWorld creates a communicator with the given number of ranks.
+func NewWorld(size int) *World {
+	if size <= 0 {
+		panic(fmt.Sprintf("comm: world size must be positive, got %d", size))
+	}
+	w := &World{size: size, boxes: make([]*mailbox, size), redBuf: make([]float64, size)}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	w.bar.init(size)
+	return w
+}
+
+// Size returns the number of ranks in the world.
+func (w *World) Size() int { return w.size }
+
+// Run launches fn once per rank, each on its own goroutine, and blocks until
+// every rank returns. It is the moral equivalent of mpirun.
+func (w *World) Run(fn func(r *Rank)) {
+	var wg sync.WaitGroup
+	wg.Add(w.size)
+	for id := 0; id < w.size; id++ {
+		go func(id int) {
+			defer wg.Done()
+			fn(&Rank{world: w, id: id})
+		}(id)
+	}
+	wg.Wait()
+}
+
+// Rank is one process-equivalent within a World. Rank methods must only be
+// called from the goroutine Run started for that rank.
+type Rank struct {
+	world *World
+	id    int
+}
+
+// ID returns this rank's index in [0, Size).
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the world size.
+func (r *Rank) Size() int { return r.world.size }
+
+// Send delivers a copy of data to dst with the given tag. Send is eager and
+// never blocks.
+func (r *Rank) Send(dst, tag int, data []float64) {
+	if dst < 0 || dst >= r.world.size {
+		panic(fmt.Sprintf("comm: send to invalid rank %d (world size %d)", dst, r.world.size))
+	}
+	buf := make([]float64, len(data))
+	copy(buf, data)
+	r.world.boxes[dst].put(message{src: r.id, tag: tag, data: buf})
+}
+
+// Recv blocks until a message from src with the given tag arrives and
+// returns its payload. Messages from the same (src, tag) are received in
+// send order.
+func (r *Rank) Recv(src, tag int) []float64 {
+	if src < 0 || src >= r.world.size {
+		panic(fmt.Sprintf("comm: recv from invalid rank %d (world size %d)", src, r.world.size))
+	}
+	return r.world.boxes[r.id].get(src, tag).data
+}
+
+// RecvInto receives from (src, tag) into dst and returns the element count.
+// It panics if the payload does not fit: a size mismatch in a halo exchange
+// is a protocol bug, not a recoverable condition.
+func (r *Rank) RecvInto(src, tag int, dst []float64) int {
+	data := r.Recv(src, tag)
+	if len(data) > len(dst) {
+		panic(fmt.Sprintf("comm: message of %d elems overflows buffer of %d", len(data), len(dst)))
+	}
+	copy(dst, data)
+	return len(data)
+}
+
+// Sendrecv sends to dst and receives from src in one operation, the
+// deadlock-free exchange primitive halo swaps are built on.
+func (r *Rank) Sendrecv(dst, sendTag int, sendData []float64, src, recvTag int) []float64 {
+	r.Send(dst, sendTag, sendData)
+	return r.Recv(src, recvTag)
+}
+
+// Barrier blocks until every rank in the world has entered it.
+func (r *Rank) Barrier() { r.world.bar.wait() }
+
+// barrier is a reusable sense-reversing barrier.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	size    int
+	waiting int
+	gen     uint64
+}
+
+func (b *barrier) init(size int) {
+	b.size = size
+	b.cond = sync.NewCond(&b.mu)
+}
+
+func (b *barrier) wait() {
+	b.mu.Lock()
+	gen := b.gen
+	b.waiting++
+	if b.waiting == b.size {
+		b.waiting = 0
+		b.gen++
+		b.mu.Unlock()
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// Op is a reduction operator for Allreduce.
+type Op int
+
+const (
+	// OpSum adds contributions.
+	OpSum Op = iota
+	// OpMin takes the minimum.
+	OpMin
+	// OpMax takes the maximum.
+	OpMax
+)
+
+// Allreduce combines one float64 per rank with the given operator and
+// returns the result on every rank. The combination is performed in rank
+// order on every rank, so the result is bitwise identical across ranks and
+// across runs — the determinism the cross-backend verification tests rely
+// on.
+func (r *Rank) Allreduce(x float64, op Op) float64 {
+	w := r.world
+	w.redBuf[r.id] = x
+	r.Barrier() // all contributions visible
+	acc := w.redBuf[0]
+	for i := 1; i < w.size; i++ {
+		v := w.redBuf[i]
+		switch op {
+		case OpSum:
+			acc += v
+		case OpMin:
+			if v < acc {
+				acc = v
+			}
+		case OpMax:
+			if v > acc {
+				acc = v
+			}
+		}
+	}
+	r.Barrier() // all ranks done reading before any next write
+	return acc
+}
+
+// AllreduceSum is Allreduce with OpSum.
+func (r *Rank) AllreduceSum(x float64) float64 { return r.Allreduce(x, OpSum) }
+
+// AllreduceVec element-wise sums a small vector across ranks; every rank
+// receives the combined vector. All ranks must pass slices of equal length.
+// It is used where TeaLeaf reduces several scalars in one MPI_Allreduce
+// (e.g. the field summary's five quantities).
+func (r *Rank) AllreduceVec(xs []float64) []float64 {
+	// Serialise vector reductions through the scratch area by staging each
+	// element in turn; vectors here are tiny (<=8 elements).
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = r.Allreduce(x, OpSum)
+	}
+	return out
+}
+
+// Bcast distributes root's value to every rank.
+func (r *Rank) Bcast(x float64, root int) float64 {
+	w := r.world
+	if r.id == root {
+		w.redBuf[root] = x
+	}
+	r.Barrier()
+	v := w.redBuf[root]
+	r.Barrier()
+	return v
+}

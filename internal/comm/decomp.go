@@ -1,0 +1,97 @@
+package comm
+
+import "fmt"
+
+// CartGrid is a 2D Cartesian process grid of PX-by-PY ranks. Rank r sits at
+// coordinates (r mod PX, r / PX): x-major, like TeaLeaf's chunk numbering.
+type CartGrid struct {
+	PX, PY int
+}
+
+// Decompose chooses the process-grid shape for nprocs ranks over an
+// nx-by-ny cell mesh, following the mini-app's tea_decompose: among all
+// factorisations px*py = nprocs it picks the one whose px/py ratio best
+// matches the mesh ratio nx/ny, which minimises the halo surface exchanged.
+func Decompose(nprocs, nx, ny int) CartGrid {
+	if nprocs <= 0 {
+		panic(fmt.Sprintf("comm: cannot decompose over %d ranks", nprocs))
+	}
+	meshRatio := float64(nx) / float64(ny)
+	best := CartGrid{PX: nprocs, PY: 1}
+	bestErr := ratioErr(best, meshRatio)
+	for px := 1; px <= nprocs; px++ {
+		if nprocs%px != 0 {
+			continue
+		}
+		g := CartGrid{PX: px, PY: nprocs / px}
+		if e := ratioErr(g, meshRatio); e < bestErr {
+			best, bestErr = g, e
+		}
+	}
+	return best
+}
+
+func ratioErr(g CartGrid, meshRatio float64) float64 {
+	r := float64(g.PX) / float64(g.PY)
+	e := r - meshRatio
+	if e < 0 {
+		e = -e
+	}
+	return e
+}
+
+// Size returns the number of ranks in the grid.
+func (g CartGrid) Size() int { return g.PX * g.PY }
+
+// Coords returns the (cx, cy) grid coordinates of a rank.
+func (g CartGrid) Coords(rank int) (cx, cy int) { return rank % g.PX, rank / g.PX }
+
+// RankAt returns the rank at grid coordinates (cx, cy), or -1 if the
+// coordinates fall outside the grid (i.e. the neighbour is a physical
+// boundary).
+func (g CartGrid) RankAt(cx, cy int) int {
+	if cx < 0 || cx >= g.PX || cy < 0 || cy >= g.PY {
+		return -1
+	}
+	return cy*g.PX + cx
+}
+
+// Chunk is the sub-domain a rank owns: its cell offset and extent within
+// the global mesh and its four neighbour ranks (-1 at physical boundaries).
+type Chunk struct {
+	X0, Y0 int // global cell offset of the chunk's first interior cell
+	NX, NY int // interior extent of the chunk
+	Left   int
+	Right  int
+	Down   int
+	Up     int
+}
+
+// ChunkOf computes the sub-domain of one rank for a global nx-by-ny mesh.
+// Cells divide as evenly as possible; the first nx mod PX columns of chunks
+// get one extra column (and likewise in y), matching tea_decompose.
+func (g CartGrid) ChunkOf(rank, nx, ny int) Chunk {
+	cx, cy := g.Coords(rank)
+	x0, cnx := splitRange(nx, g.PX, cx)
+	y0, cny := splitRange(ny, g.PY, cy)
+	return Chunk{
+		X0: x0, Y0: y0, NX: cnx, NY: cny,
+		Left:  g.RankAt(cx-1, cy),
+		Right: g.RankAt(cx+1, cy),
+		Down:  g.RankAt(cx, cy-1),
+		Up:    g.RankAt(cx, cy+1),
+	}
+}
+
+// splitRange divides n cells across p parts and returns part i's offset and
+// length.
+func splitRange(n, p, i int) (off, length int) {
+	base := n / p
+	rem := n % p
+	off = i*base + min(i, rem)
+	length = base
+	if i < rem {
+		length++
+	}
+	return off, length
+}

@@ -1,0 +1,65 @@
+package config
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Benchmark returns one of the standard TeaLeaf benchmark decks by name.
+// The tea_bm series is the workload of the paper: a [0,10]x[0,10] domain,
+// a dense cold background (density 100, energy 1e-4) with a light hot strip
+// (density 0.1, energy 25) along the bottom-left, solved with CG to 1e-15
+// for ten time steps of 0.004.
+//
+// Names: "bm_16", "bm_250", "bm_500", "bm_1000", "bm_2000", "bm_4000"
+// select the mesh resolution; "bm_1000" and "bm_4000" are the two problem
+// sizes reported in the paper (Figures 1 and 2).
+func Benchmark(name string) (Config, error) {
+	n, ok := benchmarkCells[name]
+	if !ok {
+		return Config{}, fmt.Errorf("config: unknown benchmark %q (have %v)", name, BenchmarkNames())
+	}
+	return BenchmarkN(n), nil
+}
+
+var benchmarkCells = map[string]int{
+	"bm_16":   16,
+	"bm_64":   64,
+	"bm_250":  250,
+	"bm_500":  500,
+	"bm_1000": 1000,
+	"bm_2000": 2000,
+	"bm_4000": 4000,
+}
+
+// BenchmarkNames lists the available benchmark decks in ascending size.
+func BenchmarkNames() []string {
+	names := make([]string, 0, len(benchmarkCells))
+	for n := range benchmarkCells {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return benchmarkCells[names[i]] < benchmarkCells[names[j]] })
+	return names
+}
+
+// BenchmarkN returns the tea_bm deck at an arbitrary n-by-n resolution.
+func BenchmarkN(n int) Config {
+	cfg := Default()
+	cfg.NX, cfg.NY = n, n
+	cfg.XMin, cfg.XMax, cfg.YMin, cfg.YMax = 0, 10, 0, 10
+	cfg.InitialTimestep = 0.004
+	cfg.EndStep = 10
+	cfg.EndTime = math.MaxFloat64
+	cfg.Solver = SolverCG
+	cfg.Eps = 1e-15
+	cfg.MaxIters = 10000
+	cfg.Coefficient = Conductivity
+	cfg.SummaryFrequency = 10
+	cfg.States = []State{
+		{Index: 1, Density: 100.0, Energy: 0.0001, Geometry: GeomRectangle},
+		{Index: 2, Density: 0.1, Energy: 25.0, Geometry: GeomRectangle,
+			XMin: 0.0, XMax: 1.0, YMin: 1.0, YMax: 2.0},
+	}
+	return cfg
+}

@@ -1,0 +1,265 @@
+// Package config parses TeaLeaf input decks ("tea.in" files) and defines the
+// run configuration shared by every port. The accepted grammar follows the
+// original mini-app: a block delimited by *tea / *endtea containing
+// key=value settings, bare flag keywords (tl_use_cg and friends) and state
+// lines describing the initial material layout.
+package config
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// SolverKind selects the linear solver used for the implicit conduction
+// solve, mirroring the tl_use_* keywords of the mini-app.
+type SolverKind int
+
+const (
+	// SolverCG is the conjugate gradient solver (tl_use_cg), the solver the
+	// paper benchmarks.
+	SolverCG SolverKind = iota
+	// SolverJacobi is plain Jacobi iteration (tl_use_jacobi).
+	SolverJacobi
+	// SolverChebyshev is the Chebyshev iteration bootstrapped by CG
+	// eigenvalue estimates (tl_use_chebyshev).
+	SolverChebyshev
+	// SolverPPCG is CG with polynomial (Chebyshev) preconditioning
+	// (tl_use_ppcg).
+	SolverPPCG
+)
+
+// String returns the tea.in keyword for the solver.
+func (s SolverKind) String() string {
+	switch s {
+	case SolverCG:
+		return "cg"
+	case SolverJacobi:
+		return "jacobi"
+	case SolverChebyshev:
+		return "chebyshev"
+	case SolverPPCG:
+		return "ppcg"
+	default:
+		return fmt.Sprintf("SolverKind(%d)", int(s))
+	}
+}
+
+// Coefficient selects how the conduction coefficient derives from density.
+type Coefficient int
+
+const (
+	// Conductivity uses k = rho (CONDUCTIVITY in the mini-app).
+	Conductivity Coefficient = iota
+	// RecipConductivity uses k = 1/rho (RECIP_CONDUCTIVITY), the mini-app
+	// default for the standard benchmarks.
+	RecipConductivity
+)
+
+func (c Coefficient) String() string {
+	if c == Conductivity {
+		return "conductivity"
+	}
+	return "recip_conductivity"
+}
+
+// Preconditioner selects the CG preconditioner (tl_preconditioner_type).
+type Preconditioner int
+
+const (
+	// PrecondNone runs unpreconditioned CG.
+	PrecondNone Preconditioner = iota
+	// PrecondJacDiag uses the diagonal (Jacobi) preconditioner.
+	PrecondJacDiag
+	// PrecondJacBlock uses the block (line) Jacobi preconditioner: each
+	// mesh row's tridiagonal slice of the operator is solved exactly by
+	// the Thomas algorithm, the mini-app's tl_preconditioner_type=jac_block.
+	PrecondJacBlock
+)
+
+func (p Preconditioner) String() string {
+	switch p {
+	case PrecondJacDiag:
+		return "jac_diag"
+	case PrecondJacBlock:
+		return "jac_block"
+	default:
+		return "none"
+	}
+}
+
+// Geometry is the shape of a material state region.
+type Geometry int
+
+const (
+	// GeomRectangle covers cells whose centres fall inside an axis-aligned
+	// rectangle.
+	GeomRectangle Geometry = iota
+	// GeomCircular covers cells whose centres fall inside a circle.
+	GeomCircular
+	// GeomPoint covers the single cell containing a point.
+	GeomPoint
+)
+
+func (g Geometry) String() string {
+	switch g {
+	case GeomRectangle:
+		return "rectangle"
+	case GeomCircular:
+		return "circular"
+	case GeomPoint:
+		return "point"
+	default:
+		return fmt.Sprintf("Geometry(%d)", int(g))
+	}
+}
+
+// State describes one material state from the input deck. State 1 is the
+// background state covering the whole domain; later states overwrite it
+// inside their region.
+type State struct {
+	Index    int
+	Density  float64
+	Energy   float64
+	Geometry Geometry
+	XMin     float64
+	XMax     float64
+	YMin     float64
+	YMax     float64
+	Radius   float64
+}
+
+// Config is a fully-resolved TeaLeaf run configuration.
+type Config struct {
+	// Mesh extent.
+	NX, NY                 int
+	XMin, XMax, YMin, YMax float64
+
+	// Time marching.
+	InitialTimestep float64
+	EndStep         int
+	EndTime         float64
+
+	// Solver controls.
+	Solver         SolverKind
+	Eps            float64
+	MaxIters       int
+	Coefficient    Coefficient
+	Preconditioner Preconditioner
+
+	// PPCG/Chebyshev controls.
+	PPCGInnerSteps int // tl_ppcg_inner_steps
+	EigenCGIters   int // CG iterations used to estimate eigenvalues before Chebyshev/PPCG
+
+	// Reporting.
+	SummaryFrequency int // steps between field summaries (0 = only at end)
+	Profile          bool
+
+	// Initial material layout; States[0] must cover the whole domain.
+	States []State
+}
+
+// Default returns the configuration corresponding to an empty tea.in: the
+// mini-app's documented defaults with a 10x10 domain of 10x2 cells and the
+// standard two-state benchmark layout left empty (callers must add states).
+func Default() Config {
+	return Config{
+		NX: 10, NY: 2,
+		XMin: 0, XMax: 10, YMin: 0, YMax: 2,
+		InitialTimestep:  0.1,
+		EndStep:          10,
+		EndTime:          math.MaxFloat64,
+		Solver:           SolverCG,
+		Eps:              1e-10,
+		MaxIters:         1000,
+		Coefficient:      Conductivity,
+		Preconditioner:   PrecondNone,
+		PPCGInnerSteps:   10,
+		EigenCGIters:     20,
+		SummaryFrequency: 10,
+	}
+}
+
+// Validate checks the configuration for internal consistency.
+func (c *Config) Validate() error {
+	if c.NX <= 0 || c.NY <= 0 {
+		return fmt.Errorf("config: non-positive mesh extent %dx%d", c.NX, c.NY)
+	}
+	if c.XMax <= c.XMin || c.YMax <= c.YMin {
+		return fmt.Errorf("config: empty physical domain [%g,%g]x[%g,%g]", c.XMin, c.XMax, c.YMin, c.YMax)
+	}
+	if c.InitialTimestep <= 0 {
+		return fmt.Errorf("config: initial_timestep must be positive, got %g", c.InitialTimestep)
+	}
+	if c.EndStep <= 0 && c.EndTime == math.MaxFloat64 {
+		return fmt.Errorf("config: neither end_step nor end_time set")
+	}
+	if c.Eps <= 0 {
+		return fmt.Errorf("config: tl_eps must be positive, got %g", c.Eps)
+	}
+	if c.MaxIters <= 0 {
+		return fmt.Errorf("config: tl_max_iters must be positive, got %d", c.MaxIters)
+	}
+	if c.PPCGInnerSteps <= 0 && c.Solver == SolverPPCG {
+		return fmt.Errorf("config: tl_ppcg_inner_steps must be positive for ppcg, got %d", c.PPCGInnerSteps)
+	}
+	if len(c.States) == 0 {
+		return fmt.Errorf("config: no material states defined")
+	}
+	for _, s := range c.States {
+		if s.Density <= 0 {
+			return fmt.Errorf("config: state %d has non-positive density %g", s.Index, s.Density)
+		}
+		if s.Energy < 0 {
+			return fmt.Errorf("config: state %d has negative energy %g", s.Index, s.Energy)
+		}
+	}
+	return nil
+}
+
+// Summary renders the configuration in tea.in syntax, used by -dump and the
+// docs; ParseReader(strings.NewReader(c.Summary())) round-trips.
+func (c *Config) Summary() string {
+	var b strings.Builder
+	b.WriteString("*tea\n")
+	for _, s := range c.States {
+		fmt.Fprintf(&b, "state %d density=%g energy=%g", s.Index, s.Density, s.Energy)
+		if s.Index > 1 {
+			fmt.Fprintf(&b, " geometry=%s", s.Geometry)
+			switch s.Geometry {
+			case GeomRectangle:
+				fmt.Fprintf(&b, " xmin=%g xmax=%g ymin=%g ymax=%g", s.XMin, s.XMax, s.YMin, s.YMax)
+			case GeomCircular:
+				fmt.Fprintf(&b, " xmin=%g ymin=%g radius=%g", s.XMin, s.YMin, s.Radius)
+			case GeomPoint:
+				fmt.Fprintf(&b, " xmin=%g ymin=%g", s.XMin, s.YMin)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "x_cells=%d\n", c.NX)
+	fmt.Fprintf(&b, "y_cells=%d\n", c.NY)
+	fmt.Fprintf(&b, "xmin=%g\nxmax=%g\nymin=%g\nymax=%g\n", c.XMin, c.XMax, c.YMin, c.YMax)
+	fmt.Fprintf(&b, "initial_timestep=%g\n", c.InitialTimestep)
+	fmt.Fprintf(&b, "end_step=%d\n", c.EndStep)
+	if c.EndTime != math.MaxFloat64 {
+		fmt.Fprintf(&b, "end_time=%g\n", c.EndTime)
+	}
+	fmt.Fprintf(&b, "tl_max_iters=%d\n", c.MaxIters)
+	fmt.Fprintf(&b, "tl_use_%s\n", c.Solver)
+	fmt.Fprintf(&b, "tl_eps=%g\n", c.Eps)
+	if c.Preconditioner != PrecondNone {
+		fmt.Fprintf(&b, "tl_preconditioner_type=%s\n", c.Preconditioner)
+	}
+	if c.Solver == SolverPPCG {
+		fmt.Fprintf(&b, "tl_ppcg_inner_steps=%d\n", c.PPCGInnerSteps)
+	}
+	if c.Coefficient == RecipConductivity {
+		b.WriteString("tl_coefficient_recip\n")
+	}
+	if c.Profile {
+		b.WriteString("profiler_on\n")
+	}
+	b.WriteString("*endtea\n")
+	return b.String()
+}

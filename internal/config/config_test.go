@@ -1,0 +1,262 @@
+package config
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sampleDeck = `
+*tea
+! the standard two-material benchmark
+state 1 density=100.0 energy=0.0001
+state 2 density=0.1 energy=25.0 geometry=rectangle xmin=0.0 xmax=1.0 ymin=1.0 ymax=2.0
+
+x_cells=1000
+y_cells=1000
+xmin=0.0
+xmax=10.0
+ymin=0.0
+ymax=10.0
+
+initial_timestep=0.004
+end_step=10
+tl_max_iters=10000
+tl_use_cg
+tl_eps=1.0e-15
+*endtea
+`
+
+func TestParseSampleDeck(t *testing.T) {
+	cfg, err := ParseReader(strings.NewReader(sampleDeck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NX != 1000 || cfg.NY != 1000 {
+		t.Errorf("cells = %dx%d", cfg.NX, cfg.NY)
+	}
+	if cfg.XMax != 10 || cfg.YMax != 10 {
+		t.Errorf("extent = %g x %g", cfg.XMax, cfg.YMax)
+	}
+	if cfg.InitialTimestep != 0.004 || cfg.EndStep != 10 {
+		t.Errorf("dt=%g steps=%d", cfg.InitialTimestep, cfg.EndStep)
+	}
+	if cfg.Solver != SolverCG || cfg.Eps != 1e-15 || cfg.MaxIters != 10000 {
+		t.Errorf("solver=%v eps=%g iters=%d", cfg.Solver, cfg.Eps, cfg.MaxIters)
+	}
+	if len(cfg.States) != 2 {
+		t.Fatalf("states = %d", len(cfg.States))
+	}
+	s2 := cfg.States[1]
+	if s2.Density != 0.1 || s2.Energy != 25 || s2.Geometry != GeomRectangle ||
+		s2.XMax != 1 || s2.YMin != 1 || s2.YMax != 2 {
+		t.Errorf("state 2 = %+v", s2)
+	}
+}
+
+func TestParseAllGeometriesAndFlags(t *testing.T) {
+	deck := `
+state 1 density=1 energy=1
+state 2 density=2 energy=2 geometry=circular xmin=3 ymin=4 radius=1.5
+state 3 density=3 energy=3 geometry=point xmin=5 ymin=6
+x_cells=8
+y_cells=8
+xmin=0
+xmax=8
+ymin=0
+ymax=8
+initial_timestep=0.1
+end_step=2
+tl_use_ppcg
+tl_ppcg_inner_steps=7
+tl_preconditioner_type=jac_diag
+tl_coefficient_recip
+profiler_on
+summary_frequency=1
+`
+	cfg, err := ParseReader(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Solver != SolverPPCG || cfg.PPCGInnerSteps != 7 {
+		t.Errorf("solver=%v inner=%d", cfg.Solver, cfg.PPCGInnerSteps)
+	}
+	if cfg.Preconditioner != PrecondJacDiag {
+		t.Errorf("precond=%v", cfg.Preconditioner)
+	}
+	if cfg.Coefficient != RecipConductivity {
+		t.Errorf("coefficient=%v", cfg.Coefficient)
+	}
+	if !cfg.Profile || cfg.SummaryFrequency != 1 {
+		t.Errorf("profile=%v freq=%d", cfg.Profile, cfg.SummaryFrequency)
+	}
+	if cfg.States[1].Geometry != GeomCircular || cfg.States[1].Radius != 1.5 {
+		t.Errorf("state 2 = %+v", cfg.States[1])
+	}
+	if cfg.States[2].Geometry != GeomPoint {
+		t.Errorf("state 3 = %+v", cfg.States[2])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown key":     "state 1 density=1 energy=1\nbogus_key=3\n",
+		"unknown keyword": "state 1 density=1 energy=1\ntl_use_warp_drive\n",
+		"bad number":      "state 1 density=1 energy=1\ntl_eps=banana\n",
+		"bad geometry":    "state 1 density=1 energy=1\nstate 2 density=1 energy=1 geometry=pentagon\n",
+		"no states":       "x_cells=4\ny_cells=4\n",
+		"bad state index": "state one density=1 energy=1\n",
+		"malformed state": "state 2 density\n",
+	}
+	for name, deck := range cases {
+		if _, err := ParseReader(strings.NewReader(deck)); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestSummaryRoundTrip(t *testing.T) {
+	orig := BenchmarkN(250)
+	orig.Solver = SolverPPCG
+	orig.Preconditioner = PrecondJacDiag
+	orig.Coefficient = RecipConductivity
+	orig.PPCGInnerSteps = 12
+	parsed, err := ParseReader(strings.NewReader(orig.Summary()))
+	if err != nil {
+		t.Fatalf("round-trip parse: %v\ndeck:\n%s", err, orig.Summary())
+	}
+	if parsed.NX != orig.NX || parsed.Solver != orig.Solver ||
+		parsed.Eps != orig.Eps || parsed.Preconditioner != orig.Preconditioner ||
+		parsed.Coefficient != orig.Coefficient || parsed.PPCGInnerSteps != orig.PPCGInnerSteps {
+		t.Errorf("round trip changed config:\n got %+v\nwant %+v", parsed, orig)
+	}
+	if len(parsed.States) != len(orig.States) {
+		t.Fatalf("states %d != %d", len(parsed.States), len(orig.States))
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := BenchmarkN(16)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("benchmark deck invalid: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero cells", func(c *Config) { c.NX = 0 }},
+		{"empty domain", func(c *Config) { c.XMax = c.XMin }},
+		{"bad dt", func(c *Config) { c.InitialTimestep = 0 }},
+		{"bad eps", func(c *Config) { c.Eps = -1 }},
+		{"bad iters", func(c *Config) { c.MaxIters = 0 }},
+		{"no end", func(c *Config) { c.EndStep = 0; c.EndTime = math.MaxFloat64 }},
+		{"no states", func(c *Config) { c.States = nil }},
+		{"bad density", func(c *Config) { c.States[0].Density = 0 }},
+		{"negative energy", func(c *Config) { c.States[1].Energy = -1 }},
+	}
+	for _, c := range cases {
+		cfg := BenchmarkN(16)
+		c.mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestBenchmarks(t *testing.T) {
+	names := BenchmarkNames()
+	if len(names) < 5 {
+		t.Fatalf("expected several benchmark decks, got %v", names)
+	}
+	// Names must come out in ascending size.
+	last := 0
+	for _, n := range names {
+		cfg, err := Benchmark(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.NX <= last {
+			t.Errorf("benchmarks not sorted by size: %v", names)
+		}
+		last = cfg.NX
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", n, err)
+		}
+	}
+	if _, err := Benchmark("bm_nope"); err == nil {
+		t.Error("expected error for unknown benchmark")
+	}
+	// The paper's datasets.
+	for _, n := range []string{"bm_1000", "bm_4000"} {
+		cfg, err := Benchmark(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.EndStep != 10 || cfg.Solver != SolverCG || cfg.Eps != 1e-15 {
+			t.Errorf("%s is not the paper workload: %+v", n, cfg)
+		}
+	}
+}
+
+func TestCommentsAndBlockHandling(t *testing.T) {
+	deck := `
+! leading comment
+*tea
+state 1 density=1 energy=1   ! trailing comment
+x_cells=4 # hash comment
+y_cells=4
+initial_timestep=0.1
+end_step=1
+*endtea
+ignored_outside_block=1
+*tea_visualisation
+also=ignored
+`
+	cfg, err := ParseReader(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NX != 4 {
+		t.Errorf("NX = %d", cfg.NX)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	for s, want := range map[SolverKind]string{
+		SolverCG: "cg", SolverJacobi: "jacobi", SolverChebyshev: "chebyshev", SolverPPCG: "ppcg",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", int(s), s.String())
+		}
+	}
+	if Conductivity.String() != "conductivity" || RecipConductivity.String() != "recip_conductivity" {
+		t.Error("coefficient stringer wrong")
+	}
+	if GeomRectangle.String() != "rectangle" || GeomCircular.String() != "circular" || GeomPoint.String() != "point" {
+		t.Error("geometry stringer wrong")
+	}
+}
+
+func TestPreconditionerParsingAndStrings(t *testing.T) {
+	deck := `
+state 1 density=1 energy=1
+x_cells=4
+y_cells=4
+initial_timestep=0.1
+end_step=1
+tl_preconditioner_type=jac_block
+`
+	cfg, err := ParseReader(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Preconditioner != PrecondJacBlock {
+		t.Errorf("precond = %v", cfg.Preconditioner)
+	}
+	if PrecondNone.String() != "none" || PrecondJacDiag.String() != "jac_diag" || PrecondJacBlock.String() != "jac_block" {
+		t.Error("preconditioner stringers wrong")
+	}
+	if _, err := ParseReader(strings.NewReader(strings.Replace(deck, "jac_block", "ilu0", 1))); err == nil {
+		t.Error("expected error for unknown preconditioner")
+	}
+}

@@ -1,0 +1,40 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStockDecksParse: every deck shipped under decks/ must parse and
+// validate (they are user-facing documentation as much as inputs).
+func TestStockDecksParse(t *testing.T) {
+	decks, err := filepath.Glob("../../decks/*.in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decks) < 4 {
+		t.Fatalf("expected several stock decks, found %v", decks)
+	}
+	for _, path := range decks {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			cfg, err := ParseFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cfg.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if cfg.NX <= 0 || len(cfg.States) < 2 {
+				t.Errorf("deck parsed to an implausible config: %+v", cfg)
+			}
+		})
+	}
+}
+
+func TestParseFileMissing(t *testing.T) {
+	if _, err := ParseFile(filepath.Join(os.TempDir(), "definitely-not-there.in")); err == nil {
+		t.Error("expected error for missing file")
+	}
+}

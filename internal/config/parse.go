@@ -1,0 +1,240 @@
+package config
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ParseFile reads a tea.in deck from disk.
+func ParseFile(path string) (Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("config: %w", err)
+	}
+	defer f.Close()
+	cfg, err := ParseReader(f)
+	if err != nil {
+		return Config{}, fmt.Errorf("config: %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// ParseReader parses a tea.in deck. Unknown keys are an error: silently
+// ignoring a typo in a benchmark deck invalidates the run, so the parser is
+// strict.
+func ParseReader(r io.Reader) (Config, error) {
+	cfg := Default()
+	cfg.States = nil
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	inBlock := false
+	sawBlock := false
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexAny(line, "!#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		lower := strings.ToLower(line)
+		switch {
+		case lower == "*tea":
+			inBlock, sawBlock = true, true
+			continue
+		case lower == "*endtea":
+			inBlock = false
+			continue
+		case strings.HasPrefix(lower, "*"):
+			// Other blocks (e.g. *tea_visualisation) are skipped entirely.
+			inBlock = false
+			continue
+		}
+		if sawBlock && !inBlock {
+			continue
+		}
+		if err := parseLine(&cfg, lower); err != nil {
+			return Config{}, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Config{}, err
+	}
+	if len(cfg.States) == 0 {
+		return Config{}, fmt.Errorf("deck defines no states")
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+func parseLine(cfg *Config, line string) error {
+	if strings.HasPrefix(line, "state ") {
+		return parseState(cfg, line)
+	}
+	key, val, hasVal := strings.Cut(line, "=")
+	key = strings.TrimSpace(key)
+	val = strings.TrimSpace(val)
+	if !hasVal {
+		return parseFlag(cfg, key)
+	}
+	switch key {
+	case "x_cells":
+		return setInt(&cfg.NX, key, val)
+	case "y_cells":
+		return setInt(&cfg.NY, key, val)
+	case "xmin":
+		return setFloat(&cfg.XMin, key, val)
+	case "xmax":
+		return setFloat(&cfg.XMax, key, val)
+	case "ymin":
+		return setFloat(&cfg.YMin, key, val)
+	case "ymax":
+		return setFloat(&cfg.YMax, key, val)
+	case "initial_timestep":
+		return setFloat(&cfg.InitialTimestep, key, val)
+	case "end_step":
+		return setInt(&cfg.EndStep, key, val)
+	case "end_time":
+		return setFloat(&cfg.EndTime, key, val)
+	case "summary_frequency":
+		return setInt(&cfg.SummaryFrequency, key, val)
+	case "tl_max_iters", "max_iters":
+		return setInt(&cfg.MaxIters, key, val)
+	case "tl_eps", "eps":
+		return setFloat(&cfg.Eps, key, val)
+	case "tl_ppcg_inner_steps":
+		return setInt(&cfg.PPCGInnerSteps, key, val)
+	case "tl_eigen_cg_iters":
+		return setInt(&cfg.EigenCGIters, key, val)
+	case "tl_preconditioner_type":
+		switch val {
+		case "none":
+			cfg.Preconditioner = PrecondNone
+		case "jac_diag":
+			cfg.Preconditioner = PrecondJacDiag
+		case "jac_block":
+			cfg.Preconditioner = PrecondJacBlock
+		default:
+			return fmt.Errorf("unknown preconditioner %q", val)
+		}
+		return nil
+	case "tl_coefficient":
+		switch val {
+		case "conductivity":
+			cfg.Coefficient = Conductivity
+		case "recip_conductivity":
+			cfg.Coefficient = RecipConductivity
+		default:
+			return fmt.Errorf("unknown coefficient %q", val)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown key %q", key)
+	}
+}
+
+func parseFlag(cfg *Config, key string) error {
+	switch key {
+	case "tl_use_cg":
+		cfg.Solver = SolverCG
+	case "tl_use_jacobi":
+		cfg.Solver = SolverJacobi
+	case "tl_use_chebyshev":
+		cfg.Solver = SolverChebyshev
+	case "tl_use_ppcg":
+		cfg.Solver = SolverPPCG
+	case "tl_coefficient_recip":
+		cfg.Coefficient = RecipConductivity
+	case "tl_coefficient_density":
+		cfg.Coefficient = Conductivity
+	case "profiler_on", "tl_profiler_on":
+		cfg.Profile = true
+	case "use_fortran_kernels", "use_c_kernels", "tea_leaf_large", "verbose_on":
+		// Accepted for compatibility with stock decks; no effect here.
+	default:
+		return fmt.Errorf("unknown keyword %q", key)
+	}
+	return nil
+}
+
+func parseState(cfg *Config, line string) error {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return fmt.Errorf("malformed state line %q", line)
+	}
+	idx, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return fmt.Errorf("bad state index %q: %w", fields[1], err)
+	}
+	st := State{Index: idx, Geometry: GeomRectangle}
+	for _, tok := range fields[2:] {
+		key, val, ok := strings.Cut(tok, "=")
+		if !ok {
+			return fmt.Errorf("state %d: malformed token %q", idx, tok)
+		}
+		switch key {
+		case "density":
+			err = setFloat(&st.Density, key, val)
+		case "energy":
+			err = setFloat(&st.Energy, key, val)
+		case "xmin":
+			err = setFloat(&st.XMin, key, val)
+		case "xmax":
+			err = setFloat(&st.XMax, key, val)
+		case "ymin":
+			err = setFloat(&st.YMin, key, val)
+		case "ymax":
+			err = setFloat(&st.YMax, key, val)
+		case "radius":
+			err = setFloat(&st.Radius, key, val)
+		case "geometry":
+			switch val {
+			case "rectangle":
+				st.Geometry = GeomRectangle
+			case "circular", "circle":
+				st.Geometry = GeomCircular
+			case "point":
+				st.Geometry = GeomPoint
+			default:
+				err = fmt.Errorf("unknown geometry %q", val)
+			}
+		default:
+			err = fmt.Errorf("unknown state key %q", key)
+		}
+		if err != nil {
+			return fmt.Errorf("state %d: %w", idx, err)
+		}
+	}
+	cfg.States = append(cfg.States, st)
+	return nil
+}
+
+func setInt(dst *int, key, val string) error {
+	v, err := strconv.Atoi(val)
+	if err != nil {
+		return fmt.Errorf("%s: bad integer %q", key, val)
+	}
+	*dst = v
+	return nil
+}
+
+func setFloat(dst *float64, key, val string) error {
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("%s: bad number %q", key, val)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("%s: non-finite value %q", key, val)
+	}
+	*dst = v
+	return nil
+}

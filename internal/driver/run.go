@@ -1,0 +1,129 @@
+package driver
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/config"
+	"github.com/warwick-hpsc/tealeaf-go/internal/grid"
+)
+
+// SolveStats reports what one implicit solve did. internal/solver produces
+// these; driver only records them.
+type SolveStats struct {
+	Iterations      int     // outer solver iterations
+	InnerIterations int     // PPCG polynomial steps
+	HaloExchanges   int     // exchanges issued by the solve loop
+	Error           float64 // final squared residual measure
+	InitialError    float64
+	Converged       bool
+	EigMin, EigMax  float64 // spectrum estimate (Chebyshev/PPCG)
+	EstChebyIters   int     // Chebyshev-theory iteration estimate
+}
+
+// Solver abstracts the solve control flow so driver does not import the
+// solver package (which imports driver). internal/solver provides the real
+// implementation; tests may substitute stubs.
+type Solver interface {
+	Solve(k Kernels) (SolveStats, error)
+}
+
+// SolverFunc adapts a function to the Solver interface.
+type SolverFunc func(k Kernels) (SolveStats, error)
+
+// Solve implements Solver.
+func (f SolverFunc) Solve(k Kernels) (SolveStats, error) { return f(k) }
+
+// StepResult records one time step: the solve statistics and, when a field
+// summary was due, the QA totals.
+type StepResult struct {
+	Step   int
+	Time   float64 // simulation time after the step
+	Totals *Totals // nil when no summary was taken this step
+	Stats  SolveStats
+}
+
+// Result is a completed run.
+type Result struct {
+	Steps           []StepResult
+	Final           Totals
+	TotalIterations int
+	TotalInner      int
+}
+
+// Run executes a full TeaLeaf simulation of cfg against the port k, driving
+// it exactly like the mini-app's hydro loop: set_field, halo exchange,
+// solve init, solve, finalise, reset, summary. If log is non-nil a per-step
+// report is written to it.
+func Run(cfg config.Config, k Kernels, s Solver, log io.Writer) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	m, err := grid.NewMesh(cfg.XMin, cfg.XMax, cfg.YMin, cfg.YMax, cfg.NX, cfg.NY)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := k.Generate(m, cfg.States); err != nil {
+		return Result{}, fmt.Errorf("driver: generate: %w", err)
+	}
+	k.HaloExchange([]FieldID{FieldDensity, FieldEnergy0}, 2)
+
+	var res Result
+	dt := cfg.InitialTimestep
+	rx := dt / (m.Dx * m.Dx)
+	ry := dt / (m.Dy * m.Dy)
+	simTime := 0.0
+	for step := 1; step <= cfg.EndStep && simTime < cfg.EndTime; step++ {
+		k.SetField()
+		k.HaloExchange([]FieldID{FieldDensity, FieldEnergy1}, 2)
+		k.SolveInit(cfg.Coefficient, rx, ry, cfg.Preconditioner)
+		stats, err := s.Solve(k)
+		if err != nil {
+			return res, fmt.Errorf("driver: step %d: %w", step, err)
+		}
+		k.SolveFinalise()
+		k.ResetField()
+		simTime += dt
+
+		sr := StepResult{Step: step, Time: simTime, Stats: stats}
+		res.TotalIterations += stats.Iterations
+		res.TotalInner += stats.InnerIterations
+		summaryDue := step == cfg.EndStep ||
+			(cfg.SummaryFrequency > 0 && step%cfg.SummaryFrequency == 0)
+		if summaryDue {
+			t := k.FieldSummary()
+			sr.Totals = &t
+			res.Final = t
+		}
+		res.Steps = append(res.Steps, sr)
+		if log != nil {
+			fmt.Fprintf(log, "step %4d  time %10.6f  iters %5d  error %12.5e\n",
+				step, simTime, stats.Iterations, stats.Error)
+			if sr.Totals != nil {
+				fmt.Fprintf(log, "  volume %.6e  mass %.6e  ie %.6e  temp %.6e\n",
+					sr.Totals.Volume, sr.Totals.Mass, sr.Totals.InternalEnergy, sr.Totals.Temperature)
+			}
+		}
+	}
+	return res, nil
+}
+
+// CompareTotals returns the largest relative difference across the four QA
+// quantities — the measure the cross-port verification tests and the
+// -qa flag of cmd/tealeaf use.
+func CompareTotals(a, b Totals) float64 {
+	rel := func(x, y float64) float64 {
+		d := math.Abs(x - y)
+		scale := math.Max(math.Abs(x), math.Abs(y))
+		if scale == 0 {
+			return 0
+		}
+		return d / scale
+	}
+	m := rel(a.Volume, b.Volume)
+	m = math.Max(m, rel(a.Mass, b.Mass))
+	m = math.Max(m, rel(a.InternalEnergy, b.InternalEnergy))
+	m = math.Max(m, rel(a.Temperature, b.Temperature))
+	return m
+}

@@ -1,0 +1,67 @@
+package grid
+
+import "fmt"
+
+// Mesh describes the uniform structured mesh of a TeaLeaf problem: the
+// physical extent of the domain, the number of cells in each dimension and
+// the derived cell geometry. TeaLeaf meshes are uniform rectangles, so the
+// per-cell spacing is constant; coordinate lookups are computed, not stored.
+type Mesh struct {
+	XMin, XMax float64 // physical domain extent in x
+	YMin, YMax float64 // physical domain extent in y
+	Nx, Ny     int     // interior cells in x and y
+	Dx, Dy     float64 // cell sizes
+}
+
+// NewMesh constructs a mesh over [xmin,xmax]x[ymin,ymax] with nx-by-ny cells.
+func NewMesh(xmin, xmax, ymin, ymax float64, nx, ny int) (*Mesh, error) {
+	if nx <= 0 || ny <= 0 {
+		return nil, fmt.Errorf("grid: mesh must have positive cell counts, got %dx%d", nx, ny)
+	}
+	if xmax <= xmin || ymax <= ymin {
+		return nil, fmt.Errorf("grid: mesh extent is empty: x [%g,%g], y [%g,%g]", xmin, xmax, ymin, ymax)
+	}
+	return &Mesh{
+		XMin: xmin, XMax: xmax, YMin: ymin, YMax: ymax,
+		Nx: nx, Ny: ny,
+		Dx: (xmax - xmin) / float64(nx),
+		Dy: (ymax - ymin) / float64(ny),
+	}, nil
+}
+
+// CellX returns the x coordinate of the centre of cell column i
+// (interior columns are 0..Nx-1; halo columns extrapolate linearly).
+func (m *Mesh) CellX(i int) float64 { return m.XMin + m.Dx*(float64(i)+0.5) }
+
+// CellY returns the y coordinate of the centre of cell row j.
+func (m *Mesh) CellY(j int) float64 { return m.YMin + m.Dy*(float64(j)+0.5) }
+
+// VertexX returns the x coordinate of vertex i (the left face of column i).
+func (m *Mesh) VertexX(i int) float64 { return m.XMin + m.Dx*float64(i) }
+
+// VertexY returns the y coordinate of vertex j (the bottom face of row j).
+func (m *Mesh) VertexY(j int) float64 { return m.YMin + m.Dy*float64(j) }
+
+// CellVolume returns the area (2D volume) of one cell.
+func (m *Mesh) CellVolume() float64 { return m.Dx * m.Dy }
+
+// Sub returns the mesh geometry restricted to a rectangular block of cells
+// [x0,x0+nx) x [y0,y0+ny), used by distributed-memory decompositions: the
+// sub-mesh has the same spacing and the correct physical offsets so that
+// state generation on a sub-domain places materials identically to a
+// single-domain run.
+func (m *Mesh) Sub(x0, y0, nx, ny int) *Mesh {
+	return &Mesh{
+		XMin: m.XMin + m.Dx*float64(x0),
+		XMax: m.XMin + m.Dx*float64(x0+nx),
+		YMin: m.YMin + m.Dy*float64(y0),
+		YMax: m.YMin + m.Dy*float64(y0+ny),
+		Nx:   nx, Ny: ny,
+		Dx: m.Dx, Dy: m.Dy,
+	}
+}
+
+func (m *Mesh) String() string {
+	return fmt.Sprintf("mesh %dx%d over [%g,%g]x[%g,%g] (dx=%g dy=%g)",
+		m.Nx, m.Ny, m.XMin, m.XMax, m.YMin, m.YMax, m.Dx, m.Dy)
+}

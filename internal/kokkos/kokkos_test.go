@@ -1,0 +1,125 @@
+package kokkos
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/simgpu"
+)
+
+func spaces(t *testing.T) map[string]ExecSpace {
+	t.Helper()
+	ss := map[string]ExecSpace{
+		"Serial": Serial{},
+		"OpenMP": NewOpenMP(4),
+		"Cuda":   NewCuda(simgpu.Dim2{X: 8, Y: 4}),
+	}
+	t.Cleanup(func() {
+		for _, s := range ss {
+			s.Close()
+		}
+	})
+	return ss
+}
+
+func TestDefaultLayouts(t *testing.T) {
+	if (Serial{}).DefaultLayout() != LayoutRight {
+		t.Error("Serial must default to LayoutRight")
+	}
+	if NewCuda(simgpu.Dim2{}).DefaultLayout() != LayoutLeft {
+		t.Error("Cuda must default to LayoutLeft")
+	}
+}
+
+func TestParallelForAllSpaces(t *testing.T) {
+	for name, s := range spaces(t) {
+		s := s
+		t.Run(name, func(t *testing.T) {
+			v := NewView(s, "v", 7, 9)
+			ParallelFor(s, "fill", MDRange{0, 7, 0, 9}, func(i0, i1 int) {
+				v.Set(i0, i1, float64(10*i0+i1))
+			})
+			for i0 := 0; i0 < 7; i0++ {
+				for i1 := 0; i1 < 9; i1++ {
+					if got := v.At(i0, i1); got != float64(10*i0+i1) {
+						t.Fatalf("v(%d,%d) = %g", i0, i1, got)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestParallelReduceAllSpaces(t *testing.T) {
+	for name, s := range spaces(t) {
+		s := s
+		t.Run(name, func(t *testing.T) {
+			v := NewView(s, "v", 13, 11)
+			ParallelFor(s, "fill", MDRange{0, 13, 0, 11}, func(i0, i1 int) { v.Set(i0, i1, 2) })
+			sum := ParallelReduce(s, "sum", MDRange{0, 13, 0, 11}, func(i0, i1 int, l *float64) {
+				*l += v.At(i0, i1)
+			})
+			if sum != 2*13*11 {
+				t.Errorf("sum = %g, want %d", sum, 2*13*11)
+			}
+		})
+	}
+}
+
+// TestDeepCopyLayoutConversion: a LayoutRight mirror round-trips through a
+// LayoutLeft device view element-for-element.
+func TestDeepCopyLayoutConversion(t *testing.T) {
+	cuda := NewCuda(simgpu.Dim2{})
+	defer cuda.Close()
+	dev := NewView(cuda, "d", 5, 4)
+	host := CreateMirror(dev)
+	if host.Layout() == dev.Layout() {
+		t.Fatal("mirror unexpectedly shares the device layout")
+	}
+	for i0 := 0; i0 < 5; i0++ {
+		for i1 := 0; i1 < 4; i1++ {
+			host.Set(i0, i1, float64(i0*100+i1))
+		}
+	}
+	DeepCopy(dev, host)
+	back := CreateMirror(dev)
+	DeepCopy(back, dev)
+	for i0 := 0; i0 < 5; i0++ {
+		for i1 := 0; i1 < 4; i1++ {
+			if back.At(i0, i1) != host.At(i0, i1) {
+				t.Fatalf("round-trip (%d,%d): %g != %g", i0, i1, back.At(i0, i1), host.At(i0, i1))
+			}
+		}
+	}
+}
+
+// TestLayoutIndexProperty: for any in-range index pair, the two layouts
+// address distinct storage consistently (quick-check of the index maps).
+func TestLayoutIndexProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		n0 := int(a%7) + 2
+		n1 := int(b%7) + 2
+		right := NewView(Serial{}, "r", n0, n1)
+		left := &View{label: "l", space: Serial{}, layout: LayoutLeft, n0: n0, n1: n1, data: make([]float64, n0*n1)}
+		k := 0.0
+		for i0 := 0; i0 < n0; i0++ {
+			for i1 := 0; i1 < n1; i1++ {
+				right.Set(i0, i1, k)
+				left.Set(i0, i1, k)
+				k++
+			}
+		}
+		for i0 := 0; i0 < n0; i0++ {
+			for i1 := 0; i1 < n1; i1++ {
+				if right.At(i0, i1) != left.At(i0, i1) {
+					return false
+				}
+			}
+		}
+		// Stride-1 direction differs between layouts.
+		return right.idx(0, 1) == 1 && left.idx(1, 0) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,343 @@
+// Package ops is a Go rendition of OPS, the Oxford Parallel library for
+// Structured-mesh solvers: an embedded DSL in which applications declare
+// blocks, datasets on blocks and stencils, and express every computation as
+// a ParLoop over a rectangular index range with explicit access
+// descriptors. From that single high-level source the library dispatches to
+// multiple parallel backends — serial, threaded (OpenMP-like), simulated
+// CUDA — and can defer execution to apply cache-blocking loop-chain tiling,
+// the optimisation behind the paper's "OPS MPI Tiled" results.
+//
+// In the original OPS a source-to-source translator generates per-backend
+// code; here the same information (stencils + access modes) drives runtime
+// dispatch, which preserves the programming model and the optimisation
+// structure while staying a single Go library.
+package ops
+
+import (
+	"fmt"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/par"
+	"github.com/warwick-hpsc/tealeaf-go/internal/simgpu"
+)
+
+// Backend selects how ParLoops execute.
+type Backend int
+
+const (
+	// BackendSerial runs loops on the calling goroutine.
+	BackendSerial Backend = iota
+	// BackendOpenMP runs loops on a thread team with static scheduling.
+	BackendOpenMP
+	// BackendCUDA runs loops as kernel launches on a simulated device; dats
+	// live in device memory.
+	BackendCUDA
+	// BackendACC runs loops gang-scheduled on a thread team (the OpenACC
+	// code path OPS generates), host-resident data.
+	BackendACC
+)
+
+func (b Backend) String() string {
+	switch b {
+	case BackendSerial:
+		return "serial"
+	case BackendOpenMP:
+		return "openmp"
+	case BackendCUDA:
+		return "cuda"
+	case BackendACC:
+		return "openacc"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
+// Options configures a Context.
+type Options struct {
+	Backend Backend
+	// Threads is the team width for BackendOpenMP/BackendACC (<=0: all
+	// cores).
+	Threads int
+	// Block is the kernel block size for BackendCUDA; the paper tunes OPS
+	// CUDA with OPS_BLOCK_SIZE_X=64, OPS_BLOCK_SIZE_Y=8, the default here.
+	Block simgpu.Dim2
+	// Tiling enables lazy execution with skewed cache-block tiling
+	// (host backends only).
+	Tiling bool
+	// TileX, TileY are the tile extent in cells (<=0 picks defaults).
+	TileX, TileY int
+}
+
+// Stats counts what a context executed.
+type Stats struct {
+	LoopsEnqueued int64
+	LoopsExecuted int64
+	Flushes       int64
+	Tiles         int64
+}
+
+// Context is one OPS instance: backend resources plus, when tiling, the
+// lazy loop queue.
+type Context struct {
+	opt   Options
+	team  *par.Team
+	dev   *simgpu.Device
+	queue []*loopRecord
+	stats Stats
+}
+
+// NewContext creates an OPS instance. Close it to release its resources.
+func NewContext(opt Options) (*Context, error) {
+	if opt.Block.X <= 0 || opt.Block.Y <= 0 {
+		opt.Block = simgpu.Dim2{X: 64, Y: 8}
+	}
+	if opt.TileX <= 0 {
+		opt.TileX = 128
+	}
+	if opt.TileY <= 0 {
+		opt.TileY = 32
+	}
+	ctx := &Context{opt: opt}
+	switch opt.Backend {
+	case BackendSerial:
+	case BackendOpenMP, BackendACC:
+		ctx.team = par.NewTeam(opt.Threads)
+	case BackendCUDA:
+		if opt.Tiling {
+			return nil, fmt.Errorf("ops: tiling is not supported on the CUDA backend")
+		}
+		ctx.dev = simgpu.NewDevice(simgpu.Props{Name: "ops-cuda"})
+	default:
+		return nil, fmt.Errorf("ops: unknown backend %v", opt.Backend)
+	}
+	return ctx, nil
+}
+
+// Close flushes pending loops and releases backend resources.
+func (ctx *Context) Close() {
+	ctx.Flush()
+	if ctx.team != nil {
+		ctx.team.Close()
+	}
+	if ctx.dev != nil {
+		ctx.dev.Close()
+	}
+}
+
+// Backend reports the context's backend.
+func (ctx *Context) Backend() Backend { return ctx.opt.Backend }
+
+// Stats returns execution counters.
+func (ctx *Context) Stats() Stats { return ctx.stats }
+
+// Device exposes the simulated device of a CUDA context (nil otherwise).
+func (ctx *Context) Device() *simgpu.Device { return ctx.dev }
+
+// Block is a structured-mesh block: an nx-by-ny index space datasets hang
+// off.
+type Block struct {
+	ctx    *Context
+	name   string
+	nx, ny int
+}
+
+// DeclBlock declares a block on the context.
+func (ctx *Context) DeclBlock(name string, nx, ny int) *Block {
+	if nx <= 0 || ny <= 0 {
+		panic(fmt.Sprintf("ops: block %q has invalid extent %dx%d", name, nx, ny))
+	}
+	return &Block{ctx: ctx, name: name, nx: nx, ny: ny}
+}
+
+// Size returns the block extent.
+func (b *Block) Size() (nx, ny int) { return b.nx, b.ny }
+
+// Dat is a dataset on a block: one double per cell with a halo of ghost
+// cells. On the CUDA backend the working copy is device-resident and the
+// host slice is a mirror kept in sync explicitly.
+type Dat struct {
+	block  *Block
+	name   string
+	depth  int
+	stride int
+	data   []float64
+	dev    *simgpu.Buffer
+}
+
+// DeclDat declares a dataset with the given halo depth on every side.
+func (b *Block) DeclDat(name string, depth int) *Dat {
+	if depth < 0 {
+		panic(fmt.Sprintf("ops: dat %q has negative halo %d", name, depth))
+	}
+	stride := b.nx + 2*depth
+	d := &Dat{
+		block:  b,
+		name:   name,
+		depth:  depth,
+		stride: stride,
+		data:   make([]float64, stride*(b.ny+2*depth)),
+	}
+	if b.ctx.opt.Backend == BackendCUDA {
+		d.dev = b.ctx.dev.Malloc(len(d.data))
+	}
+	return d
+}
+
+// Name returns the dataset's name.
+func (d *Dat) Name() string { return d.name }
+
+// Depth returns the dataset's halo depth.
+func (d *Dat) Depth() int { return d.depth }
+
+// index is the flat offset of cell (i, j); interior cells are (0..nx-1,
+// 0..ny-1).
+func (d *Dat) index(i, j int) int { return (j+d.depth)*d.stride + (i + d.depth) }
+
+// At reads cell (i, j) from the host copy. On the CUDA backend call
+// Download first.
+func (d *Dat) At(i, j int) float64 { return d.data[d.index(i, j)] }
+
+// Set writes cell (i, j) on the host copy. On the CUDA backend call Upload
+// to publish host writes.
+func (d *Dat) Set(i, j int, v float64) { d.data[d.index(i, j)] = v }
+
+// Upload publishes the host copy to the device (CUDA backend; no-op
+// otherwise).
+func (d *Dat) Upload() {
+	if d.dev != nil {
+		d.block.ctx.dev.MemcpyH2D(d.dev, d.data)
+	}
+}
+
+// Download refreshes the host copy from the device (CUDA backend; no-op
+// otherwise).
+func (d *Dat) Download() {
+	if d.dev != nil {
+		d.block.ctx.dev.MemcpyD2H(d.data, d.dev)
+	}
+}
+
+// raw returns the slice ParLoops operate on for this backend.
+func (d *Dat) raw() []float64 {
+	if d.dev != nil {
+		return d.dev.View()
+	}
+	return d.data
+}
+
+// Stencil is a named set of relative access points; its radius drives the
+// tiling dependency analysis.
+type Stencil struct {
+	name   string
+	pts    [][2]int
+	radius int
+}
+
+// NewStencil declares a stencil from relative (dx, dy) points.
+func NewStencil(name string, pts ...[2]int) *Stencil {
+	if len(pts) == 0 {
+		panic(fmt.Sprintf("ops: stencil %q has no points", name))
+	}
+	s := &Stencil{name: name, pts: pts}
+	for _, p := range pts {
+		s.radius = max(s.radius, max(abs(p[0]), abs(p[1])))
+	}
+	return s
+}
+
+// Radius is the largest absolute offset of any point.
+func (s *Stencil) Radius() int { return s.radius }
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// S2D00 is the point stencil; S2D5pt the five-point star both TeaLeaf
+// operators use; S2D00M10 / S2D00_0M1 the face-neighbour pairs used by the
+// coefficient kernels.
+var (
+	S2D00     = NewStencil("00", [2]int{0, 0})
+	S2D5pt    = NewStencil("5pt", [2]int{0, 0}, [2]int{1, 0}, [2]int{-1, 0}, [2]int{0, 1}, [2]int{0, -1})
+	S2D00M10  = NewStencil("00:-10", [2]int{0, 0}, [2]int{-1, 0})
+	S2D00_0M1 = NewStencil("00:0-1", [2]int{0, 0}, [2]int{0, -1})
+	S2D00P10  = NewStencil("00:+10", [2]int{0, 0}, [2]int{1, 0})
+	S2D00_0P1 = NewStencil("00:0+1", [2]int{0, 0}, [2]int{0, 1})
+	S2DFace   = NewStencil("faces", [2]int{0, 0}, [2]int{1, 0}, [2]int{0, 1})
+)
+
+// AccessMode declares how a ParLoop argument is accessed.
+type AccessMode int
+
+const (
+	// Read declares read-only access.
+	Read AccessMode = iota
+	// Write declares write-only access (every point written).
+	Write
+	// RW declares read-modify-write access.
+	RW
+)
+
+func (m AccessMode) String() string {
+	switch m {
+	case Read:
+		return "READ"
+	case Write:
+		return "WRITE"
+	case RW:
+		return "RW"
+	default:
+		return fmt.Sprintf("AccessMode(%d)", int(m))
+	}
+}
+
+// Arg is one ParLoop argument: a dataset accessed through a stencil, or an
+// index argument that hands the kernel its iteration point.
+type Arg struct {
+	Dat     *Dat
+	Stencil *Stencil
+	Mode    AccessMode
+	IsIdx   bool
+}
+
+// ArgDat constructs a dataset argument.
+func ArgDat(d *Dat, s *Stencil, m AccessMode) Arg { return Arg{Dat: d, Stencil: s, Mode: m} }
+
+// ArgIdx constructs an index argument (OPS's ops_arg_idx): the kernel's
+// corresponding Acc carries the current iteration point in its I and J
+// fields, letting kernels compute coordinate-dependent values (state
+// generation, analytic sources) without host-side loops.
+func ArgIdx() Arg { return Arg{IsIdx: true} }
+
+// Range is the rectangular iteration range of a ParLoop, inclusive lower
+// and exclusive upper bounds in block-interior coordinates (halo cells are
+// addressed with negative / beyond-extent indices).
+type Range struct {
+	XLo, XHi, YLo, YHi int
+}
+
+// Acc gives a kernel stencil-relative access to one argument at the current
+// iteration point, like OPS's generated ACC<double> macros. For ArgIdx
+// arguments only the I and J fields are meaningful.
+type Acc struct {
+	data   []float64
+	idx    int
+	stride int
+	// I, J are the current iteration point for ArgIdx arguments.
+	I, J int
+}
+
+// Get reads the value at relative offset (dx, dy).
+func (a *Acc) Get(dx, dy int) float64 { return a.data[a.idx+dy*a.stride+dx] }
+
+// Set writes the value at relative offset (dx, dy).
+func (a *Acc) Set(dx, dy int, v float64) { a.data[a.idx+dy*a.stride+dx] = v }
+
+// Add accumulates into the value at relative offset (dx, dy).
+func (a *Acc) Add(dx, dy int, v float64) { a.data[a.idx+dy*a.stride+dx] += v }
+
+// Kernel is a user kernel: called once per iteration point with one Acc per
+// argument (in declaration order) and, for reducing loops, the accumulator
+// slice.
+type Kernel func(a []*Acc, red []float64)

@@ -1,0 +1,334 @@
+package ops
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/simgpu"
+)
+
+func mustCtx(t *testing.T, opt Options) *Context {
+	t.Helper()
+	ctx, err := NewContext(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ctx.Close)
+	return ctx
+}
+
+func TestParLoopWritesRange(t *testing.T) {
+	ctx := mustCtx(t, Options{Backend: BackendSerial})
+	b := ctx.DeclBlock("grid", 8, 6)
+	d := b.DeclDat("d", 2)
+	ctx.ParLoop("fill", b, Range{-1, 9, -1, 7}, []Arg{ArgDat(d, S2D00, Write)},
+		func(a []*Acc, _ []float64) { a[0].Set(0, 0, 42) })
+	for j := -2; j < 8; j++ {
+		for i := -2; i < 10; i++ {
+			want := 0.0
+			if i >= -1 && i < 9 && j >= -1 && j < 7 {
+				want = 42
+			}
+			if got := d.At(i, j); got != want {
+				t.Fatalf("d(%d,%d) = %g, want %g", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestStencilAccess(t *testing.T) {
+	ctx := mustCtx(t, Options{Backend: BackendSerial})
+	b := ctx.DeclBlock("grid", 5, 5)
+	src := b.DeclDat("src", 2)
+	dst := b.DeclDat("dst", 2)
+	for j := -2; j < 7; j++ {
+		for i := -2; i < 7; i++ {
+			src.Set(i, j, float64(100*i+j))
+		}
+	}
+	ctx.ParLoop("laplace", b, Range{0, 5, 0, 5},
+		[]Arg{ArgDat(src, S2D5pt, Read), ArgDat(dst, S2D00, Write)},
+		func(a []*Acc, _ []float64) {
+			a[1].Set(0, 0, a[0].Get(1, 0)+a[0].Get(-1, 0)+a[0].Get(0, 1)+a[0].Get(0, -1)-4*a[0].Get(0, 0))
+		})
+	// Interior of a linear field: Laplacian is zero.
+	for j := 0; j < 5; j++ {
+		for i := 0; i < 5; i++ {
+			if got := dst.At(i, j); got != 0 {
+				t.Fatalf("laplacian(%d,%d) = %g, want 0", i, j, got)
+			}
+		}
+	}
+}
+
+func TestReduction(t *testing.T) {
+	for _, be := range []Backend{BackendSerial, BackendOpenMP, BackendACC, BackendCUDA} {
+		be := be
+		t.Run(be.String(), func(t *testing.T) {
+			ctx := mustCtx(t, Options{Backend: be, Threads: 3})
+			b := ctx.DeclBlock("grid", 10, 9)
+			d := b.DeclDat("d", 1)
+			for j := 0; j < 9; j++ {
+				for i := 0; i < 10; i++ {
+					d.Set(i, j, 1)
+				}
+			}
+			d.Upload()
+			red := ctx.ParLoopRed("count", b, Range{0, 10, 0, 9}, 2,
+				[]Arg{ArgDat(d, S2D00, Read)},
+				func(a []*Acc, red []float64) {
+					red[0] += a[0].Get(0, 0)
+					red[1] += 2 * a[0].Get(0, 0)
+				})
+			if red[0] != 90 || red[1] != 180 {
+				t.Errorf("reduction = %v, want [90 180]", red)
+			}
+		})
+	}
+}
+
+// chainOnContext runs a fixed multi-loop stencil chain (smoothing sweeps
+// ping-ponging between two dats plus an axpy) and returns a checksum dat.
+func chainOnContext(ctx *Context, nx, ny, sweeps int) []float64 {
+	b := ctx.DeclBlock("grid", nx, ny)
+	a := b.DeclDat("a", 2)
+	c := b.DeclDat("c", 2)
+	acc := b.DeclDat("acc", 2)
+	for j := -2; j < ny+2; j++ {
+		for i := -2; i < nx+2; i++ {
+			a.Set(i, j, float64((i*7+j*13)%11)+0.25)
+		}
+	}
+	a.Upload()
+	c.Upload()
+	acc.Upload()
+	interior := Range{0, nx, 0, ny}
+	src, dst := a, c
+	for s := 0; s < sweeps; s++ {
+		ctx.ParLoop(fmt.Sprintf("smooth%d", s), b, Range{1, nx - 1, 1, ny - 1},
+			[]Arg{ArgDat(src, S2D5pt, Read), ArgDat(dst, S2D00, Write)},
+			func(a []*Acc, _ []float64) {
+				a[1].Set(0, 0, 0.2*(a[0].Get(0, 0)+a[0].Get(1, 0)+a[0].Get(-1, 0)+a[0].Get(0, 1)+a[0].Get(0, -1)))
+			})
+		ctx.ParLoop(fmt.Sprintf("accum%d", s), b, interior,
+			[]Arg{ArgDat(dst, S2D00, Read), ArgDat(acc, S2D00, RW)},
+			func(a []*Acc, _ []float64) { a[1].Add(0, 0, a[0].Get(0, 0)) })
+		src, dst = dst, src
+	}
+	ctx.Flush()
+	acc.Download()
+	out := make([]float64, 0, nx*ny)
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			out = append(out, acc.At(i, j))
+		}
+	}
+	return out
+}
+
+// TestBackendsAgreeOnChain: every backend must produce bitwise-identical
+// non-reduced results for the same loop chain.
+func TestBackendsAgreeOnChain(t *testing.T) {
+	ref := chainOnContext(mustCtx(t, Options{Backend: BackendSerial}), 24, 17, 5)
+	for _, opt := range []Options{
+		{Backend: BackendOpenMP, Threads: 4},
+		{Backend: BackendACC, Threads: 3},
+		{Backend: BackendCUDA, Block: simgpu.Dim2{X: 8, Y: 4}},
+		{Backend: BackendSerial, Tiling: true, TileX: 8, TileY: 8},
+		{Backend: BackendSerial, Tiling: true, TileX: 5, TileY: 3},
+	} {
+		opt := opt
+		name := opt.Backend.String()
+		if opt.Tiling {
+			name = fmt.Sprintf("tiled_%dx%d", opt.TileX, opt.TileY)
+		}
+		t.Run(name, func(t *testing.T) {
+			got := chainOnContext(mustCtx(t, opt), 24, 17, 5)
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("cell %d: got %g want %g", i, got[i], ref[i])
+				}
+			}
+		})
+	}
+}
+
+// TestTilingPropertyRandomChains: quick-check that tiled execution of a
+// random chain of radius-0 and radius-1 loops over random ranges is
+// bitwise identical to immediate execution.
+func TestTilingPropertyRandomChains(t *testing.T) {
+	run := func(seed int64, tiled bool) []float64 {
+		rng := rand.New(rand.NewSource(seed))
+		opt := Options{Backend: BackendSerial}
+		if tiled {
+			opt.Tiling = true
+			opt.TileX = 3 + rng.Intn(13)
+			opt.TileY = 3 + rng.Intn(13)
+		} else {
+			rng.Intn(13) // keep the RNG streams aligned
+			rng.Intn(13)
+		}
+		ctx, err := NewContext(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ctx.Close()
+		const nx, ny = 19, 16
+		b := ctx.DeclBlock("grid", nx, ny)
+		d1 := b.DeclDat("d1", 2)
+		d2 := b.DeclDat("d2", 2)
+		for j := -2; j < ny+2; j++ {
+			for i := -2; i < nx+2; i++ {
+				d1.Set(i, j, rng.Float64())
+				d2.Set(i, j, rng.Float64())
+			}
+		}
+		nloops := 2 + rng.Intn(8)
+		for l := 0; l < nloops; l++ {
+			// Random sub-range with room for radius-1 reads.
+			x0 := 1 + rng.Intn(4)
+			x1 := nx - 1 - rng.Intn(4)
+			y0 := 1 + rng.Intn(4)
+			y1 := ny - 1 - rng.Intn(4)
+			r := Range{x0, x1, y0, y1}
+			src, dst := d1, d2
+			if rng.Intn(2) == 0 {
+				src, dst = d2, d1
+			}
+			if rng.Intn(2) == 0 {
+				// Radius-1 smoothing step.
+				ctx.ParLoop("sm", b, r,
+					[]Arg{ArgDat(src, S2D5pt, Read), ArgDat(dst, S2D00, RW)},
+					func(a []*Acc, _ []float64) {
+						a[1].Set(0, 0, a[1].Get(0, 0)*0.5+0.125*(a[0].Get(1, 0)+a[0].Get(-1, 0)+a[0].Get(0, 1)+a[0].Get(0, -1)))
+					})
+			} else {
+				// Radius-0 axpy (creates anti-dependences on src).
+				ctx.ParLoop("ax", b, r,
+					[]Arg{ArgDat(src, S2D00, Read), ArgDat(dst, S2D00, RW)},
+					func(a []*Acc, _ []float64) { a[1].Add(0, 0, 0.25*a[0].Get(0, 0)) })
+			}
+		}
+		ctx.Flush()
+		out := make([]float64, 0, 2*nx*ny)
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				out = append(out, d1.At(i, j), d2.At(i, j))
+			}
+		}
+		return out
+	}
+	f := func(seed int64) bool {
+		a := run(seed, false)
+		b := run(seed, true)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTilingStats: tiling must actually defer and tile.
+func TestTilingStats(t *testing.T) {
+	ctx := mustCtx(t, Options{Backend: BackendSerial, Tiling: true, TileX: 8, TileY: 8})
+	chainOnContext(ctx, 32, 32, 4)
+	st := ctx.Stats()
+	if st.Flushes == 0 {
+		t.Error("no flushes recorded")
+	}
+	if st.Tiles < 16 {
+		t.Errorf("expected >= 16 tiles for a 32x32 block with 8x8 tiles, got %d", st.Tiles)
+	}
+	if st.LoopsExecuted != st.LoopsEnqueued {
+		t.Errorf("executed %d != enqueued %d", st.LoopsExecuted, st.LoopsEnqueued)
+	}
+}
+
+// TestCUDARejectsTiling documents the unsupported combination.
+func TestCUDARejectsTiling(t *testing.T) {
+	if _, err := NewContext(Options{Backend: BackendCUDA, Tiling: true}); err == nil {
+		t.Error("expected error for CUDA+tiling")
+	}
+}
+
+// TestParLoopBoundsCheck: a stencil point that would read outside the
+// dat's halo must be rejected at loop declaration, not corrupt memory.
+func TestParLoopBoundsCheck(t *testing.T) {
+	ctx := mustCtx(t, Options{Backend: BackendSerial})
+	b := ctx.DeclBlock("grid", 8, 8)
+	d := b.DeclDat("d", 1) // halo 1: a 5pt read at the halo edge overflows
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-bounds stencil access")
+		}
+	}()
+	ctx.ParLoop("bad", b, Range{-1, 9, -1, 9}, []Arg{ArgDat(d, S2D5pt, Read)},
+		func(a []*Acc, _ []float64) { a[0].Get(0, 0) })
+}
+
+// TestParLoopWrongBlock: dats from another block are rejected.
+func TestParLoopWrongBlock(t *testing.T) {
+	ctx := mustCtx(t, Options{Backend: BackendSerial})
+	b1 := ctx.DeclBlock("one", 4, 4)
+	b2 := ctx.DeclBlock("two", 4, 4)
+	d := b1.DeclDat("d", 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for cross-block dat")
+		}
+	}()
+	ctx.ParLoop("bad", b2, Range{0, 4, 0, 4}, []Arg{ArgDat(d, S2D00, Read)},
+		func(a []*Acc, _ []float64) {})
+}
+
+// TestArgIdx: the index argument must deliver every iteration point to the
+// kernel on every backend, including negative (halo) coordinates.
+func TestArgIdx(t *testing.T) {
+	for _, be := range []Backend{BackendSerial, BackendOpenMP, BackendCUDA} {
+		be := be
+		t.Run(be.String(), func(t *testing.T) {
+			ctx := mustCtx(t, Options{Backend: be, Threads: 3, Block: simgpu.Dim2{X: 4, Y: 4}})
+			b := ctx.DeclBlock("grid", 6, 5)
+			d := b.DeclDat("d", 2)
+			ctx.ParLoop("index_fill", b, Range{-2, 8, -1, 6},
+				[]Arg{ArgIdx(), ArgDat(d, S2D00, Write)},
+				func(a []*Acc, _ []float64) {
+					a[1].Set(0, 0, float64(100*a[0].I+a[0].J))
+				})
+			d.Download()
+			for j := -1; j < 6; j++ {
+				for i := -2; i < 8; i++ {
+					if got := d.At(i, j); got != float64(100*i+j) {
+						t.Fatalf("cell (%d,%d) = %g, want %d", i, j, got, 100*i+j)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestArgIdxTiled: index arguments must survive the tiling pass (each tile
+// sees its own absolute coordinates, not tile-relative ones).
+func TestArgIdxTiled(t *testing.T) {
+	ctx := mustCtx(t, Options{Backend: BackendSerial, Tiling: true, TileX: 3, TileY: 3})
+	b := ctx.DeclBlock("grid", 10, 10)
+	d := b.DeclDat("d", 0)
+	ctx.ParLoop("index_fill", b, Range{0, 10, 0, 10},
+		[]Arg{ArgIdx(), ArgDat(d, S2D00, Write)},
+		func(a []*Acc, _ []float64) { a[1].Set(0, 0, float64(a[0].I*10+a[0].J)) })
+	ctx.Flush()
+	for j := 0; j < 10; j++ {
+		for i := 0; i < 10; i++ {
+			if got := d.At(i, j); got != float64(i*10+j) {
+				t.Fatalf("tiled cell (%d,%d) = %g", i, j, got)
+			}
+		}
+	}
+}

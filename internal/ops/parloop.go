@@ -1,0 +1,208 @@
+package ops
+
+import (
+	"fmt"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/par"
+	"github.com/warwick-hpsc/tealeaf-go/internal/simgpu"
+)
+
+// loopRecord is one ParLoop captured for (possibly deferred) execution.
+type loopRecord struct {
+	name   string
+	block  *Block
+	r      Range
+	args   []Arg
+	kernel Kernel
+	nred   int
+	radius int
+}
+
+func newRecord(name string, b *Block, r Range, args []Arg, k Kernel, nred int) *loopRecord {
+	rec := &loopRecord{name: name, block: b, r: r, args: args, kernel: k, nred: nred}
+	for _, a := range args {
+		if a.IsIdx {
+			continue
+		}
+		if a.Dat == nil || a.Stencil == nil {
+			panic(fmt.Sprintf("ops: loop %q has a nil dat or stencil argument", name))
+		}
+		if a.Dat.block != b {
+			panic(fmt.Sprintf("ops: loop %q argument dat %q belongs to another block", name, a.Dat.name))
+		}
+		// Bounds check at declaration time, like OPS's runtime checks
+		// build: every stencil point applied anywhere in the range must
+		// stay inside the dat's halo'd storage. Catching this here turns a
+		// corrupting out-of-bounds access into a named error at the loop
+		// that caused it.
+		for _, pt := range a.Stencil.pts {
+			d := a.Dat
+			if r.XLo+pt[0] < -d.depth || r.XHi-1+pt[0] >= b.nx+d.depth ||
+				r.YLo+pt[1] < -d.depth || r.YHi-1+pt[1] >= b.ny+d.depth {
+				panic(fmt.Sprintf(
+					"ops: loop %q range %v with stencil %q point (%d,%d) exceeds dat %q (halo %d)",
+					name, r, a.Stencil.name, pt[0], pt[1], d.name, d.depth))
+			}
+		}
+		// The dependency radius drives tiling skew: any non-zero offset an
+		// argument may touch couples neighbouring cells between loops.
+		rec.radius = max(rec.radius, a.Stencil.radius)
+	}
+	return rec
+}
+
+// ParLoop executes (or, with tiling enabled, enqueues) a kernel over the
+// range, with one argument per dataset access.
+func (ctx *Context) ParLoop(name string, b *Block, r Range, args []Arg, k Kernel) {
+	rec := newRecord(name, b, r, args, k, 0)
+	ctx.stats.LoopsEnqueued++
+	if ctx.opt.Tiling {
+		ctx.queue = append(ctx.queue, rec)
+		return
+	}
+	ctx.executeFull(rec, nil)
+}
+
+// ParLoopRed executes a reducing kernel over the range and returns the nred
+// accumulated values. Reductions are synchronisation points: any queued
+// loops flush first, and the reducing loop itself runs untiled.
+func (ctx *Context) ParLoopRed(name string, b *Block, r Range, nred int, args []Arg, k Kernel) []float64 {
+	if nred <= 0 {
+		panic(fmt.Sprintf("ops: reducing loop %q needs nred > 0", name))
+	}
+	ctx.Flush()
+	rec := newRecord(name, b, r, args, k, nred)
+	ctx.stats.LoopsEnqueued++
+	red := make([]float64, nred)
+	ctx.executeFull(rec, red)
+	return red
+}
+
+// executeFull runs one loop over its whole range on the context's backend.
+func (ctx *Context) executeFull(rec *loopRecord, red []float64) {
+	ctx.stats.LoopsExecuted++
+	switch ctx.opt.Backend {
+	case BackendSerial:
+		runRange(rec, rec.r, red)
+	case BackendOpenMP, BackendACC:
+		ctx.runTeam(rec, red)
+	case BackendCUDA:
+		ctx.runCUDA(rec, red)
+	}
+}
+
+// runRange is the scalar execution engine shared by every host backend (and
+// by tiled execution): a row-major sweep of the sub-range with
+// pointer-bumped accessors.
+func runRange(rec *loopRecord, sub Range, red []float64) {
+	if sub.XHi <= sub.XLo || sub.YHi <= sub.YLo {
+		return
+	}
+	accs := make([]*Acc, len(rec.args))
+	for k, a := range rec.args {
+		if a.IsIdx {
+			accs[k] = &Acc{}
+			continue
+		}
+		accs[k] = &Acc{data: a.Dat.raw(), stride: a.Dat.stride}
+	}
+	for j := sub.YLo; j < sub.YHi; j++ {
+		for k, a := range rec.args {
+			if a.IsIdx {
+				accs[k].J = j
+				continue
+			}
+			accs[k].idx = a.Dat.index(sub.XLo, j)
+		}
+		for i := sub.XLo; i < sub.XHi; i++ {
+			for k, a := range rec.args {
+				if a.IsIdx {
+					accs[k].I = i
+				}
+			}
+			rec.kernel(accs, red)
+			for k, a := range rec.args {
+				if !a.IsIdx {
+					accs[k].idx++
+				}
+			}
+		}
+	}
+}
+
+// runTeam executes the loop on the thread team, rows statically scheduled,
+// reduction partials combined in thread order.
+func (ctx *Context) runTeam(rec *loopRecord, red []float64) {
+	nth := ctx.team.NumThreads()
+	if red == nil {
+		ctx.team.For(rec.r.YLo, rec.r.YHi, func(j0, j1 int) {
+			runRange(rec, Range{rec.r.XLo, rec.r.XHi, j0, j1}, nil)
+		})
+		return
+	}
+	partials := make([][]float64, nth)
+	ctx.team.Parallel(func(thread int) {
+		j0, j1 := par.StaticRange(rec.r.YLo, rec.r.YHi, thread, nth)
+		if j0 >= j1 {
+			return
+		}
+		pr := make([]float64, len(red))
+		runRange(rec, Range{rec.r.XLo, rec.r.XHi, j0, j1}, pr)
+		partials[thread] = pr
+	})
+	for _, pr := range partials {
+		for i, v := range pr {
+			red[i] += v
+		}
+	}
+}
+
+// runCUDA executes the loop as a kernel launch over the simulated device;
+// reductions are per-block partials combined in block order.
+func (ctx *Context) runCUDA(rec *loopRecord, red []float64) {
+	w := rec.r.XHi - rec.r.XLo
+	h := rec.r.YHi - rec.r.YLo
+	if w <= 0 || h <= 0 {
+		return
+	}
+	grid := simgpu.GridFor(w, h, ctx.opt.Block)
+	body := func(b simgpu.Block, pr []float64) {
+		accs := make([]*Acc, len(rec.args))
+		for k, a := range rec.args {
+			if a.IsIdx {
+				accs[k] = &Acc{}
+				continue
+			}
+			accs[k] = &Acc{data: a.Dat.raw(), stride: a.Dat.stride}
+		}
+		b.ForThreads(func(tx, ty int) {
+			if tx >= w || ty >= h {
+				return
+			}
+			i, j := rec.r.XLo+tx, rec.r.YLo+ty
+			for k, a := range rec.args {
+				if a.IsIdx {
+					accs[k].I, accs[k].J = i, j
+					continue
+				}
+				accs[k].idx = a.Dat.index(i, j)
+			}
+			rec.kernel(accs, pr)
+		})
+	}
+	if red == nil {
+		ctx.dev.LaunchRaw(rec.name, grid, ctx.opt.Block, func(b simgpu.Block) { body(b, nil) })
+		return
+	}
+	partials := make([][]float64, grid.Mul())
+	ctx.dev.LaunchRaw(rec.name, grid, ctx.opt.Block, func(b simgpu.Block) {
+		pr := make([]float64, len(red))
+		body(b, pr)
+		partials[b.Idx.Y*b.Grid.X+b.Idx.X] = pr
+	})
+	for _, pr := range partials {
+		for i, v := range pr {
+			red[i] += v
+		}
+	}
+}

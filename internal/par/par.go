@@ -1,0 +1,220 @@
+// Package par is the shared-memory parallel runtime used by the OpenMP-style
+// ports: a persistent team of worker goroutines executing fork-join parallel
+// loops with static or dynamic scheduling and deterministic reductions.
+//
+// It stands in for OpenMP in this study (see DESIGN.md): the execution
+// structure — a fixed thread team, loops chunked across threads, per-thread
+// reduction partials combined at the join — matches what `#pragma omp
+// parallel for reduction(+:x)` compiles to, so the relative behaviour of the
+// ports that use it is representative.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Team is a persistent group of worker goroutines. The zero value is not
+// usable; create teams with NewTeam and release them with Close.
+type Team struct {
+	nthreads int
+	tasks    []chan task
+	wg       sync.WaitGroup // outstanding tasks across all workers
+	closed   atomic.Bool
+}
+
+type task func(thread int)
+
+// NewTeam starts a team of n workers. If n <= 0 the team uses
+// runtime.GOMAXPROCS(0) workers, mirroring OMP_NUM_THREADS defaulting to the
+// core count.
+func NewTeam(n int) *Team {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	t := &Team{nthreads: n, tasks: make([]chan task, n)}
+	for i := 0; i < n; i++ {
+		ch := make(chan task, 1)
+		t.tasks[i] = ch
+		go func(thread int, ch chan task) {
+			for fn := range ch {
+				fn(thread)
+				t.wg.Done()
+			}
+		}(i, ch)
+	}
+	return t
+}
+
+// Close shuts the workers down. The team must be idle. Close is idempotent.
+func (t *Team) Close() {
+	if t.closed.Swap(true) {
+		return
+	}
+	for _, ch := range t.tasks {
+		close(ch)
+	}
+}
+
+// NumThreads returns the team size.
+func (t *Team) NumThreads() int { return t.nthreads }
+
+// run dispatches fn to every worker and waits for all of them.
+func (t *Team) run(fn task) {
+	t.wg.Add(t.nthreads)
+	for _, ch := range t.tasks {
+		ch <- fn
+	}
+	t.wg.Wait()
+}
+
+// Parallel executes body once on every thread of the team (an `omp parallel`
+// region). The body receives the thread id in [0, NumThreads).
+func (t *Team) Parallel(body func(thread int)) {
+	t.run(body)
+}
+
+// StaticRange computes the static-schedule slice of [lo, hi) owned by
+// thread out of nthreads: contiguous near-equal blocks, the first hi-lo mod
+// nthreads blocks one element longer. Exposed so ports can reproduce the
+// exact OpenMP static distribution when they need thread-private state.
+func StaticRange(lo, hi, thread, nthreads int) (int, int) {
+	n := hi - lo
+	if n <= 0 {
+		return lo, lo
+	}
+	base := n / nthreads
+	rem := n % nthreads
+	start := lo + thread*base + min(thread, rem)
+	end := start + base
+	if thread < rem {
+		end++
+	}
+	return start, end
+}
+
+// For executes body over [lo, hi) with static scheduling: each thread gets
+// one contiguous block. body is called with a half-open sub-range.
+func (t *Team) For(lo, hi int, body func(from, to int)) {
+	if hi-lo <= 0 {
+		return
+	}
+	if t.nthreads == 1 || hi-lo == 1 {
+		body(lo, hi)
+		return
+	}
+	t.run(func(thread int) {
+		from, to := StaticRange(lo, hi, thread, t.nthreads)
+		if from < to {
+			body(from, to)
+		}
+	})
+}
+
+// ForDynamic executes body over [lo, hi) with dynamic scheduling in chunks
+// of the given size: threads grab the next chunk from a shared counter, like
+// `schedule(dynamic, chunk)`. Useful when iterations have uneven cost.
+func (t *Team) ForDynamic(lo, hi, chunk int, body func(from, to int)) {
+	if hi-lo <= 0 {
+		return
+	}
+	if chunk <= 0 {
+		chunk = 1
+	}
+	var next atomic.Int64
+	next.Store(int64(lo))
+	t.run(func(int) {
+		for {
+			from := int(next.Add(int64(chunk))) - chunk
+			if from >= hi {
+				return
+			}
+			to := min(from+chunk, hi)
+			body(from, to)
+		}
+	})
+}
+
+// ReduceSum executes body over [lo, hi) with static scheduling and returns
+// the sum of the per-thread partial results. Partials are combined in thread
+// order, so for a fixed team size the result is deterministic — the same
+// property an OpenMP reduction has for a fixed OMP_NUM_THREADS.
+func (t *Team) ReduceSum(lo, hi int, body func(from, to int) float64) float64 {
+	if hi-lo <= 0 {
+		return 0
+	}
+	if t.nthreads == 1 {
+		return body(lo, hi)
+	}
+	partial := make([]float64, t.nthreads)
+	t.run(func(thread int) {
+		from, to := StaticRange(lo, hi, thread, t.nthreads)
+		if from < to {
+			partial[thread] = body(from, to)
+		}
+	})
+	var sum float64
+	for _, p := range partial {
+		sum += p
+	}
+	return sum
+}
+
+// ReduceSum2 is ReduceSum for two simultaneous accumulators, used by kernels
+// (field_summary, cg_init) that reduce several quantities in one sweep.
+func (t *Team) ReduceSum2(lo, hi int, body func(from, to int) (float64, float64)) (float64, float64) {
+	if hi-lo <= 0 {
+		return 0, 0
+	}
+	if t.nthreads == 1 {
+		return body(lo, hi)
+	}
+	pa := make([]float64, t.nthreads)
+	pb := make([]float64, t.nthreads)
+	t.run(func(thread int) {
+		from, to := StaticRange(lo, hi, thread, t.nthreads)
+		if from < to {
+			pa[thread], pb[thread] = body(from, to)
+		}
+	})
+	var a, b float64
+	for i := range pa {
+		a += pa[i]
+		b += pb[i]
+	}
+	return a, b
+}
+
+// ReduceMax executes body over [lo, hi) and returns the maximum of the
+// per-thread partial results. The caller's body must return -Inf (or any
+// identity it chooses) for empty ranges; For empty [lo,hi) ReduceMax
+// returns 0 without invoking body.
+func (t *Team) ReduceMax(lo, hi int, body func(from, to int) float64) float64 {
+	if hi-lo <= 0 {
+		return 0
+	}
+	if t.nthreads == 1 {
+		return body(lo, hi)
+	}
+	partial := make([]float64, t.nthreads)
+	used := make([]bool, t.nthreads)
+	t.run(func(thread int) {
+		from, to := StaticRange(lo, hi, thread, t.nthreads)
+		if from < to {
+			partial[thread] = body(from, to)
+			used[thread] = true
+		}
+	})
+	var m float64
+	first := true
+	for i, p := range partial {
+		if !used[i] {
+			continue
+		}
+		if first || p > m {
+			m, first = p, false
+		}
+	}
+	return m
+}

@@ -1,0 +1,236 @@
+package par
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestStaticRangePartitions(t *testing.T) {
+	// StaticRange must partition [lo, hi) exactly: contiguous, disjoint,
+	// covering, with sizes differing by at most one (quick-check).
+	f := func(loI int8, nU uint8, thU uint8) bool {
+		lo := int(loI)
+		n := int(nU)
+		nth := 1 + int(thU)%16
+		hi := lo + n
+		covered := 0
+		prevEnd := lo
+		minSz, maxSz := math.MaxInt, 0
+		for th := 0; th < nth; th++ {
+			from, to := StaticRange(lo, hi, th, nth)
+			if from != prevEnd {
+				return false // gap or overlap
+			}
+			if to < from {
+				return false
+			}
+			sz := to - from
+			covered += sz
+			prevEnd = to
+			if sz < minSz {
+				minSz = sz
+			}
+			if sz > maxSz {
+				maxSz = sz
+			}
+		}
+		if prevEnd != hi || covered != n {
+			return false
+		}
+		return n == 0 || maxSz-minSz <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	team := NewTeam(5)
+	defer team.Close()
+	const n = 1003
+	var hits [n]atomic.Int32
+	team.For(0, n, func(from, to int) {
+		for i := from; i < to; i++ {
+			hits[i].Add(1)
+		}
+	})
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("index %d executed %d times", i, got)
+		}
+	}
+}
+
+func TestForDynamicCoversEveryIndexOnce(t *testing.T) {
+	team := NewTeam(4)
+	defer team.Close()
+	const n = 777
+	var hits [n]atomic.Int32
+	team.ForDynamic(0, n, 13, func(from, to int) {
+		for i := from; i < to; i++ {
+			hits[i].Add(1)
+		}
+	})
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("index %d executed %d times", i, got)
+		}
+	}
+}
+
+func TestForEmptyAndNegativeRanges(t *testing.T) {
+	team := NewTeam(3)
+	defer team.Close()
+	called := false
+	team.For(5, 5, func(int, int) { called = true })
+	team.For(7, 3, func(int, int) { called = true })
+	team.ForDynamic(2, 2, 4, func(int, int) { called = true })
+	if called {
+		t.Error("body invoked on empty range")
+	}
+	if got := team.ReduceSum(9, 9, func(int, int) float64 { return 1 }); got != 0 {
+		t.Errorf("ReduceSum on empty range = %g", got)
+	}
+}
+
+func TestReduceSumCorrectAndDeterministic(t *testing.T) {
+	team := NewTeam(7)
+	defer team.Close()
+	vals := make([]float64, 5000)
+	for i := range vals {
+		vals[i] = math.Sin(float64(i)) // non-trivial magnitudes
+	}
+	body := func(from, to int) float64 {
+		var s float64
+		for i := from; i < to; i++ {
+			s += vals[i]
+		}
+		return s
+	}
+	first := team.ReduceSum(0, len(vals), body)
+	for r := 0; r < 20; r++ {
+		if got := team.ReduceSum(0, len(vals), body); got != first {
+			t.Fatalf("run %d: %v != %v — reduction is not deterministic", r, got, first)
+		}
+	}
+	// And the value itself must match a serial sum to rounding.
+	var serialSum float64
+	for _, v := range vals {
+		serialSum += v
+	}
+	if math.Abs(first-serialSum) > 1e-9 {
+		t.Errorf("parallel %v vs serial %v", first, serialSum)
+	}
+}
+
+func TestReduceSum2(t *testing.T) {
+	team := NewTeam(4)
+	defer team.Close()
+	a, b := team.ReduceSum2(0, 100, func(from, to int) (float64, float64) {
+		var x, y float64
+		for i := from; i < to; i++ {
+			x++
+			y += 2
+		}
+		return x, y
+	})
+	if a != 100 || b != 200 {
+		t.Errorf("ReduceSum2 = %g, %g", a, b)
+	}
+}
+
+func TestReduceMax(t *testing.T) {
+	team := NewTeam(6)
+	defer team.Close()
+	vals := make([]float64, 997)
+	for i := range vals {
+		vals[i] = float64((i * 7919) % 997)
+	}
+	vals[501] = 1e9
+	got := team.ReduceMax(0, len(vals), func(from, to int) float64 {
+		m := math.Inf(-1)
+		for i := from; i < to; i++ {
+			if vals[i] > m {
+				m = vals[i]
+			}
+		}
+		return m
+	})
+	if got != 1e9 {
+		t.Errorf("ReduceMax = %g", got)
+	}
+}
+
+func TestParallelThreadIDs(t *testing.T) {
+	team := NewTeam(8)
+	defer team.Close()
+	var seen [8]atomic.Int32
+	team.Parallel(func(thread int) {
+		seen[thread].Add(1)
+	})
+	for i := range seen {
+		if seen[i].Load() != 1 {
+			t.Errorf("thread %d ran %d times", i, seen[i].Load())
+		}
+	}
+}
+
+func TestDefaultTeamSize(t *testing.T) {
+	team := NewTeam(0)
+	defer team.Close()
+	if team.NumThreads() < 1 {
+		t.Errorf("default team size %d", team.NumThreads())
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	team := NewTeam(2)
+	team.Close()
+	team.Close() // must not panic or deadlock
+}
+
+func TestSingleThreadFastPath(t *testing.T) {
+	team := NewTeam(1)
+	defer team.Close()
+	sum := team.ReduceSum(0, 10, func(from, to int) float64 { return float64(to - from) })
+	if sum != 10 {
+		t.Errorf("single-thread ReduceSum = %g", sum)
+	}
+}
+
+func BenchmarkForkJoin(b *testing.B) {
+	team := NewTeam(0)
+	defer team.Close()
+	data := make([]float64, 1<<16)
+	b.SetBytes(int64(len(data) * 8))
+	for i := 0; i < b.N; i++ {
+		team.For(0, len(data), func(from, to int) {
+			for j := from; j < to; j++ {
+				data[j] += 1
+			}
+		})
+	}
+}
+
+func BenchmarkReduceSum(b *testing.B) {
+	team := NewTeam(0)
+	defer team.Close()
+	data := make([]float64, 1<<16)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	b.SetBytes(int64(len(data) * 8))
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += team.ReduceSum(0, len(data), func(from, to int) float64 {
+			var s float64
+			for j := from; j < to; j++ {
+				s += data[j]
+			}
+			return s
+		})
+	}
+	_ = sink
+}

@@ -1,0 +1,92 @@
+package perfmodel
+
+// Calibration: the fraction of the machine's best-implementation
+// throughput each TeaLeaf version sustains, at the small (1000^2) and
+// large (4000^2) problem sizes. These constants are digitized from the
+// paper — Table III's application-efficiency columns anchor the large
+// values per implementation family, and the bar heights / narrative of
+// Figures 1-2 and Sections IV-V set the per-version spread and the small
+// values. A value of 0 marks a version/machine pair the paper could not
+// run (OpenACC cannot target the KNL as a host device with PGI 17.3).
+//
+// Anchors used (see EXPERIMENTS.md for the full list):
+//   - Table III app. eff. (4000^2): Manual 100/93.73/100, OPS
+//     67.02/100/57.32, Kokkos 91.45/31.40/72.65, RAJA 80.73/84.25/67.46
+//     on Xeon/KNL/P100 respectively; a family's best version carries its
+//     family's number.
+//   - Kokkos OpenMP ran 4.49 s on the Xeon and 11.02 s on the KNL at
+//     1000^2 (slowest CPU versions).
+//   - Manual OpenMP at 4000^2 on the Xeon was almost 3x slower than any
+//     other implementation.
+//   - OPS MPI Tiled had the fastest 1000^2 KNL time, with manual OpenMP
+//     close; RAJA was the best OpenMP variant on the Xeon at 1000^2 and
+//     on the KNL at 4000^2.
+//   - Manual CUDA was the fastest GPU version at both sizes; Kokkos CUDA
+//     beat the other frameworks' GPU versions; RAJA CUDA was slower than
+//     every OPS GPU version at 1000^2 but faster than all of them at
+//     4000^2; manual OpenACC was the second-fastest GPU version at
+//     4000^2 yet behind Kokkos CUDA at 1000^2.
+type versionEff struct {
+	Small, Large float64
+}
+
+var calibration = map[string]map[MachineID]versionEff{
+	"manual-serial": {
+		Xeon: {0.08, 0.05}, KNL: {0.02, 0.012},
+	},
+	"manual-omp": {
+		Xeon: {0.75, 0.20}, KNL: {0.97, 0.78},
+	},
+	"manual-mpi": {
+		Xeon: {1.00, 0.80}, KNL: {0.90, 0.9373},
+	},
+	"manual-mpi-omp": {
+		Xeon: {0.95, 0.85}, KNL: {0.92, 0.90},
+	},
+	"manual-openacc-cpu": {
+		Xeon: {0.72, 1.00}, // PGI 17.3 cannot target the KNL host: no KNL entry
+	},
+	"ops-openmp": {
+		Xeon: {0.80, 0.62}, KNL: {0.85, 0.80},
+	},
+	"ops-mpi": {
+		Xeon: {0.90, 0.6702}, KNL: {0.90, 1.00},
+	},
+	"ops-mpi-omp": {
+		Xeon: {0.92, 0.65}, KNL: {0.93, 0.95},
+	},
+	"ops-mpi-tiled": {
+		Xeon: {0.95, 0.66}, KNL: {1.00, 0.98},
+	},
+	"kokkos-openmp": {
+		Xeon: {0.29, 0.9145}, KNL: {0.13, 0.3140},
+	},
+	"raja-openmp": {
+		Xeon: {0.85, 0.8073}, KNL: {0.80, 0.8425},
+	},
+	"manual-cuda": {
+		P100: {1.00, 1.00},
+	},
+	"manual-openacc-gpu": {
+		P100: {0.68, 0.93},
+	},
+	"ops-cuda": {
+		P100: {0.72, 0.5732},
+	},
+	"ops-openacc": {
+		P100: {0.65, 0.52},
+	},
+	"kokkos-cuda": {
+		P100: {0.85, 0.7265},
+	},
+	"raja-cuda": {
+		P100: {0.60, 0.6746},
+	},
+}
+
+// smallN and largeN are the calibration anchor sizes; efficiencies at
+// other sizes interpolate between them on log(n).
+const (
+	smallN = 1000
+	largeN = 4000
+)

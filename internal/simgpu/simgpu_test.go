@@ -1,0 +1,255 @@
+package simgpu
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func device(t *testing.T, parallelism int) *Device {
+	t.Helper()
+	d := NewDevice(Props{Name: "test", Parallelism: parallelism})
+	t.Cleanup(d.Close)
+	return d
+}
+
+func TestMemcpyRoundTrip(t *testing.T) {
+	d := device(t, 2)
+	buf := d.Malloc(100)
+	src := make([]float64, 100)
+	for i := range src {
+		src[i] = float64(i) * 1.5
+	}
+	d.MemcpyH2D(buf, src)
+	dst := make([]float64, 100)
+	d.MemcpyD2H(dst, buf)
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("element %d: %g != %g", i, dst[i], src[i])
+		}
+	}
+	st := d.Stats()
+	if st.BytesH2D != 800 || st.BytesD2H != 800 {
+		t.Errorf("transfer accounting = %+v", st)
+	}
+}
+
+func TestMemcpyD2D(t *testing.T) {
+	d := device(t, 1)
+	a := d.Malloc(10)
+	b := d.Malloc(10)
+	d.MemcpyH2D(a, []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	d.MemcpyD2D(b, a, 5)
+	out := make([]float64, 10)
+	d.MemcpyD2H(out, b)
+	if out[4] != 5 || out[5] != 0 {
+		t.Errorf("D2D copy = %v", out)
+	}
+}
+
+func TestLaunchCoversEveryThreadOnce(t *testing.T) {
+	d := device(t, 4)
+	const nx, ny = 37, 23
+	buf := d.Malloc(nx * ny)
+	grid := GridFor(nx, ny, Dim2{X: 8, Y: 4})
+	d.Launch("fill", grid, Dim2{X: 8, Y: 4}, Args(buf), func(b Block, a [][]float64) {
+		b.ForThreads(func(gx, gy int) {
+			if gx >= nx || gy >= ny {
+				return
+			}
+			a[0][gy*nx+gx] += 1
+		})
+	})
+	out := make([]float64, nx*ny)
+	d.MemcpyD2H(out, buf)
+	for i, v := range out {
+		if v != 1 {
+			t.Fatalf("cell %d written %g times", i, v)
+		}
+	}
+}
+
+func TestLaunchReduceDeterministic(t *testing.T) {
+	d := device(t, 8)
+	const n = 10_000
+	buf := d.Malloc(n)
+	host := make([]float64, n)
+	for i := range host {
+		host[i] = float64(i%17) * 0.125
+	}
+	d.MemcpyH2D(buf, host)
+	grid := GridFor(n, 1, Dim2{X: 64, Y: 1})
+	sum := func() float64 {
+		return d.LaunchReduce("sum", grid, Dim2{X: 64, Y: 1}, Args(buf),
+			func(b Block, a [][]float64) float64 {
+				var s float64
+				b.ForThreads(func(gx, gy int) {
+					if gx >= n || gy >= 1 {
+						return
+					}
+					s += a[0][gx]
+				})
+				return s
+			})
+	}
+	first := sum()
+	var want float64
+	for _, v := range host {
+		want += v
+	}
+	if diff := first - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("reduce = %v, serial = %v", first, want)
+	}
+	for r := 0; r < 10; r++ {
+		if got := sum(); got != first {
+			t.Fatalf("run %d: reduction not deterministic: %v != %v", r, got, first)
+		}
+	}
+}
+
+// TestGridForProperty: the grid must cover the extent with the fewest
+// whole blocks (quick-check).
+func TestGridForProperty(t *testing.T) {
+	f := func(nxU, nyU, bxU, byU uint8) bool {
+		nx, ny := 1+int(nxU), 1+int(nyU)
+		bx, by := 1+int(bxU)%64, 1+int(byU)%16
+		g := GridFor(nx, ny, Dim2{X: bx, Y: by})
+		coverX := g.X * bx
+		coverY := g.Y * by
+		return coverX >= nx && coverY >= ny && coverX-bx < nx && coverY-by < ny
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLaunchesSerialiseLikeAStream(t *testing.T) {
+	// Two dependent launches: the second must observe all of the first's
+	// writes (Launch blocks until completion, like launch+sync on the
+	// default stream).
+	d := device(t, 8)
+	const n = 4096
+	buf := d.Malloc(n)
+	grid := GridFor(n, 1, Dim2{X: 32, Y: 1})
+	blk := Dim2{X: 32, Y: 1}
+	d.Launch("init", grid, blk, Args(buf), func(b Block, a [][]float64) {
+		b.ForThreads(func(gx, gy int) {
+			if gx < n && gy < 1 {
+				a[0][gx] = 2
+			}
+		})
+	})
+	var bad atomic.Int64
+	d.Launch("check", grid, blk, Args(buf), func(b Block, a [][]float64) {
+		b.ForThreads(func(gx, gy int) {
+			if gx < n && gy < 1 && a[0][gx] != 2 {
+				bad.Add(1)
+			}
+		})
+	})
+	if bad.Load() != 0 {
+		t.Errorf("%d cells saw stale data across launches", bad.Load())
+	}
+}
+
+func TestAccountingCounters(t *testing.T) {
+	d := device(t, 2)
+	buf := d.Malloc(64)
+	grid := GridFor(64, 1, Dim2{X: 16, Y: 1})
+	for i := 0; i < 3; i++ {
+		d.Launch("noop", grid, Dim2{X: 16, Y: 1}, Args(buf), func(Block, [][]float64) {})
+	}
+	st := d.Stats()
+	if st.Launches != 3 {
+		t.Errorf("launches = %d, want 3", st.Launches)
+	}
+	if st.BlocksRun != 12 {
+		t.Errorf("blocks = %d, want 12", st.BlocksRun)
+	}
+	if st.Allocations != 1 {
+		t.Errorf("allocations = %d, want 1", st.Allocations)
+	}
+}
+
+func TestBufferGuards(t *testing.T) {
+	d1 := device(t, 1)
+	d2 := device(t, 1)
+	buf := d1.Malloc(8)
+	mustPanic(t, "cross-device", func() { d2.MemcpyH2D(buf, make([]float64, 8)) })
+	mustPanic(t, "H2D overflow", func() { d1.MemcpyH2D(buf, make([]float64, 9)) })
+	mustPanic(t, "D2H overread", func() { d1.MemcpyD2H(make([]float64, 9), buf) })
+	mustPanic(t, "bad alloc", func() { d1.Malloc(0) })
+	mustPanic(t, "empty launch", func() {
+		d1.Launch("x", Dim2{}, Dim2{X: 1, Y: 1}, nil, func(Block, [][]float64) {})
+	})
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestLaunchRawAndReduceRaw(t *testing.T) {
+	d := device(t, 3)
+	buf := d.Malloc(100)
+	view := buf.View()
+	grid := GridFor(100, 1, Dim2{X: 10, Y: 1})
+	blk := Dim2{X: 10, Y: 1}
+	d.LaunchRaw("fill", grid, blk, func(b Block) {
+		b.ForThreads(func(gx, gy int) {
+			if gx < 100 && gy < 1 {
+				view[gx] = 3
+			}
+		})
+	})
+	got := d.LaunchReduceRaw("sum", grid, blk, func(b Block) float64 {
+		var s float64
+		b.ForThreads(func(gx, gy int) {
+			if gx < 100 && gy < 1 {
+				s += view[gx]
+			}
+		})
+		return s
+	})
+	if got != 300 {
+		t.Errorf("raw reduce = %g, want 300", got)
+	}
+}
+
+func BenchmarkLaunchOverhead(b *testing.B) {
+	d := NewDevice(Props{Parallelism: 4})
+	defer d.Close()
+	buf := d.Malloc(1)
+	grid := Dim2{X: 1, Y: 1}
+	for i := 0; i < b.N; i++ {
+		d.Launch("empty", grid, grid, Args(buf), func(Block, [][]float64) {})
+	}
+}
+
+func BenchmarkStencilKernel(b *testing.B) {
+	d := NewDevice(Props{Parallelism: 0})
+	defer d.Close()
+	const n = 512
+	src := d.Malloc(n * n)
+	dst := d.Malloc(n * n)
+	blk := Dim2{X: 64, Y: 8}
+	grid := GridFor(n-2, n-2, blk)
+	b.SetBytes(int64(n * n * 8))
+	for i := 0; i < b.N; i++ {
+		d.Launch("stencil", grid, blk, Args(src, dst), func(blkCtx Block, a [][]float64) {
+			s, q := a[0], a[1]
+			blkCtx.ForThreads(func(gx, gy int) {
+				if gx >= n-2 || gy >= n-2 {
+					return
+				}
+				at := (gy+1)*n + gx + 1
+				q[at] = 0.25 * (s[at-1] + s[at+1] + s[at-n] + s[at+n])
+			})
+		})
+	}
+}

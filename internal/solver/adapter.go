@@ -1,0 +1,21 @@
+package solver
+
+import "github.com/warwick-hpsc/tealeaf-go/internal/driver"
+
+// New wraps the solve options as a driver.Solver for use with driver.Run.
+func New(opt Options) driver.Solver {
+	return driver.SolverFunc(func(k driver.Kernels) (driver.SolveStats, error) {
+		st, err := Solve(k, opt)
+		return driver.SolveStats{
+			Iterations:      st.Iterations,
+			InnerIterations: st.InnerIterations,
+			HaloExchanges:   st.HaloExchanges,
+			Error:           st.Error,
+			InitialError:    st.InitialError,
+			Converged:       st.Converged,
+			EigMin:          st.EigMin,
+			EigMax:          st.EigMax,
+			EstChebyIters:   st.EstChebyIters,
+		}, err
+	})
+}

@@ -1,0 +1,129 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+)
+
+// EstimateEigenvalues bounds the spectrum of the (possibly preconditioned)
+// conduction operator from the scalars of a conjugate-gradient run, the way
+// the mini-app bootstraps its Chebyshev and PPCG solvers: the CG
+// coefficients alpha_k and beta_k define the Lanczos tridiagonal matrix
+//
+//	T[k][k]   = 1/alpha_k + beta_{k-1}/alpha_{k-1}   (beta_{-1} = 0)
+//	T[k][k+1] = sqrt(beta_k)/alpha_k
+//
+// whose extremal eigenvalues converge to those of the operator. The
+// returned bounds are widened by the same safety factors the mini-app uses
+// so that Chebyshev's interval always encloses the true spectrum.
+func EstimateEigenvalues(alphas, betas []float64) (eigMin, eigMax float64, err error) {
+	n := len(alphas)
+	if n < 2 {
+		return 0, 0, fmt.Errorf("solver: need at least 2 CG iterations to estimate eigenvalues, have %d", n)
+	}
+	if len(betas) < n {
+		return 0, 0, fmt.Errorf("solver: have %d alphas but only %d betas", n, len(betas))
+	}
+	diag := make([]float64, n)
+	off := make([]float64, n) // off[i] couples i and i+1; off[n-1] unused
+	for k := 0; k < n; k++ {
+		if alphas[k] == 0 {
+			return 0, 0, fmt.Errorf("solver: zero CG alpha at iteration %d", k)
+		}
+		diag[k] = 1 / alphas[k]
+		if k > 0 {
+			diag[k] += betas[k-1] / alphas[k-1]
+		}
+		if k < n-1 {
+			if betas[k] < 0 {
+				return 0, 0, fmt.Errorf("solver: negative CG beta %g at iteration %d", betas[k], k)
+			}
+			off[k] = math.Sqrt(betas[k]) / alphas[k]
+		}
+	}
+	eigs, err := tridiagEigenvalues(diag, off)
+	if err != nil {
+		return 0, 0, err
+	}
+	eigMin, eigMax = eigs[0], eigs[0]
+	for _, e := range eigs[1:] {
+		eigMin = math.Min(eigMin, e)
+		eigMax = math.Max(eigMax, e)
+	}
+	if eigMin <= 0 {
+		return 0, 0, fmt.Errorf("solver: non-positive eigenvalue estimate %g (operator not SPD?)", eigMin)
+	}
+	// Safety factors from the mini-app: shrink the lower bound, grow the
+	// upper, so the Chebyshev interval certainly covers the spectrum.
+	return eigMin * 0.95, eigMax * 1.05, nil
+}
+
+// tridiagEigenvalues computes all eigenvalues of a symmetric tridiagonal
+// matrix with diagonal d0 and off-diagonal e0 (e0[i] couples rows i and
+// i+1; its last element is ignored) using the QL algorithm with implicit
+// shifts, a 0-based translation of the classic tqli routine without
+// eigenvector accumulation.
+func tridiagEigenvalues(d0, e0 []float64) ([]float64, error) {
+	n := len(d0)
+	if n == 0 {
+		return nil, fmt.Errorf("solver: empty tridiagonal matrix")
+	}
+	d := append([]float64(nil), d0...)
+	e := make([]float64, n) // e[i] couples d[i] and d[i+1]; e[n-1] stays 0
+	copy(e, e0[:n-1])
+
+	for l := 0; l < n; l++ {
+		iter := 0
+		for {
+			// Find a negligible off-diagonal element splitting the matrix.
+			m := l
+			for ; m < n-1; m++ {
+				dd := math.Abs(d[m]) + math.Abs(d[m+1])
+				if math.Abs(e[m])+dd == dd {
+					break
+				}
+			}
+			if m == l {
+				break // d[l] has converged to an eigenvalue
+			}
+			iter++
+			if iter > 50 {
+				return nil, fmt.Errorf("solver: tridiagonal QL failed to converge at row %d", l)
+			}
+			// Implicit shift from the 2x2 block at l, then chase the bulge
+			// from m-1 down to l with Givens rotations.
+			g := (d[l+1] - d[l]) / (2 * e[l])
+			r := math.Hypot(g, 1)
+			g = d[m] - d[l] + e[l]/(g+math.Copysign(r, g))
+			s, c, p := 1.0, 1.0, 0.0
+			underflow := false
+			for i := m - 1; i >= l; i-- {
+				f := s * e[i]
+				b := c * e[i]
+				r = math.Hypot(f, g)
+				e[i+1] = r
+				if r == 0 {
+					// Recover from underflow: deflate and restart this row.
+					d[i+1] -= p
+					e[m] = 0
+					underflow = true
+					break
+				}
+				s = f / r
+				c = g / r
+				g = d[i+1] - p
+				r = (d[i]-g)*s + 2*c*b
+				p = s * r
+				d[i+1] = g + p
+				g = c*r - b
+			}
+			if underflow {
+				continue
+			}
+			d[l] -= p
+			e[l] = g
+			e[m] = 0
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,330 @@
+// Package solver implements the TeaLeaf solve control flow — conjugate
+// gradient, Jacobi, Chebyshev and polynomially-preconditioned CG — on top
+// of any port's kernel set (driver.Kernels). This mirrors the mini-app's
+// structure, where tea_leaf.f90 drives per-port kernels; keeping the
+// control flow in one place guarantees every port performs the same
+// operations in the same order, so ports are comparable and verifiable
+// against each other.
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/config"
+	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
+)
+
+// Options configures one solve. Construct from a config.Config with
+// FromConfig.
+type Options struct {
+	Solver         config.SolverKind
+	Eps            float64 // relative convergence tolerance on the squared residual norm
+	MaxIters       int
+	Precond        bool // diagonal (Jacobi) preconditioning for CG/Chebyshev
+	PPCGInnerSteps int
+	EigenCGIters   int // CG iterations used to bootstrap eigenvalue estimates
+}
+
+// FromConfig extracts the solve options from a run configuration.
+func FromConfig(cfg *config.Config) Options {
+	return Options{
+		Solver:         cfg.Solver,
+		Eps:            cfg.Eps,
+		MaxIters:       cfg.MaxIters,
+		Precond:        cfg.Preconditioner != config.PrecondNone,
+		PPCGInnerSteps: cfg.PPCGInnerSteps,
+		EigenCGIters:   cfg.EigenCGIters,
+	}
+}
+
+// Stats reports what one solve did.
+type Stats struct {
+	Iterations      int     // outer solver iterations
+	InnerIterations int     // PPCG polynomial steps (0 for other solvers)
+	HaloExchanges   int     // exchanges issued by the solve loop
+	Error           float64 // final squared residual measure
+	InitialError    float64 // initial squared residual measure
+	Converged       bool
+	EigMin, EigMax  float64 // spectrum estimate (Chebyshev/PPCG only)
+	// EstChebyIters is the iteration count Chebyshev theory predicts for
+	// the requested tolerance given the spectrum estimate (the mini-app's
+	// est_itc); 0 for solvers that do not estimate it.
+	EstChebyIters int
+}
+
+// Solve runs one implicit conduction solve with the configured method. The
+// caller must already have called k.SolveInit (and exchanged the halos it
+// needs); Solve leaves u converged and r consistent with it.
+func Solve(k driver.Kernels, opt Options) (Stats, error) {
+	if opt.MaxIters <= 0 {
+		return Stats{}, fmt.Errorf("solver: MaxIters must be positive, got %d", opt.MaxIters)
+	}
+	if opt.Eps <= 0 {
+		return Stats{}, fmt.Errorf("solver: Eps must be positive, got %g", opt.Eps)
+	}
+	switch opt.Solver {
+	case config.SolverCG:
+		return solveCG(k, opt)
+	case config.SolverJacobi:
+		return solveJacobi(k, opt)
+	case config.SolverChebyshev:
+		return solveChebyshev(k, opt)
+	case config.SolverPPCG:
+		return solvePPCG(k, opt)
+	default:
+		return Stats{}, fmt.Errorf("solver: unknown solver kind %v", opt.Solver)
+	}
+}
+
+// converged implements the convergence test shared by the Krylov solvers: a
+// relative reduction of the squared residual measure below eps, guarded for
+// an identically-zero initial residual (already solved).
+func converged(err, initial, eps float64) bool {
+	if initial == 0 {
+		return true
+	}
+	return math.Abs(err) < eps*math.Abs(initial)
+}
+
+var errIndefinite = fmt.Errorf("solver: operator appears indefinite (CG breakdown)")
+
+// cgIteration performs one CG iteration and returns the new rr. The alpha
+// and beta used are appended to the provided slices when they are non-nil
+// (the eigenvalue bootstrap records them).
+func cgIteration(k driver.Kernels, precond bool, rro float64, alphas, betas *[]float64, st *Stats) (float64, error) {
+	k.HaloExchange([]driver.FieldID{driver.FieldP}, 1)
+	st.HaloExchanges++
+	pw := k.CGCalcW()
+	if pw == 0 || math.IsNaN(pw) {
+		return 0, errIndefinite
+	}
+	alpha := rro / pw
+	rrn := k.CGCalcUR(alpha, precond)
+	beta := rrn / rro
+	k.CGCalcP(beta, precond)
+	if alphas != nil {
+		*alphas = append(*alphas, alpha)
+	}
+	if betas != nil {
+		*betas = append(*betas, beta)
+	}
+	st.Iterations++
+	return rrn, nil
+}
+
+func solveCG(k driver.Kernels, opt Options) (Stats, error) {
+	var st Stats
+	rro := k.CGInitP(opt.Precond)
+	st.InitialError = rro
+	st.Error = rro
+	if converged(rro, rro, opt.Eps) && rro == 0 {
+		st.Converged = true
+		return st, nil
+	}
+	for st.Iterations < opt.MaxIters {
+		rrn, err := cgIteration(k, opt.Precond, rro, nil, nil, &st)
+		if err != nil {
+			return st, err
+		}
+		rro = rrn
+		st.Error = rrn
+		if converged(rrn, st.InitialError, opt.Eps) {
+			st.Converged = true
+			return st, nil
+		}
+	}
+	return st, nil
+}
+
+func solveJacobi(k driver.Kernels, opt Options) (Stats, error) {
+	var st Stats
+	for st.Iterations < opt.MaxIters {
+		k.HaloExchange([]driver.FieldID{driver.FieldU}, 1)
+		st.HaloExchanges++
+		k.JacobiCopyU()
+		err := k.JacobiIterate()
+		st.Iterations++
+		st.Error = err
+		if st.Iterations == 1 {
+			st.InitialError = err
+		}
+		// The mini-app's Jacobi converges on the absolute update norm.
+		if err < opt.Eps {
+			st.Converged = true
+			return st, nil
+		}
+	}
+	return st, nil
+}
+
+// bootstrapCG runs the eigenvalue-estimation CG phase shared by Chebyshev
+// and PPCG: plain (optionally diagonal-preconditioned) CG for up to
+// opt.EigenCGIters iterations, recording alphas and betas. It may converge
+// outright, in which case done is true.
+func bootstrapCG(k driver.Kernels, opt Options, st *Stats) (rro float64, alphas, betas []float64, done bool, err error) {
+	rro = k.CGInitP(opt.Precond)
+	st.InitialError = rro
+	st.Error = rro
+	if rro == 0 {
+		st.Converged = true
+		return rro, nil, nil, true, nil
+	}
+	iters := opt.EigenCGIters
+	if iters < 2 {
+		iters = 2
+	}
+	if iters > opt.MaxIters {
+		iters = opt.MaxIters
+	}
+	for n := 0; n < iters; n++ {
+		rrn, cgErr := cgIteration(k, opt.Precond, rro, &alphas, &betas, st)
+		if cgErr != nil {
+			return rro, alphas, betas, false, cgErr
+		}
+		rro = rrn
+		st.Error = rrn
+		if converged(rrn, st.InitialError, opt.Eps) {
+			st.Converged = true
+			return rro, alphas, betas, true, nil
+		}
+	}
+	return rro, alphas, betas, false, nil
+}
+
+// chebyCoeffs holds the scalar recurrence state of a Chebyshev iteration
+// over the interval [eigMin, eigMax].
+type chebyCoeffs struct {
+	theta, delta, sigma float64
+	rho                 float64
+}
+
+func newChebyCoeffs(eigMin, eigMax float64) chebyCoeffs {
+	theta := (eigMax + eigMin) / 2
+	delta := (eigMax - eigMin) / 2
+	sigma := theta / delta
+	return chebyCoeffs{theta: theta, delta: delta, sigma: sigma, rho: 1 / sigma}
+}
+
+// next advances the recurrence and returns the (alpha, beta) scalars of the
+// next smoothing step: sd = alpha*sd + beta*r.
+func (c *chebyCoeffs) next() (alpha, beta float64) {
+	rhoNew := 1 / (2*c.sigma - c.rho)
+	alpha = rhoNew * c.rho
+	beta = rhoNew * 2 / c.delta
+	c.rho = rhoNew
+	return alpha, beta
+}
+
+func solveChebyshev(k driver.Kernels, opt Options) (Stats, error) {
+	var st Stats
+	_, alphas, betas, done, err := bootstrapCG(k, opt, &st)
+	if err != nil || done {
+		return st, err
+	}
+	eigMin, eigMax, err := EstimateEigenvalues(alphas, betas)
+	if err != nil {
+		return st, err
+	}
+	st.EigMin, st.EigMax = eigMin, eigMax
+	st.EstChebyIters = EstimateChebyIters(eigMin, eigMax, opt.Eps)
+	cc := newChebyCoeffs(eigMin, eigMax)
+	k.ChebyInit(cc.theta, opt.Precond)
+	// The residual-norm reduction check costs a full reduction, so like the
+	// mini-app we only check periodically.
+	const checkEvery = 10
+	for st.Iterations < opt.MaxIters {
+		k.HaloExchange([]driver.FieldID{driver.FieldSD}, 1)
+		st.HaloExchanges++
+		alpha, beta := cc.next()
+		k.ChebyIterate(alpha, beta, opt.Precond)
+		st.Iterations++
+		if st.Iterations%checkEvery == 0 || st.Iterations == opt.MaxIters {
+			rrn := k.Norm2R()
+			st.Error = rrn
+			if converged(rrn, st.InitialError, opt.Eps) {
+				st.Converged = true
+				return st, nil
+			}
+		}
+	}
+	return st, nil
+}
+
+func solvePPCG(k driver.Kernels, opt Options) (Stats, error) {
+	var st Stats
+	if opt.PPCGInnerSteps <= 0 {
+		return st, fmt.Errorf("solver: PPCG needs positive inner steps, got %d", opt.PPCGInnerSteps)
+	}
+	// Bootstrap with plain CG (never diagonal-preconditioned here: the
+	// polynomial preconditioner replaces it) to estimate the spectrum.
+	bootOpt := opt
+	bootOpt.Precond = false
+	_, alphas, betas, done, err := bootstrapCG(k, bootOpt, &st)
+	if err != nil || done {
+		return st, err
+	}
+	eigMin, eigMax, err := EstimateEigenvalues(alphas, betas)
+	if err != nil {
+		return st, err
+	}
+	st.EigMin, st.EigMax = eigMin, eigMax
+
+	// applyPoly computes z = P(A) r with a fixed number of Chebyshev
+	// smoothing steps — the polynomial preconditioner. P is an SPD
+	// polynomial of A on [eigMin, eigMax], so outer CG theory applies.
+	applyPoly := func() {
+		cc := newChebyCoeffs(eigMin, eigMax)
+		k.PPCGInitInner(cc.theta)
+		for s := 0; s < opt.PPCGInnerSteps; s++ {
+			k.HaloExchange([]driver.FieldID{driver.FieldSD}, 1)
+			st.HaloExchanges++
+			alpha, beta := cc.next()
+			k.PPCGInnerIterate(alpha, beta)
+			st.InnerIterations++
+		}
+		k.PPCGFinishInner()
+	}
+
+	applyPoly()
+	rro := k.CGInitP(true) // p = z, rro = r.z
+	for st.Iterations < opt.MaxIters {
+		k.HaloExchange([]driver.FieldID{driver.FieldP}, 1)
+		st.HaloExchanges++
+		pw := k.CGCalcW()
+		if pw == 0 || math.IsNaN(pw) {
+			return st, errIndefinite
+		}
+		alpha := rro / pw
+		rrTrue := k.CGCalcUR(alpha, false) // plain r.r for the convergence test
+		st.Iterations++
+		st.Error = rrTrue
+		if converged(rrTrue, st.InitialError, opt.Eps) {
+			st.Converged = true
+			return st, nil
+		}
+		applyPoly()
+		rrn := k.DotRZ()
+		beta := rrn / rro
+		k.CGCalcP(beta, true)
+		rro = rrn
+	}
+	return st, nil
+}
+
+// EstimateChebyIters predicts how many Chebyshev iterations reduce the
+// error by eps for a spectrum in [eigMin, eigMax] — the mini-app's est_itc
+// diagnostic: with condition number cn, the per-iteration contraction is
+// (sqrt(cn)-1)/(sqrt(cn)+1), so it takes about ln(eps)/ln(contraction)
+// iterations.
+func EstimateChebyIters(eigMin, eigMax, eps float64) int {
+	if eigMin <= 0 || eigMax <= eigMin || eps <= 0 || eps >= 1 {
+		return 0
+	}
+	cn := eigMax / eigMin
+	contraction := (math.Sqrt(cn) - 1) / (math.Sqrt(cn) + 1)
+	if contraction <= 0 {
+		return 1
+	}
+	return int(math.Ceil(math.Log(eps) / math.Log(contraction)))
+}

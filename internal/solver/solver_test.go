@@ -1,0 +1,286 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/backends/serial"
+	"github.com/warwick-hpsc/tealeaf-go/internal/config"
+	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
+)
+
+// --- tridiagonal eigenvalue solver -------------------------------------------
+
+// naiveCharPolyEigs brackets eigenvalues of a symmetric tridiagonal matrix
+// by Sturm-sequence bisection, an independent oracle for the QL solver.
+func naiveCharPolyEigs(d, e []float64) []float64 {
+	n := len(d)
+	// Gershgorin bounds.
+	lo, hi := d[0], d[0]
+	for i := 0; i < n; i++ {
+		r := 0.0
+		if i > 0 {
+			r += math.Abs(e[i-1])
+		}
+		if i < n-1 {
+			r += math.Abs(e[i])
+		}
+		lo = math.Min(lo, d[i]-r)
+		hi = math.Max(hi, d[i]+r)
+	}
+	// Sturm count: number of eigenvalues < x.
+	count := func(x float64) int {
+		cnt := 0
+		q := d[0] - x
+		if q < 0 {
+			cnt++
+		}
+		for i := 1; i < n; i++ {
+			den := q
+			if den == 0 {
+				den = 1e-300
+			}
+			q = d[i] - x - e[i-1]*e[i-1]/den
+			if q < 0 {
+				cnt++
+			}
+		}
+		return cnt
+	}
+	eigs := make([]float64, n)
+	for k := 0; k < n; k++ {
+		a, b := lo-1, hi+1
+		for iter := 0; iter < 100; iter++ {
+			mid := (a + b) / 2
+			if count(mid) <= k {
+				a = mid
+			} else {
+				b = mid
+			}
+		}
+		eigs[k] = (a + b) / 2
+	}
+	return eigs
+}
+
+func TestTridiagEigenvaluesKnown(t *testing.T) {
+	// The discrete Laplacian tridiag(-1, 2, -1) of size n has eigenvalues
+	// 2 - 2cos(k*pi/(n+1)).
+	const n = 12
+	d := make([]float64, n)
+	e := make([]float64, n)
+	for i := range d {
+		d[i] = 2
+		e[i] = -1
+	}
+	got, err := tridiagEigenvalues(d, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Float64s(got)
+	for k := 1; k <= n; k++ {
+		want := 2 - 2*math.Cos(float64(k)*math.Pi/float64(n+1))
+		if math.Abs(got[k-1]-want) > 1e-10 {
+			t.Errorf("eig %d = %.12f, want %.12f", k, got[k-1], want)
+		}
+	}
+}
+
+func TestTridiagEigenvaluesDiagonal(t *testing.T) {
+	d := []float64{3, 1, 4, 1, 5}
+	e := make([]float64, 5)
+	got, err := tridiagEigenvalues(d, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Float64s(got)
+	want := []float64{1, 1, 3, 4, 5}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("diagonal matrix eigs = %v", got)
+			break
+		}
+	}
+}
+
+func TestTridiagEigenvaluesSingle(t *testing.T) {
+	got, err := tridiagEigenvalues([]float64{7}, []float64{0})
+	if err != nil || len(got) != 1 || got[0] != 7 {
+		t.Errorf("1x1 matrix: got %v, err %v", got, err)
+	}
+	if _, err := tridiagEigenvalues(nil, nil); err == nil {
+		t.Error("expected error for empty matrix")
+	}
+}
+
+// TestTridiagEigenvaluesProperty: against the Sturm-bisection oracle on
+// random symmetric tridiagonal matrices (quick-check).
+func TestTridiagEigenvaluesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(14)
+		d := make([]float64, n)
+		e := make([]float64, n)
+		for i := range d {
+			d[i] = rng.NormFloat64() * 10
+			e[i] = rng.NormFloat64() * 3
+		}
+		got, err := tridiagEigenvalues(d, e)
+		if err != nil {
+			return false
+		}
+		sort.Float64s(got)
+		want := naiveCharPolyEigs(d, e)
+		sort.Float64s(want)
+		scale := math.Max(1, math.Abs(want[0])+math.Abs(want[n-1]))
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-7*scale {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEstimateEigenvalues(t *testing.T) {
+	// For CG on A = c*I, alpha = 1/c at every iteration and beta = 0, so
+	// the Lanczos matrix is diag(c) and both bounds land on c (before the
+	// safety factors).
+	alphas := []float64{0.5, 0.5, 0.5}
+	betas := []float64{0, 0, 0}
+	mn, mx, err := EstimateEigenvalues(alphas, betas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mn-2*0.95) > 1e-12 || math.Abs(mx-2*1.05) > 1e-12 {
+		t.Errorf("bounds = [%g, %g], want [1.9, 2.1]", mn, mx)
+	}
+}
+
+func TestEstimateEigenvaluesErrors(t *testing.T) {
+	if _, _, err := EstimateEigenvalues([]float64{1}, []float64{0}); err == nil {
+		t.Error("expected error for a single iteration")
+	}
+	if _, _, err := EstimateEigenvalues([]float64{1, 0}, []float64{0, 0}); err == nil {
+		t.Error("expected error for zero alpha")
+	}
+	if _, _, err := EstimateEigenvalues([]float64{1, 1}, []float64{-1, 0}); err == nil {
+		t.Error("expected error for negative beta")
+	}
+}
+
+// --- solve options / control flow -------------------------------------------
+
+func TestFromConfig(t *testing.T) {
+	cfg := config.BenchmarkN(16)
+	cfg.Solver = config.SolverPPCG
+	cfg.Preconditioner = config.PrecondJacDiag
+	cfg.PPCGInnerSteps = 9
+	cfg.EigenCGIters = 15
+	opt := FromConfig(&cfg)
+	if opt.Solver != config.SolverPPCG || !opt.Precond ||
+		opt.PPCGInnerSteps != 9 || opt.EigenCGIters != 15 ||
+		opt.Eps != cfg.Eps || opt.MaxIters != cfg.MaxIters {
+		t.Errorf("FromConfig = %+v", opt)
+	}
+}
+
+func TestSolveRejectsBadOptions(t *testing.T) {
+	if _, err := Solve(nil, Options{Solver: config.SolverCG, MaxIters: 0, Eps: 1e-10}); err == nil {
+		t.Error("expected error for MaxIters=0")
+	}
+	if _, err := Solve(nil, Options{Solver: config.SolverCG, MaxIters: 10, Eps: 0}); err == nil {
+		t.Error("expected error for Eps=0")
+	}
+	if _, err := Solve(nil, Options{Solver: config.SolverKind(99), MaxIters: 10, Eps: 1e-10}); err == nil {
+		t.Error("expected error for unknown solver")
+	}
+}
+
+func TestConvergedPredicate(t *testing.T) {
+	if !converged(0, 0, 1e-10) {
+		t.Error("zero initial residual means already converged")
+	}
+	if !converged(1e-12, 1.0, 1e-10) {
+		t.Error("reduction below eps*initial must converge")
+	}
+	if converged(1e-8, 1.0, 1e-10) {
+		t.Error("insufficient reduction must not converge")
+	}
+}
+
+func TestChebyCoeffsRecurrence(t *testing.T) {
+	// The recurrence must generate the standard Chebyshev scalars:
+	// rho_0 = 1/sigma, rho_{k+1} = 1/(2*sigma - rho_k), alpha_k =
+	// rho_{k+1}*rho_k, beta_k = 2*rho_{k+1}/delta; and rho stays in (0,1)
+	// for sigma > 1 (i.e. eigMin > 0).
+	cc := newChebyCoeffs(0.1, 2.0)
+	if math.Abs(cc.theta-1.05) > 1e-15 || math.Abs(cc.delta-0.95) > 1e-15 {
+		t.Fatalf("theta/delta = %g/%g", cc.theta, cc.delta)
+	}
+	rho := cc.rho
+	for k := 0; k < 50; k++ {
+		alpha, beta := cc.next()
+		rhoNew := 1 / (2*cc.sigma - rho)
+		if math.Abs(alpha-rhoNew*rho) > 1e-15 {
+			t.Fatalf("step %d: alpha %g != %g", k, alpha, rhoNew*rho)
+		}
+		if math.Abs(beta-2*rhoNew/cc.delta) > 1e-15 {
+			t.Fatalf("step %d: beta %g != %g", k, beta, 2*rhoNew/cc.delta)
+		}
+		rho = rhoNew
+		if rho <= 0 || rho >= 1 {
+			t.Fatalf("step %d: rho %g left (0,1)", k, rho)
+		}
+	}
+}
+
+func TestEstimateChebyIters(t *testing.T) {
+	// Well-conditioned spectrum: few iterations; ill-conditioned: many.
+	good := EstimateChebyIters(1, 2, 1e-10)
+	bad := EstimateChebyIters(1e-4, 1, 1e-10)
+	if good <= 0 || bad <= good {
+		t.Errorf("estimates: cn=2 -> %d, cn=1e4 -> %d", good, bad)
+	}
+	// Theory check for cn = 4: contraction (2-1)/(2+1) = 1/3, so
+	// ln(1e-9)/ln(1/3) ~ 18.9 -> 19.
+	if got := EstimateChebyIters(1, 4, 1e-9); got != 19 {
+		t.Errorf("cn=4 estimate = %d, want 19", got)
+	}
+	for _, bad := range [][3]float64{{0, 1, 1e-10}, {1, 1, 1e-10}, {1, 2, 0}, {1, 2, 2}} {
+		if got := EstimateChebyIters(bad[0], bad[1], bad[2]); got != 0 {
+			t.Errorf("degenerate input %v: got %d, want 0", bad, got)
+		}
+	}
+}
+
+// TestChebyEstimateVsReality: the estimate must land within a small factor
+// of the iterations the Chebyshev solver actually needs.
+func TestChebyEstimateVsReality(t *testing.T) {
+	cfg := config.BenchmarkN(64)
+	cfg.EndStep = 1
+	cfg.Solver = config.SolverChebyshev
+	cfg.EigenCGIters = 8 // switch to Chebyshev well before CG converges
+	k := serial.New()
+	defer k.Close()
+	res, err := driver.Run(cfg, k, New(FromConfig(&cfg)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Steps[0].Stats
+	if st.EstChebyIters <= 0 {
+		t.Fatalf("no estimate recorded: %+v", st)
+	}
+	// The solve includes the CG bootstrap, and the convergence check only
+	// fires every 10 iterations, so compare loosely.
+	actual := st.Iterations
+	if actual > 4*st.EstChebyIters+40 || st.EstChebyIters > 4*actual+40 {
+		t.Errorf("estimate %d vs actual %d disagree wildly", st.EstChebyIters, actual)
+	}
+}

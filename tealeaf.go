@@ -1,0 +1,269 @@
+// Package tealeaf is a Go reproduction of the TeaLeaf heat-conduction
+// mini-app study "Achieving Performance Portability for a Heat Conduction
+// Solver Mini-Application on Modern Multi-core Systems" (Kirk et al.,
+// WRAp/IEEE CLUSTER 2017).
+//
+// TeaLeaf solves the linear heat conduction equation implicitly on a 2D
+// structured mesh with a five-point stencil. This module contains
+// seventeen ports of the solver — hand-written serial, OpenMP-style,
+// MPI-style, hybrid, CUDA-style and OpenACC-style versions, plus versions
+// built on from-scratch renditions of the OPS embedded DSL and the Kokkos
+// and RAJA template layers — together with the machinery the paper's
+// evaluation needs: per-kernel profiling, calibrated models of the three
+// study machines (Xeon E5-2660 v4, Xeon Phi 7210, Tesla P100) and the
+// Pennycook performance-portability metric.
+//
+// This package is the public facade. A minimal run:
+//
+//	cfg := tealeaf.Benchmark(250)
+//	res, err := tealeaf.Run(cfg, tealeaf.Options{Version: "manual-omp"})
+//	if err != nil { ... }
+//	fmt.Println(res.Final.Temperature)
+//
+// The runnable binaries live under cmd/ (tealeaf, teabench, teaplot) and
+// worked examples under examples/.
+package tealeaf
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/config"
+	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
+	"github.com/warwick-hpsc/tealeaf-go/internal/grid"
+	"github.com/warwick-hpsc/tealeaf-go/internal/perfmodel"
+	"github.com/warwick-hpsc/tealeaf-go/internal/portability"
+	"github.com/warwick-hpsc/tealeaf-go/internal/profiler"
+	"github.com/warwick-hpsc/tealeaf-go/internal/registry"
+	"github.com/warwick-hpsc/tealeaf-go/internal/simgpu"
+	"github.com/warwick-hpsc/tealeaf-go/internal/solver"
+	"github.com/warwick-hpsc/tealeaf-go/internal/vis"
+)
+
+// Config is a TeaLeaf run configuration: mesh extent, material states,
+// solver controls and time-marching bounds. Build one with Benchmark,
+// ParseDeck or by filling the fields directly (see the config package's
+// field documentation, re-exported here by aliasing).
+type Config = config.Config
+
+// State is one material region of the initial condition.
+type State = config.State
+
+// Solver kinds selectable in Config.Solver.
+const (
+	SolverCG        = config.SolverCG
+	SolverJacobi    = config.SolverJacobi
+	SolverChebyshev = config.SolverChebyshev
+	SolverPPCG      = config.SolverPPCG
+)
+
+// Geometry kinds for material states.
+const (
+	GeomRectangle = config.GeomRectangle
+	GeomCircular  = config.GeomCircular
+	GeomPoint     = config.GeomPoint
+)
+
+// Preconditioner kinds for Config.Preconditioner.
+const (
+	PrecondNone     = config.PrecondNone
+	PrecondJacDiag  = config.PrecondJacDiag
+	PrecondJacBlock = config.PrecondJacBlock
+)
+
+// Totals are the QA quantities of TeaLeaf's field summary.
+type Totals = driver.Totals
+
+// SolveStats describes one time step's implicit solve.
+type SolveStats = driver.SolveStats
+
+// Benchmark returns the paper's tea_bm workload at n-by-n cells: ten time
+// steps of the two-material deck solved with CG to 1e-15. The paper's two
+// datasets are Benchmark(1000) and Benchmark(4000).
+func Benchmark(n int) Config { return config.BenchmarkN(n) }
+
+// ParseDeck parses a tea.in input deck.
+func ParseDeck(r io.Reader) (Config, error) { return config.ParseReader(r) }
+
+// ParseDeckFile parses a tea.in file from disk.
+func ParseDeckFile(path string) (Config, error) { return config.ParseFile(path) }
+
+// Options selects and configures a TeaLeaf version.
+type Options struct {
+	// Version is a registry name (see Versions); empty selects the serial
+	// reference.
+	Version string
+	// Threads per team (0: all cores); Ranks for distributed versions
+	// (0: 4).
+	Threads, Ranks int
+	// BlockX, BlockY set the GPU kernel block size for accelerator
+	// versions (0: the version's default).
+	BlockX, BlockY int
+	// TileX, TileY set the OPS tile size for the tiled versions.
+	TileX, TileY int
+	// Profile enables per-kernel timing; the profile is attached to the
+	// Result.
+	Profile bool
+	// Snapshot copies the final density, energy and temperature fields
+	// into the Result (row-major interior order), for visualisation or
+	// analysis.
+	Snapshot bool
+	// Log, when non-nil, receives the per-step solver log.
+	Log io.Writer
+}
+
+// Result is a completed simulation.
+type Result struct {
+	// Final holds the QA totals of the last step.
+	Final Totals
+	// Steps records each step's solve statistics (and totals when a
+	// summary was due).
+	Steps []driver.StepResult
+	// TotalIterations sums the outer solver iterations of all steps.
+	TotalIterations int
+	// Profile is the per-kernel profile when Options.Profile was set.
+	Profile *profiler.Profile
+	// Version is the registry name that ran.
+	Version string
+	// Density, Energy and Temperature hold the final fields (row-major,
+	// Nx*Ny values) when Options.Snapshot was set.
+	Density, Energy, Temperature []float64
+	// Nx, Ny are the snapshot dimensions.
+	Nx, Ny int
+}
+
+// Run executes a full TeaLeaf simulation of cfg with the selected version.
+func Run(cfg Config, opt Options) (*Result, error) {
+	name := opt.Version
+	if name == "" {
+		name = "manual-serial"
+	}
+	v, err := registry.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	k, err := v.Make(registry.Params{
+		Threads: opt.Threads,
+		Ranks:   opt.Ranks,
+		Block:   simgpu.Dim2{X: opt.BlockX, Y: opt.BlockY},
+		TileX:   opt.TileX,
+		TileY:   opt.TileY,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer k.Close()
+	var kernels driver.Kernels = k
+	var prof *profiler.Profile
+	if opt.Profile {
+		prof = profiler.New()
+		kernels = driver.Instrument(k, prof)
+	}
+	res, err := driver.Run(cfg, kernels, solver.New(solver.FromConfig(&cfg)), opt.Log)
+	if err != nil {
+		return nil, fmt.Errorf("tealeaf: %w", err)
+	}
+	out := &Result{
+		Final:           res.Final,
+		Steps:           res.Steps,
+		TotalIterations: res.TotalIterations,
+		Profile:         prof,
+		Version:         name,
+	}
+	if opt.Snapshot {
+		out.Density = k.FetchField(driver.FieldDensity)
+		out.Energy = k.FetchField(driver.FieldEnergy0)
+		out.Temperature = k.FetchField(driver.FieldU)
+		out.Nx, out.Ny = cfg.NX, cfg.NY
+	}
+	return out, nil
+}
+
+// WriteVTK writes a Result snapshot as a legacy-VTK structured-points file
+// loadable by ParaView/VisIt. Run must have been called with
+// Options.Snapshot.
+func WriteVTK(path string, cfg Config, res *Result) error {
+	if res.Temperature == nil {
+		return fmt.Errorf("tealeaf: WriteVTK needs a Result from Options{Snapshot: true}")
+	}
+	m, err := grid.NewMesh(cfg.XMin, cfg.XMax, cfg.YMin, cfg.YMax, cfg.NX, cfg.NY)
+	if err != nil {
+		return err
+	}
+	return vis.WriteFile(path, m, []vis.Field{
+		{Name: "density", Data: res.Density},
+		{Name: "energy", Data: res.Energy},
+		{Name: "temperature", Data: res.Temperature},
+	})
+}
+
+// VersionInfo describes one entry of the implementation matrix (Table I).
+type VersionInfo struct {
+	Name  string // registry key, e.g. "ops-mpi-tiled"
+	Group string // Manual, OPS, Kokkos or RAJA
+	Model string // parallel programming model
+	GPU   bool   // targets the accelerator class
+	Notes string
+}
+
+// Versions lists every available TeaLeaf version in study order.
+func Versions() []VersionInfo {
+	all := registry.All()
+	out := make([]VersionInfo, len(all))
+	for i, v := range all {
+		out[i] = VersionInfo{
+			Name:  v.Name,
+			Group: v.Group,
+			Model: v.Model,
+			GPU:   v.Arch == registry.GPU,
+			Notes: v.Notes,
+		}
+	}
+	return out
+}
+
+// CompareTotals returns the largest relative difference between two QA
+// summaries, the measure used to validate ports against each other.
+func CompareTotals(a, b Totals) float64 { return driver.CompareTotals(a, b) }
+
+// Efficiency is one application's efficiency on one platform, used by
+// Pennycook.
+type Efficiency = portability.Efficiency
+
+// Pennycook computes the performance-portability metric P(a, p, H): the
+// harmonic mean of per-platform efficiencies, or 0 if any platform is
+// unsupported.
+func Pennycook(effs []Efficiency) float64 { return portability.Pennycook(effs) }
+
+// AppEfficiencies converts measured runtimes (application -> platform ->
+// seconds) into per-application efficiency sets relative to the best time
+// on each platform.
+func AppEfficiencies(times map[string]map[string]float64, platforms []string) map[string][]Efficiency {
+	return portability.AppEfficiencies(times, platforms)
+}
+
+// ModeledTime predicts the paper-scale runtime of a version on one of the
+// study's modeled machines ("xeon", "knl", "p100") for the tea_bm workload
+// at n-by-n cells. It reports ok=false for version/machine pairs the study
+// could not run.
+func ModeledTime(version, machine string, n int) (seconds float64, ok bool) {
+	m, err := perfmodel.MachineByID(perfmodel.MachineID(machine))
+	if err != nil || !perfmodel.Supported(version, m.ID) {
+		return 0, false
+	}
+	est, err := perfmodel.Time(version, m, perfmodel.BM(n))
+	if err != nil {
+		return 0, false
+	}
+	return est.Seconds, true
+}
+
+// ModeledMachines lists the modeled platform ids in study order.
+func ModeledMachines() []string {
+	ms := perfmodel.Machines()
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = string(m.ID)
+	}
+	return out
+}

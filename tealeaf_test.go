@@ -1,0 +1,206 @@
+package tealeaf_test
+
+import (
+	"math"
+	"os"
+	"strings"
+	"testing"
+
+	tealeaf "github.com/warwick-hpsc/tealeaf-go"
+)
+
+func TestRunDefaults(t *testing.T) {
+	cfg := tealeaf.Benchmark(32)
+	res, err := tealeaf.Run(cfg, tealeaf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != "manual-serial" {
+		t.Errorf("default version = %s", res.Version)
+	}
+	if len(res.Steps) != 10 || res.TotalIterations == 0 {
+		t.Errorf("steps=%d iters=%d", len(res.Steps), res.TotalIterations)
+	}
+	// Conservation: temperature total equals internal energy total.
+	if rel := math.Abs(res.Final.Temperature-res.Final.InternalEnergy) / res.Final.InternalEnergy; rel > 1e-8 {
+		t.Errorf("conservation violated by %g", rel)
+	}
+}
+
+func TestRunUnknownVersion(t *testing.T) {
+	if _, err := tealeaf.Run(tealeaf.Benchmark(16), tealeaf.Options{Version: "fortran-2077"}); err == nil {
+		t.Error("expected error for unknown version")
+	}
+}
+
+func TestRunWithProfile(t *testing.T) {
+	cfg := tealeaf.Benchmark(24)
+	cfg.EndStep = 2
+	res, err := tealeaf.Run(cfg, tealeaf.Options{Version: "manual-omp", Threads: 2, Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile == nil {
+		t.Fatal("profile missing")
+	}
+	d, bytes, _ := res.Profile.Totals()
+	if d <= 0 || bytes <= 0 {
+		t.Errorf("profile totals = %v, %d", d, bytes)
+	}
+	var b strings.Builder
+	res.Profile.Report(&b)
+	if !strings.Contains(b.String(), "cg_calc_w") {
+		t.Errorf("profile report missing CG kernels:\n%s", b.String())
+	}
+}
+
+func TestRunWithLog(t *testing.T) {
+	cfg := tealeaf.Benchmark(16)
+	cfg.EndStep = 1
+	var b strings.Builder
+	if _, err := tealeaf.Run(cfg, tealeaf.Options{Log: &b}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "step") {
+		t.Error("step log empty")
+	}
+}
+
+func TestParseDeck(t *testing.T) {
+	deck := `
+state 1 density=1 energy=2
+x_cells=8
+y_cells=8
+xmin=0
+xmax=1
+ymin=0
+ymax=1
+initial_timestep=0.01
+end_step=1
+`
+	cfg, err := tealeaf.ParseDeck(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tealeaf.Run(cfg, tealeaf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform material: nothing diffuses, energy stays exactly 2/cell.
+	if math.Abs(res.Final.InternalEnergy-2) > 1e-12 {
+		t.Errorf("uniform problem energy = %g, want 2", res.Final.InternalEnergy)
+	}
+}
+
+func TestVersionsCatalogue(t *testing.T) {
+	vs := tealeaf.Versions()
+	if len(vs) != 17 {
+		t.Fatalf("versions = %d, want 17", len(vs))
+	}
+	gpu := 0
+	for _, v := range vs {
+		if v.GPU {
+			gpu++
+		}
+	}
+	if gpu != 6 {
+		t.Errorf("GPU versions = %d, want 6", gpu)
+	}
+}
+
+func TestVersionsAgreeViaPublicAPI(t *testing.T) {
+	cfg := tealeaf.Benchmark(16)
+	cfg.EndStep = 1
+	ref, err := tealeaf.Run(cfg, tealeaf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"ops-openmp", "kokkos-cuda", "raja-openmp", "manual-mpi"} {
+		res, err := tealeaf.Run(cfg, tealeaf.Options{Version: name, Threads: 2, Ranks: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if d := tealeaf.CompareTotals(ref.Final, res.Final); d > 1e-8 {
+			t.Errorf("%s diverges by %g", name, d)
+		}
+	}
+}
+
+func TestPennycookAPI(t *testing.T) {
+	effs := []tealeaf.Efficiency{
+		{Platform: "a", Value: 0.5, Supported: true},
+		{Platform: "b", Value: 1.0, Supported: true},
+	}
+	if got := tealeaf.Pennycook(effs); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("P = %g, want 2/3", got)
+	}
+	times := map[string]map[string]float64{
+		"x": {"a": 1, "b": 2},
+		"y": {"a": 2, "b": 2},
+	}
+	out := tealeaf.AppEfficiencies(times, []string{"a", "b"})
+	if tealeaf.Pennycook(out["x"]) != 1 {
+		t.Errorf("x should be fully efficient: %v", out["x"])
+	}
+}
+
+func TestModeledTime(t *testing.T) {
+	small, ok := tealeaf.ModeledTime("manual-cuda", "p100", 1000)
+	if !ok || small <= 0 {
+		t.Fatalf("modeled small = %g, %v", small, ok)
+	}
+	large, ok := tealeaf.ModeledTime("manual-cuda", "p100", 4000)
+	if !ok || large <= small {
+		t.Errorf("modeled large %g must exceed small %g", large, small)
+	}
+	if _, ok := tealeaf.ModeledTime("manual-cuda", "knl", 1000); ok {
+		t.Error("CUDA on KNL must be unsupported")
+	}
+	if _, ok := tealeaf.ModeledTime("manual-openacc-cpu", "knl", 1000); ok {
+		t.Error("OpenACC host target on KNL must be unsupported (PGI 17.3)")
+	}
+	if ms := tealeaf.ModeledMachines(); len(ms) != 3 {
+		t.Errorf("machines = %v", ms)
+	}
+}
+
+func TestSnapshotAndWriteVTK(t *testing.T) {
+	cfg := tealeaf.Benchmark(20)
+	cfg.EndStep = 1
+	res, err := tealeaf.Run(cfg, tealeaf.Options{Version: "kokkos-cuda", Snapshot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nx != 20 || res.Ny != 20 || len(res.Temperature) != 400 ||
+		len(res.Density) != 400 || len(res.Energy) != 400 {
+		t.Fatalf("snapshot shape wrong: %d x %d, %d values", res.Nx, res.Ny, len(res.Temperature))
+	}
+	// Snapshot consistency: sum(u)*cellVol must equal the summary total.
+	var sum float64
+	for _, v := range res.Temperature {
+		sum += v
+	}
+	cellVol := (cfg.XMax - cfg.XMin) * (cfg.YMax - cfg.YMin) / float64(cfg.NX*cfg.NY)
+	if d := math.Abs(sum*cellVol-res.Final.Temperature) / res.Final.Temperature; d > 1e-12 {
+		t.Errorf("snapshot sum %g disagrees with summary %g (rel %g)", sum*cellVol, res.Final.Temperature, d)
+	}
+	path := t.TempDir() + "/snap.vtk"
+	if err := tealeaf.WriteVTK(path, cfg, res); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "SCALARS temperature") {
+		t.Error("VTK file missing temperature scalars")
+	}
+	// Without a snapshot, WriteVTK must refuse.
+	bare, err := tealeaf.Run(cfg, tealeaf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tealeaf.WriteVTK(path, cfg, bare); err == nil {
+		t.Error("expected error for snapshot-less result")
+	}
+}
