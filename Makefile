@@ -1,0 +1,28 @@
+# TeaLeaf-Go build/test/bench entry points. Everything is plain `go` tool
+# invocations; the targets just pin the flag sets CI and CHANGES.md refer to.
+
+GO ?= go
+
+.PHONY: build test race bench-par bench
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# race runs the parallel-runtime and port suites under the race detector —
+# the shared-memory barrier in internal/par and every consumer of it.
+race:
+	$(GO) test -race ./internal/par/... ./internal/backends/...
+
+# bench-par measures the fork-join runtime itself: dispatch latency (epoch
+# barrier vs the legacy channel-per-worker path), the 256² cg_calc_w-shaped
+# reduction, and allocation counts for ReduceSum/ReduceSum2/ReduceMax
+# (expected: 0 allocs/op).
+bench-par:
+	$(GO) test -bench=. -benchmem ./internal/par/
+
+# bench runs the full repo benchmark set.
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -147,7 +147,10 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("qa reference run: %w", err)
 		}
-		diff := driver.CompareTotals(res.Final, refRes.Final)
+		diff, err := driver.CompareTotalsChecked(res.Final, refRes.Final)
+		if err != nil {
+			return fmt.Errorf("qa check: %w", err)
+		}
 		status := "PASSED"
 		if diff > 1e-8 {
 			status = "FAILED"

@@ -48,6 +48,18 @@ func Run(t *testing.T, factory Factory, cfg config.Config) driver.Result {
 	return res
 }
 
+// mustCompare returns the largest relative QA difference between two runs,
+// failing the test outright when both summaries are zero-valued (a vacuous
+// comparison: it means no field summary was ever taken).
+func mustCompare(t *testing.T, want, got driver.Totals) float64 {
+	t.Helper()
+	d, err := driver.CompareTotalsChecked(want, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
 // reference memoises serial-reference results per configuration so the
 // suite does not recompute them for every backend.
 var (
@@ -76,7 +88,7 @@ func Conformance(t *testing.T, factory Factory) {
 		cfg.EndStep = 3
 		want := reference(t, cfg)
 		got := Run(t, factory, cfg)
-		if d := driver.CompareTotals(want.Final, got.Final); d > 1e-8 {
+		if d := mustCompare(t, want.Final, got.Final); d > 1e-8 {
 			t.Errorf("totals diverge from serial by %g:\n got %+v\nwant %+v", d, got.Final, want.Final)
 		}
 	})
@@ -88,7 +100,7 @@ func Conformance(t *testing.T, factory Factory) {
 		cfg.EndStep = 2
 		want := reference(t, cfg)
 		got := Run(t, factory, cfg)
-		if d := driver.CompareTotals(want.Final, got.Final); d > 1e-8 {
+		if d := mustCompare(t, want.Final, got.Final); d > 1e-8 {
 			t.Errorf("totals diverge from serial by %g", d)
 		}
 	})
@@ -98,7 +110,7 @@ func Conformance(t *testing.T, factory Factory) {
 		cfg.Coefficient = config.RecipConductivity
 		want := reference(t, cfg)
 		got := Run(t, factory, cfg)
-		if d := driver.CompareTotals(want.Final, got.Final); d > 1e-8 {
+		if d := mustCompare(t, want.Final, got.Final); d > 1e-8 {
 			t.Errorf("totals diverge from serial by %g", d)
 		}
 	})
@@ -108,7 +120,7 @@ func Conformance(t *testing.T, factory Factory) {
 		cfg.Preconditioner = config.PrecondJacDiag
 		want := reference(t, cfg)
 		got := Run(t, factory, cfg)
-		if d := driver.CompareTotals(want.Final, got.Final); d > 1e-8 {
+		if d := mustCompare(t, want.Final, got.Final); d > 1e-8 {
 			t.Errorf("totals diverge from serial by %g", d)
 		}
 	})
@@ -122,7 +134,7 @@ func Conformance(t *testing.T, factory Factory) {
 		cfg.Preconditioner = config.PrecondJacBlock
 		want := reference(t, cfg)
 		got := Run(t, factory, cfg)
-		if d := driver.CompareTotals(want.Final, got.Final); d > 1e-7 {
+		if d := mustCompare(t, want.Final, got.Final); d > 1e-7 {
 			t.Errorf("totals diverge from serial by %g", d)
 		}
 	})
@@ -138,7 +150,7 @@ func Conformance(t *testing.T, factory Factory) {
 			}
 			want := reference(t, cfg)
 			got := Run(t, factory, cfg)
-			if d := driver.CompareTotals(want.Final, got.Final); d > 1e-6 {
+			if d := mustCompare(t, want.Final, got.Final); d > 1e-6 {
 				t.Errorf("%s totals diverge from serial by %g", kind, d)
 			}
 		})
@@ -177,6 +189,23 @@ func Conformance(t *testing.T, factory Factory) {
 			}
 		}
 	})
+	t.Run("EndTimeBoundedRun", func(t *testing.T) {
+		// Regression for the driver's missing-final-summary bug: a deck
+		// whose end_time lands before end_step must still produce a
+		// non-zero final summary that matches the reference.
+		cfg := config.BenchmarkN(16)
+		cfg.EndStep = 10
+		cfg.SummaryFrequency = 0
+		cfg.EndTime = 2.5 * cfg.InitialTimestep
+		want := reference(t, cfg)
+		got := Run(t, factory, cfg)
+		if got.Final == (driver.Totals{}) {
+			t.Fatal("end_time-bounded run produced a zero-valued final summary")
+		}
+		if d := mustCompare(t, want.Final, got.Final); d > 1e-8 {
+			t.Errorf("totals diverge from serial by %g", d)
+		}
+	})
 	t.Run("MultiState", func(t *testing.T) {
 		// Three material states including a circle and a point source.
 		cfg := config.BenchmarkN(20)
@@ -189,7 +218,7 @@ func Conformance(t *testing.T, factory Factory) {
 		)
 		want := reference(t, cfg)
 		got := Run(t, factory, cfg)
-		if d := driver.CompareTotals(want.Final, got.Final); d > 1e-8 {
+		if d := mustCompare(t, want.Final, got.Final); d > 1e-8 {
 			t.Errorf("totals diverge from serial by %g", d)
 		}
 	})

@@ -26,6 +26,11 @@ type Chunk struct {
 	kx, ky                    *grid.Field
 	un, rtemp, tcp, tdp       *grid.Field
 	fieldsByID                [driver.NumFields]*grid.Field
+
+	// sumPartial is the per-thread scratch for FieldSummary, owned by the
+	// chunk so summaries allocate nothing per call (matching the zero-alloc
+	// reduction slots inside internal/par).
+	sumPartial []driver.Totals
 }
 
 var _ driver.Kernels = (*Chunk)(nil)
@@ -53,6 +58,7 @@ func (c *Chunk) Generate(m *grid.Mesh, states []config.State) error {
 	c.kx, c.ky = alloc(), alloc()
 	c.un, c.rtemp = alloc(), alloc()
 	c.tcp, c.tdp = alloc(), alloc()
+	c.sumPartial = make([]driver.Totals, c.team.NumThreads())
 	c.fieldsByID = [driver.NumFields]*grid.Field{
 		driver.FieldDensity: c.density,
 		driver.FieldEnergy0: c.energy0,
@@ -104,7 +110,7 @@ func (c *Chunk) ResetField() {
 func (c *Chunk) FieldSummary() driver.Totals {
 	cellVol := c.mesh.CellVolume()
 	nth := c.team.NumThreads()
-	partial := make([]driver.Totals, nth)
+	partial := c.sumPartial
 	c.team.Parallel(func(thread int) {
 		j0, j1 := par.StaticRange(0, c.ny, thread, nth)
 		var t driver.Totals

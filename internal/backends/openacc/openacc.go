@@ -89,12 +89,14 @@ func (c *Chunk) Stats() Stats {
 }
 
 // loop is one `acc parallel loop` over rows [lo, hi): on the host target a
-// static team loop, on the device target a gang-scheduled launch (dynamic
-// chunks standing in for gang scheduling) with region accounting.
+// static team loop, on the device target a gang-scheduled launch (guided
+// chunks standing in for gang scheduling: big early claims like a full
+// wave of gangs, small late ones balancing the tail) with region
+// accounting.
 func (c *Chunk) loop(lo, hi int, body func(j int)) {
 	c.regions.Add(1)
 	if c.target == TargetDevice {
-		c.team.ForDynamic(lo, hi, 4, func(j0, j1 int) {
+		c.team.ForGuided(lo, hi, 4, func(j0, j1 int) {
 			for j := j0; j < j1; j++ {
 				body(j)
 			}

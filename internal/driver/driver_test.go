@@ -104,6 +104,48 @@ func TestRunSummaryOnlyAtEnd(t *testing.T) {
 	}
 }
 
+func TestRunSummaryWhenEndTimeEndsRun(t *testing.T) {
+	// Regression: a deck whose end_time is reached before end_step must
+	// still take the final field summary. The loop used to key the summary
+	// on step == EndStep only, so time-bounded runs returned a zero Final
+	// and QA comparisons silently compared garbage.
+	cfg := config.BenchmarkN(8)
+	cfg.EndStep = 10
+	cfg.SummaryFrequency = 0
+	cfg.EndTime = 2.5 * cfg.InitialTimestep // stops after step 3 of 10
+	k := &stubKernels{}
+	res, err := Run(cfg, k, stubSolver(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Steps); got != 3 {
+		t.Fatalf("steps = %d, want 3 (end_time bound)", got)
+	}
+	if res.Final == (Totals{}) {
+		t.Fatal("final summary is zero-valued: end_time-bounded run skipped the last-step summary")
+	}
+	if res.Steps[2].Totals == nil {
+		t.Error("last step carries no summary")
+	}
+	if res.Steps[0].Totals != nil || res.Steps[1].Totals != nil {
+		t.Error("unexpected mid-run summaries with SummaryFrequency=0")
+	}
+}
+
+func TestCompareTotalsCheckedRejectsZeroPair(t *testing.T) {
+	if _, err := CompareTotalsChecked(Totals{}, Totals{}); err == nil {
+		t.Error("both-zero comparison must error, not pass vacuously")
+	}
+	a := Totals{Volume: 1, Mass: 2, InternalEnergy: 3, Temperature: 4}
+	if d, err := CompareTotalsChecked(a, a); err != nil || d != 0 {
+		t.Errorf("d=%v err=%v", d, err)
+	}
+	// One-sided zero is a real (maximal) difference, not an error.
+	if d, err := CompareTotalsChecked(a, Totals{}); err != nil || d != 1 {
+		t.Errorf("one-sided zero: d=%v err=%v", d, err)
+	}
+}
+
 func TestRunValidatesConfig(t *testing.T) {
 	cfg := config.BenchmarkN(8)
 	cfg.Eps = -1

@@ -1,6 +1,7 @@
 package driver
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -89,7 +90,12 @@ func Run(cfg config.Config, k Kernels, s Solver, log io.Writer) (Result, error) 
 		sr := StepResult{Step: step, Time: simTime, Stats: stats}
 		res.TotalIterations += stats.Iterations
 		res.TotalInner += stats.InnerIterations
-		summaryDue := step == cfg.EndStep ||
+		// The loop ends either on step count or on simulation time; a summary
+		// is due on the last iteration for *either* reason, otherwise a run
+		// bounded by end_time would return a zero-valued Final and QA
+		// comparisons against it would silently compare garbage.
+		lastStep := step == cfg.EndStep || simTime >= cfg.EndTime
+		summaryDue := lastStep ||
 			(cfg.SummaryFrequency > 0 && step%cfg.SummaryFrequency == 0)
 		if summaryDue {
 			t := k.FieldSummary()
@@ -126,4 +132,15 @@ func CompareTotals(a, b Totals) float64 {
 	m = math.Max(m, rel(a.InternalEnergy, b.InternalEnergy))
 	m = math.Max(m, rel(a.Temperature, b.Temperature))
 	return m
+}
+
+// CompareTotalsChecked is CompareTotals that refuses vacuous comparisons:
+// two zero-valued summaries compare as identical, which is exactly what a
+// run that never took a field summary produces, so QA callers should use
+// this form and treat the error as a failed check rather than a pass.
+func CompareTotalsChecked(a, b Totals) (float64, error) {
+	if a == (Totals{}) && b == (Totals{}) {
+		return 0, errors.New("driver: both field summaries are zero-valued — no summary was taken, nothing to compare")
+	}
+	return CompareTotals(a, b), nil
 }

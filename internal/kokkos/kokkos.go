@@ -92,7 +92,10 @@ func (Serial) parallelReduce(_ string, p MDRange, f func(i0, i1 int, lsum *float
 	return sum
 }
 
-// OpenMP is the threaded host space.
+// OpenMP is the threaded host space, backed by internal/par's epoch-barrier
+// team: ParallelReduce rides the team's padded reduction slots (no
+// allocation per reduce, deterministic combine for a fixed thread count),
+// and using the space after Close panics, matching the Team contract.
 type OpenMP struct {
 	team *par.Team
 }

@@ -131,28 +131,48 @@ func runRange(rec *loopRecord, sub Range, red []float64) {
 }
 
 // runTeam executes the loop on the thread team, rows statically scheduled,
-// reduction partials combined in thread order.
+// reduction partials combined in thread order. One- and two-value
+// reductions (every TeaLeaf kernel) ride the team's padded zero-alloc
+// reduction slots; wider reductions fall back to explicit per-thread
+// partials.
 func (ctx *Context) runTeam(rec *loopRecord, red []float64) {
-	nth := ctx.team.NumThreads()
 	if red == nil {
 		ctx.team.For(rec.r.YLo, rec.r.YHi, func(j0, j1 int) {
 			runRange(rec, Range{rec.r.XLo, rec.r.XHi, j0, j1}, nil)
 		})
 		return
 	}
-	partials := make([][]float64, nth)
-	ctx.team.Parallel(func(thread int) {
-		j0, j1 := par.StaticRange(rec.r.YLo, rec.r.YHi, thread, nth)
-		if j0 >= j1 {
-			return
-		}
-		pr := make([]float64, len(red))
-		runRange(rec, Range{rec.r.XLo, rec.r.XHi, j0, j1}, pr)
-		partials[thread] = pr
-	})
-	for _, pr := range partials {
-		for i, v := range pr {
-			red[i] += v
+	switch len(red) {
+	case 1:
+		red[0] += ctx.team.ReduceSum(rec.r.YLo, rec.r.YHi, func(j0, j1 int) float64 {
+			var pr [1]float64
+			runRange(rec, Range{rec.r.XLo, rec.r.XHi, j0, j1}, pr[:])
+			return pr[0]
+		})
+	case 2:
+		a, b := ctx.team.ReduceSum2(rec.r.YLo, rec.r.YHi, func(j0, j1 int) (float64, float64) {
+			var pr [2]float64
+			runRange(rec, Range{rec.r.XLo, rec.r.XHi, j0, j1}, pr[:])
+			return pr[0], pr[1]
+		})
+		red[0] += a
+		red[1] += b
+	default:
+		nth := ctx.team.NumThreads()
+		partials := make([][]float64, nth)
+		ctx.team.Parallel(func(thread int) {
+			j0, j1 := par.StaticRange(rec.r.YLo, rec.r.YHi, thread, nth)
+			if j0 >= j1 {
+				return
+			}
+			pr := make([]float64, len(red))
+			runRange(rec, Range{rec.r.XLo, rec.r.XHi, j0, j1}, pr)
+			partials[thread] = pr
+		})
+		for _, pr := range partials {
+			for i, v := range pr {
+				red[i] += v
+			}
 		}
 	}
 }

@@ -1,30 +1,129 @@
 // Package par is the shared-memory parallel runtime used by the OpenMP-style
 // ports: a persistent team of worker goroutines executing fork-join parallel
-// loops with static or dynamic scheduling and deterministic reductions.
+// loops with static, dynamic or guided scheduling and deterministic
+// reductions.
 //
 // It stands in for OpenMP in this study (see DESIGN.md): the execution
 // structure — a fixed thread team, loops chunked across threads, per-thread
 // reduction partials combined at the join — matches what `#pragma omp
 // parallel for reduction(+:x)` compiles to, so the relative behaviour of the
 // ports that use it is representative.
+//
+// # Dispatch
+//
+// The fork-join hot path is an epoch barrier with share claiming, not a
+// channel-per-worker handoff. The leader (the goroutine calling
+// For/ReduceSum/...) writes one loop descriptor into the team and bumps an
+// atomic epoch counter; the loop's NumThreads logical shares (share i is
+// thread i's static slice, or one chunk-claiming executor for the dynamic
+// and guided schedules) are then claimed from an atomic cursor by whichever
+// team members run first — the leader included, so a fork never blocks on a
+// worker being scheduled. Workers spin on the epoch with a bounded budget
+// (yielding to the scheduler while they spin) and park on a per-worker
+// channel when no work arrives; forks wake at most GOMAXPROCS-1 parked
+// workers, because waking more than can physically run only adds scheduler
+// round-trips. The join is a single atomic countdown of completed shares
+// with the same spin-then-park discipline on the leader's side.
+//
+// Reduction partials live in cache-line-padded slots owned by the team and
+// indexed by share, so ReduceSum/ReduceSum2/ReduceMax allocate nothing per
+// call and stay deterministic for a fixed team size regardless of which
+// goroutine executes which share (see bench_test.go for measured dispatch
+// latency against the previous channel-per-worker runtime).
+//
+// Because shares are claimed rather than pinned to goroutines, loop bodies
+// must not synchronise with other shares of the same loop (OpenMP's
+// restrictions on barriers inside worksharing constructs apply here too).
 package par
 
 import (
+	"math"
 	"runtime"
-	"sync"
 	"sync/atomic"
 )
 
-// Team is a persistent group of worker goroutines. The zero value is not
-// usable; create teams with NewTeam and release them with Close.
-type Team struct {
-	nthreads int
-	tasks    []chan task
-	wg       sync.WaitGroup // outstanding tasks across all workers
-	closed   atomic.Bool
+// cacheLinePad separates fields written by different threads. 128 bytes
+// covers a 64-byte line plus the adjacent line pulled in by the spatial
+// prefetcher on x86.
+const cacheLinePad = 128
+
+// spinIters bounds the busy-wait before a waiter parks. The loop yields to
+// the Go scheduler periodically so an oversubscribed team (more threads than
+// GOMAXPROCS) degrades to cooperative scheduling instead of livelock.
+const spinIters = 4096
+
+// loopOp selects what exec runs for the current epoch. The leader publishes
+// the descriptor fields, then resets the share cursor and bumps the epoch;
+// executors read them only after an atomic observation of the reset or the
+// bump, which gives the happens-before edge.
+type loopOp uint8
+
+const (
+	opNone loopOp = iota
+	opParallel
+	opFor
+	opForDynamic
+	opForGuided
+	opReduceSum
+	opReduceSum2
+	opReduceMax
+	opExit
+)
+
+// rslot is one share's reduction slot, padded so adjacent shares never
+// write the same cache line.
+type rslot struct {
+	a, b float64
+	_    [cacheLinePad - 16]byte
 }
 
-type task func(thread int)
+// worker is the park state for one worker goroutine, padded for the same
+// reason.
+type worker struct {
+	parked atomic.Bool
+	wake   chan struct{}
+	_      [cacheLinePad - 16]byte
+}
+
+// Team is a persistent group of worker goroutines. The zero value is not
+// usable; create teams with NewTeam and release them with Close. A Team is
+// driven by one goroutine at a time (the leader); the loop methods must not
+// be called concurrently with each other or with Close.
+type Team struct {
+	nthreads int
+	maxWake  int // parked workers woken per fork: GOMAXPROCS-1 at creation
+	closed   atomic.Bool
+
+	// Loop descriptor for the current epoch, written only by the leader
+	// between joins. op is atomic because idle workers peek at it for the
+	// exit signal without claiming a share; the other fields are only read
+	// after a share claim, whose atomic cursor gives the happens-before
+	// edge, and the join keeps them stable until every claimed share is
+	// done.
+	op       atomic.Uint32 // holds a loopOp
+	lo, hi   int
+	chunk    int
+	bodyPar  func(thread int)
+	bodyFor  func(from, to int)
+	bodyRed  func(from, to int) float64
+	bodyRed2 func(from, to int) (float64, float64)
+
+	_        [cacheLinePad]byte
+	epoch    atomic.Uint64 // bumped once per fork; workers spin on it
+	_        [cacheLinePad - 8]byte
+	shareCur atomic.Int32 // next unclaimed share of the current epoch
+	_        [cacheLinePad - 4]byte
+	pending  atomic.Int32 // shares (or, for exit, workers) yet to finish
+	_        [cacheLinePad - 4]byte
+	cursor   atomic.Int64 // shared claim cursor for dynamic/guided schedules
+	_        [cacheLinePad - 8]byte
+
+	leaderParked atomic.Bool
+	done         chan struct{} // the finishing share signals the parked leader
+
+	workers []worker
+	slots   []rslot // per-share reduction slots, reused every call
+}
 
 // NewTeam starts a team of n workers. If n <= 0 the team uses
 // runtime.GOMAXPROCS(0) workers, mirroring OMP_NUM_THREADS defaulting to the
@@ -33,46 +132,245 @@ func NewTeam(n int) *Team {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	t := &Team{nthreads: n, tasks: make([]chan task, n)}
-	for i := 0; i < n; i++ {
-		ch := make(chan task, 1)
-		t.tasks[i] = ch
-		go func(thread int, ch chan task) {
-			for fn := range ch {
-				fn(thread)
-				t.wg.Done()
-			}
-		}(i, ch)
+	t := &Team{nthreads: n, slots: make([]rslot, n)}
+	t.maxWake = runtime.GOMAXPROCS(0) - 1
+	if n == 1 {
+		return t
+	}
+	t.done = make(chan struct{}, 1)
+	t.workers = make([]worker, n-1)
+	for i := range t.workers {
+		t.workers[i].wake = make(chan struct{}, 1)
+		go t.workerLoop(&t.workers[i])
 	}
 	return t
 }
 
-// Close shuts the workers down. The team must be idle. Close is idempotent.
+// Close shuts the workers down and waits for them to exit. The team must be
+// idle. Close is idempotent; any use of the team after Close panics with a
+// "Team used after Close" message.
 func (t *Team) Close() {
 	if t.closed.Swap(true) {
 		return
 	}
-	for _, ch := range t.tasks {
-		close(ch)
+	if t.nthreads == 1 {
+		return
 	}
+	t.op.Store(uint32(opExit))
+	t.fork(int32(len(t.workers)), true)
+	t.join()
 }
 
 // NumThreads returns the team size.
 func (t *Team) NumThreads() int { return t.nthreads }
 
-// run dispatches fn to every worker and waits for all of them.
-func (t *Team) run(fn task) {
-	t.wg.Add(t.nthreads)
-	for _, ch := range t.tasks {
-		ch <- fn
+// ensureOpen panics when the team has been closed. Before the epoch-barrier
+// rewrite this failure surfaced as a bare "send on closed channel".
+func (t *Team) ensureOpen() {
+	if t.closed.Load() {
+		panic("par: Team used after Close")
 	}
-	t.wg.Wait()
 }
 
-// Parallel executes body once on every thread of the team (an `omp parallel`
-// region). The body receives the thread id in [0, NumThreads).
+// fork publishes the already-written loop descriptor: arm the join with the
+// number of completion units, reset the share cursor, bump the epoch, wake
+// parked workers (all of them for exit, at most maxWake otherwise). pending
+// must be armed before the cursor reset and the bump so no executor can
+// finish a share before the join is counting.
+func (t *Team) fork(units int32, wakeAll bool) {
+	t.pending.Store(units)
+	t.shareCur.Store(0)
+	t.epoch.Add(1)
+	budget := t.maxWake
+	if wakeAll {
+		budget = len(t.workers)
+	}
+	for i := range t.workers {
+		if budget <= 0 {
+			return
+		}
+		w := &t.workers[i]
+		if w.parked.Load() {
+			select {
+			case w.wake <- struct{}{}:
+			default:
+			}
+			budget--
+		}
+	}
+}
+
+// join waits for the current epoch's completion count to drain: bounded
+// spin, then park on the done channel. The parked-flag/recheck ordering on
+// both sides (leader stores leaderParked before re-reading pending; a
+// finishing executor decrements pending before reading leaderParked) rules
+// out a lost wakeup; a stale token from a previous epoch only causes one
+// spurious recheck.
+func (t *Team) join() {
+	for i := 0; i < spinIters; i++ {
+		if t.pending.Load() == 0 {
+			return
+		}
+		if i&63 == 63 {
+			runtime.Gosched()
+		}
+	}
+	t.leaderParked.Store(true)
+	for t.pending.Load() != 0 {
+		<-t.done
+	}
+	t.leaderParked.Store(false)
+}
+
+// finishUnit counts one completion unit down and, if it was the last and
+// the leader has parked, hands it the wake token.
+func (t *Team) finishUnit() {
+	if t.pending.Add(-1) == 0 && t.leaderParked.Load() {
+		select {
+		case t.done <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// claimShares executes shares of the current epoch until none remain. Both
+// the leader and any awake worker run this, so the loop completes even if no
+// worker gets scheduled at all. A claim that observes the exit descriptor
+// does nothing: exit is counted per worker, not per share.
+func (t *Team) claimShares() {
+	n := int32(t.nthreads)
+	for {
+		s := t.shareCur.Add(1) - 1
+		if s >= n || loopOp(t.op.Load()) == opExit {
+			return
+		}
+		t.exec(int(s))
+		t.finishUnit()
+	}
+}
+
+// awaitEpoch blocks a worker until the team epoch moves past last: bounded
+// spin (yielding periodically), then park on the worker's wake channel. The
+// parked-flag/recheck ordering mirrors join; a spurious wake token just
+// loops back to re-park.
+func (t *Team) awaitEpoch(w *worker, last uint64) uint64 {
+	for i := 0; i < spinIters; i++ {
+		if e := t.epoch.Load(); e != last {
+			return e
+		}
+		if i&63 == 63 {
+			runtime.Gosched()
+		}
+	}
+	for {
+		w.parked.Store(true)
+		if e := t.epoch.Load(); e != last {
+			w.parked.Store(false)
+			return e
+		}
+		<-w.wake
+		w.parked.Store(false)
+		if e := t.epoch.Load(); e != last {
+			return e
+		}
+	}
+}
+
+func (t *Team) workerLoop(w *worker) {
+	var last uint64
+	for {
+		last = t.awaitEpoch(w, last)
+		if loopOp(t.op.Load()) == opExit {
+			t.finishUnit()
+			return
+		}
+		t.claimShares()
+	}
+}
+
+// exec runs one share of the current epoch's loop.
+func (t *Team) exec(share int) {
+	switch loopOp(t.op.Load()) {
+	case opParallel:
+		t.bodyPar(share)
+	case opFor:
+		from, to := StaticRange(t.lo, t.hi, share, t.nthreads)
+		if from < to {
+			t.bodyFor(from, to)
+		}
+	case opForDynamic:
+		chunk := t.chunk
+		for {
+			from := int(t.cursor.Add(int64(chunk))) - chunk
+			if from >= t.hi {
+				return
+			}
+			t.bodyFor(from, min(from+chunk, t.hi))
+		}
+	case opForGuided:
+		for {
+			cur := t.cursor.Load()
+			if cur >= int64(t.hi) {
+				return
+			}
+			n := (int64(t.hi) - cur) / int64(2*t.nthreads)
+			if n < int64(t.chunk) {
+				n = int64(t.chunk)
+			}
+			to := min(cur+n, int64(t.hi))
+			if t.cursor.CompareAndSwap(cur, to) {
+				t.bodyFor(int(cur), int(to))
+			}
+		}
+	case opReduceSum:
+		from, to := StaticRange(t.lo, t.hi, share, t.nthreads)
+		var s float64
+		if from < to {
+			s = t.bodyRed(from, to)
+		}
+		t.slots[share].a = s
+	case opReduceSum2:
+		from, to := StaticRange(t.lo, t.hi, share, t.nthreads)
+		var a, b float64
+		if from < to {
+			a, b = t.bodyRed2(from, to)
+		}
+		t.slots[share].a, t.slots[share].b = a, b
+	case opReduceMax:
+		from, to := StaticRange(t.lo, t.hi, share, t.nthreads)
+		m := math.Inf(-1)
+		if from < to {
+			m = t.bodyRed(from, to)
+		}
+		t.slots[share].a = m
+	}
+}
+
+// run executes the published descriptor on the whole team: fork, claim
+// shares alongside the workers, join. The descriptor funcs are cleared
+// afterwards so the team does not retain the caller's closures between
+// loops.
+func (t *Team) run() {
+	t.fork(int32(t.nthreads), false)
+	t.claimShares()
+	t.join()
+	t.bodyPar, t.bodyFor, t.bodyRed, t.bodyRed2 = nil, nil, nil, nil
+	t.op.Store(uint32(opNone))
+}
+
+// Parallel executes body once for every thread id in [0, NumThreads) (an
+// `omp parallel` region). Ids are claimed by whichever team member runs
+// first, so body must not assume id i runs on a distinct goroutine, nor
+// synchronise with other ids of the same region.
 func (t *Team) Parallel(body func(thread int)) {
-	t.run(body)
+	t.ensureOpen()
+	if t.nthreads == 1 {
+		body(0)
+		return
+	}
+	t.bodyPar = body
+	t.op.Store(uint32(opParallel))
+	t.run()
 }
 
 // StaticRange computes the static-schedule slice of [lo, hi) owned by
@@ -97,6 +395,7 @@ func StaticRange(lo, hi, thread, nthreads int) (int, int) {
 // For executes body over [lo, hi) with static scheduling: each thread gets
 // one contiguous block. body is called with a half-open sub-range.
 func (t *Team) For(lo, hi int, body func(from, to int)) {
+	t.ensureOpen()
 	if hi-lo <= 0 {
 		return
 	}
@@ -104,59 +403,76 @@ func (t *Team) For(lo, hi int, body func(from, to int)) {
 		body(lo, hi)
 		return
 	}
-	t.run(func(thread int) {
-		from, to := StaticRange(lo, hi, thread, t.nthreads)
-		if from < to {
-			body(from, to)
-		}
-	})
+	t.lo, t.hi, t.bodyFor = lo, hi, body
+	t.op.Store(uint32(opFor))
+	t.run()
 }
 
 // ForDynamic executes body over [lo, hi) with dynamic scheduling in chunks
 // of the given size: threads grab the next chunk from a shared counter, like
 // `schedule(dynamic, chunk)`. Useful when iterations have uneven cost.
 func (t *Team) ForDynamic(lo, hi, chunk int, body func(from, to int)) {
+	t.ensureOpen()
 	if hi-lo <= 0 {
 		return
 	}
 	if chunk <= 0 {
 		chunk = 1
 	}
-	var next atomic.Int64
-	next.Store(int64(lo))
-	t.run(func(int) {
-		for {
-			from := int(next.Add(int64(chunk))) - chunk
-			if from >= hi {
-				return
-			}
-			to := min(from+chunk, hi)
-			body(from, to)
+	if t.nthreads == 1 {
+		for from := lo; from < hi; from += chunk {
+			body(from, min(from+chunk, hi))
 		}
-	})
+		return
+	}
+	t.hi, t.chunk, t.bodyFor = hi, chunk, body
+	t.op.Store(uint32(opForDynamic))
+	t.cursor.Store(int64(lo))
+	t.run()
+}
+
+// ForGuided executes body over [lo, hi) with guided scheduling, like
+// `schedule(guided, minChunk)`: each claim takes half of the remaining
+// iterations divided by the team size, decaying toward minChunk (>= 1).
+// Large early chunks keep claim traffic low, small late chunks balance
+// uneven tails.
+func (t *Team) ForGuided(lo, hi, minChunk int, body func(from, to int)) {
+	t.ensureOpen()
+	if hi-lo <= 0 {
+		return
+	}
+	if minChunk <= 0 {
+		minChunk = 1
+	}
+	if t.nthreads == 1 {
+		body(lo, hi)
+		return
+	}
+	t.hi, t.chunk, t.bodyFor = hi, minChunk, body
+	t.op.Store(uint32(opForGuided))
+	t.cursor.Store(int64(lo))
+	t.run()
 }
 
 // ReduceSum executes body over [lo, hi) with static scheduling and returns
-// the sum of the per-thread partial results. Partials are combined in thread
-// order, so for a fixed team size the result is deterministic — the same
-// property an OpenMP reduction has for a fixed OMP_NUM_THREADS.
+// the sum of the per-thread partial results. Partials land in the team's
+// padded slots (no allocation) and are combined in thread order, so for a
+// fixed team size the result is deterministic — the same property an OpenMP
+// reduction has for a fixed OMP_NUM_THREADS.
 func (t *Team) ReduceSum(lo, hi int, body func(from, to int) float64) float64 {
+	t.ensureOpen()
 	if hi-lo <= 0 {
 		return 0
 	}
 	if t.nthreads == 1 {
 		return body(lo, hi)
 	}
-	partial := make([]float64, t.nthreads)
-	t.run(func(thread int) {
-		from, to := StaticRange(lo, hi, thread, t.nthreads)
-		if from < to {
-			partial[thread] = body(from, to)
-		}
-	})
+	t.lo, t.hi, t.bodyRed = lo, hi, body
+	t.op.Store(uint32(opReduceSum))
+	t.run()
 	var sum float64
-	for _, p := range partial {
-		sum += p
+	for i := range t.slots {
+		sum += t.slots[i].a
 	}
 	return sum
 }
@@ -164,56 +480,43 @@ func (t *Team) ReduceSum(lo, hi int, body func(from, to int) float64) float64 {
 // ReduceSum2 is ReduceSum for two simultaneous accumulators, used by kernels
 // (field_summary, cg_init) that reduce several quantities in one sweep.
 func (t *Team) ReduceSum2(lo, hi int, body func(from, to int) (float64, float64)) (float64, float64) {
+	t.ensureOpen()
 	if hi-lo <= 0 {
 		return 0, 0
 	}
 	if t.nthreads == 1 {
 		return body(lo, hi)
 	}
-	pa := make([]float64, t.nthreads)
-	pb := make([]float64, t.nthreads)
-	t.run(func(thread int) {
-		from, to := StaticRange(lo, hi, thread, t.nthreads)
-		if from < to {
-			pa[thread], pb[thread] = body(from, to)
-		}
-	})
+	t.lo, t.hi, t.bodyRed2 = lo, hi, body
+	t.op.Store(uint32(opReduceSum2))
+	t.run()
 	var a, b float64
-	for i := range pa {
-		a += pa[i]
-		b += pb[i]
+	for i := range t.slots {
+		a += t.slots[i].a
+		b += t.slots[i].b
 	}
 	return a, b
 }
 
 // ReduceMax executes body over [lo, hi) and returns the maximum of the
-// per-thread partial results. The caller's body must return -Inf (or any
-// identity it chooses) for empty ranges; For empty [lo,hi) ReduceMax
-// returns 0 without invoking body.
+// per-thread partial results. The identity is -Inf: threads whose static
+// share is empty contribute -Inf, and an empty [lo, hi) returns
+// math.Inf(-1) without invoking body.
 func (t *Team) ReduceMax(lo, hi int, body func(from, to int) float64) float64 {
+	t.ensureOpen()
 	if hi-lo <= 0 {
-		return 0
+		return math.Inf(-1)
 	}
 	if t.nthreads == 1 {
 		return body(lo, hi)
 	}
-	partial := make([]float64, t.nthreads)
-	used := make([]bool, t.nthreads)
-	t.run(func(thread int) {
-		from, to := StaticRange(lo, hi, thread, t.nthreads)
-		if from < to {
-			partial[thread] = body(from, to)
-			used[thread] = true
-		}
-	})
-	var m float64
-	first := true
-	for i, p := range partial {
-		if !used[i] {
-			continue
-		}
-		if first || p > m {
-			m, first = p, false
+	t.lo, t.hi, t.bodyRed = lo, hi, body
+	t.op.Store(uint32(opReduceMax))
+	t.run()
+	m := math.Inf(-1)
+	for i := range t.slots {
+		if t.slots[i].a > m {
+			m = t.slots[i].a
 		}
 	}
 	return m

@@ -2,6 +2,7 @@ package par
 
 import (
 	"math"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -87,12 +88,164 @@ func TestForEmptyAndNegativeRanges(t *testing.T) {
 	team.For(5, 5, func(int, int) { called = true })
 	team.For(7, 3, func(int, int) { called = true })
 	team.ForDynamic(2, 2, 4, func(int, int) { called = true })
+	team.ForGuided(8, 8, 2, func(int, int) { called = true })
 	if called {
 		t.Error("body invoked on empty range")
 	}
 	if got := team.ReduceSum(9, 9, func(int, int) float64 { return 1 }); got != 0 {
 		t.Errorf("ReduceSum on empty range = %g", got)
 	}
+}
+
+func TestForGuidedCoversEveryIndexOnce(t *testing.T) {
+	for _, nth := range []int{1, 3, 6} {
+		team := NewTeam(nth)
+		const n = 911
+		var hits [n]atomic.Int32
+		team.ForGuided(0, n, 4, func(from, to int) {
+			for i := from; i < to; i++ {
+				hits[i].Add(1)
+			}
+		})
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("nthreads=%d: index %d executed %d times", nth, i, got)
+			}
+		}
+		team.Close()
+	}
+}
+
+func TestReduceMaxEmptyRangeIsNegInf(t *testing.T) {
+	team := NewTeam(4)
+	defer team.Close()
+	got := team.ReduceMax(3, 3, func(int, int) float64 {
+		t.Fatal("body invoked on empty range")
+		return 0
+	})
+	if !math.IsInf(got, -1) {
+		t.Errorf("ReduceMax on empty range = %g, want -Inf", got)
+	}
+}
+
+func TestReduceMaxMoreThreadsThanWork(t *testing.T) {
+	// With 8 threads and 3 iterations most threads have empty static shares;
+	// their -Inf identity slots must not beat the real maxima.
+	team := NewTeam(8)
+	defer team.Close()
+	vals := []float64{-5, -2, -9}
+	got := team.ReduceMax(0, len(vals), func(from, to int) float64 {
+		m := math.Inf(-1)
+		for i := from; i < to; i++ {
+			m = math.Max(m, vals[i])
+		}
+		return m
+	})
+	if got != -2 {
+		t.Errorf("ReduceMax = %g, want -2", got)
+	}
+}
+
+func TestUseAfterClosePanics(t *testing.T) {
+	for name, use := range map[string]func(*Team){
+		"For":        func(tm *Team) { tm.For(0, 10, func(int, int) {}) },
+		"ForDynamic": func(tm *Team) { tm.ForDynamic(0, 10, 2, func(int, int) {}) },
+		"ForGuided":  func(tm *Team) { tm.ForGuided(0, 10, 2, func(int, int) {}) },
+		"Parallel":   func(tm *Team) { tm.Parallel(func(int) {}) },
+		"ReduceSum":  func(tm *Team) { tm.ReduceSum(0, 10, func(int, int) float64 { return 0 }) },
+		"ReduceSum2": func(tm *Team) { tm.ReduceSum2(0, 10, func(int, int) (float64, float64) { return 0, 0 }) },
+		"ReduceMax":  func(tm *Team) { tm.ReduceMax(0, 10, func(int, int) float64 { return 0 }) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			team := NewTeam(3)
+			team.For(0, 4, func(int, int) {}) // healthy before Close
+			team.Close()
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("no panic on use after Close")
+				}
+				if s, ok := r.(string); !ok || s != "par: Team used after Close" {
+					t.Fatalf("panic = %v, want the documented message", r)
+				}
+			}()
+			use(team)
+		})
+	}
+}
+
+func TestStressTinyLoopsConcurrentTeams(t *testing.T) {
+	// Many tiny fork-joins on several teams at once: exercises the
+	// spin-then-park transitions under oversubscription. Any lost wakeup
+	// deadlocks the test; any dropped chunk breaks the sums.
+	const (
+		teams = 4
+		iters = 10000
+		n     = 64
+	)
+	var wg sync.WaitGroup
+	for tm := 0; tm < teams; tm++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			team := NewTeam(1 + id%4)
+			defer team.Close()
+			want := float64(n)
+			for it := 0; it < iters; it++ {
+				got := team.ReduceSum(0, n, func(from, to int) float64 {
+					return float64(to - from)
+				})
+				if got != want {
+					t.Errorf("team %d iter %d: ReduceSum = %g, want %g", id, it, got, want)
+					return
+				}
+			}
+		}(tm)
+	}
+	wg.Wait()
+}
+
+func TestReduceSumDeterministicAcrossSchedulerNoise(t *testing.T) {
+	// For a fixed team size the combine order is thread order, so the result
+	// must be bit-identical no matter how the scheduler interleaves workers —
+	// even while other teams churn in the background.
+	team := NewTeam(5)
+	defer team.Close()
+	vals := make([]float64, 4096)
+	for i := range vals {
+		vals[i] = math.Cos(float64(3 * i))
+	}
+	body := func(from, to int) float64 {
+		var s float64
+		for i := from; i < to; i++ {
+			s += vals[i]
+		}
+		return s
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		noise := NewTeam(3)
+		defer noise.Close()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				noise.For(0, 128, func(int, int) {})
+			}
+		}
+	}()
+	first := team.ReduceSum(0, len(vals), body)
+	for r := 0; r < 200; r++ {
+		if got := team.ReduceSum(0, len(vals), body); got != first {
+			t.Fatalf("run %d: %v != %v", r, got, first)
+		}
+	}
+	close(stop)
+	wg.Wait()
 }
 
 func TestReduceSumCorrectAndDeterministic(t *testing.T) {
@@ -198,39 +351,4 @@ func TestSingleThreadFastPath(t *testing.T) {
 	if sum != 10 {
 		t.Errorf("single-thread ReduceSum = %g", sum)
 	}
-}
-
-func BenchmarkForkJoin(b *testing.B) {
-	team := NewTeam(0)
-	defer team.Close()
-	data := make([]float64, 1<<16)
-	b.SetBytes(int64(len(data) * 8))
-	for i := 0; i < b.N; i++ {
-		team.For(0, len(data), func(from, to int) {
-			for j := from; j < to; j++ {
-				data[j] += 1
-			}
-		})
-	}
-}
-
-func BenchmarkReduceSum(b *testing.B) {
-	team := NewTeam(0)
-	defer team.Close()
-	data := make([]float64, 1<<16)
-	for i := range data {
-		data[i] = float64(i)
-	}
-	b.SetBytes(int64(len(data) * 8))
-	var sink float64
-	for i := 0; i < b.N; i++ {
-		sink += team.ReduceSum(0, len(data), func(from, to int) float64 {
-			var s float64
-			for j := from; j < to; j++ {
-				s += data[j]
-			}
-			return s
-		})
-	}
-	_ = sink
 }

@@ -74,7 +74,10 @@ func (SeqExec) kernel2DReduce(_ string, outer, inner RangeSegment, body func(j, 
 }
 
 // OmpParallelForExec is the threaded host policy
-// (omp_parallel_for_exec).
+// (omp_parallel_for_exec), backed by internal/par's epoch-barrier team:
+// typed reductions ride the team's padded reduction slots (no allocation
+// per reduce, deterministic combine for a fixed thread count), and using
+// the policy after Close panics, matching the Team contract.
 type OmpParallelForExec struct {
 	team *par.Team
 }

@@ -226,6 +226,11 @@ func Versions() []VersionInfo {
 // summaries, the measure used to validate ports against each other.
 func CompareTotals(a, b Totals) float64 { return driver.CompareTotals(a, b) }
 
+// CompareTotalsChecked is CompareTotals that returns an error when both
+// summaries are zero-valued — the signature of a run that never took a
+// field summary — instead of vacuously reporting a perfect match.
+func CompareTotalsChecked(a, b Totals) (float64, error) { return driver.CompareTotalsChecked(a, b) }
+
 // Efficiency is one application's efficiency on one platform, used by
 // Pennycook.
 type Efficiency = portability.Efficiency
