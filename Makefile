@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench-par bench
+.PHONY: build test race bench-par bench-cg bench
 
 build:
 	$(GO) build ./...
@@ -11,10 +11,11 @@ build:
 test: build
 	$(GO) test ./...
 
-# race runs the parallel-runtime and port suites under the race detector —
-# the shared-memory barrier in internal/par and every consumer of it.
+# race runs the parallel-runtime, message-passing-runtime and port suites
+# under the race detector — the shared-memory barrier in internal/par, the
+# pooled payload buffers in internal/comm, and every consumer of both.
 race:
-	$(GO) test -race ./internal/par/... ./internal/backends/...
+	$(GO) test -race ./internal/par/... ./internal/comm/... ./internal/backends/...
 
 # bench-par measures the fork-join runtime itself: dispatch latency (epoch
 # barrier vs the legacy channel-per-worker path), the 256² cg_calc_w-shaped
@@ -22,6 +23,11 @@ race:
 # (expected: 0 allocs/op).
 bench-par:
 	$(GO) test -bench=. -benchmem ./internal/par/
+
+# bench-cg measures the fused CG hot path against the unfused kernels per
+# port (ns/cg-iter metric); see EXPERIMENTS.md for a captured table.
+bench-cg:
+	$(GO) test -bench=BenchmarkCGIteration -benchmem -run '^$$' .
 
 # bench runs the full repo benchmark set.
 bench:

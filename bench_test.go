@@ -22,6 +22,7 @@ import (
 	tealeaf "github.com/warwick-hpsc/tealeaf-go"
 	"github.com/warwick-hpsc/tealeaf-go/internal/config"
 	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
+	"github.com/warwick-hpsc/tealeaf-go/internal/grid"
 	"github.com/warwick-hpsc/tealeaf-go/internal/ops"
 	"github.com/warwick-hpsc/tealeaf-go/internal/perfmodel"
 	"github.com/warwick-hpsc/tealeaf-go/internal/portability"
@@ -213,6 +214,79 @@ func BenchmarkBlockSize(b *testing.B) {
 func blockName(d simgpu.Dim2) string {
 	return string(rune('0'+d.X/100%10)) + string(rune('0'+d.X/10%10)) + string(rune('0'+d.X%10)) +
 		"x" + string(rune('0'+d.Y/10%10)) + string(rune('0'+d.Y%10))
+}
+
+// BenchmarkCGIteration measures the CG hot path per iteration, fused
+// against unfused, across the ports (make bench-cg). The deck is
+// diagonal-preconditioned CG at 256^2 — the configuration where fusing
+// the operator apply with the p·w dot and the u/r update with the
+// preconditioner apply collapses six full-field sweeps per iteration
+// into three. Ports without fused kernels run both arms through the
+// solver fallback, so their two numbers should coincide.
+func BenchmarkCGIteration(b *testing.B) {
+	versions := []string{
+		"manual-serial", "manual-omp", "manual-mpi", "manual-cuda",
+		"ops-openmp", "kokkos-openmp", "raja-openmp",
+	}
+	arms := []struct {
+		label   string
+		disable bool
+	}{{"fused", false}, {"unfused", true}}
+	for _, name := range versions {
+		name := name
+		for _, arm := range arms {
+			arm := arm
+			b.Run(name+"/"+arm.label, func(b *testing.B) {
+				benchCGIteration(b, name, arm.disable)
+			})
+		}
+	}
+}
+
+func benchCGIteration(b *testing.B, version string, disableFusion bool) {
+	b.Helper()
+	const iters = 50
+	cfg := config.BenchmarkN(largeProxyN)
+	cfg.Preconditioner = config.PrecondJacDiag
+	cfg.MaxIters = iters
+	cfg.Eps = 1e-300 // unreachable: every solve runs exactly MaxIters iterations
+	v, err := registry.Get(version)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k, err := v.Make(registry.Params{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer k.Close()
+	m, err := grid.NewMesh(cfg.XMin, cfg.XMax, cfg.YMin, cfg.YMax, cfg.NX, cfg.NY)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := k.Generate(m, cfg.States); err != nil {
+		b.Fatal(err)
+	}
+	k.HaloExchange([]driver.FieldID{driver.FieldDensity, driver.FieldEnergy0}, 2)
+	k.SetField()
+	k.HaloExchange([]driver.FieldID{driver.FieldDensity, driver.FieldEnergy1}, 2)
+	dt := cfg.InitialTimestep
+	rx, ry := dt/(m.Dx*m.Dx), dt/(m.Dy*m.Dy)
+	opt := solver.FromConfig(&cfg)
+	opt.DisableFusion = disableFusion
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		k.SolveInit(cfg.Coefficient, rx, ry, cfg.Preconditioner)
+		b.StartTimer()
+		st, err := solver.Solve(k, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Iterations != iters {
+			b.Fatalf("solve ran %d iterations, want %d", st.Iterations, iters)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*iters), "ns/cg-iter")
 }
 
 // BenchmarkSolvers compares the four solvers on the reference port, the

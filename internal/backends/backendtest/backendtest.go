@@ -80,6 +80,54 @@ func reference(t *testing.T, cfg config.Config) driver.Result {
 	return res
 }
 
+// runFusion runs cfg on a fresh port with the fused CG path either enabled
+// (the default) or forced off via the DisableFusion control arm.
+func runFusion(t *testing.T, factory Factory, cfg config.Config, disableFusion bool) driver.Result {
+	t.Helper()
+	k := factory()
+	defer k.Close()
+	opt := solver.FromConfig(&cfg)
+	opt.DisableFusion = disableFusion
+	res, err := driver.Run(cfg, k, solver.New(opt), nil)
+	if err != nil {
+		t.Fatalf("%s run (DisableFusion=%v) failed: %v", k.Name(), disableFusion, err)
+	}
+	return res
+}
+
+// FusionEquivalence checks that the fused CG hot path is an equivalence-
+// preserving optimisation: the same deck solved with fusion enabled and
+// disabled must produce field summaries matching to 1e-12 relative. Ports
+// that keep the unfused traversal and reduction-combine order in their
+// fused kernels match bitwise; ports without the fused capabilities
+// exercise the solver's transparent fallback, where both arms are
+// trivially identical.
+func FusionEquivalence(t *testing.T, factory Factory) {
+	decks := []struct {
+		name   string
+		mutate func(*config.Config)
+	}{
+		{"PlainCG", func(cfg *config.Config) {}},
+		{"DiagPrecondCG", func(cfg *config.Config) { cfg.Preconditioner = config.PrecondJacDiag }},
+		{"BlockPrecondCG", func(cfg *config.Config) { cfg.Preconditioner = config.PrecondJacBlock }},
+		{"PPCG", func(cfg *config.Config) { cfg.Solver = config.SolverPPCG }},
+	}
+	for _, deck := range decks {
+		deck := deck
+		t.Run(deck.name, func(t *testing.T) {
+			cfg := config.BenchmarkN(16)
+			cfg.EndStep = 2
+			deck.mutate(&cfg)
+			fused := runFusion(t, factory, cfg, false)
+			unfused := runFusion(t, factory, cfg, true)
+			if d := mustCompare(t, unfused.Final, fused.Final); d > 1e-12 {
+				t.Errorf("fused and unfused paths diverge by %g:\n   fused %+v\nunfused %+v",
+					d, fused.Final, unfused.Final)
+			}
+		})
+	}
+}
+
 // Conformance checks a port against the serial reference across solvers,
 // problem shapes and preconditioning.
 func Conformance(t *testing.T, factory Factory) {

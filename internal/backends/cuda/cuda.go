@@ -440,6 +440,68 @@ func (c *Chunk) CGCalcUR(alpha float64, precond bool) float64 {
 		})
 }
 
+// CGCalcWFused implements driver.FusedWDot: one reducing launch evaluates
+// w = A p and accumulates p·w, instead of an operator launch followed by a
+// dot launch that re-reads p and w from device memory. The grid, the
+// per-block thread traversal and the block-order partial combination match
+// the unfused reduce, so the sum is bitwise identical.
+func (c *Chunk) CGCalcWFused() float64 {
+	nx, ny, stride := c.nx, c.ny, c.stride
+	return c.dev.LaunchReduce("cg_calc_w_fused", c.launchGrid(), c.block,
+		simgpu.Args(c.p, c.w, c.kx, c.ky),
+		func(b simgpu.Block, a [][]float64) float64 {
+			p, w, kx, ky := a[0], a[1], a[2], a[3]
+			var pw float64
+			b.ForThreads(func(gx, gy int) {
+				if gx >= nx || gy >= ny {
+					return
+				}
+				at := (gy+halo)*stride + gx + halo
+				v := (1+kx[at+1]+kx[at]+ky[at+stride]+ky[at])*p[at] -
+					(kx[at+1]*p[at+1] + kx[at]*p[at-1]) -
+					(ky[at+stride]*p[at+stride] + ky[at]*p[at-stride])
+				w[at] = v
+				pw += p[at] * v
+			})
+			return pw
+		})
+}
+
+// CGCalcURFused implements driver.FusedURPrecond: for the point-wise
+// (diagonal) preconditioner one reducing launch updates u and r, applies
+// z = mi·r and accumulates r·z. The jac_block line solve needs whole rows
+// of the updated r, which a per-cell launch cannot provide, so that case
+// falls back to the unfused sequence — the results are identical either
+// way, only the sweep count differs.
+func (c *Chunk) CGCalcURFused(alpha float64, precond bool) float64 {
+	if !precond {
+		return c.CGCalcUR(alpha, false) // already a single reducing launch
+	}
+	if c.precond == config.PrecondJacBlock {
+		return c.CGCalcUR(alpha, true)
+	}
+	nx, ny, stride := c.nx, c.ny, c.stride
+	return c.dev.LaunchReduce("cg_calc_ur_fused", c.launchGrid(), c.block,
+		simgpu.Args(c.u, c.p, c.r, c.w, c.mi, c.z),
+		func(b simgpu.Block, a [][]float64) float64 {
+			u, p, r, w, mi, z := a[0], a[1], a[2], a[3], a[4], a[5]
+			var rrn float64
+			b.ForThreads(func(gx, gy int) {
+				if gx >= nx || gy >= ny {
+					return
+				}
+				at := (gy+halo)*stride + gx + halo
+				u[at] += alpha * p[at]
+				rv := r[at] - alpha*w[at]
+				r[at] = rv
+				zv := mi[at] * rv
+				z[at] = zv
+				rrn += rv * zv
+			})
+			return rrn
+		})
+}
+
 // CGCalcP implements driver.Kernels.
 func (c *Chunk) CGCalcP(beta float64, precond bool) {
 	src := c.r

@@ -14,6 +14,10 @@ func TestConformance(t *testing.T) {
 	backendtest.Conformance(t, func() driver.Kernels { return New(simgpu.Dim2{}) })
 }
 
+func TestFusionEquivalence(t *testing.T) {
+	backendtest.FusionEquivalence(t, func() driver.Kernels { return New(simgpu.Dim2{X: 16, Y: 4}) })
+}
+
 // TestBlockSizeInvariance: the physics must not depend on the launch block
 // shape (reductions combine per block, so sums differ in rounding only).
 func TestBlockSizeInvariance(t *testing.T) {

@@ -22,6 +22,14 @@ func TestConformanceCuda(t *testing.T) {
 	backendtest.Conformance(t, func() driver.Kernels { return New(kokkos.NewCuda(simgpu.Dim2{X: 16, Y: 4})) })
 }
 
+func TestFusionEquivalenceOpenMP(t *testing.T) {
+	backendtest.FusionEquivalence(t, func() driver.Kernels { return New(kokkos.NewOpenMP(4)) })
+}
+
+func TestFusionEquivalenceCuda(t *testing.T) {
+	backendtest.FusionEquivalence(t, func() driver.Kernels { return New(kokkos.NewCuda(simgpu.Dim2{X: 16, Y: 4})) })
+}
+
 // TestLayoutsDiffer: the port must really run LayoutLeft on the device
 // space and LayoutRight on the host spaces — the adaptation the paper
 // credits Kokkos with — while producing identical physics.

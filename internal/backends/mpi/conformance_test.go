@@ -14,3 +14,11 @@ func TestConformancePureMPI(t *testing.T) {
 func TestConformanceHybrid(t *testing.T) {
 	backendtest.Conformance(t, func() driver.Kernels { return New(2, 2) })
 }
+
+func TestFusionEquivalencePureMPI(t *testing.T) {
+	backendtest.FusionEquivalence(t, func() driver.Kernels { return New(4, 1) })
+}
+
+func TestFusionEquivalenceHybrid(t *testing.T) {
+	backendtest.FusionEquivalence(t, func() driver.Kernels { return New(2, 2) })
+}

@@ -27,6 +27,14 @@ type rankState struct {
 	kx, ky                    *grid.Field
 	un, rtemp, tcp, tdp       *grid.Field
 	fieldsByID                [driver.NumFields]*grid.Field
+
+	// Reusable exchange scratch: one buffer to pack outgoing halo strips
+	// (Send copies into a pooled payload immediately) and one to receive
+	// into, plus a small vector for the field-summary allreduce. Together
+	// with comm's payload free list they make steady-state halo exchange
+	// allocation-free.
+	packBuf, recvBuf []float64
+	sumBuf           [4]float64
 }
 
 func (rs *rankState) init(global *grid.Mesh, ch comm.Chunk, states []config.State) error {
@@ -41,6 +49,12 @@ func (rs *rankState) init(global *grid.Mesh, ch comm.Chunk, states []config.Stat
 	rs.kx, rs.ky = alloc(), alloc()
 	rs.un, rs.rtemp = alloc(), alloc()
 	rs.tcp, rs.tdp = alloc(), alloc()
+	// Largest halo message: depth<=DefaultHalo strips of columns
+	// (depth*ny) or full-width rows (depth*(nx+2*depth)).
+	d := grid.DefaultHalo
+	maxMsg := d * max(rs.ny, rs.nx+2*d)
+	rs.packBuf = make([]float64, maxMsg)
+	rs.recvBuf = make([]float64, maxMsg)
 	rs.fieldsByID = [driver.NumFields]*grid.Field{
 		driver.FieldDensity: rs.density,
 		driver.FieldEnergy0: rs.energy0,
@@ -142,14 +156,18 @@ func (rs *rankState) exchangeField(f *grid.Field, fid driver.FieldID, depth int)
 	nx, ny, d := f.Nx, f.Ny, f.Depth
 	ch := rs.chunk
 	// X phase over interior rows: post both sends eagerly, then receive.
+	// Strips are staged through the rank's reusable packBuf (Send copies
+	// into a pooled payload before returning) and received with RecvInto
+	// into the reusable recvBuf, so the exchange allocates nothing.
 	if ch.Left >= 0 {
-		rs.rank.Send(ch.Left, tag(fid, dirWest), packCols(f, 0, depth))
+		rs.rank.Send(ch.Left, tag(fid, dirWest), packCols(f, 0, depth, rs.packBuf))
 	}
 	if ch.Right >= 0 {
-		rs.rank.Send(ch.Right, tag(fid, dirEast), packCols(f, nx-depth, depth))
+		rs.rank.Send(ch.Right, tag(fid, dirEast), packCols(f, nx-depth, depth, rs.packBuf))
 	}
 	if ch.Left >= 0 {
-		unpackCols(f, -depth, depth, rs.rank.Recv(ch.Left, tag(fid, dirEast)))
+		n := rs.rank.RecvInto(ch.Left, tag(fid, dirEast), rs.recvBuf)
+		unpackCols(f, -depth, depth, rs.recvBuf[:n])
 	} else {
 		for j := 0; j < ny; j++ {
 			row := f.Row(j)
@@ -159,7 +177,8 @@ func (rs *rankState) exchangeField(f *grid.Field, fid driver.FieldID, depth int)
 		}
 	}
 	if ch.Right >= 0 {
-		unpackCols(f, nx, depth, rs.rank.Recv(ch.Right, tag(fid, dirWest)))
+		n := rs.rank.RecvInto(ch.Right, tag(fid, dirWest), rs.recvBuf)
+		unpackCols(f, nx, depth, rs.recvBuf[:n])
 	} else {
 		for j := 0; j < ny; j++ {
 			row := f.Row(j)
@@ -172,20 +191,22 @@ func (rs *rankState) exchangeField(f *grid.Field, fid driver.FieldID, depth int)
 	// corner halos carry diagonal-neighbour data after both phases.
 	lo, hi := d-depth, d+nx+depth
 	if ch.Down >= 0 {
-		rs.rank.Send(ch.Down, tag(fid, dirSouth), packRows(f, 0, depth, lo, hi))
+		rs.rank.Send(ch.Down, tag(fid, dirSouth), packRows(f, 0, depth, lo, hi, rs.packBuf))
 	}
 	if ch.Up >= 0 {
-		rs.rank.Send(ch.Up, tag(fid, dirNorth), packRows(f, ny-depth, depth, lo, hi))
+		rs.rank.Send(ch.Up, tag(fid, dirNorth), packRows(f, ny-depth, depth, lo, hi, rs.packBuf))
 	}
 	if ch.Down >= 0 {
-		unpackRows(f, -depth, depth, lo, hi, rs.rank.Recv(ch.Down, tag(fid, dirNorth)))
+		n := rs.rank.RecvInto(ch.Down, tag(fid, dirNorth), rs.recvBuf)
+		unpackRows(f, -depth, depth, lo, hi, rs.recvBuf[:n])
 	} else {
 		for k := 1; k <= depth; k++ {
 			copy(f.Row(-k)[lo:hi], f.Row(k - 1)[lo:hi])
 		}
 	}
 	if ch.Up >= 0 {
-		unpackRows(f, ny, depth, lo, hi, rs.rank.Recv(ch.Up, tag(fid, dirSouth)))
+		n := rs.rank.RecvInto(ch.Up, tag(fid, dirSouth), rs.recvBuf)
+		unpackRows(f, ny, depth, lo, hi, rs.recvBuf[:n])
 	} else {
 		for k := 1; k <= depth; k++ {
 			copy(f.Row(ny - 1 + k)[lo:hi], f.Row(ny - k)[lo:hi])
@@ -193,10 +214,11 @@ func (rs *rankState) exchangeField(f *grid.Field, fid driver.FieldID, depth int)
 	}
 }
 
-// packCols packs columns [i0, i0+w) over interior rows into a buffer,
-// column-major within rows (row-major traversal).
-func packCols(f *grid.Field, i0, w int) []float64 {
-	buf := make([]float64, w*f.Ny)
+// packCols packs columns [i0, i0+w) over interior rows into scratch,
+// column-major within rows (row-major traversal), returning the filled
+// prefix.
+func packCols(f *grid.Field, i0, w int, scratch []float64) []float64 {
+	buf := scratch[:w*f.Ny]
 	n := 0
 	for j := 0; j < f.Ny; j++ {
 		row := f.Row(j)
@@ -220,10 +242,10 @@ func unpackCols(f *grid.Field, i0, w int, buf []float64) {
 }
 
 // packRows packs rows [j0, j0+h) over columns [lo, hi) (offsets into the
-// padded row) into a buffer.
-func packRows(f *grid.Field, j0, h, lo, hi int) []float64 {
+// padded row) into scratch, returning the filled prefix.
+func packRows(f *grid.Field, j0, h, lo, hi int, scratch []float64) []float64 {
 	w := hi - lo
-	buf := make([]float64, h*w)
+	buf := scratch[:h*w]
 	for k := 0; k < h; k++ {
 		copy(buf[k*w:(k+1)*w], f.Row(j0 + k)[lo:hi])
 	}
@@ -479,6 +501,49 @@ func (rs *rankState) cgCalcUR(alpha float64, precond bool) float64 {
 		return rs.dotRZ()
 	}
 	return rrn
+}
+
+// cgCalcWFused implements the port's FusedWDot capability. cgCalcW already
+// fuses the operator row with its p·w contribution, so the fused entry
+// point is the same sweep under its capability name.
+func (rs *rankState) cgCalcWFused() float64 { return rs.cgCalcW() }
+
+// cgCalcURFused fuses the u/r update, the preconditioner (diagonal scaling
+// or the row's independent Thomas solve) and the r·z reduction into one
+// sweep over the rank's rows. Row traversal and partial combination match
+// the unfused reduceRows path, and the allreduce combines rank partials in
+// rank order either way, so fusion changes no bits.
+func (rs *rankState) cgCalcURFused(alpha float64, precond bool) float64 {
+	return rs.reduceRows(0, rs.ny, func(j int) float64 {
+		var s float64
+		ur := rs.u.InteriorRow(j)
+		pr := rs.p.InteriorRow(j)
+		rr := rs.r.InteriorRow(j)
+		wr := rs.w.InteriorRow(j)
+		for i := range rr {
+			ur[i] += alpha * pr[i]
+			rr[i] -= alpha * wr[i]
+		}
+		if !precond {
+			for i := range rr {
+				s += rr[i] * rr[i]
+			}
+			return s
+		}
+		zr := rs.z.InteriorRow(j)
+		if rs.precond == config.PrecondJacBlock {
+			rs.blockSolveRow(j)
+		} else {
+			mir := rs.mi.InteriorRow(j)
+			for i := range zr {
+				zr[i] = mir[i] * rr[i]
+			}
+		}
+		for i := range rr {
+			s += rr[i] * zr[i]
+		}
+		return s
+	})
 }
 
 func (rs *rankState) cgCalcP(beta float64, precond bool) {

@@ -140,15 +140,14 @@ func (p *Port) ResetField() { p.do((*rankState).resetField) }
 func (p *Port) FieldSummary() driver.Totals {
 	p.do(func(rs *rankState) {
 		local := rs.fieldSummary()
-		global := rs.rank.AllreduceVec([]float64{
-			local.Volume, local.Mass, local.InternalEnergy, local.Temperature,
-		})
+		rs.sumBuf = [4]float64{local.Volume, local.Mass, local.InternalEnergy, local.Temperature}
+		rs.rank.AllreduceVecInPlace(rs.sumBuf[:])
 		if rs.rank.ID() == 0 {
 			p.resT <- driver.Totals{
-				Volume:         global[0],
-				Mass:           global[1],
-				InternalEnergy: global[2],
-				Temperature:    global[3],
+				Volume:         rs.sumBuf[0],
+				Mass:           rs.sumBuf[1],
+				InternalEnergy: rs.sumBuf[2],
+				Temperature:    rs.sumBuf[3],
 			}
 		}
 	})
@@ -193,6 +192,16 @@ func (p *Port) CGCalcW() float64 {
 // CGCalcUR implements driver.Kernels.
 func (p *Port) CGCalcUR(alpha float64, precond bool) float64 {
 	return p.doReduce(func(rs *rankState) float64 { return rs.cgCalcUR(alpha, precond) })
+}
+
+// CGCalcWFused implements driver.FusedWDot.
+func (p *Port) CGCalcWFused() float64 {
+	return p.doReduce((*rankState).cgCalcWFused)
+}
+
+// CGCalcURFused implements driver.FusedURPrecond.
+func (p *Port) CGCalcURFused(alpha float64, precond bool) float64 {
+	return p.doReduce(func(rs *rankState) float64 { return rs.cgCalcURFused(alpha, precond) })
 }
 
 // CGCalcP implements driver.Kernels.

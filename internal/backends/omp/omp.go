@@ -387,6 +387,52 @@ func (c *Chunk) CGCalcUR(alpha float64, precond bool) float64 {
 	return rrn
 }
 
+// CGCalcWFused implements driver.FusedWDot. CGCalcW already evaluates the
+// operator and the p·w dot in one team sweep, so the fused entry point is
+// the same kernel under its capability name.
+func (c *Chunk) CGCalcWFused() float64 { return c.CGCalcW() }
+
+// CGCalcURFused implements driver.FusedURPrecond: each thread updates its
+// static share of rows and, per row, applies the preconditioner (diagonal
+// scaling or the row's independent Thomas solve) and accumulates r·z — one
+// team sweep where the unfused preconditioned path takes three. Static row
+// shares and thread-order partial combination match ReduceSum's unfused
+// traversal, so the result is bitwise identical.
+func (c *Chunk) CGCalcURFused(alpha float64, precond bool) float64 {
+	return c.team.ReduceSum(0, c.ny, func(j0, j1 int) float64 {
+		var s float64
+		for j := j0; j < j1; j++ {
+			ur := c.u.InteriorRow(j)
+			pr := c.p.InteriorRow(j)
+			rr := c.r.InteriorRow(j)
+			wr := c.w.InteriorRow(j)
+			for i := range rr {
+				ur[i] += alpha * pr[i]
+				rr[i] -= alpha * wr[i]
+			}
+			if !precond {
+				for i := range rr {
+					s += rr[i] * rr[i]
+				}
+				continue
+			}
+			zr := c.z.InteriorRow(j)
+			if c.precond == config.PrecondJacBlock {
+				c.blockSolveRow(j)
+			} else {
+				mir := c.mi.InteriorRow(j)
+				for i := range zr {
+					zr[i] = mir[i] * rr[i]
+				}
+			}
+			for i := range rr {
+				s += rr[i] * zr[i]
+			}
+		}
+		return s
+	})
+}
+
 // CGCalcP implements driver.Kernels.
 func (c *Chunk) CGCalcP(beta float64, precond bool) {
 	c.forRows(func(j int) {

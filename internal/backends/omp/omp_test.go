@@ -16,6 +16,10 @@ func TestSingleThread(t *testing.T) {
 	backendtest.Conformance(t, func() driver.Kernels { return New(1) })
 }
 
+func TestFusionEquivalence(t *testing.T) {
+	backendtest.FusionEquivalence(t, func() driver.Kernels { return New(4) })
+}
+
 // TestThreadCountInvariance: the physics must not depend on the team width.
 func TestThreadCountInvariance(t *testing.T) {
 	cfg := config.BenchmarkN(20)

@@ -16,6 +16,13 @@ func TestConformanceDevice(t *testing.T) {
 	backendtest.Conformance(t, func() driver.Kernels { return New(TargetDevice, 4) })
 }
 
+// TestFusionEquivalence: this port deliberately implements no fused
+// kernels, so both arms run the solver's transparent fallback — the test
+// pins that an unfused port is unaffected by the fusion machinery.
+func TestFusionEquivalence(t *testing.T) {
+	backendtest.FusionEquivalence(t, func() driver.Kernels { return New(TargetHost, 4) })
+}
+
 // TestTargetsAgree: the single-source property — the same kernels must give
 // identical physics on both targets.
 func TestTargetsAgree(t *testing.T) {

@@ -41,6 +41,12 @@ type rankState struct {
 	kx, ky                    *ops.Dat
 	un, rtemp, tcp, tdp       *ops.Dat
 	byID                      [driver.NumFields]*ops.Dat
+
+	// Reusable scratch for the field-summary allreduce and for halo strip
+	// packing/receiving, so steady-state exchanges stay allocation-free.
+	sumBuf  [4]float64
+	packBuf []float64
+	recvBuf []float64
 }
 
 func (rs *rankState) init(global *grid.Mesh, ch comm.Chunk, states []config.State) error {
@@ -57,6 +63,10 @@ func (rs *rankState) init(global *grid.Mesh, ch comm.Chunk, states []config.Stat
 	rs.kx, rs.ky = decl("kx"), decl("ky")
 	rs.un, rs.rtemp = decl("un"), decl("rtemp")
 	rs.tcp, rs.tdp = decl("tcp"), decl("tdp")
+	d := grid.DefaultHalo
+	maxMsg := d * max(rs.ny, rs.nx+2*d)
+	rs.packBuf = make([]float64, maxMsg)
+	rs.recvBuf = make([]float64, maxMsg)
 	rs.byID = [driver.NumFields]*ops.Dat{
 		driver.FieldDensity: rs.density,
 		driver.FieldEnergy0: rs.energy0,
@@ -175,12 +185,14 @@ func (rs *rankState) exchangeDat(d *ops.Dat, fid driver.FieldID, depth int, hasN
 		rs.rank.Send(ch.Right, tag(fid, dirEast), rs.packCols(d, nx-depth, depth))
 	}
 	if ch.Left >= 0 {
-		rs.unpackCols(d, -depth, depth, rs.rank.Recv(ch.Left, tag(fid, dirEast)))
+		n := rs.rank.RecvInto(ch.Left, tag(fid, dirEast), rs.recvBuf)
+		rs.unpackCols(d, -depth, depth, rs.recvBuf[:n])
 	} else {
 		rs.reflectX(d, depth, true)
 	}
 	if ch.Right >= 0 {
-		rs.unpackCols(d, nx, depth, rs.rank.Recv(ch.Right, tag(fid, dirWest)))
+		n := rs.rank.RecvInto(ch.Right, tag(fid, dirWest), rs.recvBuf)
+		rs.unpackCols(d, nx, depth, rs.recvBuf[:n])
 	} else {
 		rs.reflectX(d, depth, false)
 	}
@@ -195,12 +207,14 @@ func (rs *rankState) exchangeDat(d *ops.Dat, fid driver.FieldID, depth int, hasN
 		rs.rank.Send(ch.Up, tag(fid, dirNorth), rs.packRows(d, ny-depth, depth))
 	}
 	if ch.Down >= 0 {
-		rs.unpackRows(d, -depth, depth, rs.rank.Recv(ch.Down, tag(fid, dirNorth)))
+		n := rs.rank.RecvInto(ch.Down, tag(fid, dirNorth), rs.recvBuf)
+		rs.unpackRows(d, -depth, depth, rs.recvBuf[:n])
 	} else {
 		rs.reflectY(d, depth, true)
 	}
 	if ch.Up >= 0 {
-		rs.unpackRows(d, ny, depth, rs.rank.Recv(ch.Up, tag(fid, dirSouth)))
+		n := rs.rank.RecvInto(ch.Up, tag(fid, dirSouth), rs.recvBuf)
+		rs.unpackRows(d, ny, depth, rs.recvBuf[:n])
 	} else {
 		rs.reflectY(d, depth, false)
 	}
@@ -249,7 +263,7 @@ func (rs *rankState) reflectY(d *ops.Dat, depth int, low bool) {
 }
 
 func (rs *rankState) packCols(d *ops.Dat, i0, w int) []float64 {
-	buf := make([]float64, 0, w*rs.ny)
+	buf := rs.packBuf[:0]
 	for j := 0; j < rs.ny; j++ {
 		for k := 0; k < w; k++ {
 			buf = append(buf, d.At(i0+k, j))
@@ -270,7 +284,7 @@ func (rs *rankState) unpackCols(d *ops.Dat, i0, w int, buf []float64) {
 
 func (rs *rankState) packRows(d *ops.Dat, j0, h int) []float64 {
 	depth := d.Depth()
-	buf := make([]float64, 0, h*(rs.nx+2*depth))
+	buf := rs.packBuf[:0]
 	for k := 0; k < h; k++ {
 		for i := -depth; i < rs.nx+depth; i++ {
 			buf = append(buf, d.At(i, j0+k))
@@ -505,6 +519,44 @@ func (rs *rankState) cgCalcUR(alpha float64, precond bool) float64 {
 			r := a[2].Get(0, 0) - alpha*a[3].Get(0, 0)
 			a[2].Set(0, 0, r)
 			red[0] += r * r
+		})
+	return red[0]
+}
+
+// cgCalcWFused implements the port's FusedWDot capability: cg_calc_w is
+// already a single multi-output ParLoopRed (operator write + p·w
+// reduction), so the fused entry point reuses it.
+func (rs *rankState) cgCalcWFused() float64 { return rs.cgCalcW() }
+
+// cgCalcURFused fuses the u/r update, the diagonal preconditioner and the
+// r·z reduction into one multi-output ParLoopRed: the loop reads p, w and
+// mi, read-modify-writes u and r, writes z and reduces r·z — one sweep
+// where the unfused sequence takes three. The jac_block line solve is a
+// whole-row stencil that cannot run point-wise, so that case falls back to
+// the unfused sequence (identical results, more sweeps).
+func (rs *rankState) cgCalcURFused(alpha float64, precond bool) float64 {
+	if !precond {
+		return rs.cgCalcUR(alpha, false) // already a single reducing loop
+	}
+	if rs.precond == config.PrecondJacBlock {
+		return rs.cgCalcUR(alpha, true)
+	}
+	red := rs.ctx.ParLoopRed("cg_calc_ur_fused", rs.block, rs.interior(), 1,
+		[]ops.Arg{
+			ops.ArgDat(rs.u, sPoint, ops.RW),
+			ops.ArgDat(rs.p, sPoint, ops.Read),
+			ops.ArgDat(rs.r, sPoint, ops.RW),
+			ops.ArgDat(rs.w, sPoint, ops.Read),
+			ops.ArgDat(rs.mi, sPoint, ops.Read),
+			ops.ArgDat(rs.z, sPoint, ops.Write),
+		},
+		func(a []*ops.Acc, red []float64) {
+			a[0].Add(0, 0, alpha*a[1].Get(0, 0))
+			rv := a[2].Get(0, 0) - alpha*a[3].Get(0, 0)
+			a[2].Set(0, 0, rv)
+			zv := a[4].Get(0, 0) * rv
+			a[5].Set(0, 0, zv)
+			red[0] += rv * zv
 		})
 	return red[0]
 }

@@ -48,6 +48,18 @@ func TestConformanceACC(t *testing.T) {
 	backendtest.Conformance(t, factory(t, Options{Backend: ops.BackendACC, Threads: 4}))
 }
 
+func TestFusionEquivalenceOpenMP(t *testing.T) {
+	backendtest.FusionEquivalence(t, factory(t, Options{Backend: ops.BackendOpenMP, Threads: 4}))
+}
+
+func TestFusionEquivalenceMPI(t *testing.T) {
+	backendtest.FusionEquivalence(t, factory(t, Options{Backend: ops.BackendSerial, Ranks: 4}))
+}
+
+func TestFusionEquivalenceCUDA(t *testing.T) {
+	backendtest.FusionEquivalence(t, factory(t, Options{Backend: ops.BackendCUDA}))
+}
+
 // TestTiledActuallyTiles: the tiled variant must defer loops into tiles and
 // still match physics (physics checked by conformance; here the stats).
 func TestTiledActuallyTiles(t *testing.T) {

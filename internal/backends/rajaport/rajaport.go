@@ -326,6 +326,35 @@ func (c *Chunk) CGCalcUR(alpha float64, precond bool) float64 {
 	})
 }
 
+// CGCalcWFused implements driver.FusedWDot: CGCalcW is already one
+// Kernel2DReduce evaluating the operator and the p·w dot in a single
+// sweep, so the fused entry point reuses it.
+func (c *Chunk) CGCalcWFused() float64 { return c.CGCalcW() }
+
+// CGCalcURFused implements driver.FusedURPrecond: one Kernel2DReduce
+// updates u and r, applies the diagonal preconditioner z = mi·r and
+// accumulates r·z — one sweep where the unfused sequence takes three. The
+// jac_block line solve needs whole rows of the updated r, so that case
+// falls back to the unfused sequence (identical results, more sweeps).
+func (c *Chunk) CGCalcURFused(alpha float64, precond bool) float64 {
+	if !precond {
+		return c.CGCalcUR(alpha, false) // already a single reducing sweep
+	}
+	if c.precond == config.PrecondJacBlock {
+		return c.CGCalcUR(alpha, true)
+	}
+	u, p, r, w, mi, z := c.u, c.p, c.r, c.w, c.mi, c.z
+	return raja.Kernel2DReduce(c.pol, "cg_calc_ur_fused", c.rows(), c.cols(), func(j, i int, s *float64) {
+		at := c.at(i, j)
+		u[at] += alpha * p[at]
+		rv := r[at] - alpha*w[at]
+		r[at] = rv
+		zv := mi[at] * rv
+		z[at] = zv
+		*s += rv * zv
+	})
+}
+
 // CGCalcP implements driver.Kernels.
 func (c *Chunk) CGCalcP(beta float64, precond bool) {
 	src := c.r

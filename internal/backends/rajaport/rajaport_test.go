@@ -20,3 +20,11 @@ func TestConformanceOmp(t *testing.T) {
 func TestConformanceCuda(t *testing.T) {
 	backendtest.Conformance(t, func() driver.Kernels { return New(raja.NewCuda(simgpu.Dim2{X: 32, Y: 2})) })
 }
+
+func TestFusionEquivalenceOmp(t *testing.T) {
+	backendtest.FusionEquivalence(t, func() driver.Kernels { return New(raja.NewOmp(4)) })
+}
+
+func TestFusionEquivalenceCuda(t *testing.T) {
+	backendtest.FusionEquivalence(t, func() driver.Kernels { return New(raja.NewCuda(simgpu.Dim2{X: 32, Y: 2})) })
+}

@@ -1,0 +1,16 @@
+// The serial port is the reference implementation backendtest itself
+// imports, so its fusion equivalence check lives in an external test
+// package to avoid the import cycle.
+package serial_test
+
+import (
+	"testing"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/backends/backendtest"
+	"github.com/warwick-hpsc/tealeaf-go/internal/backends/serial"
+	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
+)
+
+func TestFusionEquivalence(t *testing.T) {
+	backendtest.FusionEquivalence(t, func() driver.Kernels { return serial.New() })
+}

@@ -186,22 +186,26 @@ func (c *Chunk) SolveInit(coef config.Coefficient, rx, ry float64, precond confi
 // applyOperator computes dst = A src over the interior: the matrix-free
 // five-point conduction operator every Krylov kernel shares.
 func (c *Chunk) applyOperator(dst, src *grid.Field) {
-	nx, ny := c.nx, c.ny
+	for j := 0; j < c.ny; j++ {
+		c.applyOperatorRow(dst, src, j)
+	}
+}
+
+// applyOperatorRow evaluates one row of dst = A src.
+func (c *Chunk) applyOperatorRow(dst, src *grid.Field, j int) {
 	d := src.Depth
-	for j := 0; j < ny; j++ {
-		sr := src.Row(j)
-		su := src.Row(j + 1)
-		sd := src.Row(j - 1)
-		kxr := c.kx.Row(j)
-		kyr := c.ky.Row(j)
-		kyu := c.ky.Row(j + 1)
-		dr := dst.Row(j)
-		for i := 0; i < nx; i++ {
-			ii := d + i
-			dr[ii] = (1+kxr[ii+1]+kxr[ii]+kyu[ii]+kyr[ii])*sr[ii] -
-				(kxr[ii+1]*sr[ii+1] + kxr[ii]*sr[ii-1]) -
-				(kyu[ii]*su[ii] + kyr[ii]*sd[ii])
-		}
+	sr := src.Row(j)
+	su := src.Row(j + 1)
+	sd := src.Row(j - 1)
+	kxr := c.kx.Row(j)
+	kyr := c.ky.Row(j)
+	kyu := c.ky.Row(j + 1)
+	dr := dst.Row(j)
+	for i := 0; i < c.nx; i++ {
+		ii := d + i
+		dr[ii] = (1+kxr[ii+1]+kxr[ii]+kyu[ii]+kyr[ii])*sr[ii] -
+			(kxr[ii+1]*sr[ii+1] + kxr[ii]*sr[ii-1]) -
+			(kyu[ii]*su[ii] + kyr[ii]*sd[ii])
 	}
 }
 
@@ -350,6 +354,63 @@ func (c *Chunk) CGCalcUR(alpha float64, precond bool) float64 {
 	if precond {
 		c.ApplyPrecond()
 		return c.DotRZ()
+	}
+	return rrn
+}
+
+// CGCalcWFused implements driver.FusedWDot: each row's operator evaluation
+// is immediately followed by that row's contribution to p·w, so p and w are
+// dotted while still cache-resident instead of re-read in a second sweep.
+// The summation stays row-major, so the result is bitwise identical to
+// CGCalcW.
+func (c *Chunk) CGCalcWFused() float64 {
+	var pw float64
+	for j := 0; j < c.ny; j++ {
+		c.applyOperatorRow(c.w, c.p, j)
+		pr := c.p.InteriorRow(j)
+		wr := c.w.InteriorRow(j)
+		for i := range pr {
+			pw += pr[i] * wr[i]
+		}
+	}
+	return pw
+}
+
+// CGCalcURFused implements driver.FusedURPrecond: per row, the u/r update,
+// the preconditioner application (diagonal scaling or the row's Thomas
+// solve — both need only the row's own updated r) and the r·z (or r·r)
+// contribution happen in one pass, replacing the update + ApplyPrecond +
+// DotRZ sequence of three sweeps. Row-major order keeps every partial sum
+// bitwise identical to the unfused path.
+func (c *Chunk) CGCalcURFused(alpha float64, precond bool) float64 {
+	var rrn float64
+	for j := 0; j < c.ny; j++ {
+		ur := c.u.InteriorRow(j)
+		pr := c.p.InteriorRow(j)
+		rr := c.r.InteriorRow(j)
+		wr := c.w.InteriorRow(j)
+		for i := range rr {
+			ur[i] += alpha * pr[i]
+			rr[i] -= alpha * wr[i]
+		}
+		if !precond {
+			for i := range rr {
+				rrn += rr[i] * rr[i]
+			}
+			continue
+		}
+		zr := c.z.InteriorRow(j)
+		if c.precond == config.PrecondJacBlock {
+			c.blockSolveRow(j)
+		} else {
+			mir := c.mi.InteriorRow(j)
+			for i := range zr {
+				zr[i] = mir[i] * rr[i]
+			}
+		}
+		for i := range rr {
+			rrn += rr[i] * zr[i]
+		}
 	}
 	return rrn
 }

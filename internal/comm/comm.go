@@ -60,7 +60,8 @@ func (m *mailbox) get(src, tag int) message {
 }
 
 // World is a communicator: a fixed set of ranks with mailboxes, a reusable
-// barrier and a reduction scratch area.
+// barrier, a reduction scratch area and a free list of message payload
+// buffers.
 type World struct {
 	size  int
 	boxes []*mailbox
@@ -69,6 +70,13 @@ type World struct {
 
 	redMu  sync.Mutex
 	redBuf []float64
+
+	// Message payload free list. Send draws its copy buffer from here and
+	// RecvInto returns consumed payloads, so a steady-state halo exchange
+	// allocates nothing: once enough buffers of the right capacity are in
+	// circulation, every message reuses one.
+	bufMu sync.Mutex
+	bufs  [][]float64
 }
 
 // NewWorld creates a communicator with the given number of ranks.
@@ -76,12 +84,50 @@ func NewWorld(size int) *World {
 	if size <= 0 {
 		panic(fmt.Sprintf("comm: world size must be positive, got %d", size))
 	}
-	w := &World{size: size, boxes: make([]*mailbox, size), redBuf: make([]float64, size)}
+	w := &World{
+		size:   size,
+		boxes:  make([]*mailbox, size),
+		redBuf: make([]float64, size),
+		bufs:   make([][]float64, 0, 8*size+16),
+	}
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox()
 	}
 	w.bar.init(size)
 	return w
+}
+
+// getBuf returns a payload buffer of length n, reusing a pooled one when a
+// large enough buffer is free. Undersized pool entries are left for smaller
+// messages rather than discarded, since halo exchanges interleave two
+// stable message sizes (column strips and row strips).
+func (w *World) getBuf(n int) []float64 {
+	w.bufMu.Lock()
+	for i := len(w.bufs) - 1; i >= 0; i-- {
+		if cap(w.bufs[i]) >= n {
+			b := w.bufs[i][:n]
+			last := len(w.bufs) - 1
+			w.bufs[i] = w.bufs[last]
+			w.bufs = w.bufs[:last]
+			w.bufMu.Unlock()
+			return b
+		}
+	}
+	w.bufMu.Unlock()
+	return make([]float64, n)
+}
+
+// putBuf returns a payload buffer to the free list. Buffers beyond the
+// list's fixed capacity are dropped so the pool cannot grow unboundedly.
+func (w *World) putBuf(b []float64) {
+	if cap(b) == 0 {
+		return
+	}
+	w.bufMu.Lock()
+	if len(w.bufs) < cap(w.bufs) {
+		w.bufs = append(w.bufs, b)
+	}
+	w.bufMu.Unlock()
 }
 
 // Size returns the number of ranks in the world.
@@ -120,7 +166,7 @@ func (r *Rank) Send(dst, tag int, data []float64) {
 	if dst < 0 || dst >= r.world.size {
 		panic(fmt.Sprintf("comm: send to invalid rank %d (world size %d)", dst, r.world.size))
 	}
-	buf := make([]float64, len(data))
+	buf := r.world.getBuf(len(data))
 	copy(buf, data)
 	r.world.boxes[dst].put(message{src: r.id, tag: tag, data: buf})
 }
@@ -137,14 +183,18 @@ func (r *Rank) Recv(src, tag int) []float64 {
 
 // RecvInto receives from (src, tag) into dst and returns the element count.
 // It panics if the payload does not fit: a size mismatch in a halo exchange
-// is a protocol bug, not a recoverable condition.
+// is a protocol bug, not a recoverable condition. Unlike Recv, the consumed
+// payload buffer is recycled into the world's free list, so steady-state
+// exchanges built on Send/RecvInto are allocation-free.
 func (r *Rank) RecvInto(src, tag int, dst []float64) int {
 	data := r.Recv(src, tag)
 	if len(data) > len(dst) {
 		panic(fmt.Sprintf("comm: message of %d elems overflows buffer of %d", len(data), len(dst)))
 	}
 	copy(dst, data)
-	return len(data)
+	n := len(data)
+	r.world.putBuf(data)
+	return n
 }
 
 // Sendrecv sends to dst and receives from src in one operation, the
@@ -237,13 +287,21 @@ func (r *Rank) AllreduceSum(x float64) float64 { return r.Allreduce(x, OpSum) }
 // It is used where TeaLeaf reduces several scalars in one MPI_Allreduce
 // (e.g. the field summary's five quantities).
 func (r *Rank) AllreduceVec(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	copy(out, xs)
+	r.AllreduceVecInPlace(out)
+	return out
+}
+
+// AllreduceVecInPlace is AllreduceVec writing the combined vector back into
+// xs, for callers that keep a reusable scratch vector and need the
+// reduction to be allocation-free.
+func (r *Rank) AllreduceVecInPlace(xs []float64) {
 	// Serialise vector reductions through the scratch area by staging each
 	// element in turn; vectors here are tiny (<=8 elements).
-	out := make([]float64, len(xs))
 	for i, x := range xs {
-		out[i] = r.Allreduce(x, OpSum)
+		xs[i] = r.Allreduce(x, OpSum)
 	}
-	return out
 }
 
 // Bcast distributes root's value to every rank.

@@ -9,9 +9,11 @@ import (
 // Instrumented wraps any port with per-kernel wall-clock timing and
 // analytic traffic attribution — the project's stand-in for VTune/nvprof
 // counters. The byte and FLOP counts are the algorithmically necessary
-// traffic of each kernel (reads + writes of the fields it touches, at 8
-// bytes per double), so Profile.AchievedGBs is the "useful bandwidth" an
-// external profiler would report for a streaming-bound code.
+// traffic of each kernel as the executed path performs it (reads + writes
+// of the fields each full-field sweep touches, at 8 bytes per double), so
+// Profile.AchievedGBs is the "useful bandwidth" an external profiler would
+// report for a streaming-bound code, and the sweep counters expose the
+// traffic reduction the fused CG path buys.
 type Instrumented struct {
 	Kernels
 	prof   *profiler.Profile
@@ -38,7 +40,7 @@ func (in *Instrumented) Generate(m *grid.Mesh, states []config.State) error {
 	in.nx, in.ny = int64(m.Nx), int64(m.Ny)
 	var err error
 	_, full := in.cells()
-	in.prof.Time("generate_chunk", 2*8*full, 0, func() {
+	in.prof.TimeSweeps("generate_chunk", 2*8*full, 0, 1, func() {
 		err = in.Kernels.Generate(m, states)
 	})
 	return err
@@ -47,20 +49,20 @@ func (in *Instrumented) Generate(m *grid.Mesh, states []config.State) error {
 // SetField implements Kernels.
 func (in *Instrumented) SetField() {
 	_, full := in.cells()
-	in.prof.Time("set_field", 2*8*full, 0, in.Kernels.SetField)
+	in.prof.TimeSweeps("set_field", 2*8*full, 0, 1, in.Kernels.SetField)
 }
 
 // ResetField implements Kernels.
 func (in *Instrumented) ResetField() {
 	_, full := in.cells()
-	in.prof.Time("reset_field", 2*8*full, 0, in.Kernels.ResetField)
+	in.prof.TimeSweeps("reset_field", 2*8*full, 0, 1, in.Kernels.ResetField)
 }
 
 // FieldSummary implements Kernels.
 func (in *Instrumented) FieldSummary() Totals {
 	n, _ := in.cells()
 	var t Totals
-	in.prof.Time("field_summary", 3*8*n, 6*n, func() { t = in.Kernels.FieldSummary() })
+	in.prof.TimeSweeps("field_summary", 3*8*n, 6*n, 1, func() { t = in.Kernels.FieldSummary() })
 	return t
 }
 
@@ -80,7 +82,7 @@ func (in *Instrumented) SolveInit(coef config.Coefficient, rx, ry float64, preco
 		bytes += 6 * 8 * n
 		flops += 6 * n
 	}
-	in.prof.Time("tea_leaf_init", bytes, flops, func() {
+	in.prof.TimeSweeps("tea_leaf_init", bytes, flops, 3, func() {
 		in.Kernels.SolveInit(coef, rx, ry, precond)
 	})
 }
@@ -88,20 +90,20 @@ func (in *Instrumented) SolveInit(coef config.Coefficient, rx, ry float64, preco
 // SolveFinalise implements Kernels.
 func (in *Instrumented) SolveFinalise() {
 	n, _ := in.cells()
-	in.prof.Time("tea_leaf_finalise", 3*8*n, n, in.Kernels.SolveFinalise)
+	in.prof.TimeSweeps("tea_leaf_finalise", 3*8*n, n, 1, in.Kernels.SolveFinalise)
 }
 
 // CalcResidual implements Kernels.
 func (in *Instrumented) CalcResidual() {
 	n, _ := in.cells()
-	in.prof.Time("calc_residual", 5*8*n, 13*n, in.Kernels.CalcResidual)
+	in.prof.TimeSweeps("calc_residual", 5*8*n, 13*n, 1, in.Kernels.CalcResidual)
 }
 
 // Norm2R implements Kernels.
 func (in *Instrumented) Norm2R() float64 {
 	n, _ := in.cells()
 	var v float64
-	in.prof.Time("norm2_r", 8*n, 2*n, func() { v = in.Kernels.Norm2R() })
+	in.prof.TimeSweeps("norm2_r", 8*n, 2*n, 1, func() { v = in.Kernels.Norm2R() })
 	return v
 }
 
@@ -109,91 +111,129 @@ func (in *Instrumented) Norm2R() float64 {
 func (in *Instrumented) DotRZ() float64 {
 	n, _ := in.cells()
 	var v float64
-	in.prof.Time("dot_rz", 2*8*n, 2*n, func() { v = in.Kernels.DotRZ() })
+	in.prof.TimeSweeps("dot_rz", 2*8*n, 2*n, 1, func() { v = in.Kernels.DotRZ() })
 	return v
 }
 
 // ApplyPrecond implements Kernels.
 func (in *Instrumented) ApplyPrecond() {
 	n, _ := in.cells()
-	in.prof.Time("apply_precond", 3*8*n, n, in.Kernels.ApplyPrecond)
+	in.prof.TimeSweeps("apply_precond", 3*8*n, n, 1, in.Kernels.ApplyPrecond)
 }
 
 // CGInitP implements Kernels.
 func (in *Instrumented) CGInitP(precond bool) float64 {
 	n, _ := in.cells()
 	var v float64
-	in.prof.Time("cg_init_p", 3*8*n, 2*n, func() { v = in.Kernels.CGInitP(precond) })
+	in.prof.TimeSweeps("cg_init_p", 3*8*n, 2*n, 1, func() { v = in.Kernels.CGInitP(precond) })
 	return v
 }
 
-// CGCalcW implements Kernels.
+// CGCalcW implements Kernels: the unfused sequence is an operator sweep
+// (read p, kx, ky; write w) followed by a dot sweep (read p, w).
 func (in *Instrumented) CGCalcW() float64 {
 	n, _ := in.cells()
 	var v float64
-	in.prof.Time("cg_calc_w", 4*8*n, 15*n, func() { v = in.Kernels.CGCalcW() })
+	in.prof.TimeSweeps("cg_calc_w", 6*8*n, 15*n, 2, func() { v = in.Kernels.CGCalcW() })
 	return v
 }
 
-// CGCalcUR implements Kernels.
+// CGCalcUR implements Kernels: an update sweep (read u, p, r, w; write u,
+// r), plus, when preconditioned, a preconditioner sweep (read mi, r; write
+// z) and a dot sweep (read r, z).
 func (in *Instrumented) CGCalcUR(alpha float64, precond bool) float64 {
+	n, _ := in.cells()
+	bytes, flops, sweeps := 6*8*n, 6*n, int64(1)
+	if precond {
+		bytes += 5 * 8 * n
+		flops += 3 * n
+		sweeps += 2
+	}
+	var v float64
+	in.prof.TimeSweeps("cg_calc_ur", bytes, flops, sweeps, func() { v = in.Kernels.CGCalcUR(alpha, precond) })
+	return v
+}
+
+// HasFusedWDot implements CapabilityReporter: the wrapper only has the
+// capability when the wrapped port does.
+func (in *Instrumented) HasFusedWDot() bool { return AsFusedWDot(in.Kernels) != nil }
+
+// HasFusedURPrecond implements CapabilityReporter.
+func (in *Instrumented) HasFusedURPrecond() bool { return AsFusedURPrecond(in.Kernels) != nil }
+
+// CGCalcWFused implements FusedWDot: one sweep reads p, kx, ky and writes
+// w, with the p·w dot carried in registers — a third less traffic than the
+// unfused operator + dot pair.
+func (in *Instrumented) CGCalcWFused() float64 {
+	f := AsFusedWDot(in.Kernels)
+	n, _ := in.cells()
+	var v float64
+	in.prof.TimeSweeps("cg_calc_w_fused", 4*8*n, 15*n, 1, func() { v = f.CGCalcWFused() })
+	return v
+}
+
+// CGCalcURFused implements FusedURPrecond: one sweep reads u, p, r, w (and
+// mi when preconditioned), writes u, r (and z), with both reductions in
+// registers — versus three sweeps for the unfused preconditioned sequence.
+func (in *Instrumented) CGCalcURFused(alpha float64, precond bool) float64 {
+	f := AsFusedURPrecond(in.Kernels)
 	n, _ := in.cells()
 	bytes, flops := 6*8*n, 6*n
 	if precond {
-		bytes += 3 * 8 * n
+		bytes += 2 * 8 * n
 		flops += 3 * n
 	}
 	var v float64
-	in.prof.Time("cg_calc_ur", bytes, flops, func() { v = in.Kernels.CGCalcUR(alpha, precond) })
+	in.prof.TimeSweeps("cg_calc_ur_fused", bytes, flops, 1, func() { v = f.CGCalcURFused(alpha, precond) })
 	return v
 }
 
 // CGCalcP implements Kernels.
 func (in *Instrumented) CGCalcP(beta float64, precond bool) {
 	n, _ := in.cells()
-	in.prof.Time("cg_calc_p", 3*8*n, 2*n, func() { in.Kernels.CGCalcP(beta, precond) })
+	in.prof.TimeSweeps("cg_calc_p", 3*8*n, 2*n, 1, func() { in.Kernels.CGCalcP(beta, precond) })
 }
 
 // JacobiCopyU implements Kernels.
 func (in *Instrumented) JacobiCopyU() {
 	_, full := in.cells()
-	in.prof.Time("jacobi_copy_u", 2*8*full, 0, in.Kernels.JacobiCopyU)
+	in.prof.TimeSweeps("jacobi_copy_u", 2*8*full, 0, 1, in.Kernels.JacobiCopyU)
 }
 
 // JacobiIterate implements Kernels.
 func (in *Instrumented) JacobiIterate() float64 {
 	n, _ := in.cells()
 	var v float64
-	in.prof.Time("jacobi_solve", 5*8*n, 15*n, func() { v = in.Kernels.JacobiIterate() })
+	in.prof.TimeSweeps("jacobi_solve", 5*8*n, 15*n, 1, func() { v = in.Kernels.JacobiIterate() })
 	return v
 }
 
 // ChebyInit implements Kernels.
 func (in *Instrumented) ChebyInit(theta float64, precond bool) {
 	n, _ := in.cells()
-	in.prof.Time("cheby_init", 4*8*n, 3*n, func() { in.Kernels.ChebyInit(theta, precond) })
+	in.prof.TimeSweeps("cheby_init", 4*8*n, 3*n, 1, func() { in.Kernels.ChebyInit(theta, precond) })
 }
 
 // ChebyIterate implements Kernels.
 func (in *Instrumented) ChebyIterate(alpha, beta float64, precond bool) {
 	n, _ := in.cells()
-	in.prof.Time("cheby_iterate", 10*8*n, 20*n, func() { in.Kernels.ChebyIterate(alpha, beta, precond) })
+	in.prof.TimeSweeps("cheby_iterate", 10*8*n, 20*n, 2, func() { in.Kernels.ChebyIterate(alpha, beta, precond) })
 }
 
 // PPCGInitInner implements Kernels.
 func (in *Instrumented) PPCGInitInner(theta float64) {
 	n, _ := in.cells()
-	in.prof.Time("ppcg_init_inner", 4*8*n, n, func() { in.Kernels.PPCGInitInner(theta) })
+	in.prof.TimeSweeps("ppcg_init_inner", 4*8*n, n, 1, func() { in.Kernels.PPCGInitInner(theta) })
 }
 
 // PPCGInnerIterate implements Kernels.
 func (in *Instrumented) PPCGInnerIterate(alpha, beta float64) {
 	n, _ := in.cells()
-	in.prof.Time("ppcg_inner_iterate", 11*8*n, 19*n, func() { in.Kernels.PPCGInnerIterate(alpha, beta) })
+	in.prof.TimeSweeps("ppcg_inner_iterate", 11*8*n, 19*n, 2, func() { in.Kernels.PPCGInnerIterate(alpha, beta) })
 }
 
 // PPCGFinishInner implements Kernels.
 func (in *Instrumented) PPCGFinishInner() {
 	n, _ := in.cells()
-	in.prof.Time("ppcg_finish_inner", 3*8*n, n, in.Kernels.PPCGFinishInner)
+	in.prof.TimeSweeps("ppcg_finish_inner", 3*8*n, n, 1, in.Kernels.PPCGFinishInner)
 }

@@ -16,11 +16,21 @@ import (
 
 // Entry accumulates one kernel's activity.
 type Entry struct {
-	Name  string
-	Calls int64
-	Time  time.Duration
-	Bytes int64 // memory traffic attributed to the kernel
-	Flops int64 // floating-point operations attributed to the kernel
+	Name   string
+	Calls  int64
+	Time   time.Duration
+	Bytes  int64 // memory traffic attributed to the kernel
+	Flops  int64 // floating-point operations attributed to the kernel
+	Sweeps int64 // full-field memory sweeps attributed to the kernel
+}
+
+// SweepsPerCall returns the kernel's average full-field sweeps per call —
+// the quantity kernel fusion reduces on a bandwidth-bound code.
+func (e *Entry) SweepsPerCall() float64 {
+	if e.Calls == 0 {
+		return 0
+	}
+	return float64(e.Sweeps) / float64(e.Calls)
 }
 
 // AchievedGBs returns the kernel's achieved bandwidth in GB/s.
@@ -51,6 +61,12 @@ func New() *Profile { return &Profile{entries: make(map[string]*Entry)} }
 
 // Observe records one kernel invocation.
 func (p *Profile) Observe(name string, d time.Duration, bytes, flops int64) {
+	p.ObserveSweeps(name, d, bytes, flops, 0)
+}
+
+// ObserveSweeps records one kernel invocation including its full-field
+// sweep count.
+func (p *Profile) ObserveSweeps(name string, d time.Duration, bytes, flops, sweeps int64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	e := p.entries[name]
@@ -62,14 +78,43 @@ func (p *Profile) Observe(name string, d time.Duration, bytes, flops int64) {
 	e.Time += d
 	e.Bytes += bytes
 	e.Flops += flops
+	e.Sweeps += sweeps
 }
 
 // Time runs fn, timing it under the kernel name with the given traffic
 // attribution.
 func (p *Profile) Time(name string, bytes, flops int64, fn func()) {
+	p.TimeSweeps(name, bytes, flops, 0, fn)
+}
+
+// TimeSweeps runs fn, timing it under the kernel name with the given
+// traffic and sweep attribution.
+func (p *Profile) TimeSweeps(name string, bytes, flops, sweeps int64, fn func()) {
 	start := time.Now()
 	fn()
-	p.Observe(name, time.Since(start), bytes, flops)
+	p.ObserveSweeps(name, time.Since(start), bytes, flops, sweeps)
+}
+
+// Lookup returns the accumulated entry for a kernel name.
+func (p *Profile) Lookup(name string) (Entry, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.entries[name]
+	if !ok {
+		return Entry{}, false
+	}
+	return *e, true
+}
+
+// TotalSweeps returns the profile-wide full-field sweep count.
+func (p *Profile) TotalSweeps() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var s int64
+	for _, e := range p.entries {
+		s += e.Sweeps
+	}
+	return s
 }
 
 // Entries returns the kernels sorted by descending total time.
@@ -121,15 +166,15 @@ func (p *Profile) AchievedGFLOPs() float64 {
 
 // Report writes a VTune-style per-kernel table.
 func (p *Profile) Report(w io.Writer) {
-	fmt.Fprintf(w, "%-28s %10s %12s %10s %10s\n", "kernel", "calls", "time", "GB/s", "GFLOP/s")
+	fmt.Fprintf(w, "%-28s %10s %12s %10s %10s %8s\n", "kernel", "calls", "time", "GB/s", "GFLOP/s", "sweeps")
 	for _, e := range p.Entries() {
-		fmt.Fprintf(w, "%-28s %10d %12s %10.2f %10.2f\n",
-			e.Name, e.Calls, e.Time.Round(time.Microsecond), e.AchievedGBs(), e.AchievedGFLOPs())
+		fmt.Fprintf(w, "%-28s %10d %12s %10.2f %10.2f %8d\n",
+			e.Name, e.Calls, e.Time.Round(time.Microsecond), e.AchievedGBs(), e.AchievedGFLOPs(), e.Sweeps)
 	}
 	d, bytes, flops := p.Totals()
-	fmt.Fprintf(w, "%-28s %10s %12s %10.2f %10.2f\n", "total", "",
+	fmt.Fprintf(w, "%-28s %10s %12s %10.2f %10.2f %8d\n", "total", "",
 		d.Round(time.Microsecond),
-		safeRate(bytes, d), safeRate(flops, d))
+		safeRate(bytes, d), safeRate(flops, d), p.TotalSweeps())
 }
 
 func safeRate(n int64, d time.Duration) float64 {

@@ -1,0 +1,139 @@
+package solver
+
+import (
+	"testing"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/config"
+	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
+	"github.com/warwick-hpsc/tealeaf-go/internal/grid"
+	"github.com/warwick-hpsc/tealeaf-go/internal/profiler"
+)
+
+// stubKernels is a minimal driver.Kernels that records which CG entry
+// points the solver dispatches into. Its reductions are chosen so one CG
+// iteration converges: rro = 1, pw = 1, and the post-update rr is tiny.
+type stubKernels struct {
+	calls []string
+}
+
+func (s *stubKernels) Name() string                              { return "stub" }
+func (s *stubKernels) Generate(*grid.Mesh, []config.State) error { return nil }
+func (s *stubKernels) SetField()                                 {}
+func (s *stubKernels) FieldSummary() driver.Totals               { return driver.Totals{} }
+func (s *stubKernels) HaloExchange([]driver.FieldID, int)        {}
+func (s *stubKernels) SolveInit(config.Coefficient, float64, float64, config.Preconditioner) {
+}
+func (s *stubKernels) SolveFinalise()       {}
+func (s *stubKernels) ResetField()          {}
+func (s *stubKernels) CalcResidual()        {}
+func (s *stubKernels) Norm2R() float64      { return 1 }
+func (s *stubKernels) DotRZ() float64       { return 1 }
+func (s *stubKernels) ApplyPrecond()        {}
+func (s *stubKernels) CGInitP(bool) float64 { return 1 }
+func (s *stubKernels) CGCalcW() float64 {
+	s.calls = append(s.calls, "CGCalcW")
+	return 1
+}
+func (s *stubKernels) CGCalcUR(float64, bool) float64 {
+	s.calls = append(s.calls, "CGCalcUR")
+	return 1e-30
+}
+func (s *stubKernels) CGCalcP(float64, bool)               {}
+func (s *stubKernels) JacobiCopyU()                        {}
+func (s *stubKernels) JacobiIterate() float64              { return 0 }
+func (s *stubKernels) ChebyInit(float64, bool)             {}
+func (s *stubKernels) ChebyIterate(float64, float64, bool) {}
+func (s *stubKernels) PPCGInitInner(float64)               {}
+func (s *stubKernels) PPCGInnerIterate(float64, float64)   {}
+func (s *stubKernels) PPCGFinishInner()                    {}
+func (s *stubKernels) FetchField(driver.FieldID) []float64 { return nil }
+func (s *stubKernels) Close()                              {}
+
+// fusedStub additionally advertises both fused capabilities.
+type fusedStub struct {
+	stubKernels
+}
+
+func (s *fusedStub) CGCalcWFused() float64 {
+	s.calls = append(s.calls, "CGCalcWFused")
+	return 1
+}
+
+func (s *fusedStub) CGCalcURFused(float64, bool) float64 {
+	s.calls = append(s.calls, "CGCalcURFused")
+	return 1e-30
+}
+
+var cgOpts = Options{Solver: config.SolverCG, Eps: 1e-10, MaxIters: 5}
+
+// TestCGDispatchFusedPath: a port advertising the fused capabilities must
+// have its fused entry points driven and its plain CGCalcW/CGCalcUR never
+// called from the CG loop.
+func TestCGDispatchFusedPath(t *testing.T) {
+	k := &fusedStub{}
+	st, err := Solve(k, cgOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged || st.Iterations != 1 {
+		t.Fatalf("stub solve: %+v", st)
+	}
+	want := []string{"CGCalcWFused", "CGCalcURFused"}
+	if len(k.calls) != len(want) || k.calls[0] != want[0] || k.calls[1] != want[1] {
+		t.Errorf("fused port drove %v, want %v", k.calls, want)
+	}
+}
+
+// TestCGDispatchFallbackPath: a port without the fused interfaces must fall
+// back to the separate kernels transparently.
+func TestCGDispatchFallbackPath(t *testing.T) {
+	k := &stubKernels{}
+	st, err := Solve(k, cgOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged || st.Iterations != 1 {
+		t.Fatalf("stub solve: %+v", st)
+	}
+	want := []string{"CGCalcW", "CGCalcUR"}
+	if len(k.calls) != len(want) || k.calls[0] != want[0] || k.calls[1] != want[1] {
+		t.Errorf("plain port drove %v, want %v", k.calls, want)
+	}
+}
+
+// TestCGDispatchDisableFusion: the control arm must force the unfused
+// kernels even when the port is fused-capable.
+func TestCGDispatchDisableFusion(t *testing.T) {
+	k := &fusedStub{}
+	opt := cgOpts
+	opt.DisableFusion = true
+	if _, err := Solve(k, opt); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"CGCalcW", "CGCalcUR"}
+	if len(k.calls) != len(want) || k.calls[0] != want[0] || k.calls[1] != want[1] {
+		t.Errorf("DisableFusion drove %v, want %v", k.calls, want)
+	}
+}
+
+// TestFusedDetectionThroughWrapper guards the classic embedding pitfall: a
+// wrapper that embeds driver.Kernels structurally satisfies the fused
+// interfaces even when the wrapped port does not, so capability detection
+// must consult the wrapper's CapabilityReporter, not a bare type assertion.
+func TestFusedDetectionThroughWrapper(t *testing.T) {
+	prof := profiler.New()
+
+	plain := driver.Instrument(&stubKernels{}, prof)
+	if driver.AsFusedWDot(plain) != nil || driver.AsFusedURPrecond(plain) != nil {
+		t.Error("instrumented plain port must not report fused capabilities")
+	}
+	path := newCGPath(plain, cgOpts)
+	if path.fw != nil || path.fur != nil {
+		t.Error("cgPath resolved fused entry points through a plain wrapper")
+	}
+
+	fused := driver.Instrument(&fusedStub{}, prof)
+	if driver.AsFusedWDot(fused) == nil || driver.AsFusedURPrecond(fused) == nil {
+		t.Error("instrumented fused port must keep its fused capabilities")
+	}
+}

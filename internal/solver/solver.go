@@ -24,6 +24,10 @@ type Options struct {
 	Precond        bool // diagonal (Jacobi) preconditioning for CG/Chebyshev
 	PPCGInnerSteps int
 	EigenCGIters   int // CG iterations used to bootstrap eigenvalue estimates
+	// DisableFusion forces the unfused CG kernels even on ports that
+	// advertise the fused capabilities — the control arm for fusion
+	// benchmarks and the fused ≡ unfused equivalence tests.
+	DisableFusion bool
 }
 
 // FromConfig extracts the solve options from a run configuration.
@@ -89,18 +93,55 @@ func converged(err, initial, eps float64) bool {
 
 var errIndefinite = fmt.Errorf("solver: operator appears indefinite (CG breakdown)")
 
+// cgPath binds the kernel entry points one CG iteration uses: the fused
+// capabilities when the port advertises them (and fusion is enabled), the
+// plain kernels otherwise. Resolving once per solve keeps the per-iteration
+// dispatch free of interface probing.
+type cgPath struct {
+	k   driver.Kernels
+	fw  driver.FusedWDot
+	fur driver.FusedURPrecond
+}
+
+func newCGPath(k driver.Kernels, opt Options) cgPath {
+	p := cgPath{k: k}
+	if !opt.DisableFusion {
+		p.fw = driver.AsFusedWDot(k)
+		p.fur = driver.AsFusedURPrecond(k)
+	}
+	return p
+}
+
+// calcW computes w = A p and returns p·w, in one sweep when fused.
+func (p cgPath) calcW() float64 {
+	if p.fw != nil {
+		return p.fw.CGCalcWFused()
+	}
+	return p.k.CGCalcW()
+}
+
+// calcUR updates u and r and returns the new rr (r·z preconditioned), in
+// one sweep when fused.
+func (p cgPath) calcUR(alpha float64, precond bool) float64 {
+	if p.fur != nil {
+		return p.fur.CGCalcURFused(alpha, precond)
+	}
+	return p.k.CGCalcUR(alpha, precond)
+}
+
 // cgIteration performs one CG iteration and returns the new rr. The alpha
 // and beta used are appended to the provided slices when they are non-nil
 // (the eigenvalue bootstrap records them).
-func cgIteration(k driver.Kernels, precond bool, rro float64, alphas, betas *[]float64, st *Stats) (float64, error) {
+func cgIteration(path cgPath, precond bool, rro float64, alphas, betas *[]float64, st *Stats) (float64, error) {
+	k := path.k
 	k.HaloExchange([]driver.FieldID{driver.FieldP}, 1)
 	st.HaloExchanges++
-	pw := k.CGCalcW()
+	pw := path.calcW()
 	if pw == 0 || math.IsNaN(pw) {
 		return 0, errIndefinite
 	}
 	alpha := rro / pw
-	rrn := k.CGCalcUR(alpha, precond)
+	rrn := path.calcUR(alpha, precond)
 	beta := rrn / rro
 	k.CGCalcP(beta, precond)
 	if alphas != nil {
@@ -115,6 +156,7 @@ func cgIteration(k driver.Kernels, precond bool, rro float64, alphas, betas *[]f
 
 func solveCG(k driver.Kernels, opt Options) (Stats, error) {
 	var st Stats
+	path := newCGPath(k, opt)
 	rro := k.CGInitP(opt.Precond)
 	st.InitialError = rro
 	st.Error = rro
@@ -123,7 +165,7 @@ func solveCG(k driver.Kernels, opt Options) (Stats, error) {
 		return st, nil
 	}
 	for st.Iterations < opt.MaxIters {
-		rrn, err := cgIteration(k, opt.Precond, rro, nil, nil, &st)
+		rrn, err := cgIteration(path, opt.Precond, rro, nil, nil, &st)
 		if err != nil {
 			return st, err
 		}
@@ -163,6 +205,7 @@ func solveJacobi(k driver.Kernels, opt Options) (Stats, error) {
 // opt.EigenCGIters iterations, recording alphas and betas. It may converge
 // outright, in which case done is true.
 func bootstrapCG(k driver.Kernels, opt Options, st *Stats) (rro float64, alphas, betas []float64, done bool, err error) {
+	path := newCGPath(k, opt)
 	rro = k.CGInitP(opt.Precond)
 	st.InitialError = rro
 	st.Error = rro
@@ -178,7 +221,7 @@ func bootstrapCG(k driver.Kernels, opt Options, st *Stats) (rro float64, alphas,
 		iters = opt.MaxIters
 	}
 	for n := 0; n < iters; n++ {
-		rrn, cgErr := cgIteration(k, opt.Precond, rro, &alphas, &betas, st)
+		rrn, cgErr := cgIteration(path, opt.Precond, rro, &alphas, &betas, st)
 		if cgErr != nil {
 			return rro, alphas, betas, false, cgErr
 		}
@@ -287,16 +330,17 @@ func solvePPCG(k driver.Kernels, opt Options) (Stats, error) {
 	}
 
 	applyPoly()
+	path := newCGPath(k, opt)
 	rro := k.CGInitP(true) // p = z, rro = r.z
 	for st.Iterations < opt.MaxIters {
 		k.HaloExchange([]driver.FieldID{driver.FieldP}, 1)
 		st.HaloExchanges++
-		pw := k.CGCalcW()
+		pw := path.calcW()
 		if pw == 0 || math.IsNaN(pw) {
 			return st, errIndefinite
 		}
 		alpha := rro / pw
-		rrTrue := k.CGCalcUR(alpha, false) // plain r.r for the convergence test
+		rrTrue := path.calcUR(alpha, false) // plain r.r for the convergence test
 		st.Iterations++
 		st.Error = rrTrue
 		if converged(rrTrue, st.InitialError, opt.Eps) {
