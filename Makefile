@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench-par bench-cg bench
+.PHONY: build test race chaos fuzz bench-par bench-cg bench
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,22 @@ test: build
 # pooled payload buffers in internal/comm, and every consumer of both.
 race:
 	$(GO) test -race ./internal/par/... ./internal/comm/... ./internal/backends/...
+
+# chaos runs the resilience suite under the race detector: the comm fault
+# injector and recovery latch, the chaos kernel wrapper, checkpoint/restore,
+# the solver breakdown/fallback paths, the resilient run loop, and the
+# per-port ChaosConformance drills (fault schedule + rollback must match a
+# fault-free run to 1e-12).
+chaos:
+	$(GO) test -race ./internal/chaos/... ./internal/checkpoint/...
+	$(GO) test -race -run 'Chaos|Fault|Resilien|Breakdown|Fallback|Restart|Recover|Watchdog|Kill|NaN|Divergence' \
+		./internal/comm/... ./internal/solver/... ./internal/driver/... \
+		./internal/backends/... ./internal/registry/...
+
+# fuzz exercises the deck parser against its checked-in corpus plus 30s of
+# new coverage-guided inputs.
+fuzz:
+	$(GO) test -fuzz FuzzParseReader -fuzztime 30s ./internal/config/
 
 # bench-par measures the fork-join runtime itself: dispatch latency (epoch
 # barrier vs the legacy channel-per-worker path), the 256² cg_calc_w-shaped

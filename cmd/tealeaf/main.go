@@ -16,9 +16,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"github.com/warwick-hpsc/tealeaf-go/internal/backends/serial"
+	"github.com/warwick-hpsc/tealeaf-go/internal/chaos"
 	"github.com/warwick-hpsc/tealeaf-go/internal/config"
 	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
 	"github.com/warwick-hpsc/tealeaf-go/internal/grid"
@@ -33,6 +35,22 @@ func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "tealeaf:", err)
 		os.Exit(1)
+	}
+}
+
+// solverKind maps a tea.in solver keyword to its SolverKind, for -fallback.
+func solverKind(name string) (config.SolverKind, error) {
+	switch name {
+	case "cg":
+		return config.SolverCG, nil
+	case "jacobi":
+		return config.SolverJacobi, nil
+	case "chebyshev":
+		return config.SolverChebyshev, nil
+	case "ppcg":
+		return config.SolverPPCG, nil
+	default:
+		return 0, fmt.Errorf("unknown fallback solver %q (want cg, jacobi, chebyshev or ppcg)", name)
 	}
 }
 
@@ -52,6 +70,13 @@ func run() error {
 		visit     = flag.String("visit", "", "write the final density/energy/temperature fields to this .vtk file")
 		list      = flag.Bool("list", false, "list versions and benchmark decks, then exit")
 		dump      = flag.Bool("dump-config", false, "print the resolved configuration, then exit")
+
+		ckEvery    = flag.Int("checkpoint-every", 0, "steps between recovery checkpoints (0: resilience off)")
+		ckFile     = flag.String("checkpoint-file", "", "mirror checkpoints to this file (CRC-validated)")
+		resume     = flag.Bool("resume", false, "resume from -checkpoint-file if it exists")
+		maxRetries = flag.Int("max-retries", 3, "consecutive failed step attempts before giving up")
+		faultSpec  = flag.String("fault-spec", "", "inject kernel faults, e.g. \"panic@2.5;nan@3.3\" (kind@step.call)")
+		fallback   = flag.String("fallback", "", "comma-separated solver fallback chain on breakdown, e.g. \"jacobi\"")
 	)
 	flag.Parse()
 
@@ -110,16 +135,53 @@ func run() error {
 		prof = profiler.New()
 		kernels = driver.Instrument(k, prof)
 	}
+	var injected *chaos.Kernels
+	if *faultSpec != "" {
+		if *ckEvery <= 0 {
+			return fmt.Errorf("-fault-spec needs -checkpoint-every N: without checkpoints an injected fault just crashes the run")
+		}
+		faults, err := chaos.ParseSpec(*faultSpec)
+		if err != nil {
+			return err
+		}
+		injected = chaos.Wrap(kernels, faults)
+		kernels = injected
+	}
+
+	opt := solver.FromConfig(&cfg)
+	if *fallback != "" {
+		for _, name := range strings.Split(*fallback, ",") {
+			kind, err := solverKind(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			opt.Fallback = append(opt.Fallback, kind)
+		}
+		// A degradation chain implies restart-from-iterate is wanted too.
+		opt.MaxRestarts = 1
+	}
+	pol := driver.RecoveryPolicy{
+		CheckpointEvery: *ckEvery,
+		MaxRetries:      *maxRetries,
+		CheckpointPath:  *ckFile,
+		Resume:          *resume,
+	}
 
 	fmt.Printf("TeaLeaf-Go  version=%s  mesh=%dx%d  solver=%s  eps=%g\n",
 		v.Name, cfg.NX, cfg.NY, cfg.Solver, cfg.Eps)
 	start := time.Now()
-	res, err := driver.Run(cfg, kernels, solver.New(solver.FromConfig(&cfg)), os.Stdout)
+	res, err := driver.RunResilient(cfg, kernels, solver.New(opt), os.Stdout, pol)
 	if err != nil {
 		return err
 	}
 	wall := time.Since(start)
 	fmt.Printf("wall clock %12s   total iterations %d\n", wall.Round(time.Microsecond), res.TotalIterations)
+	if res.Recoveries > 0 {
+		fmt.Printf("recovered from %d failed step attempt(s) via checkpoint rollback\n", res.Recoveries)
+	}
+	if injected != nil {
+		fmt.Printf("chaos: %d of %d scheduled faults fired\n", injected.Fired(), len(strings.Split(*faultSpec, ";")))
+	}
 
 	if prof != nil {
 		fmt.Println()

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"github.com/warwick-hpsc/tealeaf-go/internal/backends/serial"
+	"github.com/warwick-hpsc/tealeaf-go/internal/chaos"
 	"github.com/warwick-hpsc/tealeaf-go/internal/config"
 	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
 	"github.com/warwick-hpsc/tealeaf-go/internal/solver"
@@ -123,6 +124,72 @@ func FusionEquivalence(t *testing.T, factory Factory) {
 			if d := mustCompare(t, unfused.Final, fused.Final); d > 1e-12 {
 				t.Errorf("fused and unfused paths diverge by %g:\n   fused %+v\nunfused %+v",
 					d, fused.Final, unfused.Final)
+			}
+		})
+	}
+}
+
+// ChaosConformance is the resilience half of the conformance contract: the
+// port runs the same deck under a deterministic fault schedule — in-kernel
+// panics and NaN-poisoned reductions injected by the chaos wrapper — with
+// checkpoint/rollback recovery, and the recovered result must match the
+// fault-free run of the same port to 1e-12 relative. That tolerance is only
+// achievable because injected faults are one-shot: the replayed step after a
+// rollback re-executes bit-identically, so recovery is exact, not merely
+// approximate.
+//
+// The fault coordinates are kind@stepExecution.kernelCall against the CG
+// step shape (call 1 halo, 2 solve-init, 3 CGInitP, 4 halo(p), 5 w=Ap, ...),
+// and executions count every attempt, so a fault at execution N perturbs the
+// run once and the following execution is its clean replay.
+func ChaosConformance(t *testing.T, factory Factory) {
+	cfg := config.BenchmarkN(16)
+	cfg.EndStep = 3
+
+	ref := Run(t, factory, cfg)
+
+	cases := []struct {
+		name string
+		spec string
+		// minimum recoveries the schedule must force (each fired fault
+		// fails one step execution).
+		recoveries int
+	}{
+		// A panic out of the w = A p sweep of step 2 — the shape of a comm
+		// RankError or any in-kernel crash.
+		{"PanicMidSolve", "panic@2.5", 1},
+		// CGInitP of step 2 reports NaN: the solver's reduction guard turns
+		// it into ErrBreakdown, which escalates to the driver and rolls back.
+		{"NaNReduction", "nan@2.3", 1},
+		// Both, in sequence: execution 2 (sim step 2) dies, execution 3
+		// replays it clean, execution 4 (sim step 3) is poisoned, execution 5
+		// replays it clean.
+		{"PanicThenNaN", "panic@2.5;nan@4.3", 2},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			faults, err := chaos.ParseSpec(tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := factory()
+			defer k.Close()
+			c := chaos.Wrap(k, faults)
+			res, err := driver.RunResilient(cfg, c, solver.New(solver.FromConfig(&cfg)), nil,
+				driver.RecoveryPolicy{CheckpointEvery: 1, MaxRetries: 3})
+			if err != nil {
+				t.Fatalf("%s did not recover from %q: %v", k.Name(), tc.spec, err)
+			}
+			if c.Fired() != len(faults) {
+				t.Fatalf("%d of %d scheduled faults fired — the schedule missed its coordinates", c.Fired(), len(faults))
+			}
+			if res.Recoveries < tc.recoveries {
+				t.Fatalf("recoveries = %d, want >= %d", res.Recoveries, tc.recoveries)
+			}
+			if d := mustCompare(t, ref.Final, res.Final); d > 1e-12 {
+				t.Errorf("recovered run diverges from the fault-free run by %g:\n      got %+v\nfault-free %+v",
+					d, res.Final, ref.Final)
 			}
 		})
 	}

@@ -701,6 +701,19 @@ func (c *Chunk) FetchField(id driver.FieldID) []float64 {
 	return out
 }
 
+// RestoreField implements driver.FieldRestorer: copy the field down, patch
+// the interior on the host, copy it back up — FetchField's inverse.
+func (c *Chunk) RestoreField(id driver.FieldID, data []float64) {
+	buf := c.byID[id]
+	host := make([]float64, c.stride*c.rows)
+	c.dev.MemcpyD2H(host, buf) // preserve halo cells around the patched interior
+	for j := 0; j < c.ny; j++ {
+		row := (j + halo) * c.stride
+		copy(host[row+halo:row+halo+c.nx], data[j*c.nx:(j+1)*c.nx])
+	}
+	c.dev.MemcpyH2D(buf, host)
+}
+
 // Close implements driver.Kernels.
 func (c *Chunk) Close() {
 	if c.ownDev {

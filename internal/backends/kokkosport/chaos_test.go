@@ -1,0 +1,13 @@
+package kokkosport
+
+import (
+	"testing"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/backends/backendtest"
+	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
+	"github.com/warwick-hpsc/tealeaf-go/internal/kokkos"
+)
+
+func TestChaosConformance(t *testing.T) {
+	backendtest.ChaosConformance(t, func() driver.Kernels { return New(kokkos.NewOpenMP(2)) })
+}

@@ -476,5 +476,20 @@ func (c *Chunk) FetchField(id driver.FieldID) []float64 {
 	return out
 }
 
+// RestoreField implements driver.FieldRestorer: mirror + deep_copy down,
+// patch the interior on the host mirror, deep_copy back — the canonical
+// Kokkos write-back (the read-back's inverse).
+func (c *Chunk) RestoreField(id driver.FieldID, data []float64) {
+	v := c.byID[id]
+	host := kokkos.CreateMirror(v)
+	kokkos.DeepCopy(host, v) // preserve halo cells around the patched interior
+	for j := 0; j < c.ny; j++ {
+		for i := 0; i < c.nx; i++ {
+			host.Set(j+halo, i+halo, data[j*c.nx+i])
+		}
+	}
+	kokkos.DeepCopy(v, host)
+}
+
 // Close implements driver.Kernels.
 func (c *Chunk) Close() { c.space.Close() }

@@ -1,0 +1,16 @@
+package mpi
+
+import (
+	"testing"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/backends/backendtest"
+	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
+)
+
+func TestChaosConformance(t *testing.T) {
+	backendtest.ChaosConformance(t, func() driver.Kernels { return New(2, 1) })
+}
+
+func TestChaosConformanceHybrid(t *testing.T) {
+	backendtest.ChaosConformance(t, func() driver.Kernels { return New(2, 2) })
+}

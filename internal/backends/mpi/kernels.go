@@ -697,6 +697,17 @@ const (
 
 // fetchField gathers the named field's interior onto rank 0 in global
 // row-major order; other ranks return nil.
+// restoreField is fetchField's inverse. Every rank sees the same global
+// slab (captured by the do() closure), so each simply copies out its own
+// chunk window — no gather/scatter messaging at all.
+func (rs *rankState) restoreField(id driver.FieldID, data []float64) {
+	f := rs.fieldsByID[id]
+	for j := 0; j < rs.ny; j++ {
+		src := data[(rs.chunk.Y0+j)*rs.gnx+rs.chunk.X0:]
+		copy(f.InteriorRow(j), src[:rs.nx])
+	}
+}
+
 func (rs *rankState) fetchField(id driver.FieldID) []float64 {
 	f := rs.fieldsByID[id]
 	local := make([]float64, 0, rs.nx*rs.ny)

@@ -92,16 +92,59 @@ func (p *Port) Ranks() int { return p.nranks }
 // Threads returns the per-rank team width, for reporting.
 func (p *Port) Threads() int { return p.threads }
 
+// World exposes the port's communication world so callers can install a
+// fault injector or a collective deadline (comm.World.SetFaultInjector /
+// SetCollectiveTimeout) before driving the port.
+func (p *Port) World() *comm.World { return p.world }
+
 // do runs fn on every rank and waits for all of them to finish.
+//
+// Each rank execution is panic-contained: a failing rank (a comm-layer
+// fault, an invalid-rank send, a real bug) records the first failure in the
+// world's abort latch — which also unblocks peers stuck in a receive or
+// barrier — while the deferred Done keeps the call group balanced, so the
+// rank goroutines stay alive for a later retry instead of dying with a
+// half-finished WaitGroup. After all ranks return, a recorded failure is
+// re-panicked as a structured *comm.RankError on the driver goroutine; the
+// resilient run loop (driver.RunResilient) converts it into a step failure
+// and rolls back, after do has drained stale results and Reset the world so
+// the port is immediately reusable.
 func (p *Port) do(fn func(rs *rankState)) {
 	p.calls.Add(p.nranks)
 	for _, ch := range p.cmds {
 		ch <- func(rs *rankState) {
+			defer p.calls.Done()
+			defer func() {
+				if pv := recover(); pv != nil {
+					if re, ok := pv.(*comm.RankError); ok {
+						p.world.Abort(re)
+						return
+					}
+					p.world.Abort(&comm.RankError{Rank: rs.rank.ID(), Step: rs.rank.Ops(), Cause: pv})
+				}
+			}()
 			fn(rs)
-			p.calls.Done()
 		}
 	}
 	p.calls.Wait()
+	if err := p.world.Err(); err != nil {
+		// Throw away any result a rank managed to post before the failure
+		// and re-arm the world so the next command starts clean.
+		select {
+		case <-p.resF:
+		default:
+		}
+		select {
+		case <-p.resT:
+		default:
+		}
+		select {
+		case <-p.resE:
+		default:
+		}
+		p.world.Reset()
+		panic(err)
+	}
 }
 
 // doReduce runs fn on every rank, allreduces the per-rank partials and
@@ -248,6 +291,12 @@ func (p *Port) FetchField(id driver.FieldID) []float64 {
 		}
 	})
 	return <-res
+}
+
+// RestoreField implements driver.FieldRestorer: every rank scatters its own
+// chunk window out of the shared global slab.
+func (p *Port) RestoreField(id driver.FieldID, data []float64) {
+	p.do(func(rs *rankState) { rs.restoreField(id, data) })
 }
 
 // Close implements driver.Kernels: shut down the rank goroutines.

@@ -1,0 +1,119 @@
+package mpi
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/comm"
+	"github.com/warwick-hpsc/tealeaf-go/internal/config"
+	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
+	"github.com/warwick-hpsc/tealeaf-go/internal/solver"
+)
+
+// TestPortRecoversInjectedKill is the end-to-end comm-fault drill: a rank is
+// killed mid-solve by the injector, the port contains the failure (peers
+// unblocked by the world abort, rank goroutines kept alive), the resilient
+// driver rolls back to the last checkpoint and replays, and the completed
+// run matches a fault-free reference to 1e-12.
+func TestPortRecoversInjectedKill(t *testing.T) {
+	cfg := config.BenchmarkN(24)
+	cfg.EndStep = 3
+
+	clean := New(4, 1)
+	defer clean.Close()
+	ref, err := driver.Run(cfg, clean, solver.New(solver.FromConfig(&cfg)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := New(4, 1)
+	defer p.Close()
+	sched := comm.NewSchedule(7)
+	sched.Rules = []comm.Rule{{Action: comm.ActKill, Rank: 1, Op: 150, Tag: -1}}
+	p.World().SetFaultInjector(sched)
+	p.World().SetCollectiveTimeout(5 * time.Second)
+
+	res, err := driver.RunResilient(cfg, p, solver.New(solver.FromConfig(&cfg)), nil,
+		driver.RecoveryPolicy{CheckpointEvery: 1, MaxRetries: 3})
+	if err != nil {
+		t.Fatalf("resilient run failed: %v", err)
+	}
+	if res.Recoveries == 0 {
+		t.Fatal("the injected kill never caused a recovery — op coordinate missed the solve")
+	}
+	d, err := driver.CompareTotalsChecked(res.Final, ref.Final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 1e-12 {
+		t.Errorf("recovered run differs from fault-free run by %g (tolerance 1e-12)", d)
+	}
+}
+
+// TestPortKillWithoutRecoveryIsStructuredError: without a recovery policy
+// the same kill must surface as a *comm.RankError through the panic-contained
+// step (not a deadlock, not a process crash).
+func TestPortKillWithoutRecoveryIsStructuredError(t *testing.T) {
+	cfg := config.BenchmarkN(24)
+	cfg.EndStep = 3
+
+	p := New(4, 1)
+	defer p.Close()
+	sched := comm.NewSchedule(7)
+	sched.Rules = []comm.Rule{{Action: comm.ActKill, Rank: 1, Op: 150, Tag: -1}}
+	p.World().SetFaultInjector(sched)
+	p.World().SetCollectiveTimeout(5 * time.Second)
+
+	defer func() {
+		p.World().Reset()
+		if pv := recover(); pv == nil {
+			t.Error("expected the kill to panic out of the unprotected run")
+		} else {
+			err, ok := pv.(error)
+			if !ok {
+				t.Fatalf("panic payload %v is not an error", pv)
+			}
+			var re *comm.RankError
+			if !errors.As(err, &re) || re.Rank != 1 {
+				t.Errorf("panic %v is not a RankError for rank 1", err)
+			}
+			if !errors.Is(err, comm.ErrKilled) {
+				t.Errorf("panic %v does not wrap ErrKilled", err)
+			}
+		}
+	}()
+	_, _ = driver.Run(cfg, p, solver.New(solver.FromConfig(&cfg)), nil)
+}
+
+// TestPortReusableAfterRecoveredFailure: after a contained failure and the
+// do()-side world reset, the same port instance must complete a fresh solve.
+func TestPortReusableAfterRecoveredFailure(t *testing.T) {
+	cfg := config.BenchmarkN(16)
+	cfg.EndStep = 2
+
+	p := New(2, 1)
+	defer p.Close()
+	sched := comm.NewSchedule(3)
+	sched.Rules = []comm.Rule{{Action: comm.ActKill, Rank: 0, Op: 60, Tag: -1}}
+	p.World().SetFaultInjector(sched)
+	p.World().SetCollectiveTimeout(5 * time.Second)
+
+	res, err := driver.RunResilient(cfg, p, solver.New(solver.FromConfig(&cfg)), nil,
+		driver.RecoveryPolicy{CheckpointEvery: 1, MaxRetries: 3})
+	if err != nil {
+		t.Fatalf("first run did not recover: %v", err)
+	}
+	if res.Recoveries == 0 {
+		t.Fatal("kill at op 60 did not fire during the run")
+	}
+
+	// The schedule is spent (one-shot); the same port runs clean now.
+	res2, err := driver.Run(cfg, p, solver.New(solver.FromConfig(&cfg)), nil)
+	if err != nil {
+		t.Fatalf("port not reusable after recovery: %v", err)
+	}
+	if d := driver.CompareTotals(res.Final, res2.Final); d > 1e-12 {
+		t.Errorf("re-run differs by %g", d)
+	}
+}

@@ -1,0 +1,12 @@
+package omp
+
+import (
+	"testing"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/backends/backendtest"
+	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
+)
+
+func TestChaosConformance(t *testing.T) {
+	backendtest.ChaosConformance(t, func() driver.Kernels { return New(2) })
+}

@@ -599,5 +599,14 @@ func (c *Chunk) FetchField(id driver.FieldID) []float64 {
 	return out
 }
 
+// RestoreField implements driver.FieldRestorer: the write-path inverse of
+// FetchField, used by checkpoint rollback.
+func (c *Chunk) RestoreField(id driver.FieldID, data []float64) {
+	f := c.fieldsByID[id]
+	c.forRows(func(j int) {
+		copy(f.InteriorRow(j), data[j*c.nx:(j+1)*c.nx])
+	})
+}
+
 // Close implements driver.Kernels.
 func (c *Chunk) Close() { c.team.Close() }

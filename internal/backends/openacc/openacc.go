@@ -618,5 +618,15 @@ func (c *Chunk) FetchField(id driver.FieldID) []float64 {
 	return out
 }
 
+// RestoreField implements driver.FieldRestorer: a host write followed by an
+// `acc update device` of the field (counted as host→device traffic).
+func (c *Chunk) RestoreField(id driver.FieldID, data []float64) {
+	f := c.fieldsByID[id]
+	for j := 0; j < c.ny; j++ {
+		copy(f.InteriorRow(j), data[j*c.nx:(j+1)*c.nx])
+	}
+	c.enterData(f)
+}
+
 // Close implements driver.Kernels.
 func (c *Chunk) Close() { c.team.Close() }

@@ -1,0 +1,16 @@
+package opsport
+
+import (
+	"testing"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/backends/backendtest"
+	"github.com/warwick-hpsc/tealeaf-go/internal/ops"
+)
+
+func TestChaosConformanceOpenMP(t *testing.T) {
+	backendtest.ChaosConformance(t, factory(t, Options{Backend: ops.BackendOpenMP, Threads: 2}))
+}
+
+func TestChaosConformanceMPI(t *testing.T) {
+	backendtest.ChaosConformance(t, factory(t, Options{Backend: ops.BackendSerial, Ranks: 2}))
+}

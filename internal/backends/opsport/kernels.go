@@ -704,6 +704,22 @@ const (
 
 // fetchField gathers the dat's interior onto rank 0 in global row-major
 // order (downloading from the device first on the CUDA backend).
+// restoreField is fetchField's inverse. Every rank sees the same global
+// slab (captured by the do() closure), so each writes its own chunk window
+// into its dat and re-uploads — no gather/scatter messaging at all.
+func (rs *rankState) restoreField(id driver.FieldID, data []float64) {
+	rs.ctx.Flush()
+	d := rs.byID[id]
+	d.Download()
+	for j := 0; j < rs.ny; j++ {
+		row := data[(rs.chunk.Y0+j)*rs.gnx+rs.chunk.X0:]
+		for i := 0; i < rs.nx; i++ {
+			d.Set(i, j, row[i])
+		}
+	}
+	d.Upload()
+}
+
 func (rs *rankState) fetchField(id driver.FieldID) []float64 {
 	rs.ctx.Flush()
 	d := rs.byID[id]

@@ -315,5 +315,11 @@ func (p *Port) FetchField(id driver.FieldID) []float64 {
 	return <-res
 }
 
+// RestoreField implements driver.FieldRestorer: every rank scatters its own
+// chunk window out of the shared global slab.
+func (p *Port) RestoreField(id driver.FieldID, data []float64) {
+	p.do(func(rs *rankState) { rs.restoreField(id, data) })
+}
+
 // Close implements driver.Kernels.
 func (p *Port) Close() { p.closeChannels() }

@@ -1,0 +1,13 @@
+package rajaport
+
+import (
+	"testing"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/backends/backendtest"
+	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
+	"github.com/warwick-hpsc/tealeaf-go/internal/raja"
+)
+
+func TestChaosConformance(t *testing.T) {
+	backendtest.ChaosConformance(t, func() driver.Kernels { return New(raja.NewOmp(2)) })
+}

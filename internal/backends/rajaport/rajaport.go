@@ -488,5 +488,15 @@ func (c *Chunk) FetchField(id driver.FieldID) []float64 {
 	return out
 }
 
+// RestoreField implements driver.FieldRestorer: the write-path inverse of
+// FetchField, used by checkpoint rollback.
+func (c *Chunk) RestoreField(id driver.FieldID, data []float64) {
+	f := c.byID[id]
+	for j := 0; j < c.ny; j++ {
+		row := (j + halo) * c.stride
+		copy(f[row+halo:row+halo+c.nx], data[j*c.nx:(j+1)*c.nx])
+	}
+}
+
 // Close implements driver.Kernels.
 func (c *Chunk) Close() { c.pol.Close() }

@@ -1,0 +1,15 @@
+// Chaos conformance for the serial reference port, in an external test
+// package for the same import-cycle reason as the fusion check.
+package serial_test
+
+import (
+	"testing"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/backends/backendtest"
+	"github.com/warwick-hpsc/tealeaf-go/internal/backends/serial"
+	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
+)
+
+func TestChaosConformance(t *testing.T) {
+	backendtest.ChaosConformance(t, func() driver.Kernels { return serial.New() })
+}

@@ -1,0 +1,254 @@
+// Package checkpoint provides the solve pipeline's durable state snapshots:
+// a Checkpoint captures the persistent per-step state of a run — step
+// number, simulation time and the field data that carries across steps — in
+// a CRC-validated binary encoding usable both in memory (rollback after a
+// failed step) and on disk (restart after a process death).
+//
+// The package is deliberately free of solver/driver dependencies: fields
+// are keyed by small integer IDs (the driver's FieldID values), so the
+// encoding is stable even as the kernel contract evolves.
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// magic identifies the checkpoint container and its version. Bump the
+// trailing digit on any incompatible layout change.
+var magic = [8]byte{'T', 'L', 'C', 'K', 'P', 'T', '0', '1'}
+
+// castagnoli is the CRC-32C table; hardware-accelerated on all targets Go
+// supports, so validation cost is negligible next to the field copies.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports a checkpoint whose payload failed CRC or structural
+// validation. A corrupt checkpoint must never be restored silently; callers
+// fall back to the previous checkpoint or a cold start.
+var ErrCorrupt = errors.New("checkpoint: corrupt or truncated data")
+
+// FieldData is one saved field: the driver's FieldID and the field's
+// interior cells in row-major order.
+type FieldData struct {
+	ID   int
+	Data []float64
+}
+
+// Checkpoint is one recovery point of a run.
+type Checkpoint struct {
+	Step   int     // last completed step
+	Time   float64 // simulation time after that step
+	NX, NY int     // interior mesh extent the field data is shaped for
+	Fields []FieldData
+}
+
+// Field returns the data saved under id, or nil.
+func (c *Checkpoint) Field(id int) []float64 {
+	for _, f := range c.Fields {
+		if f.ID == id {
+			return f.Data
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy, so an in-memory recovery point cannot be
+// mutated by the running simulation it was captured from.
+func (c *Checkpoint) Clone() *Checkpoint {
+	out := &Checkpoint{Step: c.Step, Time: c.Time, NX: c.NX, NY: c.NY}
+	out.Fields = make([]FieldData, len(c.Fields))
+	for i, f := range c.Fields {
+		d := make([]float64, len(f.Data))
+		copy(d, f.Data)
+		out.Fields[i] = FieldData{ID: f.ID, Data: d}
+	}
+	return out
+}
+
+// payloadSize returns the encoded payload length in bytes (everything
+// between the magic and the trailing CRC).
+func (c *Checkpoint) payloadSize() int {
+	n := 8 + 8 + 8 + 8 + 8 // step, time, nx, ny, nfields
+	for _, f := range c.Fields {
+		n += 8 + 8 + 8*len(f.Data) // id, len, data
+	}
+	return n
+}
+
+// Encode writes the checkpoint: magic, little-endian payload, CRC-32C of
+// the payload.
+func (c *Checkpoint) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	crc := crc32.New(castagnoli)
+	out := io.MultiWriter(bw, crc)
+	var scratch [8]byte
+	putU64 := func(v uint64) error {
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		_, err := out.Write(scratch[:])
+		return err
+	}
+	if err := putU64(uint64(c.Step)); err != nil {
+		return err
+	}
+	if err := putU64(math.Float64bits(c.Time)); err != nil {
+		return err
+	}
+	if err := putU64(uint64(c.NX)); err != nil {
+		return err
+	}
+	if err := putU64(uint64(c.NY)); err != nil {
+		return err
+	}
+	if err := putU64(uint64(len(c.Fields))); err != nil {
+		return err
+	}
+	for _, f := range c.Fields {
+		if err := putU64(uint64(f.ID)); err != nil {
+			return err
+		}
+		if err := putU64(uint64(len(f.Data))); err != nil {
+			return err
+		}
+		for _, v := range f.Data {
+			if err := putU64(math.Float64bits(v)); err != nil {
+				return err
+			}
+		}
+	}
+	binary.LittleEndian.PutUint32(scratch[:4], crc.Sum32())
+	if _, err := bw.Write(scratch[:4]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Decode reads and validates a checkpoint written by Encode. Any structural
+// or CRC mismatch returns an error wrapping ErrCorrupt.
+func Decode(r io.Reader) (*Checkpoint, error) {
+	br := bufio.NewReader(r)
+	var head [8]byte
+	if _, err := io.ReadFull(br, head[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing header: %v", ErrCorrupt, err)
+	}
+	if head != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, head[:])
+	}
+	crc := crc32.New(castagnoli)
+	in := io.TeeReader(br, crc)
+	var scratch [8]byte
+	getU64 := func() (uint64, error) {
+		if _, err := io.ReadFull(in, scratch[:]); err != nil {
+			return 0, fmt.Errorf("%w: truncated payload: %v", ErrCorrupt, err)
+		}
+		return binary.LittleEndian.Uint64(scratch[:]), nil
+	}
+	c := &Checkpoint{}
+	v, err := getU64()
+	if err != nil {
+		return nil, err
+	}
+	c.Step = int(v)
+	if v, err = getU64(); err != nil {
+		return nil, err
+	}
+	c.Time = math.Float64frombits(v)
+	if v, err = getU64(); err != nil {
+		return nil, err
+	}
+	c.NX = int(v)
+	if v, err = getU64(); err != nil {
+		return nil, err
+	}
+	c.NY = int(v)
+	nfields, err := getU64()
+	if err != nil {
+		return nil, err
+	}
+	if c.Step < 0 || c.NX <= 0 || c.NY <= 0 || nfields > 64 {
+		return nil, fmt.Errorf("%w: implausible header (step=%d mesh=%dx%d fields=%d)",
+			ErrCorrupt, c.Step, c.NX, c.NY, nfields)
+	}
+	maxLen := uint64(c.NX) * uint64(c.NY)
+	for i := uint64(0); i < nfields; i++ {
+		id, err := getU64()
+		if err != nil {
+			return nil, err
+		}
+		n, err := getU64()
+		if err != nil {
+			return nil, err
+		}
+		if n > maxLen {
+			return nil, fmt.Errorf("%w: field %d has %d cells for a %dx%d mesh",
+				ErrCorrupt, id, n, c.NX, c.NY)
+		}
+		data := make([]float64, n)
+		for j := range data {
+			bits, err := getU64()
+			if err != nil {
+				return nil, err
+			}
+			data[j] = math.Float64frombits(bits)
+		}
+		c.Fields = append(c.Fields, FieldData{ID: int(id), Data: data})
+	}
+	sum := crc.Sum32()
+	if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+		return nil, fmt.Errorf("%w: missing checksum: %v", ErrCorrupt, err)
+	}
+	if got := binary.LittleEndian.Uint32(scratch[:4]); got != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch (stored %08x, computed %08x)", ErrCorrupt, got, sum)
+	}
+	return c, nil
+}
+
+// Save writes the checkpoint to path atomically: encode to a temp file in
+// the same directory, fsync, rename. A crash mid-save leaves either the old
+// checkpoint or none — never a torn file that Decode would have to reject.
+func (c *Checkpoint) Save(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: save: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := c.Encode(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: save: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: save: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: save: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("checkpoint: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads and validates the checkpoint at path.
+func Load(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: load: %w", err)
+	}
+	defer f.Close()
+	c, err := Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: load %s: %w", path, err)
+	}
+	return c, nil
+}

@@ -1,0 +1,120 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func sample() *Checkpoint {
+	data := make([]float64, 12)
+	for i := range data {
+		data[i] = float64(i) * 1.5
+	}
+	data[3] = math.Inf(1) // bit-exact round-trip must survive non-finite values
+	return &Checkpoint{
+		Step: 7, Time: 0.7, NX: 4, NY: 3,
+		Fields: []FieldData{{ID: 1, Data: data}},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	c := sample()
+	var buf bytes.Buffer
+	if err := c.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Step != c.Step || got.Time != c.Time || got.NX != c.NX || got.NY != c.NY {
+		t.Fatalf("header mismatch: %+v vs %+v", got, c)
+	}
+	if len(got.Fields) != 1 || got.Fields[0].ID != 1 {
+		t.Fatalf("fields mismatch: %+v", got.Fields)
+	}
+	for i, v := range got.Fields[0].Data {
+		if math.Float64bits(v) != math.Float64bits(c.Fields[0].Data[i]) {
+			t.Fatalf("cell %d not bit-exact: %v vs %v", i, v, c.Fields[0].Data[i])
+		}
+	}
+}
+
+// TestDecodeRejectsCorruption flips every byte position in turn and demands
+// Decode reject each mutated stream — the CRC (or a structural check) must
+// catch single-byte corruption anywhere in the file.
+func TestDecodeRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	for i := range clean {
+		mutated := append([]byte(nil), clean...)
+		mutated[i] ^= 0x40
+		if _, err := Decode(bytes.NewReader(mutated)); err == nil {
+			t.Fatalf("Decode accepted a stream with byte %d corrupted", i)
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("byte %d: error %v does not wrap ErrCorrupt", i, err)
+		}
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	for _, n := range []int{0, 4, 8, 20, len(clean) - 1} {
+		if _, err := Decode(bytes.NewReader(clean[:n])); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("truncation to %d bytes: err = %v, want ErrCorrupt", n, err)
+		}
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	c := sample()
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Step != c.Step || len(got.Fields) != len(c.Fields) {
+		t.Fatalf("loaded %+v, want %+v", got, c)
+	}
+	// Atomic save leaves no temp litter.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory has %d entries after Save, want 1", len(entries))
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := sample()
+	d := c.Clone()
+	d.Fields[0].Data[0] = -999
+	if c.Fields[0].Data[0] == -999 {
+		t.Fatal("Clone shares field storage with the original")
+	}
+}
+
+func TestFieldLookup(t *testing.T) {
+	c := sample()
+	if c.Field(1) == nil {
+		t.Error("Field(1) = nil, want data")
+	}
+	if c.Field(99) != nil {
+		t.Error("Field(99) != nil for a missing ID")
+	}
+}

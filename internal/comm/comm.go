@@ -11,8 +11,12 @@
 package comm
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // message is one point-to-point transfer. Payloads are copied on send so a
@@ -45,7 +49,21 @@ func (m *mailbox) put(msg message) {
 	m.cond.Broadcast()
 }
 
-func (m *mailbox) get(src, tag int) message {
+// get blocks until a matching message arrives. It aborts — by panicking
+// with a cause World.Run's recovery wraps into a RankError — when the world
+// is torn down under it or, with a collective deadline installed, when the
+// message does not arrive in time (a dead or stalled sender).
+func (m *mailbox) get(w *World, rank, src, tag int) message {
+	var expired bool
+	if w.timeout > 0 {
+		timer := time.AfterFunc(w.timeout, func() {
+			m.mu.Lock()
+			expired = true
+			m.mu.Unlock()
+			m.cond.Broadcast()
+		})
+		defer timer.Stop()
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
@@ -54,6 +72,13 @@ func (m *mailbox) get(src, tag int) message {
 				m.pending = append(m.pending[:i], m.pending[i+1:]...)
 				return msg
 			}
+		}
+		if w.aborted.Load() {
+			panic(ErrWorldAborted)
+		}
+		if expired {
+			panic(fmt.Errorf("comm: rank %d: recv from rank %d tag %d timed out after %v: %w",
+				rank, src, tag, w.timeout, ErrCollectiveTimeout))
 		}
 		m.cond.Wait()
 	}
@@ -77,6 +102,16 @@ type World struct {
 	// circulation, every message reuses one.
 	bufMu sync.Mutex
 	bufs  [][]float64
+
+	// Resilience state, all dormant by default: an optional fault injector,
+	// an optional per-collective deadline, and the abort latch that tears
+	// the world down once any rank fails so its peers surface structured
+	// errors instead of deadlocking.
+	injector FaultInjector
+	timeout  time.Duration
+	aborted  atomic.Bool
+	abortMu  sync.Mutex
+	abortErr error
 }
 
 // NewWorld creates a communicator with the given number of ranks.
@@ -133,18 +168,111 @@ func (w *World) putBuf(b []float64) {
 // Size returns the number of ranks in the world.
 func (w *World) Size() int { return w.size }
 
+// SetFaultInjector installs (or, with nil, removes) a fault injector
+// consulted on every send and collective entry. Install before Run; the
+// injector must be safe for concurrent use by all ranks.
+func (w *World) SetFaultInjector(fi FaultInjector) { w.injector = fi }
+
+// SetCollectiveTimeout installs a per-collective deadline: any receive or
+// barrier that waits longer than d fails with ErrCollectiveTimeout, so a
+// dead or stalled rank surfaces as a structured error on its peers rather
+// than a hang. Zero disables the watchdog (the default).
+func (w *World) SetCollectiveTimeout(d time.Duration) { w.timeout = d }
+
+// Err returns the first rank failure recorded since the last Reset, or nil.
+func (w *World) Err() error {
+	w.abortMu.Lock()
+	defer w.abortMu.Unlock()
+	return w.abortErr
+}
+
+// Abort tears the world down: the cause is recorded (first caller wins) and
+// every rank blocked in a receive or barrier is woken to fail with
+// ErrWorldAborted. Run's recovery calls it automatically when a rank
+// panics; external supervisors (e.g. a port detecting a dead rank) may call
+// it directly.
+func (w *World) Abort(cause error) {
+	w.abortMu.Lock()
+	if w.abortErr == nil {
+		w.abortErr = cause
+	}
+	w.abortMu.Unlock()
+	w.aborted.Store(true)
+	// Lock-step each condition variable so a waiter either observes the
+	// flag before sleeping or is already asleep and receives the broadcast.
+	for _, box := range w.boxes {
+		box.mu.Lock()
+		box.mu.Unlock() //nolint:staticcheck // empty critical section orders the flag store
+		box.cond.Broadcast()
+	}
+	w.bar.mu.Lock()
+	w.bar.mu.Unlock() //nolint:staticcheck
+	w.bar.cond.Broadcast()
+}
+
+// Reset clears transient communication state after a recovered failure so
+// the world can be reused for a retry: pending messages are drained back to
+// the payload pool, the barrier is re-armed and the abort latch cleared.
+// Every rank must be quiescent (between operations) when Reset is called.
+func (w *World) Reset() {
+	for _, box := range w.boxes {
+		box.mu.Lock()
+		for _, msg := range box.pending {
+			w.putBuf(msg.data)
+		}
+		box.pending = nil
+		box.mu.Unlock()
+	}
+	w.bar.mu.Lock()
+	w.bar.waiting = 0
+	w.bar.gen++
+	w.bar.mu.Unlock()
+	w.bar.cond.Broadcast()
+	w.abortMu.Lock()
+	w.abortErr = nil
+	w.abortMu.Unlock()
+	w.aborted.Store(false)
+}
+
 // Run launches fn once per rank, each on its own goroutine, and blocks until
 // every rank returns. It is the moral equivalent of mpirun.
-func (w *World) Run(fn func(r *Rank)) {
+//
+// A panicking rank no longer crashes the process: the panic is recovered
+// into a RankError carrying the rank ID, its operation sequence number and
+// the cause, the world is aborted so blocked peers fail fast with
+// ErrWorldAborted instead of deadlocking, and Run returns the primary
+// failure (joined with any other non-collateral rank failures).
+func (w *World) Run(fn func(r *Rank)) error {
 	var wg sync.WaitGroup
+	errs := make([]error, w.size)
 	wg.Add(w.size)
 	for id := 0; id < w.size; id++ {
 		go func(id int) {
 			defer wg.Done()
-			fn(&Rank{world: w, id: id})
+			r := &Rank{world: w, id: id}
+			defer func() {
+				if p := recover(); p != nil {
+					re := &RankError{Rank: id, Step: r.ops, Cause: p}
+					errs[id] = re
+					w.Abort(re)
+				}
+			}()
+			fn(r)
 		}(id)
 	}
 	wg.Wait()
+	primary := w.Err()
+	if primary == nil {
+		return nil
+	}
+	out := []error{primary}
+	for _, e := range errs {
+		if e == nil || e == primary || errors.Is(e, ErrWorldAborted) {
+			continue
+		}
+		out = append(out, e)
+	}
+	return errors.Join(out...)
 }
 
 // Rank is one process-equivalent within a World. Rank methods must only be
@@ -152,6 +280,7 @@ func (w *World) Run(fn func(r *Rank)) {
 type Rank struct {
 	world *World
 	id    int
+	ops   int // operation sequence number (sends, receives, collectives)
 }
 
 // ID returns this rank's index in [0, Size).
@@ -160,14 +289,61 @@ func (r *Rank) ID() int { return r.id }
 // Size returns the world size.
 func (r *Rank) Size() int { return r.world.size }
 
+// Ops returns the rank's communication-operation count, the sequence number
+// fault schedules and RankError.Step refer to.
+func (r *Rank) Ops() int { return r.ops }
+
+// inject consults the installed fault injector's verdict for the current
+// operation and applies the rank-local actions. It reports whether the
+// operation should be dropped (sends only); corrupt is applied by the
+// caller to the payload copy.
+func (r *Rank) inject(act Action) (drop, corrupt bool) {
+	switch act {
+	case ActDrop:
+		return true, false
+	case ActCorrupt:
+		return false, true
+	case ActDelay:
+		if s, ok := r.world.injector.(*Schedule); ok {
+			time.Sleep(s.delay())
+		} else {
+			time.Sleep(50 * time.Microsecond)
+		}
+	case ActStall:
+		if s, ok := r.world.injector.(*Schedule); ok {
+			time.Sleep(s.stall())
+		} else {
+			time.Sleep(50 * time.Millisecond)
+		}
+	case ActKill:
+		panic(fmt.Errorf("comm: rank %d killed at op %d: %w", r.id, r.ops, ErrKilled))
+	}
+	return false, false
+}
+
 // Send delivers a copy of data to dst with the given tag. Send is eager and
 // never blocks.
 func (r *Rank) Send(dst, tag int, data []float64) {
+	r.ops++
 	if dst < 0 || dst >= r.world.size {
-		panic(fmt.Sprintf("comm: send to invalid rank %d (world size %d)", dst, r.world.size))
+		panic(fmt.Errorf("comm: rank %d: send to invalid rank %d (world size %d, tag %d)",
+			r.id, dst, r.world.size, tag))
+	}
+	var corrupt bool
+	if fi := r.world.injector; fi != nil {
+		var drop bool
+		drop, corrupt = r.inject(fi.OnSend(r.id, dst, tag, r.ops))
+		if drop {
+			return
+		}
 	}
 	buf := r.world.getBuf(len(data))
 	copy(buf, data)
+	if corrupt {
+		for i := range buf {
+			buf[i] = math.NaN()
+		}
+	}
 	r.world.boxes[dst].put(message{src: r.id, tag: tag, data: buf})
 }
 
@@ -175,10 +351,12 @@ func (r *Rank) Send(dst, tag int, data []float64) {
 // returns its payload. Messages from the same (src, tag) are received in
 // send order.
 func (r *Rank) Recv(src, tag int) []float64 {
+	r.ops++
 	if src < 0 || src >= r.world.size {
-		panic(fmt.Sprintf("comm: recv from invalid rank %d (world size %d)", src, r.world.size))
+		panic(fmt.Errorf("comm: rank %d: recv from invalid rank %d (world size %d, tag %d)",
+			r.id, src, r.world.size, tag))
 	}
-	return r.world.boxes[r.id].get(src, tag).data
+	return r.world.boxes[r.id].get(r.world, r.id, src, tag).data
 }
 
 // RecvInto receives from (src, tag) into dst and returns the element count.
@@ -189,7 +367,8 @@ func (r *Rank) Recv(src, tag int) []float64 {
 func (r *Rank) RecvInto(src, tag int, dst []float64) int {
 	data := r.Recv(src, tag)
 	if len(data) > len(dst) {
-		panic(fmt.Sprintf("comm: message of %d elems overflows buffer of %d", len(data), len(dst)))
+		panic(fmt.Errorf("comm: rank %d: message of %d elems from rank %d tag %d overflows buffer of %d",
+			r.id, len(data), src, tag, len(dst)))
 	}
 	copy(dst, data)
 	n := len(data)
@@ -205,7 +384,13 @@ func (r *Rank) Sendrecv(dst, sendTag int, sendData []float64, src, recvTag int) 
 }
 
 // Barrier blocks until every rank in the world has entered it.
-func (r *Rank) Barrier() { r.world.bar.wait() }
+func (r *Rank) Barrier() {
+	r.ops++
+	if fi := r.world.injector; fi != nil {
+		r.inject(fi.OnCollective(r.id, r.ops))
+	}
+	r.world.bar.wait(r.world, r.id)
+}
 
 // barrier is a reusable sense-reversing barrier.
 type barrier struct {
@@ -221,7 +406,20 @@ func (b *barrier) init(size int) {
 	b.cond = sync.NewCond(&b.mu)
 }
 
-func (b *barrier) wait() {
+// wait blocks until all ranks arrive. Like mailbox.get it fails by panic —
+// recovered into a RankError by World.Run — when the world aborts or the
+// collective deadline expires before the barrier completes.
+func (b *barrier) wait(w *World, rank int) {
+	var expired bool
+	if w.timeout > 0 {
+		timer := time.AfterFunc(w.timeout, func() {
+			b.mu.Lock()
+			expired = true
+			b.mu.Unlock()
+			b.cond.Broadcast()
+		})
+		defer timer.Stop()
+	}
 	b.mu.Lock()
 	gen := b.gen
 	b.waiting++
@@ -233,6 +431,17 @@ func (b *barrier) wait() {
 		return
 	}
 	for gen == b.gen {
+		if w.aborted.Load() {
+			b.waiting--
+			b.mu.Unlock()
+			panic(ErrWorldAborted)
+		}
+		if expired {
+			b.waiting--
+			b.mu.Unlock()
+			panic(fmt.Errorf("comm: rank %d: barrier timed out after %v (%d of %d ranks arrived): %w",
+				rank, w.timeout, b.waiting+1, b.size, ErrCollectiveTimeout))
+		}
 		b.cond.Wait()
 	}
 	b.mu.Unlock()

@@ -1,0 +1,300 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file is the fault model of the message-passing runtime: a pluggable,
+// deterministic injector that can drop, delay or corrupt messages, stall a
+// rank, or kill it mid-operation, plus the structured errors the recovery
+// path in World.Run surfaces. Everything here is dormant until an injector
+// or a collective deadline is installed: the steady-state Send/Recv/Barrier
+// paths pay one nil-check and an integer increment, nothing more.
+
+// Action is what the fault injector does to one communication operation.
+type Action int
+
+const (
+	// ActNone lets the operation proceed untouched.
+	ActNone Action = iota
+	// ActDrop silently discards the message (sends only).
+	ActDrop
+	// ActDelay delays the operation by the schedule's delay duration.
+	ActDelay
+	// ActCorrupt poisons the message payload with NaNs (sends only).
+	ActCorrupt
+	// ActStall blocks the rank for the schedule's stall duration — long
+	// enough to trip a collective watchdog on its peers.
+	ActStall
+	// ActKill panics the rank with ErrKilled, simulating a process death.
+	ActKill
+)
+
+func (a Action) String() string {
+	switch a {
+	case ActNone:
+		return "none"
+	case ActDrop:
+		return "drop"
+	case ActDelay:
+		return "delay"
+	case ActCorrupt:
+		return "corrupt"
+	case ActStall:
+		return "stall"
+	case ActKill:
+		return "kill"
+	default:
+		return fmt.Sprintf("Action(%d)", int(a))
+	}
+}
+
+// FaultInjector decides, per communication operation, whether to perturb
+// it. Implementations must be safe for concurrent use from all ranks and,
+// for reproducible experiments, deterministic for a fixed schedule/seed.
+type FaultInjector interface {
+	// OnSend is consulted once per point-to-point send, on the sending
+	// rank, with the rank's operation sequence number.
+	OnSend(rank, dst, tag, op int) Action
+	// OnCollective is consulted once per collective entry (barrier,
+	// allreduce, broadcast).
+	OnCollective(rank, op int) Action
+}
+
+// Sentinel errors of the resilience layer. RankError wraps one of these (or
+// an arbitrary panic value) as its Cause.
+var (
+	// ErrKilled marks a rank killed by the fault injector.
+	ErrKilled = errors.New("comm: rank killed by fault injector")
+	// ErrWorldAborted marks a rank that failed only because another rank
+	// failed first and the world was torn down under it.
+	ErrWorldAborted = errors.New("comm: world aborted after another rank failed")
+	// ErrCollectiveTimeout marks a collective or receive that exceeded the
+	// world's collective deadline — the watchdog's signal that a peer rank
+	// is dead or stalled rather than slow.
+	ErrCollectiveTimeout = errors.New("comm: collective deadline exceeded")
+)
+
+// RankError is the structured failure of one rank: which rank, at which of
+// its communication operations (a per-rank sequence number over sends,
+// receives and collectives), and the recovered cause.
+type RankError struct {
+	Rank  int
+	Step  int // the rank's comm-operation sequence number at failure
+	Cause any
+}
+
+func (e *RankError) Error() string {
+	return fmt.Sprintf("comm: rank %d failed at op %d: %v", e.Rank, e.Step, e.Cause)
+}
+
+// Unwrap exposes an error Cause to errors.Is/As chains.
+func (e *RankError) Unwrap() error {
+	if err, ok := e.Cause.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Rule is one entry of a fault Schedule. A rule fires when a matching rank
+// reaches the given operation sequence number (Op > 0) — more precisely, at
+// the rank's first injectable operation at or after that number, since the
+// sequence also counts receives, which are perturbed only indirectly —
+// or, when Op == 0, independently with probability Prob per matching
+// operation, drawn from the schedule's seeded per-rank streams. Every rule
+// fires at most once.
+type Rule struct {
+	Action Action
+	Rank   int     // matching rank, or -1 for any
+	Op     int     // exact op sequence number; 0 means probabilistic
+	Tag    int     // matching send tag, or -1 for any (ignored for collectives)
+	Prob   float64 // per-op firing probability when Op == 0
+}
+
+// Schedule is the deterministic, seeded FaultInjector used by the chaos
+// tests and the -fault-spec CLI flag. Probabilistic rules draw from
+// independent per-rank streams derived from Seed, so a schedule replays
+// identically for a fixed world size regardless of goroutine interleaving.
+type Schedule struct {
+	Rules []Rule
+	Seed  int64
+	// Delay and Stall are the durations ActDelay and ActStall insert;
+	// zero values take the defaults (50µs and 50ms).
+	Delay time.Duration
+	Stall time.Duration
+
+	mu      sync.Mutex
+	fired   map[int]bool
+	streams map[int]*rand.Rand
+}
+
+// NewSchedule builds an empty schedule with the given seed.
+func NewSchedule(seed int64) *Schedule { return &Schedule{Seed: seed} }
+
+func (s *Schedule) delay() time.Duration {
+	if s.Delay > 0 {
+		return s.Delay
+	}
+	return 50 * time.Microsecond
+}
+
+func (s *Schedule) stall() time.Duration {
+	if s.Stall > 0 {
+		return s.Stall
+	}
+	return 50 * time.Millisecond
+}
+
+// match returns the action of the first unfired matching rule, marking it
+// fired. collective sends tag = -1.
+func (s *Schedule) match(rank, tag, op int) Action {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, r := range s.Rules {
+		if s.fired[i] {
+			continue
+		}
+		if r.Rank >= 0 && r.Rank != rank {
+			continue
+		}
+		if r.Tag >= 0 && tag >= 0 && r.Tag != tag {
+			continue
+		}
+		if r.Op > 0 {
+			if op < r.Op {
+				continue
+			}
+		} else {
+			if r.Prob <= 0 || s.stream(rank).Float64() >= r.Prob {
+				continue
+			}
+		}
+		if s.fired == nil {
+			s.fired = make(map[int]bool)
+		}
+		s.fired[i] = true
+		return r.Action
+	}
+	return ActNone
+}
+
+// stream returns rank's private random stream. Caller holds s.mu.
+func (s *Schedule) stream(rank int) *rand.Rand {
+	if s.streams == nil {
+		s.streams = make(map[int]*rand.Rand)
+	}
+	r, ok := s.streams[rank]
+	if !ok {
+		r = rand.New(rand.NewSource(s.Seed*1_000_003 + int64(rank)))
+		s.streams[rank] = r
+	}
+	return r
+}
+
+// OnSend implements FaultInjector.
+func (s *Schedule) OnSend(rank, dst, tag, op int) Action { return s.match(rank, tag, op) }
+
+// OnCollective implements FaultInjector.
+func (s *Schedule) OnCollective(rank, op int) Action { return s.match(rank, -1, op) }
+
+// Reset re-arms every fired rule and rewinds the probabilistic streams, so
+// the same schedule can drive a second, identical run.
+func (s *Schedule) Reset() {
+	s.mu.Lock()
+	s.fired = nil
+	s.streams = nil
+	s.mu.Unlock()
+}
+
+// ParseSpec parses a fault specification string into a Schedule. The
+// grammar is semicolon-separated clauses
+//
+//	action:key=value[,key=value...]
+//
+// with actions drop|delay|corrupt|stall|kill and keys rank, op, tag, prob,
+// seed (seed applies to the whole schedule). Examples:
+//
+//	kill:rank=1,op=40
+//	corrupt:rank=0,op=25;drop:prob=0.01,seed=7
+func ParseSpec(spec string) (*Schedule, error) {
+	s := &Schedule{}
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		name, args, _ := strings.Cut(clause, ":")
+		var act Action
+		switch strings.TrimSpace(name) {
+		case "drop":
+			act = ActDrop
+		case "delay":
+			act = ActDelay
+		case "corrupt":
+			act = ActCorrupt
+		case "stall":
+			act = ActStall
+		case "kill":
+			act = ActKill
+		default:
+			return nil, fmt.Errorf("comm: fault spec: unknown action %q in %q", name, clause)
+		}
+		r := Rule{Action: act, Rank: -1, Tag: -1}
+		if args != "" {
+			for _, kv := range strings.Split(args, ",") {
+				key, val, ok := strings.Cut(kv, "=")
+				if !ok {
+					return nil, fmt.Errorf("comm: fault spec: malformed %q in %q", kv, clause)
+				}
+				switch strings.TrimSpace(key) {
+				case "rank":
+					n, err := strconv.Atoi(val)
+					if err != nil {
+						return nil, fmt.Errorf("comm: fault spec: bad rank %q: %w", val, err)
+					}
+					r.Rank = n
+				case "op":
+					n, err := strconv.Atoi(val)
+					if err != nil || n <= 0 {
+						return nil, fmt.Errorf("comm: fault spec: bad op %q (want positive integer)", val)
+					}
+					r.Op = n
+				case "tag":
+					n, err := strconv.Atoi(val)
+					if err != nil {
+						return nil, fmt.Errorf("comm: fault spec: bad tag %q: %w", val, err)
+					}
+					r.Tag = n
+				case "prob":
+					p, err := strconv.ParseFloat(val, 64)
+					if err != nil || p < 0 || p > 1 {
+						return nil, fmt.Errorf("comm: fault spec: bad prob %q (want [0,1])", val)
+					}
+					r.Prob = p
+				case "seed":
+					n, err := strconv.ParseInt(val, 10, 64)
+					if err != nil {
+						return nil, fmt.Errorf("comm: fault spec: bad seed %q: %w", val, err)
+					}
+					s.Seed = n
+				default:
+					return nil, fmt.Errorf("comm: fault spec: unknown key %q in %q", key, clause)
+				}
+			}
+		}
+		if r.Op == 0 && r.Prob == 0 {
+			return nil, fmt.Errorf("comm: fault spec: clause %q needs op=N or prob=P", clause)
+		}
+		s.Rules = append(s.Rules, r)
+	}
+	if len(s.Rules) == 0 {
+		return nil, errors.New("comm: fault spec: empty specification")
+	}
+	return s, nil
+}

@@ -180,10 +180,30 @@ func Default() Config {
 	}
 }
 
-// Validate checks the configuration for internal consistency.
+// Validate checks the configuration for internal consistency and physical
+// plausibility, so a malformed or hostile deck is rejected before any port
+// allocates fields or a solve runs on garbage: every scalar the time
+// marching and the solver consume must be finite, every extent positive,
+// and every state region well-formed.
 func (c *Config) Validate() error {
 	if c.NX <= 0 || c.NY <= 0 {
 		return fmt.Errorf("config: non-positive mesh extent %dx%d", c.NX, c.NY)
+	}
+	if c.NX > math.MaxInt/c.NY {
+		return fmt.Errorf("config: mesh extent %dx%d overflows the cell count", c.NX, c.NY)
+	}
+	for _, v := range []struct {
+		name string
+		v    float64
+	}{
+		{"xmin", c.XMin}, {"xmax", c.XMax}, {"ymin", c.YMin}, {"ymax", c.YMax},
+		{"initial_timestep", c.InitialTimestep}, {"end_time", c.EndTime}, {"tl_eps", c.Eps},
+	} {
+		// end_time may sit at +Inf/MaxFloat64 ("run to end_step"); everything
+		// else must be strictly finite.
+		if math.IsNaN(v.v) || (math.IsInf(v.v, 0) && v.name != "end_time") {
+			return fmt.Errorf("config: %s is not finite (%g)", v.name, v.v)
+		}
 	}
 	if c.XMax <= c.XMin || c.YMax <= c.YMin {
 		return fmt.Errorf("config: empty physical domain [%g,%g]x[%g,%g]", c.XMin, c.XMax, c.YMin, c.YMax)
@@ -194,6 +214,9 @@ func (c *Config) Validate() error {
 	if c.EndStep <= 0 && c.EndTime == math.MaxFloat64 {
 		return fmt.Errorf("config: neither end_step nor end_time set")
 	}
+	if c.EndTime <= 0 {
+		return fmt.Errorf("config: end_time must be positive, got %g", c.EndTime)
+	}
 	if c.Eps <= 0 {
 		return fmt.Errorf("config: tl_eps must be positive, got %g", c.Eps)
 	}
@@ -203,15 +226,34 @@ func (c *Config) Validate() error {
 	if c.PPCGInnerSteps <= 0 && c.Solver == SolverPPCG {
 		return fmt.Errorf("config: tl_ppcg_inner_steps must be positive for ppcg, got %d", c.PPCGInnerSteps)
 	}
+	if c.SummaryFrequency < 0 {
+		return fmt.Errorf("config: summary_frequency must be non-negative, got %d", c.SummaryFrequency)
+	}
 	if len(c.States) == 0 {
 		return fmt.Errorf("config: no material states defined")
 	}
 	for _, s := range c.States {
-		if s.Density <= 0 {
+		if math.IsNaN(s.Density) || math.IsInf(s.Density, 0) || s.Density <= 0 {
 			return fmt.Errorf("config: state %d has non-positive density %g", s.Index, s.Density)
 		}
-		if s.Energy < 0 {
-			return fmt.Errorf("config: state %d has negative energy %g", s.Index, s.Energy)
+		if math.IsNaN(s.Energy) || math.IsInf(s.Energy, 0) || s.Energy < 0 {
+			return fmt.Errorf("config: state %d has negative or non-finite energy %g", s.Index, s.Energy)
+		}
+		for _, v := range []float64{s.XMin, s.XMax, s.YMin, s.YMax, s.Radius} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("config: state %d has a non-finite region coordinate", s.Index)
+			}
+		}
+		switch s.Geometry {
+		case GeomCircular:
+			if s.Index > 1 && s.Radius <= 0 {
+				return fmt.Errorf("config: circular state %d needs a positive radius, got %g", s.Index, s.Radius)
+			}
+		case GeomRectangle:
+			if s.Index > 1 && (s.XMax < s.XMin || s.YMax < s.YMin) {
+				return fmt.Errorf("config: rectangular state %d has an inverted region [%g,%g]x[%g,%g]",
+					s.Index, s.XMin, s.XMax, s.YMin, s.YMax)
+			}
 		}
 	}
 	return nil

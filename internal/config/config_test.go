@@ -153,6 +153,26 @@ func TestValidate(t *testing.T) {
 		{"no states", func(c *Config) { c.States = nil }},
 		{"bad density", func(c *Config) { c.States[0].Density = 0 }},
 		{"negative energy", func(c *Config) { c.States[1].Energy = -1 }},
+		{"cell count overflow", func(c *Config) { c.NX = math.MaxInt / 2; c.NY = 3 }},
+		{"NaN extent", func(c *Config) { c.XMax = math.NaN() }},
+		{"Inf extent", func(c *Config) { c.YMin = math.Inf(-1) }},
+		{"NaN dt", func(c *Config) { c.InitialTimestep = math.NaN() }},
+		{"Inf dt", func(c *Config) { c.InitialTimestep = math.Inf(1) }},
+		{"NaN eps", func(c *Config) { c.Eps = math.NaN() }},
+		{"negative end_time", func(c *Config) { c.EndTime = -1 }},
+		{"NaN end_time", func(c *Config) { c.EndTime = math.NaN() }},
+		{"negative summary frequency", func(c *Config) { c.SummaryFrequency = -1 }},
+		{"NaN density", func(c *Config) { c.States[0].Density = math.NaN() }},
+		{"Inf energy", func(c *Config) { c.States[1].Energy = math.Inf(1) }},
+		{"NaN region coordinate", func(c *Config) { c.States[1].XMin = math.NaN() }},
+		{"zero-radius circle", func(c *Config) {
+			c.States[1].Geometry = GeomCircular
+			c.States[1].Radius = 0
+		}},
+		{"inverted rectangle", func(c *Config) {
+			c.States[1].Geometry = GeomRectangle
+			c.States[1].XMin, c.States[1].XMax = 5, 1
+		}},
 	}
 	for _, c := range cases {
 		cfg := BenchmarkN(16)

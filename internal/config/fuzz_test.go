@@ -1,0 +1,46 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// FuzzParseReader drives the deck parser with arbitrary input. The parser is
+// the one component that consumes untrusted bytes, so the invariants are
+// strict: it must never panic, every deck it accepts must pass Validate
+// (garbage the parser lets through would otherwise surface as NaNs deep in a
+// solve), and an accepted deck must survive a Summary round-trip. The seed
+// corpus is the stock benchmark decks plus the checked-in regression inputs
+// under testdata/fuzz.
+func FuzzParseReader(f *testing.F) {
+	decks, err := filepath.Glob(filepath.Join("..", "..", "decks", "*.in"))
+	if err != nil || len(decks) == 0 {
+		f.Fatalf("no stock decks found to seed the corpus: %v", err)
+	}
+	for _, path := range decks {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+	f.Add("*tea\nstate 1 density=1 energy=1\n*endtea\n")
+	f.Add("*tea\nstate 1 density=nan energy=1\n*endtea\n")
+	f.Add("x_cells=0\nstate 1 density=1 energy=1\n")
+	f.Add("*tea\nstate 2 geometry=circular radius=-1 density=1 energy=1\n*endtea\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		cfg, err := ParseReader(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if verr := cfg.Validate(); verr != nil {
+			t.Fatalf("parser accepted a deck Validate rejects (%v):\n%s", verr, input)
+		}
+		if _, err := ParseReader(strings.NewReader(cfg.Summary())); err != nil {
+			t.Fatalf("accepted deck failed the Summary round-trip (%v):\n%s", err, cfg.Summary())
+		}
+	})
+}

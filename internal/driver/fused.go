@@ -36,6 +36,7 @@ type FusedURPrecond interface {
 type CapabilityReporter interface {
 	HasFusedWDot() bool
 	HasFusedURPrecond() bool
+	HasFieldRestorer() bool
 }
 
 // AsFusedWDot returns k's fused w = A p + p·w capability, or nil when k

@@ -161,6 +161,16 @@ func (in *Instrumented) HasFusedWDot() bool { return AsFusedWDot(in.Kernels) != 
 // HasFusedURPrecond implements CapabilityReporter.
 func (in *Instrumented) HasFusedURPrecond() bool { return AsFusedURPrecond(in.Kernels) != nil }
 
+// HasFieldRestorer implements CapabilityReporter.
+func (in *Instrumented) HasFieldRestorer() bool { return AsFieldRestorer(in.Kernels) != nil }
+
+// RestoreField implements FieldRestorer by forwarding to the wrapped port;
+// restore is a recovery path, so it is timed but attributed no sweep.
+func (in *Instrumented) RestoreField(id FieldID, data []float64) {
+	f := AsFieldRestorer(in.Kernels)
+	in.prof.Time("restore_field", 8*int64(len(data)), 0, func() { f.RestoreField(id, data) })
+}
+
 // CGCalcWFused implements FusedWDot: one sweep reads p, kx, ky and writes
 // w, with the p·w dot carried in registers — a third less traffic than the
 // unfused operator + dot pair.

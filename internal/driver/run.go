@@ -21,6 +21,8 @@ type SolveStats struct {
 	Converged       bool
 	EigMin, EigMax  float64 // spectrum estimate (Chebyshev/PPCG)
 	EstChebyIters   int     // Chebyshev-theory iteration estimate
+	Restarts        int     // CG breakdown restarts within the solve
+	Fallbacks       int     // hops down the solver fallback chain
 }
 
 // Solver abstracts the solve control flow so driver does not import the
@@ -51,6 +53,9 @@ type Result struct {
 	Final           Totals
 	TotalIterations int
 	TotalInner      int
+	// Recoveries counts checkpoint rollbacks the resilient run loop took
+	// (always 0 for plain Run).
+	Recoveries int
 }
 
 // Run executes a full TeaLeaf simulation of cfg against the port k, driving

@@ -1,0 +1,30 @@
+package registry_test
+
+import (
+	"testing"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/backends/backendtest"
+	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
+	"github.com/warwick-hpsc/tealeaf-go/internal/registry"
+)
+
+// TestEveryVersionSurvivesChaos is the acceptance gate of the resilience
+// layer: every registered version — all four implementation families, CPU
+// and GPU, shared-memory and distributed — runs the same injected fault
+// schedule with checkpoint rollback and must match its own fault-free run
+// to 1e-12. Small parameters keep the 17-version sweep cheap.
+func TestEveryVersionSurvivesChaos(t *testing.T) {
+	params := registry.Params{Threads: 2, Ranks: 2}
+	for _, v := range registry.All() {
+		v := v
+		t.Run(v.Name, func(t *testing.T) {
+			backendtest.ChaosConformance(t, func() driver.Kernels {
+				k, err := v.Make(params)
+				if err != nil {
+					t.Fatalf("make %s: %v", v.Name, err)
+				}
+				return k
+			})
+		})
+	}
+}

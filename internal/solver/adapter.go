@@ -16,6 +16,8 @@ func New(opt Options) driver.Solver {
 			EigMin:          st.EigMin,
 			EigMax:          st.EigMax,
 			EstChebyIters:   st.EstChebyIters,
+			Restarts:        st.Restarts,
+			Fallbacks:       st.Fallbacks,
 		}, err
 	})
 }

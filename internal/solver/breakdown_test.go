@@ -1,0 +1,225 @@
+package solver
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/config"
+)
+
+// seqStub scripts the solver's reductions: each call pops the next value
+// from its sequence (the final value repeats), which lets a test walk the
+// solve loop into any breakdown path without building a pathological mesh.
+type seqStub struct {
+	stubKernels
+	initP  []float64
+	pw     []float64
+	ur     []float64
+	jacobi []float64
+	trace  []string
+}
+
+func pop(seq *[]float64, def float64) float64 {
+	if len(*seq) == 0 {
+		return def
+	}
+	v := (*seq)[0]
+	if len(*seq) > 1 {
+		*seq = (*seq)[1:]
+	}
+	return v
+}
+
+func (s *seqStub) CGInitP(bool) float64 {
+	s.trace = append(s.trace, "CGInitP")
+	return pop(&s.initP, 1)
+}
+
+func (s *seqStub) CGCalcW() float64 {
+	s.trace = append(s.trace, "CGCalcW")
+	return pop(&s.pw, 1)
+}
+
+func (s *seqStub) CGCalcUR(float64, bool) float64 {
+	s.trace = append(s.trace, "CGCalcUR")
+	return pop(&s.ur, 1e-30)
+}
+
+func (s *seqStub) CalcResidual() {
+	s.trace = append(s.trace, "CalcResidual")
+}
+
+func (s *seqStub) JacobiIterate() float64 {
+	s.trace = append(s.trace, "JacobiIterate")
+	return pop(&s.jacobi, 0)
+}
+
+func cgBreakOpts() Options {
+	return Options{Solver: config.SolverCG, Eps: 1e-10, MaxIters: 20}
+}
+
+// TestCGBreakdownZeroPW: a zero p·w is the canonical CG breakdown (division
+// by zero in alpha) and must surface as ErrBreakdown, not a NaN solve.
+func TestCGBreakdownZeroPW(t *testing.T) {
+	k := &seqStub{pw: []float64{0}}
+	st, err := Solve(k, cgBreakOpts())
+	if !errors.Is(err, ErrBreakdown) {
+		t.Fatalf("err = %v, want ErrBreakdown", err)
+	}
+	if st.Restarts != 0 {
+		t.Errorf("restarts = %d with MaxRestarts=0", st.Restarts)
+	}
+}
+
+// TestCGBreakdownNaNPropagation: NaN reaching either reduction — p·w or the
+// post-update rr — must stop the iteration immediately.
+func TestCGBreakdownNaNPropagation(t *testing.T) {
+	for name, k := range map[string]*seqStub{
+		"pw":  {pw: []float64{math.NaN()}},
+		"inf": {pw: []float64{math.Inf(1)}},
+		"rrn": {ur: []float64{math.NaN()}},
+	} {
+		if _, err := Solve(k, cgBreakOpts()); !errors.Is(err, ErrBreakdown) {
+			t.Errorf("%s: err = %v, want ErrBreakdown", name, err)
+		}
+	}
+}
+
+// TestCGDivergenceGuard: a residual exploding past divergenceFactor times
+// the initial one trips the guard even though every value is finite.
+func TestCGDivergenceGuard(t *testing.T) {
+	k := &seqStub{initP: []float64{1}, ur: []float64{1e13}}
+	_, err := Solve(k, cgBreakOpts())
+	if !errors.Is(err, ErrBreakdown) || !strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("err = %v, want a divergence breakdown", err)
+	}
+}
+
+// TestCGZeroInitialResidual: rro == 0 means the system is already solved;
+// the loop must exit converged without a single iteration.
+func TestCGZeroInitialResidual(t *testing.T) {
+	k := &seqStub{initP: []float64{0}}
+	st, err := Solve(k, cgBreakOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged || st.Iterations != 0 {
+		t.Errorf("zero-residual solve: %+v, want instant convergence", st)
+	}
+}
+
+// TestCGRestartRecovers: with MaxRestarts > 0 a transient breakdown restarts
+// from the current iterate — residual recomputed, Krylov space rebuilt — and
+// the solve still converges.
+func TestCGRestartRecovers(t *testing.T) {
+	k := &seqStub{pw: []float64{0, 1}}
+	opt := cgBreakOpts()
+	opt.MaxRestarts = 1
+	st, err := Solve(k, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged || st.Restarts != 1 {
+		t.Fatalf("restarted solve: %+v, want converged with 1 restart", st)
+	}
+	trace := strings.Join(k.trace, " ")
+	if !strings.Contains(trace, "CalcResidual") {
+		t.Errorf("restart did not recompute the residual: %v", k.trace)
+	}
+	if strings.Count(trace, "CGInitP") != 2 {
+		t.Errorf("restart did not rebuild the search direction: %v", k.trace)
+	}
+}
+
+// TestCGRestartBudgetBounded: a persistent breakdown must exhaust exactly
+// MaxRestarts restarts and then escalate — no infinite restart loop.
+func TestCGRestartBudgetBounded(t *testing.T) {
+	k := &seqStub{pw: []float64{0}}
+	opt := cgBreakOpts()
+	opt.MaxRestarts = 2
+	st, err := Solve(k, opt)
+	if !errors.Is(err, ErrBreakdown) {
+		t.Fatalf("err = %v, want ErrBreakdown after exhausting restarts", err)
+	}
+	if st.Restarts != 2 {
+		t.Errorf("restarts = %d, want 2", st.Restarts)
+	}
+}
+
+// TestCGRestartPoisonedIterate: if the recomputed residual after a restart
+// is NaN the iterate itself is poisoned, so the restart must escalate
+// instead of looping on garbage.
+func TestCGRestartPoisonedIterate(t *testing.T) {
+	k := &seqStub{initP: []float64{1, math.NaN()}, pw: []float64{0}}
+	opt := cgBreakOpts()
+	opt.MaxRestarts = 5
+	st, err := Solve(k, opt)
+	if !errors.Is(err, ErrBreakdown) {
+		t.Fatalf("err = %v, want ErrBreakdown", err)
+	}
+	if st.Restarts != 1 {
+		t.Errorf("restarts = %d, want exactly 1 before escalation", st.Restarts)
+	}
+}
+
+// TestFallbackChainRecovers: when CG is hopeless the solve must degrade to
+// the configured fallback (jacobi) and report success plus the hop count.
+func TestFallbackChainRecovers(t *testing.T) {
+	k := &seqStub{pw: []float64{0}} // CG always breaks down
+	opt := cgBreakOpts()
+	opt.Fallback = []config.SolverKind{config.SolverJacobi}
+	st, err := Solve(k, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged || st.Fallbacks != 1 {
+		t.Fatalf("fallback solve: %+v, want converged with 1 fallback", st)
+	}
+	trace := strings.Join(k.trace, " ")
+	if !strings.Contains(trace, "CalcResidual") {
+		t.Errorf("fallback did not refresh the residual first: %v", k.trace)
+	}
+	if !strings.Contains(trace, "JacobiIterate") {
+		t.Errorf("fallback never ran jacobi: %v", k.trace)
+	}
+}
+
+// TestFallbackChainExhausted: when every solver in the chain breaks down the
+// final error must say so and still match ErrBreakdown.
+func TestFallbackChainExhausted(t *testing.T) {
+	k := &seqStub{pw: []float64{0}, jacobi: []float64{math.NaN()}}
+	opt := cgBreakOpts()
+	opt.Fallback = []config.SolverKind{config.SolverJacobi}
+	st, err := Solve(k, opt)
+	if !errors.Is(err, ErrBreakdown) {
+		t.Fatalf("err = %v, want ErrBreakdown", err)
+	}
+	if !strings.Contains(err.Error(), "fallback chain exhausted") {
+		t.Errorf("error %q does not report chain exhaustion", err)
+	}
+	if st.Fallbacks != 1 {
+		t.Errorf("fallbacks = %d, want 1", st.Fallbacks)
+	}
+}
+
+// TestJacobiNaNGuard: the Jacobi loop's own reduction is scanned too.
+func TestJacobiNaNGuard(t *testing.T) {
+	k := &seqStub{jacobi: []float64{math.NaN()}}
+	opt := cgBreakOpts()
+	opt.Solver = config.SolverJacobi
+	if _, err := Solve(k, opt); !errors.Is(err, ErrBreakdown) {
+		t.Fatalf("err = %v, want ErrBreakdown", err)
+	}
+}
+
+// BenchmarkReductionGuard prices the per-iteration scalar guard: it must be
+// a few comparisons, invisible next to any mesh sweep.
+func BenchmarkReductionGuard(b *testing.B) {
+	var sink error
+	for i := 0; i < b.N; i++ {
+		sink = checkReduction(1e-7, 1.0)
+	}
+	_ = sink
+}

@@ -8,6 +8,7 @@
 package solver
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -28,6 +29,16 @@ type Options struct {
 	// advertise the fused capabilities — the control arm for fusion
 	// benchmarks and the fused ≡ unfused equivalence tests.
 	DisableFusion bool
+
+	// MaxRestarts bounds how many times a broken-down CG solve restarts
+	// from its current iterate (recomputing the residual and search
+	// direction) before the breakdown escalates. 0 disables restarts.
+	MaxRestarts int
+	// Fallback is the graceful-degradation chain: when the configured
+	// solver (and its restarts) break down, each listed solver is tried in
+	// turn on the current iterate — e.g. cg → jacobi. Every hop is recorded
+	// in Stats.Fallbacks.
+	Fallback []config.SolverKind
 }
 
 // FromConfig extracts the solve options from a run configuration.
@@ -55,11 +66,23 @@ type Stats struct {
 	// the requested tolerance given the spectrum estimate (the mini-app's
 	// est_itc); 0 for solvers that do not estimate it.
 	EstChebyIters int
+	// Restarts counts CG restarts from the current iterate after a
+	// detected breakdown (zero/NaN p·w, non-finite or diverging residual).
+	Restarts int
+	// Fallbacks counts hops down the Options.Fallback degradation chain.
+	Fallbacks int
 }
 
 // Solve runs one implicit conduction solve with the configured method. The
 // caller must already have called k.SolveInit (and exchanged the halos it
 // needs); Solve leaves u converged and r consistent with it.
+//
+// When the configured solver breaks down (ErrBreakdown: indefinite
+// operator, non-finite reduction, diverging residual) and Options.Fallback
+// names alternatives, Solve degrades down the chain: each fallback resumes
+// from the current iterate u with a freshly computed residual and a full
+// iteration budget, and every hop is counted in Stats.Fallbacks. Breakdown
+// escalates only after the whole chain is exhausted.
 func Solve(k driver.Kernels, opt Options) (Stats, error) {
 	if opt.MaxIters <= 0 {
 		return Stats{}, fmt.Errorf("solver: MaxIters must be positive, got %d", opt.MaxIters)
@@ -67,7 +90,39 @@ func Solve(k driver.Kernels, opt Options) (Stats, error) {
 	if opt.Eps <= 0 {
 		return Stats{}, fmt.Errorf("solver: Eps must be positive, got %g", opt.Eps)
 	}
-	switch opt.Solver {
+	st, err := solveWith(k, opt, opt.Solver)
+	if err == nil || !errors.Is(err, ErrBreakdown) {
+		return st, err
+	}
+	for _, fb := range opt.Fallback {
+		st.Fallbacks++
+		// Resume from the current iterate: recompute r = u0 - A u (and z)
+		// so the fallback starts from consistent state rather than the
+		// wreckage of the broken-down iteration.
+		k.HaloExchange([]driver.FieldID{driver.FieldU}, 1)
+		st.HaloExchanges++
+		k.CalcResidual()
+		if opt.Precond {
+			k.ApplyPrecond()
+		}
+		fbOpt := opt
+		fbOpt.Solver = fb
+		fbSt, fbErr := solveWith(k, fbOpt, fb)
+		mergeStats(&st, fbSt)
+		if fbErr == nil {
+			return st, nil
+		}
+		if !errors.Is(fbErr, ErrBreakdown) {
+			return st, fbErr
+		}
+		err = fbErr
+	}
+	return st, fmt.Errorf("solver: fallback chain exhausted after %d hops: %w", st.Fallbacks, err)
+}
+
+// solveWith dispatches one solver kind.
+func solveWith(k driver.Kernels, opt Options, kind config.SolverKind) (Stats, error) {
+	switch kind {
 	case config.SolverCG:
 		return solveCG(k, opt)
 	case config.SolverJacobi:
@@ -77,7 +132,23 @@ func Solve(k driver.Kernels, opt Options) (Stats, error) {
 	case config.SolverPPCG:
 		return solvePPCG(k, opt)
 	default:
-		return Stats{}, fmt.Errorf("solver: unknown solver kind %v", opt.Solver)
+		return Stats{}, fmt.Errorf("solver: unknown solver kind %v", kind)
+	}
+}
+
+// mergeStats folds the stats of a fallback solve into the running total:
+// work accumulates, convergence state is taken from the latest attempt.
+func mergeStats(st *Stats, s Stats) {
+	st.Iterations += s.Iterations
+	st.InnerIterations += s.InnerIterations
+	st.HaloExchanges += s.HaloExchanges
+	st.Restarts += s.Restarts
+	st.Fallbacks += s.Fallbacks
+	st.Error = s.Error
+	st.Converged = s.Converged
+	if s.EigMin != 0 || s.EigMax != 0 {
+		st.EigMin, st.EigMax = s.EigMin, s.EigMax
+		st.EstChebyIters = s.EstChebyIters
 	}
 }
 
@@ -91,7 +162,32 @@ func converged(err, initial, eps float64) bool {
 	return math.Abs(err) < eps*math.Abs(initial)
 }
 
-var errIndefinite = fmt.Errorf("solver: operator appears indefinite (CG breakdown)")
+// ErrBreakdown marks any numerical breakdown of an iterative solve: an
+// indefinite operator (zero or NaN p·w), a non-finite residual reduction, or
+// a diverging residual. Callers match it with errors.Is to decide whether
+// restarting or falling back to a different solver could still succeed.
+var ErrBreakdown = errors.New("solver: numerical breakdown")
+
+var errIndefinite = fmt.Errorf("operator appears indefinite (zero or NaN p·w): %w", ErrBreakdown)
+
+// divergenceFactor is the growth of the squared residual over its initial
+// value past which a solve is declared diverging rather than converging
+// slowly. CG residuals oscillate, so the bound is deliberately enormous —
+// it exists to catch runaway growth from corrupted state, not slow solves.
+const divergenceFactor = 1e12
+
+// checkReduction is the cheap guard applied to every residual reduction the
+// iteration loops consume: rejects NaN/Inf and runaway growth. Two float
+// comparisons per iteration — negligible next to a mesh sweep.
+func checkReduction(rrn, initial float64) error {
+	if math.IsNaN(rrn) || math.IsInf(rrn, 0) {
+		return fmt.Errorf("non-finite residual reduction %v: %w", rrn, ErrBreakdown)
+	}
+	if initial != 0 && math.Abs(rrn) > divergenceFactor*math.Abs(initial) {
+		return fmt.Errorf("residual diverged (%g from initial %g): %w", rrn, initial, ErrBreakdown)
+	}
+	return nil
+}
 
 // cgPath binds the kernel entry points one CG iteration uses: the fused
 // capabilities when the port advertises them (and fusion is enabled), the
@@ -137,11 +233,14 @@ func cgIteration(path cgPath, precond bool, rro float64, alphas, betas *[]float6
 	k.HaloExchange([]driver.FieldID{driver.FieldP}, 1)
 	st.HaloExchanges++
 	pw := path.calcW()
-	if pw == 0 || math.IsNaN(pw) {
+	if pw == 0 || math.IsNaN(pw) || math.IsInf(pw, 0) {
 		return 0, errIndefinite
 	}
 	alpha := rro / pw
 	rrn := path.calcUR(alpha, precond)
+	if err := checkReduction(rrn, st.InitialError); err != nil {
+		return 0, err
+	}
 	beta := rrn / rro
 	k.CGCalcP(beta, precond)
 	if alphas != nil {
@@ -167,7 +266,33 @@ func solveCG(k driver.Kernels, opt Options) (Stats, error) {
 	for st.Iterations < opt.MaxIters {
 		rrn, err := cgIteration(path, opt.Precond, rro, nil, nil, &st)
 		if err != nil {
-			return st, err
+			if !errors.Is(err, ErrBreakdown) || st.Restarts >= opt.MaxRestarts {
+				return st, err
+			}
+			// Restart from the current iterate: recompute r = u0 - A u and
+			// rebuild the Krylov space from scratch. This is the classic
+			// restarted-CG recovery — it sacrifices the accumulated
+			// conjugacy but keeps all progress made on u. If u itself was
+			// poisoned (NaN reached it before the guard fired), the
+			// recomputed rro fails checkReduction and the breakdown
+			// escalates instead of looping.
+			st.Restarts++
+			k.HaloExchange([]driver.FieldID{driver.FieldU}, 1)
+			st.HaloExchanges++
+			k.CalcResidual()
+			if opt.Precond {
+				k.ApplyPrecond()
+			}
+			rro = k.CGInitP(opt.Precond)
+			if err := checkReduction(rro, st.InitialError); err != nil {
+				return st, err
+			}
+			if rro == 0 {
+				st.Error = 0
+				st.Converged = true
+				return st, nil
+			}
+			continue
 		}
 		rro = rrn
 		st.Error = rrn
@@ -188,6 +313,9 @@ func solveJacobi(k driver.Kernels, opt Options) (Stats, error) {
 		err := k.JacobiIterate()
 		st.Iterations++
 		st.Error = err
+		if math.IsNaN(err) || math.IsInf(err, 0) {
+			return st, fmt.Errorf("solver: non-finite Jacobi update norm %v: %w", err, ErrBreakdown)
+		}
 		if st.Iterations == 1 {
 			st.InitialError = err
 		}
@@ -285,6 +413,9 @@ func solveChebyshev(k driver.Kernels, opt Options) (Stats, error) {
 		if st.Iterations%checkEvery == 0 || st.Iterations == opt.MaxIters {
 			rrn := k.Norm2R()
 			st.Error = rrn
+			if err := checkReduction(rrn, st.InitialError); err != nil {
+				return st, err
+			}
 			if converged(rrn, st.InitialError, opt.Eps) {
 				st.Converged = true
 				return st, nil
@@ -336,13 +467,16 @@ func solvePPCG(k driver.Kernels, opt Options) (Stats, error) {
 		k.HaloExchange([]driver.FieldID{driver.FieldP}, 1)
 		st.HaloExchanges++
 		pw := path.calcW()
-		if pw == 0 || math.IsNaN(pw) {
+		if pw == 0 || math.IsNaN(pw) || math.IsInf(pw, 0) {
 			return st, errIndefinite
 		}
 		alpha := rro / pw
 		rrTrue := path.calcUR(alpha, false) // plain r.r for the convergence test
 		st.Iterations++
 		st.Error = rrTrue
+		if err := checkReduction(rrTrue, st.InitialError); err != nil {
+			return st, err
+		}
 		if converged(rrTrue, st.InitialError, opt.Eps) {
 			st.Converged = true
 			return st, nil
