@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race chaos fuzz bench-par bench-cg bench
+.PHONY: build test race chaos fuzz bench-par bench-cg bench-sdc bench
 
 build:
 	$(GO) build ./...
@@ -20,18 +20,20 @@ race:
 # chaos runs the resilience suite under the race detector: the comm fault
 # injector and recovery latch, the chaos kernel wrapper, checkpoint/restore,
 # the solver breakdown/fallback paths, the resilient run loop, and the
-# per-port ChaosConformance drills (fault schedule + rollback must match a
-# fault-free run to 1e-12).
+# per-port ChaosConformance + SDCConformance drills (fault schedule +
+# rollback must match a fault-free run to 1e-12; injected bit-flips must be
+# detected by the ABFT monitor / comm checksums and recovered).
 chaos:
 	$(GO) test -race ./internal/chaos/... ./internal/checkpoint/...
-	$(GO) test -race -run 'Chaos|Fault|Resilien|Breakdown|Fallback|Restart|Recover|Watchdog|Kill|NaN|Divergence' \
+	$(GO) test -race -run 'Chaos|Fault|Resilien|Breakdown|Fallback|Restart|Recover|Watchdog|Kill|NaN|Divergence|SDC|Cancel|Deadline|Checksum|Corrupt' \
 		./internal/comm/... ./internal/solver/... ./internal/driver/... \
 		./internal/backends/... ./internal/registry/...
 
-# fuzz exercises the deck parser against its checked-in corpus plus 30s of
-# new coverage-guided inputs.
+# fuzz exercises the deck parser and the comm fault-spec parser against
+# their checked-in corpora plus 30s each of new coverage-guided inputs.
 fuzz:
 	$(GO) test -fuzz FuzzParseReader -fuzztime 30s ./internal/config/
+	$(GO) test -fuzz FuzzParseSpec -fuzztime 30s ./internal/comm/
 
 # bench-par measures the fork-join runtime itself: dispatch latency (epoch
 # barrier vs the legacy channel-per-worker path), the 256² cg_calc_w-shaped
@@ -44,6 +46,12 @@ bench-par:
 # port (ns/cg-iter metric); see EXPERIMENTS.md for a captured table.
 bench-cg:
 	$(GO) test -bench=BenchmarkCGIteration -benchmem -run '^$$' .
+
+# bench-sdc measures the ABFT invariant monitor's cost at the default check
+# cadence against the monitor-off baseline on the same pinned 50-iteration
+# solve (acceptance budget <5%); see EXPERIMENTS.md for a captured table.
+bench-sdc:
+	$(GO) test -bench=BenchmarkSDCOverhead -benchtime 30x -count 3 -run '^$$' .
 
 # bench runs the full repo benchmark set.
 bench:

@@ -10,6 +10,7 @@
 //	BenchmarkOPSTiling — the tiling ablation behind "OPS MPI Tiled"
 //	BenchmarkBlockSize — the CUDA block-size tuning the paper fixes at 64x8
 //	BenchmarkSolvers — CG vs Chebyshev vs PPCG vs Jacobi
+//	BenchmarkSDCOverhead — the ABFT invariant monitor at its default cadence
 //
 // Mesh sizes are scaled so the whole suite runs in minutes on a laptop;
 // relative ordering between versions is what these benches report, and
@@ -237,13 +238,32 @@ func BenchmarkCGIteration(b *testing.B) {
 		for _, arm := range arms {
 			arm := arm
 			b.Run(name+"/"+arm.label, func(b *testing.B) {
-				benchCGIteration(b, name, arm.disable)
+				benchCGIteration(b, name, arm.disable, 0)
 			})
 		}
 	}
 }
 
-func benchCGIteration(b *testing.B, version string, disableFusion bool) {
+// BenchmarkSDCOverhead measures the cost of the solver's silent-data-
+// corruption monitor at its recommended cadence: the same pinned
+// 50-iteration CG solve as BenchmarkCGIteration's fused arm, with
+// SDCCheckEvery set to solver.DefaultSDCCheckEvery so the monitored arm
+// pays one periodic true-residual recompute (halo + CalcResidual + one
+// reduction) per solve. Compare ns/cg-iter against BenchmarkCGIteration;
+// the acceptance budget is <5% overhead (make bench-sdc).
+func BenchmarkSDCOverhead(b *testing.B) {
+	for _, name := range []string{"manual-serial", "manual-omp"} {
+		name := name
+		b.Run(name+"/monitored", func(b *testing.B) {
+			benchCGIteration(b, name, false, solver.DefaultSDCCheckEvery)
+		})
+		b.Run(name+"/baseline", func(b *testing.B) {
+			benchCGIteration(b, name, false, 0)
+		})
+	}
+}
+
+func benchCGIteration(b *testing.B, version string, disableFusion bool, sdcEvery int) {
 	b.Helper()
 	const iters = 50
 	cfg := config.BenchmarkN(largeProxyN)
@@ -273,6 +293,7 @@ func benchCGIteration(b *testing.B, version string, disableFusion bool) {
 	rx, ry := dt/(m.Dx*m.Dx), dt/(m.Dy*m.Dy)
 	opt := solver.FromConfig(&cfg)
 	opt.DisableFusion = disableFusion
+	opt.SDCCheckEvery = sdcEvery
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()

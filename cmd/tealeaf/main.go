@@ -13,6 +13,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +23,7 @@ import (
 
 	"github.com/warwick-hpsc/tealeaf-go/internal/backends/serial"
 	"github.com/warwick-hpsc/tealeaf-go/internal/chaos"
+	"github.com/warwick-hpsc/tealeaf-go/internal/comm"
 	"github.com/warwick-hpsc/tealeaf-go/internal/config"
 	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
 	"github.com/warwick-hpsc/tealeaf-go/internal/grid"
@@ -75,8 +78,11 @@ func run() error {
 		ckFile     = flag.String("checkpoint-file", "", "mirror checkpoints to this file (CRC-validated)")
 		resume     = flag.Bool("resume", false, "resume from -checkpoint-file if it exists")
 		maxRetries = flag.Int("max-retries", 3, "consecutive failed step attempts before giving up")
-		faultSpec  = flag.String("fault-spec", "", "inject kernel faults, e.g. \"panic@2.5;nan@3.3\" (kind@step.call)")
+		faultSpec  = flag.String("fault-spec", "", "inject kernel faults, e.g. \"panic@2.5;flip@3.7\" (kind@step.call)")
 		fallback   = flag.String("fallback", "", "comma-separated solver fallback chain on breakdown, e.g. \"jacobi\"")
+		deadline   = flag.Duration("deadline", 0, "wall-clock budget; on expiry the run stops promptly with its partial result (0: none)")
+		sdcEvery   = flag.Int("sdc-check-every", 0, fmt.Sprintf("CG iterations between ABFT true-residual checks (0: off; %d is the recommended cadence)", solver.DefaultSDCCheckEvery))
+		commSums   = flag.Bool("comm-checksums", false, "CRC-32C checksum every comm payload of message-passing versions; corruption is repaired or escalated")
 	)
 	flag.Parse()
 
@@ -129,6 +135,14 @@ func run() error {
 	}
 	defer k.Close()
 
+	world, _ := any(k).(interface{ World() *comm.World })
+	if *commSums {
+		if world == nil {
+			return fmt.Errorf("-comm-checksums: version %s has no communication world", v.Name)
+		}
+		world.World().SetChecksums(true)
+	}
+
 	var kernels driver.Kernels = k
 	var prof *profiler.Profile
 	if *profile {
@@ -149,6 +163,7 @@ func run() error {
 	}
 
 	opt := solver.FromConfig(&cfg)
+	opt.SDCCheckEvery = *sdcEvery
 	if *fallback != "" {
 		for _, name := range strings.Split(*fallback, ",") {
 			kind, err := solverKind(strings.TrimSpace(name))
@@ -167,14 +182,33 @@ func run() error {
 		Resume:          *resume,
 	}
 
+	ctx := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+		if world != nil {
+			// The budget also bounds every collective, so a rank hung in a
+			// barrier cannot outlive the deadline.
+			world.World().SetCollectiveTimeout(*deadline)
+		}
+	}
+
 	fmt.Printf("TeaLeaf-Go  version=%s  mesh=%dx%d  solver=%s  eps=%g\n",
 		v.Name, cfg.NX, cfg.NY, cfg.Solver, cfg.Eps)
 	start := time.Now()
-	res, err := driver.RunResilient(cfg, kernels, solver.New(opt), os.Stdout, pol)
+	res, err := driver.RunResilientCtx(ctx, cfg, kernels, solver.New(opt), os.Stdout, pol)
+	wall := time.Since(start)
 	if err != nil {
+		if *deadline > 0 && errors.Is(err, context.DeadlineExceeded) {
+			// An expired user-set budget is an expected ending, not a fault:
+			// report the partial result and stop cleanly.
+			fmt.Printf("deadline %v expired after %d completed step(s), %d iterations (partial result)\n",
+				*deadline, len(res.Steps), res.TotalIterations)
+			return nil
+		}
 		return err
 	}
-	wall := time.Since(start)
 	fmt.Printf("wall clock %12s   total iterations %d\n", wall.Round(time.Microsecond), res.TotalIterations)
 	if res.Recoveries > 0 {
 		fmt.Printf("recovered from %d failed step attempt(s) via checkpoint rollback\n", res.Recoveries)
@@ -203,6 +237,13 @@ func run() error {
 		fmt.Printf("wrote %s\n", *visit)
 	}
 	if *qa {
+		line := fmt.Sprintf("sdc: %d detected / %d recovered by the solver invariant monitor",
+			res.SDCDetected, res.SDCRecovered)
+		if world != nil {
+			det, rec := world.World().ChecksumStats()
+			line += fmt.Sprintf("; %d detected / %d repaired by comm checksums", det, rec)
+		}
+		fmt.Println(line)
 		ref := serial.New()
 		defer ref.Close()
 		refRes, err := driver.Run(cfg, ref, solver.New(solver.FromConfig(&cfg)), nil)

@@ -10,6 +10,7 @@ import (
 
 	"github.com/warwick-hpsc/tealeaf-go/internal/backends/serial"
 	"github.com/warwick-hpsc/tealeaf-go/internal/chaos"
+	"github.com/warwick-hpsc/tealeaf-go/internal/comm"
 	"github.com/warwick-hpsc/tealeaf-go/internal/config"
 	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
 	"github.com/warwick-hpsc/tealeaf-go/internal/solver"
@@ -193,6 +194,165 @@ func ChaosConformance(t *testing.T, factory Factory) {
 			}
 		})
 	}
+}
+
+// SDCConformance is the silent-data-corruption half of the resilience
+// contract: a finite bit-flip — in solver state, in a reduction, or on the
+// wire — must be detected by the ABFT monitor or the comm checksums, and
+// the recovered run must match a fault-free monitored run of the same port
+// to 1e-12. A negative control proves the faults are genuinely silent:
+// with detection off the same flip yields a converged, finite and provably
+// wrong answer.
+//
+// Detection makes 1e-12 agreement possible because every injected fault is
+// one-shot and (for state flips) the rollback restores the corrupted field
+// from the last CRC-validated checkpoint, so the replay is bit-identical.
+// The reference run keeps the monitor ON: the drift check's residual
+// replacement legitimately perturbs the trajectory at rounding level, so
+// recovery is compared against the monitored trajectory, not the plain one.
+func SDCConformance(t *testing.T, factory Factory) {
+	cfg := config.BenchmarkN(16)
+	cfg.EndStep = 3
+
+	monOpt := func() solver.Options {
+		opt := solver.FromConfig(&cfg)
+		// Check every 2 iterations so a mid-solve flip is caught within the
+		// faulted step; MaxRestarts stays 0 (the FromConfig default) so a
+		// tripped invariant escalates straight to driver rollback instead of
+		// a solver restart, whose self-healed trajectory would not be
+		// bit-identical.
+		opt.SDCCheckEvery = 2
+		return opt
+	}
+	pol := driver.RecoveryPolicy{CheckpointEvery: 1, MaxRetries: 3}
+
+	refK := factory()
+	ref, err := driver.Run(cfg, refK, solver.New(monOpt()), nil)
+	refK.Close()
+	if err != nil {
+		t.Fatalf("monitored fault-free run failed: %v", err)
+	}
+
+	// runFaulted runs the deck under a chaos schedule with rollback recovery
+	// and demands detection, recovery and 1e-12 agreement with the
+	// fault-free monitored run.
+	runFaulted := func(t *testing.T, spec string) {
+		faults, err := chaos.ParseSpec(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := factory()
+		defer k.Close()
+		c := chaos.Wrap(k, faults)
+		res, err := driver.RunResilient(cfg, c, solver.New(monOpt()), nil, pol)
+		if err != nil {
+			t.Fatalf("%s did not recover from %q: %v", k.Name(), spec, err)
+		}
+		if c.Fired() != len(faults) {
+			t.Fatalf("%d of %d scheduled faults fired — the schedule missed its coordinates",
+				c.Fired(), len(faults))
+		}
+		if res.SDCDetected < 1 || res.SDCRecovered < 1 {
+			t.Fatalf("SDC counters = %d detected / %d recovered, want >= 1 each",
+				res.SDCDetected, res.SDCRecovered)
+		}
+		if res.Recoveries < 1 {
+			t.Fatalf("recoveries = %d, want >= 1", res.Recoveries)
+		}
+		if d := mustCompare(t, ref.Final, res.Final); d > 1e-12 {
+			t.Errorf("recovered run diverges from the fault-free run by %g:\n      got %+v\nfault-free %+v",
+				d, res.Final, ref.Final)
+		}
+	}
+
+	// Bit 52 of a u element flips during step 2's solve (call 7 = first
+	// CGCalcP, after u has been updated once): the recursive residual keeps
+	// converging while the true one does not, and the periodic drift check
+	// raises ErrSDC.
+	t.Run("StateFlip", func(t *testing.T) { runFaulted(t, "flip@2.7") })
+
+	// The first r·z reduction of step 2's solve reports its sign flipped:
+	// the SPD positivity guard raises ErrSDC without waiting for a drift
+	// check.
+	t.Run("ReductionSignFlip", func(t *testing.T) { runFaulted(t, "flipred@2.6") })
+
+	// Negative control: the identical state flip with detection off. The
+	// run must complete, converge and produce finite totals that are
+	// provably wrong — demonstrating the fault is silent, not benign.
+	t.Run("NegativeControl", func(t *testing.T) {
+		faults, err := chaos.ParseSpec("flip@2.7")
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := factory()
+		defer k.Close()
+		c := chaos.Wrap(k, faults)
+		res, err := driver.Run(cfg, c, solver.New(solver.FromConfig(&cfg)), nil)
+		if err != nil {
+			t.Fatalf("undetected flip aborted the run (it must be silent): %v", err)
+		}
+		if c.Fired() != 1 {
+			t.Fatal("the control flip never fired")
+		}
+		for name, v := range map[string]float64{
+			"volume": res.Final.Volume, "mass": res.Final.Mass,
+			"ie": res.Final.InternalEnergy, "temp": res.Final.Temperature,
+		} {
+			if v != v || v-v != 0 { // NaN or Inf
+				t.Fatalf("%s = %g is non-finite; the flip must corrupt silently", name, v)
+			}
+		}
+		if d := mustCompare(t, ref.Final, res.Final); d < 1e-9 {
+			t.Errorf("undetected flip diverged by only %g — fault too weak to prove detection matters", d)
+		}
+	})
+
+	// Comm-layer cases for ports that expose their communication world: a
+	// wire flip under CRC checksums is either repaired from the pristine
+	// retransmission copy (send payloads) or escalated as a CorruptionError
+	// and rolled back (collective contributions, sticky flips). Both end in
+	// a run that matches the fault-free one to 1e-12.
+	type worlder interface{ World() *comm.World }
+
+	commCase := func(t *testing.T, sticky bool) {
+		k := factory()
+		defer k.Close()
+		wp, ok := k.(worlder)
+		if !ok {
+			t.Skipf("%s has no communication world", k.Name())
+		}
+		w := wp.World()
+		if w.Size() < 2 {
+			t.Skipf("%s runs a single-rank world: no wire traffic to corrupt", k.Name())
+		}
+		w.SetChecksums(true)
+		defer w.SetChecksums(false)
+		sched := comm.NewSchedule(11)
+		sched.Rules = []comm.Rule{{
+			Action: comm.ActFlip, Rank: 1, Op: 60, Tag: -1,
+			Bit: comm.DefaultFlipBit, Sticky: sticky,
+		}}
+		w.SetFaultInjector(sched)
+		defer w.SetFaultInjector(nil)
+
+		res, err := driver.RunResilient(cfg, k, solver.New(monOpt()), nil, pol)
+		if err != nil {
+			t.Fatalf("%s did not survive the wire flip: %v", k.Name(), err)
+		}
+		det, rec := w.ChecksumStats()
+		if det < 1 {
+			t.Fatalf("checksums detected %d corruptions, want >= 1 (repaired %d)", det, rec)
+		}
+		if sticky && res.Recoveries < 1 && rec > 0 {
+			t.Errorf("sticky flip was silently repaired (%d repairs, %d recoveries) — escalation never happened",
+				rec, res.Recoveries)
+		}
+		if d := mustCompare(t, ref.Final, res.Final); d > 1e-12 {
+			t.Errorf("run after wire flip diverges from fault-free by %g", d)
+		}
+	}
+	t.Run("CommFlipRepaired", func(t *testing.T) { commCase(t, false) })
+	t.Run("CommFlipSticky", func(t *testing.T) { commCase(t, true) })
 }
 
 // Conformance checks a port against the serial reference across solvers,

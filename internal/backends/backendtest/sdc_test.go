@@ -1,0 +1,14 @@
+package backendtest
+
+import (
+	"testing"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/backends/serial"
+	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
+)
+
+// TestSDCConformanceSerial exercises the SDC battery against the serial
+// reference port itself (the comm cases skip: no communication world).
+func TestSDCConformanceSerial(t *testing.T) {
+	SDCConformance(t, func() driver.Kernels { return serial.New() })
+}

@@ -14,3 +14,7 @@ func TestChaosConformance(t *testing.T) {
 func TestChaosConformanceHybrid(t *testing.T) {
 	backendtest.ChaosConformance(t, func() driver.Kernels { return New(2, 2) })
 }
+
+func TestSDCConformance(t *testing.T) {
+	backendtest.SDCConformance(t, func() driver.Kernels { return New(2, 1) })
+}

@@ -14,3 +14,11 @@ func TestChaosConformanceOpenMP(t *testing.T) {
 func TestChaosConformanceMPI(t *testing.T) {
 	backendtest.ChaosConformance(t, factory(t, Options{Backend: ops.BackendSerial, Ranks: 2}))
 }
+
+func TestSDCConformanceOpenMP(t *testing.T) {
+	backendtest.SDCConformance(t, factory(t, Options{Backend: ops.BackendOpenMP, Threads: 2}))
+}
+
+func TestSDCConformanceMPI(t *testing.T) {
+	backendtest.SDCConformance(t, factory(t, Options{Backend: ops.BackendSerial, Ranks: 2}))
+}

@@ -136,6 +136,11 @@ func New(opt Options) (*Port, error) {
 	return p, nil
 }
 
+// World exposes the port's communication world so callers can install a
+// fault injector, enable payload checksums, or set a collective deadline
+// (comm.World.SetFaultInjector / SetChecksums / SetCollectiveTimeout).
+func (p *Port) World() *comm.World { return p.world }
+
 func (p *Port) closeChannels() {
 	if p.closed {
 		return
@@ -165,15 +170,55 @@ func (p *Port) Stats() ops.Stats {
 	return total
 }
 
+// do runs fn on every rank and waits for all of them to finish.
+//
+// Each rank execution is panic-contained exactly like the manual MPI
+// port's: a failing rank (a comm-layer fault, a checksum escalation, a
+// real bug) records the first failure in the world's abort latch — which
+// also unblocks peers stuck in a receive or barrier — while the deferred
+// Done keeps the call group balanced, so the long-lived rank goroutines
+// stay alive for a later retry instead of dying mid-loop and hanging every
+// subsequent command. After all ranks return, a recorded failure is
+// re-panicked as a structured *comm.RankError on the driver goroutine; the
+// resilient run loop converts it into a step failure and rolls back, after
+// do has drained stale results and Reset the world so the port is
+// immediately reusable.
 func (p *Port) do(fn func(rs *rankState)) {
 	p.calls.Add(p.nranks)
 	for _, ch := range p.cmds {
 		ch <- func(rs *rankState) {
+			defer p.calls.Done()
+			defer func() {
+				if pv := recover(); pv != nil {
+					if re, ok := pv.(*comm.RankError); ok {
+						p.world.Abort(re)
+						return
+					}
+					p.world.Abort(&comm.RankError{Rank: rs.rank.ID(), Step: rs.rank.Ops(), Cause: pv})
+				}
+			}()
 			fn(rs)
-			p.calls.Done()
 		}
 	}
 	p.calls.Wait()
+	if err := p.world.Err(); err != nil {
+		// Throw away any result a rank managed to post before the failure
+		// and re-arm the world so the next command starts clean.
+		select {
+		case <-p.resF:
+		default:
+		}
+		select {
+		case <-p.resT:
+		default:
+		}
+		select {
+		case <-p.resE:
+		default:
+		}
+		p.world.Reset()
+		panic(err)
+	}
 }
 
 func (p *Port) doReduce(fn func(rs *rankState) float64) float64 {

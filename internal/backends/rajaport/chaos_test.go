@@ -11,3 +11,7 @@ import (
 func TestChaosConformance(t *testing.T) {
 	backendtest.ChaosConformance(t, func() driver.Kernels { return New(raja.NewOmp(2)) })
 }
+
+func TestSDCConformance(t *testing.T) {
+	backendtest.SDCConformance(t, func() driver.Kernels { return New(raja.NewOmp(2)) })
+}

@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/warwick-hpsc/tealeaf-go/internal/comm"
 	"github.com/warwick-hpsc/tealeaf-go/internal/config"
 	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
 	"github.com/warwick-hpsc/tealeaf-go/internal/grid"
@@ -33,6 +34,19 @@ const (
 	// a rolled-back replay is bit-identical). This is the shape of a
 	// corrupted message folding into a reduction.
 	KindNaN = "nan"
+	// KindFlip flips bit 52 of the central interior element of u at the
+	// matched coordinate — a finite ×2/÷2 single-event upset in solver
+	// state that no NaN or divergence guard can see. Only the solver's
+	// ABFT drift monitor (Options.SDCCheckEvery) detects it; with the
+	// monitor off the run converges to a silently wrong answer, which is
+	// exactly what backendtest.SDCConformance's negative control proves.
+	KindFlip = "flip"
+	// KindFlipRed arms a sign flip (bit 63) of the next reduction-returning
+	// kernel call — the shape of a corrupted collective contribution. For an
+	// SPD system the flipped value violates the positivity invariant the
+	// monitor's sign guard checks. Like KindNaN it never touches port
+	// state, so a rolled-back replay is bit-identical.
+	KindFlipRed = "flipred"
 )
 
 // Fault is one scheduled injection: fire Kind at the Call-th kernel call of
@@ -59,8 +73,11 @@ func ParseSpec(spec string) ([]Fault, error) {
 		if !ok {
 			return nil, fmt.Errorf("chaos: clause %q is not kind@step.call", clause)
 		}
-		if kind != KindPanic && kind != KindNaN {
-			return nil, fmt.Errorf("chaos: unknown fault kind %q (want %s or %s)", kind, KindPanic, KindNaN)
+		switch kind {
+		case KindPanic, KindNaN, KindFlip, KindFlipRed:
+		default:
+			return nil, fmt.Errorf("chaos: unknown fault kind %q (want %s, %s, %s or %s)",
+				kind, KindPanic, KindNaN, KindFlip, KindFlipRed)
 		}
 		stepStr, callStr, ok := strings.Cut(at, ".")
 		if !ok {
@@ -84,12 +101,13 @@ func ParseSpec(spec string) ([]Fault, error) {
 // the CapabilityReporter protocol, and fires each scheduled fault exactly
 // once.
 type Kernels struct {
-	inner  driver.Kernels
-	faults []Fault
-	step   int  // SetField calls seen
-	call   int  // kernel calls within the current step
-	armNaN bool // next reduction reports NaN
-	fired  int
+	inner   driver.Kernels
+	faults  []Fault
+	step    int  // SetField calls seen
+	call    int  // kernel calls within the current step
+	armNaN  bool // next reduction reports NaN
+	armFlip bool // next reduction reports its sign flipped
+	fired   int
 }
 
 // Wrap builds a chaos wrapper over port with the given schedule.
@@ -118,15 +136,40 @@ func (c *Kernels) tick() {
 			panic(fmt.Errorf("%w: panic at step %d call %d", ErrInjected, c.step, c.call))
 		case KindNaN:
 			c.armNaN = true
+		case KindFlip:
+			c.flipState()
+		case KindFlipRed:
+			c.armFlip = true
 		}
 	}
 }
 
-// poison substitutes NaN for a reduction result when armed.
+// flipState flips bit 52 of the central interior element of u through the
+// checkpoint read/write path, silently corrupting persistent solver state.
+func (c *Kernels) flipState() {
+	fr := driver.AsFieldRestorer(c.inner)
+	if fr == nil {
+		panic(fmt.Errorf("%w: flip fault needs a FieldRestorer port, %s has none",
+			ErrInjected, c.inner.Name()))
+	}
+	u := c.inner.FetchField(driver.FieldU)
+	if len(u) == 0 {
+		panic(fmt.Errorf("%w: flip fault fired before u exists", ErrInjected))
+	}
+	mid := len(u) / 2
+	u[mid] = comm.FlipBits(u[mid], comm.DefaultFlipBit)
+	fr.RestoreField(driver.FieldU, u)
+}
+
+// poison substitutes a corrupted value for a reduction result when armed.
 func (c *Kernels) poison(v float64) float64 {
 	if c.armNaN {
 		c.armNaN = false
 		return math.NaN()
+	}
+	if c.armFlip {
+		c.armFlip = false
+		return comm.FlipBits(v, 63)
 	}
 	return v
 }
@@ -145,6 +188,7 @@ func (c *Kernels) SetField() {
 	c.step++
 	c.call = 0
 	c.armNaN = false // un-fired poison does not leak across attempts
+	c.armFlip = false
 	c.inner.SetField()
 }
 

@@ -239,6 +239,42 @@ func (c *Checkpoint) Save(path string) error {
 	return nil
 }
 
+// PrevPath returns the rotation partner of a checkpoint path: the location
+// the previous generation is moved to by SaveRotate.
+func PrevPath(path string) string { return path + ".prev" }
+
+// SaveRotate writes the checkpoint to path, first rotating any existing
+// file at path to PrevPath(path). The rotation means a checkpoint that is
+// later found corrupt on disk — a torn write survived by the filesystem, a
+// bit-flip at rest — still leaves one older generation to fall back to,
+// which LoadLatest does automatically.
+func (c *Checkpoint) SaveRotate(path string) error {
+	if _, err := os.Stat(path); err == nil {
+		if err := os.Rename(path, PrevPath(path)); err != nil {
+			return fmt.Errorf("checkpoint: rotate: %w", err)
+		}
+	}
+	return c.Save(path)
+}
+
+// LoadLatest loads the newest valid checkpoint of the rotation pair written
+// by SaveRotate: path itself, falling back to PrevPath(path) when path is
+// missing, truncated or fails CRC validation. It returns the checkpoint and
+// the file it actually came from. When neither file yields a valid
+// checkpoint the primary file's error is returned (wrapping os.ErrNotExist
+// when it does not exist, ErrCorrupt when it failed validation).
+func LoadLatest(path string) (*Checkpoint, string, error) {
+	c, err := Load(path)
+	if err == nil {
+		return c, path, nil
+	}
+	prev := PrevPath(path)
+	if c2, err2 := Load(prev); err2 == nil {
+		return c2, prev, nil
+	}
+	return nil, "", err
+}
+
 // Load reads and validates the checkpoint at path.
 func Load(path string) (*Checkpoint, error) {
 	f, err := os.Open(path)

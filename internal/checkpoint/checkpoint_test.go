@@ -100,6 +100,105 @@ func TestSaveLoad(t *testing.T) {
 	}
 }
 
+func TestSaveRotateKeepsPreviousGeneration(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	first := sample()
+	if err := first.SaveRotate(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(PrevPath(path)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("first SaveRotate created a .prev (stat err %v)", err)
+	}
+	second := sample()
+	second.Step = 8
+	if err := second.SaveRotate(path); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, err := Load(PrevPath(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Step != 8 || prev.Step != 7 {
+		t.Errorf("rotation: primary step %d (want 8), prev step %d (want 7)", cur.Step, prev.Step)
+	}
+}
+
+// TestLoadLatestFallsBack: a primary checkpoint corrupted at rest (one
+// flipped byte on disk) must not cost the run its history — LoadLatest
+// serves the rotated previous generation instead.
+func TestLoadLatestFallsBack(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	a := sample()
+	if err := a.SaveRotate(path); err != nil {
+		t.Fatal(err)
+	}
+	b := sample()
+	b.Step = 8
+	if err := b.SaveRotate(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Healthy primary wins.
+	ck, from, err := LoadLatest(path)
+	if err != nil || ck.Step != 8 || from != path {
+		t.Fatalf("healthy LoadLatest = step %v from %q, err %v", ck, from, err)
+	}
+
+	// Flip one byte mid-file: CRC rejects the primary, .prev serves.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x10
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ck, from, err = LoadLatest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Step != 7 || from != PrevPath(path) {
+		t.Errorf("fallback served step %d from %q, want step 7 from %q", ck.Step, from, PrevPath(path))
+	}
+
+	// Truncate the primary instead: same fallback.
+	if err := os.WriteFile(path, raw[:10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if ck, _, err = LoadLatest(path); err != nil || ck.Step != 7 {
+		t.Errorf("truncated primary: got step %v, err %v", ck, err)
+	}
+
+	// Both generations corrupt: the primary's typed error surfaces.
+	if err := os.WriteFile(PrevPath(path), raw[:10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err = LoadLatest(path); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("both corrupt: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestLoadLatestMissingPrimaryUsesPrev(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	if err := sample().Save(PrevPath(path)); err != nil {
+		t.Fatal(err)
+	}
+	ck, from, err := LoadLatest(path)
+	if err != nil || ck.Step != 7 || from != PrevPath(path) {
+		t.Fatalf("missing primary: got %v from %q, err %v", ck, from, err)
+	}
+
+	// Neither file: os.ErrNotExist must surface so resume treats it as a
+	// cold start.
+	if _, _, err := LoadLatest(filepath.Join(t.TempDir(), "none.ckpt")); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("no files: err = %v, want ErrNotExist", err)
+	}
+}
+
 func TestCloneIsDeep(t *testing.T) {
 	c := sample()
 	d := c.Clone()

@@ -11,8 +11,11 @@
 package comm
 
 import (
+	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -21,10 +24,39 @@ import (
 
 // message is one point-to-point transfer. Payloads are copied on send so a
 // rank may immediately reuse its buffer, matching MPI's eager protocol for
-// the message sizes TeaLeaf exchanges.
+// the message sizes TeaLeaf exchanges. With checksums enabled the message
+// additionally carries the CRC-32C of the payload as it left the sender's
+// buffer plus a pristine retransmission copy, so a receive that detects
+// wire corruption can repair it once without a protocol round-trip.
 type message struct {
 	src, tag int
 	data     []float64
+	crc      uint32    // CRC-32C of the payload at send time (summed only)
+	summed   bool      // crc is valid: world had checksums on at send
+	backup   []float64 // retransmission copy, pooled; nil when checksums off
+}
+
+// castagnoli is the CRC-32C polynomial table, hardware-accelerated on every
+// target Go supports — the same checksum the checkpoint container uses.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// crcFloats checksums a float64 payload byte-wise (little-endian), so the
+// checksum is stable across architectures and matches a value-wise replay.
+func crcFloats(xs []float64) uint32 {
+	var scratch [8]byte
+	crc := uint32(0)
+	for _, x := range xs {
+		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(x))
+		crc = crc32.Update(crc, castagnoli, scratch[:])
+	}
+	return crc
+}
+
+// crcFloat is crcFloats for a single staged reduction contribution.
+func crcFloat(x float64) uint32 {
+	var scratch [8]byte
+	binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(x))
+	return crc32.Update(0, castagnoli, scratch[:])
 }
 
 // mailbox is an unbounded, order-preserving queue of incoming messages for
@@ -95,6 +127,7 @@ type World struct {
 
 	redMu  sync.Mutex
 	redBuf []float64
+	redCRC []uint32 // per-rank CRC of the staged contribution (checksums mode)
 
 	// Message payload free list. Send draws its copy buffer from here and
 	// RecvInto returns consumed payloads, so a steady-state halo exchange
@@ -112,6 +145,15 @@ type World struct {
 	aborted  atomic.Bool
 	abortMu  sync.Mutex
 	abortErr error
+
+	// Silent-data-corruption defence, off by default: when checks is set
+	// every payload and reduction contribution carries a CRC-32C verified
+	// on receipt. detected counts CRC mismatches, recovered the mismatches
+	// repaired from the retransmission copy; a detection that cannot be
+	// repaired escalates as a CorruptionError panic.
+	checks    bool
+	detected  atomic.Uint64
+	recovered atomic.Uint64
 }
 
 // NewWorld creates a communicator with the given number of ranks.
@@ -123,6 +165,7 @@ func NewWorld(size int) *World {
 		size:   size,
 		boxes:  make([]*mailbox, size),
 		redBuf: make([]float64, size),
+		redCRC: make([]uint32, size),
 		bufs:   make([][]float64, 0, 8*size+16),
 	}
 	for i := range w.boxes {
@@ -179,6 +222,22 @@ func (w *World) SetFaultInjector(fi FaultInjector) { w.injector = fi }
 // than a hang. Zero disables the watchdog (the default).
 func (w *World) SetCollectiveTimeout(d time.Duration) { w.timeout = d }
 
+// SetChecksums switches payload checksumming on or off. With checks on,
+// every Send carries a CRC-32C and a pristine retransmission copy of its
+// payload, every Recv verifies it (repairing one corruption from the copy,
+// escalating an unrepairable one as a CorruptionError), and every reduction
+// contribution is verified by each reading rank. Install before Run.
+func (w *World) SetChecksums(on bool) { w.checks = on }
+
+// ChecksumStats returns the cumulative counts of detected CRC mismatches
+// and of those silently repaired from the retransmission copy. Detections
+// are counted per observing rank, so one corrupted reduction contribution
+// read by N ranks counts N times. The counters survive Reset: they report
+// the whole run, not the last attempt.
+func (w *World) ChecksumStats() (detected, recovered uint64) {
+	return w.detected.Load(), w.recovered.Load()
+}
+
 // Err returns the first rank failure recorded since the last Reset, or nil.
 func (w *World) Err() error {
 	w.abortMu.Lock()
@@ -219,6 +278,9 @@ func (w *World) Reset() {
 		box.mu.Lock()
 		for _, msg := range box.pending {
 			w.putBuf(msg.data)
+			if msg.backup != nil {
+				w.putBuf(msg.backup)
+			}
 		}
 		box.pending = nil
 		box.mu.Unlock()
@@ -232,6 +294,43 @@ func (w *World) Reset() {
 	w.abortErr = nil
 	w.abortMu.Unlock()
 	w.aborted.Store(false)
+}
+
+// RunCtx is Run bounded by a context: a deadline on ctx tightens the
+// per-collective watchdog (so a rank blocked in a receive or barrier cannot
+// outlive the deadline), and cancellation aborts the world, waking every
+// blocked rank to fail fast with the cancellation cause. The previous
+// collective timeout is restored when RunCtx returns, so a world reused
+// across calls keeps its configured watchdog.
+func (w *World) RunCtx(ctx context.Context, fn func(r *Rank)) error {
+	if ctx == nil {
+		return w.Run(fn)
+	}
+	saved := w.timeout
+	defer func() { w.timeout = saved }()
+	if dl, ok := ctx.Deadline(); ok {
+		if d := time.Until(dl); d > 0 && (w.timeout <= 0 || d < w.timeout) {
+			w.timeout = d
+		}
+	}
+	if done := ctx.Done(); done != nil {
+		stop := make(chan struct{})
+		var watcher sync.WaitGroup
+		watcher.Add(1)
+		go func() {
+			defer watcher.Done()
+			select {
+			case <-done:
+				w.Abort(fmt.Errorf("comm: run cancelled: %w", context.Cause(ctx)))
+			case <-stop:
+			}
+		}()
+		defer func() {
+			close(stop)
+			watcher.Wait()
+		}()
+	}
+	return w.Run(fn)
 }
 
 // Run launches fn once per rank, each on its own goroutine, and blocks until
@@ -281,6 +380,13 @@ type Rank struct {
 	world *World
 	id    int
 	ops   int // operation sequence number (sends, receives, collectives)
+
+	// staged is true while this rank's reduction contribution sits live in
+	// the world's scratch slot (between staging and the post-read barrier);
+	// armFlip carries a collective flip verdict that arrived while no
+	// contribution was staged, to discharge at the next staging.
+	staged  bool
+	armFlip bool
 }
 
 // ID returns this rank's index in [0, Size).
@@ -295,14 +401,17 @@ func (r *Rank) Ops() int { return r.ops }
 
 // inject consults the installed fault injector's verdict for the current
 // operation and applies the rank-local actions. It reports whether the
-// operation should be dropped (sends only); corrupt is applied by the
-// caller to the payload copy.
-func (r *Rank) inject(act Action) (drop, corrupt bool) {
+// operation should be dropped (sends only); corrupt and flip are applied by
+// the caller to the payload copy (or, for collectives, to the staged
+// reduction contribution).
+func (r *Rank) inject(act Action) (drop, corrupt, flip bool) {
 	switch act {
 	case ActDrop:
-		return true, false
+		return true, false, false
 	case ActCorrupt:
-		return false, true
+		return false, true, false
+	case ActFlip:
+		return false, false, true
 	case ActDelay:
 		if s, ok := r.world.injector.(*Schedule); ok {
 			time.Sleep(s.delay())
@@ -318,7 +427,16 @@ func (r *Rank) inject(act Action) (drop, corrupt bool) {
 	case ActKill:
 		panic(fmt.Errorf("comm: rank %d killed at op %d: %w", r.id, r.ops, ErrKilled))
 	}
-	return false, false
+	return false, false, false
+}
+
+// flipShape returns the flip shape the injector recorded for this rank, or
+// the default when the injector is not a *Schedule.
+func (r *Rank) flipShape() flipSpec {
+	if s, ok := r.world.injector.(*Schedule); ok {
+		return s.flipFor(r.id)
+	}
+	return flipSpec{Bit: DefaultFlipBit}
 }
 
 // Send delivers a copy of data to dst with the given tag. Send is eager and
@@ -329,22 +447,46 @@ func (r *Rank) Send(dst, tag int, data []float64) {
 		panic(fmt.Errorf("comm: rank %d: send to invalid rank %d (world size %d, tag %d)",
 			r.id, dst, r.world.size, tag))
 	}
-	var corrupt bool
+	var corrupt, flip bool
 	if fi := r.world.injector; fi != nil {
 		var drop bool
-		drop, corrupt = r.inject(fi.OnSend(r.id, dst, tag, r.ops))
+		drop, corrupt, flip = r.inject(fi.OnSend(r.id, dst, tag, r.ops))
 		if drop {
 			return
 		}
 	}
 	buf := r.world.getBuf(len(data))
 	copy(buf, data)
+	msg := message{src: r.id, tag: tag, data: buf}
+	if r.world.checks {
+		// Checksum and back up the payload as it left the caller's buffer,
+		// before any injected wire fault touches the copy: the CRC attests
+		// to the sender's intent, the backup is the bounded re-exchange.
+		msg.crc = crcFloats(buf)
+		msg.summed = true
+		msg.backup = r.world.getBuf(len(data))
+		copy(msg.backup, data)
+	}
 	if corrupt {
 		for i := range buf {
 			buf[i] = math.NaN()
 		}
 	}
-	r.world.boxes[dst].put(message{src: r.id, tag: tag, data: buf})
+	if flip && len(buf) > 0 {
+		fs := r.flipShape()
+		idx := fs.Idx
+		if idx >= len(buf) {
+			idx = len(buf) - 1
+		}
+		buf[idx] = FlipBits(buf[idx], fs.Bit)
+		if fs.Sticky && msg.backup != nil {
+			// A sticky flip hits the retransmission copy too, modelling
+			// corruption at the source rather than on the wire: detection
+			// cannot repair it and must escalate.
+			msg.backup[idx] = FlipBits(msg.backup[idx], fs.Bit)
+		}
+	}
+	r.world.boxes[dst].put(msg)
 }
 
 // Recv blocks until a message from src with the given tag arrives and
@@ -356,7 +498,37 @@ func (r *Rank) Recv(src, tag int) []float64 {
 		panic(fmt.Errorf("comm: rank %d: recv from invalid rank %d (world size %d, tag %d)",
 			r.id, src, r.world.size, tag))
 	}
-	return r.world.boxes[r.id].get(r.world, r.id, src, tag).data
+	msg := r.world.boxes[r.id].get(r.world, r.id, src, tag)
+	return r.verify(msg, src, tag)
+}
+
+// verify checks a checksummed message's payload against its CRC. A mismatch
+// is repaired once from the retransmission copy — the bounded re-exchange —
+// and an unrepairable mismatch escalates as a CorruptionError panic, which
+// World.Run wraps into a RankError for the driver's rollback machinery.
+// Unsummed messages (checksums off at send) pass through untouched.
+func (r *Rank) verify(msg message, src, tag int) []float64 {
+	if !msg.summed {
+		return msg.data
+	}
+	w := r.world
+	got := crcFloats(msg.data)
+	if got == msg.crc {
+		if msg.backup != nil {
+			w.putBuf(msg.backup)
+		}
+		return msg.data
+	}
+	w.detected.Add(1)
+	if msg.backup != nil && crcFloats(msg.backup) == msg.crc {
+		w.putBuf(msg.data)
+		w.recovered.Add(1)
+		return msg.backup
+	}
+	if msg.backup != nil {
+		w.putBuf(msg.backup)
+	}
+	panic(&CorruptionError{Rank: r.id, Src: src, Tag: tag, Op: r.ops, Want: msg.crc, Got: got})
 }
 
 // RecvInto receives from (src, tag) into dst and returns the element count.
@@ -387,7 +559,21 @@ func (r *Rank) Sendrecv(dst, sendTag int, sendData []float64, src, recvTag int) 
 func (r *Rank) Barrier() {
 	r.ops++
 	if fi := r.world.injector; fi != nil {
-		r.inject(fi.OnCollective(r.id, r.ops))
+		if _, _, flip := r.inject(fi.OnCollective(r.id, r.ops)); flip {
+			// A flip at a collective corrupts this rank's staged reduction
+			// contribution — after the CRC was staged, so a checksummed
+			// Allreduce detects it at every reading rank. At a bare barrier
+			// (or a reduction's post-read barrier) the slot holds stale
+			// scratch, so the verdict is armed instead and discharges at the
+			// next staging — a one-shot flip rule always corrupts something
+			// observable rather than silently evaporating.
+			if r.staged {
+				w := r.world
+				w.redBuf[r.id] = FlipBits(w.redBuf[r.id], r.flipShape().Bit)
+			} else {
+				r.armFlip = true
+			}
+		}
 	}
 	r.world.bar.wait(r.world, r.id)
 }
@@ -467,10 +653,34 @@ const (
 func (r *Rank) Allreduce(x float64, op Op) float64 {
 	w := r.world
 	w.redBuf[r.id] = x
+	if w.checks {
+		w.redCRC[r.id] = crcFloat(x)
+	}
+	if r.armFlip {
+		// Discharge a flip verdict that arrived while nothing was staged:
+		// the CRC above already attests to the true contribution, so every
+		// reading rank detects the corruption.
+		r.armFlip = false
+		w.redBuf[r.id] = FlipBits(w.redBuf[r.id], r.flipShape().Bit)
+	}
+	r.staged = true
 	r.Barrier() // all contributions visible
-	acc := w.redBuf[0]
-	for i := 1; i < w.size; i++ {
+	var acc float64
+	for i := 0; i < w.size; i++ {
 		v := w.redBuf[i]
+		if w.checks {
+			if got := crcFloat(v); got != w.redCRC[i] {
+				// A reduction contribution lives in shared scratch: there is
+				// no retransmission copy to repair from, so every detection
+				// escalates directly (Tag -1 marks a collective).
+				w.detected.Add(1)
+				panic(&CorruptionError{Rank: r.id, Src: i, Tag: -1, Op: r.ops, Want: w.redCRC[i], Got: got})
+			}
+		}
+		if i == 0 {
+			acc = v
+			continue
+		}
 		switch op {
 		case OpSum:
 			acc += v
@@ -484,7 +694,8 @@ func (r *Rank) Allreduce(x float64, op Op) float64 {
 			}
 		}
 	}
-	r.Barrier() // all ranks done reading before any next write
+	r.staged = false // the slot is dead scratch from here on
+	r.Barrier()      // all ranks done reading before any next write
 	return acc
 }
 
@@ -518,9 +729,24 @@ func (r *Rank) Bcast(x float64, root int) float64 {
 	w := r.world
 	if r.id == root {
 		w.redBuf[root] = x
+		if w.checks {
+			w.redCRC[root] = crcFloat(x)
+		}
+		if r.armFlip {
+			r.armFlip = false
+			w.redBuf[root] = FlipBits(w.redBuf[root], r.flipShape().Bit)
+		}
+		r.staged = true
 	}
 	r.Barrier()
 	v := w.redBuf[root]
+	if w.checks {
+		if got := crcFloat(v); got != w.redCRC[root] {
+			w.detected.Add(1)
+			panic(&CorruptionError{Rank: r.id, Src: root, Tag: -1, Op: r.ops, Want: w.redCRC[root], Got: got})
+		}
+	}
+	r.staged = false
 	r.Barrier()
 	return v
 }

@@ -3,6 +3,7 @@ package comm
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"strconv"
 	"strings"
@@ -34,6 +35,11 @@ const (
 	ActStall
 	// ActKill panics the rank with ErrKilled, simulating a process death.
 	ActKill
+	// ActFlip XORs one bit of one payload element (sends) or of the rank's
+	// staged reduction contribution (collectives): a deterministic *finite*
+	// silent-data-corruption, unlike the NaN poisoning of ActCorrupt. The
+	// bit, element index and stickiness come from the rule (see Rule.Bit).
+	ActFlip
 )
 
 func (a Action) String() string {
@@ -50,6 +56,8 @@ func (a Action) String() string {
 		return "stall"
 	case ActKill:
 		return "kill"
+	case ActFlip:
+		return "flip"
 	default:
 		return fmt.Sprintf("Action(%d)", int(a))
 	}
@@ -79,7 +87,37 @@ var (
 	// world's collective deadline — the watchdog's signal that a peer rank
 	// is dead or stalled rather than slow.
 	ErrCollectiveTimeout = errors.New("comm: collective deadline exceeded")
+	// ErrCorruption marks a CRC-32C mismatch on a received payload or a
+	// reduction contribution that bounded retransmission could not repair —
+	// silent data corruption caught before it folded into the physics.
+	ErrCorruption = errors.New("comm: silent payload corruption detected")
 )
+
+// CorruptionError is the structured report of one detected-but-unrepaired
+// corruption: which rank detected it, which rank's data failed its
+// checksum, on which tag (-1 for a collective), and the CRC pair. It routes
+// through the same RankError/rollback machinery as a crash: the detecting
+// rank panics with it, World.Run wraps it, and the resilient driver rolls
+// back to the last validated checkpoint.
+type CorruptionError struct {
+	Rank      int    // detecting rank
+	Src       int    // rank whose payload/contribution failed validation
+	Tag       int    // message tag, or -1 for a collective
+	Op        int    // detecting rank's comm-operation sequence number
+	Want, Got uint32 // stored and recomputed CRC-32C
+}
+
+func (e *CorruptionError) Error() string {
+	if e.Tag < 0 {
+		return fmt.Sprintf("comm: rank %d: contribution from rank %d failed CRC at op %d (stored %08x, computed %08x): %v",
+			e.Rank, e.Src, e.Op, e.Want, e.Got, ErrCorruption)
+	}
+	return fmt.Sprintf("comm: rank %d: payload from rank %d tag %d failed CRC at op %d (stored %08x, computed %08x): %v",
+		e.Rank, e.Src, e.Tag, e.Op, e.Want, e.Got, ErrCorruption)
+}
+
+// Unwrap exposes ErrCorruption to errors.Is chains.
+func (e *CorruptionError) Unwrap() error { return ErrCorruption }
 
 // RankError is the structured failure of one rank: which rank, at which of
 // its communication operations (a per-rank sequence number over sends,
@@ -115,6 +153,36 @@ type Rule struct {
 	Op     int     // exact op sequence number; 0 means probabilistic
 	Tag    int     // matching send tag, or -1 for any (ignored for collectives)
 	Prob   float64 // per-op firing probability when Op == 0
+
+	// Flip shape, used only by ActFlip rules. Bit is the bit index XORed
+	// into the targeted float64 (0 = LSB of the mantissa, 52 = low exponent
+	// bit — a finite ×2/÷2 —, 63 = sign); Idx is the payload element index
+	// (clamped to the payload, ignored for collectives); Sticky makes the
+	// flip hit the retransmission copy too, so a checksummed receive cannot
+	// repair it and must escalate to CorruptionError.
+	Bit    int
+	Idx    int
+	Sticky bool
+}
+
+// DefaultFlipBit is the bit a flip rule targets when the spec names none:
+// the lowest exponent bit, which doubles or halves the value — a large,
+// always-finite corruption that any invariant monitor worth its name must
+// catch.
+const DefaultFlipBit = 52
+
+// flipSpec is the rank-local record of the flip shape the last matched
+// ActFlip rule asked for.
+type flipSpec struct {
+	Bit    int
+	Idx    int
+	Sticky bool
+}
+
+// FlipBits XORs bit (0..63) into the IEEE-754 representation of x — the
+// canonical single-event-upset model.
+func FlipBits(x float64, bit int) float64 {
+	return math.Float64frombits(math.Float64bits(x) ^ (1 << (uint(bit) & 63)))
 }
 
 // Schedule is the deterministic, seeded FaultInjector used by the chaos
@@ -129,9 +197,10 @@ type Schedule struct {
 	Delay time.Duration
 	Stall time.Duration
 
-	mu      sync.Mutex
-	fired   map[int]bool
-	streams map[int]*rand.Rand
+	mu       sync.Mutex
+	fired    map[int]bool
+	streams  map[int]*rand.Rand
+	lastFlip map[int]flipSpec // per-rank shape of the last matched flip rule
 }
 
 // NewSchedule builds an empty schedule with the given seed.
@@ -179,9 +248,26 @@ func (s *Schedule) match(rank, tag, op int) Action {
 			s.fired = make(map[int]bool)
 		}
 		s.fired[i] = true
+		if r.Action == ActFlip {
+			if s.lastFlip == nil {
+				s.lastFlip = make(map[int]flipSpec)
+			}
+			s.lastFlip[rank] = flipSpec{Bit: r.Bit, Idx: r.Idx, Sticky: r.Sticky}
+		}
 		return r.Action
 	}
 	return ActNone
+}
+
+// flipFor returns the flip shape recorded for rank by the last matched
+// ActFlip rule, or the default shape.
+func (s *Schedule) flipFor(rank int) flipSpec {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fs, ok := s.lastFlip[rank]; ok {
+		return fs
+	}
+	return flipSpec{Bit: DefaultFlipBit}
 }
 
 // stream returns rank's private random stream. Caller holds s.mu.
@@ -209,6 +295,7 @@ func (s *Schedule) Reset() {
 	s.mu.Lock()
 	s.fired = nil
 	s.streams = nil
+	s.lastFlip = nil
 	s.mu.Unlock()
 }
 
@@ -217,11 +304,14 @@ func (s *Schedule) Reset() {
 //
 //	action:key=value[,key=value...]
 //
-// with actions drop|delay|corrupt|stall|kill and keys rank, op, tag, prob,
-// seed (seed applies to the whole schedule). Examples:
+// with actions drop|delay|corrupt|stall|kill|flip and keys rank, op, tag,
+// prob, seed (seed applies to the whole schedule); flip additionally takes
+// bit (0..63, default 52), idx (payload element, default 0) and sticky
+// (0|1: corrupt the retransmission copy too). Examples:
 //
 //	kill:rank=1,op=40
 //	corrupt:rank=0,op=25;drop:prob=0.01,seed=7
+//	flip:rank=1,op=30,bit=12
 func ParseSpec(spec string) (*Schedule, error) {
 	s := &Schedule{}
 	for _, clause := range strings.Split(spec, ";") {
@@ -242,10 +332,15 @@ func ParseSpec(spec string) (*Schedule, error) {
 			act = ActStall
 		case "kill":
 			act = ActKill
+		case "flip":
+			act = ActFlip
 		default:
 			return nil, fmt.Errorf("comm: fault spec: unknown action %q in %q", name, clause)
 		}
 		r := Rule{Action: act, Rank: -1, Tag: -1}
+		if act == ActFlip {
+			r.Bit = DefaultFlipBit
+		}
 		if args != "" {
 			for _, kv := range strings.Split(args, ",") {
 				key, val, ok := strings.Cut(kv, "=")
@@ -283,6 +378,36 @@ func ParseSpec(spec string) (*Schedule, error) {
 						return nil, fmt.Errorf("comm: fault spec: bad seed %q: %w", val, err)
 					}
 					s.Seed = n
+				case "bit":
+					if act != ActFlip {
+						return nil, fmt.Errorf("comm: fault spec: key %q only applies to flip, not %v", key, act)
+					}
+					n, err := strconv.Atoi(val)
+					if err != nil || n < 0 || n > 63 {
+						return nil, fmt.Errorf("comm: fault spec: bad bit %q (want 0..63)", val)
+					}
+					r.Bit = n
+				case "idx":
+					if act != ActFlip {
+						return nil, fmt.Errorf("comm: fault spec: key %q only applies to flip, not %v", key, act)
+					}
+					n, err := strconv.Atoi(val)
+					if err != nil || n < 0 {
+						return nil, fmt.Errorf("comm: fault spec: bad idx %q (want non-negative integer)", val)
+					}
+					r.Idx = n
+				case "sticky":
+					if act != ActFlip {
+						return nil, fmt.Errorf("comm: fault spec: key %q only applies to flip, not %v", key, act)
+					}
+					switch strings.TrimSpace(val) {
+					case "1", "true":
+						r.Sticky = true
+					case "0", "false":
+						r.Sticky = false
+					default:
+						return nil, fmt.Errorf("comm: fault spec: bad sticky %q (want 0 or 1)", val)
+					}
 				default:
 					return nil, fmt.Errorf("comm: fault spec: unknown key %q in %q", key, clause)
 				}
@@ -297,4 +422,50 @@ func ParseSpec(spec string) (*Schedule, error) {
 		return nil, errors.New("comm: fault spec: empty specification")
 	}
 	return s, nil
+}
+
+// Spec serialises the schedule back into the ParseSpec grammar, canonically:
+// ParseSpec(s.Spec()) reconstructs the same rules and seed. This is the
+// round-trip property the fuzz target pins, and what lets a schedule be
+// logged and replayed exactly.
+func (s *Schedule) Spec() string {
+	var b strings.Builder
+	for i, r := range s.Rules {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(r.Action.String())
+		var kvs []string
+		if r.Rank >= 0 {
+			kvs = append(kvs, "rank="+strconv.Itoa(r.Rank))
+		}
+		if r.Op > 0 {
+			kvs = append(kvs, "op="+strconv.Itoa(r.Op))
+		}
+		if r.Tag >= 0 {
+			kvs = append(kvs, "tag="+strconv.Itoa(r.Tag))
+		}
+		if r.Op <= 0 {
+			kvs = append(kvs, "prob="+strconv.FormatFloat(r.Prob, 'g', -1, 64))
+		}
+		if r.Action == ActFlip {
+			if r.Bit != DefaultFlipBit {
+				kvs = append(kvs, "bit="+strconv.Itoa(r.Bit))
+			}
+			if r.Idx != 0 {
+				kvs = append(kvs, "idx="+strconv.Itoa(r.Idx))
+			}
+			if r.Sticky {
+				kvs = append(kvs, "sticky=1")
+			}
+		}
+		if i == 0 && s.Seed != 0 {
+			kvs = append(kvs, "seed="+strconv.FormatInt(s.Seed, 10))
+		}
+		if len(kvs) > 0 {
+			b.WriteByte(':')
+			b.WriteString(strings.Join(kvs, ","))
+		}
+	}
+	return b.String()
 }

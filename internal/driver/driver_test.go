@@ -1,6 +1,7 @@
 package driver
 
 import (
+	"context"
 	"errors"
 	"math"
 	"strings"
@@ -55,7 +56,7 @@ func (s *stubKernels) FetchField(FieldID) []float64        { return make([]float
 func (s *stubKernels) Close()                              {}
 
 func stubSolver() Solver {
-	return SolverFunc(func(k Kernels) (SolveStats, error) {
+	return SolverFunc(func(_ context.Context, k Kernels) (SolveStats, error) {
 		return SolveStats{Iterations: 3, Converged: true, Error: 1e-16}, nil
 	})
 }
@@ -216,7 +217,7 @@ func TestRunEndTimeTermination(t *testing.T) {
 func TestRunPropagatesSolverError(t *testing.T) {
 	cfg := config.BenchmarkN(8)
 	cfg.EndStep = 3
-	boom := SolverFunc(func(Kernels) (SolveStats, error) {
+	boom := SolverFunc(func(context.Context, Kernels) (SolveStats, error) {
 		return SolveStats{}, errStub
 	})
 	if _, err := Run(cfg, &stubKernels{}, boom, nil); err == nil {

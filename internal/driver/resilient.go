@@ -1,6 +1,7 @@
 package driver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"github.com/warwick-hpsc/tealeaf-go/internal/checkpoint"
+	"github.com/warwick-hpsc/tealeaf-go/internal/comm"
 	"github.com/warwick-hpsc/tealeaf-go/internal/config"
 	"github.com/warwick-hpsc/tealeaf-go/internal/grid"
 )
@@ -53,8 +55,19 @@ func (p RecoveryPolicy) enabled() bool {
 // Rollback needs the port to implement FieldRestorer; RunResilient fails
 // fast at the first recovery attempt on a port that cannot restore.
 func RunResilient(cfg config.Config, k Kernels, s Solver, log io.Writer, pol RecoveryPolicy) (Result, error) {
+	return RunResilientCtx(context.Background(), cfg, k, s, log, pol)
+}
+
+// RunResilientCtx is RunResilient bounded by a context. Cancellation and
+// deadline expiry are terminal, never retried: the run returns promptly
+// with the partial Result accumulated so far and the cancellation cause,
+// even when it strikes mid-recovery.
+func RunResilientCtx(ctx context.Context, cfg config.Config, k Kernels, s Solver, log io.Writer, pol RecoveryPolicy) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if !pol.enabled() {
-		return Run(cfg, k, s, log)
+		return RunCtx(ctx, cfg, k, s, log)
 	}
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
@@ -86,7 +99,9 @@ func RunResilient(cfg config.Config, k Kernels, s Solver, log io.Writer, pol Rec
 			},
 		}
 		if pol.CheckpointPath != "" {
-			if err := ck.Save(pol.CheckpointPath); err != nil {
+			// Rotate rather than overwrite: a checkpoint later found corrupt
+			// on disk still leaves the previous generation to resume from.
+			if err := ck.SaveRotate(pol.CheckpointPath); err != nil {
 				return nil, err
 			}
 		}
@@ -116,7 +131,11 @@ func RunResilient(cfg config.Config, k Kernels, s Solver, log io.Writer, pol Rec
 	simTime := 0.0
 
 	if pol.Resume && pol.CheckpointPath != "" {
-		switch ck, err := checkpoint.Load(pol.CheckpointPath); {
+		// LoadLatest falls back to the rotated previous generation when the
+		// primary file is truncated or fails its CRC, so a checkpoint
+		// corrupted at rest costs the run one checkpoint interval, not the
+		// whole history. Only when no generation validates does resume fail.
+		switch ck, from, err := checkpoint.LoadLatest(pol.CheckpointPath); {
 		case err == nil:
 			if ck.NX != cfg.NX || ck.NY != cfg.NY {
 				return Result{}, fmt.Errorf("driver: resume checkpoint is %dx%d, configuration wants %dx%d",
@@ -129,6 +148,9 @@ func RunResilient(cfg config.Config, k Kernels, s Solver, log io.Writer, pol Rec
 			simTime = ck.Time
 			if log != nil {
 				fmt.Fprintf(log, "resume: restored checkpoint at step %d, time %g\n", ck.Step, ck.Time)
+				if from != pol.CheckpointPath {
+					fmt.Fprintf(log, "resume: primary checkpoint invalid, fell back to %s\n", from)
+				}
 			}
 		case errors.Is(err, os.ErrNotExist):
 			// Cold start; the file appears once the first checkpoint saves.
@@ -143,16 +165,20 @@ func RunResilient(cfg config.Config, k Kernels, s Solver, log io.Writer, pol Rec
 	}
 
 	var (
-		res      Result
-		failures []error // every failure seen, for the final chain
-		retries  int     // consecutive failures since the last completed step
+		res        Result
+		failures   []error // every failure seen, for the final chain
+		retries    int     // consecutive failures since the last completed step
+		pendingSDC int     // SDC-classified failures awaiting a successful replay
 	)
 	for step := startStep; step <= cfg.EndStep && simTime < cfg.EndTime; step++ {
+		if cErr := context.Cause(ctx); cErr != nil {
+			return res, fmt.Errorf("driver: run cancelled before step %d: %w", step, cErr)
+		}
 		lastStep := step == cfg.EndStep || simTime+dt >= cfg.EndTime
 		summaryDue := lastStep ||
 			(cfg.SummaryFrequency > 0 && step%cfg.SummaryFrequency == 0)
 
-		stats, totals, stepErr := attemptStep(cfg, k, s, rx, ry, summaryDue)
+		stats, totals, stepErr := attemptStep(ctx, cfg, k, s, rx, ry, summaryDue)
 		var ck *checkpoint.Checkpoint
 		if stepErr == nil && pol.CheckpointEvery > 0 &&
 			(step%pol.CheckpointEvery == 0 || lastStep) {
@@ -162,6 +188,19 @@ func RunResilient(cfg config.Config, k Kernels, s Solver, log io.Writer, pol Rec
 			ck, stepErr = capture(step, simTime+dt)
 		}
 		if stepErr != nil {
+			// Cancellation is terminal, never a fault to retry: surface the
+			// partial result with the cause, even mid-recovery.
+			if cErr := context.Cause(ctx); cErr != nil {
+				return res, fmt.Errorf("driver: step %d cancelled: %w", step, cErr)
+			}
+			if errors.Is(stepErr, ErrSDC) || errors.Is(stepErr, comm.ErrCorruption) {
+				// Detected silent corruption: the escalation ladder below
+				// (rollback to the last CRC-validated checkpoint, replay) is
+				// the recovery; count the detection here and the recovery
+				// when the replay of this step completes.
+				res.SDCDetected++
+				pendingSDC++
+			}
 			failures = append(failures, fmt.Errorf("step %d attempt %d: %w", step, retries+1, stepErr))
 			retries++
 			if log != nil {
@@ -195,6 +234,8 @@ func RunResilient(cfg config.Config, k Kernels, s Solver, log io.Writer, pol Rec
 			continue
 		}
 		retries = 0
+		res.SDCRecovered += pendingSDC
+		pendingSDC = 0
 		simTime += dt
 
 		sr := StepResult{Step: step, Time: simTime, Stats: stats}
@@ -252,12 +293,12 @@ func containPanic(err *error) {
 // solver — a comm RankError, an injected fault — comes back as an error
 // instead of unwinding through the caller, so every kernel call a step makes
 // is inside the rollback/retry envelope.
-func attemptStep(cfg config.Config, k Kernels, s Solver, rx, ry float64, summaryDue bool) (stats SolveStats, totals *Totals, err error) {
+func attemptStep(ctx context.Context, cfg config.Config, k Kernels, s Solver, rx, ry float64, summaryDue bool) (stats SolveStats, totals *Totals, err error) {
 	defer containPanic(&err)
 	k.SetField()
 	k.HaloExchange([]FieldID{FieldDensity, FieldEnergy1}, 2)
 	k.SolveInit(cfg.Coefficient, rx, ry, cfg.Preconditioner)
-	stats, err = s.Solve(k)
+	stats, err = s.Solve(ctx, k)
 	if err != nil {
 		return stats, nil, err
 	}

@@ -1,6 +1,7 @@
 package driver
 
 import (
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -69,7 +70,7 @@ func (s *restorableStub) RestoreField(id FieldID, data []float64) {
 // succeeds otherwise.
 func flakySolver(failOn map[int]bool, panicMode bool) Solver {
 	n := 0
-	return SolverFunc(func(Kernels) (SolveStats, error) {
+	return SolverFunc(func(context.Context, Kernels) (SolveStats, error) {
 		n++
 		if failOn[n] {
 			if panicMode {
@@ -172,7 +173,7 @@ func TestRunResilientGivesUp(t *testing.T) {
 	cfg.EndStep = 5
 	k := &restorableStub{}
 	pol := RecoveryPolicy{CheckpointEvery: 1, MaxRetries: 2}
-	always := SolverFunc(func(Kernels) (SolveStats, error) { return SolveStats{}, errStub })
+	always := SolverFunc(func(context.Context, Kernels) (SolveStats, error) { return SolveStats{}, errStub })
 	_, err := RunResilient(cfg, k, always, nil, pol)
 	if err == nil {
 		t.Fatal("expected the run to give up")

@@ -1,6 +1,7 @@
 package driver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -9,6 +10,15 @@ import (
 	"github.com/warwick-hpsc/tealeaf-go/internal/config"
 	"github.com/warwick-hpsc/tealeaf-go/internal/grid"
 )
+
+// ErrSDC marks a solver invariant violation attributed to silent data
+// corruption: the true residual b−Ax drifted from the recursive residual, or
+// a quantity that is positive for an SPD system went negative. It lives in
+// driver (not solver) so the recovery loop can classify failures without an
+// import cycle; the solver package re-exports it as solver.ErrSDC. The
+// resilient driver treats it like a breakdown that escaped the solver's own
+// restarts: roll back to the last CRC-validated checkpoint and replay.
+var ErrSDC = errors.New("silent data corruption suspected (solver invariant violated)")
 
 // SolveStats reports what one implicit solve did. internal/solver produces
 // these; driver only records them.
@@ -23,20 +33,23 @@ type SolveStats struct {
 	EstChebyIters   int     // Chebyshev-theory iteration estimate
 	Restarts        int     // CG breakdown restarts within the solve
 	Fallbacks       int     // hops down the solver fallback chain
+	SDCChecks       int     // ABFT true-residual verifications performed
 }
 
 // Solver abstracts the solve control flow so driver does not import the
 // solver package (which imports driver). internal/solver provides the real
-// implementation; tests may substitute stubs.
+// implementation; tests may substitute stubs. The context bounds the solve:
+// implementations must return promptly with partial stats when it is
+// cancelled, and must tolerate a nil context (unbounded solve).
 type Solver interface {
-	Solve(k Kernels) (SolveStats, error)
+	Solve(ctx context.Context, k Kernels) (SolveStats, error)
 }
 
 // SolverFunc adapts a function to the Solver interface.
-type SolverFunc func(k Kernels) (SolveStats, error)
+type SolverFunc func(ctx context.Context, k Kernels) (SolveStats, error)
 
 // Solve implements Solver.
-func (f SolverFunc) Solve(k Kernels) (SolveStats, error) { return f(k) }
+func (f SolverFunc) Solve(ctx context.Context, k Kernels) (SolveStats, error) { return f(ctx, k) }
 
 // StepResult records one time step: the solve statistics and, when a field
 // summary was due, the QA totals.
@@ -56,6 +69,13 @@ type Result struct {
 	// Recoveries counts checkpoint rollbacks the resilient run loop took
 	// (always 0 for plain Run).
 	Recoveries int
+	// SDCDetected counts step failures the resilient run loop classified as
+	// silent data corruption (a solver ErrSDC or a comm CorruptionError);
+	// SDCRecovered counts those repaired by rollback-and-replay. Detections
+	// repaired inside the comm layer (checksummed retransmission) never
+	// reach the driver and are reported by World.ChecksumStats instead.
+	SDCDetected  int
+	SDCRecovered int
 }
 
 // Run executes a full TeaLeaf simulation of cfg against the port k, driving
@@ -63,6 +83,16 @@ type Result struct {
 // solve init, solve, finalise, reset, summary. If log is non-nil a per-step
 // report is written to it.
 func Run(cfg config.Config, k Kernels, s Solver, log io.Writer) (Result, error) {
+	return RunCtx(context.Background(), cfg, k, s, log)
+}
+
+// RunCtx is Run bounded by a context: cancellation or deadline expiry stops
+// the march between solver iterations and returns the partial Result
+// accumulated so far alongside the cancellation cause.
+func RunCtx(ctx context.Context, cfg config.Config, k Kernels, s Solver, log io.Writer) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -81,10 +111,13 @@ func Run(cfg config.Config, k Kernels, s Solver, log io.Writer) (Result, error) 
 	ry := dt / (m.Dy * m.Dy)
 	simTime := 0.0
 	for step := 1; step <= cfg.EndStep && simTime < cfg.EndTime; step++ {
+		if err := context.Cause(ctx); err != nil {
+			return res, fmt.Errorf("driver: run cancelled before step %d: %w", step, err)
+		}
 		k.SetField()
 		k.HaloExchange([]FieldID{FieldDensity, FieldEnergy1}, 2)
 		k.SolveInit(cfg.Coefficient, rx, ry, cfg.Preconditioner)
-		stats, err := s.Solve(k)
+		stats, err := s.Solve(ctx, k)
 		if err != nil {
 			return res, fmt.Errorf("driver: step %d: %w", step, err)
 		}

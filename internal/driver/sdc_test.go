@@ -1,0 +1,178 @@
+package driver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/config"
+)
+
+// sdcSolver fails with an ErrSDC-classified error on the scheduled solve
+// calls, succeeding otherwise — the shape of a solver whose ABFT monitor
+// tripped and escalated past its own restarts.
+func sdcSolver(failOn map[int]bool) Solver {
+	n := 0
+	return SolverFunc(func(context.Context, Kernels) (SolveStats, error) {
+		n++
+		if failOn[n] {
+			return SolveStats{}, fmt.Errorf("solver: invariant violated: %w", ErrSDC)
+		}
+		return SolveStats{Iterations: 3, Converged: true, Error: 1e-16}, nil
+	})
+}
+
+// TestRunResilientCountsSDC: an ErrSDC step failure is recovered through
+// the ordinary rollback ladder and tallied in SDCDetected/SDCRecovered.
+func TestRunResilientCountsSDC(t *testing.T) {
+	cfg := config.BenchmarkN(8)
+	cfg.EndStep = 5
+	k := &restorableStub{}
+	pol := RecoveryPolicy{CheckpointEvery: 1, MaxRetries: 2}
+	res, err := RunResilient(cfg, k, sdcSolver(map[int]bool{3: true}), nil, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SDCDetected != 1 || res.SDCRecovered != 1 {
+		t.Errorf("SDC counters = %d detected / %d recovered, want 1/1", res.SDCDetected, res.SDCRecovered)
+	}
+	if res.Recoveries != 1 || res.Final.Temperature != 5 {
+		t.Errorf("recoveries = %d, final temp %g; want 1 and 5", res.Recoveries, res.Final.Temperature)
+	}
+}
+
+// TestRunResilientSDCUnrecovered: a persistent corruption signal exhausts
+// retries; detections are counted, recoveries are not.
+func TestRunResilientSDCUnrecovered(t *testing.T) {
+	cfg := config.BenchmarkN(8)
+	cfg.EndStep = 3
+	pol := RecoveryPolicy{CheckpointEvery: 1, MaxRetries: 1}
+	res, err := RunResilient(cfg, &restorableStub{},
+		sdcSolver(map[int]bool{2: true, 3: true}), nil, pol)
+	if err == nil || !errors.Is(err, ErrSDC) {
+		t.Fatalf("err = %v, want the ErrSDC chain preserved", err)
+	}
+	if res.SDCDetected != 2 || res.SDCRecovered != 0 {
+		t.Errorf("SDC counters = %d/%d, want 2 detected, 0 recovered", res.SDCDetected, res.SDCRecovered)
+	}
+}
+
+// TestRunResilientResumeFallsBackToPrev: the primary checkpoint file is
+// corrupted on disk between runs; resume must fall back to the rotated
+// previous generation and replay from there rather than abort.
+func TestRunResilientResumeFallsBackToPrev(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	cfg := config.BenchmarkN(8)
+	cfg.EndStep = 4
+	pol := RecoveryPolicy{CheckpointEvery: 1, CheckpointPath: path}
+	if _, err := RunResilient(cfg, &restorableStub{}, stubSolver(), nil, pol); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte of the primary (step-4) checkpoint at rest.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x20
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.EndStep = 6
+	k2 := &restorableStub{}
+	pol.Resume = true
+	var log strings.Builder
+	res, err := RunResilient(cfg, k2, stubSolver(), &log, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The .prev generation froze step 3, so the resumed run replays 4..6.
+	if len(res.Steps) != 3 || res.Steps[0].Step != 4 {
+		t.Fatalf("resumed steps %v, want 4..6 from the previous generation", res.Steps)
+	}
+	if res.Final.Temperature != 6 {
+		t.Errorf("final temp %g, want 6 (3 restored + 3 replayed)", res.Final.Temperature)
+	}
+	if !strings.Contains(log.String(), "fell back to") {
+		t.Errorf("log does not mention the fallback:\n%s", log.String())
+	}
+}
+
+// TestRunResilientCtxCancelledMidRun: cancellation between steps is
+// terminal — no retry, no rollback — and the partial Result survives.
+func TestRunResilientCtxCancelledMidRun(t *testing.T) {
+	cfg := config.BenchmarkN(8)
+	cfg.EndStep = 100
+	k := &restorableStub{}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	sentinel := errors.New("wall-clock budget exhausted")
+	n := 0
+	s := SolverFunc(func(context.Context, Kernels) (SolveStats, error) {
+		n++
+		if n == 3 {
+			cancel(sentinel)
+		}
+		return SolveStats{Iterations: 2, Converged: true}, nil
+	})
+	pol := RecoveryPolicy{CheckpointEvery: 1, MaxRetries: 5}
+	res, err := RunResilientCtx(ctx, cfg, k, s, nil, pol)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the cancellation cause", err)
+	}
+	if len(res.Steps) != 3 {
+		t.Errorf("partial result has %d steps, want 3", len(res.Steps))
+	}
+	if k.restores != 0 {
+		t.Errorf("cancellation triggered %d rollbacks; it must never be retried", k.restores)
+	}
+}
+
+// TestRunResilientCtxCancelDuringSolve: a solver that reports the
+// cancellation from inside a step must not be treated as a fault.
+func TestRunResilientCtxCancelDuringSolve(t *testing.T) {
+	cfg := config.BenchmarkN(8)
+	cfg.EndStep = 10
+	k := &restorableStub{}
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	s := SolverFunc(func(c context.Context, _ Kernels) (SolveStats, error) {
+		n++
+		if n == 2 {
+			cancel()
+			return SolveStats{Iterations: 1}, context.Cause(c)
+		}
+		return SolveStats{Iterations: 2, Converged: true}, nil
+	})
+	pol := RecoveryPolicy{CheckpointEvery: 1, MaxRetries: 5}
+	res, err := RunResilientCtx(ctx, cfg, k, s, nil, pol)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if k.restores != 0 || res.Recoveries != 0 {
+		t.Errorf("cancelled step was retried (%d restores, %d recoveries)", k.restores, res.Recoveries)
+	}
+	if n != 2 {
+		t.Errorf("solver called %d times after cancellation, want 2", n)
+	}
+}
+
+// TestRunCtxCancelled: the plain driver honours a pre-cancelled context.
+func TestRunCtxCancelled(t *testing.T) {
+	cfg := config.BenchmarkN(8)
+	cfg.EndStep = 5
+	ctx, cancel := context.WithCancelCause(context.Background())
+	sentinel := errors.New("stop before start")
+	cancel(sentinel)
+	res, err := RunCtx(ctx, cfg, &restorableStub{}, stubSolver(), nil)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the cancellation cause", err)
+	}
+	if len(res.Steps) != 0 {
+		t.Errorf("pre-cancelled run marched %d steps", len(res.Steps))
+	}
+}

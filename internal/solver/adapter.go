@@ -1,11 +1,15 @@
 package solver
 
-import "github.com/warwick-hpsc/tealeaf-go/internal/driver"
+import (
+	"context"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
+)
 
 // New wraps the solve options as a driver.Solver for use with driver.Run.
 func New(opt Options) driver.Solver {
-	return driver.SolverFunc(func(k driver.Kernels) (driver.SolveStats, error) {
-		st, err := Solve(k, opt)
+	return driver.SolverFunc(func(ctx context.Context, k driver.Kernels) (driver.SolveStats, error) {
+		st, err := SolveCtx(ctx, k, opt)
 		return driver.SolveStats{
 			Iterations:      st.Iterations,
 			InnerIterations: st.InnerIterations,
@@ -18,6 +22,7 @@ func New(opt Options) driver.Solver {
 			EstChebyIters:   st.EstChebyIters,
 			Restarts:        st.Restarts,
 			Fallbacks:       st.Fallbacks,
+			SDCChecks:       st.SDCChecks,
 		}, err
 	})
 }

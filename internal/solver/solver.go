@@ -8,6 +8,7 @@
 package solver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -34,6 +35,20 @@ type Options struct {
 	// from its current iterate (recomputing the residual and search
 	// direction) before the breakdown escalates. 0 disables restarts.
 	MaxRestarts int
+
+	// SDCCheckEvery enables the ABFT invariant monitor: every K iterations
+	// — and always at convergence, before success is reported — the true
+	// residual b − A u is recomputed and compared against the recursive
+	// one, and SPD sign invariants are enforced on the CG reductions. A
+	// tripped invariant raises ErrSDC (which also chains to ErrBreakdown,
+	// so the restart/fallback/rollback ladder applies). <= 0 disables the
+	// monitor entirely (the default): the monitored trajectory differs at
+	// rounding level from the unmonitored one, so turning it on is an
+	// explicit choice, not a silent default.
+	SDCCheckEvery int
+	// SDCDriftTol overrides the relative true-vs-recursive drift tolerance;
+	// <= 0 takes DefaultSDCDriftTol.
+	SDCDriftTol float64
 	// Fallback is the graceful-degradation chain: when the configured
 	// solver (and its restarts) break down, each listed solver is tried in
 	// turn on the current iterate — e.g. cg → jacobi. Every hop is recorded
@@ -71,6 +86,10 @@ type Stats struct {
 	Restarts int
 	// Fallbacks counts hops down the Options.Fallback degradation chain.
 	Fallbacks int
+	// SDCChecks counts ABFT true-residual verifications performed (0 when
+	// the monitor is disabled). A detection surfaces as an ErrSDC error,
+	// not a counter: the solve cannot continue on corrupted state.
+	SDCChecks int
 }
 
 // Solve runs one implicit conduction solve with the configured method. The
@@ -84,13 +103,22 @@ type Stats struct {
 // iteration budget, and every hop is counted in Stats.Fallbacks. Breakdown
 // escalates only after the whole chain is exhausted.
 func Solve(k driver.Kernels, opt Options) (Stats, error) {
+	return SolveCtx(context.Background(), k, opt)
+}
+
+// SolveCtx is Solve bounded by a context: the iteration loops poll it once
+// per iteration and return the partial Stats accumulated so far with the
+// cancellation cause when it fires. Cancellation is not a breakdown — it
+// never triggers restarts or the fallback chain. A nil context solves
+// unbounded.
+func SolveCtx(ctx context.Context, k driver.Kernels, opt Options) (Stats, error) {
 	if opt.MaxIters <= 0 {
 		return Stats{}, fmt.Errorf("solver: MaxIters must be positive, got %d", opt.MaxIters)
 	}
 	if opt.Eps <= 0 {
 		return Stats{}, fmt.Errorf("solver: Eps must be positive, got %g", opt.Eps)
 	}
-	st, err := solveWith(k, opt, opt.Solver)
+	st, err := solveWith(ctx, k, opt, opt.Solver)
 	if err == nil || !errors.Is(err, ErrBreakdown) {
 		return st, err
 	}
@@ -107,7 +135,7 @@ func Solve(k driver.Kernels, opt Options) (Stats, error) {
 		}
 		fbOpt := opt
 		fbOpt.Solver = fb
-		fbSt, fbErr := solveWith(k, fbOpt, fb)
+		fbSt, fbErr := solveWith(ctx, k, fbOpt, fb)
 		mergeStats(&st, fbSt)
 		if fbErr == nil {
 			return st, nil
@@ -121,16 +149,16 @@ func Solve(k driver.Kernels, opt Options) (Stats, error) {
 }
 
 // solveWith dispatches one solver kind.
-func solveWith(k driver.Kernels, opt Options, kind config.SolverKind) (Stats, error) {
+func solveWith(ctx context.Context, k driver.Kernels, opt Options, kind config.SolverKind) (Stats, error) {
 	switch kind {
 	case config.SolverCG:
-		return solveCG(k, opt)
+		return solveCG(ctx, k, opt)
 	case config.SolverJacobi:
-		return solveJacobi(k, opt)
+		return solveJacobi(ctx, k, opt)
 	case config.SolverChebyshev:
-		return solveChebyshev(k, opt)
+		return solveChebyshev(ctx, k, opt)
 	case config.SolverPPCG:
-		return solvePPCG(k, opt)
+		return solvePPCG(ctx, k, opt)
 	default:
 		return Stats{}, fmt.Errorf("solver: unknown solver kind %v", kind)
 	}
@@ -144,6 +172,7 @@ func mergeStats(st *Stats, s Stats) {
 	st.HaloExchanges += s.HaloExchanges
 	st.Restarts += s.Restarts
 	st.Fallbacks += s.Fallbacks
+	st.SDCChecks += s.SDCChecks
 	st.Error = s.Error
 	st.Converged = s.Converged
 	if s.EigMin != 0 || s.EigMax != 0 {
@@ -227,8 +256,12 @@ func (p cgPath) calcUR(alpha float64, precond bool) float64 {
 
 // cgIteration performs one CG iteration and returns the new rr. The alpha
 // and beta used are appended to the provided slices when they are non-nil
-// (the eigenvalue bootstrap records them).
-func cgIteration(path cgPath, precond bool, rro float64, alphas, betas *[]float64, st *Stats) (float64, error) {
+// (the eigenvalue bootstrap records them). With the monitor on, the SPD
+// sign invariants are enforced on both reductions: p·Ap and r·z are
+// positive away from the convergence floor, so a negative value — the
+// signature of a sign-flipped reduction — raises ErrSDC instead of folding
+// into alpha and silently steering the iterate.
+func cgIteration(path cgPath, opt Options, rro float64, alphas, betas *[]float64, st *Stats, mon sdcMonitor) (float64, error) {
 	k := path.k
 	k.HaloExchange([]driver.FieldID{driver.FieldP}, 1)
 	st.HaloExchanges++
@@ -236,13 +269,19 @@ func cgIteration(path cgPath, precond bool, rro float64, alphas, betas *[]float6
 	if pw == 0 || math.IsNaN(pw) || math.IsInf(pw, 0) {
 		return 0, errIndefinite
 	}
+	if err := mon.guardSign("p·Ap", pw, st.InitialError, opt.Eps, st.Iterations); err != nil {
+		return 0, err
+	}
 	alpha := rro / pw
-	rrn := path.calcUR(alpha, precond)
+	rrn := path.calcUR(alpha, opt.Precond)
 	if err := checkReduction(rrn, st.InitialError); err != nil {
 		return 0, err
 	}
+	if err := mon.guardSign("r·z", rrn, st.InitialError, opt.Eps, st.Iterations); err != nil {
+		return 0, err
+	}
 	beta := rrn / rro
-	k.CGCalcP(beta, precond)
+	k.CGCalcP(beta, opt.Precond)
 	if alphas != nil {
 		*alphas = append(*alphas, alpha)
 	}
@@ -253,9 +292,10 @@ func cgIteration(path cgPath, precond bool, rro float64, alphas, betas *[]float6
 	return rrn, nil
 }
 
-func solveCG(k driver.Kernels, opt Options) (Stats, error) {
+func solveCG(ctx context.Context, k driver.Kernels, opt Options) (Stats, error) {
 	var st Stats
 	path := newCGPath(k, opt)
+	mon := newSDCMonitor(opt)
 	rro := k.CGInitP(opt.Precond)
 	st.InitialError = rro
 	st.Error = rro
@@ -264,39 +304,59 @@ func solveCG(k driver.Kernels, opt Options) (Stats, error) {
 		return st, nil
 	}
 	for st.Iterations < opt.MaxIters {
-		rrn, err := cgIteration(path, opt.Precond, rro, nil, nil, &st)
-		if err != nil {
-			if !errors.Is(err, ErrBreakdown) || st.Restarts >= opt.MaxRestarts {
-				return st, err
-			}
-			// Restart from the current iterate: recompute r = u0 - A u and
-			// rebuild the Krylov space from scratch. This is the classic
-			// restarted-CG recovery — it sacrifices the accumulated
-			// conjugacy but keeps all progress made on u. If u itself was
-			// poisoned (NaN reached it before the guard fired), the
-			// recomputed rro fails checkReduction and the breakdown
-			// escalates instead of looping.
-			st.Restarts++
-			k.HaloExchange([]driver.FieldID{driver.FieldU}, 1)
-			st.HaloExchanges++
-			k.CalcResidual()
-			if opt.Precond {
-				k.ApplyPrecond()
-			}
-			rro = k.CGInitP(opt.Precond)
-			if err := checkReduction(rro, st.InitialError); err != nil {
-				return st, err
-			}
-			if rro == 0 {
-				st.Error = 0
-				st.Converged = true
-				return st, nil
-			}
-			continue
+		if cerr := ctxErr(ctx); cerr != nil {
+			return st, cerr
 		}
-		rro = rrn
-		st.Error = rrn
-		if converged(rrn, st.InitialError, opt.Eps) {
+		rrn, err := cgIteration(path, opt, rro, nil, nil, &st, mon)
+		if err == nil {
+			rro = rrn
+			st.Error = rrn
+			conv := converged(rrn, st.InitialError, opt.Eps)
+			if mon.on() && (conv || mon.due(st.Iterations)) {
+				// The drift check doubles as residual replacement: on
+				// success the port's r (and z) hold the freshly recomputed
+				// true residual, so the recursion continues from truth. At
+				// convergence it is the gate that blocks a false success —
+				// a corrupted iterate whose recursive residual kept
+				// shrinking fails here, never reaching the caller as a
+				// converged solve.
+				var truth float64
+				truth, err = mon.verifyResidual(k, opt.Precond, rrn, &st)
+				if err == nil && !conv {
+					rro, st.Error = truth, truth
+				}
+			}
+			if err == nil {
+				if conv {
+					st.Converged = true
+					return st, nil
+				}
+				continue
+			}
+		}
+		if !errors.Is(err, ErrBreakdown) || st.Restarts >= opt.MaxRestarts {
+			return st, err
+		}
+		// Restart from the current iterate: recompute r = u0 - A u and
+		// rebuild the Krylov space from scratch. This is the classic
+		// restarted-CG recovery — it sacrifices the accumulated
+		// conjugacy but keeps all progress made on u. If u itself was
+		// poisoned (NaN reached it before the guard fired), the
+		// recomputed rro fails checkReduction and the breakdown
+		// escalates instead of looping.
+		st.Restarts++
+		k.HaloExchange([]driver.FieldID{driver.FieldU}, 1)
+		st.HaloExchanges++
+		k.CalcResidual()
+		if opt.Precond {
+			k.ApplyPrecond()
+		}
+		rro = k.CGInitP(opt.Precond)
+		if err := checkReduction(rro, st.InitialError); err != nil {
+			return st, err
+		}
+		if rro == 0 {
+			st.Error = 0
 			st.Converged = true
 			return st, nil
 		}
@@ -304,9 +364,16 @@ func solveCG(k driver.Kernels, opt Options) (Stats, error) {
 	return st, nil
 }
 
-func solveJacobi(k driver.Kernels, opt Options) (Stats, error) {
+// solveJacobi has no drift monitor: every sweep recomputes the update norm
+// directly from u, so there is no recursive quantity to drift — a corrupted
+// iterate either self-corrects (Jacobi is a contraction towards the same
+// fixed point from any state) or trips the non-finite guard.
+func solveJacobi(ctx context.Context, k driver.Kernels, opt Options) (Stats, error) {
 	var st Stats
 	for st.Iterations < opt.MaxIters {
+		if cerr := ctxErr(ctx); cerr != nil {
+			return st, cerr
+		}
 		k.HaloExchange([]driver.FieldID{driver.FieldU}, 1)
 		st.HaloExchanges++
 		k.JacobiCopyU()
@@ -332,8 +399,9 @@ func solveJacobi(k driver.Kernels, opt Options) (Stats, error) {
 // and PPCG: plain (optionally diagonal-preconditioned) CG for up to
 // opt.EigenCGIters iterations, recording alphas and betas. It may converge
 // outright, in which case done is true.
-func bootstrapCG(k driver.Kernels, opt Options, st *Stats) (rro float64, alphas, betas []float64, done bool, err error) {
+func bootstrapCG(ctx context.Context, k driver.Kernels, opt Options, st *Stats) (rro float64, alphas, betas []float64, done bool, err error) {
 	path := newCGPath(k, opt)
+	mon := newSDCMonitor(opt)
 	rro = k.CGInitP(opt.Precond)
 	st.InitialError = rro
 	st.Error = rro
@@ -349,7 +417,10 @@ func bootstrapCG(k driver.Kernels, opt Options, st *Stats) (rro float64, alphas,
 		iters = opt.MaxIters
 	}
 	for n := 0; n < iters; n++ {
-		rrn, cgErr := cgIteration(path, opt.Precond, rro, &alphas, &betas, st)
+		if cerr := ctxErr(ctx); cerr != nil {
+			return rro, alphas, betas, false, cerr
+		}
+		rrn, cgErr := cgIteration(path, opt, rro, &alphas, &betas, st, mon)
 		if cgErr != nil {
 			return rro, alphas, betas, false, cgErr
 		}
@@ -387,9 +458,10 @@ func (c *chebyCoeffs) next() (alpha, beta float64) {
 	return alpha, beta
 }
 
-func solveChebyshev(k driver.Kernels, opt Options) (Stats, error) {
+func solveChebyshev(ctx context.Context, k driver.Kernels, opt Options) (Stats, error) {
 	var st Stats
-	_, alphas, betas, done, err := bootstrapCG(k, opt, &st)
+	mon := newSDCMonitor(opt)
+	_, alphas, betas, done, err := bootstrapCG(ctx, k, opt, &st)
 	if err != nil || done {
 		return st, err
 	}
@@ -405,6 +477,9 @@ func solveChebyshev(k driver.Kernels, opt Options) (Stats, error) {
 	// mini-app we only check periodically.
 	const checkEvery = 10
 	for st.Iterations < opt.MaxIters {
+		if cerr := ctxErr(ctx); cerr != nil {
+			return st, cerr
+		}
 		k.HaloExchange([]driver.FieldID{driver.FieldSD}, 1)
 		st.HaloExchanges++
 		alpha, beta := cc.next()
@@ -416,7 +491,21 @@ func solveChebyshev(k driver.Kernels, opt Options) (Stats, error) {
 			if err := checkReduction(rrn, st.InitialError); err != nil {
 				return st, err
 			}
-			if converged(rrn, st.InitialError, opt.Eps) {
+			conv := converged(rrn, st.InitialError, opt.Eps)
+			if mon.on() && (conv || mon.due(st.Iterations)) {
+				// Chebyshev updates r recursively, so the same drift check
+				// applies: recompute r = u0 − A u (in r·r space — the
+				// measure this loop converges on) and compare. On success z
+				// is refreshed so the smoothing recursion continues from
+				// the replaced residual.
+				if _, verr := mon.verifyResidual(k, false, rrn, &st); verr != nil {
+					return st, verr
+				}
+				if opt.Precond {
+					k.ApplyPrecond()
+				}
+			}
+			if conv {
 				st.Converged = true
 				return st, nil
 			}
@@ -425,16 +514,17 @@ func solveChebyshev(k driver.Kernels, opt Options) (Stats, error) {
 	return st, nil
 }
 
-func solvePPCG(k driver.Kernels, opt Options) (Stats, error) {
+func solvePPCG(ctx context.Context, k driver.Kernels, opt Options) (Stats, error) {
 	var st Stats
 	if opt.PPCGInnerSteps <= 0 {
 		return st, fmt.Errorf("solver: PPCG needs positive inner steps, got %d", opt.PPCGInnerSteps)
 	}
+	mon := newSDCMonitor(opt)
 	// Bootstrap with plain CG (never diagonal-preconditioned here: the
 	// polynomial preconditioner replaces it) to estimate the spectrum.
 	bootOpt := opt
 	bootOpt.Precond = false
-	_, alphas, betas, done, err := bootstrapCG(k, bootOpt, &st)
+	_, alphas, betas, done, err := bootstrapCG(ctx, k, bootOpt, &st)
 	if err != nil || done {
 		return st, err
 	}
@@ -464,11 +554,17 @@ func solvePPCG(k driver.Kernels, opt Options) (Stats, error) {
 	path := newCGPath(k, opt)
 	rro := k.CGInitP(true) // p = z, rro = r.z
 	for st.Iterations < opt.MaxIters {
+		if cerr := ctxErr(ctx); cerr != nil {
+			return st, cerr
+		}
 		k.HaloExchange([]driver.FieldID{driver.FieldP}, 1)
 		st.HaloExchanges++
 		pw := path.calcW()
 		if pw == 0 || math.IsNaN(pw) || math.IsInf(pw, 0) {
 			return st, errIndefinite
+		}
+		if err := mon.guardSign("p·Ap", pw, st.InitialError, opt.Eps, st.Iterations); err != nil {
+			return st, err
 		}
 		alpha := rro / pw
 		rrTrue := path.calcUR(alpha, false) // plain r.r for the convergence test
@@ -477,7 +573,16 @@ func solvePPCG(k driver.Kernels, opt Options) (Stats, error) {
 		if err := checkReduction(rrTrue, st.InitialError); err != nil {
 			return st, err
 		}
-		if converged(rrTrue, st.InitialError, opt.Eps) {
+		conv := converged(rrTrue, st.InitialError, opt.Eps)
+		if mon.on() && (conv || mon.due(st.Iterations)) {
+			// PPCG converges on the plain r·r, so the drift check compares
+			// in that space; the replaced residual feeds the next applyPoly
+			// (which rebuilds z from r), so no scalar state needs fixing up.
+			if _, verr := mon.verifyResidual(k, false, rrTrue, &st); verr != nil {
+				return st, verr
+			}
+		}
+		if conv {
 			st.Converged = true
 			return st, nil
 		}
