@@ -22,12 +22,16 @@ race:
 # the solver breakdown/fallback paths, the resilient run loop, and the
 # per-port ChaosConformance + SDCConformance drills (fault schedule +
 # rollback must match a fault-free run to 1e-12; injected bit-flips must be
-# detected by the ABFT monitor / comm checksums and recovered).
+# detected by the ABFT monitor / comm checksums and recovered). The serving
+# layer (job queue, worker pool, metrics registry, span tracer) runs its
+# whole suite under race here too — it is the most goroutine-dense code in
+# the repo.
 chaos:
 	$(GO) test -race ./internal/chaos/... ./internal/checkpoint/...
 	$(GO) test -race -run 'Chaos|Fault|Resilien|Breakdown|Fallback|Restart|Recover|Watchdog|Kill|NaN|Divergence|SDC|Cancel|Deadline|Checksum|Corrupt' \
 		./internal/comm/... ./internal/solver/... ./internal/driver/... \
 		./internal/backends/... ./internal/registry/...
+	$(GO) test -race ./internal/serve/... ./internal/obs/...
 
 # fuzz exercises the deck parser and the comm fault-spec parser against
 # their checked-in corpora plus 30s each of new coverage-guided inputs.

@@ -501,6 +501,10 @@ func blockSizeAblation(w io.Writer, n int) {
 
 // --- CG kernel fusion ---------------------------------------------------------
 
+// benchJSONFile is where -json mirrors the cgfusion rows (repo root when
+// teabench runs from there, as `make bench-fusion` does).
+const benchJSONFile = "BENCH_cgfusion.json"
+
 // cgFusionArm is one measurement arm (fused or unfused) of the CG hot-path
 // experiment.
 type cgFusionArm struct {
@@ -599,10 +603,19 @@ func cgFusion(w io.Writer, n int, jsonOut bool) {
 		rows = append(rows, row)
 	}
 	if jsonOut {
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(rows); err != nil {
+		buf, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "teabench: %v\n", err)
+			return
+		}
+		buf = append(buf, '\n')
+		w.Write(buf)
+		// Also drop the rows next to the working directory for downstream
+		// tooling; the schema is documented in docs/OPERATIONS.md.
+		if err := os.WriteFile(benchJSONFile, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "teabench: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "teabench: wrote %s\n", benchJSONFile)
 		}
 		return
 	}

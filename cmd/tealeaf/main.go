@@ -27,6 +27,7 @@ import (
 	"github.com/warwick-hpsc/tealeaf-go/internal/config"
 	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
 	"github.com/warwick-hpsc/tealeaf-go/internal/grid"
+	"github.com/warwick-hpsc/tealeaf-go/internal/obs"
 	"github.com/warwick-hpsc/tealeaf-go/internal/profiler"
 	"github.com/warwick-hpsc/tealeaf-go/internal/registry"
 	"github.com/warwick-hpsc/tealeaf-go/internal/simgpu"
@@ -39,6 +40,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tealeaf:", err)
 		os.Exit(1)
 	}
+}
+
+// writeTrace dumps the tracer's spans to path as trace-event JSON.
+func writeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // solverKind maps a tea.in solver keyword to its SolverKind, for -fallback.
@@ -69,6 +83,7 @@ func run() error {
 		tileX     = flag.Int("tilex", 0, "OPS tile width (0: default)")
 		tileY     = flag.Int("tiley", 0, "OPS tile height")
 		profile   = flag.Bool("profile", false, "print the per-kernel profile after the run")
+		traceOut  = flag.String("trace-out", "", "write per-kernel spans as Chrome trace-event JSON (chrome://tracing) to this file")
 		qa        = flag.Bool("qa", false, "verify the result against the serial reference")
 		visit     = flag.String("visit", "", "write the final density/energy/temperature fields to this .vtk file")
 		list      = flag.Bool("list", false, "list versions and benchmark decks, then exit")
@@ -145,9 +160,14 @@ func run() error {
 
 	var kernels driver.Kernels = k
 	var prof *profiler.Profile
-	if *profile {
+	var tracer *obs.Tracer
+	if *profile || *traceOut != "" {
 		prof = profiler.New()
 		kernels = driver.Instrument(k, prof)
+	}
+	if *traceOut != "" {
+		tracer = obs.NewTracer(0)
+		prof.SetSpanObserver(tracer.Observer("kernel", 1))
 	}
 	var injected *chaos.Kernels
 	if *faultSpec != "" {
@@ -199,6 +219,14 @@ func run() error {
 	start := time.Now()
 	res, err := driver.RunResilientCtx(ctx, cfg, kernels, solver.New(opt), os.Stdout, pol)
 	wall := time.Since(start)
+	if tracer != nil {
+		// The trace is written even for partial or failed runs: what the
+		// kernels did before the run ended is exactly what it shows.
+		if werr := writeTrace(*traceOut, tracer); werr != nil {
+			return werr
+		}
+		fmt.Printf("wrote %s (%d spans)\n", *traceOut, tracer.Len())
+	}
 	if err != nil {
 		if *deadline > 0 && errors.Is(err, context.DeadlineExceeded) {
 			// An expired user-set budget is an expected ending, not a fault:
@@ -217,7 +245,7 @@ func run() error {
 		fmt.Printf("chaos: %d of %d scheduled faults fired\n", injected.Fired(), len(strings.Split(*faultSpec, ";")))
 	}
 
-	if prof != nil {
+	if *profile {
 		fmt.Println()
 		prof.Report(os.Stdout)
 	}

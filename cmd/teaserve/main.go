@@ -1,0 +1,149 @@
+// Command teaserve runs the TeaLeaf solver as a long-lived HTTP service:
+// clients POST tea.in decks (or benchmark names) to /v1/solve, a bounded
+// queue with admission control feeds a worker pool that schedules jobs
+// least-loaded across a pool of registered versions, and the service
+// publishes live Prometheus metrics at /metrics, Chrome trace-event spans
+// at /debug/trace and the standard pprof handlers at /debug/pprof/.
+// SIGINT/SIGTERM drains gracefully: admission stops at once, in-flight and
+// queued jobs run to completion, then the listener closes.
+//
+// Examples:
+//
+//	teaserve -addr :8080
+//	teaserve -addr :8080 -workers 8 -queue 32 -versions manual-serial,manual-omp
+//	teaserve -addr :8080 -default-deadline 2m -checkpoint-every 5 -max-retries 3
+//
+//	curl -s -X POST localhost:8080/v1/solve -d '{"benchmark": "bm_250"}'
+//	curl -s localhost:8080/v1/jobs/job-000001
+//
+// See docs/OPERATIONS.md for the full API, flag and metrics reference.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
+	"github.com/warwick-hpsc/tealeaf-go/internal/obs"
+	"github.com/warwick-hpsc/tealeaf-go/internal/registry"
+	"github.com/warwick-hpsc/tealeaf-go/internal/serve"
+	"github.com/warwick-hpsc/tealeaf-go/internal/simgpu"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "teaserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		queue    = flag.Int("queue", 16, "bounded job queue depth; a full queue rejects with 429")
+		workers  = flag.Int("workers", 2, "concurrent solves; each worker runs one job on its own port instance")
+		versions = flag.String("versions", "manual-serial", "comma-separated scheduling pool; unpinned jobs go to the least-loaded member")
+		threads  = flag.Int("threads", 0, "threads per process/team for every job's port (0: all cores)")
+		ranks    = flag.Int("ranks", 0, "ranks for distributed versions (0: 4)")
+		blockX   = flag.Int("blockx", 0, "GPU kernel block width (0: version default)")
+		blockY   = flag.Int("blocky", 0, "GPU kernel block height")
+		tileX    = flag.Int("tilex", 0, "OPS tile width (0: default)")
+		tileY    = flag.Int("tiley", 0, "OPS tile height")
+
+		defaultDeadline = flag.Duration("default-deadline", 0, "wall-clock budget for jobs that set none (0: unbounded)")
+		ckEvery         = flag.Int("checkpoint-every", 0, "default steps between in-memory recovery checkpoints (0: resilience off)")
+		maxRetries      = flag.Int("max-retries", 3, "default consecutive failed step attempts before a job gives up")
+		backoff         = flag.Duration("backoff", 0, "base delay before a job's first retry, doubling per retry")
+		traceSpans      = flag.Int("trace-spans", obs.DefaultTraceSpans, "span ring-buffer capacity for /debug/trace (oldest dropped first)")
+		drainTimeout    = flag.Duration("drain-timeout", 0, "bound on graceful drain at shutdown (0: wait for every job)")
+		quiet           = flag.Bool("quiet", false, "suppress the per-step solver log of running jobs")
+		list            = flag.Bool("list", false, "list schedulable versions, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, v := range registry.All() {
+			fmt.Printf("%-20s %-7s %-16s %s\n", v.Name, v.Group, v.Model, v.Notes)
+		}
+		return nil
+	}
+
+	var pool []string
+	for _, v := range strings.Split(*versions, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			pool = append(pool, v)
+		}
+	}
+	opts := serve.Options{
+		QueueSize: *queue,
+		Workers:   *workers,
+		Versions:  pool,
+		Params: registry.Params{
+			Threads: *threads,
+			Ranks:   *ranks,
+			Block:   simgpu.Dim2{X: *blockX, Y: *blockY},
+			TileX:   *tileX,
+			TileY:   *tileY,
+		},
+		DefaultDeadline: *defaultDeadline,
+		Recovery: driver.RecoveryPolicy{
+			CheckpointEvery: *ckEvery,
+			MaxRetries:      *maxRetries,
+			Backoff:         *backoff,
+		},
+		Tracer: obs.NewTracer(*traceSpans),
+	}
+	if !*quiet {
+		opts.Log = os.Stdout
+	}
+	s, err := serve.New(opts)
+	if err != nil {
+		return err
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("teaserve listening on %s  workers=%d queue=%d versions=%s\n",
+			*addr, opts.Workers, opts.QueueSize, strings.Join(opts.Versions, ","))
+		errc <- srv.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err // listener died; jobs in flight are abandoned with the process
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	fmt.Println("teaserve: draining (in-flight and queued jobs run to completion)...")
+	dctx := context.Background()
+	if *drainTimeout > 0 {
+		var cancel context.CancelFunc
+		dctx, cancel = context.WithTimeout(dctx, *drainTimeout)
+		defer cancel()
+	}
+	drainErr := s.Drain(dctx)
+	// The listener closes only after the pool idles, so /v1/jobs and
+	// /metrics stay scrapable through the drain window.
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	if drainErr != nil {
+		return drainErr
+	}
+	fmt.Println("teaserve: drained cleanly")
+	return nil
+}

@@ -1,0 +1,106 @@
+// Serve: run the solver as a service, in process. An internal/serve Server
+// is stood up on a loopback listener, the tea_bm_1 deck is submitted over
+// plain HTTP exactly as a remote client would, the job is polled to
+// completion, and the live /metrics exposition shows what the service
+// counted — the smallest complete solver-as-a-service round trip.
+//
+// Run from the repository root:
+//
+//	go run ./examples/serve
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/serve"
+)
+
+func main() {
+	// A tiny service: two workers, a four-deep queue, no resilience — the
+	// same Options cmd/teaserve builds from its flags.
+	s, err := serve.New(serve.Options{QueueSize: 4, Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go srv.Serve(ln)
+	defer srv.Shutdown(context.Background())
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("serving on %s\n", base)
+
+	// Submit the paper's benchmark deck as a remote client would: POST the
+	// tea.in text wrapped in a job spec, read back the job's ID.
+	deck, err := os.ReadFile("decks/tea_bm_1.in")
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, _ := json.Marshal(serve.JobSpec{Deck: string(deck)})
+	resp, err := http.Post(base+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var st serve.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		log.Fatalf("submission rejected: %d %s", resp.StatusCode, st.Error)
+	}
+	fmt.Printf("submitted %s (state %s)\n", st.ID, st.State)
+
+	// Poll the job until it settles. A production client would back off;
+	// the solve takes well under a minute even on one core.
+	for st.State == serve.StateQueued || st.State == serve.StateRunning {
+		time.Sleep(100 * time.Millisecond)
+		r, err := http.Get(base + "/v1/jobs/" + st.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		err = json.NewDecoder(r.Body).Decode(&st)
+		r.Body.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if st.State != serve.StateDone {
+		log.Fatalf("job ended %s: %s", st.State, st.Error)
+	}
+
+	res := st.Result
+	fmt.Printf("\njob %s done on %s in %.2fs:\n", st.ID, st.Version, res.WallSeconds)
+	fmt.Printf("  steps            %6d\n", res.Steps)
+	fmt.Printf("  total iterations %6d\n", res.TotalIterations)
+	fmt.Printf("  temperature      %14.6e\n", res.Temperature)
+	fmt.Printf("  internal energy  %14.6e\n", res.InternalEnergy)
+
+	// The scrape endpoint reflects the same run.
+	r, err := http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	text, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	fmt.Println("\nservice counters:")
+	for _, line := range strings.Split(string(text), "\n") {
+		if strings.HasPrefix(line, "teaserve_jobs_") && !strings.HasPrefix(line, "#") {
+			fmt.Println("  " + line)
+		}
+	}
+}

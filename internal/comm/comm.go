@@ -8,6 +8,15 @@
 // receives and halo exchanges between sub-domains, so the distributed-memory
 // ports retain the communication structure and costs (copies plus
 // synchronisation) of their MPI originals.
+//
+// Concurrency and ownership: each Rank is owned by exactly one goroutine —
+// the one Run spawned for it — and a Rank's methods must only be called
+// from that goroutine, mirroring MPI's one-process-per-rank model. The
+// World owns the mailboxes and collective state that connect ranks; message
+// payloads are copied on send, so a sender may reuse its buffer immediately
+// and ranks never share mutable field memory. Run returns only after every
+// rank's function has returned (or a fault-injected kill has been
+// collected), after which the World must not be reused.
 package comm
 
 import (

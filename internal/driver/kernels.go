@@ -7,6 +7,15 @@
 // flow stays identical. This package reproduces that structure: Kernels is
 // the kernel set, internal/solver is the control flow, and every package
 // under internal/backends is one port.
+//
+// Concurrency and ownership: a Kernels instance owns its fields and its
+// parallel runtime (thread team, rank world or simulated device) and is
+// driven by one solve at a time from one goroutine — Run/RunCtx and the
+// resilient variants are synchronous and must not be invoked concurrently
+// on the same instance. Concurrency across solves comes from independent
+// instances (internal/serve builds one per job). Results and checkpoint
+// snapshots are copies; the driver retains no live references into the
+// port after a run returns.
 package driver
 
 import (

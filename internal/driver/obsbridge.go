@@ -1,0 +1,35 @@
+package driver
+
+import "context"
+
+// StepObserver receives each completed time step as the run loop records
+// it — the bridge the serving layer uses to publish live metrics (steps
+// completed, CG iterations, summary totals) while a solve is still
+// marching. Observers must be fast and must not call back into the run.
+//
+// Under the resilient run loop an observed step may later be rolled back
+// and replayed after a fault; the observer then sees the replayed step
+// again. That is the honest reading for a metrics bridge — it counts work
+// performed, not just work retained — and consumers needing exactly the
+// retained trajectory should read Result.Steps after the run instead.
+type StepObserver func(StepResult)
+
+// stepObsKey carries a StepObserver through a context.
+type stepObsKey struct{}
+
+// WithStepObserver returns a context that makes RunCtx and RunResilientCtx
+// call fn after every completed step. The hook rides the context rather
+// than the signatures so callers that do not observe pay nothing and
+// existing call sites stay unchanged (the net/http/httptrace pattern).
+func WithStepObserver(ctx context.Context, fn StepObserver) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, stepObsKey{}, fn)
+}
+
+// stepObserverFrom extracts the observer installed on ctx, or nil.
+func stepObserverFrom(ctx context.Context) StepObserver {
+	fn, _ := ctx.Value(stepObsKey{}).(StepObserver)
+	return fn
+}

@@ -1,0 +1,67 @@
+package driver_test
+
+import (
+	"context"
+	"testing"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/backends/serial"
+	"github.com/warwick-hpsc/tealeaf-go/internal/config"
+	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
+	"github.com/warwick-hpsc/tealeaf-go/internal/solver"
+)
+
+func observerConfig() config.Config {
+	cfg := config.Default()
+	cfg.NX, cfg.NY = 16, 16
+	cfg.XMax, cfg.YMax = 10, 10
+	cfg.EndStep = 4
+	cfg.States = []config.State{
+		{Index: 1, Density: 100, Energy: 0.0001},
+		{Index: 2, Density: 0.1, Energy: 25, Geometry: config.GeomRectangle,
+			XMin: 0, XMax: 5, YMin: 0, YMax: 5},
+	}
+	return cfg
+}
+
+// TestStepObserverSeesEveryStep drives a plain run with an observer on the
+// context and checks it fires once per step, in order, with the same stats
+// the Result records.
+func TestStepObserverSeesEveryStep(t *testing.T) {
+	cfg := observerConfig()
+	k := serial.New()
+	defer k.Close()
+	var seen []driver.StepResult
+	ctx := driver.WithStepObserver(context.Background(), func(sr driver.StepResult) {
+		seen = append(seen, sr)
+	})
+	res, err := driver.RunCtx(ctx, cfg, k, solver.New(solver.FromConfig(&cfg)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(res.Steps) {
+		t.Fatalf("observer saw %d steps, result has %d", len(seen), len(res.Steps))
+	}
+	for i, sr := range seen {
+		if sr.Step != res.Steps[i].Step || sr.Stats.Iterations != res.Steps[i].Stats.Iterations {
+			t.Errorf("observed step %d = %+v, result %+v", i, sr, res.Steps[i])
+		}
+	}
+}
+
+// TestStepObserverResilientPath checks the resilient loop fires the
+// observer too (the serving layer always runs through RunResilientCtx).
+func TestStepObserverResilientPath(t *testing.T) {
+	cfg := observerConfig()
+	k := serial.New()
+	defer k.Close()
+	var steps int
+	ctx := driver.WithStepObserver(context.Background(), func(driver.StepResult) { steps++ })
+	pol := driver.RecoveryPolicy{CheckpointEvery: 2, MaxRetries: 1}
+	res, err := driver.RunResilientCtx(ctx, cfg, k, solver.New(solver.FromConfig(&cfg)), nil, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != len(res.Steps) {
+		t.Fatalf("observer saw %d steps, result has %d", steps, len(res.Steps))
+	}
+}

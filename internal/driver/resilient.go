@@ -164,6 +164,7 @@ func RunResilientCtx(ctx context.Context, cfg config.Config, k Kernels, s Solver
 		return Result{}, fmt.Errorf("driver: initial checkpoint: %w", err)
 	}
 
+	observe := stepObserverFrom(ctx)
 	var (
 		res        Result
 		failures   []error // every failure seen, for the final chain
@@ -246,6 +247,9 @@ func RunResilientCtx(ctx context.Context, cfg config.Config, k Kernels, s Solver
 			res.Final = *totals
 		}
 		res.Steps = append(res.Steps, sr)
+		if observe != nil {
+			observe(sr)
+		}
 		if log != nil {
 			fmt.Fprintf(log, "step %4d  time %10.6f  iters %5d  error %12.5e\n",
 				step, simTime, stats.Iterations, stats.Error)

@@ -105,6 +105,7 @@ func RunCtx(ctx context.Context, cfg config.Config, k Kernels, s Solver, log io.
 	}
 	k.HaloExchange([]FieldID{FieldDensity, FieldEnergy0}, 2)
 
+	observe := stepObserverFrom(ctx)
 	var res Result
 	dt := cfg.InitialTimestep
 	rx := dt / (m.Dx * m.Dx)
@@ -141,6 +142,9 @@ func RunCtx(ctx context.Context, cfg config.Config, k Kernels, s Solver, log io.
 			res.Final = t
 		}
 		res.Steps = append(res.Steps, sr)
+		if observe != nil {
+			observe(sr)
+		}
 		if log != nil {
 			fmt.Fprintf(log, "step %4d  time %10.6f  iters %5d  error %12.5e\n",
 				step, simTime, stats.Iterations, stats.Error)

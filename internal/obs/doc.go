@@ -1,0 +1,18 @@
+// Package obs is the observability layer of the serving stack: a
+// dependency-free metrics registry with Prometheus text exposition and a
+// bounded span tracer that exports Chrome trace-event JSON
+// (chrome://tracing / Perfetto). It sits below internal/serve — which wires
+// solve-pipeline counters, gauges and per-kernel spans into it — and has no
+// imports beyond the standard library, so any package may publish into it
+// without layering concerns.
+//
+// Concurrency and ownership: every type in this package is safe for
+// concurrent use by any number of goroutines. A Registry owns its metric
+// instruments (Counter, Gauge, Histogram are created by and live inside one
+// Registry; instrument handles may be retained and updated lock-free from
+// hot paths), and a Tracer owns its bounded span buffer (producers append
+// under the Tracer's lock; the buffer is a ring, so a full tracer drops the
+// oldest spans rather than blocking or growing). Exposition — WriteText,
+// WriteJSON and the HTTP handlers — takes a consistent snapshot and never
+// blocks producers for longer than one buffer copy.
+package obs

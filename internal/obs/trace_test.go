@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// decodeTrace unmarshals trace JSON back into the container shape and
+// validates the invariants chrome://tracing relies on: every event is a
+// complete ("X") event with non-negative ts/dur and a name.
+func decodeTrace(t *testing.T, data []byte) traceFile {
+	t.Helper()
+	var f traceFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v\n%s", err, data)
+	}
+	for i, ev := range f.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %d: ph = %q, want X", i, ev.Ph)
+		}
+		if ev.Name == "" {
+			t.Errorf("event %d: empty name", i)
+		}
+		if ev.TS < 0 || ev.Dur < 0 {
+			t.Errorf("event %d: negative ts/dur (%v/%v)", i, ev.TS, ev.Dur)
+		}
+		if i > 0 && ev.TS < f.TraceEvents[i-1].TS {
+			t.Errorf("event %d: timestamps not sorted", i)
+		}
+	}
+	return f
+}
+
+func TestTracerExportsValidTraceEventJSON(t *testing.T) {
+	tr := NewTracer(16)
+	base := time.Now()
+	tr.Record(Span{Name: "cg_calc_w", Cat: "kernel", TID: 3, Start: base, Dur: 40 * time.Microsecond})
+	tr.Record(Span{Name: "cg_calc_ur", Cat: "kernel", TID: 3, Start: base.Add(time.Millisecond), Dur: 55 * time.Microsecond})
+	obsFn := tr.Observer("kernel", 4)
+	obsFn("halo", base.Add(2*time.Millisecond), 10*time.Microsecond)
+
+	var b bytes.Buffer
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	f := decodeTrace(t, b.Bytes())
+	if len(f.TraceEvents) != 3 {
+		t.Fatalf("got %d events, want 3", len(f.TraceEvents))
+	}
+	if f.TraceEvents[2].Name != "halo" || f.TraceEvents[2].TID != 4 {
+		t.Errorf("observer span mangled: %+v", f.TraceEvents[2])
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", f.DisplayTimeUnit)
+	}
+}
+
+func TestTracerRingDropsOldest(t *testing.T) {
+	tr := NewTracer(4)
+	base := time.Now()
+	for i := 0; i < 10; i++ {
+		tr.Record(Span{Name: "k", Start: base.Add(time.Duration(i) * time.Millisecond), Dur: time.Microsecond})
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", tr.Dropped())
+	}
+	spans := tr.snapshot()
+	// The survivors are the newest four, oldest-first.
+	for i, s := range spans {
+		want := base.Add(time.Duration(6+i) * time.Millisecond)
+		if !s.Start.Equal(want) {
+			t.Errorf("span %d start = %v, want %v", i, s.Start, want)
+		}
+	}
+}
+
+func TestTraceHandler(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Record(Span{Name: "job", Cat: "job", TID: 1, Start: time.Now(), Dur: time.Millisecond})
+	srv := httptest.NewServer(tr.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var b bytes.Buffer
+	if _, err := b.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	f := decodeTrace(t, b.Bytes())
+	if len(f.TraceEvents) != 1 {
+		t.Fatalf("got %d events, want 1", len(f.TraceEvents))
+	}
+}

@@ -34,6 +34,12 @@
 // Because shares are claimed rather than pinned to goroutines, loop bodies
 // must not synchronise with other shares of the same loop (OpenMP's
 // restrictions on barriers inside worksharing constructs apply here too).
+//
+// Ownership: a Team is driven by one leader goroutine at a time — loop
+// methods must not be called concurrently with each other or with Close —
+// and the team owns its workers and reduction slots. Different Teams are
+// fully independent, which is how the serving layer runs many OpenMP-style
+// solves side by side.
 package par
 
 import (

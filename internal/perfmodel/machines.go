@@ -14,6 +14,11 @@
 // model therefore reproduces the paper's *shape* — who wins, by what
 // factor, where the crossovers fall — while absolute seconds follow this
 // reproduction's (smaller) iteration counts.
+//
+// Concurrency and ownership: the machine and calibration tables are
+// immutable after package init and the prediction functions are pure, so
+// everything here is safe to call from any number of goroutines without
+// coordination.
 package perfmodel
 
 import "fmt"

@@ -9,6 +9,10 @@
 // the harmonic mean of per-platform efficiencies, with either application
 // efficiency (best observed time / achieved time) or architecture
 // efficiency (achieved fraction of peak compute or bandwidth) as e_i.
+//
+// Concurrency and ownership: the package is purely functional — it takes
+// efficiency tables in, returns scores out, holds no state, and is safe
+// from any goroutine.
 package portability
 
 import "fmt"

@@ -4,6 +4,14 @@
 // paper's architecture-efficiency columns (Table III). Kernels report
 // wall time plus analytically-counted bytes and floating-point operations;
 // the profile then yields achieved GB/s and GFLOP/s.
+//
+// Concurrency and ownership: a Profile is safe for concurrent use — kernels
+// on different goroutines may record into the same profile, and a profile
+// owns its entries (callers read them only through Entries/Report
+// snapshots). The optional SpanObserver is the one outward edge: it is
+// invoked synchronously on the recording goroutine for every timed
+// interval, so observers must be fast and must not call back into the
+// profile they observe (internal/obs.Tracer satisfies this).
 package profiler
 
 import (
@@ -11,6 +19,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -49,15 +58,36 @@ func (e *Entry) AchievedGFLOPs() float64 {
 	return float64(e.Flops) / e.Time.Seconds() / 1e9
 }
 
+// SpanObserver receives one completed timed interval as it is recorded —
+// the hook the observability layer uses to capture per-kernel spans for
+// Chrome-trace export without the profiler importing it. Observers must be
+// fast and must not call back into the profile they observe.
+type SpanObserver func(name string, start time.Time, d time.Duration)
+
 // Profile is a set of kernel entries. The zero value is unusable; create
 // profiles with New. All methods are safe for concurrent use.
 type Profile struct {
 	mu      sync.Mutex
 	entries map[string]*Entry
+	span    atomic.Value // SpanObserver, set at most once per solve wiring
 }
 
 // New creates an empty profile.
 func New() *Profile { return &Profile{entries: make(map[string]*Entry)} }
+
+// SetSpanObserver installs fn to be called for every interval Time and
+// TimeSweeps record (Observe-only callers report no span: they have no
+// start time). A nil fn uninstalls. Safe to call concurrently with
+// recording; spans in flight may still reach a just-replaced observer.
+func (p *Profile) SetSpanObserver(fn SpanObserver) {
+	p.span.Store(fn)
+}
+
+// spanObserver returns the installed observer, or nil.
+func (p *Profile) spanObserver() SpanObserver {
+	fn, _ := p.span.Load().(SpanObserver)
+	return fn
+}
 
 // Observe records one kernel invocation.
 func (p *Profile) Observe(name string, d time.Duration, bytes, flops int64) {
@@ -92,7 +122,11 @@ func (p *Profile) Time(name string, bytes, flops int64, fn func()) {
 func (p *Profile) TimeSweeps(name string, bytes, flops, sweeps int64, fn func()) {
 	start := time.Now()
 	fn()
-	p.ObserveSweeps(name, time.Since(start), bytes, flops, sweeps)
+	d := time.Since(start)
+	p.ObserveSweeps(name, d, bytes, flops, sweeps)
+	if obs := p.spanObserver(); obs != nil {
+		obs(name, start, d)
+	}
 }
 
 // Lookup returns the accumulated entry for a kernel name.

@@ -116,3 +116,43 @@ func TestDeterministicTieOrder(t *testing.T) {
 		t.Errorf("ties must sort by name: %v, %v", e[0].Name, e[1].Name)
 	}
 }
+
+// TestSpanObserver verifies the observability hook: every Time/TimeSweeps
+// interval reaches the installed observer with a plausible start and the
+// recorded duration, and uninstalling stops delivery.
+func TestSpanObserver(t *testing.T) {
+	p := New()
+	type span struct {
+		name  string
+		start time.Time
+		d     time.Duration
+	}
+	var spans []span
+	p.SetSpanObserver(func(name string, start time.Time, d time.Duration) {
+		spans = append(spans, span{name, start, d})
+	})
+	before := time.Now()
+	p.Time("k1", 8, 1, func() {})
+	p.TimeSweeps("k2", 8, 1, 2, func() { time.Sleep(time.Millisecond) })
+	if len(spans) != 2 {
+		t.Fatalf("observer saw %d spans, want 2", len(spans))
+	}
+	if spans[0].name != "k1" || spans[1].name != "k2" {
+		t.Errorf("span names %q, %q", spans[0].name, spans[1].name)
+	}
+	if spans[0].start.Before(before) {
+		t.Errorf("span start %v predates the call", spans[0].start)
+	}
+	if spans[1].d < time.Millisecond {
+		t.Errorf("span duration %v shorter than the timed body", spans[1].d)
+	}
+	e, ok := p.Lookup("k2")
+	if !ok || e.Sweeps != 2 {
+		t.Errorf("profile entry not recorded alongside the span: %+v", e)
+	}
+	p.SetSpanObserver(nil)
+	p.Time("k3", 8, 1, func() {})
+	if len(spans) != 2 {
+		t.Fatalf("uninstalled observer still saw spans")
+	}
+}

@@ -3,6 +3,13 @@
 // its build configuration. Benchmarks, the CLI and the reproduction
 // harness all construct ports through this table so the version set stays
 // consistent everywhere.
+//
+// Concurrency and ownership: the version table is immutable after package
+// init, so Versions, Lookup and friends are safe from any goroutine. A
+// Version's Make constructor returns a fresh, unshared port — callers own
+// the returned Kernels (and must Close it); the registry keeps no
+// reference, which is what lets internal/serve run many instances of the
+// same version concurrently.
 package registry
 
 import (

@@ -1,0 +1,665 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/chaos"
+	"github.com/warwick-hpsc/tealeaf-go/internal/config"
+	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
+	"github.com/warwick-hpsc/tealeaf-go/internal/obs"
+	"github.com/warwick-hpsc/tealeaf-go/internal/profiler"
+	"github.com/warwick-hpsc/tealeaf-go/internal/registry"
+	"github.com/warwick-hpsc/tealeaf-go/internal/solver"
+)
+
+// Typed admission errors. The HTTP layer maps ErrQueueFull to 429 and
+// ErrDraining to 503; programmatic callers test with errors.Is.
+var (
+	// ErrQueueFull rejects a submission because the bounded queue is at
+	// capacity — the admission-control backpressure signal.
+	ErrQueueFull = errors.New("serve: job queue is full")
+	// ErrDraining rejects a submission because the server is shutting down.
+	ErrDraining = errors.New("serve: server is draining")
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	// StateQueued: accepted, waiting for a worker.
+	StateQueued State = "queued"
+	// StateRunning: a worker is solving it.
+	StateRunning State = "running"
+	// StateDone: completed successfully; Result is final.
+	StateDone State = "done"
+	// StateExpired: the per-job deadline fired; Result holds the partial
+	// stats accumulated before expiry.
+	StateExpired State = "expired"
+	// StateFailed: the solve errored past every recovery; Result holds
+	// whatever partial stats exist and Error the cause chain.
+	StateFailed State = "failed"
+)
+
+// Duration is a time.Duration that marshals as a Go duration string
+// ("30s", "1m30s") so job specs read naturally as JSON; it also accepts a
+// bare number of nanoseconds on input.
+type Duration time.Duration
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("serve: bad duration %q: %w", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var ns int64
+	if err := json.Unmarshal(b, &ns); err != nil {
+		return err
+	}
+	*d = Duration(ns)
+	return nil
+}
+
+// JobSpec is one solve request: what to solve (a tea.in deck or a built-in
+// benchmark), which version to run it on, and the job's deadline and
+// resilience policy. The zero value of every policy field inherits the
+// server's defaults.
+type JobSpec struct {
+	// Deck is a complete tea.in input deck (the *tea ... *endtea text).
+	// Exactly one of Deck and Benchmark must be set.
+	Deck string `json:"deck,omitempty"`
+	// Benchmark names a built-in deck, e.g. "bm_250" (see config.BenchmarkNames).
+	Benchmark string `json:"benchmark,omitempty"`
+	// Version pins the job to one registry version by name ("manual-omp",
+	// "ops-mpi-tiled", ...). Empty schedules least-loaded across the
+	// server's configured version pool.
+	Version string `json:"version,omitempty"`
+	// Deadline bounds the job's wall clock; on expiry the job ends in
+	// StateExpired with partial stats. 0 inherits the server default.
+	Deadline Duration `json:"deadline,omitempty"`
+	// CheckpointEvery overrides the server's recovery policy interval for
+	// this job (steps between rollback checkpoints; 0 inherits).
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// MaxRetries overrides the consecutive failed-step budget (0 inherits).
+	MaxRetries int `json:"max_retries,omitempty"`
+	// SDCCheckEvery arms the solver's ABFT invariant monitor at this
+	// iteration cadence (0 off).
+	SDCCheckEvery int `json:"sdc_check_every,omitempty"`
+	// Fallback is the solver degradation chain on CG breakdown, e.g.
+	// ["jacobi"].
+	Fallback []string `json:"fallback,omitempty"`
+	// FaultSpec injects a deterministic chaos schedule ("nan@2.3;panic@4.1",
+	// see internal/chaos) into this job — for resilience drills against a
+	// live service. A fault the job's recovery policy cannot absorb fails
+	// the job, never the server.
+	FaultSpec string `json:"fault_spec,omitempty"`
+}
+
+// JobResult is the outcome of a finished (done, expired or failed) job.
+type JobResult struct {
+	Steps           int     `json:"steps"`
+	TotalIterations int     `json:"total_iterations"`
+	Converged       bool    `json:"converged"`
+	Volume          float64 `json:"volume"`
+	Mass            float64 `json:"mass"`
+	InternalEnergy  float64 `json:"internal_energy"`
+	Temperature     float64 `json:"temperature"`
+	Recoveries      int     `json:"recoveries"`
+	SDCDetected     int     `json:"sdc_detected"`
+	SDCRecovered    int     `json:"sdc_recovered"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	// Partial marks stats cut short by deadline expiry or failure: the
+	// field summary reflects the last completed step, not convergence.
+	Partial bool `json:"partial,omitempty"`
+}
+
+// JobStatus is a point-in-time snapshot of a job's lifecycle.
+type JobStatus struct {
+	ID        string     `json:"id"`
+	State     State      `json:"state"`
+	Version   string     `json:"version,omitempty"` // resolved once running
+	Submitted time.Time  `json:"submitted"`
+	Started   time.Time  `json:"started"`
+	Finished  time.Time  `json:"finished"`
+	Error     string     `json:"error,omitempty"`
+	Result    *JobResult `json:"result,omitempty"`
+}
+
+// job is the server-side record; status is guarded by mu so workers can
+// update while handlers snapshot.
+type job struct {
+	mu     sync.Mutex
+	id     string // immutable copy of status.ID, readable without the lock
+	seq    int
+	spec   JobSpec
+	cfg    config.Config
+	status JobStatus
+}
+
+func (j *job) snapshot() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := j.status
+	if j.status.Result != nil {
+		r := *j.status.Result
+		st.Result = &r
+	}
+	return st
+}
+
+func (j *job) update(fn func(*JobStatus)) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	fn(&j.status)
+}
+
+// Options configures a Server. The zero value serves manual-serial with a
+// small queue and no resilience — sensible for tests; cmd/teaserve wires
+// every field from flags.
+type Options struct {
+	// QueueSize bounds the number of accepted-but-unstarted jobs (<= 0: 16).
+	// A full queue rejects submissions with ErrQueueFull.
+	QueueSize int
+	// Workers is the solve concurrency (<= 0: 2). Each worker runs one job
+	// at a time on its own port instance.
+	Workers int
+	// Versions is the scheduling pool for jobs that do not pin a version:
+	// least-loaded wins. Jobs may still pin any registered version by name.
+	// Empty defaults to ["manual-serial"].
+	Versions []string
+	// Params carries thread/rank/block knobs into every port build.
+	Params registry.Params
+	// DefaultDeadline bounds jobs that do not set one (0: unbounded).
+	DefaultDeadline time.Duration
+	// Recovery is the per-job resilience template (checkpoint interval,
+	// retry budget, backoff). CheckpointPath and Resume are per-process
+	// file concerns and are ignored per job: jobs checkpoint in memory.
+	Recovery driver.RecoveryPolicy
+	// Metrics receives the serve-layer metrics; nil creates a private
+	// registry (exposed at /metrics either way).
+	Metrics *obs.Registry
+	// Tracer receives job and kernel spans; nil creates a private tracer
+	// with the default span capacity (exposed at /debug/trace either way).
+	Tracer *obs.Tracer
+	// Log, when set, receives the per-step driver log of every job.
+	Log io.Writer
+}
+
+// metrics is the serve-layer instrument set; see docs/OPERATIONS.md for the
+// exported-name reference table.
+type metrics struct {
+	submitted  *obs.Counter
+	rejected   *obs.Counter
+	completed  *obs.Counter
+	expired    *obs.Counter
+	failed     *obs.Counter
+	inflight   *obs.Gauge
+	queueDepth *obs.Gauge
+	latency    *obs.Histogram
+	steps      *obs.Counter
+	iterations *obs.Counter
+	recoveries *obs.Counter
+	sdcFound   *obs.Counter
+	sdcFixed   *obs.Counter
+}
+
+func newMetrics(r *obs.Registry) metrics {
+	return metrics{
+		submitted:  r.Counter("teaserve_jobs_submitted_total", "jobs accepted into the queue"),
+		rejected:   r.Counter("teaserve_jobs_rejected_total", "submissions rejected (queue full or draining)"),
+		completed:  r.Counter("teaserve_jobs_completed_total", "jobs finished successfully"),
+		expired:    r.Counter("teaserve_jobs_expired_total", "jobs ended by deadline expiry with partial stats"),
+		failed:     r.Counter("teaserve_jobs_failed_total", "jobs that errored past every recovery"),
+		inflight:   r.Gauge("teaserve_jobs_inflight", "jobs currently being solved"),
+		queueDepth: r.Gauge("teaserve_queue_depth", "jobs accepted but not yet started"),
+		latency:    r.Histogram("teaserve_solve_seconds", "wall-clock latency of successful solves", nil),
+		steps:      r.Counter("teaserve_steps_total", "time steps completed across all jobs"),
+		iterations: r.Counter("teaserve_cg_iterations_total", "solver iterations performed across all jobs"),
+		recoveries: r.Counter("teaserve_recoveries_total", "checkpoint rollbacks taken across all jobs"),
+		sdcFound:   r.Counter("teaserve_sdc_detected_total", "silent-data-corruption detections across all jobs"),
+		sdcFixed:   r.Counter("teaserve_sdc_recovered_total", "SDC detections repaired by rollback-and-replay"),
+	}
+}
+
+// Server is a running solve service. Create with New, stop with Drain (or
+// Close); all exported methods are safe for concurrent use.
+type Server struct {
+	opts   Options
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	met    metrics
+
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex // guards jobs/order/seq/load and queue admission
+	draining bool
+	jobs     map[string]*job
+	order    []string
+	seq      int
+	load     map[string]int // per-version queued+running jobs, for least-loaded
+}
+
+// New validates the options, starts the worker pool and returns the server.
+func New(opts Options) (*Server, error) {
+	if opts.QueueSize <= 0 {
+		opts.QueueSize = 16
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 2
+	}
+	if len(opts.Versions) == 0 {
+		opts.Versions = []string{"manual-serial"}
+	}
+	for _, name := range opts.Versions {
+		if _, err := registry.Get(name); err != nil {
+			return nil, fmt.Errorf("serve: version pool: %w", err)
+		}
+	}
+	// Per-job checkpoints are in-memory only; a shared file path would have
+	// concurrent jobs overwrite each other's recovery points.
+	opts.Recovery.CheckpointPath = ""
+	opts.Recovery.Resume = false
+	if opts.Metrics == nil {
+		opts.Metrics = obs.NewRegistry()
+	}
+	if opts.Tracer == nil {
+		opts.Tracer = obs.NewTracer(0)
+	}
+	s := &Server{
+		opts:   opts,
+		reg:    opts.Metrics,
+		tracer: opts.Tracer,
+		met:    newMetrics(opts.Metrics),
+		queue:  make(chan *job, opts.QueueSize),
+		jobs:   make(map[string]*job),
+		load:   make(map[string]int),
+	}
+	for _, name := range opts.Versions {
+		s.load[name] = 0
+	}
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Metrics returns the registry the server publishes into.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// Tracer returns the span tracer the server records into.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// solverKindNamed maps a tea.in solver keyword to its kind, for fallback
+// chain validation.
+func solverKindNamed(name string) (config.SolverKind, error) {
+	switch name {
+	case "cg":
+		return config.SolverCG, nil
+	case "jacobi":
+		return config.SolverJacobi, nil
+	case "chebyshev":
+		return config.SolverChebyshev, nil
+	case "ppcg":
+		return config.SolverPPCG, nil
+	default:
+		return 0, fmt.Errorf("serve: unknown fallback solver %q (want cg, jacobi, chebyshev or ppcg)", name)
+	}
+}
+
+// resolveSpec turns a spec into a validated run configuration, rejecting
+// malformed requests before they consume a queue slot.
+func resolveSpec(spec JobSpec) (config.Config, error) {
+	var cfg config.Config
+	var err error
+	switch {
+	case spec.Deck != "" && spec.Benchmark != "":
+		return cfg, errors.New("serve: deck and benchmark are mutually exclusive")
+	case spec.Deck != "":
+		cfg, err = config.ParseReader(strings.NewReader(spec.Deck))
+	case spec.Benchmark != "":
+		cfg, err = config.Benchmark(spec.Benchmark)
+	default:
+		return cfg, errors.New("serve: job needs a deck or a benchmark name")
+	}
+	if err != nil {
+		return cfg, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, err
+	}
+	if spec.Version != "" {
+		if _, err := registry.Get(spec.Version); err != nil {
+			return cfg, err
+		}
+	}
+	for _, f := range spec.Fallback {
+		if _, err := solverKindNamed(f); err != nil {
+			return cfg, err
+		}
+	}
+	if spec.FaultSpec != "" {
+		if _, err := chaos.ParseSpec(spec.FaultSpec); err != nil {
+			return cfg, err
+		}
+	}
+	if spec.Deadline < 0 || spec.CheckpointEvery < 0 || spec.MaxRetries < 0 || spec.SDCCheckEvery < 0 {
+		return cfg, errors.New("serve: negative policy field in job spec")
+	}
+	return cfg, nil
+}
+
+// Submit validates the spec and enqueues the job, returning its queued
+// status. Rejections are typed: ErrQueueFull when the bounded queue is at
+// capacity, ErrDraining after Drain began; anything else is a spec error.
+func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
+	cfg, err := resolveSpec(spec)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.met.rejected.Inc()
+		return JobStatus{}, ErrDraining
+	}
+	s.seq++
+	id := fmt.Sprintf("job-%06d", s.seq)
+	j := &job{
+		id:   id,
+		seq:  s.seq,
+		spec: spec,
+		cfg:  cfg,
+		status: JobStatus{
+			ID:        id,
+			State:     StateQueued,
+			Version:   spec.Version,
+			Submitted: time.Now(),
+		},
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.seq-- // the slot was never used
+		s.met.rejected.Inc()
+		return JobStatus{}, ErrQueueFull
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	if spec.Version != "" {
+		s.load[spec.Version]++
+	}
+	s.met.submitted.Inc()
+	s.met.queueDepth.Inc()
+	return j.snapshot(), nil
+}
+
+// Job returns a snapshot of one job by ID.
+func (s *Server) Job(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, false
+	}
+	return j.snapshot(), true
+}
+
+// Jobs returns snapshots of every job in submission order.
+func (s *Server) Jobs() []JobStatus {
+	s.mu.Lock()
+	js := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		js = append(js, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, len(js))
+	for i, j := range js {
+		out[i] = j.snapshot()
+	}
+	return out
+}
+
+// Draining reports whether the server has begun shutting down.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain stops admission immediately (new submissions get ErrDraining),
+// lets every queued and in-flight job run to completion, and returns when
+// the worker pool is idle. The context bounds the wait only — jobs are not
+// cancelled by it; a job's own deadline remains its bound.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain interrupted with jobs still running: %w", context.Cause(ctx))
+	}
+}
+
+// Close is Drain with an unbounded wait.
+func (s *Server) Close() { _ = s.Drain(context.Background()) }
+
+// worker consumes jobs until the queue closes and drains.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.met.queueDepth.Dec()
+		s.run(j)
+	}
+}
+
+// pickVersion resolves a job's version: pinned by name, else least-loaded
+// across the configured pool, and accounts the job against it.
+func (s *Server) pickVersion(j *job) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v := j.spec.Version; v != "" {
+		return v // already accounted at Submit
+	}
+	best := s.opts.Versions[0]
+	for _, v := range s.opts.Versions[1:] {
+		if s.load[v] < s.load[best] {
+			best = v
+		}
+	}
+	s.load[best]++
+	return best
+}
+
+func (s *Server) releaseVersion(v string) {
+	s.mu.Lock()
+	s.load[v]--
+	s.mu.Unlock()
+}
+
+// run executes one job end to end on this worker.
+func (s *Server) run(j *job) {
+	version := s.pickVersion(j)
+	defer s.releaseVersion(version)
+	s.met.inflight.Inc()
+	defer s.met.inflight.Dec()
+
+	start := time.Now()
+	j.update(func(st *JobStatus) {
+		st.State = StateRunning
+		st.Version = version
+		st.Started = start
+	})
+	res, wall, err := s.solve(j, version)
+
+	result := &JobResult{
+		Steps:           len(res.Steps),
+		TotalIterations: res.TotalIterations,
+		Volume:          res.Final.Volume,
+		Mass:            res.Final.Mass,
+		InternalEnergy:  res.Final.InternalEnergy,
+		Temperature:     res.Final.Temperature,
+		Recoveries:      res.Recoveries,
+		SDCDetected:     res.SDCDetected,
+		SDCRecovered:    res.SDCRecovered,
+		WallSeconds:     wall.Seconds(),
+	}
+	if n := len(res.Steps); n > 0 {
+		result.Converged = res.Steps[n-1].Stats.Converged
+	}
+	s.met.recoveries.Add(float64(res.Recoveries))
+	s.met.sdcFound.Add(float64(res.SDCDetected))
+	s.met.sdcFixed.Add(float64(res.SDCRecovered))
+
+	finished := time.Now()
+	j.update(func(st *JobStatus) {
+		st.Finished = finished
+		st.Result = result
+		switch {
+		case err == nil:
+			st.State = StateDone
+		case errors.Is(err, context.DeadlineExceeded):
+			st.State = StateExpired
+			st.Error = err.Error()
+			result.Partial = true
+		default:
+			st.State = StateFailed
+			st.Error = err.Error()
+			result.Partial = true
+		}
+	})
+	switch {
+	case err == nil:
+		s.met.completed.Inc()
+		s.met.latency.Observe(wall.Seconds())
+	case errors.Is(err, context.DeadlineExceeded):
+		s.met.expired.Inc()
+	default:
+		s.met.failed.Inc()
+	}
+}
+
+// solve builds the port, wires instrumentation and runs the resilient
+// driver under the job's deadline and policy. The named error return feeds
+// the deferred recover: a panic escaping the driver (possible on the plain
+// RunCtx path, which has no containment of its own) fails the job, never
+// the worker.
+func (s *Server) solve(j *job, version string) (res driver.Result, wall time.Duration, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("serve: job panicked: %v", p)
+		}
+	}()
+	v, err := registry.Get(version)
+	if err != nil {
+		return driver.Result{}, 0, err
+	}
+	k, err := v.Make(s.opts.Params)
+	if err != nil {
+		return driver.Result{}, 0, err
+	}
+	defer k.Close()
+
+	prof := profiler.New()
+	prof.SetSpanObserver(s.tracer.Observer("kernel", j.seq))
+	var kernels driver.Kernels = driver.Instrument(k, prof)
+	if j.spec.FaultSpec != "" {
+		faults, err := chaos.ParseSpec(j.spec.FaultSpec) // validated at Submit
+		if err != nil {
+			return driver.Result{}, 0, err
+		}
+		kernels = chaos.Wrap(kernels, faults)
+	}
+
+	opt := solver.FromConfig(&j.cfg)
+	opt.SDCCheckEvery = j.spec.SDCCheckEvery
+	for _, f := range j.spec.Fallback {
+		kind, err := solverKindNamed(f)
+		if err != nil {
+			return driver.Result{}, 0, err
+		}
+		opt.Fallback = append(opt.Fallback, kind)
+	}
+	if len(opt.Fallback) > 0 && opt.MaxRestarts == 0 {
+		// A degradation chain implies restart-from-iterate is wanted too
+		// (same convention as cmd/tealeaf -fallback).
+		opt.MaxRestarts = 1
+	}
+
+	pol := s.opts.Recovery
+	if j.spec.CheckpointEvery > 0 {
+		pol.CheckpointEvery = j.spec.CheckpointEvery
+	}
+	if j.spec.MaxRetries > 0 {
+		pol.MaxRetries = j.spec.MaxRetries
+	}
+
+	ctx := context.Background()
+	deadline := time.Duration(j.spec.Deadline)
+	if deadline == 0 {
+		deadline = s.opts.DefaultDeadline
+	}
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+	ctx = driver.WithStepObserver(ctx, func(sr driver.StepResult) {
+		s.met.steps.Inc()
+		s.met.iterations.Add(float64(sr.Stats.Iterations))
+	})
+
+	start := time.Now()
+	res, err = driver.RunResilientCtx(ctx, j.cfg, kernels, solver.New(opt), s.opts.Log, pol)
+	wall = time.Since(start)
+	s.tracer.Record(obs.Span{
+		Name: j.id + " " + version, Cat: "job", TID: j.seq,
+		Start: start, Dur: wall,
+	})
+	s.publishProfile(prof)
+	return res, wall, err
+}
+
+// publishProfile folds a job's per-kernel profile into the labeled kernel
+// counter families — the live view of what used to be the -profile table.
+func (s *Server) publishProfile(p *profiler.Profile) {
+	for _, e := range p.Entries() {
+		label := fmt.Sprintf("{kernel=%q}", e.Name)
+		s.reg.Counter("tealeaf_kernel_calls_total"+label,
+			"kernel invocations across all jobs").Add(float64(e.Calls))
+		s.reg.Counter("tealeaf_kernel_seconds_total"+label,
+			"wall-clock seconds spent in each kernel across all jobs").Add(e.Time.Seconds())
+		s.reg.Counter("tealeaf_kernel_sweeps_total"+label,
+			"full-field memory sweeps attributed to each kernel across all jobs").Add(float64(e.Sweeps))
+	}
+}

@@ -5,6 +5,13 @@
 // control flow in one place guarantees every port performs the same
 // operations in the same order, so ports are comparable and verifiable
 // against each other.
+//
+// Concurrency and ownership: a Solver is single-goroutine — the driver
+// calls it sequentially, and all parallelism lives below the kernel
+// boundary inside the port (thread teams, ranks, simulated-GPU blocks).
+// The solver owns no field memory; it orchestrates the port's kernels,
+// which own their fields, and carries only scalar iteration state between
+// calls. One Solver instance drives one solve at a time.
 package solver
 
 import (
