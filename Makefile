@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race chaos fuzz bench-par bench-cg bench-sdc bench
+.PHONY: build test race chaos fuzz bench-par bench-cg bench-sdc bench-serve bench
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,12 @@ bench-cg:
 # solve (acceptance budget <5%); see EXPERIMENTS.md for a captured table.
 bench-sdc:
 	$(GO) test -bench=BenchmarkSDCOverhead -benchtime 30x -count 3 -run '^$$' .
+
+# bench-serve drives the job service with a mixed hot/unique deck stream and
+# writes BENCH_serve.json (throughput, cache-hit ratio, latency quantiles —
+# all read back from /metrics); see docs/OPERATIONS.md for the schema.
+bench-serve:
+	$(GO) run ./cmd/teabench -experiment serve -json
 
 # bench runs the full repo benchmark set.
 bench:

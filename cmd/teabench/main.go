@@ -44,10 +44,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "experiment id: all, fig1a, fig1b, fig2a, fig2b, table1, table2, table3, sysanalysis, knlmodes, scaling, tiling, blocksize, measured, cgfusion")
+	exp := flag.String("experiment", "all", "experiment id: all, fig1a, fig1b, fig2a, fig2b, table1, table2, table3, sysanalysis, knlmodes, scaling, tiling, blocksize, measured, cgfusion, serve")
 	n := flag.Int("n", 192, "mesh edge for measured (real-execution) experiments")
 	steps := flag.Int("steps", 3, "time steps for measured experiments")
-	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (cgfusion only)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (cgfusion and serve only)")
 	flag.Parse()
 
 	w := os.Stdout
@@ -94,6 +94,8 @@ func main() {
 		measured(w, *n, *steps)
 	case "cgfusion":
 		cgFusion(w, *n, *jsonOut)
+	case "serve":
+		serveBench(w, *jsonOut)
 	default:
 		fmt.Fprintf(os.Stderr, "teabench: unknown experiment %q\n", *exp)
 		os.Exit(2)

@@ -1,9 +1,16 @@
 // Command teaserve runs the TeaLeaf solver as a long-lived HTTP service:
 // clients POST tea.in decks (or benchmark names) to /v1/solve, a bounded
-// queue with admission control feeds a worker pool that schedules jobs
-// least-loaded across a pool of registered versions, and the service
-// publishes live Prometheus metrics at /metrics, Chrome trace-event spans
-// at /debug/trace and the standard pprof handlers at /debug/pprof/.
+// priority queue with weighted-fair admission feeds a worker pool that
+// schedules jobs least-loaded across a pool of registered versions, and the
+// service publishes live Prometheus metrics at /metrics, Chrome trace-event
+// spans at /debug/trace and the standard pprof handlers at /debug/pprof/.
+//
+// The request plane dedupes work before it reaches a solver: results are
+// cached content-addressed (the canonical hash of the parsed deck, so
+// formatting differences still hit), concurrent identical submissions
+// collapse onto one in-flight solve, and small decks queued together
+// micro-batch onto one worker's port. Clients can follow a job live at
+// GET /v1/jobs/{id}/events (SSE, with a ?poll=1 long-poll fallback).
 // SIGINT/SIGTERM drains gracefully: admission stops at once, in-flight and
 // queued jobs run to completion, then the listener closes.
 //
@@ -12,9 +19,11 @@
 //	teaserve -addr :8080
 //	teaserve -addr :8080 -workers 8 -queue 32 -versions manual-serial,manual-omp
 //	teaserve -addr :8080 -default-deadline 2m -checkpoint-every 5 -max-retries 3
+//	teaserve -addr :8080 -cache-size 1024 -cache-ttl 1h -retain-jobs 10000
 //
 //	curl -s -X POST localhost:8080/v1/solve -d '{"benchmark": "bm_250"}'
 //	curl -s localhost:8080/v1/jobs/job-000001
+//	curl -sN localhost:8080/v1/jobs/job-000001/events
 //
 // See docs/OPERATIONS.md for the full API, flag and metrics reference.
 package main
@@ -58,6 +67,13 @@ func run() error {
 		tileX    = flag.Int("tilex", 0, "OPS tile width (0: default)")
 		tileY    = flag.Int("tiley", 0, "OPS tile height")
 
+		cacheSize     = flag.Int("cache-size", 256, "content-addressed result cache entries; identical decks return the stored result (0: off, also disables singleflight)")
+		cacheTTL      = flag.Duration("cache-ttl", 0, "result cache entry lifetime (0: entries live until LRU eviction)")
+		batchMaxCells = flag.Int("batch-max-cells", 16384, "decks at or below this cell count may share one worker dispatch and port (0: micro-batching off)")
+		batchMaxJobs  = flag.Int("batch-max-jobs", 4, "most jobs coalesced into one micro-batch")
+		retainJobs    = flag.Int("retain-jobs", 4096, "finished jobs kept for /v1/jobs before the oldest are evicted")
+		retainAge     = flag.Duration("retain-age", 0, "finished jobs older than this are evicted regardless of count (0: no age bound)")
+
 		defaultDeadline = flag.Duration("default-deadline", 0, "wall-clock budget for jobs that set none (0: unbounded)")
 		ckEvery         = flag.Int("checkpoint-every", 0, "default steps between in-memory recovery checkpoints (0: resilience off)")
 		maxRetries      = flag.Int("max-retries", 3, "default consecutive failed step attempts before a job gives up")
@@ -93,6 +109,12 @@ func run() error {
 			TileX:   *tileX,
 			TileY:   *tileY,
 		},
+		CacheSize:       *cacheSize,
+		CacheTTL:        *cacheTTL,
+		BatchMaxCells:   *batchMaxCells,
+		BatchMaxJobs:    *batchMaxJobs,
+		RetainJobs:      *retainJobs,
+		RetainAge:       *retainAge,
 		DefaultDeadline: *defaultDeadline,
 		Recovery: driver.RecoveryPolicy{
 			CheckpointEvery: *ckEvery,

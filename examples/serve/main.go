@@ -1,7 +1,9 @@
 // Serve: run the solver as a service, in process. An internal/serve Server
 // is stood up on a loopback listener, the tea_bm_1 deck is submitted over
-// plain HTTP exactly as a remote client would, the job is polled to
-// completion, and the live /metrics exposition shows what the service
+// plain HTTP exactly as a remote client would, the job's progress is
+// followed live over the SSE events stream, the identical deck is
+// resubmitted to show the content-addressed result cache answering without
+// a second solve, and the live /metrics exposition shows what the service
 // counted — the smallest complete solver-as-a-service round trip.
 //
 // Run from the repository root:
@@ -10,6 +12,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -20,15 +23,14 @@ import (
 	"net/http"
 	"os"
 	"strings"
-	"time"
 
 	"github.com/warwick-hpsc/tealeaf-go/internal/serve"
 )
 
 func main() {
-	// A tiny service: two workers, a four-deep queue, no resilience — the
-	// same Options cmd/teaserve builds from its flags.
-	s, err := serve.New(serve.Options{QueueSize: 4, Workers: 2})
+	// A tiny service: two workers, a four-deep queue, a result cache, no
+	// resilience — the same Options cmd/teaserve builds from its flags.
+	s, err := serve.New(serve.Options{QueueSize: 4, Workers: 2, CacheSize: 16})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,21 +67,39 @@ func main() {
 	}
 	fmt.Printf("submitted %s (state %s)\n", st.ID, st.State)
 
-	// Poll the job until it settles. A production client would back off;
-	// the solve takes well under a minute even on one core.
-	for st.State == serve.StateQueued || st.State == serve.StateRunning {
-		time.Sleep(100 * time.Millisecond)
-		r, err := http.Get(base + "/v1/jobs/" + st.ID)
-		if err != nil {
+	// Follow the job live over the SSE events stream rather than polling:
+	// one frame per lifecycle transition and per solver step, closing after
+	// the "done" frame delivers the result.
+	stream, err := http.Get(base + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc := bufio.NewScanner(stream.Body)
+	for sc.Scan() {
+		data, ok := strings.CutPrefix(sc.Text(), "data: ")
+		if !ok {
+			continue
+		}
+		var ev serve.Event
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
 			log.Fatal(err)
 		}
-		err = json.NewDecoder(r.Body).Decode(&st)
-		r.Body.Close()
-		if err != nil {
-			log.Fatal(err)
+		switch ev.Type {
+		case "state":
+			fmt.Printf("  -> %s\n", ev.State)
+		case "step":
+			fmt.Printf("  step %2d  t=%.2f  %4d iters  residual %.3e\n",
+				ev.Step, ev.SimTime, ev.Iterations, ev.Residual)
+		case "done":
+			st.State = serve.StateDone
+			st.Result = ev.Result
+			if ev.Error != "" {
+				log.Fatalf("job failed: %s", ev.Error)
+			}
 		}
 	}
-	if st.State != serve.StateDone {
+	stream.Body.Close()
+	if st.State != serve.StateDone || st.Result == nil {
 		log.Fatalf("job ended %s: %s", st.State, st.Error)
 	}
 
@@ -89,6 +109,22 @@ func main() {
 	fmt.Printf("  total iterations %6d\n", res.TotalIterations)
 	fmt.Printf("  temperature      %14.6e\n", res.Temperature)
 	fmt.Printf("  internal energy  %14.6e\n", res.InternalEnergy)
+
+	// Resubmit the identical deck: the content-addressed cache answers at
+	// submission time — "cached": true, no second solver invocation, and a
+	// result bitwise-identical to the first.
+	resp, err = http.Post(base+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var again serve.JobStatus
+	err = json.NewDecoder(resp.Body).Decode(&again)
+	resp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nresubmitted identical deck: %s state=%s cached=%v (temperature %14.6e)\n",
+		again.ID, again.State, again.Cached, again.Result.Temperature)
 
 	// The scrape endpoint reflects the same run.
 	r, err := http.Get(base + "/metrics")

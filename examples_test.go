@@ -28,7 +28,7 @@ func TestExamplesRun(t *testing.T) {
 		"solvercompare": {"all solvers agree"},
 		"portability":   {"P (app)", "Manual"},
 		"heatmap":       {"temperature field", "wrote"},
-		"serve":         {"submitted job-", "done on", "teaserve_jobs_completed_total 1"},
+		"serve":         {"submitted job-", "done on", "cached=true", "teaserve_jobs_completed_total 2"},
 	}
 	for _, e := range entries {
 		if !e.IsDir() {

@@ -1,0 +1,19 @@
+package config
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// CanonicalHash returns a stable content address for the configuration: the
+// hex SHA-256 of its canonical tea.in rendering (Summary). Because Summary
+// is the round-trippable normal form — parse→Summary→parse is the fuzz-held
+// identity — two decks that differ only in comment placement, key order,
+// whitespace or redundant defaults hash identically, while any change that
+// alters the resolved run (mesh, timestep, solver, states, tolerances)
+// changes the hash. The serving layer keys its content-addressed result
+// cache on this value.
+func (c *Config) CanonicalHash() string {
+	sum := sha256.Sum256([]byte(c.Summary()))
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,97 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCanonicalHashNormalizesText verifies the content address sees through
+// textual noise (comments, ordering, case, redundant whitespace) but moves
+// for any semantic change to the resolved run.
+func TestCanonicalHashNormalizesText(t *testing.T) {
+	base := `*tea
+state 1 density=100 energy=0.0001
+state 2 density=0.1 energy=25 geometry=rectangle xmin=0 xmax=1 ymin=1 ymax=2
+x_cells=16
+y_cells=16
+xmin=0
+xmax=10
+ymin=0
+ymax=10
+end_step=4
+tl_use_cg
+tl_eps=1e-8
+*endtea
+`
+	// Same run, different text: comments, blank lines, indentation, reordered
+	// scalar keys, spaces around '=', and redundant defaults spelled out.
+	// (State lines keep their order — state 1 must come first; order is
+	// semantic, so reordering them is a different deck, not noise.)
+	noisy := `! a comment before the block
+*tea
+
+  state 1 density=100 energy=0.0001
+  state 2 density=0.1 energy=25 geometry=rectangle xmin=0 xmax=1 ymin=1 ymax=2
+  tl_eps = 1e-8
+  tl_use_cg
+  end_step = 4
+  initial_timestep = 0.1
+  tl_max_iters = 1000
+  ymax=10
+  ymin=0
+  xmax=10
+  xmin=0
+  y_cells = 16
+  x_cells = 16
+*endtea
+`
+	a, err := ParseReader(strings.NewReader(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseReader(strings.NewReader(noisy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CanonicalHash() != b.CanonicalHash() {
+		t.Errorf("textually-different but semantically-identical decks hash apart:\n%s\n%s",
+			a.CanonicalHash(), b.CanonicalHash())
+	}
+
+	// Any semantic twiddle must move the hash.
+	mutations := []func(*Config){
+		func(c *Config) { c.NX = 17 },
+		func(c *Config) { c.EndStep = 5 },
+		func(c *Config) { c.Eps = 1e-9 },
+		func(c *Config) { c.Solver = SolverJacobi },
+		func(c *Config) { c.Preconditioner = PrecondJacDiag },
+		func(c *Config) { c.States[0].Density = 99 },
+	}
+	for i, mutate := range mutations {
+		c, err := ParseReader(strings.NewReader(base))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutate(&c)
+		if c.CanonicalHash() == a.CanonicalHash() {
+			t.Errorf("mutation %d did not change the canonical hash", i)
+		}
+	}
+}
+
+// TestCanonicalHashRoundTrips pins the hash to the parse→Summary→parse
+// fixed point: hashing a config and hashing its reparsed Summary agree.
+func TestCanonicalHashRoundTrips(t *testing.T) {
+	cfg := BenchmarkN(32)
+	cfg.EndStep = 3
+	re, err := ParseReader(strings.NewReader(cfg.Summary()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.CanonicalHash() != re.CanonicalHash() {
+		t.Error("canonical hash is not stable under a Summary round-trip")
+	}
+	if len(cfg.CanonicalHash()) != 64 {
+		t.Errorf("hash length %d, want 64 hex chars", len(cfg.CanonicalHash()))
+	}
+}

@@ -61,9 +61,17 @@ func (g *Gauge) Dec() { g.v.Add(-1) }
 // Value returns the current value.
 func (g *Gauge) Value() float64 { return g.v.Load() }
 
-// Histogram counts observations into cumulative buckets, Prometheus-style:
-// bucket i counts observations <= UpperBounds[i], and an implicit +Inf
-// bucket equals the total count.
+// Histogram counts observations into buckets and renders them cumulatively,
+// Prometheus-style: exposed bucket i counts observations <= UpperBounds[i],
+// and the +Inf bucket equals the total count.
+//
+// Internally each bucket holds only its own band (non-cumulative) and the
+// exposition prefix-sums a snapshot. That is what keeps a concurrent scrape
+// conformant: a per-band snapshot prefix-summed is monotone by construction,
+// whereas incrementing cumulative counters one by one (the previous scheme)
+// let a scrape land mid-update and observe bucket counts that *decreased*
+// with increasing le — invalid text-0.0.4 exposition that Prometheus'
+// quantile math silently mangles.
 type Histogram struct {
 	bounds []float64 // ascending upper bounds, +Inf excluded
 	counts []atomic.Int64
@@ -71,15 +79,55 @@ type Histogram struct {
 	count  atomic.Int64
 }
 
-// Observe records one sample.
+// Observe records one sample. The total count is incremented before the
+// band so a scrape that reads bands first and the count second (as
+// WriteText does) always sees +Inf >= every cumulative bucket.
 func (h *Histogram) Observe(v float64) {
-	for i, b := range h.bounds {
-		if v <= b {
-			h.counts[i].Add(1)
-		}
-	}
-	h.sum.Add(v)
 	h.count.Add(1)
+	h.sum.Add(v)
+	// First bound with v <= bound; v above every bound lands only in +Inf.
+	if i := sort.SearchFloat64s(h.bounds, v); i < len(h.bounds) {
+		h.counts[i].Add(1)
+	}
+}
+
+// snapshotCumulative returns the cumulative bucket counts (one per bound),
+// then the total count — read strictly after the bands so the rendered
+// +Inf bucket can never undercut a bucket. The total may exceed the last
+// cumulative bucket; the excess is the +Inf band.
+func (h *Histogram) snapshotCumulative() ([]int64, int64) {
+	cum := make([]int64, len(h.bounds))
+	var run int64
+	for i := range h.counts {
+		run += h.counts[i].Load()
+		cum[i] = run
+	}
+	return cum, h.count.Load()
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) of the observed
+// distribution by linear interpolation inside the owning bucket — the same
+// estimate Prometheus' histogram_quantile computes server-side. Samples
+// beyond the last finite bound clamp to it. Returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	cum, count := h.snapshotCumulative()
+	if count == 0 || len(cum) == 0 {
+		return 0
+	}
+	rank := q * float64(count)
+	var prevCum int64
+	var prevBound float64
+	for i, c := range cum {
+		if float64(c) >= rank {
+			band := float64(c - prevCum)
+			if band <= 0 {
+				return h.bounds[i]
+			}
+			return prevBound + (h.bounds[i]-prevBound)*(rank-float64(prevCum))/band
+		}
+		prevCum, prevBound = c, h.bounds[i]
+	}
+	return h.bounds[len(h.bounds)-1]
 }
 
 // Count returns the number of observations.
@@ -100,6 +148,7 @@ type metric struct {
 	c      *Counter
 	g      *Gauge
 	h      *Histogram
+	gf     func() float64 // callback gauge; rendered live at scrape time
 }
 
 // Registry holds a set of named metrics and renders them in the Prometheus
@@ -185,6 +234,15 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return r.register(name, help, "gauge", func() *metric { return &metric{g: &Gauge{}} }).g
 }
 
+// GaugeFunc registers a gauge whose value is computed by fn at every scrape
+// — the bridge for state owned elsewhere (a tracer's drop counter, a cache's
+// occupancy) that should be observable without a write on every change. The
+// callback must be fast and safe for concurrent use. Re-registering an
+// existing name keeps the first callback.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, "gauge", func() *metric { return &metric{gf: fn} })
+}
+
 // Histogram returns the named histogram, creating it on first use with the
 // given ascending bucket upper bounds (nil takes DefBuckets). The bounds of
 // an already-registered histogram are kept; they are fixed at creation.
@@ -197,6 +255,48 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 		sort.Float64s(bs)
 		return &metric{h: &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs))}}
 	}).h
+}
+
+// helpEscaper escapes HELP text per the text-0.0.4 format: backslash and
+// newline only (double quotes are NOT escaped in help).
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+// labelEscaper escapes a label value per the text-0.0.4 format: backslash,
+// double-quote and newline. These are the only escape sequences the format
+// defines — Go's %q also emits \t, \xNN and friends, which Prometheus
+// parsers reject or misread, so label values must come through here.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// EscapeLabelValue returns s escaped for use inside a label-value quote per
+// the Prometheus text exposition format.
+func EscapeLabelValue(s string) string { return labelEscaper.Replace(s) }
+
+// SeriesName builds a labeled series name from a family and key/value label
+// pairs with conformant label-value escaping:
+// SeriesName("kernel_calls_total", "kernel", `say "hi"`) ==
+// `kernel_calls_total{kernel="say \"hi\""}`. Use it instead of hand-rolled
+// fmt %q formatting when a label value is not a known-safe literal.
+func SeriesName(family string, kv ...string) string {
+	if len(kv) == 0 {
+		return family
+	}
+	if len(kv)%2 != 0 {
+		panic("obs: SeriesName needs key/value pairs")
+	}
+	var b strings.Builder
+	b.WriteString(family)
+	b.WriteByte('{')
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(EscapeLabelValue(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
 }
 
 // sampleName joins a family suffix and a label pair onto a series name:
@@ -238,7 +338,7 @@ func (r *Registry) WriteText(w io.Writer) {
 		}
 		written[m.family] = true
 		if h := help[m.family]; h != "" {
-			fmt.Fprintf(w, "# HELP %s %s\n", m.family, strings.ReplaceAll(h, "\n", " "))
+			fmt.Fprintf(w, "# HELP %s %s\n", m.family, helpEscaper.Replace(h))
 		}
 		fmt.Fprintf(w, "# TYPE %s %s\n", m.family, m.kind)
 	}
@@ -257,17 +357,28 @@ func (r *Registry) WriteText(w io.Writer) {
 			case "counter":
 				fmt.Fprintf(w, "%s %v\n", sampleName(mm.family, mm.labels, "", ""), mm.c.Value())
 			case "gauge":
-				fmt.Fprintf(w, "%s %v\n", sampleName(mm.family, mm.labels, "", ""), mm.g.Value())
+				switch {
+				case mm.gf != nil:
+					fmt.Fprintf(w, "%s %v\n", sampleName(mm.family, mm.labels, "", ""), mm.gf())
+				default:
+					fmt.Fprintf(w, "%s %v\n", sampleName(mm.family, mm.labels, "", ""), mm.g.Value())
+				}
 			case "histogram":
 				h := mm.h
+				// Sum is read before the buckets so it never includes an
+				// observation the bucket snapshot missed; the cumulative
+				// snapshot reads the total count after the bands, keeping
+				// le="+Inf" >= every bucket under concurrent Observes.
+				sum := h.Sum()
+				cum, count := h.snapshotCumulative()
 				for bi, b := range h.bounds {
 					fmt.Fprintf(w, "%s %d\n",
-						sampleName(mm.family, mm.labels, "_bucket", fmt.Sprintf("le=%q", formatBound(b))),
-						h.counts[bi].Load())
+						sampleName(mm.family, mm.labels, "_bucket", `le="`+formatBound(b)+`"`),
+						cum[bi])
 				}
-				fmt.Fprintf(w, "%s %d\n", sampleName(mm.family, mm.labels, "_bucket", `le="+Inf"`), h.Count())
-				fmt.Fprintf(w, "%s %v\n", sampleName(mm.family, mm.labels, "_sum", ""), h.Sum())
-				fmt.Fprintf(w, "%s %d\n", sampleName(mm.family, mm.labels, "_count", ""), h.Count())
+				fmt.Fprintf(w, "%s %d\n", sampleName(mm.family, mm.labels, "_bucket", `le="+Inf"`), count)
+				fmt.Fprintf(w, "%s %v\n", sampleName(mm.family, mm.labels, "_sum", ""), sum)
+				fmt.Fprintf(w, "%s %d\n", sampleName(mm.family, mm.labels, "_count", ""), count)
 			}
 		}
 	}

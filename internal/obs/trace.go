@@ -23,13 +23,14 @@ type Span struct {
 // traceEvent is one Chrome trace-event ("X" complete event). Timestamps and
 // durations are microseconds, per the trace-event format specification.
 type traceEvent struct {
-	Name string  `json:"name"`
-	Cat  string  `json:"cat"`
-	Ph   string  `json:"ph"`
-	TS   float64 `json:"ts"`
-	Dur  float64 `json:"dur"`
-	PID  int     `json:"pid"`
-	TID  int     `json:"tid"`
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
 }
 
 // traceFile is the JSON object container chrome://tracing and Perfetto load.
@@ -120,16 +121,31 @@ func (t *Tracer) snapshot() []Span {
 // {"traceEvents": [...]} object form — loadable in chrome://tracing and
 // https://ui.perfetto.dev. Events are emitted in timestamp order with
 // microsecond resolution relative to the tracer's creation time.
+// When the ring has evicted spans the export is a *window*, not the whole
+// run; a "M" (metadata) event named trace_dropped_spans with the drop count
+// in its args is prepended so a trimmed trace is distinguishable from a
+// complete one when loaded in a viewer or diffed by tooling.
 func (t *Tracer) WriteJSON(w io.Writer) error {
 	spans := t.snapshot()
+	dropped := t.Dropped()
 	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
-	f := traceFile{TraceEvents: make([]traceEvent, len(spans)), DisplayTimeUnit: "ms"}
-	for i, s := range spans {
+	f := traceFile{TraceEvents: make([]traceEvent, 0, len(spans)+1), DisplayTimeUnit: "ms"}
+	if dropped > 0 {
+		f.TraceEvents = append(f.TraceEvents, traceEvent{
+			Name: "trace_dropped_spans",
+			Cat:  "__metadata",
+			Ph:   "M",
+			PID:  1,
+			TID:  1,
+			Args: map[string]any{"dropped": dropped},
+		})
+	}
+	for _, s := range spans {
 		tid := s.TID
 		if tid == 0 {
 			tid = 1
 		}
-		f.TraceEvents[i] = traceEvent{
+		f.TraceEvents = append(f.TraceEvents, traceEvent{
 			Name: s.Name,
 			Cat:  s.Cat,
 			Ph:   "X",
@@ -137,7 +153,7 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 			Dur:  float64(s.Dur) / float64(time.Microsecond),
 			PID:  1,
 			TID:  tid,
-		}
+		})
 	}
 	return json.NewEncoder(w).Encode(f)
 }

@@ -4,20 +4,29 @@ import (
 	"bytes"
 	"encoding/json"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 )
 
 // decodeTrace unmarshals trace JSON back into the container shape and
-// validates the invariants chrome://tracing relies on: every event is a
-// complete ("X") event with non-negative ts/dur and a name.
+// validates the invariants chrome://tracing relies on: an optional leading
+// "M" metadata event announcing dropped spans, then complete ("X") events
+// with non-negative ts/dur and a name, sorted by timestamp.
 func decodeTrace(t *testing.T, data []byte) traceFile {
 	t.Helper()
 	var f traceFile
 	if err := json.Unmarshal(data, &f); err != nil {
 		t.Fatalf("trace output is not valid JSON: %v\n%s", err, data)
 	}
-	for i, ev := range f.TraceEvents {
+	events := f.TraceEvents
+	if len(events) > 0 && events[0].Ph == "M" {
+		if events[0].Name != "trace_dropped_spans" || events[0].Args["dropped"] == nil {
+			t.Errorf("malformed metadata event: %+v", events[0])
+		}
+		events = events[1:]
+	}
+	for i, ev := range events {
 		if ev.Ph != "X" {
 			t.Errorf("event %d: ph = %q, want X", i, ev.Ph)
 		}
@@ -27,7 +36,7 @@ func decodeTrace(t *testing.T, data []byte) traceFile {
 		if ev.TS < 0 || ev.Dur < 0 {
 			t.Errorf("event %d: negative ts/dur (%v/%v)", i, ev.TS, ev.Dur)
 		}
-		if i > 0 && ev.TS < f.TraceEvents[i-1].TS {
+		if i > 0 && ev.TS < events[i-1].TS {
 			t.Errorf("event %d: timestamps not sorted", i)
 		}
 	}
@@ -76,6 +85,70 @@ func TestTracerRingDropsOldest(t *testing.T) {
 		want := base.Add(time.Duration(6+i) * time.Millisecond)
 		if !s.Start.Equal(want) {
 			t.Errorf("span %d start = %v, want %v", i, s.Start, want)
+		}
+	}
+}
+
+// TestTracerFullRingSurfacesDrops is the regression test for the silent
+// span-drop bug: once the ring wraps, the export must announce the loss via
+// a leading metadata event, and a GaugeFunc bridge must surface the same
+// count on a metrics scrape — a busy server's trace can no longer pass as
+// complete.
+func TestTracerFullRingSurfacesDrops(t *testing.T) {
+	tr := NewTracer(4)
+	base := time.Now()
+	for i := 0; i < 10; i++ {
+		tr.Record(Span{Name: "k", Cat: "kernel", TID: 1,
+			Start: base.Add(time.Duration(i) * time.Millisecond), Dur: time.Microsecond})
+	}
+
+	var b bytes.Buffer
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	f := decodeTrace(t, b.Bytes())
+	if len(f.TraceEvents) != 5 { // metadata event + the 4 surviving spans
+		t.Fatalf("got %d events, want 5", len(f.TraceEvents))
+	}
+	meta := f.TraceEvents[0]
+	if meta.Ph != "M" || meta.Name != "trace_dropped_spans" {
+		t.Fatalf("first event is not the drop metadata event: %+v", meta)
+	}
+	if got, ok := meta.Args["dropped"].(float64); !ok || got != 6 {
+		t.Errorf("metadata args = %v, want dropped=6", meta.Args)
+	}
+
+	// The /metrics bridge: a callback gauge reads the live drop counter.
+	r := NewRegistry()
+	r.GaugeFunc("tealeaf_trace_dropped_spans", "spans evicted from the trace ring",
+		func() float64 { return float64(tr.Dropped()) })
+	var expo strings.Builder
+	r.WriteText(&expo)
+	if !strings.Contains(expo.String(), "tealeaf_trace_dropped_spans 6") {
+		t.Errorf("drop gauge missing from exposition:\n%s", expo.String())
+	}
+	tr.Record(Span{Name: "k", Start: base.Add(time.Second), Dur: time.Microsecond})
+	expo.Reset()
+	r.WriteText(&expo)
+	if !strings.Contains(expo.String(), "tealeaf_trace_dropped_spans 7") {
+		t.Errorf("drop gauge is not live:\n%s", expo.String())
+	}
+}
+
+// TestTracerNoDropsNoMetadata pins the compatibility contract: a trace that
+// lost nothing carries no metadata event, so existing consumers that expect
+// only "X" events keep working until a drop actually happens.
+func TestTracerNoDropsNoMetadata(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Record(Span{Name: "k", Start: time.Now(), Dur: time.Microsecond})
+	var b bytes.Buffer
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	f := decodeTrace(t, b.Bytes())
+	for _, ev := range f.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("unexpected non-X event without drops: %+v", ev)
 		}
 	}
 }

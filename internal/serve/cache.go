@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"container/list"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// cacheKey is the content address of one solve outcome: the canonical hash
+// of the parsed deck (config.CanonicalHash — textual noise already
+// normalised away) joined with the resolved version and every spec field
+// that can change the numbers a solve produces. SDCCheckEvery is in the key
+// because the ABFT monitor's true-residual replacement perturbs the CG
+// iterate; the fallback chain is in because a breakdown mid-run switches
+// solvers. Deadline/checkpoint/retry knobs are absent: they bound *whether*
+// a run finishes, never what a finished run computed. Fault-injected jobs
+// are never cached at all (see cacheable).
+func cacheKey(cfgHash, version string, spec JobSpec) string {
+	var b strings.Builder
+	b.Grow(len(cfgHash) + len(version) + 32)
+	b.WriteString(cfgHash)
+	b.WriteByte('|')
+	b.WriteString(version)
+	b.WriteString("|sdc=")
+	b.WriteString(strconv.Itoa(spec.SDCCheckEvery))
+	b.WriteString("|fb=")
+	b.WriteString(strings.Join(spec.Fallback, ","))
+	return b.String()
+}
+
+// cacheEntry is one cached final result with the version that produced it.
+type cacheEntry struct {
+	key     string
+	version string
+	result  JobResult
+	added   time.Time
+}
+
+// resultCache is a bounded LRU of finished solve results with optional TTL
+// expiry. It is deliberately metrics-free and clock-injectable: the server
+// owns the hit/miss/eviction counters (they belong to submissions, not
+// lookups) and tests pin time. Methods are not self-locking — the server
+// calls them under its own mutex, which also makes check-then-insert atomic
+// with singleflight admission.
+type resultCache struct {
+	cap   int
+	ttl   time.Duration
+	now   func() time.Time
+	ll    *list.List // front = most recently used; values are *cacheEntry
+	items map[string]*list.Element
+}
+
+func newResultCache(capacity int, ttl time.Duration) *resultCache {
+	return &resultCache{
+		cap:   capacity,
+		ttl:   ttl,
+		now:   time.Now,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the fresh entry for key, promoting it to most-recent. A stale
+// entry is removed and reported via expired so the caller can count a TTL
+// eviction (distinct from an LRU one).
+func (c *resultCache) get(key string) (e cacheEntry, ok, expired bool) {
+	el, found := c.items[key]
+	if !found {
+		return cacheEntry{}, false, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if c.ttl > 0 && c.now().Sub(ent.added) > c.ttl {
+		c.ll.Remove(el)
+		delete(c.items, key)
+		return cacheEntry{}, false, true
+	}
+	c.ll.MoveToFront(el)
+	return *ent, true, false
+}
+
+// put inserts (or refreshes) an entry and returns how many old entries the
+// size bound pushed out.
+func (c *resultCache) put(e cacheEntry) (evictedLRU int) {
+	if c.cap <= 0 {
+		return 0
+	}
+	e.added = c.now()
+	if el, ok := c.items[e.key]; ok {
+		*el.Value.(*cacheEntry) = e
+		c.ll.MoveToFront(el)
+		return 0
+	}
+	c.items[e.key] = c.ll.PushFront(&e)
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		evictedLRU++
+	}
+	return evictedLRU
+}
+
+func (c *resultCache) len() int { return c.ll.Len() }

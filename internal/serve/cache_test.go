@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestResultCacheLRUAndTTL pins the bounded-LRU-with-TTL semantics at the
+// unit level with an injected clock: recency ordering, size-bound eviction
+// of the least recently used entry, and age expiry distinct from both.
+func TestResultCacheLRUAndTTL(t *testing.T) {
+	now := time.Unix(1000, 0)
+	c := newResultCache(2, time.Minute)
+	c.now = func() time.Time { return now }
+
+	put := func(key string, temp float64) {
+		c.put(cacheEntry{key: key, version: "manual-serial", result: JobResult{Temperature: temp}})
+	}
+	put("a", 1)
+	put("b", 2)
+	if e, ok, _ := c.get("a"); !ok || e.result.Temperature != 1 {
+		t.Fatalf("get a = %+v %v", e, ok)
+	}
+	// "a" was just used, so inserting "c" must evict "b", not "a".
+	if ev := c.put(cacheEntry{key: "c"}); ev != 1 {
+		t.Fatalf("inserting past capacity evicted %d entries, want 1", ev)
+	}
+	if _, ok, _ := c.get("b"); ok {
+		t.Error("LRU evicted the recently-used entry instead of the stale one")
+	}
+	if _, ok, _ := c.get("a"); !ok {
+		t.Error("recently-used entry was evicted")
+	}
+
+	// TTL: push the clock past expiry; the entry must report expired (so
+	// the server can count a TTL eviction) and vanish.
+	now = now.Add(2 * time.Minute)
+	if _, ok, expired := c.get("a"); ok || !expired {
+		t.Errorf("expired entry: ok=%v expired=%v, want miss+expired", ok, expired)
+	}
+	if _, ok, expired := c.get("a"); ok || expired {
+		t.Errorf("second lookup of expired key: ok=%v expired=%v, want plain miss", ok, expired)
+	}
+	if c.len() != 1 {
+		t.Errorf("cache holds %d entries, want 1", c.len())
+	}
+
+	// Refreshing an existing key must not grow the cache or evict.
+	put("c", 9)
+	if c.len() != 1 {
+		t.Errorf("refresh grew the cache to %d", c.len())
+	}
+	if e, _, _ := c.get("c"); e.result.Temperature != 9 {
+		t.Errorf("refresh kept the old value: %+v", e)
+	}
+}
+
+// TestCacheKeyDiscriminates checks the key separates everything that can
+// change the numbers and ignores what cannot.
+func TestCacheKeyDiscriminates(t *testing.T) {
+	base := cacheKey("hash1", "manual-serial", JobSpec{})
+	distinct := []string{
+		cacheKey("hash2", "manual-serial", JobSpec{}),
+		cacheKey("hash1", "manual-omp", JobSpec{}),
+		cacheKey("hash1", "manual-serial", JobSpec{SDCCheckEvery: 10}),
+		cacheKey("hash1", "manual-serial", JobSpec{Fallback: []string{"jacobi"}}),
+	}
+	seen := map[string]bool{base: true}
+	for i, k := range distinct {
+		if seen[k] {
+			t.Errorf("key %d (%s) collides", i, k)
+		}
+		seen[k] = true
+	}
+	// Policy knobs that cannot change a finished result share the key.
+	same := cacheKey("hash1", "manual-serial",
+		JobSpec{Deadline: Duration(time.Minute), CheckpointEvery: 5, MaxRetries: 3, Priority: "high"})
+	if same != base {
+		t.Errorf("result-neutral policy fields moved the key: %q vs %q", same, base)
+	}
+}
+
+// TestCacheHitServesIdenticalResultWithoutSolve is the end-to-end cache
+// path: the second identical submission completes from the cache — no
+// solver invocation — and its result is bitwise-identical to the solved
+// one. A third submission of a *textually different but semantically
+// identical* deck must also hit (content addressing, not string matching).
+func TestCacheHitServesIdenticalResultWithoutSolve(t *testing.T) {
+	s, err := New(Options{QueueSize: 4, Workers: 1, CacheSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	st1, err := s.Submit(JobSpec{Deck: deck(32, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := waitJob(t, s, st1.ID)
+	if first.State != StateDone || first.Cached {
+		t.Fatalf("first submission: state %s cached %v", first.State, first.Cached)
+	}
+
+	st2, err := s.Submit(JobSpec{Deck: deck(32, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := waitJob(t, s, st2.ID)
+	if second.State != StateDone || !second.Cached {
+		t.Fatalf("second submission: state %s cached %v, want cached done", second.State, second.Cached)
+	}
+	if *second.Result != *first.Result {
+		t.Errorf("cached result differs from solved result:\n%+v\n%+v", second.Result, first.Result)
+	}
+	if second.Version != first.Version {
+		t.Errorf("cached job reports version %q, entry came from %q", second.Version, first.Version)
+	}
+
+	// Same run, different text: extra whitespace and reordered keys.
+	noisy := "! resubmitted by a client that reformats decks\n" + deck(32, 2)
+	st3, err := s.Submit(JobSpec{Deck: noisy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third := waitJob(t, s, st3.ID); !third.Cached {
+		t.Error("semantically-identical deck missed the content-addressed cache")
+	}
+
+	if got := s.met.solves.Value(); got != 1 {
+		t.Errorf("solves_total = %v, want 1 (two submissions served from cache)", got)
+	}
+	if got := s.met.cacheHits.Value(); got != 2 {
+		t.Errorf("cache_hits_total = %v, want 2", got)
+	}
+	if got := s.met.cacheMisses.Value(); got != 1 {
+		t.Errorf("cache_misses_total = %v, want 1", got)
+	}
+	if got := s.met.completed.Value(); got != 3 {
+		t.Errorf("completed = %v, want 3", got)
+	}
+}
+
+// TestCachedEqualsUncachedPerVersion is the acceptance equivalence check:
+// for every version in the pool, a cached result is bitwise-identical to a
+// fresh solve of the same deck on a cache-less server (the solver is
+// deterministic per version and parameter set, so equality is exact, not
+// approximate).
+func TestCachedEqualsUncachedPerVersion(t *testing.T) {
+	for _, version := range []string{"manual-serial", "manual-omp"} {
+		spec := JobSpec{Deck: deck(32, 2), Version: version}
+
+		cached, err := New(Options{QueueSize: 4, Workers: 1, CacheSize: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st1, err := cached.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		solved := waitJob(t, cached, st1.ID)
+		st2, err := cached.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromCache := waitJob(t, cached, st2.ID)
+		cached.Close()
+
+		uncached, err := New(Options{QueueSize: 4, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st3, err := uncached.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh := waitJob(t, uncached, st3.ID)
+		uncached.Close()
+
+		if !fromCache.Cached {
+			t.Fatalf("%s: second submission was not served from cache", version)
+		}
+		// WallSeconds is the one legitimately run-dependent field.
+		norm := func(r JobResult) JobResult { r.WallSeconds = 0; return r }
+		if norm(*fromCache.Result) != norm(*solved.Result) {
+			t.Errorf("%s: cached result != the solve that populated it\n%+v\n%+v",
+				version, fromCache.Result, solved.Result)
+		}
+		if norm(*fromCache.Result) != norm(*fresh.Result) {
+			t.Errorf("%s: cached result != uncached solve of the same deck\n%+v\n%+v",
+				version, fromCache.Result, fresh.Result)
+		}
+	}
+}
+
+// TestCacheTTLExpiryForcesResolve ages the only cache entry past the TTL
+// and checks the next identical submission solves again and counts a TTL
+// eviction.
+func TestCacheTTLExpiryForcesResolve(t *testing.T) {
+	s, err := New(Options{QueueSize: 4, Workers: 1, CacheSize: 8, CacheTTL: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	spec := JobSpec{Deck: deck(32, 1)}
+	st1, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, s, st1.ID)
+	time.Sleep(80 * time.Millisecond)
+	st2, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again := waitJob(t, s, st2.ID); again.Cached {
+		t.Error("expired entry served a cache hit")
+	}
+	if got := s.met.solves.Value(); got != 2 {
+		t.Errorf("solves_total = %v, want 2 after TTL expiry", got)
+	}
+	if got := s.met.cacheEvTTL.Value(); got != 1 {
+		t.Errorf("ttl evictions = %v, want 1", got)
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"time"
 )
 
 // maxSpecBytes bounds a POST /v1/solve body; decks are small text files,
@@ -27,19 +29,22 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 // Handler returns the service's HTTP API:
 //
-//	POST /v1/solve      submit a JobSpec, 202 + JobStatus (429 queue full,
-//	                    503 draining, 400 malformed spec)
-//	GET  /v1/jobs       list every job, submission order
-//	GET  /v1/jobs/{id}  one job's status/result
-//	GET  /healthz       200 "ok" while accepting, 503 "draining" after Drain
-//	GET  /metrics       Prometheus text exposition
-//	GET  /debug/trace   Chrome trace-event JSON of recent kernel/job spans
-//	     /debug/pprof/* the standard net/http/pprof handlers
+//	POST /v1/solve             submit a JobSpec, 202 + JobStatus (429 queue
+//	                           full, 503 draining, 400 malformed spec)
+//	GET  /v1/jobs              list every retained job, submission order
+//	GET  /v1/jobs/{id}         one job's status/result
+//	GET  /v1/jobs/{id}/events  streaming progress: SSE by default, long-poll
+//	                           JSON with ?poll=1&since=N&wait=30s
+//	GET  /healthz              200 "ok" while accepting, 503 "draining"
+//	GET  /metrics              Prometheus text exposition
+//	GET  /debug/trace          Chrome trace-event JSON of recent spans
+//	     /debug/pprof/*        the standard net/http/pprof handlers
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.Handle("GET /debug/trace", s.tracer.Handler())
@@ -85,6 +90,118 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+// longPollMaxWait caps how long ?poll=1 holds a connection open waiting for
+// the next event before returning an empty batch.
+const longPollMaxWait = time.Minute
+
+// handleJobEvents serves a job's progress stream.
+//
+// Default: Server-Sent Events. Each progress event becomes one SSE frame
+// with id (the event Seq), event (the event Type) and data (the Event as
+// JSON); the stream replays from ?since=N (or the standard Last-Event-ID
+// header on reconnect) and closes after the "done" event.
+//
+// Long-poll fallback (?poll=1&since=N&wait=30s): returns a JSON object
+// {"events": [...], "done": bool} with every buffered event after N,
+// waiting up to `wait` (default 30s, capped at 1m) for the first new one.
+// An empty events array means "nothing yet, poll again from the same N".
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobByID(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	since := 0
+	sinceParam := r.URL.Query().Get("since")
+	if sinceParam == "" {
+		sinceParam = r.Header.Get("Last-Event-ID")
+	}
+	if sinceParam != "" {
+		n, err := strconv.Atoi(sinceParam)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: "since must be a non-negative event seq"})
+			return
+		}
+		since = n
+	}
+	if r.URL.Query().Get("poll") != "" {
+		s.longPollEvents(w, r, j, since)
+		return
+	}
+	s.streamEvents(w, r, j, since)
+}
+
+func (s *Server) longPollEvents(w http.ResponseWriter, r *http.Request, j *job, since int) {
+	wait := 30 * time.Second
+	if ws := r.URL.Query().Get("wait"); ws != "" {
+		d, err := time.ParseDuration(ws)
+		if err != nil || d < 0 {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: "bad wait duration"})
+			return
+		}
+		wait = min(d, longPollMaxWait)
+	}
+	deadline := time.NewTimer(wait)
+	defer deadline.Stop()
+	for {
+		evs, wake, done := j.progress.since(since)
+		if len(evs) > 0 || done {
+			writeJSON(w, http.StatusOK, struct {
+				Events []Event `json:"events"`
+				Done   bool    `json:"done"`
+			}{Events: evs, Done: done})
+			return
+		}
+		select {
+		case <-wake:
+		case <-deadline.C:
+			writeJSON(w, http.StatusOK, struct {
+				Events []Event `json:"events"`
+				Done   bool    `json:"done"`
+			}{Events: []Event{}, Done: false})
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, j *job, since int) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusNotImplemented, apiError{Error: "streaming unsupported by this connection"})
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	for {
+		evs, wake, done := j.progress.since(since)
+		for _, ev := range evs {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+			since = ev.Seq
+		}
+		if len(evs) > 0 {
+			flusher.Flush()
+		}
+		if done {
+			return
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		}
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

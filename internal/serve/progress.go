@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// maxProgressEvents bounds each job's buffered event window. A long solve
+// emits one event per step; past the bound the oldest step events roll off
+// (seq stays monotone, so a consumer can see the gap) while the stream side
+// keeps delivering live.
+const maxProgressEvents = 512
+
+// Event is one entry in a job's progress stream, delivered over
+// GET /v1/jobs/{id}/events as SSE or long-poll JSON. Seq is monotone per
+// job starting at 1; clients resume with ?since=<last seq seen>.
+type Event struct {
+	Seq  int       `json:"seq"`
+	Type string    `json:"type"` // "state", "step" or "done"
+	Time time.Time `json:"time"`
+	// State events: the lifecycle phase entered.
+	State State `json:"state,omitempty"`
+	// Step events: per-step solver progress.
+	Step       int     `json:"step,omitempty"`
+	SimTime    float64 `json:"sim_time,omitempty"`
+	Iterations int     `json:"iterations,omitempty"` // cumulative over the job
+	Residual   float64 `json:"residual,omitempty"`   // final squared residual of the step
+	Converged  bool    `json:"converged,omitempty"`
+	// Partial field summary, present on steps where the driver took one.
+	Temperature float64 `json:"temperature,omitempty"`
+	// Done events: the final result, mirroring the job status.
+	Result *JobResult `json:"result,omitempty"`
+	Error  string     `json:"error,omitempty"`
+}
+
+// progress is one job's bounded event buffer plus a broadcast channel for
+// waiters. Writers are the submit path and the owning worker; readers are
+// any number of HTTP streams.
+type progress struct {
+	mu     sync.Mutex
+	events []Event
+	nextID int
+	done   bool
+	wake   chan struct{} // closed and replaced on every append
+}
+
+func newProgress() *progress {
+	return &progress{wake: make(chan struct{})}
+}
+
+// emit appends an event (assigning its Seq), marks the stream finished for
+// "done" events, and wakes every waiter.
+func (p *progress) emit(ev Event) {
+	p.mu.Lock()
+	p.nextID++
+	ev.Seq = p.nextID
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	p.events = append(p.events, ev)
+	if n := len(p.events); n > maxProgressEvents {
+		p.events = append(p.events[:0], p.events[n-maxProgressEvents:]...)
+	}
+	if ev.Type == "done" {
+		p.done = true
+	}
+	close(p.wake)
+	p.wake = make(chan struct{})
+	p.mu.Unlock()
+}
+
+// since returns the buffered events with Seq > n, a channel that closes on
+// the next append, and whether the stream is finished. An empty slice with
+// done=false means "wait on ch".
+func (p *progress) since(n int) (evs []Event, ch <-chan struct{}, done bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, ev := range p.events {
+		if ev.Seq > n {
+			evs = append(evs, ev)
+		}
+	}
+	return evs, p.wake, p.done
+}

@@ -33,7 +33,8 @@ var (
 type State string
 
 const (
-	// StateQueued: accepted, waiting for a worker.
+	// StateQueued: accepted, waiting for a worker (or, for a coalesced
+	// job, for the in-flight identical solve it attached to).
 	StateQueued State = "queued"
 	// StateRunning: a worker is solving it.
 	StateRunning State = "running"
@@ -46,6 +47,11 @@ const (
 	// whatever partial stats exist and Error the cause chain.
 	StateFailed State = "failed"
 )
+
+// finished reports whether a state is terminal.
+func (st State) finished() bool {
+	return st == StateDone || st == StateExpired || st == StateFailed
+}
 
 // Duration is a time.Duration that marshals as a Go duration string
 // ("30s", "1m30s") so job specs read naturally as JSON; it also accepts a
@@ -93,6 +99,10 @@ type JobSpec struct {
 	// "ops-mpi-tiled", ...). Empty schedules least-loaded across the
 	// server's configured version pool.
 	Version string `json:"version,omitempty"`
+	// Priority is the admission tier: "high", "normal" (the default) or
+	// "low". Dispatch is weighted-fair 4:2:1 across tiers, FIFO within
+	// one — priority buys share, not starvation of the tiers below.
+	Priority string `json:"priority,omitempty"`
 	// Deadline bounds the job's wall clock; on expiry the job ends in
 	// StateExpired with partial stats. 0 inherits the server default.
 	Deadline Duration `json:"deadline,omitempty"`
@@ -110,7 +120,8 @@ type JobSpec struct {
 	// FaultSpec injects a deterministic chaos schedule ("nan@2.3;panic@4.1",
 	// see internal/chaos) into this job — for resilience drills against a
 	// live service. A fault the job's recovery policy cannot absorb fails
-	// the job, never the server.
+	// the job, never the server. Fault-injected jobs bypass the result
+	// cache and singleflight entirely.
 	FaultSpec string `json:"fault_spec,omitempty"`
 }
 
@@ -136,23 +147,34 @@ type JobResult struct {
 type JobStatus struct {
 	ID        string     `json:"id"`
 	State     State      `json:"state"`
-	Version   string     `json:"version,omitempty"` // resolved once running
+	Version   string     `json:"version,omitempty"` // resolved at admission
 	Submitted time.Time  `json:"submitted"`
 	Started   time.Time  `json:"started"`
 	Finished  time.Time  `json:"finished"`
 	Error     string     `json:"error,omitempty"`
 	Result    *JobResult `json:"result,omitempty"`
+	// Cached marks a job served from the content-addressed result cache
+	// without a solve; Coalesced marks one completed from an identical
+	// in-flight solve it was collapsed onto (singleflight).
+	Cached    bool `json:"cached,omitempty"`
+	Coalesced bool `json:"coalesced,omitempty"`
 }
 
 // job is the server-side record; status is guarded by mu so workers can
-// update while handlers snapshot.
+// update while handlers snapshot. version, key and cfgHash are resolved at
+// admission (before the job is visible to any worker) and immutable after.
 type job struct {
-	mu     sync.Mutex
-	id     string // immutable copy of status.ID, readable without the lock
-	seq    int
-	spec   JobSpec
-	cfg    config.Config
-	status JobStatus
+	mu       sync.Mutex
+	id       string // immutable copy of status.ID, readable without the lock
+	seq      int
+	spec     JobSpec
+	cfg      config.Config
+	cfgHash  string
+	version  string  // resolved registry version
+	key      string  // cache/singleflight key; "" when uncacheable
+	flight   *flight // singleflight this job leads; nil otherwise
+	progress *progress
+	status   JobStatus
 }
 
 func (j *job) snapshot() JobStatus {
@@ -172,15 +194,32 @@ func (j *job) update(fn func(*JobStatus)) {
 	fn(&j.status)
 }
 
+// cells is the job's mesh size, the micro-batching admission measure.
+func (j *job) cells() int { return j.cfg.NX * j.cfg.NY }
+
+// flight is one in-flight solve that identical submissions collapse onto:
+// the leader runs, followers wait and complete from its result. If the
+// leader fails or expires, the first follower is promoted and runs (inline
+// on the same worker) under its own policy — a poisoned leader never
+// poisons the queue behind it, and a non-success result is never cached.
+// Guarded by Server.mu.
+type flight struct {
+	key       string
+	leader    *job
+	followers []*job
+	done      bool
+}
+
 // Options configures a Server. The zero value serves manual-serial with a
-// small queue and no resilience — sensible for tests; cmd/teaserve wires
-// every field from flags.
+// small queue, no caching, no batching and no resilience — sensible for
+// tests; cmd/teaserve wires every field from flags.
 type Options struct {
 	// QueueSize bounds the number of accepted-but-unstarted jobs (<= 0: 16).
-	// A full queue rejects submissions with ErrQueueFull.
+	// A full queue rejects submissions with ErrQueueFull. Cache hits and
+	// coalesced jobs never occupy a slot.
 	QueueSize int
 	// Workers is the solve concurrency (<= 0: 2). Each worker runs one job
-	// at a time on its own port instance.
+	// (or one micro-batch) at a time on its own port instance.
 	Workers int
 	// Versions is the scheduling pool for jobs that do not pin a version:
 	// least-loaded wins. Jobs may still pin any registered version by name.
@@ -194,6 +233,25 @@ type Options struct {
 	// retry budget, backoff). CheckpointPath and Resume are per-process
 	// file concerns and are ignored per job: jobs checkpoint in memory.
 	Recovery driver.RecoveryPolicy
+	// CacheSize bounds the content-addressed result cache (entries).
+	// <= 0 disables caching AND singleflight collapsing — the zero value
+	// keeps the pre-cache behaviour where every submission solves.
+	CacheSize int
+	// CacheTTL expires cached results by age (0: never). Expired entries
+	// count as teaserve_cache_evictions_total{reason="ttl"}.
+	CacheTTL time.Duration
+	// BatchMaxCells enables micro-batching: queued jobs whose mesh is at
+	// most this many cells may be coalesced onto one worker dispatch,
+	// reusing a single port (one par.Team spin-up) across the batch.
+	// <= 0 disables batching.
+	BatchMaxCells int
+	// BatchMaxJobs caps jobs per micro-batch (<= 0: 4 when batching on).
+	BatchMaxJobs int
+	// RetainJobs bounds finished jobs kept in the store (<= 0: 4096).
+	// Queued and running jobs are never evicted.
+	RetainJobs int
+	// RetainAge evicts finished jobs older than this (0: no age bound).
+	RetainAge time.Duration
 	// Metrics receives the serve-layer metrics; nil creates a private
 	// registry (exposed at /metrics either way).
 	Metrics *obs.Registry
@@ -220,6 +278,17 @@ type metrics struct {
 	recoveries *obs.Counter
 	sdcFound   *obs.Counter
 	sdcFixed   *obs.Counter
+
+	// Request-plane v2: cache, singleflight, batching, retention.
+	solves      *obs.Counter
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	cacheEvLRU  *obs.Counter
+	cacheEvTTL  *obs.Counter
+	followers   *obs.Counter
+	batches     *obs.Counter
+	batchJobs   *obs.Counter
+	jobsEvicted *obs.Counter
 }
 
 func newMetrics(r *obs.Registry) metrics {
@@ -237,6 +306,25 @@ func newMetrics(r *obs.Registry) metrics {
 		recoveries: r.Counter("teaserve_recoveries_total", "checkpoint rollbacks taken across all jobs"),
 		sdcFound:   r.Counter("teaserve_sdc_detected_total", "silent-data-corruption detections across all jobs"),
 		sdcFixed:   r.Counter("teaserve_sdc_recovered_total", "SDC detections repaired by rollback-and-replay"),
+
+		solves: r.Counter("teaserve_solves_total",
+			"underlying solver invocations; stays below the job counters when the cache and singleflight collapse identical work"),
+		cacheHits: r.Counter("teaserve_cache_hits_total",
+			"submissions completed from the content-addressed result cache"),
+		cacheMisses: r.Counter("teaserve_cache_misses_total",
+			"cacheable submissions that found no cached or in-flight result"),
+		cacheEvLRU: r.Counter(`teaserve_cache_evictions_total{reason="lru"}`,
+			"cache entries evicted by the size bound"),
+		cacheEvTTL: r.Counter(`teaserve_cache_evictions_total{reason="ttl"}`,
+			"cache entries evicted by age"),
+		followers: r.Counter("teaserve_singleflight_followers_total",
+			"submissions completed by collapsing onto an identical in-flight solve"),
+		batches: r.Counter("teaserve_batches_total",
+			"multi-job micro-batch dispatches (small same-version decks sharing one port)"),
+		batchJobs: r.Counter("teaserve_batch_jobs_total",
+			"jobs dispatched inside multi-job micro-batches"),
+		jobsEvicted: r.Counter("teaserve_jobs_evicted_total",
+			"finished jobs evicted from the store by the retention bounds"),
 	}
 }
 
@@ -248,15 +336,17 @@ type Server struct {
 	tracer *obs.Tracer
 	met    metrics
 
-	queue chan *job
+	sched *sched
 	wg    sync.WaitGroup
 
-	mu       sync.Mutex // guards jobs/order/seq/load and queue admission
+	mu       sync.Mutex // guards jobs/order/seq/load/flights/cache and admission
 	draining bool
 	jobs     map[string]*job
 	order    []string
 	seq      int
-	load     map[string]int // per-version queued+running jobs, for least-loaded
+	load     map[string]int     // per-version queued+running jobs, for least-loaded
+	flights  map[string]*flight // key -> in-flight solve identical submissions collapse onto
+	cache    *resultCache       // nil when Options.CacheSize <= 0
 }
 
 // New validates the options, starts the worker pool and returns the server.
@@ -275,6 +365,12 @@ func New(opts Options) (*Server, error) {
 			return nil, fmt.Errorf("serve: version pool: %w", err)
 		}
 	}
+	if opts.BatchMaxCells > 0 && opts.BatchMaxJobs <= 0 {
+		opts.BatchMaxJobs = 4
+	}
+	if opts.RetainJobs <= 0 {
+		opts.RetainJobs = 4096
+	}
 	// Per-job checkpoints are in-memory only; a shared file path would have
 	// concurrent jobs overwrite each other's recovery points.
 	opts.Recovery.CheckpointPath = ""
@@ -286,14 +382,29 @@ func New(opts Options) (*Server, error) {
 		opts.Tracer = obs.NewTracer(0)
 	}
 	s := &Server{
-		opts:   opts,
-		reg:    opts.Metrics,
-		tracer: opts.Tracer,
-		met:    newMetrics(opts.Metrics),
-		queue:  make(chan *job, opts.QueueSize),
-		jobs:   make(map[string]*job),
-		load:   make(map[string]int),
+		opts:    opts,
+		reg:     opts.Metrics,
+		tracer:  opts.Tracer,
+		met:     newMetrics(opts.Metrics),
+		sched:   newSched(opts.QueueSize),
+		jobs:    make(map[string]*job),
+		load:    make(map[string]int),
+		flights: make(map[string]*flight),
 	}
+	if opts.CacheSize > 0 {
+		s.cache = newResultCache(opts.CacheSize, opts.CacheTTL)
+	}
+	s.reg.GaugeFunc("teaserve_cache_size", "entries in the content-addressed result cache",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			if s.cache == nil {
+				return 0
+			}
+			return float64(s.cache.len())
+		})
+	s.reg.GaugeFunc("tealeaf_trace_dropped_spans", "spans evicted from the trace ring buffer; a non-zero value means /debug/trace exports a window, not the whole run",
+		func() float64 { return float64(s.tracer.Dropped()) })
 	for _, name := range opts.Versions {
 		s.load[name] = 0
 	}
@@ -353,6 +464,11 @@ func resolveSpec(spec JobSpec) (config.Config, error) {
 			return cfg, err
 		}
 	}
+	switch spec.Priority {
+	case "", "normal", "high", "low":
+	default:
+		return cfg, fmt.Errorf("serve: unknown priority %q (want high, normal or low)", spec.Priority)
+	}
 	for _, f := range spec.Fallback {
 		if _, err := solverKindNamed(f); err != nil {
 			return cfg, err
@@ -369,14 +485,38 @@ func resolveSpec(spec JobSpec) (config.Config, error) {
 	return cfg, nil
 }
 
-// Submit validates the spec and enqueues the job, returning its queued
-// status. Rejections are typed: ErrQueueFull when the bounded queue is at
-// capacity, ErrDraining after Drain began; anything else is a spec error.
+// cacheable reports whether a spec's result may be served from or stored in
+// the cache: fault-injected jobs are excluded (their outcome depends on the
+// chaos schedule, not just the deck).
+func (s *Server) cacheable(spec JobSpec) bool {
+	return s.cache != nil && spec.FaultSpec == ""
+}
+
+// candidateVersions are the versions whose cached/in-flight results can
+// satisfy a spec: the pinned version alone, or any pool member for an
+// unpinned job (an unpinned request asked for "a" result, so a cached one
+// from any pool member answers it).
+func (s *Server) candidateVersions(spec JobSpec) []string {
+	if spec.Version != "" {
+		return []string{spec.Version}
+	}
+	return s.opts.Versions
+}
+
+// Submit validates the spec and admits the job, returning its status.
+// Admission is a three-way fast path before any queue slot is consumed:
+// a fresh cached result completes the job immediately (Cached), an
+// identical in-flight solve adopts it as a follower (Coalesced on
+// completion), and only a genuine miss occupies a queue slot and a worker.
+// Rejections are typed: ErrQueueFull when the bounded queue is at capacity,
+// ErrDraining after Drain began; anything else is a spec error.
 func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 	cfg, err := resolveSpec(spec)
 	if err != nil {
 		return JobStatus{}, err
 	}
+	cfgHash := cfg.CanonicalHash()
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
@@ -385,33 +525,141 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 	}
 	s.seq++
 	id := fmt.Sprintf("job-%06d", s.seq)
+	now := time.Now()
 	j := &job{
-		id:   id,
-		seq:  s.seq,
-		spec: spec,
-		cfg:  cfg,
+		id:       id,
+		seq:      s.seq,
+		spec:     spec,
+		cfg:      cfg,
+		cfgHash:  cfgHash,
+		progress: newProgress(),
 		status: JobStatus{
 			ID:        id,
 			State:     StateQueued,
 			Version:   spec.Version,
-			Submitted: time.Now(),
+			Submitted: now,
 		},
 	}
-	select {
-	case s.queue <- j:
-	default:
-		s.seq-- // the slot was never used
-		s.met.rejected.Inc()
-		return JobStatus{}, ErrQueueFull
+
+	if s.cacheable(spec) {
+		// Cache lookup across every version that could answer this spec.
+		for _, v := range s.candidateVersions(spec) {
+			e, ok, expired := s.cache.get(cacheKey(cfgHash, v, spec))
+			if expired {
+				s.met.cacheEvTTL.Inc()
+			}
+			if ok {
+				s.admitLocked(j)
+				s.met.cacheHits.Inc()
+				s.finishFromCacheLocked(j, e)
+				return j.snapshot(), nil
+			}
+		}
+		// Singleflight: collapse onto an identical in-flight solve.
+		for _, v := range s.candidateVersions(spec) {
+			k := cacheKey(cfgHash, v, spec)
+			if f, ok := s.flights[k]; ok && !f.done {
+				j.version = v
+				j.key = k
+				j.status.Version = v
+				f.followers = append(f.followers, j)
+				s.admitLocked(j)
+				j.progress.emit(Event{Type: "state", State: StateQueued})
+				return j.snapshot(), nil
+			}
+		}
 	}
+
+	// Genuine work: resolve the version now (so the cache key is concrete
+	// and batching can group by version), then take a queue slot.
+	version := s.pickVersionLocked(j)
+	j.version = version
+	j.status.Version = version
+	if err := s.sched.push(j); err != nil {
+		s.seq-- // the slot was never used
+		s.load[version]--
+		s.met.rejected.Inc()
+		return JobStatus{}, err
+	}
+	if s.cacheable(spec) {
+		// Counted only after admission: a queue-full rejection is neither
+		// a hit nor a miss, so misses stay reconcilable against solves.
+		s.met.cacheMisses.Inc()
+		j.key = cacheKey(cfgHash, version, spec)
+		f := &flight{key: j.key, leader: j}
+		j.flight = f
+		s.flights[j.key] = f
+	}
+	s.admitLocked(j)
+	s.met.queueDepth.Inc()
+	j.progress.emit(Event{Type: "state", State: StateQueued})
+	return j.snapshot(), nil
+}
+
+// admitLocked registers an accepted job in the store and applies the
+// retention bounds. Caller holds s.mu.
+func (s *Server) admitLocked(j *job) {
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
-	if spec.Version != "" {
-		s.load[spec.Version]++
-	}
 	s.met.submitted.Inc()
-	s.met.queueDepth.Inc()
-	return j.snapshot(), nil
+	s.trimLocked()
+}
+
+// finishFromCacheLocked completes a job from a cached entry without any
+// solve. Caller holds s.mu.
+func (s *Server) finishFromCacheLocked(j *job, e cacheEntry) {
+	now := time.Now()
+	r := e.result
+	var submitted time.Time
+	j.update(func(st *JobStatus) {
+		st.State = StateDone
+		st.Version = e.version
+		st.Started, st.Finished = now, now
+		st.Result = &r
+		st.Cached = true
+		submitted = st.Submitted
+	})
+	j.version = e.version
+	s.met.completed.Inc()
+	s.met.latency.Observe(now.Sub(submitted).Seconds())
+	res := r
+	j.progress.emit(Event{Type: "done", State: StateDone, Result: &res})
+}
+
+// trimLocked enforces the retention bounds: finished jobs beyond RetainJobs
+// (oldest first) or older than RetainAge are evicted from the store.
+// Queued and running jobs are never touched, so the store can exceed
+// RetainJobs transiently under a backlog of live work. Caller holds s.mu.
+func (s *Server) trimLocked() {
+	overCount := len(s.jobs) - s.opts.RetainJobs
+	if overCount <= 0 && s.opts.RetainAge <= 0 {
+		return
+	}
+	now := time.Now()
+	evicted := 0
+	keep := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		st := j.snapshot()
+		tooOld := s.opts.RetainAge > 0 && st.State.finished() &&
+			now.Sub(st.Finished) > s.opts.RetainAge
+		if st.State.finished() && (overCount > 0 || tooOld) {
+			if overCount > 0 {
+				overCount--
+			}
+			delete(s.jobs, id)
+			evicted++
+			continue
+		}
+		keep = append(keep, id)
+	}
+	for i := len(keep); i < len(s.order); i++ {
+		s.order[i] = "" // unpin evicted ids
+	}
+	s.order = keep
+	if evicted > 0 {
+		s.met.jobsEvicted.Add(float64(evicted))
+	}
 }
 
 // Job returns a snapshot of one job by ID.
@@ -425,9 +673,18 @@ func (s *Server) Job(id string) (JobStatus, bool) {
 	return j.snapshot(), true
 }
 
-// Jobs returns snapshots of every job in submission order.
+// jobByID returns the live job record (for the progress stream).
+func (s *Server) jobByID(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns snapshots of every retained job in submission order.
 func (s *Server) Jobs() []JobStatus {
 	s.mu.Lock()
+	s.trimLocked() // apply the age bound even between submissions
 	js := make([]*job, 0, len(s.order))
 	for _, id := range s.order {
 		js = append(js, s.jobs[id])
@@ -455,7 +712,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
-		close(s.queue)
+		s.sched.close()
 	}
 	s.mu.Unlock()
 	done := make(chan struct{})
@@ -474,12 +731,16 @@ func (s *Server) Drain(ctx context.Context) error {
 // Close is Drain with an unbounded wait.
 func (s *Server) Close() { _ = s.Drain(context.Background()) }
 
-// worker consumes jobs until the queue closes and drains.
+// worker consumes fair-scheduled dispatches until the queue closes and
+// drains.
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for j := range s.queue {
-		s.met.queueDepth.Dec()
-		s.run(j)
+	for {
+		batch, ok := s.sched.popBatch(s.opts.BatchMaxJobs, s.opts.BatchMaxCells)
+		if !ok {
+			return
+		}
+		s.runBatch(batch)
 	}
 }
 
@@ -488,8 +749,13 @@ func (s *Server) worker() {
 func (s *Server) pickVersion(j *job) string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.pickVersionLocked(j)
+}
+
+func (s *Server) pickVersionLocked(j *job) string {
 	if v := j.spec.Version; v != "" {
-		return v // already accounted at Submit
+		s.load[v]++
+		return v
 	}
 	best := s.opts.Versions[0]
 	for _, v := range s.opts.Versions[1:] {
@@ -507,21 +773,74 @@ func (s *Server) releaseVersion(v string) {
 	s.mu.Unlock()
 }
 
-// run executes one job end to end on this worker.
-func (s *Server) run(j *job) {
-	version := s.pickVersion(j)
-	defer s.releaseVersion(version)
+// runBatch executes one dispatch — a single job, or a micro-batch of small
+// same-version decks — reusing one port (one team spin-up) across the
+// batch. The port is rebuilt after any failed job: a failure may have left
+// rank-state or device-state poisoned, and job isolation beats amortisation.
+// Promoted singleflight followers run inline on this worker, also on a
+// fresh port.
+func (s *Server) runBatch(batch []*job) {
+	for range batch {
+		s.met.queueDepth.Dec()
+	}
+	if len(batch) > 1 {
+		s.met.batches.Inc()
+		s.met.batchJobs.Add(float64(len(batch)))
+	}
+	version := batch[0].version
+	v, verr := registry.Get(version)
+	var port driver.Kernels
+	defer func() {
+		if port != nil {
+			port.Close()
+		}
+	}()
+	for _, j := range batch {
+		for j != nil {
+			if port == nil && verr == nil {
+				port, verr = v.Make(s.opts.Params)
+			}
+			var next *job
+			var healthy bool
+			if verr != nil {
+				// Port construction failed: fail the job (and let its
+				// followers promote — they would hit the same wall, but
+				// each records its own failure).
+				next = s.finishJob(j, driver.Result{}, 0, fmt.Errorf("serve: building %s port: %w", version, verr))
+				healthy = false
+			} else {
+				next, healthy = s.run(j, port)
+			}
+			if !healthy && port != nil {
+				port.Close()
+				port = nil
+			}
+			j = next
+		}
+	}
+}
+
+// run executes one job on a prebuilt port, returning a promoted follower to
+// run next (nil if none) and whether the port is still safe to reuse.
+func (s *Server) run(j *job, port driver.Kernels) (next *job, healthy bool) {
 	s.met.inflight.Inc()
 	defer s.met.inflight.Dec()
 
 	start := time.Now()
 	j.update(func(st *JobStatus) {
 		st.State = StateRunning
-		st.Version = version
 		st.Started = start
 	})
-	res, wall, err := s.solve(j, version)
+	j.progress.emit(Event{Type: "state", State: StateRunning})
+	s.met.solves.Inc()
+	res, wall, err := s.solve(j, port)
+	next = s.finishJob(j, res, wall, err)
+	return next, err == nil
+}
 
+// finishJob records a job's outcome, completes or promotes its flight, and
+// returns the promoted follower (nil if none).
+func (s *Server) finishJob(j *job, res driver.Result, wall time.Duration, err error) *job {
 	result := &JobResult{
 		Steps:           len(res.Steps),
 		TotalIterations: res.TotalIterations,
@@ -542,6 +861,7 @@ func (s *Server) run(j *job) {
 	s.met.sdcFixed.Add(float64(res.SDCRecovered))
 
 	finished := time.Now()
+	var state State
 	j.update(func(st *JobStatus) {
 		st.Finished = finished
 		st.Result = result
@@ -557,42 +877,99 @@ func (s *Server) run(j *job) {
 			st.Error = err.Error()
 			result.Partial = true
 		}
+		state = st.State
 	})
-	switch {
-	case err == nil:
+	switch state {
+	case StateDone:
 		s.met.completed.Inc()
 		s.met.latency.Observe(wall.Seconds())
-	case errors.Is(err, context.DeadlineExceeded):
+	case StateExpired:
 		s.met.expired.Inc()
 	default:
 		s.met.failed.Inc()
 	}
+	errStr := ""
+	if err != nil {
+		errStr = err.Error()
+	}
+	doneRes := *result
+	j.progress.emit(Event{Type: "done", State: state, Result: &doneRes, Error: errStr})
+	s.releaseVersion(j.version)
+
+	// Singleflight settlement: a successful leader caches its result and
+	// completes every follower; a failed or expired one is never cached and
+	// hands the flight to its first follower, which runs next on this
+	// worker under its own policy.
+	f := j.flight
+	if f == nil {
+		return nil
+	}
+	var followers []*job
+	var next *job
+	s.mu.Lock()
+	switch {
+	case state == StateDone:
+		if s.cache != nil {
+			for n := s.cache.put(cacheEntry{key: f.key, version: j.version, result: *result}); n > 0; n-- {
+				s.met.cacheEvLRU.Inc()
+			}
+		}
+		followers = f.followers
+		f.followers = nil
+		f.done = true
+		delete(s.flights, f.key)
+	case len(f.followers) > 0:
+		next = f.followers[0]
+		f.followers = f.followers[1:]
+		f.leader = next
+		next.flight = f
+	default:
+		f.done = true
+		delete(s.flights, f.key)
+	}
+	s.mu.Unlock()
+	for _, fj := range followers {
+		s.completeFollower(fj, *result)
+	}
+	return next
 }
 
-// solve builds the port, wires instrumentation and runs the resilient
+// completeFollower finishes a coalesced job from its flight leader's
+// result.
+func (s *Server) completeFollower(fj *job, result JobResult) {
+	now := time.Now()
+	r := result
+	var submitted time.Time
+	fj.update(func(st *JobStatus) {
+		st.State = StateDone
+		st.Started = now
+		st.Finished = now
+		st.Result = &r
+		st.Coalesced = true
+		submitted = st.Submitted
+	})
+	s.met.completed.Inc()
+	s.met.followers.Inc()
+	s.met.latency.Observe(now.Sub(submitted).Seconds())
+	res := r
+	fj.progress.emit(Event{Type: "done", State: StateDone, Result: &res})
+}
+
+// solve wires instrumentation onto a prebuilt port and runs the resilient
 // driver under the job's deadline and policy. The named error return feeds
 // the deferred recover: a panic escaping the driver (possible on the plain
 // RunCtx path, which has no containment of its own) fails the job, never
 // the worker.
-func (s *Server) solve(j *job, version string) (res driver.Result, wall time.Duration, err error) {
+func (s *Server) solve(j *job, port driver.Kernels) (res driver.Result, wall time.Duration, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("serve: job panicked: %v", p)
 		}
 	}()
-	v, err := registry.Get(version)
-	if err != nil {
-		return driver.Result{}, 0, err
-	}
-	k, err := v.Make(s.opts.Params)
-	if err != nil {
-		return driver.Result{}, 0, err
-	}
-	defer k.Close()
 
 	prof := profiler.New()
 	prof.SetSpanObserver(s.tracer.Observer("kernel", j.seq))
-	var kernels driver.Kernels = driver.Instrument(k, prof)
+	var kernels driver.Kernels = driver.Instrument(port, prof)
 	if j.spec.FaultSpec != "" {
 		faults, err := chaos.ParseSpec(j.spec.FaultSpec) // validated at Submit
 		if err != nil {
@@ -634,16 +1011,39 @@ func (s *Server) solve(j *job, version string) (res driver.Result, wall time.Dur
 		ctx, cancel = context.WithTimeout(ctx, deadline)
 		defer cancel()
 	}
+	totalIters := 0
 	ctx = driver.WithStepObserver(ctx, func(sr driver.StepResult) {
 		s.met.steps.Inc()
 		s.met.iterations.Add(float64(sr.Stats.Iterations))
+		totalIters += sr.Stats.Iterations
+		ev := Event{
+			Type:       "step",
+			Step:       sr.Step,
+			SimTime:    sr.Time,
+			Iterations: totalIters,
+			Residual:   sr.Stats.Error,
+			Converged:  sr.Stats.Converged,
+		}
+		if sr.Totals != nil {
+			ev.Temperature = sr.Totals.Temperature
+		}
+		j.progress.emit(ev)
+		// Followers of this flight see the leader's live progress too.
+		if f := j.flight; f != nil {
+			s.mu.Lock()
+			watchers := append([]*job(nil), f.followers...)
+			s.mu.Unlock()
+			for _, fj := range watchers {
+				fj.progress.emit(ev)
+			}
+		}
 	})
 
 	start := time.Now()
 	res, err = driver.RunResilientCtx(ctx, j.cfg, kernels, solver.New(opt), s.opts.Log, pol)
 	wall = time.Since(start)
 	s.tracer.Record(obs.Span{
-		Name: j.id + " " + version, Cat: "job", TID: j.seq,
+		Name: j.id + " " + j.version, Cat: "job", TID: j.seq,
 		Start: start, Dur: wall,
 	})
 	s.publishProfile(prof)
@@ -654,12 +1054,11 @@ func (s *Server) solve(j *job, version string) (res driver.Result, wall time.Dur
 // counter families — the live view of what used to be the -profile table.
 func (s *Server) publishProfile(p *profiler.Profile) {
 	for _, e := range p.Entries() {
-		label := fmt.Sprintf("{kernel=%q}", e.Name)
-		s.reg.Counter("tealeaf_kernel_calls_total"+label,
+		s.reg.Counter(obs.SeriesName("tealeaf_kernel_calls_total", "kernel", e.Name),
 			"kernel invocations across all jobs").Add(float64(e.Calls))
-		s.reg.Counter("tealeaf_kernel_seconds_total"+label,
+		s.reg.Counter(obs.SeriesName("tealeaf_kernel_seconds_total", "kernel", e.Name),
 			"wall-clock seconds spent in each kernel across all jobs").Add(e.Time.Seconds())
-		s.reg.Counter("tealeaf_kernel_sweeps_total"+label,
+		s.reg.Counter(obs.SeriesName("tealeaf_kernel_sweeps_total", "kernel", e.Name),
 			"full-field memory sweeps attributed to each kernel across all jobs").Add(float64(e.Sweeps))
 	}
 }

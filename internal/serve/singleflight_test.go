@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSingleflightCollapsesIdenticalSubmissions races N identical
+// submissions against one busy worker and checks exactly one underlying
+// solve ran: one leader, N-1 followers completing from its result, and the
+// accounting identity completed == solves + followers + hits reconciling
+// exactly. Run under -race (make chaos does).
+func TestSingleflightCollapsesIdenticalSubmissions(t *testing.T) {
+	s, err := New(Options{QueueSize: 8, Workers: 1, CacheSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Occupy the worker so the leader stays queued while followers attach;
+	// the deck must be slow even without -race instrumentation.
+	blocker, err := s.Submit(JobSpec{Deck: deck(96, 8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 8
+	spec := JobSpec{Deck: deck(48, 3)}
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := s.Submit(spec)
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			ids[i] = st.ID
+		}(i)
+	}
+	wg.Wait()
+
+	waitJob(t, s, blocker.ID)
+	var leaderResult JobResult
+	coalesced := 0
+	for _, id := range ids {
+		st := waitJob(t, s, id)
+		if st.State != StateDone || st.Result == nil || !st.Result.Converged {
+			t.Fatalf("job %s ended %s (%s)", id, st.State, st.Error)
+		}
+		if st.Coalesced {
+			coalesced++
+		} else {
+			leaderResult = *st.Result
+		}
+	}
+	if coalesced != n-1 {
+		t.Errorf("%d of %d jobs coalesced, want %d", coalesced, n, n-1)
+	}
+	for _, id := range ids {
+		st, _ := s.Job(id)
+		if st.Coalesced && *st.Result != leaderResult {
+			t.Errorf("follower %s result differs from leader's", id)
+		}
+	}
+
+	// Exactly two solves total: the blocker and the one collapsed flight.
+	if got := s.met.solves.Value(); got != 2 {
+		t.Errorf("solves_total = %v, want 2 (N identical submissions shared one solve)", got)
+	}
+	if got := s.met.followers.Value(); got != n-1 {
+		t.Errorf("followers_total = %v, want %d", got, n-1)
+	}
+	// completed == solves + followers + hits must reconcile exactly.
+	if c, sv, f, h := s.met.completed.Value(), s.met.solves.Value(),
+		s.met.followers.Value(), s.met.cacheHits.Value(); c != sv+f+h {
+		t.Errorf("accounting does not reconcile: completed %v != solves %v + followers %v + hits %v",
+			c, sv, f, h)
+	}
+}
+
+// TestLeaderExpiryPromotesFollower gives the flight leader an impossible
+// deadline and its follower none: the leader must expire, the follower must
+// be promoted and complete with a real solve, and the expired partial
+// result must never be cached.
+func TestLeaderExpiryPromotesFollower(t *testing.T) {
+	s, err := New(Options{QueueSize: 8, Workers: 1, CacheSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	blocker, err := s.Submit(JobSpec{Deck: deck(48, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := deck(96, 40) // seconds of work: cannot finish inside the leader's deadline
+	leader, err := s.Submit(JobSpec{Deck: big, Deadline: Duration(50 * time.Millisecond)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical deck and options (the deadline is not part of the key), so
+	// this attaches as a follower; its own generous deadline applies only
+	// once promoted.
+	follower, err := s.Submit(JobSpec{Deck: big, Deadline: Duration(10 * time.Minute)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	waitJob(t, s, blocker.ID)
+	lst := waitJob(t, s, leader.ID)
+	if lst.State != StateExpired {
+		t.Fatalf("leader ended %s (%s), want expired", lst.State, lst.Error)
+	}
+	fst := waitJob(t, s, follower.ID)
+	if fst.State != StateExpired && fst.State != StateDone {
+		t.Fatalf("promoted follower ended %s (%s)", fst.State, fst.Error)
+	}
+	if fst.Coalesced {
+		t.Error("follower completed from the expired leader's partial result")
+	}
+	if fst.Result == nil || !fst.Result.Partial && !fst.Result.Converged {
+		t.Errorf("promoted follower result: %+v", fst.Result)
+	}
+
+	// The expired leader ran, the promoted follower ran: two solves beyond
+	// the blocker, zero followers completed by collapsing.
+	if got := s.met.solves.Value(); got != 3 {
+		t.Errorf("solves_total = %v, want 3", got)
+	}
+	if got := s.met.followers.Value(); got != 0 {
+		t.Errorf("followers_total = %v, want 0 (promotion is a real solve, not a collapse)", got)
+	}
+
+	// Nothing from the poisoned flight may have been cached: an identical
+	// fresh submission must miss. (Use SDCCheckEvery to give it its own
+	// key is NOT needed — same key, cache must be empty for it.)
+	quick, err := s.Submit(JobSpec{Deck: deck(48, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, s, quick.ID)
+	if got := s.met.cacheHits.Value(); got != 0 {
+		t.Errorf("cache_hits_total = %v, want 0 — an expired/partial result was cached", got)
+	}
+}
+
+// TestFaultInjectedJobsBypassCacheAndSingleflight: chaos jobs must never be
+// cached, never collapse, and a failed solve must not poison the cache.
+func TestFaultInjectedJobsBypassCacheAndSingleflight(t *testing.T) {
+	s, err := New(Options{QueueSize: 8, Workers: 1, CacheSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	spec := JobSpec{Deck: deck(32, 2), FaultSpec: "panic@1.1"}
+	st1, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := waitJob(t, s, st1.ID); a.State != StateFailed {
+		t.Errorf("first chaos job ended %s, want failed", a.State)
+	}
+	if b := waitJob(t, s, st2.ID); b.State != StateFailed || b.Cached || b.Coalesced {
+		t.Errorf("second chaos job: state %s cached %v coalesced %v, want an independent failure",
+			b.State, b.Cached, b.Coalesced)
+	}
+	if got := s.met.solves.Value(); got != 2 {
+		t.Errorf("solves_total = %v, want 2 (fault-injected jobs never collapse)", got)
+	}
+	if got := s.met.cacheHits.Value() + s.met.cacheMisses.Value(); got != 0 {
+		t.Errorf("cache counters moved (%v) for uncacheable jobs", got)
+	}
+
+	// The same deck without faults must still solve cleanly on a fresh
+	// port (the failed run's port was discarded, not reused).
+	clean, err := s.Submit(JobSpec{Deck: deck(32, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitJob(t, s, clean.ID); st.State != StateDone {
+		t.Errorf("clean job after chaos ended %s (%s)", st.State, st.Error)
+	}
+}

@@ -1,0 +1,250 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sseFrame is one parsed server-sent event.
+type sseFrame struct {
+	id    int
+	event string
+	data  Event
+}
+
+// readSSE consumes an SSE body until the stream closes, parsing every frame.
+func readSSE(t *testing.T, resp *http.Response) []sseFrame {
+	t.Helper()
+	defer resp.Body.Close()
+	var frames []sseFrame
+	var cur sseFrame
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur.event != "" {
+				frames = append(frames, cur)
+			}
+			cur = sseFrame{}
+		case strings.HasPrefix(line, "id: "):
+			n, err := strconv.Atoi(strings.TrimPrefix(line, "id: "))
+			if err != nil {
+				t.Fatalf("bad SSE id line %q: %v", line, err)
+			}
+			cur.id = n
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &cur.data); err != nil {
+				t.Fatalf("bad SSE data %q: %v", line, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading SSE stream: %v", err)
+	}
+	return frames
+}
+
+// TestJobEventsSSE follows a job from submission to completion over the SSE
+// stream and checks the full lifecycle arrives in order: queued, running,
+// one step event per solver step, then done carrying the final result.
+func TestJobEventsSSE(t *testing.T) {
+	_, ts := newTestServer(t, Options{QueueSize: 4, Workers: 1})
+	resp, body := postSolve(t, ts, JobSpec{Deck: deck(32, 3)})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	sresp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := sresp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+	frames := readSSE(t, sresp)
+	if len(frames) < 3 {
+		t.Fatalf("got %d frames, want at least queued/running/done: %+v", len(frames), frames)
+	}
+
+	seq := 0
+	steps := 0
+	for _, f := range frames {
+		if f.id <= seq {
+			t.Errorf("event ids not strictly increasing: %d after %d", f.id, seq)
+		}
+		seq = f.id
+		if f.id != f.data.Seq {
+			t.Errorf("SSE id %d disagrees with payload seq %d", f.id, f.data.Seq)
+		}
+		if f.event != f.data.Type {
+			t.Errorf("SSE event %q disagrees with payload type %q", f.event, f.data.Type)
+		}
+		if f.event == "step" {
+			steps++
+			if f.data.Step != steps {
+				t.Errorf("step events out of order: got step %d as the %dth", f.data.Step, steps)
+			}
+		}
+	}
+	if steps != 3 {
+		t.Errorf("saw %d step events, deck runs 3 steps", steps)
+	}
+	if first := frames[0]; first.event != "state" || first.data.State != StateQueued {
+		t.Errorf("first frame = %s/%s, want state/queued", first.event, first.data.State)
+	}
+	last := frames[len(frames)-1]
+	if last.event != "done" || last.data.Result == nil || !last.data.Result.Converged {
+		t.Errorf("final frame = %s result %+v, want done with converged result", last.event, last.data.Result)
+	}
+
+	// Replaying from mid-stream must return only the tail, not the start.
+	rresp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events?since=" + strconv.Itoa(frames[1].id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := readSSE(t, rresp)
+	if len(replay) != len(frames)-2 {
+		t.Errorf("replay from seq %d returned %d frames, want %d", frames[1].id, len(replay), len(frames)-2)
+	}
+	if len(replay) > 0 && replay[0].id != frames[2].id {
+		t.Errorf("replay starts at seq %d, want %d", replay[0].id, frames[2].id)
+	}
+}
+
+// TestJobEventsLongPoll drives the ?poll=1 fallback: repeated short polls
+// accumulate the same monotone event sequence and terminate on done.
+func TestJobEventsLongPoll(t *testing.T) {
+	_, ts := newTestServer(t, Options{QueueSize: 4, Workers: 1})
+	_, body := postSolve(t, ts, JobSpec{Deck: deck(32, 2)})
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	type pollResp struct {
+		Events []Event `json:"events"`
+		Done   bool    `json:"done"`
+	}
+	var all []Event
+	since := 0
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("long-poll never reached done; got %d events", len(all))
+		}
+		resp, body := getBody(t, ts.URL+"/v1/jobs/"+st.ID+"/events?poll=1&since="+strconv.Itoa(since)+"&wait=2s")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("poll: %d %s", resp.StatusCode, body)
+		}
+		var pr pollResp
+		if err := json.Unmarshal(body, &pr); err != nil {
+			t.Fatalf("poll body %s: %v", body, err)
+		}
+		for _, ev := range pr.Events {
+			if ev.Seq <= since {
+				t.Fatalf("poll returned seq %d, already acknowledged %d", ev.Seq, since)
+			}
+			since = ev.Seq
+			all = append(all, ev)
+		}
+		if pr.Done {
+			break
+		}
+	}
+	if len(all) < 3 {
+		t.Fatalf("long-poll saw %d events, want full lifecycle", len(all))
+	}
+	if last := all[len(all)-1]; last.Type != "done" || last.Result == nil {
+		t.Errorf("last polled event = %+v, want done with result", last)
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Seq != all[i-1].Seq+1 {
+			t.Errorf("gap in polled seqs: %d then %d", all[i-1].Seq, all[i].Seq)
+		}
+	}
+}
+
+// TestJobEventsErrors covers the endpoint's failure envelope.
+func TestJobEventsErrors(t *testing.T) {
+	_, ts := newTestServer(t, Options{QueueSize: 4, Workers: 1})
+	if resp, _ := getBody(t, ts.URL+"/v1/jobs/nope/events"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: %d, want 404", resp.StatusCode)
+	}
+
+	_, body := postSolve(t, ts, JobSpec{Deck: deck(32, 1)})
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if resp, _ := getBody(t, ts.URL+"/v1/jobs/"+st.ID+"/events?since=bogus"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad since: %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := getBody(t, ts.URL+"/v1/jobs/"+st.ID+"/events?poll=1&wait=never"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad wait: %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestCachedJobStreamStillCompletes: a cache-hit job never runs, but its
+// event stream must still open and terminate with the done event so generic
+// clients need no special casing.
+func TestCachedJobStreamStillCompletes(t *testing.T) {
+	_, ts := newTestServer(t, Options{QueueSize: 4, Workers: 1, CacheSize: 8})
+	_, body := postSolve(t, ts, JobSpec{Deck: deck(32, 1)})
+	var first JobStatus
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the populating solve before resubmitting.
+	waitHTTPJob(t, ts, first.ID)
+
+	_, body = postSolve(t, ts, JobSpec{Deck: deck(32, 1)})
+	var hit JobStatus
+	if err := json.Unmarshal(body, &hit); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + hit.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := readSSE(t, resp)
+	if len(frames) == 0 {
+		t.Fatal("cache-hit job produced no events")
+	}
+	last := frames[len(frames)-1]
+	if last.event != "done" || last.data.Result == nil {
+		t.Errorf("cache-hit stream ended with %s, want done+result", last.event)
+	}
+}
+
+// waitHTTPJob polls the REST status endpoint until the job finishes.
+func waitHTTPJob(t *testing.T, ts *httptest.Server, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		_, body := getBody(t, ts.URL+"/v1/jobs/"+id)
+		var st JobStatus
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State.finished() {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return JobStatus{}
+}
