@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race chaos fuzz bench-par bench-cg bench-sdc bench-serve bench
+.PHONY: build test race chaos fuzz bench-par bench-cg bench-sdc bench-serve bench-tiling bench
 
 build:
 	$(GO) build ./...
@@ -62,6 +62,14 @@ bench-sdc:
 # all read back from /metrics); see docs/OPERATIONS.md for the schema.
 bench-serve:
 	$(GO) run ./cmd/teabench -experiment serve -json
+
+# bench-tiling measures cross-iteration loop-chain tiling on the OPS port
+# (tiled vs untiled ns/cg-iter, sweeps/iter, tile geometry) and writes
+# BENCH_tiling.json — the committed baseline TestTilingSweepsGate enforces;
+# see docs/OPERATIONS.md for the schema and EXPERIMENTS.md for a captured
+# table.
+bench-tiling:
+	$(GO) run ./cmd/teabench -experiment tiling -n 256 -json
 
 # bench runs the full repo benchmark set.
 bench:

@@ -2,7 +2,8 @@
 // runtime bar charts of Figures 1a/1b (1000^2) and 2a/2b (4000^2), the
 // implementation and machine inventories of Tables I and II, the
 // performance-portability analysis of Table III, the Section IV-C system
-// analysis, and two ablations (OPS tiling, CUDA block size).
+// analysis, and two ablations (OPS cross-iteration loop-chain tiling, CUDA
+// block size).
 //
 // Paper-scale numbers come from the calibrated machine model
 // (internal/perfmodel) because the paper's Xeon/KNL/P100 are simulated
@@ -47,7 +48,10 @@ func main() {
 	exp := flag.String("experiment", "all", "experiment id: all, fig1a, fig1b, fig2a, fig2b, table1, table2, table3, sysanalysis, knlmodes, scaling, tiling, blocksize, measured, cgfusion, serve")
 	n := flag.Int("n", 192, "mesh edge for measured (real-execution) experiments")
 	steps := flag.Int("steps", 3, "time steps for measured experiments")
-	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (cgfusion and serve only)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (tiling, cgfusion and serve only)")
+	tileX := flag.Int("tile-x", 0, "tile width for the tiling experiment (0: default 128)")
+	tileY := flag.Int("tile-y", 0, "tile height for the tiling experiment (0: default 32)")
+	tileAuto := flag.Bool("tile-auto", false, "size the explicit tiling arm from the detected cache topology instead of -tile-x/-tile-y")
 	flag.Parse()
 
 	w := os.Stdout
@@ -63,7 +67,7 @@ func main() {
 		sysAnalysis(w)
 		knlModes(w)
 		measured(w, *n, *steps)
-		tilingAblation(w, *n)
+		tilingChains(w, *n, *tileX, *tileY, *tileAuto, false)
 		blockSizeAblation(w, *n)
 		scaling(w, *n, *steps)
 	case "fig1a":
@@ -87,7 +91,7 @@ func main() {
 	case "scaling":
 		scaling(w, *n, *steps)
 	case "tiling":
-		tilingAblation(w, *n)
+		tilingChains(w, *n, *tileX, *tileY, *tileAuto, *jsonOut)
 	case "blocksize":
 		blockSizeAblation(w, *n)
 	case "measured":
@@ -426,42 +430,167 @@ func measured(w io.Writer, n, steps int) {
 
 // --- ablations -----------------------------------------------------------------
 
-func tilingAblation(w io.Writer, n int) {
-	fmt.Fprintf(w, "\n## Ablation — OPS cache-block tiling (real execution, %d^2, PPCG)\n\n", n)
-	fmt.Fprintf(w, "PPCG's reduction-free inner steps form long loop chains, the case the\nOPS tiling pass targets.\n\n")
+// benchTilingJSONFile is where -json mirrors the tiling rows (repo root
+// when teabench runs from there, as `make bench-tiling` does). The tiled
+// sweeps_per_iter of the ops-serial row is the committed baseline that
+// TestTilingSweepsGate enforces in CI.
+const benchTilingJSONFile = "BENCH_tiling.json"
+
+// tilingArm is one measurement arm (tiled or untiled) of the chain-tiling
+// experiment: best-of-reps wall nanoseconds per CG iteration, and the
+// full-field sweep count per iteration — chain flushes for tiled arms,
+// individually executed loops for untiled ones.
+type tilingArm struct {
+	NsPerIter     float64 `json:"ns_per_iter"`
+	SweepsPerIter float64 `json:"sweeps_per_iter"`
+}
+
+// tilingRow is one port configuration's tiled-vs-untiled comparison.
+type tilingRow struct {
+	Version string    `json:"version"`
+	TileX   int       `json:"tile_x"`
+	TileY   int       `json:"tile_y"`
+	Tiled   tilingArm `json:"tiled"`
+	Untiled tilingArm `json:"untiled"`
+	Speedup float64   `json:"speedup"`
+	Error   string    `json:"error,omitempty"`
+}
+
+// tilingReport is the BENCH_tiling.json schema (see docs/OPERATIONS.md).
+type tilingReport struct {
+	Mesh  int         `json:"mesh"`
+	Iters int         `json:"iters"`
+	Reps  int         `json:"reps"`
+	Rows  []tilingRow `json:"rows"`
+}
+
+// tilingChainMeasure runs one arm: a diagonal-preconditioned CG solve
+// pinned to exactly iters iterations (Eps is unreachable) on a fresh port,
+// repeated reps times keeping the best wall time. Sweeps come from the
+// port's TilingSnapshot delta around the solve, so setup loops are
+// excluded. Returns the arm plus the resolved tile geometry (meaningful
+// for tiled arms, and what TileAuto actually picked).
+func tilingChainMeasure(opt opsport.Options, n, iters, reps int) (tilingArm, int, int, error) {
 	cfg := config.BenchmarkN(n)
-	cfg.EndStep = 2
-	cfg.Solver = config.SolverPPCG
-	cfg.PPCGInnerSteps = 20
-	type variant struct {
-		name string
-		opt  opsport.Options
-	}
-	variants := []variant{
-		{"ops-serial (untiled)", opsport.Options{Backend: ops.BackendSerial, Name: "ops-serial"}},
-		{"ops-tiled 64x16", opsport.Options{Backend: ops.BackendSerial, Tiling: true, TileX: 64, TileY: 16, Name: "ops-tiled"}},
-		{"ops-tiled 128x32", opsport.Options{Backend: ops.BackendSerial, Tiling: true, TileX: 128, TileY: 32, Name: "ops-tiled"}},
-		{"ops-tiled 256x64", opsport.Options{Backend: ops.BackendSerial, Tiling: true, TileX: 256, TileY: 64, Name: "ops-tiled"}},
-	}
-	fmt.Fprintf(w, "| %-22s | %12s | %10s |\n", "variant", "wall time", "tiles")
-	fmt.Fprintf(w, "|%s|%s|%s|\n", dashes(24), dashes(14), dashes(12))
-	for _, vr := range variants {
-		p, err := opsport.New(vr.opt)
+	cfg.Preconditioner = config.PrecondJacDiag
+	cfg.MaxIters = iters
+	cfg.Eps = 1e-300
+	arm := tilingArm{NsPerIter: math.Inf(1)}
+	tx, ty := 0, 0
+	for r := 0; r < reps; r++ {
+		p, err := opsport.New(opt)
 		if err != nil {
-			fmt.Fprintf(w, "| %-22s | error: %v |\n", vr.name, err)
-			continue
+			return tilingArm{}, 0, 0, err
 		}
-		s := solver.New(solver.FromConfig(&cfg))
+		m, err := grid.NewMesh(cfg.XMin, cfg.XMax, cfg.YMin, cfg.YMax, cfg.NX, cfg.NY)
+		if err != nil {
+			p.Close()
+			return tilingArm{}, 0, 0, err
+		}
+		if err := p.Generate(m, cfg.States); err != nil {
+			p.Close()
+			return tilingArm{}, 0, 0, err
+		}
+		p.HaloExchange([]driver.FieldID{driver.FieldDensity, driver.FieldEnergy0}, 2)
+		p.SetField()
+		p.HaloExchange([]driver.FieldID{driver.FieldDensity, driver.FieldEnergy1}, 2)
+		dt := cfg.InitialTimestep
+		p.SolveInit(cfg.Coefficient, dt/(m.Dx*m.Dx), dt/(m.Dy*m.Dy), cfg.Preconditioner)
+		pre := p.TilingSnapshot()
 		start := time.Now()
-		_, err = driver.Run(cfg, p, s, nil)
+		st, err := solver.Solve(p, solver.FromConfig(&cfg))
 		d := time.Since(start)
-		st := p.Stats()
+		snap := p.TilingSnapshot().Sub(pre)
 		p.Close()
 		if err != nil {
-			fmt.Fprintf(w, "| %-22s | error: %v |\n", vr.name, err)
+			return tilingArm{}, 0, 0, err
+		}
+		if st.Iterations != iters {
+			return tilingArm{}, 0, 0, fmt.Errorf("solve ran %d iterations, want %d", st.Iterations, iters)
+		}
+		sweeps := float64(snap.LoopsExecuted)
+		if snap.Tiling {
+			sweeps = float64(snap.Flushes)
+		}
+		arm.SweepsPerIter = sweeps / float64(iters)
+		if ns := float64(d.Nanoseconds()) / float64(iters); ns < arm.NsPerIter {
+			arm.NsPerIter = ns
+		}
+		tx, ty = snap.TileX, snap.TileY
+	}
+	return arm, tx, ty, nil
+}
+
+// tilingChains measures cross-iteration loop-chain tiling on the OPS port:
+// with the deferred-reduction API the chains from consecutive CG iterations
+// queue as one loop chain, so the tiled arm touches each field a fraction
+// of the times the untiled arm does. Rows cover the serial port at an
+// explicit geometry (flag-overridable), the cache-topology auto tiler, and
+// the 4-rank distributed port. With jsonOut the report also lands in
+// BENCH_tiling.json for the CI sweeps gate.
+func tilingChains(w io.Writer, n, tileX, tileY int, tileAuto, jsonOut bool) {
+	const iters, reps = 50, 3
+	if tileX <= 0 {
+		tileX = 128
+	}
+	if tileY <= 0 {
+		tileY = 32
+	}
+	explicit := opsport.Options{Backend: ops.BackendSerial, Tiling: true, TileX: tileX, TileY: tileY, Name: "ops-tiled"}
+	if tileAuto {
+		explicit.TileX, explicit.TileY, explicit.TileAuto = 0, 0, true
+	}
+	serialRef := opsport.Options{Backend: ops.BackendSerial, Name: "ops-serial"}
+	variants := []struct {
+		name           string
+		tiled, untiled opsport.Options
+	}{
+		{"ops-serial", explicit, serialRef},
+		{"ops-serial-auto", opsport.Options{Backend: ops.BackendSerial, Tiling: true, TileAuto: true, Name: "ops-tiled"}, serialRef},
+		{"ops-mpi-x4", opsport.Options{Backend: ops.BackendSerial, Ranks: 4, Tiling: true, TileX: tileX, TileY: tileY}, opsport.Options{Backend: ops.BackendSerial, Ranks: 4}},
+	}
+	rep := tilingReport{Mesh: n, Iters: iters, Reps: reps}
+	for _, vr := range variants {
+		row := tilingRow{Version: vr.name}
+		var err error
+		row.Tiled, row.TileX, row.TileY, err = tilingChainMeasure(vr.tiled, n, iters, reps)
+		if err == nil {
+			row.Untiled, _, _, err = tilingChainMeasure(vr.untiled, n, iters, reps)
+		}
+		if err != nil {
+			row.Error = err.Error()
+		} else if row.Tiled.NsPerIter > 0 {
+			row.Speedup = row.Untiled.NsPerIter / row.Tiled.NsPerIter
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	if jsonOut {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "teabench: %v\n", err)
+			return
+		}
+		buf = append(buf, '\n')
+		w.Write(buf)
+		if err := os.WriteFile(benchTilingJSONFile, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "teabench: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "teabench: wrote %s\n", benchTilingJSONFile)
+		}
+		return
+	}
+	fmt.Fprintf(w, "\n## Cross-iteration loop-chain tiling — ns per CG iteration, %d^2, jac_diag precond (real execution, best of %d)\n\n", n, reps)
+	fmt.Fprintf(w, "| %-16s | %9s | %13s | %13s | %8s | %13s | %13s |\n",
+		"variant", "tile", "tiled ns/it", "untiled ns/it", "speedup", "tiled sw/it", "untiled sw/it")
+	fmt.Fprintf(w, "|%s|%s|%s|%s|%s|%s|%s|\n", dashes(18), dashes(11), dashes(15), dashes(15), dashes(10), dashes(15), dashes(15))
+	for _, r := range rep.Rows {
+		if r.Error != "" {
+			fmt.Fprintf(w, "| %-16s | error: %s |\n", r.Version, r.Error)
 			continue
 		}
-		fmt.Fprintf(w, "| %-22s | %12s | %10d |\n", vr.name, d.Round(time.Millisecond), st.Tiles)
+		fmt.Fprintf(w, "| %-16s | %4dx%-4d | %13.0f | %13.0f | %7.2fx | %13.2f | %13.2f |\n",
+			r.Version, r.TileX, r.TileY, r.Tiled.NsPerIter, r.Untiled.NsPerIter, r.Speedup,
+			r.Tiled.SweepsPerIter, r.Untiled.SweepsPerIter)
 	}
 }
 

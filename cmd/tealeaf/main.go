@@ -80,8 +80,9 @@ func run() error {
 		ranks     = flag.Int("ranks", 0, "ranks for distributed versions (0: 4)")
 		blockX    = flag.Int("blockx", 0, "GPU kernel block width (0: version default)")
 		blockY    = flag.Int("blocky", 0, "GPU kernel block height")
-		tileX     = flag.Int("tilex", 0, "OPS tile width (0: default)")
-		tileY     = flag.Int("tiley", 0, "OPS tile height")
+		tileX     = flag.Int("tile-x", 0, "OPS tile width in cells (0: default)")
+		tileY     = flag.Int("tile-y", 0, "OPS tile height in cells")
+		tileAuto  = flag.Bool("tile-auto", false, "derive OPS tile extents from the detected cache topology (explicit -tile-x/-tile-y win)")
 		profile   = flag.Bool("profile", false, "print the per-kernel profile after the run")
 		traceOut  = flag.String("trace-out", "", "write per-kernel spans as Chrome trace-event JSON (chrome://tracing) to this file")
 		qa        = flag.Bool("qa", false, "verify the result against the serial reference")
@@ -99,6 +100,9 @@ func run() error {
 		sdcEvery   = flag.Int("sdc-check-every", 0, fmt.Sprintf("CG iterations between ABFT true-residual checks (0: off; %d is the recommended cadence)", solver.DefaultSDCCheckEvery))
 		commSums   = flag.Bool("comm-checksums", false, "CRC-32C checksum every comm payload of message-passing versions; corruption is repaired or escalated")
 	)
+	// Historical spellings of the tile flags keep working.
+	flag.IntVar(tileX, "tilex", 0, "alias for -tile-x")
+	flag.IntVar(tileY, "tiley", 0, "alias for -tile-y")
 	flag.Parse()
 
 	if *list {
@@ -138,11 +142,12 @@ func run() error {
 		return err
 	}
 	params := registry.Params{
-		Threads: *threads,
-		Ranks:   *ranks,
-		Block:   simgpu.Dim2{X: *blockX, Y: *blockY},
-		TileX:   *tileX,
-		TileY:   *tileY,
+		Threads:  *threads,
+		Ranks:    *ranks,
+		Block:    simgpu.Dim2{X: *blockX, Y: *blockY},
+		TileX:    *tileX,
+		TileY:    *tileY,
+		TileAuto: *tileAuto,
 	}
 	k, err := v.Make(params)
 	if err != nil {
@@ -246,6 +251,26 @@ func run() error {
 	}
 
 	if *profile {
+		if tr := driver.AsTilingReporter(k); tr != nil {
+			snap := tr.TilingSnapshot()
+			prof.SetGauge("ops_loops_executed", float64(snap.LoopsExecuted))
+			prof.SetGauge("ops_flushes", float64(snap.Flushes))
+			if snap.Tiling {
+				prof.SetGauge("ops_tiles", float64(snap.Tiles))
+				prof.SetGauge("ops_chains", float64(snap.Chains))
+				prof.SetGauge("ops_max_chain_len", float64(snap.MaxChainLen))
+				prof.SetGauge("ops_tile_x", float64(snap.TileX))
+				prof.SetGauge("ops_tile_y", float64(snap.TileY))
+				if res.TotalIterations > 0 {
+					// Flushes are what the tiled chains actually swept;
+					// LoopsExecuted is what the same loops would cost untiled.
+					prof.SetGauge("ops_sweeps_per_iter_tiled",
+						float64(snap.Flushes)/float64(res.TotalIterations))
+					prof.SetGauge("ops_sweeps_per_iter_untiled",
+						float64(snap.LoopsExecuted)/float64(res.TotalIterations))
+				}
+			}
+		}
 		fmt.Println()
 		prof.Report(os.Stdout)
 	}

@@ -498,3 +498,116 @@ func Conformance(t *testing.T, factory Factory) {
 		}
 	})
 }
+
+// TilingEquivalence checks that cross-iteration loop-chain tiling is an
+// equivalence-preserving optimisation: the same deck solved on a tiled and
+// an untiled instance of the same port must produce field summaries
+// matching to 1e-12 relative, across solver kinds, preconditioners and
+// mesh shapes. Ports built on the ops deferred-reduction API match bitwise
+// by construction — both modes fold identical per-row partials in the same
+// order — so 1e-12 leaves headroom only for ports that cannot.
+//
+// The chaos and SDC arms run the fault on the TILED instance and compare
+// against the UNTILED fault-free run: a rollback must discard the
+// partially-queued chain and the replay must re-queue and re-flush it
+// bit-identically, or the recovered trajectory drifts past the bar.
+func TilingEquivalence(t *testing.T, tiled, untiled Factory) {
+	decks := []struct {
+		name   string
+		mutate func(*config.Config)
+	}{
+		{"PlainCG", func(cfg *config.Config) {}},
+		{"DiagPrecondCG", func(cfg *config.Config) { cfg.Preconditioner = config.PrecondJacDiag }},
+		{"BlockPrecondCG", func(cfg *config.Config) { cfg.Preconditioner = config.PrecondJacBlock }},
+		{"PPCG", func(cfg *config.Config) { cfg.Solver = config.SolverPPCG }},
+		{"Chebyshev", func(cfg *config.Config) { cfg.Solver = config.SolverChebyshev }},
+		{"Jacobi", func(cfg *config.Config) {
+			cfg.Solver = config.SolverJacobi
+			cfg.Eps = 1e-12
+			cfg.MaxIters = 100000
+		}},
+		{"NonSquareMesh", func(cfg *config.Config) { cfg.NX, cfg.NY = 33, 7 }},
+	}
+	for _, deck := range decks {
+		deck := deck
+		t.Run(deck.name, func(t *testing.T) {
+			cfg := config.BenchmarkN(16)
+			cfg.EndStep = 3
+			deck.mutate(&cfg)
+			want := Run(t, untiled, cfg)
+			got := Run(t, tiled, cfg)
+			if d := mustCompare(t, want.Final, got.Final); d > 1e-12 {
+				t.Errorf("tiled and untiled runs diverge by %g:\n  tiled %+v\nuntiled %+v",
+					d, got.Final, want.Final)
+			}
+		})
+	}
+
+	// A panic out of the w = A p sweep of step 2 leaves a partially-flushed
+	// chain behind; rollback must discard it and the replay must match the
+	// untiled fault-free run exactly.
+	t.Run("ChaosRollbackReplaysChain", func(t *testing.T) {
+		cfg := config.BenchmarkN(16)
+		cfg.EndStep = 3
+		ref := Run(t, untiled, cfg)
+		faults, err := chaos.ParseSpec("panic@2.5")
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := tiled()
+		defer k.Close()
+		c := chaos.Wrap(k, faults)
+		res, err := driver.RunResilient(cfg, c, solver.New(solver.FromConfig(&cfg)), nil,
+			driver.RecoveryPolicy{CheckpointEvery: 1, MaxRetries: 3})
+		if err != nil {
+			t.Fatalf("tiled port did not recover: %v", err)
+		}
+		if c.Fired() != len(faults) {
+			t.Fatalf("%d of %d faults fired", c.Fired(), len(faults))
+		}
+		if res.Recoveries < 1 {
+			t.Fatalf("recoveries = %d, want >= 1", res.Recoveries)
+		}
+		if d := mustCompare(t, ref.Final, res.Final); d > 1e-12 {
+			t.Errorf("recovered tiled run diverges from untiled fault-free by %g", d)
+		}
+	})
+
+	// A silent state flip mid-solve under the ABFT monitor: detection,
+	// checkpoint restore (which discards the queued chain) and replay on the
+	// tiled instance must land on the untiled monitored trajectory.
+	t.Run("SDCStateFlipUnderTiling", func(t *testing.T) {
+		cfg := config.BenchmarkN(16)
+		cfg.EndStep = 3
+		monOpt := func() solver.Options {
+			opt := solver.FromConfig(&cfg)
+			opt.SDCCheckEvery = 2
+			return opt
+		}
+		refK := untiled()
+		ref, err := driver.Run(cfg, refK, solver.New(monOpt()), nil)
+		refK.Close()
+		if err != nil {
+			t.Fatalf("monitored untiled run failed: %v", err)
+		}
+		faults, err := chaos.ParseSpec("flip@2.7")
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := tiled()
+		defer k.Close()
+		c := chaos.Wrap(k, faults)
+		res, err := driver.RunResilient(cfg, c, solver.New(monOpt()), nil,
+			driver.RecoveryPolicy{CheckpointEvery: 1, MaxRetries: 3})
+		if err != nil {
+			t.Fatalf("tiled port did not recover from the flip: %v", err)
+		}
+		if res.SDCDetected < 1 || res.SDCRecovered < 1 {
+			t.Fatalf("SDC counters = %d detected / %d recovered, want >= 1 each",
+				res.SDCDetected, res.SDCRecovered)
+		}
+		if d := mustCompare(t, ref.Final, res.Final); d > 1e-12 {
+			t.Errorf("recovered tiled run diverges from untiled monitored run by %g", d)
+		}
+	})
+}

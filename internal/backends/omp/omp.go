@@ -8,6 +8,7 @@ import (
 	"github.com/warwick-hpsc/tealeaf-go/internal/config"
 	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
 	"github.com/warwick-hpsc/tealeaf-go/internal/grid"
+	"github.com/warwick-hpsc/tealeaf-go/internal/kern"
 	"github.com/warwick-hpsc/tealeaf-go/internal/par"
 	"github.com/warwick-hpsc/tealeaf-go/internal/state"
 )
@@ -73,6 +74,18 @@ func (c *Chunk) Generate(m *grid.Mesh, states []config.State) error {
 		driver.FieldKx:      c.kx,
 		driver.FieldKy:      c.ky,
 	}
+	// Cache-topology-aware share assignment: snap static share boundaries
+	// (and guided claim ends) to the tile-row quantum the detected cache
+	// hierarchy suggests, rounded to the 4-wide unroll, so a thread's rows
+	// cover whole unrolled tile rows and two threads never interleave within
+	// a cache-sized row band. Reductions combine per-thread partials in
+	// thread order either way, so this only regroups — never reorders within
+	// a share — and stays deterministic for a fixed thread count.
+	_, ty := par.DetectTopology().AutoTile(c.nx, c.ny, 8*6)
+	if ty > 16 {
+		ty = 16
+	}
+	c.team.SetShareAlign(ty &^ 3)
 	return state.Generate(m, states, grid.DefaultHalo, func(i, j int, density, energy float64) {
 		c.density.Set(i, j, density)
 		c.energy0.Set(i, j, energy)
@@ -216,22 +229,11 @@ func (c *Chunk) SolveInit(coef config.Coefficient, rx, ry float64, precond confi
 	}
 }
 
-// applyOperatorRow computes dst row j = (A src) row j over the interior.
+// applyOperatorRow computes dst row j = (A src) row j over the interior
+// through the shared unrolled kernel body (internal/kern).
 func (c *Chunk) applyOperatorRow(dst, src *grid.Field, j int) {
-	d := src.Depth
-	sr := src.Row(j)
-	su := src.Row(j + 1)
-	sdw := src.Row(j - 1)
-	kxr := c.kx.Row(j)
-	kyr := c.ky.Row(j)
-	kyu := c.ky.Row(j + 1)
-	dr := dst.Row(j)
-	for i := 0; i < c.nx; i++ {
-		ii := d + i
-		dr[ii] = (1+kxr[ii+1]+kxr[ii]+kyu[ii]+kyr[ii])*sr[ii] -
-			(kxr[ii+1]*sr[ii+1] + kxr[ii]*sr[ii-1]) -
-			(kyu[ii]*su[ii] + kyr[ii]*sdw[ii])
-	}
+	kern.OperatorRow(dst.Row(j), src.Row(j), src.Row(j+1), src.Row(j-1),
+		c.kx.Row(j), c.ky.Row(j), c.ky.Row(j+1), src.Depth, c.nx)
 }
 
 // CalcResidual implements driver.Kernels.
@@ -252,9 +254,8 @@ func (c *Chunk) Norm2R() float64 {
 	return c.team.ReduceSum(0, c.ny, func(j0, j1 int) float64 {
 		var s float64
 		for j := j0; j < j1; j++ {
-			for _, v := range c.r.InteriorRow(j) {
-				s += v * v
-			}
+			rr := c.r.InteriorRow(j)
+			s = kern.DotAcc(s, rr, rr)
 		}
 		return s
 	})
@@ -265,11 +266,7 @@ func (c *Chunk) DotRZ() float64 {
 	return c.team.ReduceSum(0, c.ny, func(j0, j1 int) float64 {
 		var s float64
 		for j := j0; j < j1; j++ {
-			rr := c.r.InteriorRow(j)
-			zr := c.z.InteriorRow(j)
-			for i := range rr {
-				s += rr[i] * zr[i]
-			}
+			s = kern.DotAcc(s, c.r.InteriorRow(j), c.z.InteriorRow(j))
 		}
 		return s
 	})
@@ -349,11 +346,7 @@ func (c *Chunk) CGCalcW() float64 {
 		var pw float64
 		for j := j0; j < j1; j++ {
 			c.applyOperatorRow(c.w, c.p, j)
-			pr := c.p.InteriorRow(j)
-			wr := c.w.InteriorRow(j)
-			for i := range pr {
-				pw += pr[i] * wr[i]
-			}
+			pw = kern.DotAcc(pw, c.p.InteriorRow(j), c.w.InteriorRow(j))
 		}
 		return pw
 	})
@@ -364,18 +357,10 @@ func (c *Chunk) CGCalcUR(alpha float64, precond bool) float64 {
 	rrn := c.team.ReduceSum(0, c.ny, func(j0, j1 int) float64 {
 		var s float64
 		for j := j0; j < j1; j++ {
-			ur := c.u.InteriorRow(j)
-			pr := c.p.InteriorRow(j)
 			rr := c.r.InteriorRow(j)
-			wr := c.w.InteriorRow(j)
-			for i := range rr {
-				ur[i] += alpha * pr[i]
-				rr[i] -= alpha * wr[i]
-			}
+			kern.UpdateUR(c.u.InteriorRow(j), c.p.InteriorRow(j), rr, c.w.InteriorRow(j), alpha)
 			if !precond {
-				for i := range rr {
-					s += rr[i] * rr[i]
-				}
+				s = kern.DotAcc(s, rr, rr)
 			}
 		}
 		return s
@@ -402,18 +387,10 @@ func (c *Chunk) CGCalcURFused(alpha float64, precond bool) float64 {
 	return c.team.ReduceSum(0, c.ny, func(j0, j1 int) float64 {
 		var s float64
 		for j := j0; j < j1; j++ {
-			ur := c.u.InteriorRow(j)
-			pr := c.p.InteriorRow(j)
 			rr := c.r.InteriorRow(j)
-			wr := c.w.InteriorRow(j)
-			for i := range rr {
-				ur[i] += alpha * pr[i]
-				rr[i] -= alpha * wr[i]
-			}
+			kern.UpdateUR(c.u.InteriorRow(j), c.p.InteriorRow(j), rr, c.w.InteriorRow(j), alpha)
 			if !precond {
-				for i := range rr {
-					s += rr[i] * rr[i]
-				}
+				s = kern.DotAcc(s, rr, rr)
 				continue
 			}
 			zr := c.z.InteriorRow(j)
@@ -425,9 +402,7 @@ func (c *Chunk) CGCalcURFused(alpha float64, precond bool) float64 {
 					zr[i] = mir[i] * rr[i]
 				}
 			}
-			for i := range rr {
-				s += rr[i] * zr[i]
-			}
+			s = kern.DotAcc(s, rr, zr)
 		}
 		return s
 	})
@@ -462,27 +437,8 @@ func (c *Chunk) JacobiIterate() float64 {
 	return c.team.ReduceSum(0, c.ny, func(j0, j1 int) float64 {
 		var errSum float64
 		for j := j0; j < j1; j++ {
-			unr := c.un.Row(j)
-			unu := c.un.Row(j + 1)
-			und := c.un.Row(j - 1)
-			u0r := c.u0.Row(j)
-			kxr := c.kx.Row(j)
-			kyr := c.ky.Row(j)
-			kyu := c.ky.Row(j + 1)
-			ur := c.u.Row(j)
-			for i := 0; i < c.nx; i++ {
-				ii := d + i
-				num := u0r[ii] +
-					kxr[ii+1]*unr[ii+1] + kxr[ii]*unr[ii-1] +
-					kyu[ii]*unu[ii] + kyr[ii]*und[ii]
-				den := 1 + kxr[ii+1] + kxr[ii] + kyu[ii] + kyr[ii]
-				ur[ii] = num / den
-				dv := ur[ii] - unr[ii]
-				if dv < 0 {
-					dv = -dv
-				}
-				errSum += dv
-			}
+			errSum = kern.JacobiRow(errSum, c.u.Row(j), c.un.Row(j), c.un.Row(j+1), c.un.Row(j-1),
+				c.u0.Row(j), c.kx.Row(j), c.ky.Row(j), c.ky.Row(j+1), d, c.nx)
 		}
 		return errSum
 	})

@@ -6,6 +6,7 @@ import (
 	"github.com/warwick-hpsc/tealeaf-go/internal/config"
 	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
 	"github.com/warwick-hpsc/tealeaf-go/internal/grid"
+	"github.com/warwick-hpsc/tealeaf-go/internal/kern"
 	"github.com/warwick-hpsc/tealeaf-go/internal/ops"
 	"github.com/warwick-hpsc/tealeaf-go/internal/state"
 )
@@ -130,7 +131,7 @@ func (rs *rankState) resetField() {
 
 func (rs *rankState) fieldSummary() driver.Totals {
 	vol := rs.mesh.CellVolume()
-	red := rs.ctx.ParLoopRed("field_summary", rs.block, rs.interior(), 4,
+	red := rs.ctx.ParLoopRedDeferred("field_summary", rs.block, rs.interior(), 4,
 		[]ops.Arg{
 			ops.ArgDat(rs.density, sPoint, ops.Read),
 			ops.ArgDat(rs.energy0, sPoint, ops.Read),
@@ -142,7 +143,7 @@ func (rs *rankState) fieldSummary() driver.Totals {
 			red[1] += d * vol
 			red[2] += d * a[1].Get(0, 0) * vol
 			red[3] += a[2].Get(0, 0) * vol
-		})
+		}).Values()
 	return driver.Totals{Volume: red[0], Mass: red[1], InternalEnergy: red[2], Temperature: red[3]}
 }
 
@@ -377,33 +378,68 @@ func applyA(a []*ops.Acc) float64 {
 		(ky1*a[0].Get(0, 1) + ky0*a[0].Get(0, -1))
 }
 
+// rowApplyA evaluates dst = A src over one n-cell row segment through the
+// 4-wide unrolled kern body. a is the operatorArgs accessor layout
+// (src/kx/ky); dst receives interior cells [0, n) of the segment only. The
+// slices start one halo cell left so kern's shifted views line up (d = 1);
+// every cell actually touched stays inside the declared stencils, which is
+// what the tiling skew is derived from.
+func rowApplyA(a []*ops.Acc, dst *ops.Acc, n int) {
+	kern.OperatorRow(
+		dst.Row(-1, 0, n+1),
+		a[0].Row(-1, 0, n+2),
+		a[0].Row(-1, 1, n+1),
+		a[0].Row(-1, -1, n+1),
+		a[1].Row(-1, 0, n+2),
+		a[2].Row(-1, 0, n+1),
+		a[2].Row(-1, 1, n+1),
+		1, n)
+}
+
 func (rs *rankState) calcResidual() {
 	args := append(rs.operatorArgs(rs.u),
 		ops.ArgDat(rs.u0, sPoint, ops.Read),
 		ops.ArgDat(rs.r, sPoint, ops.Write))
-	rs.ctx.ParLoop("tea_leaf_residual", rs.block, rs.interior(), args,
+	rs.ctx.ParLoopRow("tea_leaf_residual", rs.block, rs.interior(), args,
 		func(a []*ops.Acc, _ []float64) {
 			a[4].Set(0, 0, a[3].Get(0, 0)-applyA(a))
+		},
+		func(a []*ops.Acc, _ []float64, n int) {
+			rowApplyA(a, a[4], n)
+			u0, r := a[3].Row(0, 0, n), a[4].Row(0, 0, n)
+			for i := range r {
+				r[i] = u0[i] - r[i]
+			}
 		})
 }
 
+// Every dot product goes through ParLoopRedDeferred: the reducing loop joins
+// whatever chain is queued (cg_calc_p, reflective halo loops, ...) and the
+// handle's Value() call is the true synchronisation point that flushes the
+// whole chain — on a tiling context consecutive CG-iteration loops execute
+// cache-resident as one skewed tile sweep.
 func (rs *rankState) norm2R() float64 {
-	red := rs.ctx.ParLoopRed("norm2_r", rs.block, rs.interior(), 1,
+	return rs.ctx.ParLoopRedDeferredRow("norm2_r", rs.block, rs.interior(), 1,
 		[]ops.Arg{ops.ArgDat(rs.r, sPoint, ops.Read)},
 		func(a []*ops.Acc, red []float64) {
 			v := a[0].Get(0, 0)
 			red[0] += v * v
-		})
-	return red[0]
+		},
+		func(a []*ops.Acc, red []float64, n int) {
+			r := a[0].Row(0, 0, n)
+			red[0] = kern.DotAcc(red[0], r, r)
+		}).Value()
 }
 
 func (rs *rankState) dotRZ() float64 {
-	red := rs.ctx.ParLoopRed("dot_rz", rs.block, rs.interior(), 1,
+	return rs.ctx.ParLoopRedDeferredRow("dot_rz", rs.block, rs.interior(), 1,
 		[]ops.Arg{ops.ArgDat(rs.r, sPoint, ops.Read), ops.ArgDat(rs.z, sPoint, ops.Read)},
 		func(a []*ops.Acc, red []float64) {
 			red[0] += a[0].Get(0, 0) * a[1].Get(0, 0)
-		})
-	return red[0]
+		},
+		func(a []*ops.Acc, red []float64, n int) {
+			red[0] = kern.DotAcc(red[0], a[0].Row(0, 0, n), a[1].Row(0, 0, n))
+		}).Value()
 }
 
 func (rs *rankState) applyPrecond() {
@@ -411,13 +447,19 @@ func (rs *rankState) applyPrecond() {
 		rs.blockSolve()
 		return
 	}
-	rs.ctx.ParLoop("apply_precond", rs.block, rs.interior(),
+	rs.ctx.ParLoopRow("apply_precond", rs.block, rs.interior(),
 		[]ops.Arg{
 			ops.ArgDat(rs.mi, sPoint, ops.Read),
 			ops.ArgDat(rs.r, sPoint, ops.Read),
 			ops.ArgDat(rs.z, sPoint, ops.Write),
 		},
-		func(a []*ops.Acc, _ []float64) { a[2].Set(0, 0, a[0].Get(0, 0)*a[1].Get(0, 0)) })
+		func(a []*ops.Acc, _ []float64) { a[2].Set(0, 0, a[0].Get(0, 0)*a[1].Get(0, 0)) },
+		func(a []*ops.Acc, _ []float64, n int) {
+			mi, r, z := a[0].Row(0, 0, n), a[1].Row(0, 0, n), a[2].Row(0, 0, n)
+			for i := range z {
+				z[i] = mi[i] * r[i]
+			}
+		})
 }
 
 // blockSolve is the line-Jacobi preconditioner as a ParLoop over a 1-cell-
@@ -466,7 +508,7 @@ func (rs *rankState) cgInitP(precond bool) float64 {
 	if precond {
 		src = rs.z
 	}
-	red := rs.ctx.ParLoopRed("cg_init_p", rs.block, rs.interior(), 1,
+	return rs.ctx.ParLoopRedDeferredRow("cg_init_p", rs.block, rs.interior(), 1,
 		[]ops.Arg{
 			ops.ArgDat(src, sPoint, ops.Read),
 			ops.ArgDat(rs.r, sPoint, ops.Read),
@@ -476,24 +518,31 @@ func (rs *rankState) cgInitP(precond bool) float64 {
 			s := a[0].Get(0, 0)
 			a[2].Set(0, 0, s)
 			red[0] += a[1].Get(0, 0) * s
-		})
-	return red[0]
+		},
+		func(a []*ops.Acc, red []float64, n int) {
+			s := a[0].Row(0, 0, n)
+			copy(a[2].Row(0, 0, n), s)
+			red[0] = kern.DotAcc(red[0], a[1].Row(0, 0, n), s)
+		}).Value()
 }
 
 func (rs *rankState) cgCalcW() float64 {
 	args := append(rs.operatorArgs(rs.p), ops.ArgDat(rs.w, sPoint, ops.Write))
-	red := rs.ctx.ParLoopRed("cg_calc_w", rs.block, rs.interior(), 1, args,
+	return rs.ctx.ParLoopRedDeferredRow("cg_calc_w", rs.block, rs.interior(), 1, args,
 		func(a []*ops.Acc, red []float64) {
 			w := applyA(a)
 			a[3].Set(0, 0, w)
 			red[0] += a[0].Get(0, 0) * w
-		})
-	return red[0]
+		},
+		func(a []*ops.Acc, red []float64, n int) {
+			rowApplyA(a, a[3], n)
+			red[0] = kern.DotAcc(red[0], a[0].Row(0, 0, n), a[3].Row(0, 0, n))
+		}).Value()
 }
 
 func (rs *rankState) cgCalcUR(alpha float64, precond bool) float64 {
 	if precond {
-		rs.ctx.ParLoop("cg_calc_ur_update", rs.block, rs.interior(),
+		rs.ctx.ParLoopRow("cg_calc_ur_update", rs.block, rs.interior(),
 			[]ops.Arg{
 				ops.ArgDat(rs.u, sPoint, ops.RW),
 				ops.ArgDat(rs.p, sPoint, ops.Read),
@@ -503,11 +552,15 @@ func (rs *rankState) cgCalcUR(alpha float64, precond bool) float64 {
 			func(a []*ops.Acc, _ []float64) {
 				a[0].Add(0, 0, alpha*a[1].Get(0, 0))
 				a[2].Add(0, 0, -alpha*a[3].Get(0, 0))
+			},
+			func(a []*ops.Acc, _ []float64, n int) {
+				kern.UpdateUR(a[0].Row(0, 0, n), a[1].Row(0, 0, n),
+					a[2].Row(0, 0, n), a[3].Row(0, 0, n), alpha)
 			})
 		rs.applyPrecond()
 		return rs.dotRZ()
 	}
-	red := rs.ctx.ParLoopRed("cg_calc_ur", rs.block, rs.interior(), 1,
+	return rs.ctx.ParLoopRedDeferredRow("cg_calc_ur", rs.block, rs.interior(), 1,
 		[]ops.Arg{
 			ops.ArgDat(rs.u, sPoint, ops.RW),
 			ops.ArgDat(rs.p, sPoint, ops.Read),
@@ -519,8 +572,12 @@ func (rs *rankState) cgCalcUR(alpha float64, precond bool) float64 {
 			r := a[2].Get(0, 0) - alpha*a[3].Get(0, 0)
 			a[2].Set(0, 0, r)
 			red[0] += r * r
-		})
-	return red[0]
+		},
+		func(a []*ops.Acc, red []float64, n int) {
+			r := a[2].Row(0, 0, n)
+			kern.UpdateUR(a[0].Row(0, 0, n), a[1].Row(0, 0, n), r, a[3].Row(0, 0, n), alpha)
+			red[0] = kern.DotAcc(red[0], r, r)
+		}).Value()
 }
 
 // cgCalcWFused implements the port's FusedWDot capability: cg_calc_w is
@@ -541,7 +598,7 @@ func (rs *rankState) cgCalcURFused(alpha float64, precond bool) float64 {
 	if rs.precond == config.PrecondJacBlock {
 		return rs.cgCalcUR(alpha, true)
 	}
-	red := rs.ctx.ParLoopRed("cg_calc_ur_fused", rs.block, rs.interior(), 1,
+	return rs.ctx.ParLoopRedDeferredRow("cg_calc_ur_fused", rs.block, rs.interior(), 1,
 		[]ops.Arg{
 			ops.ArgDat(rs.u, sPoint, ops.RW),
 			ops.ArgDat(rs.p, sPoint, ops.Read),
@@ -557,8 +614,16 @@ func (rs *rankState) cgCalcURFused(alpha float64, precond bool) float64 {
 			zv := a[4].Get(0, 0) * rv
 			a[5].Set(0, 0, zv)
 			red[0] += rv * zv
-		})
-	return red[0]
+		},
+		func(a []*ops.Acc, red []float64, n int) {
+			r := a[2].Row(0, 0, n)
+			kern.UpdateUR(a[0].Row(0, 0, n), a[1].Row(0, 0, n), r, a[3].Row(0, 0, n), alpha)
+			mi, z := a[4].Row(0, 0, n), a[5].Row(0, 0, n)
+			for i := range z {
+				z[i] = mi[i] * r[i]
+			}
+			red[0] = kern.DotAcc(red[0], r, z)
+		}).Value()
 }
 
 func (rs *rankState) cgCalcP(beta float64, precond bool) {
@@ -566,24 +631,33 @@ func (rs *rankState) cgCalcP(beta float64, precond bool) {
 	if precond {
 		src = rs.z
 	}
-	rs.ctx.ParLoop("cg_calc_p", rs.block, rs.interior(),
+	rs.ctx.ParLoopRow("cg_calc_p", rs.block, rs.interior(),
 		[]ops.Arg{ops.ArgDat(src, sPoint, ops.Read), ops.ArgDat(rs.p, sPoint, ops.RW)},
 		func(a []*ops.Acc, _ []float64) {
 			a[1].Set(0, 0, a[0].Get(0, 0)+beta*a[1].Get(0, 0))
+		},
+		func(a []*ops.Acc, _ []float64, n int) {
+			s, p := a[0].Row(0, 0, n), a[1].Row(0, 0, n)
+			for i := range p {
+				p[i] = s[i] + beta*p[i]
+			}
 		})
 }
 
 func (rs *rankState) jacobiCopyU() {
-	rs.ctx.ParLoop("jacobi_copy_u", rs.block, rs.fullRange(),
+	rs.ctx.ParLoopRow("jacobi_copy_u", rs.block, rs.fullRange(),
 		[]ops.Arg{ops.ArgDat(rs.u, sPoint, ops.Read), ops.ArgDat(rs.un, sPoint, ops.Write)},
-		func(a []*ops.Acc, _ []float64) { a[1].Set(0, 0, a[0].Get(0, 0)) })
+		func(a []*ops.Acc, _ []float64) { a[1].Set(0, 0, a[0].Get(0, 0)) },
+		func(a []*ops.Acc, _ []float64, n int) {
+			copy(a[1].Row(0, 0, n), a[0].Row(0, 0, n))
+		})
 }
 
 func (rs *rankState) jacobiIterate() float64 {
 	args := append(rs.operatorArgs(rs.un),
 		ops.ArgDat(rs.u0, sPoint, ops.Read),
 		ops.ArgDat(rs.u, sPoint, ops.Write))
-	red := rs.ctx.ParLoopRed("jacobi_solve", rs.block, rs.interior(), 1, args,
+	return rs.ctx.ParLoopRedDeferredRow("jacobi_solve", rs.block, rs.interior(), 1, args,
 		func(a []*ops.Acc, red []float64) {
 			kx1, kx0 := a[1].Get(1, 0), a[1].Get(0, 0)
 			ky1, ky0 := a[2].Get(0, 1), a[2].Get(0, 0)
@@ -598,8 +672,19 @@ func (rs *rankState) jacobiIterate() float64 {
 				dv = -dv
 			}
 			red[0] += dv
-		})
-	return red[0]
+		},
+		func(a []*ops.Acc, red []float64, n int) {
+			red[0] = kern.JacobiRow(red[0],
+				a[4].Row(-1, 0, n+1),
+				a[0].Row(-1, 0, n+2),
+				a[0].Row(-1, 1, n+1),
+				a[0].Row(-1, -1, n+1),
+				a[3].Row(-1, 0, n+1),
+				a[1].Row(-1, 0, n+2),
+				a[2].Row(-1, 0, n+1),
+				a[2].Row(-1, 1, n+1),
+				1, n)
+		}).Value()
 }
 
 func (rs *rankState) chebyInit(theta float64, precond bool) {
@@ -662,8 +747,9 @@ func (rs *rankState) ppcgInitInner(theta float64) {
 
 func (rs *rankState) ppcgInnerIterate(alpha, beta float64) {
 	args := append(rs.operatorArgs(rs.sd), ops.ArgDat(rs.w, sPoint, ops.Write))
-	rs.ctx.ParLoop("ppcg_calc_w", rs.block, rs.interior(), args,
-		func(a []*ops.Acc, _ []float64) { a[3].Set(0, 0, applyA(a)) })
+	rs.ctx.ParLoopRow("ppcg_calc_w", rs.block, rs.interior(), args,
+		func(a []*ops.Acc, _ []float64) { a[3].Set(0, 0, applyA(a)) },
+		func(a []*ops.Acc, _ []float64, n int) { rowApplyA(a, a[3], n) })
 	rs.ctx.ParLoop("ppcg_inner_update", rs.block, rs.interior(),
 		[]ops.Arg{
 			ops.ArgDat(rs.z, sPoint, ops.RW),
@@ -708,7 +794,12 @@ const (
 // slab (captured by the do() closure), so each writes its own chunk window
 // into its dat and re-uploads — no gather/scatter messaging at all.
 func (rs *rankState) restoreField(id driver.FieldID, data []float64) {
-	rs.ctx.Flush()
+	// A rollback restore abandons the failed step: any loops still queued
+	// belong to the state being thrown away, so discard them (and invalidate
+	// their pending reduction handles) instead of letting them execute
+	// against the restored fields. The resilient driver replays the whole
+	// step from SetField, which recomputes everything not checkpointed.
+	rs.ctx.Discard()
 	d := rs.byID[id]
 	d.Download()
 	for j := 0; j < rs.ny; j++ {

@@ -7,6 +7,7 @@ import (
 	"github.com/warwick-hpsc/tealeaf-go/internal/config"
 	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
 	"github.com/warwick-hpsc/tealeaf-go/internal/ops"
+	"github.com/warwick-hpsc/tealeaf-go/internal/profiler"
 	"github.com/warwick-hpsc/tealeaf-go/internal/solver"
 )
 
@@ -86,5 +87,119 @@ func TestTiledActuallyTiles(t *testing.T) {
 func TestRejectsMPICUDA(t *testing.T) {
 	if _, err := New(Options{Backend: ops.BackendCUDA, Ranks: 2}); err == nil {
 		t.Error("expected error for MPI+CUDA")
+	}
+}
+
+func TestTilingEquivalenceSerial(t *testing.T) {
+	backendtest.TilingEquivalence(t,
+		factory(t, Options{Backend: ops.BackendSerial, Tiling: true, TileX: 7, TileY: 5}),
+		factory(t, Options{Backend: ops.BackendSerial}))
+}
+
+func TestTilingEquivalenceMPI(t *testing.T) {
+	backendtest.TilingEquivalence(t,
+		factory(t, Options{Backend: ops.BackendSerial, Ranks: 4, Tiling: true, TileX: 8, TileY: 8}),
+		factory(t, Options{Backend: ops.BackendSerial, Ranks: 4}))
+}
+
+func TestTilingEquivalenceAutoTile(t *testing.T) {
+	backendtest.TilingEquivalence(t,
+		factory(t, Options{Backend: ops.BackendSerial, Tiling: true, TileAuto: true}),
+		factory(t, Options{Backend: ops.BackendSerial}))
+}
+
+// TestCrossIterationChains: with the deferred-reduction API and the
+// trailing halo placement, a preconditioned CG solve must queue multi-loop
+// chains spanning the CGCalcP -> halo(p) -> CGCalcW frontier, and the
+// achieved sweeps per CG iteration (flushes/iterations) must come in under
+// 3.0 — the tentpole's cache-residency claim.
+func TestCrossIterationChains(t *testing.T) {
+	cfg := config.BenchmarkN(32)
+	cfg.EndStep = 2
+	cfg.Preconditioner = config.PrecondJacDiag
+	p, err := New(Options{Backend: ops.BackendSerial, Tiling: true, TileX: 16, TileY: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	res, err := driver.Run(cfg, p, solver.New(solver.FromConfig(&cfg)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := p.TilingSnapshot()
+	if snap.Chains == 0 {
+		t.Fatal("no multi-loop chains were flushed: loops are not crossing the iteration boundary")
+	}
+	if snap.MaxChainLen < 3 {
+		t.Errorf("longest chain = %d loops, want >= 3 (cg_calc_p + halo + cg_calc_w)", snap.MaxChainLen)
+	}
+	if res.TotalIterations == 0 {
+		t.Fatal("run recorded no iterations")
+	}
+	sweepsPerIter := float64(snap.Flushes) / float64(res.TotalIterations)
+	if sweepsPerIter >= 3.0 {
+		t.Errorf("achieved sweeps/iter = %.2f (%d flushes / %d iters), want < 3.0",
+			sweepsPerIter, snap.Flushes, res.TotalIterations)
+	}
+	untiledPer := float64(snap.LoopsExecuted) / float64(res.TotalIterations)
+	if sweepsPerIter >= untiledPer {
+		t.Errorf("tiling achieved no sweep compression: %.2f tiled vs %.2f untiled", sweepsPerIter, untiledPer)
+	}
+}
+
+// TestTilingSnapshotUntiled: the capability must report honestly on an
+// untiled instance (counters move, Tiling false, no chains).
+func TestTilingSnapshotUntiled(t *testing.T) {
+	cfg := config.BenchmarkN(16)
+	cfg.EndStep = 1
+	p, err := New(Options{Backend: ops.BackendSerial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := driver.Run(cfg, p, solver.New(solver.FromConfig(&cfg)), nil); err != nil {
+		t.Fatal(err)
+	}
+	snap := p.TilingSnapshot()
+	if snap.Tiling {
+		t.Error("untiled port reports Tiling true")
+	}
+	if snap.LoopsExecuted == 0 {
+		t.Error("no loops recorded")
+	}
+	if snap.Chains != 0 {
+		t.Errorf("untiled port flushed %d multi-loop chains", snap.Chains)
+	}
+}
+
+// TestInstrumentedForwardsTilingSnapshot: the profiler wrapper must not
+// hide the tiling capability (cmd/tealeaf -profile reads it through the
+// wrapper).
+func TestInstrumentedForwardsTilingSnapshot(t *testing.T) {
+	p, err := New(Options{Backend: ops.BackendSerial, Tiling: true, TileX: 8, TileY: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	in := driver.Instrument(p, profiler.New())
+	tr := driver.AsTilingReporter(in)
+	if tr == nil {
+		t.Fatal("Instrumented hides the wrapped port's TilingReporter capability")
+	}
+	cfg := config.BenchmarkN(16)
+	cfg.EndStep = 1
+	if _, err := driver.Run(cfg, in, solver.New(solver.FromConfig(&cfg)), nil); err != nil {
+		t.Fatal(err)
+	}
+	snap := tr.TilingSnapshot()
+	if !snap.Tiling || snap.Flushes == 0 || snap.TileX != 8 || snap.TileY != 8 {
+		t.Errorf("forwarded snapshot implausible: %+v", snap)
+	}
+	direct := p.TilingSnapshot()
+	// Sub zeroes every counter but keeps shape fields and the MaxChainLen
+	// high-water mark.
+	want := driver.TilingSnapshot{Tiling: true, TileX: 8, TileY: 8, MaxChainLen: direct.MaxChainLen}
+	if snap.Sub(direct) != want {
+		t.Errorf("wrapper snapshot %+v != port snapshot %+v", snap, direct)
 	}
 }

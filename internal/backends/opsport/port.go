@@ -34,6 +34,9 @@ type Options struct {
 	// Tiling enables the lazy cache-block tiling pass per rank.
 	Tiling       bool
 	TileX, TileY int
+	// TileAuto derives TileX/TileY from the detected cache topology and the
+	// first chain's working set (explicit TileX/TileY win).
+	TileAuto bool
 	// Block is the CUDA kernel block size (paper: 64x8).
 	Block simgpu.Dim2
 	// Name overrides the reported variant name.
@@ -108,12 +111,13 @@ func New(opt Options) (*Port, error) {
 	go func() {
 		p.world.Run(func(r *comm.Rank) {
 			ctx, err := ops.NewContext(ops.Options{
-				Backend: opt.Backend,
-				Threads: opt.Threads,
-				Block:   opt.Block,
-				Tiling:  opt.Tiling,
-				TileX:   opt.TileX,
-				TileY:   opt.TileY,
+				Backend:  opt.Backend,
+				Threads:  opt.Threads,
+				Block:    opt.Block,
+				Tiling:   opt.Tiling,
+				TileX:    opt.TileX,
+				TileY:    opt.TileY,
+				TileAuto: opt.TileAuto,
 			})
 			ctxErr <- err
 			if err != nil {
@@ -162,12 +166,36 @@ func (p *Port) Stats() ops.Stats {
 	close(agg)
 	var total ops.Stats
 	for s := range agg {
-		total.LoopsEnqueued += s.LoopsEnqueued
-		total.LoopsExecuted += s.LoopsExecuted
-		total.Flushes += s.Flushes
-		total.Tiles += s.Tiles
+		total.Add(s)
 	}
 	return total
+}
+
+// TilingSnapshot implements driver.TilingReporter: the aggregated counters
+// plus the resolved tile geometry (rank 0's — ranks share one topology, so
+// TileAuto resolves identically everywhere).
+func (p *Port) TilingSnapshot() driver.TilingSnapshot {
+	shape := make(chan [2]int, p.nranks)
+	p.do(func(rs *rankState) {
+		if rs.rank.ID() == 0 {
+			tx, ty := rs.ctx.TileShape()
+			shape <- [2]int{tx, ty}
+		}
+	})
+	s := p.Stats()
+	g := <-shape
+	return driver.TilingSnapshot{
+		Tiling: p.opt.Tiling,
+		TileX:  g[0], TileY: g[1],
+		LoopsEnqueued: s.LoopsEnqueued,
+		LoopsExecuted: s.LoopsExecuted,
+		Flushes:       s.Flushes,
+		Tiles:         s.Tiles,
+		Chains:        s.Chains,
+		ChainedLoops:  s.ChainedLoops,
+		MaxChainLen:   s.MaxChainLen,
+		Discards:      s.Discards,
+	}
 }
 
 // do runs fn on every rank and waits for all of them to finish.

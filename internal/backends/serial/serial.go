@@ -8,6 +8,7 @@ import (
 	"github.com/warwick-hpsc/tealeaf-go/internal/config"
 	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
 	"github.com/warwick-hpsc/tealeaf-go/internal/grid"
+	"github.com/warwick-hpsc/tealeaf-go/internal/kern"
 	"github.com/warwick-hpsc/tealeaf-go/internal/state"
 )
 
@@ -191,22 +192,11 @@ func (c *Chunk) applyOperator(dst, src *grid.Field) {
 	}
 }
 
-// applyOperatorRow evaluates one row of dst = A src.
+// applyOperatorRow evaluates one row of dst = A src through the shared
+// unrolled kernel body (internal/kern).
 func (c *Chunk) applyOperatorRow(dst, src *grid.Field, j int) {
-	d := src.Depth
-	sr := src.Row(j)
-	su := src.Row(j + 1)
-	sd := src.Row(j - 1)
-	kxr := c.kx.Row(j)
-	kyr := c.ky.Row(j)
-	kyu := c.ky.Row(j + 1)
-	dr := dst.Row(j)
-	for i := 0; i < c.nx; i++ {
-		ii := d + i
-		dr[ii] = (1+kxr[ii+1]+kxr[ii]+kyu[ii]+kyr[ii])*sr[ii] -
-			(kxr[ii+1]*sr[ii+1] + kxr[ii]*sr[ii-1]) -
-			(kyu[ii]*su[ii] + kyr[ii]*sd[ii])
-	}
+	kern.OperatorRow(dst.Row(j), src.Row(j), src.Row(j+1), src.Row(j-1),
+		c.kx.Row(j), c.ky.Row(j), c.ky.Row(j+1), src.Depth, c.nx)
 }
 
 // CalcResidual implements driver.Kernels: r = u0 - A u.
@@ -227,9 +217,7 @@ func (c *Chunk) Norm2R() float64 {
 	var s float64
 	for j := 0; j < c.ny; j++ {
 		rr := c.r.InteriorRow(j)
-		for _, v := range rr {
-			s += v * v
-		}
+		s = kern.DotAcc(s, rr, rr)
 	}
 	return s
 }
@@ -238,11 +226,7 @@ func (c *Chunk) Norm2R() float64 {
 func (c *Chunk) DotRZ() float64 {
 	var s float64
 	for j := 0; j < c.ny; j++ {
-		rr := c.r.InteriorRow(j)
-		zr := c.z.InteriorRow(j)
-		for i := range rr {
-			s += rr[i] * zr[i]
-		}
+		s = kern.DotAcc(s, c.r.InteriorRow(j), c.z.InteriorRow(j))
 	}
 	return s
 }
@@ -324,11 +308,7 @@ func (c *Chunk) CGCalcW() float64 {
 	c.applyOperator(c.w, c.p)
 	var pw float64
 	for j := 0; j < c.ny; j++ {
-		pr := c.p.InteriorRow(j)
-		wr := c.w.InteriorRow(j)
-		for i := range pr {
-			pw += pr[i] * wr[i]
-		}
+		pw = kern.DotAcc(pw, c.p.InteriorRow(j), c.w.InteriorRow(j))
 	}
 	return pw
 }
@@ -337,18 +317,10 @@ func (c *Chunk) CGCalcW() float64 {
 func (c *Chunk) CGCalcUR(alpha float64, precond bool) float64 {
 	var rrn float64
 	for j := 0; j < c.ny; j++ {
-		ur := c.u.InteriorRow(j)
-		pr := c.p.InteriorRow(j)
 		rr := c.r.InteriorRow(j)
-		wr := c.w.InteriorRow(j)
-		for i := range rr {
-			ur[i] += alpha * pr[i]
-			rr[i] -= alpha * wr[i]
-		}
+		kern.UpdateUR(c.u.InteriorRow(j), c.p.InteriorRow(j), rr, c.w.InteriorRow(j), alpha)
 		if !precond {
-			for i := range rr {
-				rrn += rr[i] * rr[i]
-			}
+			rrn = kern.DotAcc(rrn, rr, rr)
 		}
 	}
 	if precond {
@@ -367,11 +339,7 @@ func (c *Chunk) CGCalcWFused() float64 {
 	var pw float64
 	for j := 0; j < c.ny; j++ {
 		c.applyOperatorRow(c.w, c.p, j)
-		pr := c.p.InteriorRow(j)
-		wr := c.w.InteriorRow(j)
-		for i := range pr {
-			pw += pr[i] * wr[i]
-		}
+		pw = kern.DotAcc(pw, c.p.InteriorRow(j), c.w.InteriorRow(j))
 	}
 	return pw
 }
@@ -385,18 +353,10 @@ func (c *Chunk) CGCalcWFused() float64 {
 func (c *Chunk) CGCalcURFused(alpha float64, precond bool) float64 {
 	var rrn float64
 	for j := 0; j < c.ny; j++ {
-		ur := c.u.InteriorRow(j)
-		pr := c.p.InteriorRow(j)
 		rr := c.r.InteriorRow(j)
-		wr := c.w.InteriorRow(j)
-		for i := range rr {
-			ur[i] += alpha * pr[i]
-			rr[i] -= alpha * wr[i]
-		}
+		kern.UpdateUR(c.u.InteriorRow(j), c.p.InteriorRow(j), rr, c.w.InteriorRow(j), alpha)
 		if !precond {
-			for i := range rr {
-				rrn += rr[i] * rr[i]
-			}
+			rrn = kern.DotAcc(rrn, rr, rr)
 			continue
 		}
 		zr := c.z.InteriorRow(j)
@@ -408,9 +368,7 @@ func (c *Chunk) CGCalcURFused(alpha float64, precond bool) float64 {
 				zr[i] = mir[i] * rr[i]
 			}
 		}
-		for i := range rr {
-			rrn += rr[i] * zr[i]
-		}
+		rrn = kern.DotAcc(rrn, rr, zr)
 	}
 	return rrn
 }
@@ -434,31 +392,11 @@ func (c *Chunk) JacobiCopyU() { c.un.CopyFrom(c.u) }
 
 // JacobiIterate implements driver.Kernels.
 func (c *Chunk) JacobiIterate() float64 {
-	nx, ny := c.nx, c.ny
 	d := c.u.Depth
 	var err float64
-	for j := 0; j < ny; j++ {
-		unr := c.un.Row(j)
-		unu := c.un.Row(j + 1)
-		und := c.un.Row(j - 1)
-		u0r := c.u0.Row(j)
-		kxr := c.kx.Row(j)
-		kyr := c.ky.Row(j)
-		kyu := c.ky.Row(j + 1)
-		ur := c.u.Row(j)
-		for i := 0; i < nx; i++ {
-			ii := d + i
-			num := u0r[ii] +
-				kxr[ii+1]*unr[ii+1] + kxr[ii]*unr[ii-1] +
-				kyu[ii]*unu[ii] + kyr[ii]*und[ii]
-			den := 1 + kxr[ii+1] + kxr[ii] + kyu[ii] + kyr[ii]
-			ur[ii] = num / den
-			dv := ur[ii] - unr[ii]
-			if dv < 0 {
-				dv = -dv
-			}
-			err += dv
-		}
+	for j := 0; j < c.ny; j++ {
+		err = kern.JacobiRow(err, c.u.Row(j), c.un.Row(j), c.un.Row(j+1), c.un.Row(j-1),
+			c.u0.Row(j), c.kx.Row(j), c.ky.Row(j), c.ky.Row(j+1), d, c.nx)
 	}
 	return err
 }

@@ -164,6 +164,15 @@ func (in *Instrumented) HasFusedURPrecond() bool { return AsFusedURPrecond(in.Ke
 // HasFieldRestorer implements CapabilityReporter.
 func (in *Instrumented) HasFieldRestorer() bool { return AsFieldRestorer(in.Kernels) != nil }
 
+// HasTilingReporter reports whether the wrapped port exposes tiling
+// statistics; AsTilingReporter consults it to see through the wrapper.
+func (in *Instrumented) HasTilingReporter() bool { return AsTilingReporter(in.Kernels) != nil }
+
+// TilingSnapshot forwards to the wrapped port's tiling statistics.
+func (in *Instrumented) TilingSnapshot() TilingSnapshot {
+	return AsTilingReporter(in.Kernels).TilingSnapshot()
+}
+
 // RestoreField implements FieldRestorer by forwarding to the wrapped port;
 // restore is a recovery path, so it is timed but attributed no sweep.
 func (in *Instrumented) RestoreField(id FieldID, data []float64) {

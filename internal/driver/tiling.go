@@ -1,0 +1,61 @@
+package driver
+
+// TilingSnapshot is a point-in-time copy of a port's lazy-execution
+// counters — the observable effect of cross-iteration loop-chain tiling.
+// Flushes counts chain executions (each chain sweeps its tile slab once, so
+// on a tiled context Flushes approximates achieved full-field sweeps);
+// LoopsExecuted counts the loops those chains contained (what an untiled
+// run would have swept). The ratio LoopsExecuted/Flushes is therefore the
+// sweep compression the tiling achieved.
+type TilingSnapshot struct {
+	// Tiling reports whether the port's execution layer defers and tiles
+	// loop chains at all; the counters below accumulate either way.
+	Tiling bool
+	// TileX, TileY are the resolved tile extents in cells.
+	TileX, TileY int
+
+	LoopsEnqueued int64 // loops submitted to the execution layer
+	LoopsExecuted int64 // loops actually run (enqueued minus discarded)
+	Flushes       int64 // chain executions (tiled sweeps)
+	Tiles         int64 // tile visits across all flushed chains
+	Chains        int64 // flushes that contained more than one loop
+	ChainedLoops  int64 // loops executed as part of multi-loop chains
+	MaxChainLen   int64 // longest chain flushed
+	Discards      int64 // queued chains dropped by rollback
+}
+
+// Sub returns the counter deltas s - prev (shape fields kept from s), for
+// attributing activity to one run on a long-lived port.
+func (s TilingSnapshot) Sub(prev TilingSnapshot) TilingSnapshot {
+	d := s
+	d.LoopsEnqueued -= prev.LoopsEnqueued
+	d.LoopsExecuted -= prev.LoopsExecuted
+	d.Flushes -= prev.Flushes
+	d.Tiles -= prev.Tiles
+	d.Chains -= prev.Chains
+	d.ChainedLoops -= prev.ChainedLoops
+	d.Discards -= prev.Discards
+	return d
+}
+
+// TilingReporter is implemented by ports whose execution layer queues loops
+// and flushes them as skew-tiled chains (the ops port). The snapshot feeds
+// the profiler's gauge section and teaserve's /metrics.
+type TilingReporter interface {
+	TilingSnapshot() TilingSnapshot
+}
+
+// AsTilingReporter returns k's tiling-statistics capability, or nil when k
+// (or, for a wrapper, the port it delegates to) does not provide it.
+// Wrappers that forward the method structurally report through
+// HasTilingReporter, mirroring the CapabilityReporter convention.
+func AsTilingReporter(k Kernels) TilingReporter {
+	f, ok := k.(TilingReporter)
+	if !ok {
+		return nil
+	}
+	if cr, ok := k.(interface{ HasTilingReporter() bool }); ok && !cr.HasTilingReporter() {
+		return nil
+	}
+	return f
+}

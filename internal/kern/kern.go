@@ -1,0 +1,135 @@
+// Package kern holds the restructured row-kernel bodies shared by the
+// manual host ports (serial, omp): the 5-point conduction operator, the
+// Jacobi sweep and the dot/axpy inner loops, rewritten as 4-wide unrolled
+// loops over exact-length shifted sub-slices. Re-slicing every operand to
+// length nx up front lets the compiler prove all indexing in bounds and
+// drop the per-element checks, and the unrolled bodies expose independent
+// multiplies to the scheduler.
+//
+// Reductions thread a single sequential accumulator through the unrolled
+// body (acc += t0; acc += t1; ...), never a widened partial, so summation
+// order — and therefore the floating-point result — is bitwise identical to
+// the rolled loops the serial golden baselines pin.
+package kern
+
+// OperatorRow evaluates one interior row of dst = A src for the matrix-free
+// five-point conduction operator. All slices are full halo'd rows
+// (src row j, j+1, j-1; kx row j; ky rows j, j+1), d is the halo depth and
+// nx the interior width.
+func OperatorRow(dst, sr, su, sd, kx, ky, kyu []float64, d, nx int) {
+	if nx <= 0 {
+		return
+	}
+	// Shifted exact-length views: index i is interior cell i everywhere.
+	dc := dst[d : d+nx]
+	sl := sr[d-1 : d-1+nx]
+	sc := sr[d : d+nx]
+	srr := sr[d+1 : d+1+nx]
+	uc := su[d : d+nx]
+	dnc := sd[d : d+nx]
+	kx0 := kx[d : d+nx]
+	kx1 := kx[d+1 : d+1+nx]
+	ky0 := ky[d : d+nx]
+	ky1 := kyu[d : d+nx]
+	i := 0
+	for ; i+4 <= nx; i += 4 {
+		dc[i] = (1+kx1[i]+kx0[i]+ky1[i]+ky0[i])*sc[i] -
+			(kx1[i]*srr[i] + kx0[i]*sl[i]) - (ky1[i]*uc[i] + ky0[i]*dnc[i])
+		dc[i+1] = (1+kx1[i+1]+kx0[i+1]+ky1[i+1]+ky0[i+1])*sc[i+1] -
+			(kx1[i+1]*srr[i+1] + kx0[i+1]*sl[i+1]) - (ky1[i+1]*uc[i+1] + ky0[i+1]*dnc[i+1])
+		dc[i+2] = (1+kx1[i+2]+kx0[i+2]+ky1[i+2]+ky0[i+2])*sc[i+2] -
+			(kx1[i+2]*srr[i+2] + kx0[i+2]*sl[i+2]) - (ky1[i+2]*uc[i+2] + ky0[i+2]*dnc[i+2])
+		dc[i+3] = (1+kx1[i+3]+kx0[i+3]+ky1[i+3]+ky0[i+3])*sc[i+3] -
+			(kx1[i+3]*srr[i+3] + kx0[i+3]*sl[i+3]) - (ky1[i+3]*uc[i+3] + ky0[i+3]*dnc[i+3])
+	}
+	for ; i < nx; i++ {
+		dc[i] = (1+kx1[i]+kx0[i]+ky1[i]+ky0[i])*sc[i] -
+			(kx1[i]*srr[i] + kx0[i]*sl[i]) - (ky1[i]*uc[i] + ky0[i]*dnc[i])
+	}
+}
+
+// DotAcc accumulates a·b onto acc element by element and returns the new
+// accumulator. Callers thread one accumulator through all rows so the global
+// summation order matches the rolled reference exactly.
+func DotAcc(acc float64, a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	a, b = a[:n], b[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		acc += a[i] * b[i]
+		acc += a[i+1] * b[i+1]
+		acc += a[i+2] * b[i+2]
+		acc += a[i+3] * b[i+3]
+	}
+	for ; i < n; i++ {
+		acc += a[i] * b[i]
+	}
+	return acc
+}
+
+// UpdateUR applies the CG solution/residual update u += alpha*p, r -= alpha*w
+// over one interior row (all slices pre-offset to the interior, same length).
+func UpdateUR(u, p, r, w []float64, alpha float64) {
+	n := len(u)
+	p, r, w = p[:n], r[:n], w[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		u[i] += alpha * p[i]
+		u[i+1] += alpha * p[i+1]
+		u[i+2] += alpha * p[i+2]
+		u[i+3] += alpha * p[i+3]
+		r[i] -= alpha * w[i]
+		r[i+1] -= alpha * w[i+1]
+		r[i+2] -= alpha * w[i+2]
+		r[i+3] -= alpha * w[i+3]
+	}
+	for ; i < n; i++ {
+		u[i] += alpha * p[i]
+		r[i] -= alpha * w[i]
+	}
+}
+
+// JacobiRow runs one interior row of the Jacobi sweep
+// u = (u0 + k·un_neighbours) / diag, accumulating the row's L1 change onto
+// acc in strict left-to-right order, and returns the new accumulator. Rows
+// are full halo'd rows as in OperatorRow.
+func JacobiRow(acc float64, ur, unr, unu, und, u0r, kx, ky, kyu []float64, d, nx int) float64 {
+	if nx <= 0 {
+		return acc
+	}
+	uc := ur[d : d+nx]
+	nl := unr[d-1 : d-1+nx]
+	nc := unr[d : d+nx]
+	nr := unr[d+1 : d+1+nx]
+	nu := unu[d : d+nx]
+	nd := und[d : d+nx]
+	u0 := u0r[d : d+nx]
+	kx0 := kx[d : d+nx]
+	kx1 := kx[d+1 : d+1+nx]
+	ky0 := ky[d : d+nx]
+	ky1 := kyu[d : d+nx]
+	cell := func(i int) float64 {
+		num := u0[i] + kx1[i]*nr[i] + kx0[i]*nl[i] + ky1[i]*nu[i] + ky0[i]*nd[i]
+		v := num / (1 + kx1[i] + kx0[i] + ky1[i] + ky0[i])
+		uc[i] = v
+		dv := v - nc[i]
+		if dv < 0 {
+			dv = -dv
+		}
+		return dv
+	}
+	i := 0
+	for ; i+4 <= nx; i += 4 {
+		acc += cell(i)
+		acc += cell(i + 1)
+		acc += cell(i + 2)
+		acc += cell(i + 3)
+	}
+	for ; i < nx; i++ {
+		acc += cell(i)
+	}
+	return acc
+}

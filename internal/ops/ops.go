@@ -65,6 +65,11 @@ type Options struct {
 	Tiling bool
 	// TileX, TileY are the tile extent in cells (<=0 picks defaults).
 	TileX, TileY int
+	// TileAuto derives TileX/TileY from the detected cache topology and the
+	// working set of the first flushed loop chain (the number of distinct
+	// dats it touches), instead of the fixed defaults. Explicit TileX/TileY
+	// win over TileAuto.
+	TileAuto bool
 }
 
 // Stats counts what a context executed.
@@ -73,6 +78,37 @@ type Stats struct {
 	LoopsExecuted int64
 	Flushes       int64
 	Tiles         int64
+	// Chains counts flushes that executed two or more queued loops as one
+	// skewed-tiled chain; ChainedLoops is the total loops executed inside
+	// such chains and MaxChainLen the longest chain seen. A tiled chain
+	// traverses its footprint roughly once, so Flushes approximates the
+	// effective number of full-field memory sweeps where LoopsExecuted is
+	// what an untiled run would sweep.
+	Chains       int64
+	ChainedLoops int64
+	MaxChainLen  int64
+	// Discards counts queued loops dropped by Discard (rollback recovery
+	// replaces state wholesale; a stale queue must not replay into it).
+	Discards int64
+}
+
+// Add accumulates other into s (for aggregating per-rank contexts).
+func (s *Stats) Add(other Stats) {
+	s.LoopsEnqueued += other.LoopsEnqueued
+	s.LoopsExecuted += other.LoopsExecuted
+	s.Flushes += other.Flushes
+	s.Tiles += other.Tiles
+	s.Chains += other.Chains
+	s.ChainedLoops += other.ChainedLoops
+	s.MaxChainLen = max64(s.MaxChainLen, other.MaxChainLen)
+	s.Discards += other.Discards
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // Context is one OPS instance: backend resources plus, when tiling, the
@@ -83,6 +119,9 @@ type Context struct {
 	dev   *simgpu.Device
 	queue []*loopRecord
 	stats Stats
+	// tileResolved flips once TileAuto has picked tile extents from the
+	// first flushed chain's working set (see resolveAutoTile).
+	tileResolved bool
 }
 
 // NewContext creates an OPS instance. Close it to release its resources.
@@ -90,17 +129,26 @@ func NewContext(opt Options) (*Context, error) {
 	if opt.Block.X <= 0 || opt.Block.Y <= 0 {
 		opt.Block = simgpu.Dim2{X: 64, Y: 8}
 	}
+	// Explicit tile extents always win; TileAuto defers the choice to the
+	// first flushed chain (resolveAutoTile), with these as the fallback.
+	if opt.TileX > 0 && opt.TileY > 0 {
+		opt.TileAuto = false
+	}
 	if opt.TileX <= 0 {
 		opt.TileX = 128
 	}
 	if opt.TileY <= 0 {
 		opt.TileY = 32
 	}
-	ctx := &Context{opt: opt}
+	ctx := &Context{opt: opt, tileResolved: !opt.TileAuto}
 	switch opt.Backend {
 	case BackendSerial:
 	case BackendOpenMP, BackendACC:
 		ctx.team = par.NewTeam(opt.Threads)
+		// Share boundaries snap to the tile-row quantum so a thread's rows
+		// cover whole tile rows of the (current) tile geometry; TileAuto
+		// re-snaps when resolveAutoTile picks the real extents.
+		ctx.team.SetShareAlign(shareAlignFor(opt.TileY))
 	case BackendCUDA:
 		if opt.Tiling {
 			return nil, fmt.Errorf("ops: tiling is not supported on the CUDA backend")
@@ -110,6 +158,16 @@ func NewContext(opt Options) (*Context, error) {
 		return nil, fmt.Errorf("ops: unknown backend %v", opt.Backend)
 	}
 	return ctx, nil
+}
+
+// shareAlignFor maps a tile-row extent to the team share alignment: whole
+// tile rows where practical, capped so alignment stays a locality hint on
+// small meshes, and a multiple of 4 to match the unrolled kernel bodies.
+func shareAlignFor(tileY int) int {
+	if tileY > 16 {
+		tileY = 16
+	}
+	return tileY &^ 3
 }
 
 // Close flushes pending loops and releases backend resources.
@@ -128,6 +186,15 @@ func (ctx *Context) Backend() Backend { return ctx.opt.Backend }
 
 // Stats returns execution counters.
 func (ctx *Context) Stats() Stats { return ctx.stats }
+
+// Tiling reports whether the context defers loops for chained tiled
+// execution.
+func (ctx *Context) Tiling() bool { return ctx.opt.Tiling }
+
+// TileShape returns the tile extents in cells. Under TileAuto the values
+// are the defaults until the first multi-loop flush resolves them from the
+// cache topology.
+func (ctx *Context) TileShape() (tx, ty int) { return ctx.opt.TileX, ctx.opt.TileY }
 
 // Device exposes the simulated device of a CUDA context (nil otherwise).
 func (ctx *Context) Device() *simgpu.Device { return ctx.dev }
@@ -336,6 +403,15 @@ func (a *Acc) Set(dx, dy int, v float64) { a.data[a.idx+dy*a.stride+dx] = v }
 
 // Add accumulates into the value at relative offset (dx, dy).
 func (a *Acc) Add(dx, dy int, v float64) { a.data[a.idx+dy*a.stride+dx] += v }
+
+// Row returns the n-cell slice starting at relative offset (dx, dy) — the
+// row-kernel view of one stencil arm. Valid only inside a RowKernel, where
+// the accessor is seated on the segment's first point; the slice must stay
+// inside the dat's halo'd storage (enforced by the slice bounds).
+func (a *Acc) Row(dx, dy, n int) []float64 {
+	base := a.idx + dy*a.stride + dx
+	return a.data[base : base+n]
+}
 
 // Kernel is a user kernel: called once per iteration point with one Acc per
 // argument (in declaration order) and, for reducing loops, the accumulator

@@ -332,3 +332,249 @@ func TestArgIdxTiled(t *testing.T) {
 		}
 	}
 }
+
+// TestTileBoundsEdgeCases pins the tile-index arithmetic on the shapes the
+// property tests rarely hit: empty ranges, a tile larger than the whole
+// extent, and skews that push coordinates negative.
+func TestTileBoundsEdgeCases(t *testing.T) {
+	mk := func(r Range, radius int) *loopRecord {
+		return &loopRecord{r: r, radius: radius}
+	}
+	xdim := func(r Range) (int, int) { return r.XLo, r.XHi }
+	t.Run("empty ranges are skipped", func(t *testing.T) {
+		loops := []*loopRecord{mk(Range{5, 5, 0, 4}, 0), mk(Range{2, 6, 0, 4}, 0)}
+		t0, t1 := tileBounds(loops, []int{0, 0}, 4, xdim)
+		if t0 != 0 || t1 != 1 {
+			t.Errorf("bounds = [%d,%d], want [0,1] (empty first range ignored)", t0, t1)
+		}
+	})
+	t.Run("tile larger than extent", func(t *testing.T) {
+		loops := []*loopRecord{mk(Range{0, 7, 0, 7}, 0)}
+		t0, t1 := tileBounds(loops, []int{0}, 1024, xdim)
+		if t0 != 0 || t1 != 0 {
+			t.Errorf("bounds = [%d,%d], want a single tile", t0, t1)
+		}
+	})
+	t.Run("negative origins", func(t *testing.T) {
+		// A halo-wide loop starting at -2 with an accumulated skew of 3
+		// reaches skewed coordinate 1; the lower bound must round toward
+		// negative infinity, not toward zero.
+		loops := []*loopRecord{mk(Range{-2, 10, -2, 10}, 1), mk(Range{-2, 10, -2, 10}, 1)}
+		t0, t1 := tileBounds(loops, []int{0, 2}, 4, xdim)
+		if t0 != -1 || t1 != 2 {
+			t.Errorf("bounds = [%d,%d], want [-1,2]", t0, t1)
+		}
+	})
+	t.Run("floorDiv", func(t *testing.T) {
+		for _, c := range []struct{ a, b, q int }{
+			{-1, 4, -1}, {-4, 4, -1}, {-5, 4, -2}, {0, 4, 0}, {3, 4, 0}, {4, 4, 1},
+		} {
+			if got := floorDiv(c.a, c.b); got != c.q {
+				t.Errorf("floorDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.q)
+			}
+		}
+	})
+}
+
+// TestTilingDegenerateGeometries: 1-wide and 1-tall tiles (and a tile that
+// swallows the whole block) must stay bitwise identical to immediate
+// execution — these maximise the number of tile boundaries the skew
+// arithmetic has to get right.
+func TestTilingDegenerateGeometries(t *testing.T) {
+	ref := chainOnContext(mustCtx(t, Options{Backend: BackendSerial}), 21, 18, 4)
+	for _, geom := range [][2]int{{1, 1}, {1, 16}, {16, 1}, {1, 64}, {64, 1}, {256, 256}} {
+		geom := geom
+		t.Run(fmt.Sprintf("%dx%d", geom[0], geom[1]), func(t *testing.T) {
+			got := chainOnContext(mustCtx(t, Options{
+				Backend: BackendSerial, Tiling: true, TileX: geom[0], TileY: geom[1],
+			}), 21, 18, 4)
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("cell %d: got %g want %g", i, got[i], ref[i])
+				}
+			}
+		})
+	}
+}
+
+// TestDeferredReductionMatchesEager: a deferred dot product joining a tiled
+// chain must return bitwise the same value as eager execution, because both
+// fold the same per-row partials in ascending row order regardless of the
+// tile geometry that produced them.
+func TestDeferredReductionMatchesEager(t *testing.T) {
+	run := func(opt Options) (float64, []float64) {
+		ctx := mustCtx(t, opt)
+		const nx, ny = 23, 17
+		b := ctx.DeclBlock("grid", nx, ny)
+		u := b.DeclDat("u", 2)
+		v := b.DeclDat("v", 2)
+		for j := -2; j < ny+2; j++ {
+			for i := -2; i < nx+2; i++ {
+				u.Set(i, j, float64((3*i+5*j)%7)+0.125)
+				v.Set(i, j, float64((2*i-j)%5)+0.5)
+			}
+		}
+		interior := Range{0, nx, 0, ny}
+		// A producer loop ahead of the reduction so the chain is non-trivial.
+		ctx.ParLoop("smooth", b, Range{1, nx - 1, 1, ny - 1},
+			[]Arg{ArgDat(u, S2D5pt, Read), ArgDat(v, S2D00, RW)},
+			func(a []*Acc, _ []float64) {
+				a[1].Set(0, 0, a[1].Get(0, 0)+0.25*(a[0].Get(1, 0)+a[0].Get(-1, 0)+a[0].Get(0, 1)+a[0].Get(0, -1)))
+			})
+		dot := ctx.ParLoopRedDeferred("dot", b, interior, 1,
+			[]Arg{ArgDat(u, S2D00, Read), ArgDat(v, S2D00, Read)},
+			func(a []*Acc, red []float64) { red[0] += a[0].Get(0, 0) * a[1].Get(0, 0) })
+		val := dot.Value() // true sync point: flushes the chain
+		out := make([]float64, 0, nx*ny)
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				out = append(out, v.At(i, j))
+			}
+		}
+		return val, out
+	}
+	refVal, refField := run(Options{Backend: BackendSerial})
+	for _, opt := range []Options{
+		{Backend: BackendSerial, Tiling: true, TileX: 4, TileY: 3},
+		{Backend: BackendSerial, Tiling: true, TileX: 1, TileY: 7},
+		{Backend: BackendSerial, Tiling: true, TileX: 9, TileY: 1},
+		{Backend: BackendOpenMP, Threads: 3},
+		{Backend: BackendOpenMP, Threads: 3, Tiling: true, TileX: 5, TileY: 4},
+	} {
+		opt := opt
+		name := opt.Backend.String()
+		if opt.Tiling {
+			name = fmt.Sprintf("%s_tiled_%dx%d", name, opt.TileX, opt.TileY)
+		}
+		t.Run(name, func(t *testing.T) {
+			val, field := run(opt)
+			if val != refVal {
+				t.Errorf("deferred dot = %v, want %v (bitwise)", val, refVal)
+			}
+			for i := range refField {
+				if field[i] != refField[i] {
+					t.Fatalf("cell %d: got %g want %g", i, field[i], refField[i])
+				}
+			}
+		})
+	}
+}
+
+// TestDeferredReductionDiscard: Discard must drop the queued chain, mark
+// pending handles unusable, and count the rollback.
+func TestDeferredReductionDiscard(t *testing.T) {
+	ctx := mustCtx(t, Options{Backend: BackendSerial, Tiling: true, TileX: 4, TileY: 4})
+	b := ctx.DeclBlock("grid", 8, 8)
+	d := b.DeclDat("d", 1)
+	red := ctx.ParLoopRedDeferred("dot", b, Range{0, 8, 0, 8}, 1,
+		[]Arg{ArgDat(d, S2D00, Read)},
+		func(a []*Acc, r []float64) { r[0] += a[0].Get(0, 0) })
+	ctx.Discard()
+	if st := ctx.Stats(); st.Discards != 1 {
+		t.Errorf("Discards = %d, want 1", st.Discards)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Value() on a discarded reduction must panic")
+			}
+		}()
+		red.Value()
+	}()
+	// The context must stay usable after a discard.
+	ctx.ParLoop("fill", b, Range{0, 8, 0, 8}, []Arg{ArgDat(d, S2D00, Write)},
+		func(a []*Acc, _ []float64) { a[0].Set(0, 0, 1) })
+	ctx.Flush()
+	if got := d.At(3, 3); got != 1 {
+		t.Errorf("post-discard loop did not run: d(3,3) = %g", got)
+	}
+}
+
+// TestTilingPropertyRandomChainsWithReductions extends the random-chain
+// property test with deferred reductions riding the chain and degenerate
+// tile extents (including 1xN and Nx1).
+func TestTilingPropertyRandomChainsWithReductions(t *testing.T) {
+	run := func(seed int64, tiled bool) []float64 {
+		rng := rand.New(rand.NewSource(seed))
+		opt := Options{Backend: BackendSerial}
+		tx := 1 + rng.Intn(16)
+		ty := 1 + rng.Intn(16)
+		if tiled {
+			opt.Tiling, opt.TileX, opt.TileY = true, tx, ty
+		}
+		ctx, err := NewContext(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ctx.Close()
+		const nx, ny = 17, 14
+		b := ctx.DeclBlock("grid", nx, ny)
+		d1 := b.DeclDat("d1", 2)
+		d2 := b.DeclDat("d2", 2)
+		for j := -2; j < ny+2; j++ {
+			for i := -2; i < nx+2; i++ {
+				d1.Set(i, j, rng.Float64())
+				d2.Set(i, j, rng.Float64())
+			}
+		}
+		var out []float64
+		var pending []*Reduction
+		nloops := 3 + rng.Intn(7)
+		for l := 0; l < nloops; l++ {
+			x0 := 1 + rng.Intn(3)
+			x1 := nx - 1 - rng.Intn(3)
+			y0 := 1 + rng.Intn(3)
+			y1 := ny - 1 - rng.Intn(3)
+			r := Range{x0, x1, y0, y1}
+			src, dst := d1, d2
+			if rng.Intn(2) == 0 {
+				src, dst = d2, d1
+			}
+			switch rng.Intn(3) {
+			case 0:
+				ctx.ParLoop("sm", b, r,
+					[]Arg{ArgDat(src, S2D5pt, Read), ArgDat(dst, S2D00, RW)},
+					func(a []*Acc, _ []float64) {
+						a[1].Set(0, 0, a[1].Get(0, 0)*0.5+0.125*(a[0].Get(1, 0)+a[0].Get(-1, 0)+a[0].Get(0, 1)+a[0].Get(0, -1)))
+					})
+			case 1:
+				ctx.ParLoop("ax", b, r,
+					[]Arg{ArgDat(src, S2D00, Read), ArgDat(dst, S2D00, RW)},
+					func(a []*Acc, _ []float64) { a[1].Add(0, 0, 0.25*a[0].Get(0, 0)) })
+			case 2:
+				pending = append(pending, ctx.ParLoopRedDeferred("dot", b, r, 2,
+					[]Arg{ArgDat(src, S2D00, Read), ArgDat(dst, S2D00, Read)},
+					func(a []*Acc, red []float64) {
+						red[0] += a[0].Get(0, 0) * a[1].Get(0, 0)
+						red[1] += a[0].Get(0, 0) + a[1].Get(0, 0)
+					}))
+			}
+		}
+		for _, p := range pending {
+			out = append(out, p.Values()...)
+		}
+		ctx.Flush()
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				out = append(out, d1.At(i, j), d2.At(i, j))
+			}
+		}
+		return out
+	}
+	f := func(seed int64) bool {
+		a := run(seed, false)
+		b := run(seed, true)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

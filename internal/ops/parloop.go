@@ -16,6 +16,13 @@ type loopRecord struct {
 	kernel Kernel
 	nred   int
 	radius int
+	// rowk, when non-nil, processes whole row segments in one call instead
+	// of rec.kernel per point (host backends only; the device backend keeps
+	// the per-point kernel). See RowKernel.
+	rowk RowKernel
+	// red is the deferred-reduction handle for reducing loops enqueued via
+	// ParLoopRedDeferred (nil for plain loops and the eager ParLoopRed).
+	red *Reduction
 }
 
 func newRecord(name string, b *Block, r Range, args []Arg, k Kernel, nred int) *loopRecord {
@@ -63,6 +70,32 @@ func (ctx *Context) ParLoop(name string, b *Block, r Range, args []Arg, k Kernel
 	ctx.executeFull(rec, nil)
 }
 
+// RowKernel processes n consecutive points of one row in a single call.
+// On entry every accessor is seated on the segment's first point (index
+// arguments carry that point's I/J); the kernel handles the whole segment
+// itself, typically through Acc.Row sub-slices and the unrolled bodies in
+// internal/kern. A row kernel must touch exactly the cells its declared
+// stencils cover — the declaration-time bounds check and the tiling skew
+// are both derived from those stencils — and reductions must accumulate
+// onto red left-to-right so results stay bitwise identical to the
+// per-point kernel.
+type RowKernel func(accs []*Acc, red []float64, n int)
+
+// ParLoopRow is ParLoop with a row-segment fast path: host backends call
+// rk once per row segment instead of k per point; the device backend (and
+// any future backend without the host sweep) falls back to k. Both kernels
+// must compute identical results.
+func (ctx *Context) ParLoopRow(name string, b *Block, r Range, args []Arg, k Kernel, rk RowKernel) {
+	rec := newRecord(name, b, r, args, k, 0)
+	rec.rowk = rk
+	ctx.stats.LoopsEnqueued++
+	if ctx.opt.Tiling {
+		ctx.queue = append(ctx.queue, rec)
+		return
+	}
+	ctx.executeFull(rec, nil)
+}
+
 // ParLoopRed executes a reducing kernel over the range and returns the nred
 // accumulated values. Reductions are synchronisation points: any queued
 // loops flush first, and the reducing loop itself runs untiled.
@@ -91,13 +124,9 @@ func (ctx *Context) executeFull(rec *loopRecord, red []float64) {
 	}
 }
 
-// runRange is the scalar execution engine shared by every host backend (and
-// by tiled execution): a row-major sweep of the sub-range with
-// pointer-bumped accessors.
-func runRange(rec *loopRecord, sub Range, red []float64) {
-	if sub.XHi <= sub.XLo || sub.YHi <= sub.YLo {
-		return
-	}
+// makeAccs builds the accessor set for one loop; tiled flushes reuse it
+// across every tile slice of the loop instead of reallocating per tile.
+func makeAccs(rec *loopRecord) []*Acc {
 	accs := make([]*Acc, len(rec.args))
 	for k, a := range rec.args {
 		if a.IsIdx {
@@ -106,27 +135,114 @@ func runRange(rec *loopRecord, sub Range, red []float64) {
 		}
 		accs[k] = &Acc{data: a.Dat.raw(), stride: a.Dat.stride}
 	}
-	for j := sub.YLo; j < sub.YHi; j++ {
-		for k, a := range rec.args {
-			if a.IsIdx {
-				accs[k].J = j
-				continue
+	return accs
+}
+
+// runRange is the scalar execution engine shared by every host backend (and
+// by tiled execution): a row-major sweep of the sub-range with
+// pointer-bumped accessors.
+func runRange(rec *loopRecord, sub Range, red []float64) {
+	if sub.XHi <= sub.XLo || sub.YHi <= sub.YLo {
+		return
+	}
+	accs := makeAccs(rec)
+	runRangePlanned(rec, sub, red, accs, makePlan(rec, accs))
+}
+
+// accPlan splits one loop's accessors by kind so the per-point sweep never
+// branches on IsIdx or copies Arg structs — both showed up hot in profiles
+// of the CG chain. The plan is valid for any sub-range executed with the
+// same accessor set (tiled flushes build it once per loop, not per tile).
+type accPlan struct {
+	idx  []*Acc // index arguments: need I/J refreshed per point/row
+	dat  []*Acc // dataset arguments: pointer-bumped along each row
+	dats []*Dat // dats backing plan.dat, for the per-row base index
+}
+
+func makePlan(rec *loopRecord, accs []*Acc) accPlan {
+	var p accPlan
+	for k, a := range rec.args {
+		if a.IsIdx {
+			p.idx = append(p.idx, accs[k])
+			continue
+		}
+		p.dat = append(p.dat, accs[k])
+		p.dats = append(p.dats, a.Dat)
+	}
+	return p
+}
+
+// runRangeAccs is runRange with a caller-owned accessor set.
+func runRangeAccs(rec *loopRecord, sub Range, red []float64, accs []*Acc) {
+	runRangePlanned(rec, sub, red, accs, makePlan(rec, accs))
+}
+
+// runRangePlanned is the innermost sweep: per row it seats each dataset
+// accessor once, then either hands the whole segment to the loop's row
+// kernel or bumps the accessors point-by-point between per-point calls.
+func runRangePlanned(rec *loopRecord, sub Range, red []float64, accs []*Acc, plan accPlan) {
+	if sub.XHi <= sub.XLo || sub.YHi <= sub.YLo {
+		return
+	}
+	if rowk := rec.rowk; rowk != nil {
+		n := sub.XHi - sub.XLo
+		for j := sub.YLo; j < sub.YHi; j++ {
+			for _, a := range plan.idx {
+				a.I, a.J = sub.XLo, j
 			}
-			accs[k].idx = a.Dat.index(sub.XLo, j)
+			for k, a := range plan.dat {
+				a.idx = plan.dats[k].index(sub.XLo, j)
+			}
+			rowk(accs, red, n)
+		}
+		return
+	}
+	kernel := rec.kernel
+	for j := sub.YLo; j < sub.YHi; j++ {
+		for _, a := range plan.idx {
+			a.J = j
+		}
+		for k, a := range plan.dat {
+			a.idx = plan.dats[k].index(sub.XLo, j)
+		}
+		if len(plan.idx) == 0 {
+			for i := sub.XLo; i < sub.XHi; i++ {
+				kernel(accs, red)
+				for _, a := range plan.dat {
+					a.idx++
+				}
+			}
+			continue
 		}
 		for i := sub.XLo; i < sub.XHi; i++ {
-			for k, a := range rec.args {
-				if a.IsIdx {
-					accs[k].I = i
-				}
+			for _, a := range plan.idx {
+				a.I = i
 			}
-			rec.kernel(accs, red)
-			for k, a := range rec.args {
-				if !a.IsIdx {
-					accs[k].idx++
-				}
+			kernel(accs, red)
+			for _, a := range plan.dat {
+				a.idx++
 			}
 		}
+	}
+}
+
+// runRangeRows executes a reducing loop's sub-range accumulating into
+// per-row partial slots (rows[j-baseY]); the canonical order deferred
+// reductions finalize from. Row j of a loop lives in exactly one tile-y
+// band, and bands sweep tile-x ascending, so every row's contributions
+// arrive strictly left-to-right regardless of tile geometry.
+func runRangeRows(rec *loopRecord, sub Range, rows [][]float64, baseY int, accs []*Acc) {
+	runRangeRowsPlanned(rec, sub, rows, baseY, accs, makePlan(rec, accs))
+}
+
+// runRangeRowsPlanned is runRangeRows with a caller-owned plan, for tiled
+// flushes that sweep one loop across many tiles.
+func runRangeRowsPlanned(rec *loopRecord, sub Range, rows [][]float64, baseY int, accs []*Acc, plan accPlan) {
+	if sub.XHi <= sub.XLo || sub.YHi <= sub.YLo {
+		return
+	}
+	for j := sub.YLo; j < sub.YHi; j++ {
+		runRangePlanned(rec, Range{sub.XLo, sub.XHi, j, j + 1}, rows[j-baseY], accs, plan)
 	}
 }
 

@@ -1,5 +1,7 @@
 package ops
 
+import "github.com/warwick-hpsc/tealeaf-go/internal/par"
+
 // Lazy execution with skewed cache-block tiling, the OPS optimisation of
 // Reguly et al. ("Loop Tiling in Large-Scale Stencil Codes at Run-time with
 // OPS"): ParLoops are queued instead of executed, and at a synchronisation
@@ -26,6 +28,16 @@ package ops
 // Flush executes all queued loops. It is called automatically at
 // reductions and context close; ports call it before halo exchanges and
 // host reads of dats.
+//
+// Reducing loops (enqueued via ParLoopRedDeferred) ride the chain like any
+// other loop: the skew needs no extension for them because a reduction
+// reads its arguments through ordinary stencils (its radius already
+// contributes to the shifts) and writes only its private per-row partial
+// slots, which no other loop can observe — there is no dat-carried
+// dependence out of a reduction node until its handle finalizes, and
+// finalizing triggers this very Flush first. Single-chunk halo updates are
+// plain boundary ParLoops whose mirror stencils contribute their offsets to
+// the skew the same way, so a queued halo node needs no barrier either.
 func (ctx *Context) Flush() {
 	if len(ctx.queue) == 0 {
 		return
@@ -33,16 +45,35 @@ func (ctx *Context) Flush() {
 	loops := ctx.queue
 	ctx.queue = nil
 	ctx.stats.Flushes++
+	if n := int64(len(loops)); n > 1 {
+		ctx.stats.Chains++
+		ctx.stats.ChainedLoops += n
+		if n > ctx.stats.MaxChainLen {
+			ctx.stats.MaxChainLen = n
+		}
+	}
 	if len(loops) == 1 {
-		ctx.executeFull(loops[0], nil)
+		rec := loops[0]
+		if rec.red != nil {
+			ctx.executeDeferredFull(rec)
+			return
+		}
+		ctx.executeFull(rec, nil)
 		return
 	}
+	ctx.resolveAutoTile(loops)
 	// Cumulative skew per loop; each increment covers flow and anti
 	// dependences between every earlier/later loop pair (see the package
 	// comment above).
 	shift := make([]int, len(loops))
 	for l := 1; l < len(loops); l++ {
 		shift[l] = shift[l-1] + loops[l].radius + loops[l-1].radius
+	}
+	accs := make([][]*Acc, len(loops))
+	plans := make([]accPlan, len(loops))
+	for l, rec := range loops {
+		accs[l] = makeAccs(rec)
+		plans[l] = makePlan(rec, accs[l])
 	}
 	// Tile-index bounds over the skewed coordinates of all loops.
 	tx0, tx1 := tileBounds(loops, shift, ctx.opt.TileX, func(r Range) (int, int) { return r.XLo, r.XHi })
@@ -58,7 +89,11 @@ func (ctx *Context) Flush() {
 					YHi: min(rec.r.YHi, (ty+1)*ctx.opt.TileY-shift[l]),
 				}
 				if sub.XLo < sub.XHi && sub.YLo < sub.YHi {
-					runRange(rec, sub, nil)
+					if rec.red != nil {
+						runRangeRowsPlanned(rec, sub, rec.red.rows, rec.red.baseY, accs[l], plans[l])
+					} else {
+						runRangePlanned(rec, sub, nil, accs[l], plans[l])
+					}
 					ran = true
 				}
 			}
@@ -67,8 +102,41 @@ func (ctx *Context) Flush() {
 			}
 		}
 	}
-	for range loops {
+	for _, rec := range loops {
+		if rec.red != nil {
+			rec.red.executed = true
+		}
 		ctx.stats.LoopsExecuted++
+	}
+}
+
+// resolveAutoTile picks TileX/TileY once, from the detected cache topology
+// and the first chain's working set: the tile slab every loop of the chain
+// touches should stay resident in (about half of) the private L2 while the
+// chain sweeps it.
+func (ctx *Context) resolveAutoTile(loops []*loopRecord) {
+	if ctx.tileResolved {
+		return
+	}
+	ctx.tileResolved = true
+	dats := map[*Dat]bool{}
+	nx, ny := 0, 0
+	for _, rec := range loops {
+		nx, ny = rec.block.nx, rec.block.ny
+		for _, a := range rec.args {
+			if a.Dat != nil {
+				dats[a.Dat] = true
+			}
+		}
+	}
+	bytesPerCell := 8 * len(dats)
+	if bytesPerCell <= 0 {
+		bytesPerCell = 8
+	}
+	tx, ty := par.DetectTopology().AutoTile(nx, ny, bytesPerCell)
+	ctx.opt.TileX, ctx.opt.TileY = tx, ty
+	if ctx.team != nil {
+		ctx.team.SetShareAlign(shareAlignFor(ty))
 	}
 }
 

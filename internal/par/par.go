@@ -109,6 +109,7 @@ type Team struct {
 	op       atomic.Uint32 // holds a loopOp
 	lo, hi   int
 	chunk    int
+	align    int // share-boundary alignment in iterations (0/1: none)
 	bodyPar  func(thread int)
 	bodyFor  func(from, to int)
 	bodyRed  func(from, to int) float64
@@ -294,13 +295,22 @@ func (t *Team) workerLoop(w *worker) {
 	}
 }
 
+// staticShare computes this share's static slice, honouring the team's
+// share alignment.
+func (t *Team) staticShare(share int) (int, int) {
+	if t.align > 1 {
+		return StaticRangeAligned(t.lo, t.hi, share, t.nthreads, t.align)
+	}
+	return StaticRange(t.lo, t.hi, share, t.nthreads)
+}
+
 // exec runs one share of the current epoch's loop.
 func (t *Team) exec(share int) {
 	switch loopOp(t.op.Load()) {
 	case opParallel:
 		t.bodyPar(share)
 	case opFor:
-		from, to := StaticRange(t.lo, t.hi, share, t.nthreads)
+		from, to := t.staticShare(share)
 		if from < to {
 			t.bodyFor(from, to)
 		}
@@ -323,27 +333,32 @@ func (t *Team) exec(share int) {
 			if n < int64(t.chunk) {
 				n = int64(t.chunk)
 			}
+			// Snap claim ends to tile-row multiples while enough iterations
+			// remain that rounding up cannot starve later claims.
+			if a := int64(t.align); a > 1 && int64(t.hi)-cur > a*int64(t.nthreads) {
+				n = (n + a - 1) / a * a
+			}
 			to := min(cur+n, int64(t.hi))
 			if t.cursor.CompareAndSwap(cur, to) {
 				t.bodyFor(int(cur), int(to))
 			}
 		}
 	case opReduceSum:
-		from, to := StaticRange(t.lo, t.hi, share, t.nthreads)
+		from, to := t.staticShare(share)
 		var s float64
 		if from < to {
 			s = t.bodyRed(from, to)
 		}
 		t.slots[share].a = s
 	case opReduceSum2:
-		from, to := StaticRange(t.lo, t.hi, share, t.nthreads)
+		from, to := t.staticShare(share)
 		var a, b float64
 		if from < to {
 			a, b = t.bodyRed2(from, to)
 		}
 		t.slots[share].a, t.slots[share].b = a, b
 	case opReduceMax:
-		from, to := StaticRange(t.lo, t.hi, share, t.nthreads)
+		from, to := t.staticShare(share)
 		m := math.Inf(-1)
 		if from < to {
 			m = t.bodyRed(from, to)

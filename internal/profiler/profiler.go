@@ -64,16 +64,46 @@ func (e *Entry) AchievedGFLOPs() float64 {
 // fast and must not call back into the profile they observe.
 type SpanObserver func(name string, start time.Time, d time.Duration)
 
+// Gauge is a named point-in-time value attached to a profile — run-level
+// facts that are not per-kernel accumulations, such as the tiled execution
+// layer's achieved sweeps per CG iteration or its resolved tile geometry.
+type Gauge struct {
+	Name  string
+	Value float64
+}
+
 // Profile is a set of kernel entries. The zero value is unusable; create
 // profiles with New. All methods are safe for concurrent use.
 type Profile struct {
 	mu      sync.Mutex
 	entries map[string]*Entry
+	gauges  map[string]float64
 	span    atomic.Value // SpanObserver, set at most once per solve wiring
 }
 
 // New creates an empty profile.
-func New() *Profile { return &Profile{entries: make(map[string]*Entry)} }
+func New() *Profile {
+	return &Profile{entries: make(map[string]*Entry), gauges: make(map[string]float64)}
+}
+
+// SetGauge records (or overwrites) a run-level gauge value.
+func (p *Profile) SetGauge(name string, v float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.gauges[name] = v
+}
+
+// Gauges returns the recorded gauges sorted by name.
+func (p *Profile) Gauges() []Gauge {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Gauge, 0, len(p.gauges))
+	for n, v := range p.gauges {
+		out = append(out, Gauge{Name: n, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
 
 // SetSpanObserver installs fn to be called for every interval Time and
 // TimeSweeps record (Observe-only callers report no span: they have no
@@ -209,6 +239,12 @@ func (p *Profile) Report(w io.Writer) {
 	fmt.Fprintf(w, "%-28s %10s %12s %10.2f %10.2f %8d\n", "total", "",
 		d.Round(time.Microsecond),
 		safeRate(bytes, d), safeRate(flops, d), p.TotalSweeps())
+	if gs := p.Gauges(); len(gs) > 0 {
+		fmt.Fprintf(w, "%-28s\n", "-- gauges --")
+		for _, g := range gs {
+			fmt.Fprintf(w, "%-28s %14.4g\n", g.Name, g.Value)
+		}
+	}
 }
 
 func safeRate(n int64, d time.Duration) float64 {

@@ -61,6 +61,9 @@ type Params struct {
 	Block simgpu.Dim2
 	// TileX, TileY for the OPS tiled versions (<= 0: defaults).
 	TileX, TileY int
+	// TileAuto derives the OPS tile extents from the detected cache
+	// topology and the first chain's working set; explicit TileX/TileY win.
+	TileAuto bool
 }
 
 func (p Params) withDefaults() Params {
@@ -172,7 +175,7 @@ var versions = []Version{
 			p = p.withDefaults()
 			return opsport.New(opsport.Options{
 				Backend: ops.BackendSerial, Ranks: p.Ranks,
-				Tiling: true, TileX: p.TileX, TileY: p.TileY,
+				Tiling: true, TileX: p.TileX, TileY: p.TileY, TileAuto: p.TileAuto,
 			})
 		},
 	},

@@ -99,3 +99,41 @@ func TestArchString(t *testing.T) {
 		t.Error("arch stringers wrong")
 	}
 }
+
+// TestTiledVersionMatchesUntiledExactly: the registry's ops-mpi-tiled and
+// ops-mpi rows differ only in the tiling pass, and the deferred-reduction
+// execution layer makes that pass bitwise invisible — 1e-12 on the QA
+// totals, far tighter than the cross-port conformance bar.
+func TestTiledVersionMatchesUntiledExactly(t *testing.T) {
+	cfg := config.BenchmarkN(16)
+	cfg.EndStep = 2
+	cfg.Preconditioner = config.PrecondJacDiag
+	run := func(name string, p Params) driver.Totals {
+		v, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k, err := v.Make(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer k.Close()
+		res, err := driver.Run(cfg, k, solver.New(solver.FromConfig(&cfg)), nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return res.Final
+	}
+	params := Params{Ranks: 2, TileX: 8, TileY: 8}
+	want := run("ops-mpi", params)
+	for _, p := range []Params{params, {Ranks: 2, TileAuto: true}} {
+		got := run("ops-mpi-tiled", p)
+		d, err := driver.CompareTotalsChecked(want, got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d > 1e-12 {
+			t.Errorf("ops-mpi-tiled (%+v) diverges from ops-mpi by %g", p, d)
+		}
+	}
+}

@@ -228,9 +228,11 @@ func TestHTTPServiceUnderLoad(t *testing.T) {
 	for i := 0; i < workers+2; i++ {
 		submit()
 	}
+	// Submit back-to-back: pacing the loop would let the workers drain the
+	// queue between arrivals on a fast machine and rejection would never
+	// trigger. Sustained pressure means arrivals outpace completions.
 	for i := 0; i < 200 && rejected == 0; i++ {
 		submit()
-		time.Sleep(5 * time.Millisecond)
 	}
 	if accepted < workers {
 		t.Fatalf("only %d jobs accepted, want >= %d", accepted, workers)
@@ -301,7 +303,14 @@ func TestHTTPServiceUnderLoad(t *testing.T) {
 	}
 	cats := map[string]int{}
 	lastTS := -1.0
+	droppedWindow := false
 	for _, ev := range tr.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "trace_dropped_spans" {
+			// Documented overflow marker: enough load overflowed the span
+			// ring, and the export is a window rather than the whole run.
+			droppedWindow = true
+			continue
+		}
 		if ev.Ph != "X" {
 			t.Fatalf("trace event %q has phase %q, want complete events (X)", ev.Name, ev.Ph)
 		}
@@ -314,8 +323,11 @@ func TestHTTPServiceUnderLoad(t *testing.T) {
 		}
 		cats[ev.Cat]++
 	}
-	if cats["job"] < accepted {
+	if cats["job"] < accepted && !droppedWindow {
 		t.Errorf("trace has %d job spans, want >= %d", cats["job"], accepted)
+	}
+	if cats["job"] == 0 {
+		t.Error("trace has no job spans")
 	}
 	if cats["kernel"] == 0 {
 		t.Error("trace has no kernel spans")

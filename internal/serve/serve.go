@@ -1039,15 +1039,51 @@ func (s *Server) solve(j *job, port driver.Kernels) (res driver.Result, wall tim
 		}
 	})
 
+	var tilePrev driver.TilingSnapshot
+	tiler := driver.AsTilingReporter(port)
+	if tiler != nil {
+		// Ports can outlive a job (prebuilt per submission but counters are
+		// cumulative), so attribute only this run's delta to the metrics.
+		tilePrev = tiler.TilingSnapshot()
+	}
 	start := time.Now()
 	res, err = driver.RunResilientCtx(ctx, j.cfg, kernels, solver.New(opt), s.opts.Log, pol)
 	wall = time.Since(start)
+	if tiler != nil {
+		s.publishTiling(tiler.TilingSnapshot().Sub(tilePrev), totalIters)
+	}
 	s.tracer.Record(obs.Span{
 		Name: j.id + " " + j.version, Cat: "job", TID: j.seq,
 		Start: start, Dur: wall,
 	})
 	s.publishProfile(prof)
 	return res, wall, err
+}
+
+// publishTiling folds one job's ops loop-chain counters into /metrics so
+// tiling effectiveness is visible live: the counters accumulate across
+// jobs, while the per-iteration sweep gauges reflect the most recent tiled
+// job (Flushes/iter is what a tiled chain actually swept, LoopsExecuted/
+// iter what an untiled run would have).
+func (s *Server) publishTiling(d driver.TilingSnapshot, iters int) {
+	s.reg.Counter("tealeaf_ops_flushes_total", "ops chain executions (tiled sweeps) across all jobs").Add(float64(d.Flushes))
+	s.reg.Counter("tealeaf_ops_tiles_total", "tile visits across all flushed ops chains").Add(float64(d.Tiles))
+	s.reg.Counter("tealeaf_ops_chains_total", "multi-loop ops chains flushed across all jobs").Add(float64(d.Chains))
+	s.reg.Counter("tealeaf_ops_chained_loops_total", "loops executed as part of multi-loop ops chains").Add(float64(d.ChainedLoops))
+	s.reg.Counter("tealeaf_ops_loops_total", "ops loops executed across all jobs").Add(float64(d.LoopsExecuted))
+	s.reg.Counter("tealeaf_ops_discards_total", "queued ops chains dropped by rollback").Add(float64(d.Discards))
+	if !d.Tiling {
+		return
+	}
+	s.reg.Gauge("tealeaf_ops_tile_x", "resolved tile width in cells (last tiled job)").Set(float64(d.TileX))
+	s.reg.Gauge("tealeaf_ops_tile_y", "resolved tile height in cells (last tiled job)").Set(float64(d.TileY))
+	s.reg.Gauge("tealeaf_ops_max_chain_len", "longest ops loop chain flushed (last tiled job)").Set(float64(d.MaxChainLen))
+	if iters > 0 {
+		s.reg.Gauge("tealeaf_ops_sweeps_per_iter_tiled", "achieved full-field sweeps per solver iteration with chain tiling (last tiled job)").
+			Set(float64(d.Flushes) / float64(iters))
+		s.reg.Gauge("tealeaf_ops_sweeps_per_iter_untiled", "full-field sweeps per solver iteration the same loops would cost untiled (last tiled job)").
+			Set(float64(d.LoopsExecuted) / float64(iters))
+	}
 }
 
 // publishProfile folds a job's per-kernel profile into the labeled kernel

@@ -445,3 +445,45 @@ func TestMetricsRegistryWiring(t *testing.T) {
 		t.Error("tracer captured no spans")
 	}
 }
+
+// TestTilingMetricsPublished: a job on the tiled OPS version must move the
+// ops loop-chain counters and sweep gauges a scrape sees.
+func TestTilingMetricsPublished(t *testing.T) {
+	s, err := New(Options{QueueSize: 2, Workers: 1, Versions: []string{"ops-mpi-tiled"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	st, err := s.Submit(JobSpec{Deck: deck(24, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final := waitJob(t, s, st.ID); final.State != StateDone {
+		t.Fatalf("job ended %s: %s", final.State, final.Error)
+	}
+	var b strings.Builder
+	s.Metrics().WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		"tealeaf_ops_flushes_total",
+		"tealeaf_ops_tiles_total",
+		"tealeaf_ops_chains_total",
+		"tealeaf_ops_sweeps_per_iter_tiled",
+		"tealeaf_ops_sweeps_per_iter_untiled",
+		"tealeaf_ops_max_chain_len",
+		"tealeaf_ops_tile_x",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	for _, zero := range []string{
+		"tealeaf_ops_flushes_total 0",
+		"tealeaf_ops_tiles_total 0",
+		"tealeaf_ops_sweeps_per_iter_tiled 0",
+	} {
+		if strings.Contains(out, zero+"\n") || strings.HasSuffix(out, zero) {
+			t.Errorf("counter stuck at zero: %q", zero)
+		}
+	}
+}

@@ -18,9 +18,12 @@ func TestSingleflightCollapsesIdenticalSubmissions(t *testing.T) {
 	}
 	defer s.Close()
 
-	// Occupy the worker so the leader stays queued while followers attach;
-	// the deck must be slow even without -race instrumentation.
-	blocker, err := s.Submit(JobSpec{Deck: deck(96, 8)})
+	// Occupy the worker so the leader stays queued while followers attach.
+	// The deck must be slow even without -race instrumentation, and by a
+	// wide margin: on a single-CPU machine the solver goroutine can starve
+	// the submitting goroutines for tens of milliseconds of scheduler
+	// slices, and the blocker must still be running when they finally run.
+	blocker, err := s.Submit(JobSpec{Deck: deck(192, 40)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +100,9 @@ func TestLeaderExpiryPromotesFollower(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	big := deck(96, 40) // seconds of work: cannot finish inside the leader's deadline
+	// Hundreds of milliseconds of work even on a fast machine: cannot
+	// finish inside the leader's 50ms deadline.
+	big := deck(192, 60)
 	leader, err := s.Submit(JobSpec{Deck: big, Deadline: Duration(50 * time.Millisecond)})
 	if err != nil {
 		t.Fatal(err)

@@ -268,10 +268,17 @@ func (p cgPath) calcUR(alpha float64, precond bool) float64 {
 // positive away from the convergence floor, so a negative value — the
 // signature of a sign-flipped reduction — raises ErrSDC instead of folding
 // into alpha and silently steering the iterate.
+//
+// The halo exchange of p is the caller's responsibility, issued right after
+// the CGCalcP (or CGInitP) that produced p rather than at the head of the
+// next iteration. The global kernel sequence is identical — ...CGCalcP,
+// halo(p), CGCalcW... either way — but keeping the exchange adjacent to the
+// loops it depends on makes the cross-iteration chain
+// [cg_calc_p → halo(p) → cg_calc_w] explicit: on a tiling ops context those
+// loops queue as one chain and execute cache-resident at the p·w demand,
+// and the converged exit skips the dangling exchange entirely.
 func cgIteration(path cgPath, opt Options, rro float64, alphas, betas *[]float64, st *Stats, mon sdcMonitor) (float64, error) {
 	k := path.k
-	k.HaloExchange([]driver.FieldID{driver.FieldP}, 1)
-	st.HaloExchanges++
 	pw := path.calcW()
 	if pw == 0 || math.IsNaN(pw) || math.IsInf(pw, 0) {
 		return 0, errIndefinite
@@ -310,6 +317,10 @@ func solveCG(ctx context.Context, k driver.Kernels, opt Options) (Stats, error) 
 		st.Converged = true
 		return st, nil
 	}
+	// Prologue exchange for the p CGInitP just wrote; every later exchange
+	// rides the tail of the iteration that rewrote p (see cgIteration).
+	k.HaloExchange([]driver.FieldID{driver.FieldP}, 1)
+	st.HaloExchanges++
 	for st.Iterations < opt.MaxIters {
 		if cerr := ctxErr(ctx); cerr != nil {
 			return st, cerr
@@ -337,6 +348,10 @@ func solveCG(ctx context.Context, k driver.Kernels, opt Options) (Stats, error) 
 				if conv {
 					st.Converged = true
 					return st, nil
+				}
+				if st.Iterations < opt.MaxIters {
+					k.HaloExchange([]driver.FieldID{driver.FieldP}, 1)
+					st.HaloExchanges++
 				}
 				continue
 			}
@@ -367,6 +382,8 @@ func solveCG(ctx context.Context, k driver.Kernels, opt Options) (Stats, error) 
 			st.Converged = true
 			return st, nil
 		}
+		k.HaloExchange([]driver.FieldID{driver.FieldP}, 1)
+		st.HaloExchanges++
 	}
 	return st, nil
 }
@@ -423,6 +440,8 @@ func bootstrapCG(ctx context.Context, k driver.Kernels, opt Options, st *Stats) 
 	if iters > opt.MaxIters {
 		iters = opt.MaxIters
 	}
+	k.HaloExchange([]driver.FieldID{driver.FieldP}, 1)
+	st.HaloExchanges++
 	for n := 0; n < iters; n++ {
 		if cerr := ctxErr(ctx); cerr != nil {
 			return rro, alphas, betas, false, cerr
@@ -436,6 +455,10 @@ func bootstrapCG(ctx context.Context, k driver.Kernels, opt Options, st *Stats) 
 		if converged(rrn, st.InitialError, opt.Eps) {
 			st.Converged = true
 			return rro, alphas, betas, true, nil
+		}
+		if n+1 < iters {
+			k.HaloExchange([]driver.FieldID{driver.FieldP}, 1)
+			st.HaloExchanges++
 		}
 	}
 	return rro, alphas, betas, false, nil
@@ -560,12 +583,13 @@ func solvePPCG(ctx context.Context, k driver.Kernels, opt Options) (Stats, error
 	applyPoly()
 	path := newCGPath(k, opt)
 	rro := k.CGInitP(true) // p = z, rro = r.z
+	// As in solveCG, p's exchange rides the tail of the kernel that wrote p.
+	k.HaloExchange([]driver.FieldID{driver.FieldP}, 1)
+	st.HaloExchanges++
 	for st.Iterations < opt.MaxIters {
 		if cerr := ctxErr(ctx); cerr != nil {
 			return st, cerr
 		}
-		k.HaloExchange([]driver.FieldID{driver.FieldP}, 1)
-		st.HaloExchanges++
 		pw := path.calcW()
 		if pw == 0 || math.IsNaN(pw) || math.IsInf(pw, 0) {
 			return st, errIndefinite
@@ -598,6 +622,10 @@ func solvePPCG(ctx context.Context, k driver.Kernels, opt Options) (Stats, error
 		beta := rrn / rro
 		k.CGCalcP(beta, true)
 		rro = rrn
+		if st.Iterations < opt.MaxIters {
+			k.HaloExchange([]driver.FieldID{driver.FieldP}, 1)
+			st.HaloExchanges++
+		}
 	}
 	return st, nil
 }

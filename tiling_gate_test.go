@@ -1,0 +1,105 @@
+// TestTilingSweepsGate guards the headline metric of the cross-iteration
+// loop-chain tiling work: with the deferred-reduction API, a diagonal-
+// preconditioned CG iteration must cost fewer than 3.0 full-field sweeps
+// (chain flushes), and must not regress against the committed
+// BENCH_tiling.json baseline produced by `make bench-tiling`.
+//
+// The sweep count is schedule-driven — it depends on where the solver's
+// true sync points fall, not on mesh size or tile geometry — so the gate
+// can re-measure on a small mesh and compare against a baseline captured
+// at benchmark scale. A small slack absorbs the once-per-solve setup
+// flushes amortised over a different iteration count.
+package tealeaf_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/config"
+	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
+	"github.com/warwick-hpsc/tealeaf-go/internal/grid"
+	"github.com/warwick-hpsc/tealeaf-go/internal/ops"
+	"github.com/warwick-hpsc/tealeaf-go/internal/solver"
+
+	opsport "github.com/warwick-hpsc/tealeaf-go/internal/backends/opsport"
+)
+
+// tilingBaseline mirrors the BENCH_tiling.json fields the gate reads.
+type tilingBaseline struct {
+	Rows []struct {
+		Version string `json:"version"`
+		Tiled   struct {
+			SweepsPerIter float64 `json:"sweeps_per_iter"`
+		} `json:"tiled"`
+		Error string `json:"error"`
+	} `json:"rows"`
+}
+
+func TestTilingSweepsGate(t *testing.T) {
+	// The absolute bar from the design: cg_calc_p + halo + cg_calc_w chain
+	// into one flush, cg_calc_ur finalizes at the rz demand — under 3.0
+	// effective sweeps per iteration in steady state.
+	bar := 3.0
+	if buf, err := os.ReadFile("BENCH_tiling.json"); err == nil {
+		var base tilingBaseline
+		if err := json.Unmarshal(buf, &base); err != nil {
+			t.Fatalf("BENCH_tiling.json is unreadable: %v", err)
+		}
+		for _, r := range base.Rows {
+			if r.Version == "ops-serial" && r.Error == "" && r.Tiled.SweepsPerIter > 0 {
+				// 0.25 sweeps of slack covers the fixed setup flushes
+				// amortised over a different pinned iteration count.
+				if b := r.Tiled.SweepsPerIter + 0.25; b < bar {
+					bar = b
+				}
+			}
+		}
+	} else {
+		t.Logf("no committed BENCH_tiling.json (%v); enforcing the absolute 3.0 bar only", err)
+	}
+
+	const n, iters = 64, 40
+	cfg := config.BenchmarkN(n)
+	cfg.Preconditioner = config.PrecondJacDiag
+	cfg.MaxIters = iters
+	cfg.Eps = 1e-300
+	p, err := opsport.New(opsport.Options{Backend: ops.BackendSerial, Tiling: true, TileX: 16, TileY: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	m, err := grid.NewMesh(cfg.XMin, cfg.XMax, cfg.YMin, cfg.YMax, cfg.NX, cfg.NY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Generate(m, cfg.States); err != nil {
+		t.Fatal(err)
+	}
+	p.HaloExchange([]driver.FieldID{driver.FieldDensity, driver.FieldEnergy0}, 2)
+	p.SetField()
+	p.HaloExchange([]driver.FieldID{driver.FieldDensity, driver.FieldEnergy1}, 2)
+	dt := cfg.InitialTimestep
+	p.SolveInit(cfg.Coefficient, dt/(m.Dx*m.Dx), dt/(m.Dy*m.Dy), cfg.Preconditioner)
+	pre := p.TilingSnapshot()
+	st, err := solver.Solve(p, solver.FromConfig(&cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iterations != iters {
+		t.Fatalf("solve ran %d iterations, want %d pinned", st.Iterations, iters)
+	}
+	snap := p.TilingSnapshot().Sub(pre)
+	if snap.Chains == 0 {
+		t.Fatal("no multi-loop chains flushed: loops are not crossing the iteration boundary")
+	}
+	got := float64(snap.Flushes) / float64(iters)
+	t.Logf("measured %.3f sweeps/iter (%d flushes / %d iters), gate %.3f",
+		got, snap.Flushes, iters, bar)
+	if got >= 3.0 {
+		t.Errorf("sweeps/iter = %.3f, want < 3.0 (cache-residency claim broken)", got)
+	}
+	if got >= bar {
+		t.Errorf("sweeps/iter = %.3f regressed past the committed baseline gate %.3f", got, bar)
+	}
+}
