@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race chaos fuzz bench-par bench-cg bench-sdc bench-serve bench-tiling bench
+.PHONY: build test race chaos fleet-chaos fuzz bench-par bench-cg bench-sdc bench-serve bench-tiling bench
 
 build:
 	$(GO) build ./...
@@ -26,12 +26,27 @@ race:
 # layer (job queue, worker pool, metrics registry, span tracer) runs its
 # whole suite under race here too — it is the most goroutine-dense code in
 # the repo.
-chaos:
+chaos: fleet-chaos
 	$(GO) test -race ./internal/chaos/... ./internal/checkpoint/...
 	$(GO) test -race -run 'Chaos|Fault|Resilien|Breakdown|Fallback|Restart|Recover|Watchdog|Kill|NaN|Divergence|SDC|Cancel|Deadline|Checksum|Corrupt' \
 		./internal/comm/... ./internal/solver/... ./internal/driver/... \
 		./internal/backends/... ./internal/registry/...
 	$(GO) test -race ./internal/serve/... ./internal/obs/...
+
+# fleet-chaos runs the multi-process suite under the race detector: the
+# supervised worker fleet (clean run, kill-9 migration drill, degraded
+# finish, drain-vs-migration race, silent-worker heartbeat catch), the
+# socket-transport bitwise-equivalence battery, the checkpoint lock stress
+# test, and the serve-layer fleet jobs (submission, migration, readiness
+# latch). The spawned worker processes are this same race-instrumented test
+# binary re-exec'd, so data races inside workers are caught too. -timeout
+# bounds the wall clock: every test has its own liveness monitor, so a hang
+# is a bug, not a slow machine.
+fleet-chaos:
+	$(GO) test -race -timeout 10m ./internal/fleet/
+	$(GO) test -race -timeout 10m -run 'TestSocketTransportBitwiseEquivalence|TestConformanceSocket' ./internal/backends/mpi/
+	$(GO) test -race -timeout 10m -run 'TestConcurrentSaveLoadNeverTorn' ./internal/checkpoint/
+	$(GO) test -race -timeout 10m -run 'TestServeFleet|TestSubmitFleetValidation|TestHTTPDrainLivenessVsReadiness|TestHTTPReadyzFleetDegraded' ./internal/serve/
 
 # fuzz exercises the deck parser and the comm fault-spec parser against
 # their checked-in corpora plus 30s each of new coverage-guided inputs.

@@ -126,8 +126,11 @@ func serveBench(w io.Writer, jsonOut bool) {
 	}
 	wg.Wait()
 
+	// A bounded scrape client: a wedged /metrics endpoint must fail the
+	// experiment loudly, not hang the benchmark run.
+	scrapeClient := &http.Client{Timeout: 30 * time.Second}
 	scrapeOnce := func() string {
-		resp, err := http.Get(ts.URL + "/metrics")
+		resp, err := scrapeClient.Get(ts.URL + "/metrics")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "teabench: scrape: %v\n", err)
 			return ""

@@ -1,0 +1,31 @@
+// Command tealeaf-worker is one rank of a supervised fleet job. It is not
+// meant to be launched by hand: the fleet coordinator (teaserve's fleet
+// mode, or fleet.RunJob) spawns it with a TEALEAF_FLEET_* environment
+// describing the rank assignment, the world's socket addresses, the deck
+// and the shared checkpoint file. The worker joins the socket-transport
+// world, runs the deck SPMD alongside its sibling processes, streams
+// liveness beats to the coordinator, and exits 0 on success — any solver or
+// transport failure (a lost peer, unrecoverable corruption) is reported on
+// the control socket and exits non-zero, which the coordinator turns into a
+// checkpoint-based migration.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/fleet"
+)
+
+func main() {
+	if !fleet.InWorkerEnv() {
+		fmt.Fprintln(os.Stderr, "tealeaf-worker: no TEALEAF_FLEET_* assignment in the environment;")
+		fmt.Fprintln(os.Stderr, "this binary is spawned by the fleet coordinator, not launched directly")
+		os.Exit(2)
+	}
+	if err := fleet.RunWorkerFromEnv(context.Background(), os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -20,8 +20,10 @@
 //	teaserve -addr :8080 -workers 8 -queue 32 -versions manual-serial,manual-omp
 //	teaserve -addr :8080 -default-deadline 2m -checkpoint-every 5 -max-retries 3
 //	teaserve -addr :8080 -cache-size 1024 -cache-ttl 1h -retain-jobs 10000
+//	teaserve -addr :8080 -fleet-worker-bin ./tealeaf-worker -fleet-workers 4 -fleet-dir /var/lib/tealeaf/fleet
 //
 //	curl -s -X POST localhost:8080/v1/solve -d '{"benchmark": "bm_250"}'
+//	curl -s -X POST localhost:8080/v1/solve -d '{"benchmark": "bm_250", "fleet": true}'
 //	curl -s localhost:8080/v1/jobs/job-000001
 //	curl -sN localhost:8080/v1/jobs/job-000001/events
 //
@@ -41,6 +43,7 @@ import (
 	"time"
 
 	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
+	"github.com/warwick-hpsc/tealeaf-go/internal/fleet"
 	"github.com/warwick-hpsc/tealeaf-go/internal/obs"
 	"github.com/warwick-hpsc/tealeaf-go/internal/registry"
 	"github.com/warwick-hpsc/tealeaf-go/internal/serve"
@@ -73,6 +76,14 @@ func run() error {
 		batchMaxJobs  = flag.Int("batch-max-jobs", 4, "most jobs coalesced into one micro-batch")
 		retainJobs    = flag.Int("retain-jobs", 4096, "finished jobs kept for /v1/jobs before the oldest are evicted")
 		retainAge     = flag.Duration("retain-age", 0, "finished jobs older than this are evicted regardless of count (0: no age bound)")
+
+		fleetWorkers    = flag.Int("fleet-workers", 3, "default worker processes per fleet job (jobs may override with fleet_workers)")
+		fleetWorkerBin  = flag.String("fleet-worker-bin", "", "path to the tealeaf-worker binary; empty disables fleet jobs")
+		fleetDir        = flag.String("fleet-dir", "", "root directory for fleet job state (deck, checkpoint, sockets), one subdirectory per job; empty uses temp dirs (fleet jobs then not resumable after drain)")
+		fleetHeartbeat  = flag.Duration("fleet-heartbeat", 0, "mesh-transport heartbeat interval between fleet workers (0: comm default)")
+		fleetHBTimeout  = flag.Duration("fleet-heartbeat-timeout", 0, "silence window before a fleet worker's peers declare it lost (0: comm default)")
+		fleetMaxMigrate = flag.Int("fleet-max-migrations", 3, "checkpoint migrations a fleet job may take before giving up")
+		fleetDegrade    = flag.Bool("fleet-degrade", false, "shrink the fleet by one worker per migration instead of replacing the lost one")
 
 		defaultDeadline = flag.Duration("default-deadline", 0, "wall-clock budget for jobs that set none (0: unbounded)")
 		ckEvery         = flag.Int("checkpoint-every", 0, "default steps between in-memory recovery checkpoints (0: resilience off)")
@@ -122,6 +133,18 @@ func run() error {
 			Backoff:         *backoff,
 		},
 		Tracer: obs.NewTracer(*traceSpans),
+	}
+	if *fleetWorkerBin != "" {
+		opts.Fleet = fleet.Options{
+			Workers:           *fleetWorkers,
+			Threads:           *threads,
+			WorkerCommand:     []string{*fleetWorkerBin},
+			Dir:               *fleetDir,
+			MaxMigrations:     *fleetMaxMigrate,
+			Degrade:           *fleetDegrade,
+			HeartbeatInterval: *fleetHeartbeat,
+			HeartbeatTimeout:  *fleetHBTimeout,
+		}
 	}
 	if !*quiet {
 		opts.Log = os.Stdout

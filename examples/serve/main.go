@@ -23,9 +23,27 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"github.com/warwick-hpsc/tealeaf-go/internal/serve"
 )
+
+// apiClient bounds every request-plane call: a hung or unreachable server
+// surfaces as a dial/read timeout instead of a wedged client. The SSE
+// stream below deliberately does NOT use it — a Timeout would sever the
+// stream mid-job — and is bounded by a context instead.
+var apiClient = &http.Client{
+	Timeout: 30 * time.Second,
+	Transport: &http.Transport{
+		DialContext:           (&net.Dialer{Timeout: 5 * time.Second}).DialContext,
+		TLSHandshakeTimeout:   5 * time.Second,
+		ResponseHeaderTimeout: 10 * time.Second,
+	},
+}
+
+// streamClient shares the bounded dial/header transport but has no overall
+// Timeout, so long-lived event streams are cut only by their context.
+var streamClient = &http.Client{Transport: apiClient.Transport}
 
 func main() {
 	// A tiny service: two workers, a four-deep queue, a result cache, no
@@ -53,7 +71,7 @@ func main() {
 		log.Fatal(err)
 	}
 	body, _ := json.Marshal(serve.JobSpec{Deck: string(deck)})
-	resp, err := http.Post(base+"/v1/solve", "application/json", bytes.NewReader(body))
+	resp, err := apiClient.Post(base+"/v1/solve", "application/json", bytes.NewReader(body))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,8 +87,17 @@ func main() {
 
 	// Follow the job live over the SSE events stream rather than polling:
 	// one frame per lifecycle transition and per solver step, closing after
-	// the "done" frame delivers the result.
-	stream, err := http.Get(base + "/v1/jobs/" + st.ID + "/events")
+	// the "done" frame delivers the result. A stream has no natural response
+	// deadline (it stays open for the life of the job), so it is bounded by
+	// a cancellable context rather than a client timeout; the dial and
+	// header timeouts still come from the transport.
+	streamCtx, streamCancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer streamCancel()
+	req, err := http.NewRequestWithContext(streamCtx, http.MethodGet, base+"/v1/jobs/"+st.ID+"/events", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stream, err := streamClient.Do(req)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -113,7 +140,7 @@ func main() {
 	// Resubmit the identical deck: the content-addressed cache answers at
 	// submission time — "cached": true, no second solver invocation, and a
 	// result bitwise-identical to the first.
-	resp, err = http.Post(base+"/v1/solve", "application/json", bytes.NewReader(body))
+	resp, err = apiClient.Post(base+"/v1/solve", "application/json", bytes.NewReader(body))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -127,7 +154,7 @@ func main() {
 		again.ID, again.State, again.Cached, again.Result.Temperature)
 
 	// The scrape endpoint reflects the same run.
-	r, err := http.Get(base + "/metrics")
+	r, err := apiClient.Get(base + "/metrics")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -46,18 +46,44 @@ func New(ranks, threads int) *Port {
 	if ranks <= 0 {
 		panic(fmt.Sprintf("mpi: rank count must be positive, got %d", ranks))
 	}
-	if threads < 1 {
-		threads = 1
-	}
 	name := "manual-mpi"
 	if threads > 1 {
 		name = "manual-mpi-omp"
+	}
+	return newWithWorld(name, comm.NewWorld(ranks), ranks, threads)
+}
+
+// NewSocket creates the port on a loopback socket world: the same rank
+// goroutines and kernels as New, but every send, reduction and broadcast
+// crosses the length-prefixed checksummed wire protocol instead of an
+// in-process mailbox. It exists to prove transport transparency — the
+// conformance suite runs every deck over it and must get bitwise-identical
+// physics — and to exercise the wire path under the chaos harness without
+// spawning processes.
+func NewSocket(ranks, threads int, opt comm.SocketOptions) (*Port, error) {
+	if ranks <= 0 {
+		return nil, fmt.Errorf("mpi: rank count must be positive, got %d", ranks)
+	}
+	w, err := comm.NewSocketWorld(ranks, opt)
+	if err != nil {
+		return nil, err
+	}
+	name := "manual-mpi-socket"
+	if threads > 1 {
+		name = "manual-mpi-omp-socket"
+	}
+	return newWithWorld(name, w, ranks, threads), nil
+}
+
+func newWithWorld(name string, world *comm.World, ranks, threads int) *Port {
+	if threads < 1 {
+		threads = 1
 	}
 	p := &Port{
 		name:    name,
 		nranks:  ranks,
 		threads: threads,
-		world:   comm.NewWorld(ranks),
+		world:   world,
 		cmds:    make([]chan func(*rankState), ranks),
 		resF:    make(chan float64, 1),
 		resT:    make(chan driver.Totals, 1),
@@ -299,7 +325,9 @@ func (p *Port) RestoreField(id driver.FieldID, data []float64) {
 	p.do(func(rs *rankState) { rs.restoreField(id, data) })
 }
 
-// Close implements driver.Kernels: shut down the rank goroutines.
+// Close implements driver.Kernels: shut down the rank goroutines, then the
+// transport (a no-op in-process; for socket worlds it closes listeners and
+// connections and removes the socket directory).
 func (p *Port) Close() {
 	if p.closed {
 		return
@@ -309,4 +337,5 @@ func (p *Port) Close() {
 		close(ch)
 	}
 	<-p.runDone
+	p.world.Close()
 }

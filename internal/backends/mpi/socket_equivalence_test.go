@@ -1,0 +1,94 @@
+package mpi
+
+import (
+	"testing"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/backends/backendtest"
+	"github.com/warwick-hpsc/tealeaf-go/internal/comm"
+	"github.com/warwick-hpsc/tealeaf-go/internal/config"
+	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
+	"github.com/warwick-hpsc/tealeaf-go/internal/solver"
+)
+
+func newSocketPort(t testing.TB, ranks, threads int) *Port {
+	t.Helper()
+	p, err := NewSocket(ranks, threads, comm.SocketOptions{})
+	if err != nil {
+		t.Fatalf("NewSocket(%d,%d): %v", ranks, threads, err)
+	}
+	return p
+}
+
+// TestConformanceSocket runs the full cross-port conformance battery with
+// every message crossing the loopback socket transport: the wire protocol
+// must be invisible to the physics on each deck.
+func TestConformanceSocket(t *testing.T) {
+	if testing.Short() {
+		t.Skip("socket conformance is the slow transport arm; covered by the in-process arms in -short")
+	}
+	backendtest.Conformance(t, func() driver.Kernels { return newSocketPort(t, 4, 1) })
+}
+
+// TestSocketTransportBitwiseEquivalence is the transport-transparency
+// contract at full strength: the SAME port implementation run over the
+// in-process channel transport and over the socket transport must produce
+// field summaries matching to 1e-12 relative on every conformance deck
+// shape. The two runs share kernels, decomposition and reduction order —
+// only the bytes' route differs — so anything past rounding-identical
+// means the wire path corrupted or reordered arithmetic.
+func TestSocketTransportBitwiseEquivalence(t *testing.T) {
+	decks := []struct {
+		name   string
+		mutate func(*config.Config)
+	}{
+		{"PlainCG", func(cfg *config.Config) {}},
+		{"DiagPrecondCG", func(cfg *config.Config) { cfg.Preconditioner = config.PrecondJacDiag }},
+		{"BlockPrecondCG", func(cfg *config.Config) { cfg.Preconditioner = config.PrecondJacBlock }},
+		{"PPCG", func(cfg *config.Config) { cfg.Solver = config.SolverPPCG }},
+		{"Chebyshev", func(cfg *config.Config) { cfg.Solver = config.SolverChebyshev }},
+		{"Jacobi", func(cfg *config.Config) {
+			cfg.Solver = config.SolverJacobi
+			cfg.Eps = 1e-12
+			cfg.MaxIters = 100000
+		}},
+		{"NonSquareMesh", func(cfg *config.Config) { cfg.NX, cfg.NY = 33, 7 }},
+		{"MultiState", func(cfg *config.Config) {
+			cfg.States = append(cfg.States,
+				config.State{Index: 3, Density: 5, Energy: 10,
+					Geometry: config.GeomCircular, XMin: 7, YMin: 7, Radius: 2})
+		}},
+	}
+	for _, deck := range decks {
+		deck := deck
+		t.Run(deck.name, func(t *testing.T) {
+			cfg := config.BenchmarkN(16)
+			cfg.EndStep = 2
+			deck.mutate(&cfg)
+
+			run := func(k driver.Kernels) driver.Result {
+				defer k.Close()
+				res, err := driver.Run(cfg, k, solver.New(solver.FromConfig(&cfg)), nil)
+				if err != nil {
+					t.Fatalf("%s: %v", k.Name(), err)
+				}
+				return res
+			}
+			inproc := run(New(4, 1))
+			sp := newSocketPort(t, 4, 1)
+			socket := run(sp)
+			// Guard against a vacuous pass: the socket run must actually have
+			// moved frames over the wire.
+			if ws := sp.World().WireStats(); ws.FramesSent == 0 || ws.BytesSent == 0 {
+				t.Fatalf("socket run moved no wire traffic: %+v", ws)
+			}
+			d, err := driver.CompareTotalsChecked(inproc.Final, socket.Final)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d > 1e-12 {
+				t.Errorf("socket world diverges from in-process world by %g:\n  socket %+v\n in-proc %+v",
+					d, socket.Final, inproc.Final)
+			}
+		})
+	}
+}

@@ -248,7 +248,18 @@ func PrevPath(path string) string { return path + ".prev" }
 // later found corrupt on disk — a torn write survived by the filesystem, a
 // bit-flip at rest — still leaves one older generation to fall back to,
 // which LoadLatest does automatically.
+//
+// The rotate+save window is guarded by an exclusive advisory lock on a
+// sidecar ".lock" file, paired with the shared lock LoadLatest takes: a
+// concurrent reader (the fleet coordinator verifying a checkpoint while a
+// worker is still writing) always observes either the pre-rotation or the
+// post-save state of the pair, never the instant where path does not exist.
 func (c *Checkpoint) SaveRotate(path string) error {
+	lk, err := acquireLock(path, true)
+	if err != nil {
+		return err
+	}
+	defer lk.release()
 	if _, err := os.Stat(path); err == nil {
 		if err := os.Rename(path, PrevPath(path)); err != nil {
 			return fmt.Errorf("checkpoint: rotate: %w", err)
@@ -263,7 +274,15 @@ func (c *Checkpoint) SaveRotate(path string) error {
 // the file it actually came from. When neither file yields a valid
 // checkpoint the primary file's error is returned (wrapping os.ErrNotExist
 // when it does not exist, ErrCorrupt when it failed validation).
+//
+// LoadLatest holds the rotation pair's shared advisory lock for the whole
+// read-and-fallback sequence, so a SaveRotate racing it cannot move the
+// current generation to the ".prev" slot between the two Load attempts.
 func LoadLatest(path string) (*Checkpoint, string, error) {
+	lk, lerr := acquireLock(path, false)
+	if lerr == nil {
+		defer lk.release()
+	}
 	c, err := Load(path)
 	if err == nil {
 		return c, path, nil

@@ -1,0 +1,13 @@
+//go:build !unix
+
+package checkpoint
+
+// Non-unix fallback: no advisory locking. Single-process rollback recovery
+// is unaffected (it never shares a checkpoint path across processes); the
+// multi-process fleet coordinator is unix-only, so the cross-process
+// rotation race the lock closes cannot arise here.
+type fileLock struct{}
+
+func acquireLock(path string, ex bool) (*fileLock, error) { return &fileLock{}, nil }
+
+func (l *fileLock) release() {}

@@ -1,0 +1,63 @@
+//go:build unix
+
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// fileLock is an advisory flock(2) on a sidecar ".lock" file next to the
+// checkpoint. SaveRotate holds it exclusively across its rotate+rename
+// window; LoadLatest holds it shared across its read-and-fallback sequence.
+// Without it a reader can land between the rename of path to path+".prev"
+// and the rename of the fresh temp file onto path, see neither file (or see
+// the same generation at both paths), and conclude the checkpoint pair is
+// torn even though every individual write was atomic.
+//
+// The lock file is separate from the data file because the data file itself
+// is replaced by rename on every save — a lock taken on the old inode would
+// not exclude a writer creating the new one.
+type fileLock struct {
+	f *os.File
+}
+
+// lockPath returns the sidecar lock file guarding a checkpoint path and its
+// rotation partner.
+func lockPath(path string) string { return path + ".lock" }
+
+// acquireLock opens (creating if needed) the sidecar lock file and takes a
+// blocking flock on it: exclusive when ex is true, shared otherwise.
+func acquireLock(path string, ex bool) (*fileLock, error) {
+	f, err := os.OpenFile(lockPath(path), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: lock: %w", err)
+	}
+	how := syscall.LOCK_SH
+	if ex {
+		how = syscall.LOCK_EX
+	}
+	for {
+		err = syscall.Flock(int(f.Fd()), how)
+		if err != syscall.EINTR {
+			break
+		}
+	}
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("checkpoint: lock %s: %w", lockPath(path), err)
+	}
+	return &fileLock{f: f}, nil
+}
+
+// release drops the flock and closes the lock file. Closing alone would
+// release the lock; the explicit unlock keeps the intent visible.
+func (l *fileLock) release() {
+	if l == nil || l.f == nil {
+		return
+	}
+	syscall.Flock(int(l.f.Fd()), syscall.LOCK_UN)
+	l.f.Close()
+	l.f = nil
+}

@@ -52,3 +52,63 @@ func BenchmarkAllreduceVecInPlace(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkSocketHaloExchangeSteadyState is the halo-swap benchmark over the
+// loopback socket transport: the wire path (framing into a per-link scratch
+// buffer, pooled payload delivery, ack-driven buffer recycling) must stay
+// allocation-pooled in steady state just like the in-process path — no
+// per-operation payload or frame allocations. The guarded number is bytes
+// per op: single-digit B/op means every 4KiB payload buffer came from the
+// pool. (A residual couple of tiny allocs/op is goroutine-parking overhead:
+// wire delivery is asynchronous, so receivers genuinely block, which the
+// in-process benchmark's send/recv alternation never does.)
+func BenchmarkSocketHaloExchangeSteadyState(b *testing.B) {
+	const stripLen = 512
+	w, err := NewSocketWorld(2, SocketOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	exchange := func(r *Rank, peer int, pack, recv []float64, iters int) {
+		for i := 0; i < iters; i++ {
+			r.Send(peer, 1, pack)
+			r.RecvInto(peer, 1, recv)
+		}
+	}
+	// Prime the free list, the link scratch buffers and the retain queues
+	// outside the measured region.
+	w.Run(func(r *Rank) {
+		pack := make([]float64, stripLen)
+		recv := make([]float64, stripLen)
+		exchange(r, 1-r.ID(), pack, recv, 16)
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	w.Run(func(r *Rank) {
+		pack := make([]float64, stripLen)
+		recv := make([]float64, stripLen)
+		exchange(r, 1-r.ID(), pack, recv, b.N)
+	})
+}
+
+// BenchmarkSocketAllreduce pins the distributed scalar reduction's steady
+// state: gather-to-root and release frames all reuse pooled buffers.
+func BenchmarkSocketAllreduce(b *testing.B) {
+	w, err := NewSocketWorld(4, SocketOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	w.Run(func(r *Rank) {
+		for i := 0; i < 16; i++ {
+			r.AllreduceSum(float64(r.ID() + i))
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	w.Run(func(r *Rank) {
+		for i := 0; i < b.N; i++ {
+			r.AllreduceSum(float64(r.ID() + i))
+		}
+	})
+}

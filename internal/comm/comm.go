@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -127,10 +128,22 @@ func (m *mailbox) get(w *World, rank, src, tag int) message {
 
 // World is a communicator: a fixed set of ranks with mailboxes, a reusable
 // barrier, a reduction scratch area and a free list of message payload
-// buffers.
+// buffers. A world's point-to-point fabric is pluggable (see Transport):
+// NewWorld wires the in-process channel transport, NewSocketWorld and
+// JoinWorld wire the socket transport so the same world contract spans OS
+// processes.
 type World struct {
 	size  int
 	boxes []*mailbox
+
+	// tr routes every point-to-point payload; local lists the ranks this
+	// process runs (all of them for in-process and loopback worlds, exactly
+	// one for a JoinWorld member); dist selects the message-based collective
+	// implementations (dist.go) over the shared-scratch ones below.
+	tr       Transport
+	local    []int
+	dist     bool
+	procExit bool
 
 	bar barrier
 
@@ -179,6 +192,11 @@ func NewWorld(size int) *World {
 	}
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox()
+	}
+	w.tr = chanTransport{w}
+	w.local = make([]int, size)
+	for i := range w.local {
+		w.local[i] = i
 	}
 	w.bar.init(size)
 	return w
@@ -342,8 +360,10 @@ func (w *World) RunCtx(ctx context.Context, fn func(r *Rank)) error {
 	return w.Run(fn)
 }
 
-// Run launches fn once per rank, each on its own goroutine, and blocks until
-// every rank returns. It is the moral equivalent of mpirun.
+// Run launches fn once per rank this process hosts — every rank for
+// in-process and loopback worlds, the single joined rank for a JoinWorld
+// member — each on its own goroutine, and blocks until every local rank
+// returns. It is the moral equivalent of mpirun.
 //
 // A panicking rank no longer crashes the process: the panic is recovered
 // into a RankError carrying the rank ID, its operation sequence number and
@@ -352,21 +372,21 @@ func (w *World) RunCtx(ctx context.Context, fn func(r *Rank)) error {
 // failure (joined with any other non-collateral rank failures).
 func (w *World) Run(fn func(r *Rank)) error {
 	var wg sync.WaitGroup
-	errs := make([]error, w.size)
-	wg.Add(w.size)
-	for id := 0; id < w.size; id++ {
-		go func(id int) {
+	errs := make([]error, len(w.local))
+	wg.Add(len(w.local))
+	for i, id := range w.local {
+		go func(i, id int) {
 			defer wg.Done()
 			r := &Rank{world: w, id: id}
 			defer func() {
 				if p := recover(); p != nil {
 					re := &RankError{Rank: id, Step: r.ops, Cause: p}
-					errs[id] = re
+					errs[i] = re
 					w.Abort(re)
 				}
 			}()
 			fn(r)
-		}(id)
+		}(i, id)
 	}
 	wg.Wait()
 	primary := w.Err()
@@ -435,6 +455,15 @@ func (r *Rank) inject(act Action) (drop, corrupt, flip bool) {
 		}
 	case ActKill:
 		panic(fmt.Errorf("comm: rank %d killed at op %d: %w", r.id, r.ops, ErrKilled))
+	case ActKillProc:
+		if r.world.procExit {
+			// A fleet worker dies for real: exit(137) mimics SIGKILL's shell
+			// status, and the supervisor must notice via heartbeat/exit, not
+			// via an error return.
+			fmt.Fprintf(os.Stderr, "comm: rank %d: fault injector killed process at op %d\n", r.id, r.ops)
+			os.Exit(137)
+		}
+		panic(fmt.Errorf("comm: rank %d process-killed at op %d: %w", r.id, r.ops, ErrKilled))
 	}
 	return false, false, false
 }
@@ -471,10 +500,15 @@ func (r *Rank) Send(dst, tag int, data []float64) {
 		// Checksum and back up the payload as it left the caller's buffer,
 		// before any injected wire fault touches the copy: the CRC attests
 		// to the sender's intent, the backup is the bounded re-exchange.
+		// Over a socket there is no shared memory to carry a backup through,
+		// so distributed worlds send the CRC alone: detection still works at
+		// the receiver, but an unrepairable mismatch escalates directly.
 		msg.crc = crcFloats(buf)
 		msg.summed = true
-		msg.backup = r.world.getBuf(len(data))
-		copy(msg.backup, data)
+		if !r.world.dist {
+			msg.backup = r.world.getBuf(len(data))
+			copy(msg.backup, data)
+		}
 	}
 	if corrupt {
 		for i := range buf {
@@ -495,7 +529,7 @@ func (r *Rank) Send(dst, tag int, data []float64) {
 			msg.backup[idx] = FlipBits(msg.backup[idx], fs.Bit)
 		}
 	}
-	r.world.boxes[dst].put(msg)
+	r.world.deliver(dst, msg)
 }
 
 // Recv blocks until a message from src with the given tag arrives and
@@ -566,6 +600,10 @@ func (r *Rank) Sendrecv(dst, sendTag int, sendData []float64, src, recvTag int) 
 
 // Barrier blocks until every rank in the world has entered it.
 func (r *Rank) Barrier() {
+	if r.world.dist {
+		r.distBarrier()
+		return
+	}
 	r.ops++
 	if fi := r.world.injector; fi != nil {
 		if _, _, flip := r.inject(fi.OnCollective(r.id, r.ops)); flip {
@@ -661,6 +699,9 @@ const (
 // on.
 func (r *Rank) Allreduce(x float64, op Op) float64 {
 	w := r.world
+	if w.dist {
+		return r.distAllreduce(x, op)
+	}
 	w.redBuf[r.id] = x
 	if w.checks {
 		w.redCRC[r.id] = crcFloat(x)
@@ -736,6 +777,9 @@ func (r *Rank) AllreduceVecInPlace(xs []float64) {
 // Bcast distributes root's value to every rank.
 func (r *Rank) Bcast(x float64, root int) float64 {
 	w := r.world
+	if w.dist {
+		return r.distBcast(x, root)
+	}
 	if r.id == root {
 		w.redBuf[root] = x
 		if w.checks {

@@ -40,6 +40,20 @@ const (
 	// silent-data-corruption, unlike the NaN poisoning of ActCorrupt. The
 	// bit, element index and stickiness come from the rule (see Rule.Bit).
 	ActFlip
+	// ActPartition severs the wire links touching a rank for the rule's
+	// duration: established connections drop and redials fail, exercising
+	// the socket transport's reconnect-and-replay path. Frame-level (see
+	// FrameInjector); inert on the in-process transport.
+	ActPartition
+	// ActSlowlink delays matching wire frames with the rule's probability —
+	// a continuously lossy-slow link rather than a one-shot fault. Frame
+	// level; inert on the in-process transport.
+	ActSlowlink
+	// ActKillProc kills the matching rank like ActKill, but on a world
+	// where process exits are enabled (a fleet worker) it exits the whole
+	// OS process — a genuine death its supervisor must detect and migrate
+	// around, not a recoverable in-process panic.
+	ActKillProc
 )
 
 func (a Action) String() string {
@@ -58,6 +72,12 @@ func (a Action) String() string {
 		return "kill"
 	case ActFlip:
 		return "flip"
+	case ActPartition:
+		return "partition"
+	case ActSlowlink:
+		return "slowlink"
+	case ActKillProc:
+		return "killproc"
 	default:
 		return fmt.Sprintf("Action(%d)", int(a))
 	}
@@ -163,6 +183,11 @@ type Rule struct {
 	Bit    int
 	Idx    int
 	Sticky bool
+
+	// Dur is the partition window of an ActPartition rule (required) or the
+	// per-frame delay of an ActSlowlink rule (default 2ms when zero). Unused
+	// by the operation-level actions, whose delays come from Schedule.Delay.
+	Dur time.Duration
 }
 
 // DefaultFlipBit is the bit a flip rule targets when the spec names none:
@@ -197,10 +222,11 @@ type Schedule struct {
 	Delay time.Duration
 	Stall time.Duration
 
-	mu       sync.Mutex
-	fired    map[int]bool
-	streams  map[int]*rand.Rand
-	lastFlip map[int]flipSpec // per-rank shape of the last matched flip rule
+	mu        sync.Mutex
+	fired     map[int]bool
+	streams   map[int]*rand.Rand
+	lastFlip  map[int]flipSpec  // per-rank shape of the last matched flip rule
+	partSince map[int]time.Time // per-rule wall-clock start of an active partition
 }
 
 // NewSchedule builds an empty schedule with the given seed.
@@ -227,6 +253,11 @@ func (s *Schedule) match(rank, tag, op int) Action {
 	defer s.mu.Unlock()
 	for i, r := range s.Rules {
 		if s.fired[i] {
+			continue
+		}
+		// Frame-level rules act on the wire (OnFrame), never on the
+		// operation path.
+		if r.Action == ActPartition || r.Action == ActSlowlink {
 			continue
 		}
 		if r.Rank >= 0 && r.Rank != rank {
@@ -289,6 +320,76 @@ func (s *Schedule) OnSend(rank, dst, tag, op int) Action { return s.match(rank, 
 // OnCollective implements FaultInjector.
 func (s *Schedule) OnCollective(rank, op int) Action { return s.match(rank, -1, op) }
 
+// FrameVerdict is a frame injector's decision about one wire frame.
+type FrameVerdict struct {
+	// Cut drops the connection carrying the frame (and fails redials while
+	// the partition stays active); the transport's reconnect-and-replay
+	// machinery is expected to deliver the frame eventually.
+	Cut bool
+	// Delay holds the frame back before it is written.
+	Delay time.Duration
+}
+
+// FrameInjector perturbs individual wire frames of a socket transport —
+// the layer below FaultInjector's operation-level faults. Implementations
+// must be safe for concurrent use from every link's writer goroutine.
+type FrameInjector interface {
+	// OnFrame is consulted before each frame write and each dial attempt
+	// from src towards dst (heartbeats included).
+	OnFrame(src, dst int) FrameVerdict
+}
+
+// OnFrame implements FrameInjector: ActPartition rules cut every frame and
+// dial touching the rule's rank for Dur from the first matching frame (then
+// retire); ActSlowlink rules delay matching frames with probability Prob
+// for as long as the schedule lives.
+func (s *Schedule) OnFrame(src, dst int) FrameVerdict {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var v FrameVerdict
+	for i, r := range s.Rules {
+		switch r.Action {
+		case ActPartition:
+			if s.fired[i] {
+				continue
+			}
+			if r.Rank >= 0 && r.Rank != src && r.Rank != dst {
+				continue
+			}
+			since, ok := s.partSince[i]
+			if !ok {
+				if s.partSince == nil {
+					s.partSince = make(map[int]time.Time)
+				}
+				since = time.Now()
+				s.partSince[i] = since
+			}
+			if time.Since(since) < r.Dur {
+				v.Cut = true
+			} else {
+				if s.fired == nil {
+					s.fired = make(map[int]bool)
+				}
+				s.fired[i] = true
+			}
+		case ActSlowlink:
+			if r.Rank >= 0 && r.Rank != src && r.Rank != dst {
+				continue
+			}
+			if r.Prob > 0 && s.stream(src).Float64() < r.Prob {
+				d := r.Dur
+				if d <= 0 {
+					d = 2 * time.Millisecond
+				}
+				if d > v.Delay {
+					v.Delay = d
+				}
+			}
+		}
+	}
+	return v
+}
+
 // Reset re-arms every fired rule and rewinds the probabilistic streams, so
 // the same schedule can drive a second, identical run.
 func (s *Schedule) Reset() {
@@ -296,6 +397,7 @@ func (s *Schedule) Reset() {
 	s.fired = nil
 	s.streams = nil
 	s.lastFlip = nil
+	s.partSince = nil
 	s.mu.Unlock()
 }
 
@@ -304,14 +406,21 @@ func (s *Schedule) Reset() {
 //
 //	action:key=value[,key=value...]
 //
-// with actions drop|delay|corrupt|stall|kill|flip and keys rank, op, tag,
-// prob, seed (seed applies to the whole schedule); flip additionally takes
-// bit (0..63, default 52), idx (payload element, default 0) and sticky
-// (0|1: corrupt the retransmission copy too). Examples:
+// with actions drop|delay|corrupt|stall|kill|flip|partition|slowlink|killproc
+// and keys rank, op (step is an accepted alias), tag, prob, seed (seed
+// applies to the whole schedule); flip additionally takes bit (0..63,
+// default 52), idx (payload element, default 0) and sticky (0|1: corrupt
+// the retransmission copy too). The transport-level actions take: partition
+// rank and dur (required window, e.g. dur=2s); slowlink rank, prob
+// (required) and delay (per-frame hold, default 2ms); killproc rank and
+// op/step. partition and slowlink act on socket-transport frames and are
+// inert in-process. Examples:
 //
 //	kill:rank=1,op=40
 //	corrupt:rank=0,op=25;drop:prob=0.01,seed=7
 //	flip:rank=1,op=30,bit=12
+//	partition:rank=1,dur=2s
+//	slowlink:prob=0.05,delay=5ms;killproc:rank=2,step=40
 func ParseSpec(spec string) (*Schedule, error) {
 	s := &Schedule{}
 	for _, clause := range strings.Split(spec, ";") {
@@ -334,6 +443,12 @@ func ParseSpec(spec string) (*Schedule, error) {
 			act = ActKill
 		case "flip":
 			act = ActFlip
+		case "partition":
+			act = ActPartition
+		case "slowlink":
+			act = ActSlowlink
+		case "killproc":
+			act = ActKillProc
 		default:
 			return nil, fmt.Errorf("comm: fault spec: unknown action %q in %q", name, clause)
 		}
@@ -354,24 +469,51 @@ func ParseSpec(spec string) (*Schedule, error) {
 						return nil, fmt.Errorf("comm: fault spec: bad rank %q: %w", val, err)
 					}
 					r.Rank = n
-				case "op":
+				case "op", "step":
+					if act == ActPartition || act == ActSlowlink {
+						return nil, fmt.Errorf("comm: fault spec: key %q does not apply to %v (frame-level action)", key, act)
+					}
 					n, err := strconv.Atoi(val)
 					if err != nil || n <= 0 {
 						return nil, fmt.Errorf("comm: fault spec: bad op %q (want positive integer)", val)
 					}
 					r.Op = n
 				case "tag":
+					if act == ActPartition || act == ActSlowlink || act == ActKillProc {
+						return nil, fmt.Errorf("comm: fault spec: key %q does not apply to %v", key, act)
+					}
 					n, err := strconv.Atoi(val)
 					if err != nil {
 						return nil, fmt.Errorf("comm: fault spec: bad tag %q: %w", val, err)
 					}
 					r.Tag = n
 				case "prob":
+					if act == ActPartition || act == ActKillProc {
+						return nil, fmt.Errorf("comm: fault spec: key %q does not apply to %v", key, act)
+					}
 					p, err := strconv.ParseFloat(val, 64)
 					if err != nil || p < 0 || p > 1 {
 						return nil, fmt.Errorf("comm: fault spec: bad prob %q (want [0,1])", val)
 					}
 					r.Prob = p
+				case "dur":
+					if act != ActPartition {
+						return nil, fmt.Errorf("comm: fault spec: key %q only applies to partition, not %v", key, act)
+					}
+					d, err := time.ParseDuration(val)
+					if err != nil || d <= 0 {
+						return nil, fmt.Errorf("comm: fault spec: bad dur %q (want positive duration like 2s)", val)
+					}
+					r.Dur = d
+				case "delay":
+					if act != ActSlowlink {
+						return nil, fmt.Errorf("comm: fault spec: key %q only applies to slowlink, not %v", key, act)
+					}
+					d, err := time.ParseDuration(val)
+					if err != nil || d <= 0 {
+						return nil, fmt.Errorf("comm: fault spec: bad delay %q (want positive duration like 5ms)", val)
+					}
+					r.Dur = d
 				case "seed":
 					n, err := strconv.ParseInt(val, 10, 64)
 					if err != nil {
@@ -413,8 +555,23 @@ func ParseSpec(spec string) (*Schedule, error) {
 				}
 			}
 		}
-		if r.Op == 0 && r.Prob == 0 {
-			return nil, fmt.Errorf("comm: fault spec: clause %q needs op=N or prob=P", clause)
+		switch act {
+		case ActPartition:
+			if r.Dur <= 0 {
+				return nil, fmt.Errorf("comm: fault spec: clause %q needs dur=D", clause)
+			}
+		case ActSlowlink:
+			if r.Prob <= 0 {
+				return nil, fmt.Errorf("comm: fault spec: clause %q needs prob=P", clause)
+			}
+		case ActKillProc:
+			if r.Op <= 0 {
+				return nil, fmt.Errorf("comm: fault spec: clause %q needs op=N (or step=N)", clause)
+			}
+		default:
+			if r.Op == 0 && r.Prob == 0 {
+				return nil, fmt.Errorf("comm: fault spec: clause %q needs op=N or prob=P", clause)
+			}
 		}
 		s.Rules = append(s.Rules, r)
 	}
@@ -445,8 +602,14 @@ func (s *Schedule) Spec() string {
 		if r.Tag >= 0 {
 			kvs = append(kvs, "tag="+strconv.Itoa(r.Tag))
 		}
-		if r.Op <= 0 {
+		if r.Op <= 0 && r.Action != ActPartition {
 			kvs = append(kvs, "prob="+strconv.FormatFloat(r.Prob, 'g', -1, 64))
+		}
+		if r.Action == ActPartition {
+			kvs = append(kvs, "dur="+r.Dur.String())
+		}
+		if r.Action == ActSlowlink && r.Dur > 0 {
+			kvs = append(kvs, "delay="+r.Dur.String())
 		}
 		if r.Action == ActFlip {
 			if r.Bit != DefaultFlipBit {

@@ -36,6 +36,11 @@ type RecoveryPolicy struct {
 	// start, not an error; a corrupt file aborts (silently ignoring a bad
 	// checkpoint would masquerade as a fresh run).
 	Resume bool
+	// CheckpointReadOnly keeps in-memory recovery points and Resume working
+	// but never writes CheckpointPath. A fleet worker that is not rank 0
+	// runs with this set: every rank must agree on the resume point, so
+	// exactly one process may own the file.
+	CheckpointReadOnly bool
 }
 
 // enabled reports whether the policy asks for any resilience machinery.
@@ -98,7 +103,7 @@ func RunResilientCtx(ctx context.Context, cfg config.Config, k Kernels, s Solver
 				{ID: int(FieldU), Data: k.FetchField(FieldU)},
 			},
 		}
-		if pol.CheckpointPath != "" {
+		if pol.CheckpointPath != "" && !pol.CheckpointReadOnly {
 			// Rotate rather than overwrite: a checkpoint later found corrupt
 			// on disk still leaves the previous generation to resume from.
 			if err := ck.SaveRotate(pol.CheckpointPath); err != nil {

@@ -1,0 +1,437 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/checkpoint"
+	"github.com/warwick-hpsc/tealeaf-go/internal/config"
+	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
+)
+
+// ErrDrained reports a job interrupted by coordinator shutdown (context
+// cancellation). The checkpoint state on disk — verified before returning —
+// makes the job resumable: a later RunJob with the same Dir picks up from
+// the last committed generation instead of starting cold.
+var ErrDrained = errors.New("fleet: job drained before completion")
+
+// Options configures a fleet job.
+type Options struct {
+	// Workers is the initial fleet size (one rank per OS process).
+	Workers int
+	// Threads is the per-worker thread-team width (hybrid build).
+	Threads int
+	// WorkerCommand is the argv used to exec one worker; the fleet
+	// assignment is appended to its environment as TEALEAF_FLEET_* vars.
+	// Typically []string{"/path/to/tealeaf-worker"}.
+	WorkerCommand []string
+	// Dir is the job's working directory (deck, checkpoint, per-attempt
+	// sockets). Empty means a fresh temporary directory, removed when the
+	// job ends. A caller-supplied Dir is kept — and is what makes a drained
+	// job resumable.
+	Dir string
+	// CheckpointEvery is the step interval between durable checkpoints
+	// (default 1).
+	CheckpointEvery int
+	// MaxMigrations bounds how many times the job may be restarted onto a
+	// new fleet before giving up (default 3).
+	MaxMigrations int
+	// Degrade shrinks the fleet by one worker on each migration instead of
+	// replacing the lost one. The job fails when size would drop below 1.
+	Degrade bool
+	// HeartbeatInterval / HeartbeatTimeout / DialTimeout tune the workers'
+	// mesh-transport liveness (comm.SocketOptions semantics).
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+	DialTimeout       time.Duration
+	// BeatEvery is the control-plane beat cadence (default 50ms);
+	// BeatTimeout how long a worker may stay silent on the control socket
+	// before the coordinator declares it lost (default 20×BeatEvery).
+	BeatEvery   time.Duration
+	BeatTimeout time.Duration
+	// StartupGrace bounds how long a spawned worker may take to say hello
+	// (default 10s).
+	StartupGrace time.Duration
+	// FaultSpec is a comm fault schedule installed on every worker's world
+	// (the chaos drills' entry point: "killproc:rank=1,op=40"). Only the
+	// FIRST attempt receives it: the spec drills the failure, and the
+	// migrated fleet must run clean — re-arming the same deterministic
+	// kill on the replacement fleet would just kill it at the same spot.
+	FaultSpec string
+	// Log, when set, receives coordinator progress lines and worker stderr.
+	Log io.Writer
+
+	// testHookBetweenAttempts runs after a failed attempt is torn down and
+	// before the next one spawns — the seam the drain-race regression test
+	// uses to cancel the job exactly mid-migration.
+	testHookBetweenAttempts func(nextAttempt int)
+}
+
+func (o *Options) beatEvery() time.Duration {
+	if o.BeatEvery > 0 {
+		return o.BeatEvery
+	}
+	return 50 * time.Millisecond
+}
+
+func (o *Options) beatTimeout() time.Duration {
+	if o.BeatTimeout > 0 {
+		return o.BeatTimeout
+	}
+	return 20 * o.beatEvery()
+}
+
+func (o *Options) startupGrace() time.Duration {
+	if o.StartupGrace > 0 {
+		return o.StartupGrace
+	}
+	return 10 * time.Second
+}
+
+func (o *Options) maxMigrations() int {
+	if o.MaxMigrations > 0 {
+		return o.MaxMigrations
+	}
+	return 3
+}
+
+func (o *Options) checkpointEvery() int {
+	if o.CheckpointEvery > 0 {
+		return o.CheckpointEvery
+	}
+	return 1
+}
+
+// Attempt records one spawn of the fleet.
+type Attempt struct {
+	Workers int    // fleet size of this attempt
+	Resumed bool   // started from an on-disk checkpoint
+	Err     string // why it failed; empty for the successful attempt
+}
+
+// Result is a completed fleet job.
+type Result struct {
+	Final           driver.Totals // rank 0's final QA summary
+	Steps           int           // steps the successful attempt marched
+	TotalIterations int           // solver iterations across those steps
+	Converged       bool          // last step's solve converged
+	Recoveries      int           // in-attempt rollbacks (normally 0: workers run MaxRetries=0)
+	Migrations      int           // fleet restarts taken
+	Workers         int           // fleet size that finished the job
+	Degraded        bool          // finished smaller than it started
+	Attempts        []Attempt
+}
+
+// RunJob runs cfg to completion across a supervised fleet of worker
+// processes, migrating from the last CRC-verified checkpoint whenever the
+// fleet dies. See the package comment for the recovery-ownership contract.
+func RunJob(ctx context.Context, cfg config.Config, opt Options) (*Result, error) {
+	if opt.Workers < 1 {
+		return nil, fmt.Errorf("fleet: Workers must be >= 1, got %d", opt.Workers)
+	}
+	if len(opt.WorkerCommand) == 0 {
+		return nil, errors.New("fleet: WorkerCommand is required")
+	}
+	dir := opt.Dir
+	if dir == "" {
+		d, err := os.MkdirTemp("", "tlfleet")
+		if err != nil {
+			return nil, fmt.Errorf("fleet: %w", err)
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+
+	// The deck crosses the process boundary as its canonical rendering;
+	// workers parse it back with the ordinary deck parser, so the fleet
+	// solves exactly what an in-process run of cfg would.
+	deckPath := filepath.Join(dir, "deck.tea")
+	if err := os.WriteFile(deckPath, []byte(cfg.Summary()), 0o644); err != nil {
+		return nil, fmt.Errorf("fleet: deck: %w", err)
+	}
+	ckptPath := filepath.Join(dir, "ckpt")
+
+	res := &Result{}
+	size := opt.Workers
+	for attempt := 0; ; attempt++ {
+		if cErr := context.Cause(ctx); cErr != nil {
+			return nil, drainError(ckptPath, cErr)
+		}
+		// Resume whenever a prior attempt (or a prior drained job in the
+		// same Dir) committed a checkpoint; LoadLatest's shared lock means
+		// a mid-rotation crash can never leave this probe a torn view.
+		resume := false
+		if ck, _, err := checkpoint.LoadLatest(ckptPath); err == nil {
+			resume = true
+			logf(opt.Log, "fleet: attempt %d resumes from checkpoint step %d", attempt, ck.Step)
+		}
+		att := Attempt{Workers: size, Resumed: resume}
+
+		final, aerr := runAttempt(ctx, cfg, opt, dir, deckPath, ckptPath, attempt, size, resume)
+		if aerr == nil {
+			res.Final = *final.Final
+			res.Steps = final.Steps
+			res.TotalIterations = final.Iters
+			res.Converged = final.Converged
+			res.Recoveries = final.Recoveries
+			res.Workers = size
+			res.Degraded = size < opt.Workers
+			res.Attempts = append(res.Attempts, att)
+			return res, nil
+		}
+		att.Err = aerr.Error()
+		res.Attempts = append(res.Attempts, att)
+		if cErr := context.Cause(ctx); cErr != nil {
+			return nil, drainError(ckptPath, cErr)
+		}
+		res.Migrations++
+		if res.Migrations > opt.maxMigrations() {
+			return nil, fmt.Errorf("fleet: giving up after %d migrations: %w", res.Migrations-1, aerr)
+		}
+		if opt.Degrade {
+			size--
+			if size < 1 {
+				return nil, fmt.Errorf("fleet: no workers left to degrade onto: %w", aerr)
+			}
+		}
+		logf(opt.Log, "fleet: attempt %d failed (%v); migrating onto %d workers", attempt, aerr, size)
+		if opt.testHookBetweenAttempts != nil {
+			opt.testHookBetweenAttempts(attempt + 1)
+		}
+	}
+}
+
+// drainError verifies the on-disk resume state and wraps the cancellation
+// cause in ErrDrained. Cancellation before the first checkpoint is still a
+// clean drain: the next run simply starts cold.
+func drainError(ckptPath string, cause error) error {
+	if _, _, err := checkpoint.LoadLatest(ckptPath); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("%w: %w (checkpoint unusable: %v)", ErrDrained, cause, err)
+	}
+	// The cause stays in the chain so callers can distinguish a deadline
+	// (context.DeadlineExceeded) from an operator drain (context.Canceled).
+	return fmt.Errorf("%w: %w", ErrDrained, cause)
+}
+
+func logf(w io.Writer, format string, args ...any) {
+	if w != nil {
+		fmt.Fprintf(w, format+"\n", args...)
+	}
+}
+
+// attemptState is the control-plane view of one attempt's fleet.
+type attemptState struct {
+	mu       sync.Mutex
+	hello    map[int]time.Time // rank -> when it said hello
+	lastBeat map[int]time.Time // rank -> last control-plane sign of life
+	steps    map[int]int       // rank -> last reported step
+	result   *ctlMsg           // rank 0's final result
+	workerEr []string          // error reports from workers
+}
+
+func (st *attemptState) note(m ctlMsg, now time.Time) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.lastBeat[m.Rank] = now
+	switch m.Type {
+	case "hello":
+		st.hello[m.Rank] = now
+	case "beat":
+		st.steps[m.Rank] = m.Step
+	case "result":
+		if m.Rank == 0 {
+			cp := m
+			st.result = &cp
+		}
+	case "error":
+		st.workerEr = append(st.workerEr, fmt.Sprintf("rank %d: %s", m.Rank, m.Err))
+	}
+}
+
+// runAttempt spawns one fleet of the given size and supervises it to
+// completion or first failure. On any failure every worker is SIGKILLed
+// before returning, so at most one fleet ever touches the checkpoint file
+// and the mesh sockets at a time.
+func runAttempt(ctx context.Context, cfg config.Config, opt Options, dir, deckPath, ckptPath string, attempt, size int, resume bool) (*ctlMsg, error) {
+	adir := filepath.Join(dir, fmt.Sprintf("att%d", attempt))
+	if err := os.MkdirAll(adir, 0o755); err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	addrs := make([]string, size)
+	for i := range addrs {
+		addrs[i] = filepath.Join(adir, fmt.Sprintf("r%d.sock", i))
+	}
+	faultSpec := opt.FaultSpec
+	if attempt > 0 {
+		faultSpec = "" // the drill fired; replacements run clean
+	}
+	ctlAddr := filepath.Join(adir, "ctl.sock")
+	ln, err := net.Listen("unix", ctlAddr)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: control listener: %w", err)
+	}
+	defer ln.Close()
+
+	st := &attemptState{
+		hello:    map[int]time.Time{},
+		lastBeat: map[int]time.Time{},
+		steps:    map[int]int{},
+	}
+	// Accept control connections for the life of the attempt. Decoders exit
+	// when their conn dies (worker exit or listener close at teardown).
+	var conns sync.WaitGroup
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conns.Add(1)
+			go func() {
+				defer conns.Done()
+				defer c.Close()
+				dec := json.NewDecoder(c)
+				for {
+					var m ctlMsg
+					if err := dec.Decode(&m); err != nil {
+						return
+					}
+					st.note(m, time.Now())
+				}
+			}()
+		}
+	}()
+
+	// Spawn the workers.
+	exits := make(chan workerExit, size)
+	procs := make([]*exec.Cmd, size)
+	spawned := time.Now()
+	for rank := 0; rank < size; rank++ {
+		wc := WorkerConfig{
+			Rank: rank, Size: size,
+			Network: "unix", Addrs: addrs,
+			ControlAddr:       ctlAddr,
+			DeckPath:          deckPath,
+			CheckpointPath:    ckptPath,
+			CheckpointEvery:   opt.checkpointEvery(),
+			Resume:            resume,
+			Threads:           opt.Threads,
+			FaultSpec:         faultSpec,
+			HeartbeatInterval: opt.HeartbeatInterval,
+			HeartbeatTimeout:  opt.HeartbeatTimeout,
+			DialTimeout:       opt.DialTimeout,
+			BeatEvery:         opt.beatEvery(),
+		}
+		cmd := exec.Command(opt.WorkerCommand[0], opt.WorkerCommand[1:]...)
+		cmd.Env = append(os.Environ(), wc.Env()...)
+		if opt.Log != nil {
+			cmd.Stdout = opt.Log
+			cmd.Stderr = opt.Log
+		}
+		if err := cmd.Start(); err != nil {
+			killAll(procs)
+			drainExits(exits, rank)
+			return nil, fmt.Errorf("fleet: spawn rank %d: %w", rank, err)
+		}
+		procs[rank] = cmd
+		go func(rank int, cmd *exec.Cmd) {
+			exits <- workerExit{rank, cmd.Wait()}
+		}(rank, cmd)
+	}
+	logf(opt.Log, "fleet: attempt %d: %d workers up (resume=%v)", attempt, size, resume)
+
+	// Supervise: success needs rank 0's result AND every worker exiting
+	// cleanly; the first worker failure, silent rank or cancellation tears
+	// the whole fleet down.
+	alive := size
+	fail := func(cause error) (*ctlMsg, error) {
+		killAll(procs)
+		drainExits(exits, alive) // only the not-yet-reaped workers
+		ln.Close()
+		conns.Wait()
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		if len(st.workerEr) > 0 {
+			return nil, fmt.Errorf("%w (worker reports: %s)", cause, strings.Join(st.workerEr, "; "))
+		}
+		return nil, cause
+	}
+
+	check := time.NewTicker(opt.beatTimeout() / 4)
+	defer check.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return fail(context.Cause(ctx))
+		case e := <-exits:
+			alive--
+			if e.err != nil {
+				return fail(fmt.Errorf("fleet: worker %d died: %w", e.rank, e.err))
+			}
+			if alive == 0 {
+				ln.Close()
+				conns.Wait()
+				st.mu.Lock()
+				r := st.result
+				st.mu.Unlock()
+				if r == nil || r.Final == nil {
+					return fail(errors.New("fleet: all workers exited cleanly but rank 0 reported no result"))
+				}
+				return r, nil
+			}
+		case now := <-check.C:
+			st.mu.Lock()
+			var lost []int
+			for rank := 0; rank < size; rank++ {
+				if _, ok := st.hello[rank]; !ok {
+					if now.Sub(spawned) > opt.startupGrace() {
+						lost = append(lost, rank)
+					}
+					continue
+				}
+				if now.Sub(st.lastBeat[rank]) > opt.beatTimeout() {
+					lost = append(lost, rank)
+				}
+			}
+			st.mu.Unlock()
+			if len(lost) > 0 {
+				return fail(fmt.Errorf("fleet: worker(s) %v missed heartbeats for %v", lost, opt.beatTimeout()))
+			}
+		}
+	}
+}
+
+// workerExit is one worker process's termination notice.
+type workerExit struct {
+	rank int
+	err  error
+}
+
+// killAll SIGKILLs every started worker; safe on already-dead processes.
+func killAll(procs []*exec.Cmd) {
+	for _, cmd := range procs {
+		if cmd != nil && cmd.Process != nil {
+			_ = cmd.Process.Kill()
+		}
+	}
+}
+
+// drainExits consumes the pending exit notifications of n spawned workers
+// so their Wait goroutines never leak.
+func drainExits(exits chan workerExit, n int) {
+	for i := 0; i < n; i++ {
+		<-exits
+	}
+}

@@ -1,0 +1,260 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/backends/mpi"
+	"github.com/warwick-hpsc/tealeaf-go/internal/checkpoint"
+	"github.com/warwick-hpsc/tealeaf-go/internal/config"
+	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
+	"github.com/warwick-hpsc/tealeaf-go/internal/solver"
+)
+
+// TestMain doubles this test binary as the worker executable: the
+// coordinator re-execs os.Args[0], the TEALEAF_FLEET_* environment routes
+// the child into the worker path instead of the test runner, and the fleet
+// suite needs no separately-built binary. TLFLEET_TEST_MODE selects
+// misbehaving worker stand-ins for the supervision tests.
+func TestMain(m *testing.M) {
+	switch {
+	case os.Getenv("TLFLEET_TEST_MODE") == "hang-after-hello":
+		hangAfterHello()
+		os.Exit(0)
+	case InWorkerEnv():
+		if err := RunWorkerFromEnv(context.Background(), os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// hangAfterHello impersonates a worker that wedges after startup: it says
+// hello on the control socket, never joins the mesh, never beats again.
+// Only the coordinator's control-plane liveness monitor can catch it — the
+// process never exits on its own.
+func hangAfterHello() {
+	rank, _ := strconv.Atoi(os.Getenv(envPrefix + "RANK"))
+	c, err := net.Dial("unix", os.Getenv(envPrefix+"CONTROL"))
+	if err != nil {
+		os.Exit(1)
+	}
+	json.NewEncoder(c).Encode(ctlMsg{Type: "hello", Rank: rank, PID: os.Getpid()})
+	select {} // wedge forever; the coordinator must kill us
+}
+
+func testDeck() config.Config {
+	cfg := config.BenchmarkN(16)
+	cfg.EndStep = 3
+	return cfg
+}
+
+// inprocReference runs the deck fault-free in a single process on an
+// in-process world of the given rank count. For equal rank counts the fleet
+// must reproduce it bitwise: same kernels, same decomposition, same
+// reduction combine order — only the transport and the process boundaries
+// differ.
+func inprocReference(t *testing.T, cfg config.Config, ranks int) driver.Result {
+	t.Helper()
+	k := mpi.New(ranks, 1)
+	defer k.Close()
+	res, err := driver.Run(cfg, k, solver.New(solver.FromConfig(&cfg)), nil)
+	if err != nil {
+		t.Fatalf("in-process reference: %v", err)
+	}
+	return res
+}
+
+func baseOptions(t *testing.T) Options {
+	t.Helper()
+	return Options{
+		Workers:       3,
+		WorkerCommand: []string{os.Args[0]},
+		// Tight liveness so failure tests converge quickly; generous dial
+		// budget so slow CI spawns don't flake.
+		HeartbeatInterval: 20 * time.Millisecond,
+		HeartbeatTimeout:  500 * time.Millisecond,
+		DialTimeout:       15 * time.Second,
+		BeatEvery:         20 * time.Millisecond,
+		BeatTimeout:       2 * time.Second,
+		StartupGrace:      20 * time.Second,
+	}
+}
+
+func mustMatch(t *testing.T, want, got driver.Totals, tol float64, what string) {
+	t.Helper()
+	d, err := driver.CompareTotalsChecked(want, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > tol {
+		t.Errorf("%s diverges by %g (tol %g):\n got %+v\nwant %+v", what, d, tol, got, want)
+	}
+}
+
+// TestFleetCleanRunMatchesInProcess: a 3-process fleet with no faults must
+// finish with zero migrations and reproduce the single-process 3-rank run
+// bitwise.
+func TestFleetCleanRunMatchesInProcess(t *testing.T) {
+	cfg := testDeck()
+	res, err := RunJob(context.Background(), cfg, baseOptions(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrations != 0 || res.Workers != 3 || res.Degraded {
+		t.Fatalf("clean run took migrations: %+v", res)
+	}
+	ref := inprocReference(t, cfg, 3)
+	mustMatch(t, ref.Final, res.Final, 1e-12, "fleet result")
+}
+
+// TestFleetSurvivesWorkerKillMidSolve is the headline migration drill: rank
+// 1's process dies instantly (os.Exit(137), the shape of a kill -9) in the
+// middle of step 2, after the step-1 checkpoint has been committed. The
+// coordinator must detect the death, tear down the fleet, verify the
+// checkpoint and finish the job on a replacement fleet — and the final
+// summary must match the fault-free single-process run to 1e-12.
+func TestFleetSurvivesWorkerKillMidSolve(t *testing.T) {
+	cfg := testDeck()
+	opt := baseOptions(t)
+	// Step 1 completes around op 47 on this deck (3 ranks, dist
+	// collectives); op 60 is mid-step-2.
+	opt.FaultSpec = "killproc:rank=1,op=60"
+	res, err := RunJob(context.Background(), cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrations < 1 {
+		t.Fatalf("the kill never forced a migration: %+v", res)
+	}
+	if len(res.Attempts) < 2 || !res.Attempts[len(res.Attempts)-1].Resumed {
+		t.Fatalf("replacement fleet did not resume from the checkpoint: %+v", res.Attempts)
+	}
+	if res.Workers != 3 || res.Degraded {
+		t.Fatalf("replacement fleet should keep full size: %+v", res)
+	}
+	ref := inprocReference(t, cfg, 3)
+	mustMatch(t, ref.Final, res.Final, 1e-12, "migrated fleet result")
+}
+
+// TestFleetDegradesAfterKill: same drill with Degrade set — the job must
+// finish on a 2-worker fleet. The trajectory mixes 3-rank and 2-rank
+// reduction orders, so agreement with any fixed-decomposition reference is
+// at solver-tolerance level, not bitwise.
+func TestFleetDegradesAfterKill(t *testing.T) {
+	cfg := testDeck()
+	opt := baseOptions(t)
+	opt.FaultSpec = "killproc:rank=1,op=60"
+	opt.Degrade = true
+	res, err := RunJob(context.Background(), cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrations < 1 || !res.Degraded || res.Workers != 2 {
+		t.Fatalf("expected a degraded 2-worker finish: %+v", res)
+	}
+	ref := inprocReference(t, cfg, 3)
+	mustMatch(t, ref.Final, res.Final, 1e-8, "degraded fleet result")
+}
+
+// TestFleetDrainDuringMigrationLeavesResumableCheckpoint is the
+// drain-vs-migration race (coordinator shutdown landing exactly between a
+// fleet failure and the replacement spawn): the job must come back as
+// ErrDrained with the checkpoint intact, and a later RunJob in the same
+// directory must resume it and land on the fault-free answer.
+func TestFleetDrainDuringMigrationLeavesResumableCheckpoint(t *testing.T) {
+	cfg := testDeck()
+	dir := filepath.Join(t.TempDir(), "job")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opt := baseOptions(t)
+	opt.Dir = dir
+	opt.FaultSpec = "killproc:rank=1,op=60"
+	opt.testHookBetweenAttempts = func(int) { cancel() } // drain mid-migration
+
+	if _, err := RunJob(ctx, cfg, opt); !errors.Is(err, ErrDrained) {
+		t.Fatalf("drained job returned %v, want ErrDrained", err)
+	}
+	ck, _, err := checkpoint.LoadLatest(filepath.Join(dir, "ckpt"))
+	if err != nil {
+		t.Fatalf("drained job left no resumable checkpoint: %v", err)
+	}
+	if ck.Step < 1 {
+		t.Fatalf("checkpoint at step %d, want >= 1", ck.Step)
+	}
+
+	// Second coordinator picks the job up from where the first left it.
+	opt2 := baseOptions(t)
+	opt2.Dir = dir
+	res, err := RunJob(context.Background(), cfg, opt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Attempts) == 0 || !res.Attempts[0].Resumed {
+		t.Fatalf("restarted job did not resume from the drained checkpoint: %+v", res.Attempts)
+	}
+	ref := inprocReference(t, cfg, 3)
+	mustMatch(t, ref.Final, res.Final, 1e-12, "resumed fleet result")
+}
+
+// TestFleetCatchesSilentWorker: a worker that wedges after hello (never
+// beats, never exits) must be caught by the coordinator's control-plane
+// liveness monitor, not hang the job. With every attempt wedging the same
+// way, the job exhausts its migration budget and fails loudly.
+func TestFleetCatchesSilentWorker(t *testing.T) {
+	t.Setenv("TLFLEET_TEST_MODE", "hang-after-hello")
+	cfg := testDeck()
+	opt := baseOptions(t)
+	opt.Workers = 2
+	opt.MaxMigrations = 1
+	opt.BeatTimeout = 300 * time.Millisecond
+	_, err := RunJob(context.Background(), cfg, opt)
+	if err == nil {
+		t.Fatal("a fleet of wedged workers somehow finished the job")
+	}
+	if !strings.Contains(err.Error(), "missed heartbeats") {
+		t.Fatalf("failure should name the heartbeat monitor, got: %v", err)
+	}
+}
+
+// TestWorkerConfigEnvRoundTrip pins the env marshaling the coordinator and
+// worker meet through.
+func TestWorkerConfigEnvRoundTrip(t *testing.T) {
+	want := WorkerConfig{
+		Rank: 2, Size: 5,
+		Network: "unix", Addrs: []string{"/a/0", "/a/1", "/a/2", "/a/3", "/a/4"},
+		ControlAddr: "/a/ctl", DeckPath: "/a/deck.tea",
+		CheckpointPath: "/a/ckpt", CheckpointEvery: 2, Resume: true, Threads: 3,
+		FaultSpec:         "killproc:rank=2,op=40",
+		HeartbeatInterval: 20 * time.Millisecond,
+		HeartbeatTimeout:  500 * time.Millisecond,
+		DialTimeout:       15 * time.Second,
+		BeatEvery:         25 * time.Millisecond,
+	}
+	for _, kv := range want.Env() {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			t.Fatalf("bad env entry %q", kv)
+		}
+		t.Setenv(k, v)
+	}
+	got, err := ConfigFromEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", want) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}

@@ -1,0 +1,320 @@
+// Package fleet runs one TeaLeaf deck across a supervised fleet of worker
+// OS processes. The coordinator (RunJob) decomposes the deck over N ranks,
+// spawns one tealeaf-worker process per rank, watches their heartbeats and
+// exit statuses, and — when a worker dies mid-solve — migrates the job from
+// the last CRC-verified checkpoint onto a replacement fleet (or a degraded,
+// one-smaller fleet). Workers (RunWorker) join the socket-transport world
+// (comm.JoinWorld), run the ordinary resilient driver SPMD via
+// mpi.RankKernels, and stream liveness beats and their final result back
+// over a control socket.
+//
+// Recovery ownership is split deliberately: workers run with MaxRetries=0,
+// so ANY failure — a peer lost, a kernel panic, wire corruption past repair
+// — aborts the whole process fleet, and the coordinator alone decides how
+// to continue. Rank 0 is the only process that writes the checkpoint file
+// (the others run CheckpointReadOnly), so the resume point is unambiguous.
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/backends/mpi"
+	"github.com/warwick-hpsc/tealeaf-go/internal/comm"
+	"github.com/warwick-hpsc/tealeaf-go/internal/config"
+	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
+	"github.com/warwick-hpsc/tealeaf-go/internal/solver"
+)
+
+// WorkerConfig is everything one worker process needs to join a fleet. It
+// travels from coordinator to worker through the TEALEAF_FLEET_* environment
+// (Env / ConfigFromEnv), so a worker binary needs no flag parsing.
+type WorkerConfig struct {
+	Rank int
+	Size int
+	// Network and Addrs describe the mesh-transport world, one listen
+	// address per rank ("unix" paths or "tcp" host:ports).
+	Network string
+	Addrs   []string
+	// ControlAddr is the coordinator's control socket (always unix).
+	ControlAddr string
+	// DeckPath is the canonical deck file the coordinator wrote.
+	DeckPath string
+	// CheckpointPath is the shared checkpoint file. Rank 0 writes it; other
+	// ranks only read it on resume.
+	CheckpointPath  string
+	CheckpointEvery int
+	Resume          bool
+	Threads         int
+	// FaultSpec is an optional comm fault schedule (killproc, partition,
+	// slowlink, ...) installed on this worker's world.
+	FaultSpec string
+
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+	DialTimeout       time.Duration
+	// BeatEvery is the control-plane liveness cadence toward the
+	// coordinator (default 50ms) — distinct from the mesh-transport
+	// heartbeats between workers.
+	BeatEvery time.Duration
+}
+
+const envPrefix = "TEALEAF_FLEET_"
+
+// Env renders the configuration as TEALEAF_FLEET_* environment entries.
+func (c WorkerConfig) Env() []string {
+	e := []string{
+		envPrefix + "RANK=" + strconv.Itoa(c.Rank),
+		envPrefix + "SIZE=" + strconv.Itoa(c.Size),
+		envPrefix + "NETWORK=" + c.Network,
+		envPrefix + "ADDRS=" + strings.Join(c.Addrs, ","),
+		envPrefix + "CONTROL=" + c.ControlAddr,
+		envPrefix + "DECK=" + c.DeckPath,
+		envPrefix + "CKPT=" + c.CheckpointPath,
+		envPrefix + "CKPT_EVERY=" + strconv.Itoa(c.CheckpointEvery),
+		envPrefix + "THREADS=" + strconv.Itoa(c.Threads),
+		envPrefix + "FAULTS=" + c.FaultSpec,
+		envPrefix + "HB=" + c.HeartbeatInterval.String(),
+		envPrefix + "HB_TIMEOUT=" + c.HeartbeatTimeout.String(),
+		envPrefix + "DIAL_TIMEOUT=" + c.DialTimeout.String(),
+		envPrefix + "BEAT=" + c.BeatEvery.String(),
+	}
+	if c.Resume {
+		e = append(e, envPrefix+"RESUME=1")
+	}
+	return e
+}
+
+// InWorkerEnv reports whether the process environment carries a fleet
+// worker assignment — the re-exec guard for binaries (and test helpers)
+// that double as workers.
+func InWorkerEnv() bool { return os.Getenv(envPrefix+"RANK") != "" }
+
+// ConfigFromEnv reconstructs the WorkerConfig Env produced.
+func ConfigFromEnv() (WorkerConfig, error) {
+	var c WorkerConfig
+	get := func(key string) string { return os.Getenv(envPrefix + key) }
+	num := func(key string, dst *int) error {
+		v, err := strconv.Atoi(get(key))
+		if err != nil {
+			return fmt.Errorf("fleet: bad %s%s: %w", envPrefix, key, err)
+		}
+		*dst = v
+		return nil
+	}
+	dur := func(key string, dst *time.Duration) error {
+		s := get(key)
+		if s == "" {
+			return nil
+		}
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("fleet: bad %s%s: %w", envPrefix, key, err)
+		}
+		*dst = v
+		return nil
+	}
+	for _, step := range []error{
+		num("RANK", &c.Rank), num("SIZE", &c.Size),
+		num("CKPT_EVERY", &c.CheckpointEvery), num("THREADS", &c.Threads),
+		dur("HB", &c.HeartbeatInterval), dur("HB_TIMEOUT", &c.HeartbeatTimeout),
+		dur("DIAL_TIMEOUT", &c.DialTimeout), dur("BEAT", &c.BeatEvery),
+	} {
+		if step != nil {
+			return c, step
+		}
+	}
+	c.Network = get("NETWORK")
+	if s := get("ADDRS"); s != "" {
+		c.Addrs = strings.Split(s, ",")
+	}
+	c.ControlAddr = get("CONTROL")
+	c.DeckPath = get("DECK")
+	c.CheckpointPath = get("CKPT")
+	c.FaultSpec = get("FAULTS")
+	c.Resume = get("RESUME") == "1"
+	return c, nil
+}
+
+func (c *WorkerConfig) beatEvery() time.Duration {
+	if c.BeatEvery > 0 {
+		return c.BeatEvery
+	}
+	return 50 * time.Millisecond
+}
+
+// ctlMsg is one line of the coordinator's control protocol: newline-framed
+// JSON over the control socket.
+type ctlMsg struct {
+	Type       string         `json:"type"` // "hello" | "beat" | "result" | "error"
+	Rank       int            `json:"rank"`
+	PID        int            `json:"pid,omitempty"`
+	Step       int            `json:"step,omitempty"`
+	Err        string         `json:"err,omitempty"`
+	Final      *driver.Totals `json:"final,omitempty"`
+	Steps      int            `json:"steps,omitempty"`
+	Iters      int            `json:"iters,omitempty"`
+	Converged  bool           `json:"converged,omitempty"`
+	Recoveries int            `json:"recoveries,omitempty"`
+}
+
+// RunWorkerFromEnv is the worker-binary entry point: reconstruct the
+// assignment from the environment and run it.
+func RunWorkerFromEnv(ctx context.Context, log io.Writer) error {
+	wc, err := ConfigFromEnv()
+	if err != nil {
+		return err
+	}
+	return RunWorker(ctx, wc, log)
+}
+
+// RunWorker executes one rank's share of the fleet job: join the socket
+// world, run the deck SPMD with the resilient driver, report the outcome on
+// the control socket. It returns only after the world is closed; a comm
+// fault (peer lost, corruption past repair) or solver failure comes back as
+// the error, after having been reported to the coordinator.
+func RunWorker(ctx context.Context, wc WorkerConfig, log io.Writer) error {
+	cfg, err := config.ParseFile(wc.DeckPath)
+	if err != nil {
+		return fmt.Errorf("fleet: worker %d: deck: %w", wc.Rank, err)
+	}
+
+	var sched *comm.Schedule
+	if wc.FaultSpec != "" {
+		if sched, err = comm.ParseSpec(wc.FaultSpec); err != nil {
+			return fmt.Errorf("fleet: worker %d: fault spec: %w", wc.Rank, err)
+		}
+	}
+	opt := comm.SocketOptions{
+		Network:           wc.Network,
+		Addrs:             wc.Addrs,
+		HeartbeatInterval: wc.HeartbeatInterval,
+		HeartbeatTimeout:  wc.HeartbeatTimeout,
+		DialTimeout:       wc.DialTimeout,
+	}
+	if sched != nil {
+		opt.Injector = sched
+	}
+	w, err := comm.JoinWorld(wc.Rank, wc.Size, opt)
+	if err != nil {
+		return fmt.Errorf("fleet: worker %d: join: %w", wc.Rank, err)
+	}
+	defer w.Close()
+	if sched != nil {
+		w.SetFaultInjector(sched)
+	}
+	// A killproc fault (and any future process-fatal injection) must kill
+	// this OS process for real — that is the whole point of the fleet
+	// chaos drills — not just panic the rank goroutine.
+	w.EnableProcessExit()
+
+	ctl, err := dialControl(wc.ControlAddr)
+	if err != nil {
+		return fmt.Errorf("fleet: worker %d: control: %w", wc.Rank, err)
+	}
+	defer ctl.Close()
+	enc := json.NewEncoder(ctl)
+	send := func(m ctlMsg) {
+		m.Rank = wc.Rank
+		// A coordinator that vanished mid-run will surface as the world
+		// aborting or the process being killed; control-send errors are not
+		// themselves fatal to the solve.
+		_ = enc.Encode(m)
+	}
+	send(ctlMsg{Type: "hello", PID: os.Getpid()})
+
+	// Control-plane liveness: the current step number, ticked out on an
+	// independent goroutine so a worker wedged inside a collective still
+	// stops beating and the coordinator notices.
+	var step atomic.Int64
+	beatsDone := make(chan struct{})
+	defer close(beatsDone)
+	go func() {
+		t := time.NewTicker(wc.beatEvery())
+		defer t.Stop()
+		for {
+			select {
+			case <-beatsDone:
+				return
+			case <-t.C:
+				send(ctlMsg{Type: "beat", Step: int(step.Load())})
+			}
+		}
+	}()
+
+	sctx := driver.WithStepObserver(ctx, func(sr driver.StepResult) {
+		step.Store(int64(sr.Step))
+	})
+	pol := driver.RecoveryPolicy{
+		CheckpointEvery: wc.CheckpointEvery,
+		CheckpointPath:  wc.CheckpointPath,
+		Resume:          wc.Resume,
+		// Every rank keeps in-memory recovery points (Resume needs the
+		// restore path), but only rank 0 owns the file.
+		CheckpointReadOnly: wc.Rank != 0,
+		// The coordinator owns recovery: any step failure aborts this
+		// process and the fleet migrates.
+		MaxRetries: 0,
+	}
+
+	var res driver.Result
+	var runErr error
+	ranToCompletion := false
+	werr := w.Run(func(r *comm.Rank) {
+		k := mpi.NewRankKernels(r, wc.Threads)
+		defer k.Close()
+		res, runErr = driver.RunResilientCtx(sctx, cfg, k, solver.New(solver.FromConfig(&cfg)), log, pol)
+		ranToCompletion = true
+	})
+	if runErr == nil && werr != nil {
+		if ranToCompletion {
+			// Teardown race, not a failure: the driver completed every
+			// collective on this rank, so a transport abort that surfaced
+			// only afterwards (a sibling finished, closed its endpoint and
+			// stopped heartbeating before we closed ours) cannot have
+			// touched the result. Exiting non-zero here would trigger a
+			// spurious migration of an already-finished job.
+			if log != nil {
+				fmt.Fprintf(log, "fleet: worker %d: ignoring post-completion transport error: %v\n", wc.Rank, werr)
+			}
+		} else {
+			runErr = werr
+		}
+	}
+	if runErr != nil {
+		send(ctlMsg{Type: "error", Err: runErr.Error()})
+		return fmt.Errorf("fleet: worker %d: %w", wc.Rank, runErr)
+	}
+	converged := false
+	if n := len(res.Steps); n > 0 {
+		converged = res.Steps[n-1].Stats.Converged
+	}
+	send(ctlMsg{Type: "result", Final: &res.Final, Steps: len(res.Steps),
+		Iters: res.TotalIterations, Converged: converged, Recoveries: res.Recoveries})
+	return nil
+}
+
+// dialControl connects to the coordinator's control socket with a short
+// retry window: the coordinator listens before spawning, so retries only
+// paper over scheduler jitter.
+func dialControl(addr string) (net.Conn, error) {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c, err := net.Dial("unix", addr)
+		if err == nil {
+			return c, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -35,7 +35,10 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 //	GET  /v1/jobs/{id}         one job's status/result
 //	GET  /v1/jobs/{id}/events  streaming progress: SSE by default, long-poll
 //	                           JSON with ?poll=1&since=N&wait=30s
-//	GET  /healthz              200 "ok" while accepting, 503 "draining"
+//	GET  /healthz              liveness: 200 "ok" while the process serves
+//	                           HTTP at all — draining does NOT fail it
+//	GET  /readyz               readiness: 200 "ok" while accepting traffic,
+//	                           503 while draining or fleet-degraded
 //	GET  /metrics              Prometheus text exposition
 //	GET  /debug/trace          Chrome trace-event JSON of recent spans
 //	     /debug/pprof/*        the standard net/http/pprof handlers
@@ -46,6 +49,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.Handle("GET /debug/trace", s.tracer.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -204,10 +208,25 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, j *job, si
 	}
 }
 
+// handleHealthz is pure liveness: if this handler runs at all, the process
+// is alive. Draining deliberately does NOT fail it — a draining server is
+// healthy and must not be killed by its orchestrator while in-flight jobs
+// run to completion. Traffic routing belongs to /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	if s.Draining() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
-		return
-	}
 	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is readiness: 503 while the server should not receive new
+// traffic — draining (admission already rejects with ErrDraining) or
+// fleet-degraded (the last fleet job finished on a shrunken fleet). The
+// body names the reason so an operator's curl explains the flap.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case s.Draining():
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	case !s.Ready():
+		http.Error(w, "fleet degraded", http.StatusServiceUnavailable)
+	default:
+		fmt.Fprintln(w, "ok")
+	}
 }

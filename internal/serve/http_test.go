@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -13,6 +14,20 @@ import (
 	"testing"
 	"time"
 )
+
+// testClient bounds every request the suite makes: a server-side hang must
+// fail the test with a timeout, not wedge the run until the suite deadline.
+// Event-stream tests use testStreamClient instead (no overall Timeout — a
+// stream stays open for the life of the job — but the same bounded dial).
+var testClient = &http.Client{
+	Timeout: 30 * time.Second,
+	Transport: &http.Transport{
+		DialContext:           (&net.Dialer{Timeout: 5 * time.Second}).DialContext,
+		ResponseHeaderTimeout: 10 * time.Second,
+	},
+}
+
+var testStreamClient = &http.Client{Transport: testClient.Transport}
 
 func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
 	t.Helper()
@@ -34,7 +49,7 @@ func postSolve(t *testing.T, ts *httptest.Server, spec JobSpec) (*http.Response,
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+	resp, err := testClient.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +63,7 @@ func postSolve(t *testing.T, ts *httptest.Server, spec JobSpec) (*http.Response,
 
 func getBody(t *testing.T, url string) (*http.Response, []byte) {
 	t.Helper()
-	resp, err := http.Get(url)
+	resp, err := testClient.Get(url)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +148,7 @@ func TestHTTPErrorPaths(t *testing.T) {
 		"bad benchmark":  {`{"benchmark": "bm_nope"}`, http.StatusBadRequest},
 		"bad fault spec": {`{"benchmark": "bm_16", "fault_spec": "x"}`, http.StatusBadRequest},
 	} {
-		resp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(tc.body))
+		resp, err := testClient.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(tc.body))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -153,20 +168,54 @@ func TestHTTPErrorPaths(t *testing.T) {
 	if resp, body := getBody(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
 		t.Errorf("healthz: %d %q", resp.StatusCode, body)
 	}
+	if resp, body := getBody(t, ts.URL+"/readyz"); resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Errorf("readyz: %d %q", resp.StatusCode, body)
+	}
 	if resp, _ := getBody(t, ts.URL+"/debug/pprof/cmdline"); resp.StatusCode != http.StatusOK {
 		t.Errorf("pprof: status %d", resp.StatusCode)
 	}
 }
 
-func TestHTTPHealthzDraining(t *testing.T) {
+// TestHTTPDrainLivenessVsReadiness is the drain-path probe contract: a
+// draining server must FAIL readiness (so routers stop sending traffic) but
+// must STAY live (so an orchestrator does not kill the process while
+// in-flight jobs run to completion).
+func TestHTTPDrainLivenessVsReadiness(t *testing.T) {
 	s, ts := newTestServer(t, Options{QueueSize: 2, Workers: 1})
 	s.Close()
-	if resp, body := getBody(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusServiceUnavailable ||
+	if resp, body := getBody(t, ts.URL+"/readyz"); resp.StatusCode != http.StatusServiceUnavailable ||
 		!strings.Contains(string(body), "draining") {
-		t.Errorf("healthz while draining: %d %q", resp.StatusCode, body)
+		t.Errorf("readyz while draining: %d %q", resp.StatusCode, body)
+	}
+	if resp, body := getBody(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusOK ||
+		!strings.Contains(string(body), "ok") {
+		t.Errorf("healthz must stay live while draining: %d %q", resp.StatusCode, body)
 	}
 	if resp, _ := postSolve(t, ts, JobSpec{Deck: deck(16, 1)}); resp.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("solve while draining: status %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestHTTPReadyzFleetDegraded: a fleet job finishing on a shrunken fleet
+// latches the server not-ready (capacity it was configured for is gone)
+// without affecting liveness; a later full-size fleet job clears it.
+func TestHTTPReadyzFleetDegraded(t *testing.T) {
+	s, ts := newTestServer(t, Options{QueueSize: 2, Workers: 1})
+	s.mu.Lock()
+	s.fleetDegraded = true
+	s.mu.Unlock()
+	if resp, body := getBody(t, ts.URL+"/readyz"); resp.StatusCode != http.StatusServiceUnavailable ||
+		!strings.Contains(string(body), "fleet degraded") {
+		t.Errorf("readyz while fleet-degraded: %d %q", resp.StatusCode, body)
+	}
+	if resp, _ := getBody(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz must stay live while fleet-degraded: %d", resp.StatusCode)
+	}
+	s.mu.Lock()
+	s.fleetDegraded = false
+	s.mu.Unlock()
+	if resp, _ := getBody(t, ts.URL+"/readyz"); resp.StatusCode != http.StatusOK {
+		t.Errorf("readyz after fleet recovery: %d", resp.StatusCode)
 	}
 }
 

@@ -6,13 +6,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"path/filepath"
 	"strings"
 	"sync"
 	"time"
 
 	"github.com/warwick-hpsc/tealeaf-go/internal/chaos"
+	"github.com/warwick-hpsc/tealeaf-go/internal/comm"
 	"github.com/warwick-hpsc/tealeaf-go/internal/config"
 	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
+	"github.com/warwick-hpsc/tealeaf-go/internal/fleet"
 	"github.com/warwick-hpsc/tealeaf-go/internal/obs"
 	"github.com/warwick-hpsc/tealeaf-go/internal/profiler"
 	"github.com/warwick-hpsc/tealeaf-go/internal/registry"
@@ -121,8 +124,19 @@ type JobSpec struct {
 	// see internal/chaos) into this job — for resilience drills against a
 	// live service. A fault the job's recovery policy cannot absorb fails
 	// the job, never the server. Fault-injected jobs bypass the result
-	// cache and singleflight entirely.
+	// cache and singleflight entirely. On a fleet job the grammar is the
+	// transport fault schedule instead ("killproc:rank=1,op=40", see
+	// internal/comm) and is installed on the first fleet's worlds.
 	FaultSpec string `json:"fault_spec,omitempty"`
+	// Fleet runs the job across a supervised fleet of worker OS processes
+	// (one rank each, socket transport, checkpoint-based migration on
+	// worker death) instead of an in-process registry port. Requires the
+	// server to be started with Options.Fleet configured; fleet jobs cannot
+	// pin a Version and bypass the result cache and singleflight.
+	Fleet bool `json:"fleet,omitempty"`
+	// FleetWorkers overrides the server's default fleet size for this job
+	// (0 inherits). Only meaningful with Fleet set.
+	FleetWorkers int `json:"fleet_workers,omitempty"`
 }
 
 // JobResult is the outcome of a finished (done, expired or failed) job.
@@ -141,6 +155,12 @@ type JobResult struct {
 	// Partial marks stats cut short by deadline expiry or failure: the
 	// field summary reflects the last completed step, not convergence.
 	Partial bool `json:"partial,omitempty"`
+	// Fleet-job outcome: how many checkpoint migrations the supervised
+	// fleet took, how many worker processes finished the job, and whether
+	// it finished degraded (smaller than it started).
+	Migrations    int  `json:"migrations,omitempty"`
+	FleetWorkers  int  `json:"fleet_workers,omitempty"`
+	FleetDegraded bool `json:"fleet_degraded,omitempty"`
 }
 
 // JobStatus is a point-in-time snapshot of a job's lifecycle.
@@ -252,6 +272,14 @@ type Options struct {
 	RetainJobs int
 	// RetainAge evicts finished jobs older than this (0: no age bound).
 	RetainAge time.Duration
+	// Fleet configures the multi-process fleet path for jobs that set
+	// JobSpec.Fleet: worker binary, default fleet size, heartbeat and
+	// migration tuning (fleet.Options semantics). Fleet jobs are enabled
+	// when WorkerCommand is non-empty; FaultSpec is always per-job and any
+	// value here is ignored. Fleet.Dir, when set, roots one subdirectory
+	// per job (which is what makes drained fleet jobs resumable by an
+	// operator); empty uses a fresh temp dir per job.
+	Fleet fleet.Options
 	// Metrics receives the serve-layer metrics; nil creates a private
 	// registry (exposed at /metrics either way).
 	Metrics *obs.Registry
@@ -289,6 +317,12 @@ type metrics struct {
 	batches     *obs.Counter
 	batchJobs   *obs.Counter
 	jobsEvicted *obs.Counter
+
+	// Fleet mode: supervised multi-process jobs.
+	fleetJobs       *obs.Counter
+	fleetMigrations *obs.Counter
+	fleetWorkers    *obs.Gauge
+	fleetDegraded   *obs.Gauge
 }
 
 func newMetrics(r *obs.Registry) metrics {
@@ -325,6 +359,15 @@ func newMetrics(r *obs.Registry) metrics {
 			"jobs dispatched inside multi-job micro-batches"),
 		jobsEvicted: r.Counter("teaserve_jobs_evicted_total",
 			"finished jobs evicted from the store by the retention bounds"),
+
+		fleetJobs: r.Counter("teaserve_fleet_jobs_total",
+			"jobs dispatched onto a supervised multi-process worker fleet"),
+		fleetMigrations: r.Counter("teaserve_fleet_migrations_total",
+			"checkpoint-based fleet migrations taken after worker deaths, across all fleet jobs"),
+		fleetWorkers: r.Gauge("teaserve_fleet_workers",
+			"worker processes that finished the most recent fleet job"),
+		fleetDegraded: r.Gauge("teaserve_fleet_degraded",
+			"1 when the most recent fleet job finished on a degraded (shrunken) fleet; fails /readyz"),
 	}
 }
 
@@ -341,12 +384,17 @@ type Server struct {
 
 	mu       sync.Mutex // guards jobs/order/seq/load/flights/cache and admission
 	draining bool
-	jobs     map[string]*job
-	order    []string
-	seq      int
-	load     map[string]int     // per-version queued+running jobs, for least-loaded
-	flights  map[string]*flight // key -> in-flight solve identical submissions collapse onto
-	cache    *resultCache       // nil when Options.CacheSize <= 0
+	// fleetDegraded latches when a fleet job last finished on a shrunken
+	// fleet — the service lost solve capacity it was configured for — and
+	// clears when a later fleet job finishes at full size. Readiness
+	// (/readyz) fails while set; liveness (/healthz) does not.
+	fleetDegraded bool
+	jobs          map[string]*job
+	order         []string
+	seq           int
+	load          map[string]int     // per-version queued+running jobs, for least-loaded
+	flights       map[string]*flight // key -> in-flight solve identical submissions collapse onto
+	cache         *resultCache       // nil when Options.CacheSize <= 0
 }
 
 // New validates the options, starts the worker pool and returns the server.
@@ -475,9 +523,25 @@ func resolveSpec(spec JobSpec) (config.Config, error) {
 		}
 	}
 	if spec.FaultSpec != "" {
-		if _, err := chaos.ParseSpec(spec.FaultSpec); err != nil {
+		// The two fault grammars are distinct: kernel-level chaos faults for
+		// in-process jobs, transport faults (killproc, partition, slowlink)
+		// for fleet jobs.
+		if spec.Fleet {
+			if _, err := comm.ParseSpec(spec.FaultSpec); err != nil {
+				return cfg, err
+			}
+		} else if _, err := chaos.ParseSpec(spec.FaultSpec); err != nil {
 			return cfg, err
 		}
+	}
+	if spec.Fleet && spec.Version != "" {
+		return cfg, errors.New("serve: fleet jobs run on worker processes, not a registry version; unset version")
+	}
+	if spec.FleetWorkers < 0 {
+		return cfg, errors.New("serve: negative fleet_workers in job spec")
+	}
+	if spec.FleetWorkers > 0 && !spec.Fleet {
+		return cfg, errors.New("serve: fleet_workers without fleet in job spec")
 	}
 	if spec.Deadline < 0 || spec.CheckpointEvery < 0 || spec.MaxRetries < 0 || spec.SDCCheckEvery < 0 {
 		return cfg, errors.New("serve: negative policy field in job spec")
@@ -485,11 +549,21 @@ func resolveSpec(spec JobSpec) (config.Config, error) {
 	return cfg, nil
 }
 
+// FleetVersion is the pseudo-version fleet jobs are accounted and batched
+// under. It is not a registry entry: dispatch recognises it and routes the
+// batch to the fleet coordinator instead of building a port.
+const FleetVersion = "fleet"
+
+// fleetEnabled reports whether the server was configured with a fleet
+// worker binary, the switch that admits JobSpec.Fleet jobs.
+func (s *Server) fleetEnabled() bool { return len(s.opts.Fleet.WorkerCommand) > 0 }
+
 // cacheable reports whether a spec's result may be served from or stored in
 // the cache: fault-injected jobs are excluded (their outcome depends on the
-// chaos schedule, not just the deck).
+// chaos schedule, not just the deck), and so are fleet jobs (their outcome
+// carries migration/degradation history that is not a function of the deck).
 func (s *Server) cacheable(spec JobSpec) bool {
-	return s.cache != nil && spec.FaultSpec == ""
+	return s.cache != nil && spec.FaultSpec == "" && !spec.Fleet
 }
 
 // candidateVersions are the versions whose cached/in-flight results can
@@ -516,6 +590,10 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 		return JobStatus{}, err
 	}
 	cfgHash := cfg.CanonicalHash()
+
+	if spec.Fleet && !s.fleetEnabled() {
+		return JobStatus{}, errors.New("serve: fleet jobs are not enabled on this server (no fleet worker binary configured)")
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -571,8 +649,16 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 	}
 
 	// Genuine work: resolve the version now (so the cache key is concrete
-	// and batching can group by version), then take a queue slot.
-	version := s.pickVersionLocked(j)
+	// and batching can group by version), then take a queue slot. Fleet
+	// jobs are accounted under the fleet pseudo-version — they group only
+	// with each other in micro-batches and dispatch to the coordinator.
+	var version string
+	if spec.Fleet {
+		version = FleetVersion
+		s.load[version]++
+	} else {
+		version = s.pickVersionLocked(j)
+	}
 	j.version = version
 	j.status.Version = version
 	if err := s.sched.push(j); err != nil {
@@ -704,6 +790,18 @@ func (s *Server) Draining() bool {
 	return s.draining
 }
 
+// Ready reports whether the server should receive new traffic: it is false
+// while draining and while the fleet is degraded (the last fleet job
+// finished on a shrunken fleet, i.e. the service lost solve capacity it was
+// configured for). A not-ready server is still live — /healthz keeps
+// answering 200 so orchestrators don't kill a process that is merely
+// drained or short on fleet capacity.
+func (s *Server) Ready() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.draining && !s.fleetDegraded
+}
+
 // Drain stops admission immediately (new submissions get ErrDraining),
 // lets every queued and in-flight job run to completion, and returns when
 // the worker pool is idle. The context bounds the wait only — jobs are not
@@ -788,6 +886,14 @@ func (s *Server) runBatch(batch []*job) {
 		s.met.batchJobs.Add(float64(len(batch)))
 	}
 	version := batch[0].version
+	if version == FleetVersion {
+		// Fleet jobs never share a port (each runs its own process fleet) and
+		// never singleflight (uncacheable), so a fleet batch is just a loop.
+		for _, j := range batch {
+			s.runFleet(j)
+		}
+		return
+	}
 	v, verr := registry.Get(version)
 	var port driver.Kernels
 	defer func() {
@@ -818,6 +924,101 @@ func (s *Server) runBatch(batch []*job) {
 			j = next
 		}
 	}
+}
+
+// runFleet executes one fleet job: hand the deck to the fleet coordinator,
+// which spawns one worker OS process per rank, supervises their heartbeats
+// and migrates from the last CRC-verified checkpoint on worker death. The
+// outcome settles exactly like a port solve, plus the fleet health metrics
+// and the readiness latch. Fleet jobs emit state and done progress events
+// but no per-step events (steps happen in the worker processes).
+func (s *Server) runFleet(j *job) {
+	s.met.inflight.Inc()
+	defer s.met.inflight.Dec()
+
+	start := time.Now()
+	j.update(func(st *JobStatus) {
+		st.State = StateRunning
+		st.Started = start
+	})
+	j.progress.emit(Event{Type: "state", State: StateRunning})
+	s.met.solves.Inc()
+	s.met.fleetJobs.Inc()
+
+	fo := s.opts.Fleet
+	if j.spec.FleetWorkers > 0 {
+		fo.Workers = j.spec.FleetWorkers
+	}
+	if fo.Workers <= 0 {
+		fo.Workers = 3
+	}
+	// Per-job knobs override the server template; the fault schedule is
+	// always per-job (a standing schedule would kill every fleet).
+	fo.FaultSpec = j.spec.FaultSpec
+	if j.spec.CheckpointEvery > 0 {
+		fo.CheckpointEvery = j.spec.CheckpointEvery
+	} else if fo.CheckpointEvery == 0 {
+		fo.CheckpointEvery = s.opts.Recovery.CheckpointEvery
+	}
+	if fo.Dir != "" {
+		// One subdirectory per job: concurrent fleet jobs must not share a
+		// checkpoint file, and a drained job's directory names the job that
+		// can resume it.
+		fo.Dir = filepath.Join(fo.Dir, j.id)
+	}
+	fo.Log = s.opts.Log
+
+	ctx := context.Background()
+	deadline := time.Duration(j.spec.Deadline)
+	if deadline == 0 {
+		deadline = s.opts.DefaultDeadline
+	}
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+
+	res, err := fleet.RunJob(ctx, j.cfg, fo)
+	wall := time.Since(start)
+	s.tracer.Record(obs.Span{
+		Name: j.id + " " + j.version, Cat: "job", TID: j.seq,
+		Start: start, Dur: wall,
+	})
+	s.finishFleetJob(j, res, wall, err)
+}
+
+// finishFleetJob folds a fleet outcome into the job record, publishes the
+// fleet health metrics and updates the readiness latch. res is nil when the
+// job failed outright (migration budget exhausted, drained, spawn failure).
+func (s *Server) finishFleetJob(j *job, res *fleet.Result, wall time.Duration, err error) {
+	result := &JobResult{WallSeconds: wall.Seconds()}
+	if res != nil {
+		result.Steps = res.Steps
+		result.TotalIterations = res.TotalIterations
+		result.Converged = res.Converged
+		result.Volume = res.Final.Volume
+		result.Mass = res.Final.Mass
+		result.InternalEnergy = res.Final.InternalEnergy
+		result.Temperature = res.Final.Temperature
+		result.Recoveries = res.Recoveries
+		result.Migrations = res.Migrations
+		result.FleetWorkers = res.Workers
+		result.FleetDegraded = res.Degraded
+		s.met.recoveries.Add(float64(res.Recoveries))
+		s.met.fleetMigrations.Add(float64(res.Migrations))
+		s.met.fleetWorkers.Set(float64(res.Workers))
+		degraded := 0.0
+		if res.Degraded {
+			degraded = 1
+		}
+		s.met.fleetDegraded.Set(degraded)
+		s.mu.Lock()
+		s.fleetDegraded = res.Degraded
+		s.mu.Unlock()
+	}
+	// Fleet jobs never lead a flight (uncacheable), so no follower returns.
+	s.settleJob(j, result, wall, err)
 }
 
 // run executes one job on a prebuilt port, returning a promoted follower to
@@ -859,7 +1060,14 @@ func (s *Server) finishJob(j *job, res driver.Result, wall time.Duration, err er
 	s.met.recoveries.Add(float64(res.Recoveries))
 	s.met.sdcFound.Add(float64(res.SDCDetected))
 	s.met.sdcFixed.Add(float64(res.SDCRecovered))
+	return s.settleJob(j, result, wall, err)
+}
 
+// settleJob is the outcome-independent tail of job completion: state
+// transition, terminal metrics, the "done" progress event, version release
+// and singleflight settlement. Both the port path (finishJob) and the fleet
+// path (finishFleetJob) land here.
+func (s *Server) settleJob(j *job, result *JobResult, wall time.Duration, err error) *job {
 	finished := time.Now()
 	var state State
 	j.update(func(st *JobStatus) {

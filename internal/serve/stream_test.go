@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -10,6 +11,25 @@ import (
 	"testing"
 	"time"
 )
+
+// getStream opens an event stream with a bounded dial and a cancellable
+// context (cancelled at test cleanup) — a wedged stream fails the test on
+// its own deadline instead of hanging the suite. The stream client carries
+// no overall Timeout: streams live as long as their job.
+func getStream(t *testing.T, url string) *http.Response {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	t.Cleanup(cancel)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := testStreamClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
 
 // sseFrame is one parsed server-sent event.
 type sseFrame struct {
@@ -68,10 +88,7 @@ func TestJobEventsSSE(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	sresp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
-	if err != nil {
-		t.Fatal(err)
-	}
+	sresp := getStream(t, ts.URL+"/v1/jobs/"+st.ID+"/events")
 	if ct := sresp.Header.Get("Content-Type"); ct != "text/event-stream" {
 		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
 	}
@@ -112,10 +129,7 @@ func TestJobEventsSSE(t *testing.T) {
 	}
 
 	// Replaying from mid-stream must return only the tail, not the start.
-	rresp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events?since=" + strconv.Itoa(frames[1].id))
-	if err != nil {
-		t.Fatal(err)
-	}
+	rresp := getStream(t, ts.URL+"/v1/jobs/"+st.ID+"/events?since="+strconv.Itoa(frames[1].id))
 	replay := readSSE(t, rresp)
 	if len(replay) != len(frames)-2 {
 		t.Errorf("replay from seq %d returned %d frames, want %d", frames[1].id, len(replay), len(frames)-2)
@@ -216,10 +230,7 @@ func TestCachedJobStreamStillCompletes(t *testing.T) {
 	if err := json.Unmarshal(body, &hit); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := http.Get(ts.URL + "/v1/jobs/" + hit.ID + "/events")
-	if err != nil {
-		t.Fatal(err)
-	}
+	resp := getStream(t, ts.URL+"/v1/jobs/"+hit.ID+"/events")
 	frames := readSSE(t, resp)
 	if len(frames) == 0 {
 		t.Fatal("cache-hit job produced no events")
