@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race chaos fleet-chaos fuzz bench-par bench-cg bench-sdc bench-serve bench-tiling bench
+.PHONY: build test race chaos fleet-chaos serve-crash fuzz bench-par bench-cg bench-sdc bench-serve bench-tiling bench
 
 build:
 	$(GO) build ./...
@@ -48,11 +48,26 @@ fleet-chaos:
 	$(GO) test -race -timeout 10m -run 'TestConcurrentSaveLoadNeverTorn' ./internal/checkpoint/
 	$(GO) test -race -timeout 10m -run 'TestServeFleet|TestSubmitFleetValidation|TestHTTPDrainLivenessVsReadiness|TestHTTPReadyzFleetDegraded' ./internal/serve/
 
-# fuzz exercises the deck parser and the comm fault-spec parser against
-# their checked-in corpora plus 30s each of new coverage-guided inputs.
+# serve-crash is the durable-job-plane acceptance drill under the race
+# detector: a real server process (the test binary re-exec'd) accepts 20
+# mixed checkpointed single + fleet jobs, is SIGKILLed mid-flight, restarts
+# against the same state and fleet directories, and every accepted job must
+# settle bitwise-identical (1e-12) to a fault-free reference with the
+# submitted == completed + expired + failed accounting identity exact on the
+# scraped /metrics. The durable drain/resume/replay suite rides along.
+serve-crash:
+	$(GO) test -race -timeout 10m -count=1 -v \
+		-run 'TestServeCrashDrill|TestDurableRestartRestoresStoreAndCache|TestReplayResumesNeverStartedJob|TestReplayBudgetExhaustedFailsTyped|TestDrainInterruptsAndRestartResumes|TestServeDrainResumesFleetJob|TestJournalCompactionKeepsStore' \
+		./internal/serve/
+	$(GO) test -race -count=1 ./internal/serve/journal/
+
+# fuzz exercises the deck parser, the comm fault-spec parser and the journal
+# frame decoder against their checked-in corpora plus 30s each of new
+# coverage-guided inputs.
 fuzz:
 	$(GO) test -fuzz FuzzParseReader -fuzztime 30s ./internal/config/
 	$(GO) test -fuzz FuzzParseSpec -fuzztime 30s ./internal/comm/
+	$(GO) test -fuzz FuzzReplay -fuzztime 30s ./internal/serve/journal/
 
 # bench-par measures the fork-join runtime itself: dispatch latency (epoch
 # barrier vs the legacy channel-per-worker path), the 256² cg_calc_w-shaped

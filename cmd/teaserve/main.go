@@ -14,6 +14,12 @@
 // SIGINT/SIGTERM drains gracefully: admission stops at once, in-flight and
 // queued jobs run to completion, then the listener closes.
 //
+// With -state-dir the job plane is crash-safe: every accepted job is fsynced
+// to an append-only journal before the 202, and the next start (same
+// -state-dir) replays it — finished jobs reappear in /v1/jobs, jobs the
+// crash interrupted are re-admitted and resume from their last on-disk
+// checkpoint (fleet jobs from their -fleet-dir state).
+//
 // Examples:
 //
 //	teaserve -addr :8080
@@ -21,6 +27,7 @@
 //	teaserve -addr :8080 -default-deadline 2m -checkpoint-every 5 -max-retries 3
 //	teaserve -addr :8080 -cache-size 1024 -cache-ttl 1h -retain-jobs 10000
 //	teaserve -addr :8080 -fleet-worker-bin ./tealeaf-worker -fleet-workers 4 -fleet-dir /var/lib/tealeaf/fleet
+//	teaserve -addr :8080 -state-dir /var/lib/tealeaf/state -checkpoint-every 5
 //
 //	curl -s -X POST localhost:8080/v1/solve -d '{"benchmark": "bm_250"}'
 //	curl -s -X POST localhost:8080/v1/solve -d '{"benchmark": "bm_250", "fleet": true}'
@@ -85,6 +92,10 @@ func run() error {
 		fleetMaxMigrate = flag.Int("fleet-max-migrations", 3, "checkpoint migrations a fleet job may take before giving up")
 		fleetDegrade    = flag.Bool("fleet-degrade", false, "shrink the fleet by one worker per migration instead of replacing the lost one")
 
+		stateDir      = flag.String("state-dir", "", "durable job-plane root: accepted jobs are journaled (fsynced before the 202) and replayed on the next start, resuming interrupted work; empty keeps the job plane in memory")
+		resumeBudget  = flag.Int("resume-budget", 3, "dispatch attempts one journaled job may take across restarts before replay fails it instead of resuming")
+		resumeBackoff = flag.Duration("resume-backoff", 2*time.Second, "base of the full-jittered delay before re-dispatching a job that was mid-solve at the crash")
+
 		defaultDeadline = flag.Duration("default-deadline", 0, "wall-clock budget for jobs that set none (0: unbounded)")
 		ckEvery         = flag.Int("checkpoint-every", 0, "default steps between in-memory recovery checkpoints (0: resilience off)")
 		maxRetries      = flag.Int("max-retries", 3, "default consecutive failed step attempts before a job gives up")
@@ -126,6 +137,9 @@ func run() error {
 		BatchMaxJobs:    *batchMaxJobs,
 		RetainJobs:      *retainJobs,
 		RetainAge:       *retainAge,
+		StateDir:        *stateDir,
+		ResumeBudget:    *resumeBudget,
+		ResumeBackoff:   *resumeBackoff,
 		DefaultDeadline: *defaultDeadline,
 		Recovery: driver.RecoveryPolicy{
 			CheckpointEvery: *ckEvery,
@@ -152,6 +166,11 @@ func run() error {
 	s, err := serve.New(opts)
 	if err != nil {
 		return err
+	}
+	if *stateDir != "" {
+		r := s.Replay()
+		fmt.Printf("teaserve: journal replayed %d records from %d segments (torn tail: %v): %d jobs (%d finished, %d resumed, %d over resume budget, %d dropped)\n",
+			r.Records, r.Segments, r.Torn, r.Jobs, r.Finished, r.Resumed, r.GaveUp, r.Dropped)
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: s.Handler()}

@@ -212,9 +212,25 @@ func Decode(r io.Reader) (*Checkpoint, error) {
 	return c, nil
 }
 
-// Save writes the checkpoint to path atomically: encode to a temp file in
-// the same directory, fsync, rename. A crash mid-save leaves either the old
-// checkpoint or none — never a torn file that Decode would have to reject.
+// syncDir makes renames within dir durable by fsyncing the directory entry
+// itself. An atomic rename alone survives a process crash but not a machine
+// crash: until the directory is synced the filesystem may replay the rename
+// out of its journal — or not. A package-level hook so tests can assert the
+// sync path is exercised.
+var syncDir = func(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Save writes the checkpoint to path atomically AND durably: encode to a
+// temp file in the same directory, fsync, rename, then fsync the directory
+// so the rename itself survives a machine crash. A crash mid-save leaves
+// either the old checkpoint or none — never a torn file that Decode would
+// have to reject.
 func (c *Checkpoint) Save(path string) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".ckpt-*")
@@ -235,6 +251,11 @@ func (c *Checkpoint) Save(path string) error {
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("checkpoint: save: %w", err)
+	}
+	// The directory sync after the rename covers SaveRotate's preceding
+	// path -> path.prev rotation too (same directory, earlier rename).
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("checkpoint: save: sync dir: %w", err)
 	}
 	return nil
 }

@@ -1,0 +1,67 @@
+package checkpoint
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+func tiny() *Checkpoint {
+	return &Checkpoint{
+		Step: 3, Time: 0.3, NX: 2, NY: 2,
+		Fields: []FieldData{{ID: 1, Data: []float64{1, 2, 3, 4}}},
+	}
+}
+
+// TestSaveSyncsParentDirectory asserts the durability half of the atomic
+// save: after the temp-file rename, Save must fsync the parent directory so
+// a machine crash cannot roll the rename back. The hook both counts calls
+// and verifies the right directory is synced, then delegates to the real
+// fsync so the test still exercises the actual syscall path.
+func TestSaveSyncsParentDirectory(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt")
+
+	var synced []string
+	real := syncDir
+	syncDir = func(d string) error {
+		synced = append(synced, d)
+		return real(d)
+	}
+	defer func() { syncDir = real }()
+
+	if err := tiny().Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if len(synced) != 1 || synced[0] != dir {
+		t.Fatalf("Save synced %v, want exactly [%s]", synced, dir)
+	}
+
+	// SaveRotate rotates path -> path.prev then saves; the save's directory
+	// sync lands after both renames and covers them.
+	synced = nil
+	if err := tiny().SaveRotate(path); err != nil {
+		t.Fatal(err)
+	}
+	if len(synced) != 1 || synced[0] != dir {
+		t.Fatalf("SaveRotate synced %v, want exactly [%s]", synced, dir)
+	}
+	if _, err := Load(PrevPath(path)); err != nil {
+		t.Fatalf("rotated generation unreadable: %v", err)
+	}
+}
+
+// TestSaveSurfacesDirSyncFailure: a failed directory sync must fail the
+// save — reporting a checkpoint durable when its rename is not would break
+// the resume contract.
+func TestSaveSurfacesDirSyncFailure(t *testing.T) {
+	dir := t.TempDir()
+	boom := errors.New("sync blew up")
+	real := syncDir
+	syncDir = func(string) error { return boom }
+	defer func() { syncDir = real }()
+
+	if err := tiny().Save(filepath.Join(dir, "ckpt")); !errors.Is(err, boom) {
+		t.Fatalf("Save error = %v, want the dir-sync failure", err)
+	}
+}

@@ -1,0 +1,42 @@
+package driver
+
+import (
+	"math/rand"
+	"time"
+)
+
+// maxBackoffWindow caps the exponential backoff window. Past this the delay
+// stops growing: a job that has retried enough times to hit the cap gains
+// nothing from waiting minutes more, and an operator watching a drain wants
+// a bound on how long a backed-off retry can sit.
+const maxBackoffWindow = time.Minute
+
+// BackoffDelay returns the delay before retry number retry (1-based) of an
+// exponential backoff with base, using AWS-style full jitter: a uniform
+// draw from [0, base<<(retry-1)), with the window capped at one minute.
+// Deterministic doubling makes every job failed by one event retry in
+// lockstep — the thundering herd the jitter exists to break up; the full
+// (rather than equal) jitter spreads retries across the whole window.
+// A base <= 0 or retry <= 0 returns 0 (retry immediately).
+func BackoffDelay(base time.Duration, retry int) time.Duration {
+	return backoffDelay(base, retry, rand.Float64)
+}
+
+// backoffDelay is BackoffDelay with the randomness injectable for tests.
+func backoffDelay(base time.Duration, retry int, rnd func() float64) time.Duration {
+	if base <= 0 || retry <= 0 {
+		return 0
+	}
+	window := base
+	for i := 1; i < retry; i++ {
+		window <<= 1
+		if window >= maxBackoffWindow || window <= 0 { // <= 0: shift overflow
+			window = maxBackoffWindow
+			break
+		}
+	}
+	if window > maxBackoffWindow {
+		window = maxBackoffWindow
+	}
+	return time.Duration(rnd() * float64(window))
+}

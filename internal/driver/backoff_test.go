@@ -1,0 +1,64 @@
+package driver
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffDelayBounds pins the jitter window: for retry n the delay is
+// uniform in [0, base<<(n-1)), capped at one minute, never negative.
+func TestBackoffDelayBounds(t *testing.T) {
+	base := 10 * time.Millisecond
+	for retry := 1; retry <= 6; retry++ {
+		window := base << (retry - 1)
+		// rnd=0 gives the lower bound, rnd just under 1 the upper.
+		if d := backoffDelay(base, retry, func() float64 { return 0 }); d != 0 {
+			t.Errorf("retry %d: rnd=0 gave %v, want 0", retry, d)
+		}
+		d := backoffDelay(base, retry, func() float64 { return 0.999999 })
+		if d < 0 || d >= window {
+			t.Errorf("retry %d: delay %v outside [0, %v)", retry, d, window)
+		}
+	}
+}
+
+// TestBackoffDelayCapAndOverflow: huge retry counts must cap at the window
+// bound, not overflow the shift into a negative or zero window.
+func TestBackoffDelayCapAndOverflow(t *testing.T) {
+	one := func() float64 { return 0.999999 }
+	for _, retry := range []int{20, 40, 64, 100, 1 << 20} {
+		d := backoffDelay(time.Second, retry, one)
+		if d < 0 || d >= maxBackoffWindow {
+			t.Errorf("retry %d: delay %v outside [0, %v)", retry, d, maxBackoffWindow)
+		}
+		if d < maxBackoffWindow/2 {
+			t.Errorf("retry %d: rnd~1 should land near the cap, got %v", retry, d)
+		}
+	}
+}
+
+// TestBackoffDelayZeroCases: disabled backoff and nonsense retries return 0.
+func TestBackoffDelayZeroCases(t *testing.T) {
+	cases := []struct {
+		base  time.Duration
+		retry int
+	}{{0, 3}, {-time.Second, 3}, {time.Second, 0}, {time.Second, -1}}
+	for _, c := range cases {
+		if d := backoffDelay(c.base, c.retry, func() float64 { return 0.5 }); d != 0 {
+			t.Errorf("base=%v retry=%d: got %v, want 0", c.base, c.retry, d)
+		}
+	}
+}
+
+// TestBackoffDelaySpreads: two different random draws give two different
+// delays — the whole point of the jitter.
+func TestBackoffDelaySpreads(t *testing.T) {
+	a := backoffDelay(time.Second, 3, func() float64 { return 0.25 })
+	b := backoffDelay(time.Second, 3, func() float64 { return 0.75 })
+	if a == b {
+		t.Errorf("identical delays %v for different draws", a)
+	}
+	if b != 3*a {
+		t.Errorf("delay not linear in the draw: %v vs %v", a, b)
+	}
+}

@@ -25,8 +25,10 @@ type RecoveryPolicy struct {
 	// the run gives up. Retries reset whenever a step completes, so a run
 	// limping through many transient faults is not capped globally.
 	MaxRetries int
-	// Backoff is the base delay before the first retry; each further
-	// consecutive retry doubles it. 0 retries immediately.
+	// Backoff is the base of the retry delay: before consecutive retry n
+	// the run sleeps a full-jittered uniform draw from
+	// [0, Backoff<<(n-1)), capped at one minute (see BackoffDelay).
+	// 0 retries immediately.
 	Backoff time.Duration
 	// CheckpointPath, when set, mirrors every checkpoint to this file with
 	// checkpoint.Save (atomic rename, CRC-validated on load).
@@ -222,7 +224,9 @@ func RunResilientCtx(ctx context.Context, cfg config.Config, k Kernels, s Solver
 				return res, errors.Join(failures...)
 			}
 			if pol.Backoff > 0 {
-				time.Sleep(pol.Backoff << (retries - 1))
+				// Full jitter: uniform in [0, base<<(retries-1)), so jobs
+				// failed by one shared event don't all retry in lockstep.
+				time.Sleep(BackoffDelay(pol.Backoff, retries))
 			}
 			res.Recoveries++
 			// Discard the results of steps after the recovery point and

@@ -14,9 +14,11 @@ import (
 	"sync"
 	"time"
 
+	"github.com/warwick-hpsc/tealeaf-go/internal/backends/mpi"
 	"github.com/warwick-hpsc/tealeaf-go/internal/checkpoint"
 	"github.com/warwick-hpsc/tealeaf-go/internal/config"
 	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
+	"github.com/warwick-hpsc/tealeaf-go/internal/solver"
 )
 
 // ErrDrained reports a job interrupted by coordinator shutdown (context
@@ -63,11 +65,18 @@ type Options struct {
 	// (default 10s).
 	StartupGrace time.Duration
 	// FaultSpec is a comm fault schedule installed on every worker's world
-	// (the chaos drills' entry point: "killproc:rank=1,op=40"). Only the
-	// FIRST attempt receives it: the spec drills the failure, and the
+	// (the chaos drills' entry point: "killproc:rank=1,op=40"). Only
+	// attempt 0 receives it: the spec drills the failure, and the
 	// migrated fleet must run clean — re-arming the same deterministic
 	// kill on the replacement fleet would just kill it at the same spot.
 	FaultSpec string
+	// AttemptBase is the attempt number the job starts counting from. A
+	// caller resuming a previously-interrupted job (teaserve replaying its
+	// journal after a crash) passes the prior attempt count: attempt
+	// numbering then stays unique across the restarts — per-attempt socket
+	// directories never collide with a dead run's leftovers — and a
+	// nonzero base never re-arms FaultSpec, which belongs to attempt 0.
+	AttemptBase int
 	// Log, when set, receives coordinator progress lines and worker stderr.
 	Log io.Writer
 
@@ -165,7 +174,7 @@ func RunJob(ctx context.Context, cfg config.Config, opt Options) (*Result, error
 
 	res := &Result{}
 	size := opt.Workers
-	for attempt := 0; ; attempt++ {
+	for attempt := opt.AttemptBase; ; attempt++ {
 		if cErr := context.Cause(ctx); cErr != nil {
 			return nil, drainError(ckptPath, cErr)
 		}
@@ -175,6 +184,28 @@ func RunJob(ctx context.Context, cfg config.Config, opt Options) (*Result, error
 		resume := false
 		if ck, _, err := checkpoint.LoadLatest(ckptPath); err == nil {
 			resume = true
+			// A checkpoint at (or past) the end of the deck means the solve
+			// itself finished — the crash landed between the final checkpoint
+			// and result delivery. Only the QA summary is missing, so compute
+			// it in process with the same rank decomposition instead of
+			// spawning a fleet with nothing to march: faster, and it sidesteps
+			// the teardown race a zero-step fleet invites (ranks blast from
+			// restore to world-close with no step collectives pacing them).
+			if ck.Step+1 > cfg.EndStep || ck.Time >= cfg.EndTime {
+				logf(opt.Log, "fleet: checkpoint at step %d already completed the deck; summarising in process", ck.Step)
+				final, ferr := finishFromCheckpoint(ctx, cfg, opt, ckptPath, size)
+				if ferr != nil {
+					if cErr := context.Cause(ctx); cErr != nil {
+						return nil, drainError(ckptPath, cErr)
+					}
+					return nil, fmt.Errorf("fleet: finish from checkpoint: %w", ferr)
+				}
+				res.Final = final
+				res.Workers = size
+				res.Degraded = size < opt.Workers
+				res.Attempts = append(res.Attempts, Attempt{Workers: size, Resumed: true})
+				return res, nil
+			}
 			logf(opt.Log, "fleet: attempt %d resumes from checkpoint step %d", attempt, ck.Step)
 		}
 		att := Attempt{Workers: size, Resumed: resume}
@@ -211,6 +242,39 @@ func RunJob(ctx context.Context, cfg config.Config, opt Options) (*Result, error
 			opt.testHookBetweenAttempts(attempt + 1)
 		}
 	}
+}
+
+// finishFromCheckpoint recovers the final QA summary of a run whose
+// checkpoint already marched every step. The in-process mpi backend with the
+// same rank count reduces in the same order as the socket fleet, so the
+// totals are bitwise what the fleet itself would have reported.
+func finishFromCheckpoint(ctx context.Context, cfg config.Config, opt Options, ckptPath string, size int) (driver.Totals, error) {
+	k := mpi.New(size, opt.Threads)
+	defer k.Close()
+	pol := driver.RecoveryPolicy{
+		CheckpointEvery:    opt.checkpointEvery(),
+		CheckpointPath:     ckptPath,
+		Resume:             true,
+		CheckpointReadOnly: true, // nothing new to commit; the file stays as the fleet left it
+	}
+	res, err := driver.RunResilientCtx(ctx, cfg, k, solver.New(solver.FromConfig(&cfg)), opt.Log, pol)
+	if err != nil {
+		return driver.Totals{}, err
+	}
+	return res.Final, nil
+}
+
+// ProbeResume reports whether a fleet job directory holds a valid resume
+// point — the probe teaserve uses before re-entering RunJob for a job that
+// was drained or crashed mid-flight — and the step of the newest valid
+// checkpoint generation. The probe takes the same shared lock LoadLatest
+// does, so it is safe against a concurrent writer mid-rotation.
+func ProbeResume(dir string) (step int, ok bool) {
+	ck, _, err := checkpoint.LoadLatest(filepath.Join(dir, "ckpt"))
+	if err != nil {
+		return 0, false
+	}
+	return ck.Step, true
 }
 
 // drainError verifies the on-disk resume state and wraps the cancellation
@@ -266,6 +330,13 @@ func (st *attemptState) note(m ctlMsg, now time.Time) {
 // and the mesh sockets at a time.
 func runAttempt(ctx context.Context, cfg config.Config, opt Options, dir, deckPath, ckptPath string, attempt, size int, resume bool) (*ctlMsg, error) {
 	adir := filepath.Join(dir, fmt.Sprintf("att%d", attempt))
+	// A SIGKILLed coordinator leaves its attempt directory behind, stale
+	// socket files included; a fresh attempt reusing the number (a resumed
+	// job whose journal undercounted attempts) must not trip over them.
+	// At most one coordinator owns a job directory, so anything here is dead.
+	if err := os.RemoveAll(adir); err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
 	if err := os.MkdirAll(adir, 0o755); err != nil {
 		return nil, fmt.Errorf("fleet: %w", err)
 	}

@@ -231,6 +231,26 @@ func RunWorker(ctx context.Context, wc WorkerConfig, log io.Writer) error {
 	}
 	send(ctlMsg{Type: "hello", PID: os.Getpid()})
 
+	// Supervisor-death fence. The coordinator never sends on the control
+	// socket, so this read returns only when the far end vanishes — most
+	// importantly when the coordinator process is SIGKILLed and the kernel
+	// closes its sockets. An orphaned worker must not keep solving: it would
+	// keep writing checkpoints into a job directory that a restarted
+	// coordinator may already be resuming in, feeding that fleet's ranks
+	// inconsistent restore points. Exit hard instead. The solveDone guard
+	// keeps a teardown race after a completed solve from turning a finished
+	// rank into a spurious non-zero exit.
+	var solveDone atomic.Bool
+	go func() {
+		_, _ = ctl.Read(make([]byte, 1))
+		if !solveDone.Load() {
+			if log != nil {
+				fmt.Fprintf(log, "fleet: worker %d: coordinator vanished; aborting orphaned solve\n", wc.Rank)
+			}
+			os.Exit(3)
+		}
+	}()
+
 	// Control-plane liveness: the current step number, ticked out on an
 	// independent goroutine so a worker wedged inside a collective still
 	// stops beating and the coordinator notices.
@@ -274,6 +294,7 @@ func RunWorker(ctx context.Context, wc WorkerConfig, log io.Writer) error {
 		res, runErr = driver.RunResilientCtx(sctx, cfg, k, solver.New(solver.FromConfig(&cfg)), log, pol)
 		ranToCompletion = true
 	})
+	solveDone.Store(true)
 	if runErr == nil && werr != nil {
 		if ranToCompletion {
 			// Teardown race, not a failure: the driver completed every

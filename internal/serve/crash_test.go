@@ -1,0 +1,360 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
+	"github.com/warwick-hpsc/tealeaf-go/internal/fleet"
+)
+
+// crashChildMain is the server half of the crash drill. The test binary
+// re-execs itself with TEASERVE_CRASH_CHILD set (see TestMain), builds a
+// durable fleet-capable server from the TEASERVE_CRASH_* environment, serves
+// its HTTP API on a loopback port and publishes the bound address through an
+// atomically renamed file. It never exits on its own — the drill always ends
+// this process with SIGKILL, which is the point.
+func crashChildMain() {
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "crash child:", err)
+		os.Exit(1)
+	}
+	opts := fleetServerOptions()
+	opts.QueueSize = 64
+	opts.Workers = 4
+	opts.CacheSize = 0 // every job must really solve; no dedupe hiding work
+	opts.StateDir = os.Getenv("TEASERVE_CRASH_STATE")
+	opts.Fleet.Dir = os.Getenv("TEASERVE_CRASH_FLEET")
+	opts.Fleet.Workers = 2
+	opts.Fleet.CheckpointEvery = 1
+	opts.Recovery = driver.RecoveryPolicy{CheckpointEvery: 2, MaxRetries: 2}
+	opts.ResumeBackoff = 50 * time.Millisecond
+	opts.Log = os.Stdout // parent redirects this into the generation's log file
+	s, err := New(opts)
+	if err != nil {
+		fail(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fail(err)
+	}
+	addrFile := os.Getenv("TEASERVE_CRASH_ADDR_FILE")
+	tmp := addrFile + ".tmp"
+	if err := os.WriteFile(tmp, []byte(ln.Addr().String()), 0o644); err != nil {
+		fail(err)
+	}
+	if err := os.Rename(tmp, addrFile); err != nil {
+		fail(err)
+	}
+	fail(http.Serve(ln, s.Handler()))
+}
+
+// crashServer is the parent's handle on one generation of the drill child.
+type crashServer struct {
+	cmd  *exec.Cmd
+	base string
+}
+
+// startCrashServer launches a drill child against the given state and fleet
+// directories and waits for it to publish its listen address.
+func startCrashServer(t *testing.T, state, fleetDir, addrFile, logPath string) *crashServer {
+	t.Helper()
+	os.Remove(addrFile)
+	logf, err := os.Create(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		"TEASERVE_CRASH_CHILD=1",
+		"TEASERVE_CRASH_STATE="+state,
+		"TEASERVE_CRASH_FLEET="+fleetDir,
+		"TEASERVE_CRASH_ADDR_FILE="+addrFile,
+	)
+	cmd.Stdout, cmd.Stderr = logf, logf
+	if err := cmd.Start(); err != nil {
+		logf.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+		logf.Close()
+	})
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			return &crashServer{cmd: cmd, base: "http://" + string(b)}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("crash child never published its address; log:\n%s", readTail(logPath))
+		}
+		if cmd.ProcessState != nil {
+			t.Fatalf("crash child exited early; log:\n%s", readTail(logPath))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func (c *crashServer) kill() {
+	c.cmd.Process.Kill() // SIGKILL: no drain, no deferred cleanup, no fsync
+	c.cmd.Wait()
+}
+
+func readTail(path string) string {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err.Error()
+	}
+	if len(b) > 4096 {
+		b = b[len(b)-4096:]
+	}
+	return string(b)
+}
+
+func (c *crashServer) getJSON(t *testing.T, path string, v any) {
+	t.Helper()
+	resp, err := http.Get(c.base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s: %d: %s", path, resp.StatusCode, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("GET %s: decode: %v", path, err)
+	}
+}
+
+func (c *crashServer) submit(t *testing.T, spec JobSpec) JobStatus {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(c.base+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/solve: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST /v1/solve: %d: %s", resp.StatusCode, b)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// scrapeCounter pulls one counter's value from the child's /metrics text.
+func (c *crashServer) scrapeCounter(t *testing.T, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(c.base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	text, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(text), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				t.Fatalf("metric %s: bad value %q", name, fields[1])
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not exposed", name)
+	return 0
+}
+
+// TestServeCrashDrill is the acceptance drill for the durable job plane:
+// a real teaserve process (this test binary re-exec'd) accepts 20 mixed
+// checkpointed single and fleet jobs, is killed with SIGKILL mid-flight, and
+// is restarted against the same -state-dir and -fleet-dir. Every accepted job
+// must then settle — done jobs bitwise-identical (1e-12) to fault-free
+// reference runs — and the accounting identity
+// submitted == completed + expired + failed must hold exactly on the scraped
+// /metrics of the second generation.
+func TestServeCrashDrill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("the crash drill forks servers and fleet workers; skipped in -short")
+	}
+	root := t.TempDir()
+	state := filepath.Join(root, "state")
+	fleetDir := filepath.Join(root, "fleet")
+	for _, d := range []string{state, fleetDir} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	addrFile := filepath.Join(root, "addr")
+
+	gen1 := startCrashServer(t, state, fleetDir, addrFile, filepath.Join(root, "gen1.log"))
+
+	// 20 jobs, interleaved so fleet jobs (slow: process spawns) and singles
+	// (fast) are in flight together when the kill lands. Decks vary so every
+	// job is distinct work.
+	type drillJob struct {
+		id    string
+		deck  string
+		fleet bool
+	}
+	var jobs []drillJob
+	singles, fleets := 0, 0
+	for i := 0; i < 20; i++ {
+		var spec JobSpec
+		if i%5 < 2 && fleets < 8 { // 8 fleet, 12 single
+			spec = JobSpec{Deck: deck(16, 3+fleets%2), Fleet: true}
+			fleets++
+		} else {
+			spec = JobSpec{Deck: deck(24+8*(singles%3), 4+2*(singles%3))}
+			singles++
+		}
+		st := gen1.submit(t, spec)
+		jobs = append(jobs, drillJob{id: st.ID, deck: spec.Deck, fleet: spec.Fleet})
+	}
+
+	// Kill when the server is genuinely mid-flight: at least one job has
+	// finished, at least one is still going, and at least one unfinished
+	// fleet job has committed resumable on-disk state — so the restart
+	// exercises restore, single resume and fleet resume all at once.
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		var list []JobStatus
+		gen1.getJSON(t, "/v1/jobs", &list)
+		byID := make(map[string]JobStatus, len(list))
+		for _, st := range list {
+			byID[st.ID] = st
+		}
+		someDone, someLive, fleetMidFlight := false, false, false
+		for _, jb := range jobs {
+			st := byID[jb.id]
+			switch {
+			case st.State.finished():
+				someDone = true
+			default:
+				someLive = true
+				if jb.fleet {
+					if _, ok := fleet.ProbeResume(filepath.Join(fleetDir, jb.id)); ok {
+						fleetMidFlight = true
+					}
+				}
+			}
+		}
+		if someDone && someLive && fleetMidFlight {
+			break
+		}
+		if !someLive {
+			t.Log("every job finished before the kill window; drill degrades to restore-only")
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("kill window never opened (done=%v live=%v fleetMid=%v)", someDone, someLive, fleetMidFlight)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	gen1.kill()
+
+	gen2 := startCrashServer(t, state, fleetDir, addrFile, filepath.Join(root, "gen2.log"))
+
+	// Every accepted job must settle terminal on the restarted server.
+	deadline = time.Now().Add(180 * time.Second)
+	final := make(map[string]JobStatus, len(jobs))
+	for {
+		var list []JobStatus
+		gen2.getJSON(t, "/v1/jobs", &list)
+		for _, st := range list {
+			if st.State.finished() {
+				final[st.ID] = st
+			}
+		}
+		if len(final) >= len(jobs) {
+			break
+		}
+		if time.Now().After(deadline) {
+			for _, jb := range jobs {
+				if _, ok := final[jb.id]; !ok {
+					var st JobStatus
+					gen2.getJSON(t, "/v1/jobs/"+jb.id, &st)
+					t.Errorf("job %s (fleet=%v) stuck in %s: %s", jb.id, jb.fleet, st.State, st.Error)
+				}
+			}
+			t.Fatalf("only %d/%d jobs settled after restart; gen2 log:\n%s",
+				len(final), len(jobs), readTail(filepath.Join(root, "gen2.log")))
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// References are fault-free runs of the same decks; one per distinct deck.
+	serialRefs := make(map[string]driver.Result)
+	fleetRefs := make(map[string]driver.Result)
+	for _, jb := range jobs {
+		st, ok := final[jb.id]
+		if !ok {
+			t.Errorf("job %s never surfaced on the restarted server", jb.id)
+			continue
+		}
+		if st.State != StateDone {
+			// The drill injects no faults, so anything short of done is a bug;
+			// a typed error message at least proves the failure was surfaced,
+			// not dropped.
+			t.Errorf("job %s (fleet=%v) ended %s: %q; gen2 log:\n%s",
+				jb.id, jb.fleet, st.State, st.Error, readTail(filepath.Join(root, "gen2.log")))
+			continue
+		}
+		if jb.fleet {
+			ref, ok := fleetRefs[jb.deck]
+			if !ok {
+				ref = fleetReference(t, mustParse(t, jb.deck), 2)
+				fleetRefs[jb.deck] = ref
+			}
+			assertTotalsMatch(t, ref, st.Result, "fleet job "+jb.id)
+		} else {
+			ref, ok := serialRefs[jb.deck]
+			if !ok {
+				ref = serialReference(t, mustParse(t, jb.deck))
+				serialRefs[jb.deck] = ref
+			}
+			assertTotalsMatch(t, ref, st.Result, "single job "+jb.id)
+		}
+	}
+
+	// Accounting identity on the scraped metrics of the restarted server:
+	// counters were restored from the journal, so the books balance across
+	// the crash, exactly.
+	sub := gen2.scrapeCounter(t, "teaserve_jobs_submitted_total")
+	done := gen2.scrapeCounter(t, "teaserve_jobs_completed_total")
+	exp := gen2.scrapeCounter(t, "teaserve_jobs_expired_total")
+	fail := gen2.scrapeCounter(t, "teaserve_jobs_failed_total")
+	if sub != float64(len(jobs)) {
+		t.Errorf("submitted counter = %v, want %d", sub, len(jobs))
+	}
+	if sub != done+exp+fail {
+		t.Errorf("accounting identity broken: submitted %v != completed %v + expired %v + failed %v",
+			sub, done, exp, fail)
+	}
+	if rec := gen2.scrapeCounter(t, "teaserve_journal_replayed_records_total"); rec == 0 {
+		t.Error("second generation replayed nothing — the journal was not the source of truth")
+	}
+	gen2.kill()
+}

@@ -1,0 +1,611 @@
+package serve
+
+// The durable job plane: everything that makes an accepted job survive a
+// server crash. With Options.StateDir set, Submit acknowledges only after a
+// write-ahead journal record is on disk, workers journal dispatch attempts
+// and progress watermarks, and New replays the journal to rebuild the job
+// store — restoring finished jobs verbatim and re-admitting unfinished ones
+// so they resume (from their per-job checkpoint when they have one). The
+// journal lives in StateDir/journal, per-job driver checkpoints in
+// StateDir/ckpt. Without a StateDir every function in this file is a no-op
+// and the server keeps its in-memory-only behaviour.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/checkpoint"
+	"github.com/warwick-hpsc/tealeaf-go/internal/config"
+	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
+	"github.com/warwick-hpsc/tealeaf-go/internal/serve/journal"
+)
+
+// errInterrupted is the cancellation cause Drain plants in the interrupt
+// context when its budget expires: in-flight jobs settle as StateInterrupted
+// (resumable by the next server process) instead of failed. It flows through
+// driver.RunResilientCtx and fleet.RunJob as the context cause, so settleJob
+// can classify the outcome with errors.Is.
+var errInterrupted = errors.New("serve: job interrupted by server shutdown")
+
+// compactSegments is the journal size (in live segments) past which a
+// terminal record triggers compaction.
+const compactSegments = 4
+
+// ReplaySummary reports what startup journal replay reconstructed; exposed
+// via Server.Replay for the startup log line and for tests.
+type ReplaySummary struct {
+	// Records and Segments mirror journal.Info: valid records recovered and
+	// live segment files (including the fresh active one).
+	Records  int
+	Segments int
+	// Torn reports at least one segment ended mid-record — expected after a
+	// crash; the valid prefix was kept.
+	Torn bool
+	// Jobs is how many jobs were reconstructed into the store.
+	Jobs int
+	// Finished of those were already terminal and restored verbatim.
+	Finished int
+	// Resumed were unfinished and re-admitted for dispatch.
+	Resumed int
+	// GaveUp were unfinished but had exhausted their resume budget and were
+	// failed with a typed error instead of re-admitted.
+	GaveUp int
+	// Dropped records named a job with no submit record — a submission the
+	// server never acknowledged — and were discarded.
+	Dropped int
+}
+
+// Replay returns what startup journal replay reconstructed (all zero without
+// a StateDir).
+func (s *Server) Replay() ReplaySummary { return s.replay }
+
+// jobCkptPath is where a job's driver checkpoints are mirrored on disk.
+func (s *Server) jobCkptPath(id string) string {
+	return filepath.Join(s.opts.StateDir, "ckpt", id+".ckpt")
+}
+
+// nextAttempt returns the job's dispatch-attempt number and advances it.
+// Guarded by j.mu: compaction snapshots read it from other goroutines.
+func (j *job) nextAttempt() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	a := j.attempt
+	j.attempt++
+	return a
+}
+
+// attempts returns how many dispatch attempts the job has taken.
+func (j *job) attempts() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.attempt
+}
+
+// jappend appends one record, folding the outcome into the journal metrics.
+// Append failures degrade durability but never fail the job: the solve
+// result the client is waiting on is still correct.
+func (s *Server) jappend(rec journal.Record, durable bool) {
+	if s.jnl == nil {
+		return
+	}
+	n, err := s.jnl.Append(rec, durable)
+	if err != nil {
+		s.met.journalErrors.Inc()
+		if s.opts.Log != nil {
+			fmt.Fprintf(s.opts.Log, "serve: journal append %s %s: %v\n", rec.Kind, rec.ID, err)
+		}
+		return
+	}
+	s.met.journalRecords.Inc()
+	s.met.journalBytes.Add(float64(n))
+}
+
+// journalSubmit makes an accepted job durable before Submit returns its
+// acknowledgement. A job that completed at admission (cache hit) writes its
+// submit and finish records together under one fsync.
+func (s *Server) journalSubmit(j *job, st JobStatus) {
+	if s.jnl == nil {
+		return
+	}
+	spec, err := json.Marshal(j.spec)
+	if err != nil {
+		s.met.journalErrors.Inc()
+		return
+	}
+	rec := journal.Record{
+		Kind:     journal.KindSubmit,
+		ID:       j.id,
+		Seq:      j.seq,
+		Spec:     spec,
+		Version:  j.version,
+		EventSeq: j.progress.lastSeq(),
+		Wall:     st.Submitted,
+	}
+	if st.State.finished() {
+		s.jappend(rec, false)
+		s.journalFinish(j, st)
+		return
+	}
+	s.jappend(rec, true)
+}
+
+// journalStart records a dispatch attempt. No fsync: the write reaches the
+// kernel immediately (surviving a process kill), and budget accounting only
+// needs to be right for attempts that observably ran.
+func (s *Server) journalStart(j *job, attempt int) {
+	s.jappend(journal.Record{
+		Kind:     journal.KindStart,
+		ID:       j.id,
+		Attempt:  attempt,
+		Version:  j.version,
+		EventSeq: j.progress.lastSeq(),
+	}, false)
+}
+
+// journalProgress advances the job's replay watermark: after a crash the
+// rebuilt progress stream seeds its sequence past this point, so a client
+// resuming with Last-Event-ID never sees a sequence number reused.
+func (s *Server) journalProgress(j *job, step int) {
+	s.jappend(journal.Record{
+		Kind:     journal.KindProgress,
+		ID:       j.id,
+		Step:     step,
+		EventSeq: j.progress.lastSeq(),
+	}, false)
+}
+
+// journalFinish records the terminal outcome durably, deletes the job's
+// on-disk recovery state (it can never be resumed again) and gives the
+// journal a chance to compact.
+func (s *Server) journalFinish(j *job, st JobStatus) {
+	if s.jnl == nil {
+		return
+	}
+	var res json.RawMessage
+	if st.Result != nil {
+		res, _ = json.Marshal(st.Result)
+	}
+	s.jappend(journal.Record{
+		Kind:     journal.KindFinish,
+		ID:       j.id,
+		State:    string(st.State),
+		Result:   res,
+		Error:    st.Error,
+		EventSeq: j.progress.lastSeq(),
+		Wall:     st.Finished,
+	}, true)
+	s.cleanupJobState(j, st)
+	s.maybeCompact()
+}
+
+// journalInterrupt marks a job cut off by shutdown. Not terminal: replay
+// re-admits it. Durable — it is written at shutdown, when losing it would
+// cost the next process the interrupt watermark.
+func (s *Server) journalInterrupt(j *job) {
+	s.jappend(journal.Record{
+		Kind:     journal.KindInterrupt,
+		ID:       j.id,
+		State:    string(StateInterrupted),
+		EventSeq: j.progress.lastSeq(),
+	}, true)
+}
+
+// cleanupJobState removes the per-job recovery files of a terminal job: the
+// driver checkpoint pair and its lock sidecar, and — for a completed fleet
+// job — the job's fleet directory (a failed or expired fleet job keeps its
+// directory so an operator can inspect or manually resume it).
+func (s *Server) cleanupJobState(j *job, st JobStatus) {
+	p := s.jobCkptPath(j.id)
+	os.Remove(p)
+	os.Remove(checkpoint.PrevPath(p))
+	os.Remove(p + ".lock")
+	if j.spec.Fleet && st.State == StateDone && s.opts.Fleet.Dir != "" {
+		os.RemoveAll(filepath.Join(s.opts.Fleet.Dir, j.id))
+	}
+}
+
+// maybeCompact replaces the journal's old segments with a snapshot of the
+// live store when the segment count has grown past the threshold. At most
+// one compaction runs at a time; contenders simply skip (the next terminal
+// record will try again).
+func (s *Server) maybeCompact() {
+	if s.jnl == nil || !s.compactMu.TryLock() {
+		return
+	}
+	defer s.compactMu.Unlock()
+	if s.jnl.Segments() < compactSegments {
+		return
+	}
+	before := s.jnl.ActiveSeq()
+	if err := s.jnl.CompactBefore(before, s.snapshotRecords()); err != nil {
+		s.met.journalErrors.Inc()
+		if s.opts.Log != nil {
+			fmt.Fprintf(s.opts.Log, "serve: journal compact: %v\n", err)
+		}
+		return
+	}
+	s.met.journalCompactions.Inc()
+}
+
+// snapshotRecords renders the live job store as journal records — the
+// minimal set whose replay reconstructs the same store. Replay merges by job
+// ID, so these may coexist with (and supersede) the incremental records
+// still in the active segment.
+func (s *Server) snapshotRecords() []journal.Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var recs []journal.Record
+	for _, id := range s.order {
+		j := s.jobs[id]
+		spec, err := json.Marshal(j.spec)
+		if err != nil {
+			continue
+		}
+		st := j.snapshot()
+		recs = append(recs, journal.Record{
+			Kind:     journal.KindSubmit,
+			ID:       id,
+			Seq:      j.seq,
+			Spec:     spec,
+			Version:  j.version,
+			EventSeq: j.progress.lastSeq(),
+			Wall:     st.Submitted,
+		})
+		if a := j.attempts(); a > 0 {
+			recs = append(recs, journal.Record{
+				Kind:    journal.KindStart,
+				ID:      id,
+				Attempt: a - 1,
+				Version: j.version,
+			})
+		}
+		if st.State.finished() {
+			var res json.RawMessage
+			if st.Result != nil {
+				res, _ = json.Marshal(st.Result)
+			}
+			recs = append(recs, journal.Record{
+				Kind:   journal.KindFinish,
+				ID:     id,
+				State:  string(st.State),
+				Result: res,
+				Error:  st.Error,
+				Wall:   st.Finished,
+			})
+		}
+	}
+	return recs
+}
+
+// closeJournal seals the journal exactly once, at the end of Drain when no
+// worker can append anymore.
+func (s *Server) closeJournal() {
+	s.jnlOnce.Do(func() {
+		if s.jnl != nil {
+			if err := s.jnl.Close(); err != nil && s.opts.Log != nil {
+				fmt.Fprintf(s.opts.Log, "serve: journal close: %v\n", err)
+			}
+		}
+	})
+}
+
+// openJournal opens (or creates) the state directory, replays the journal
+// and rebuilds the job store. Called from New before any worker starts, so
+// no lock ordering is in play yet.
+func (s *Server) openJournal() error {
+	if err := os.MkdirAll(filepath.Join(s.opts.StateDir, "ckpt"), 0o755); err != nil {
+		return fmt.Errorf("serve: state dir: %w", err)
+	}
+	w, recs, info, err := journal.Open(filepath.Join(s.opts.StateDir, "journal"), journal.Options{
+		OnSync: s.met.journalSyncs.Inc,
+	})
+	if err != nil {
+		return fmt.Errorf("serve: opening job journal: %w", err)
+	}
+	s.jnl = w
+	s.replay = ReplaySummary{Records: info.Records, Segments: info.Segments, Torn: info.Torn}
+	s.met.journalReplayed.Add(float64(info.Records))
+	s.reg.GaugeFunc("teaserve_journal_segments", "live job-journal segment files",
+		func() float64 { return float64(w.Segments()) })
+	s.rebuild(recs)
+	return nil
+}
+
+// rjob is the per-job merge of replayed records. Merging is order-agnostic
+// within a job: journaling happens outside the server lock, so a follower's
+// finish record can legitimately precede its submit record, and compaction
+// leaves duplicates of everything.
+type rjob struct {
+	hasSubmit bool
+	seq       int
+	spec      json.RawMessage
+	submitted time.Time
+	version   string
+	attempt   int // next dispatch attempt: max(start.Attempt)+1 over all starts
+	watermark int // max EventSeq seen: the progress-stream continuity point
+	finished  bool
+	state     State
+	result    json.RawMessage
+	errStr    string
+	endedAt   time.Time
+}
+
+// rebuild folds replayed records into the job store: finished jobs are
+// restored verbatim (their results re-seed the cache), unfinished ones are
+// re-admitted and scheduled for resume. It runs inside New before the worker
+// pool starts and before the server is visible to any other goroutine, so it
+// deliberately takes no lock — journalFinish for a non-resumable job ends in
+// maybeCompact, whose snapshot takes s.mu itself.
+func (s *Server) rebuild(recs []journal.Record) {
+	byID := make(map[string]*rjob)
+	for _, r := range recs {
+		if r.ID == "" {
+			continue
+		}
+		rj := byID[r.ID]
+		if rj == nil {
+			rj = &rjob{}
+			byID[r.ID] = rj
+		}
+		switch r.Kind {
+		case journal.KindSubmit:
+			if !rj.hasSubmit {
+				rj.hasSubmit = true
+				rj.seq = r.Seq
+				rj.spec = r.Spec
+				rj.submitted = r.Wall
+			}
+			if r.Seq > s.seq {
+				s.seq = r.Seq
+			}
+		case journal.KindStart:
+			if r.Attempt+1 > rj.attempt {
+				rj.attempt = r.Attempt + 1
+			}
+		case journal.KindFinish:
+			rj.finished = true
+			rj.state = State(r.State)
+			rj.result = r.Result
+			rj.errStr = r.Error
+			rj.endedAt = r.Wall
+		}
+		if r.Version != "" {
+			rj.version = r.Version
+		}
+		if r.EventSeq > rj.watermark {
+			rj.watermark = r.EventSeq
+		}
+	}
+
+	ids := make([]string, 0, len(byID))
+	for id, rj := range byID {
+		if !rj.hasSubmit {
+			// Never acknowledged to a client: whatever partial records exist
+			// (a finish that outran its submit is impossible — finish implies
+			// the submit was journaled first in the same process — but a
+			// corrupt segment can orphan records) are discarded.
+			s.replay.Dropped++
+			continue
+		}
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return byID[ids[a]].seq < byID[ids[b]].seq })
+
+	for _, id := range ids {
+		rj := byID[id]
+		var spec JobSpec
+		specErr := json.Unmarshal(rj.spec, &spec)
+		var cfg config.Config
+		if specErr == nil {
+			cfg, specErr = resolveSpec(spec)
+		}
+		j := &job{
+			id:       id,
+			seq:      rj.seq,
+			spec:     spec,
+			cfg:      cfg,
+			version:  rj.version,
+			attempt:  rj.attempt,
+			resumed:  rj.attempt > 0,
+			progress: newProgress(),
+			status: JobStatus{
+				ID:        id,
+				State:     StateQueued,
+				Version:   rj.version,
+				Submitted: rj.submitted,
+			},
+		}
+		if specErr == nil {
+			j.cfgHash = cfg.CanonicalHash()
+		}
+		j.progress.seed(rj.watermark)
+		s.replay.Jobs++
+		switch {
+		case rj.finished:
+			s.restoreFinished(j, rj)
+		case specErr != nil:
+			// The spec no longer resolves (a registry version removed across
+			// the restart, say): the job cannot run, so it fails typed rather
+			// than resuming into a crash.
+			s.failReplayed(j, fmt.Errorf("serve: replayed job %s no longer resolves: %w", id, specErr))
+		case spec.Fleet && !s.fleetEnabled():
+			s.failReplayed(j, fmt.Errorf("serve: replayed fleet job %s: fleet is not enabled on this server", id))
+		case rj.attempt >= s.opts.ResumeBudget:
+			s.met.resumeGaveUp.Inc()
+			s.replay.GaveUp++
+			s.failReplayed(j, fmt.Errorf(
+				"serve: resume budget exhausted: job took %d dispatch attempts without finishing (budget %d)",
+				rj.attempt, s.opts.ResumeBudget))
+		default:
+			s.resumeReplayed(j)
+		}
+	}
+}
+
+// restoreFinishedLocked puts an already-terminal replayed job back in the
+// store exactly as it ended, restores its share of the lifecycle counters
+// (so the accepted == completed+expired+failed identity survives restarts)
+// and re-seeds the result cache from completed work. Caller holds s.mu.
+func (s *Server) restoreFinished(j *job, rj *rjob) {
+	var res *JobResult
+	if len(rj.result) > 0 {
+		var r JobResult
+		if json.Unmarshal(rj.result, &r) == nil {
+			res = &r
+		}
+	}
+	j.update(func(st *JobStatus) {
+		st.State = rj.state
+		st.Finished = rj.endedAt
+		st.Error = rj.errStr
+		st.Result = res
+	})
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.met.submitted.Inc()
+	switch rj.state {
+	case StateDone:
+		s.met.completed.Inc()
+	case StateExpired:
+		s.met.expired.Inc()
+	default:
+		s.met.failed.Inc()
+	}
+	j.progress.emit(Event{Type: "done", State: rj.state, Result: res, Error: rj.errStr, Time: rj.endedAt})
+	s.replay.Finished++
+	if rj.state == StateDone && res != nil && j.cfgHash != "" && s.cacheable(j.spec) && j.version != "" {
+		for n := s.cache.put(cacheEntry{
+			key:     cacheKey(j.cfgHash, j.version, j.spec),
+			version: j.version,
+			result:  *res,
+		}); n > 0; n-- {
+			s.met.cacheEvLRU.Inc()
+		}
+	}
+}
+
+// failReplayedLocked settles a replayed job that cannot be resumed with a
+// typed terminal failure, journaled so the next replay sees it finished.
+// Caller holds s.mu.
+func (s *Server) failReplayed(j *job, cause error) {
+	now := time.Now()
+	j.update(func(st *JobStatus) {
+		st.State = StateFailed
+		st.Finished = now
+		st.Error = cause.Error()
+		st.Result = &JobResult{Partial: true}
+	})
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.met.submitted.Inc()
+	s.met.failed.Inc()
+	st := j.snapshot()
+	j.progress.emit(Event{Type: "done", State: StateFailed, Result: st.Result, Error: st.Error})
+	s.journalFinish(j, st)
+}
+
+// resumeReplayedLocked re-admits an unfinished replayed job. Jobs that never
+// started are queued immediately; jobs that had started when the server died
+// wait out a full-jittered backoff first (attempt-scaled), so a job that
+// kills the server cannot hot-loop it. Identical cacheable jobs re-coalesce
+// into one flight, exactly as their original submissions did. Caller holds
+// s.mu.
+func (s *Server) resumeReplayed(j *job) {
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.met.submitted.Inc()
+	s.met.resumed.Inc()
+	s.replay.Resumed++
+
+	if j.version == "" {
+		// The crash beat the submit record's version resolution (possible
+		// only for records from a torn tail): resolve it now.
+		if j.spec.Fleet {
+			j.version = FleetVersion
+			s.load[j.version]++
+		} else {
+			j.version = s.pickVersionLocked(j)
+		}
+		j.update(func(st *JobStatus) { st.Version = j.version })
+	} else {
+		s.load[j.version]++
+	}
+
+	if s.cacheable(j.spec) && j.cfgHash != "" {
+		k := cacheKey(j.cfgHash, j.version, j.spec)
+		j.key = k
+		if f, ok := s.flights[k]; ok && !f.done {
+			// An identical resumed job already leads a flight: ride it as a
+			// follower instead of solving twice. Followers hold no version
+			// slot, so give back the one taken above.
+			s.load[j.version]--
+			f.followers = append(f.followers, j)
+			j.progress.emit(Event{Type: "state", State: StateQueued})
+			return
+		}
+		f := &flight{key: k, leader: j}
+		j.flight = f
+		s.flights[k] = f
+	}
+
+	s.met.queueDepth.Inc()
+	j.progress.emit(Event{Type: "state", State: StateQueued})
+
+	if j.attempts() == 0 {
+		// Never dispatched: nothing to back off from. pushForce cannot fail
+		// here — the server is still being constructed, so it is not
+		// draining, and replayed jobs bypass the admission cap (they were
+		// already admitted once).
+		if err := s.sched.pushForce(j); err != nil {
+			s.interruptUndelivered(j)
+		}
+		return
+	}
+	delay := driver.BackoffDelay(s.opts.ResumeBackoff, j.attempts())
+	s.resumeWG.Add(1)
+	go func() {
+		defer s.resumeWG.Done()
+		t := time.NewTimer(delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-s.drainCh:
+			// Shutting down before the backoff elapsed: hand the job to the
+			// next process instead of racing the drain.
+		}
+		if err := s.sched.pushForce(j); err != nil {
+			s.interruptUndelivered(j)
+		}
+	}()
+}
+
+// interruptUndelivered settles a resumed job whose re-admission lost the
+// race with Drain: it never started here, so it stays interrupted (no budget
+// burned) and the next process resumes it again.
+func (s *Server) interruptUndelivered(j *job) {
+	j.update(func(st *JobStatus) { st.State = StateInterrupted })
+	j.progress.emit(Event{Type: "state", State: StateInterrupted})
+	s.met.interrupted.Inc()
+	s.met.queueDepth.Dec()
+	s.journalInterrupt(j)
+	s.releaseVersion(j.version)
+}
+
+// interrupted reports whether shutdown has cancelled the interrupt context —
+// the signal for workers to stop dispatching and settle queued jobs as
+// resumable interruptions.
+func (s *Server) interruptedErr() error {
+	if s.intCtx == nil {
+		return nil
+	}
+	if cause := context.Cause(s.intCtx); cause != nil {
+		return fmt.Errorf("serve: job not started: %w", errInterrupted)
+	}
+	return nil
+}

@@ -69,6 +69,25 @@ func (p *progress) emit(ev Event) {
 	p.mu.Unlock()
 }
 
+// seed advances the sequence counter to at least n without emitting: a job
+// rebuilt from the journal continues its event numbering past the replayed
+// watermark, so a client resuming with Last-Event-ID from before the
+// restart never sees a sequence number reused for a different event.
+func (p *progress) seed(n int) {
+	p.mu.Lock()
+	if n > p.nextID {
+		p.nextID = n
+	}
+	p.mu.Unlock()
+}
+
+// lastSeq returns the highest assigned event sequence number.
+func (p *progress) lastSeq() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.nextID
+}
+
 // since returns the buffered events with Seq > n, a channel that closes on
 // the next append, and whether the stream is finished. An empty slice with
 // done=false means "wait on ch".

@@ -69,6 +69,24 @@ func (q *sched) push(j *job) error {
 	return nil
 }
 
+// pushForce enqueues a job regardless of the capacity bound. It exists for
+// journal replay: a job the server already acknowledged durably must be
+// re-admitted — bouncing it off the queue cap would silently lose accepted
+// work, the exact failure the journal exists to prevent. It still fails
+// with ErrDraining after close.
+func (q *sched) pushForce(j *job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrDraining
+	}
+	t := tierOf(j.spec.Priority)
+	q.tiers[t] = append(q.tiers[t], j)
+	q.size++
+	q.cond.Signal()
+	return nil
+}
+
 // nextTierLocked returns the non-empty tier with the least virtual time, or
 // -1 when the queue is empty.
 func (q *sched) nextTierLocked() int {

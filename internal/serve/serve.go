@@ -19,6 +19,7 @@ import (
 	"github.com/warwick-hpsc/tealeaf-go/internal/obs"
 	"github.com/warwick-hpsc/tealeaf-go/internal/profiler"
 	"github.com/warwick-hpsc/tealeaf-go/internal/registry"
+	"github.com/warwick-hpsc/tealeaf-go/internal/serve/journal"
 	"github.com/warwick-hpsc/tealeaf-go/internal/solver"
 )
 
@@ -49,9 +50,15 @@ const (
 	// StateFailed: the solve errored past every recovery; Result holds
 	// whatever partial stats exist and Error the cause chain.
 	StateFailed State = "failed"
+	// StateInterrupted: server shutdown cut the job off mid-flight. Not
+	// terminal — with a state directory configured the journal still holds
+	// the job, and the next server start re-admits and resumes it (from
+	// its last checkpoint when it has one).
+	StateInterrupted State = "interrupted"
 )
 
-// finished reports whether a state is terminal.
+// finished reports whether a state is terminal. Interrupted is deliberately
+// not: an interrupted job is awaiting resume by the next server process.
 func (st State) finished() bool {
 	return st == StateDone || st == StateExpired || st == StateFailed
 }
@@ -195,6 +202,12 @@ type job struct {
 	flight   *flight // singleflight this job leads; nil otherwise
 	progress *progress
 	status   JobStatus
+	// attempt counts dispatch attempts across server restarts (guarded by mu
+	// via nextAttempt/attempts: compaction snapshots read it concurrently).
+	// resumed marks a job re-admitted by journal replay; it is set before the
+	// worker pool starts and read-only after.
+	attempt int
+	resumed bool
 }
 
 func (j *job) snapshot() JobStatus {
@@ -280,6 +293,24 @@ type Options struct {
 	// per job (which is what makes drained fleet jobs resumable by an
 	// operator); empty uses a fresh temp dir per job.
 	Fleet fleet.Options
+	// StateDir, when set, makes the job plane crash-safe: every accepted
+	// job is recorded in an append-only journal under StateDir/journal
+	// (fsynced before Submit acknowledges), per-job recovery checkpoints
+	// are mirrored to StateDir/ckpt/<job-id>, and New replays the journal
+	// to rebuild the job store and auto-resume interrupted work. Empty
+	// keeps the job plane in-memory (a restart forgets everything).
+	// Exactly one server may use a StateDir at a time.
+	StateDir string
+	// ResumeBudget bounds how many dispatch attempts one job may take
+	// across restarts before replay fails it with a typed error instead of
+	// resuming again (<= 0: 3). It exists so a job that crashes the server
+	// cannot crash-loop it forever.
+	ResumeBudget int
+	// ResumeBackoff is the base of the full-jittered exponential delay
+	// before re-dispatching a resumed job that had already started when
+	// the server died (driver.BackoffDelay semantics; 0: 2s). Jobs that
+	// never started resume immediately.
+	ResumeBackoff time.Duration
 	// Metrics receives the serve-layer metrics; nil creates a private
 	// registry (exposed at /metrics either way).
 	Metrics *obs.Registry
@@ -323,6 +354,17 @@ type metrics struct {
 	fleetMigrations *obs.Counter
 	fleetWorkers    *obs.Gauge
 	fleetDegraded   *obs.Gauge
+
+	// Durable job plane: journal, replay and resume.
+	interrupted        *obs.Counter
+	journalRecords     *obs.Counter
+	journalBytes       *obs.Counter
+	journalSyncs       *obs.Counter
+	journalErrors      *obs.Counter
+	journalCompactions *obs.Counter
+	journalReplayed    *obs.Counter
+	resumed            *obs.Counter
+	resumeGaveUp       *obs.Counter
 }
 
 func newMetrics(r *obs.Registry) metrics {
@@ -368,6 +410,25 @@ func newMetrics(r *obs.Registry) metrics {
 			"worker processes that finished the most recent fleet job"),
 		fleetDegraded: r.Gauge("teaserve_fleet_degraded",
 			"1 when the most recent fleet job finished on a degraded (shrunken) fleet; fails /readyz"),
+
+		interrupted: r.Counter("teaserve_jobs_interrupted_total",
+			"jobs cut off by server shutdown; with a state dir they resume on the next start"),
+		journalRecords: r.Counter("teaserve_journal_records_total",
+			"records appended to the job journal"),
+		journalBytes: r.Counter("teaserve_journal_bytes_total",
+			"bytes appended to the job journal"),
+		journalSyncs: r.Counter("teaserve_journal_syncs_total",
+			"journal fsync batches (group commit: one sync covers many appends)"),
+		journalErrors: r.Counter("teaserve_journal_errors_total",
+			"journal append/compact failures; non-zero means durability is degraded"),
+		journalCompactions: r.Counter("teaserve_journal_compactions_total",
+			"journal compactions (old segments replaced by a live-state snapshot)"),
+		journalReplayed: r.Counter("teaserve_journal_replayed_records_total",
+			"journal records recovered by startup replay"),
+		resumed: r.Counter("teaserve_resumed_jobs_total",
+			"unfinished journaled jobs re-admitted by startup replay"),
+		resumeGaveUp: r.Counter("teaserve_resume_gaveup_total",
+			"journaled jobs failed at replay because their resume budget was exhausted"),
 	}
 }
 
@@ -381,6 +442,21 @@ type Server struct {
 
 	sched *sched
 	wg    sync.WaitGroup
+
+	// Durable job plane (all nil/zero without Options.StateDir). intCtx is
+	// the interrupt context every job context derives from: Drain cancels
+	// it (cause errInterrupted) when its budget expires, turning in-flight
+	// jobs into resumable interruptions instead of hostages. resumeWG
+	// tracks the delayed-resume timers replay schedules.
+	jnl       *journal.Writer
+	replay    ReplaySummary
+	intCtx    context.Context
+	intCancel context.CancelCauseFunc
+	drainCh   chan struct{}
+	drainOnce sync.Once
+	resumeWG  sync.WaitGroup
+	jnlOnce   sync.Once
+	compactMu sync.Mutex // at most one compaction renders at a time
 
 	mu       sync.Mutex // guards jobs/order/seq/load/flights/cache and admission
 	draining bool
@@ -419,8 +495,15 @@ func New(opts Options) (*Server, error) {
 	if opts.RetainJobs <= 0 {
 		opts.RetainJobs = 4096
 	}
-	// Per-job checkpoints are in-memory only; a shared file path would have
-	// concurrent jobs overwrite each other's recovery points.
+	if opts.ResumeBudget <= 0 {
+		opts.ResumeBudget = 3
+	}
+	if opts.ResumeBackoff <= 0 {
+		opts.ResumeBackoff = 2 * time.Second
+	}
+	// A shared checkpoint file path would have concurrent jobs overwrite
+	// each other's recovery points; per-job paths are derived from StateDir
+	// inside solve instead.
 	opts.Recovery.CheckpointPath = ""
 	opts.Recovery.Resume = false
 	if opts.Metrics == nil {
@@ -429,15 +512,19 @@ func New(opts Options) (*Server, error) {
 	if opts.Tracer == nil {
 		opts.Tracer = obs.NewTracer(0)
 	}
+	intCtx, intCancel := context.WithCancelCause(context.Background())
 	s := &Server{
-		opts:    opts,
-		reg:     opts.Metrics,
-		tracer:  opts.Tracer,
-		met:     newMetrics(opts.Metrics),
-		sched:   newSched(opts.QueueSize),
-		jobs:    make(map[string]*job),
-		load:    make(map[string]int),
-		flights: make(map[string]*flight),
+		opts:      opts,
+		reg:       opts.Metrics,
+		tracer:    opts.Tracer,
+		met:       newMetrics(opts.Metrics),
+		sched:     newSched(opts.QueueSize),
+		intCtx:    intCtx,
+		intCancel: intCancel,
+		drainCh:   make(chan struct{}),
+		jobs:      make(map[string]*job),
+		load:      make(map[string]int),
+		flights:   make(map[string]*flight),
 	}
 	if opts.CacheSize > 0 {
 		s.cache = newResultCache(opts.CacheSize, opts.CacheTTL)
@@ -455,6 +542,13 @@ func New(opts Options) (*Server, error) {
 		func() float64 { return float64(s.tracer.Dropped()) })
 	for _, name := range opts.Versions {
 		s.load[name] = 0
+	}
+	if opts.StateDir != "" {
+		// Replay happens before any worker starts: the rebuilt store and the
+		// resume queue are fully consistent by the time dispatch begins.
+		if err := s.openJournal(); err != nil {
+			return nil, err
+		}
 	}
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
@@ -583,7 +677,9 @@ func (s *Server) candidateVersions(spec JobSpec) []string {
 // identical in-flight solve adopts it as a follower (Coalesced on
 // completion), and only a genuine miss occupies a queue slot and a worker.
 // Rejections are typed: ErrQueueFull when the bounded queue is at capacity,
-// ErrDraining after Drain began; anything else is a spec error.
+// ErrDraining after Drain began; anything else is a spec error. With a
+// StateDir configured the returned acknowledgement is durable: the job's
+// journal record is fsynced before Submit returns.
 func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 	cfg, err := resolveSpec(spec)
 	if err != nil {
@@ -595,11 +691,27 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 		return JobStatus{}, errors.New("serve: fleet jobs are not enabled on this server (no fleet worker binary configured)")
 	}
 
+	j, err := s.admitJob(spec, cfg, cfgHash)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	// Journaled outside the server lock: an fsync must never serialize
+	// admission. A worker can journal this job's start (or even finish)
+	// first; replay merges a job's records regardless of order.
+	st := j.snapshot()
+	s.journalSubmit(j, st)
+	return st, nil
+}
+
+// admitJob is Submit's locked body: the cache / singleflight / queue
+// three-way admission. It returns the admitted job (possibly already
+// finished, on a cache hit).
+func (s *Server) admitJob(spec JobSpec, cfg config.Config, cfgHash string) (*job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
 		s.met.rejected.Inc()
-		return JobStatus{}, ErrDraining
+		return nil, ErrDraining
 	}
 	s.seq++
 	id := fmt.Sprintf("job-%06d", s.seq)
@@ -630,7 +742,7 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 				s.admitLocked(j)
 				s.met.cacheHits.Inc()
 				s.finishFromCacheLocked(j, e)
-				return j.snapshot(), nil
+				return j, nil
 			}
 		}
 		// Singleflight: collapse onto an identical in-flight solve.
@@ -643,7 +755,7 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 				f.followers = append(f.followers, j)
 				s.admitLocked(j)
 				j.progress.emit(Event{Type: "state", State: StateQueued})
-				return j.snapshot(), nil
+				return j, nil
 			}
 		}
 	}
@@ -665,7 +777,7 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 		s.seq-- // the slot was never used
 		s.load[version]--
 		s.met.rejected.Inc()
-		return JobStatus{}, err
+		return nil, err
 	}
 	if s.cacheable(spec) {
 		// Counted only after admission: a queue-full rejection is neither
@@ -679,7 +791,7 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 	s.admitLocked(j)
 	s.met.queueDepth.Inc()
 	j.progress.emit(Event{Type: "state", State: StateQueued})
-	return j.snapshot(), nil
+	return j, nil
 }
 
 // admitLocked registers an accepted job in the store and applies the
@@ -804,8 +916,12 @@ func (s *Server) Ready() bool {
 
 // Drain stops admission immediately (new submissions get ErrDraining),
 // lets every queued and in-flight job run to completion, and returns when
-// the worker pool is idle. The context bounds the wait only — jobs are not
-// cancelled by it; a job's own deadline remains its bound.
+// the worker pool is idle. The context bounds the graceful wait: on its
+// expiry Drain interrupts the remaining jobs — they settle as
+// StateInterrupted (journaled as resumable when a StateDir is configured,
+// so the next server process picks them up), the workers are waited out,
+// and Drain still returns a non-nil error naming the cut-off. A job's own
+// deadline remains its only in-band time bound.
 func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
@@ -813,17 +929,29 @@ func (s *Server) Drain(ctx context.Context) error {
 		s.sched.close()
 	}
 	s.mu.Unlock()
+	// Pending resume timers either deliver now (and get ErrDraining from the
+	// queue, settling interrupted) or are already gone.
+	s.drainOnce.Do(func() { close(s.drainCh) })
 	done := make(chan struct{})
 	go func() {
+		s.resumeWG.Wait()
 		s.wg.Wait()
 		close(done)
 	}()
 	select {
 	case <-done:
+		s.closeJournal()
 		return nil
 	case <-ctx.Done():
-		return fmt.Errorf("serve: drain interrupted with jobs still running: %w", context.Cause(ctx))
 	}
+	// Budget exhausted: cancel the interrupt context so in-flight solves stop
+	// at their next step boundary and settle as resumable interruptions, then
+	// wait the workers out for real — returning with workers still mutating
+	// the journal would race its close.
+	s.intCancel(errInterrupted)
+	<-done
+	s.closeJournal()
+	return fmt.Errorf("serve: drain interrupted with jobs still running: %w", context.Cause(ctx))
 }
 
 // Close is Drain with an unbounded wait.
@@ -933,6 +1061,10 @@ func (s *Server) runBatch(batch []*job) {
 // and the readiness latch. Fleet jobs emit state and done progress events
 // but no per-step events (steps happen in the worker processes).
 func (s *Server) runFleet(j *job) {
+	if ierr := s.interruptedErr(); ierr != nil {
+		s.settleJob(j, &JobResult{Partial: true}, 0, ierr)
+		return
+	}
 	s.met.inflight.Inc()
 	defer s.met.inflight.Dec()
 
@@ -944,6 +1076,8 @@ func (s *Server) runFleet(j *job) {
 	j.progress.emit(Event{Type: "state", State: StateRunning})
 	s.met.solves.Inc()
 	s.met.fleetJobs.Inc()
+	attempt := j.nextAttempt()
+	s.journalStart(j, attempt)
 
 	fo := s.opts.Fleet
 	if j.spec.FleetWorkers > 0 {
@@ -967,8 +1101,21 @@ func (s *Server) runFleet(j *job) {
 		fo.Dir = filepath.Join(fo.Dir, j.id)
 	}
 	fo.Log = s.opts.Log
+	// Continue attempt numbering from prior dispatches of this job: a
+	// nonzero base never re-arms the fault schedule (the drill's faults
+	// already fired before the restart), and attempt directories stay
+	// distinguishable across server generations.
+	fo.AttemptBase = attempt
+	if j.resumed && fo.Dir != "" {
+		if step, ok := fleet.ProbeResume(fo.Dir); ok && s.opts.Log != nil {
+			fmt.Fprintf(s.opts.Log, "serve: fleet job %s resumes from checkpoint step %d\n", j.id, step)
+		}
+	}
 
-	ctx := context.Background()
+	// Derived from the interrupt context: Drain past its budget cancels the
+	// fleet mid-attempt, which surfaces as fleet.ErrDrained wrapping
+	// errInterrupted and settles the job as resumable.
+	ctx := s.intCtx
 	deadline := time.Duration(j.spec.Deadline)
 	if deadline == 0 {
 		deadline = s.opts.DefaultDeadline
@@ -1024,6 +1171,12 @@ func (s *Server) finishFleetJob(j *job, res *fleet.Result, wall time.Duration, e
 // run executes one job on a prebuilt port, returning a promoted follower to
 // run next (nil if none) and whether the port is still safe to reuse.
 func (s *Server) run(j *job, port driver.Kernels) (next *job, healthy bool) {
+	if ierr := s.interruptedErr(); ierr != nil {
+		// Popped after shutdown began: settle as interrupted without a start
+		// record, so the replayed job resumes immediately and the aborted
+		// dispatch never burns resume budget.
+		return s.settleJob(j, &JobResult{Partial: true}, 0, ierr), true
+	}
 	s.met.inflight.Inc()
 	defer s.met.inflight.Dec()
 
@@ -1034,6 +1187,7 @@ func (s *Server) run(j *job, port driver.Kernels) (next *job, healthy bool) {
 	})
 	j.progress.emit(Event{Type: "state", State: StateRunning})
 	s.met.solves.Inc()
+	s.journalStart(j, j.nextAttempt())
 	res, wall, err := s.solve(j, port)
 	next = s.finishJob(j, res, wall, err)
 	return next, err == nil
@@ -1076,6 +1230,12 @@ func (s *Server) settleJob(j *job, result *JobResult, wall time.Duration, err er
 		switch {
 		case err == nil:
 			st.State = StateDone
+		case errors.Is(err, errInterrupted):
+			// Shutdown cut the job off. Not terminal: the journal keeps the
+			// job unfinished, and the next server process resumes it.
+			st.State = StateInterrupted
+			st.Error = err.Error()
+			result.Partial = true
 		case errors.Is(err, context.DeadlineExceeded):
 			st.State = StateExpired
 			st.Error = err.Error()
@@ -1093,6 +1253,8 @@ func (s *Server) settleJob(j *job, result *JobResult, wall time.Duration, err er
 		s.met.latency.Observe(wall.Seconds())
 	case StateExpired:
 		s.met.expired.Inc()
+	case StateInterrupted:
+		s.met.interrupted.Inc()
 	default:
 		s.met.failed.Inc()
 	}
@@ -1100,8 +1262,16 @@ func (s *Server) settleJob(j *job, result *JobResult, wall time.Duration, err er
 	if err != nil {
 		errStr = err.Error()
 	}
-	doneRes := *result
-	j.progress.emit(Event{Type: "done", State: state, Result: &doneRes, Error: errStr})
+	if state == StateInterrupted {
+		// No "done" event: the progress stream is not over, it continues
+		// (with preserved sequence numbering) after the next server start.
+		j.progress.emit(Event{Type: "state", State: StateInterrupted, Error: errStr})
+		s.journalInterrupt(j)
+	} else {
+		doneRes := *result
+		j.progress.emit(Event{Type: "done", State: state, Result: &doneRes, Error: errStr})
+		s.journalFinish(j, j.snapshot())
+	}
 	s.releaseVersion(j.version)
 
 	// Singleflight settlement: a successful leader caches its result and
@@ -1161,6 +1331,7 @@ func (s *Server) completeFollower(fj *job, result JobResult) {
 	s.met.latency.Observe(now.Sub(submitted).Seconds())
 	res := r
 	fj.progress.emit(Event{Type: "done", State: StateDone, Result: &res})
+	s.journalFinish(fj, fj.snapshot())
 }
 
 // solve wires instrumentation onto a prebuilt port and runs the resilient
@@ -1208,8 +1379,20 @@ func (s *Server) solve(j *job, port driver.Kernels) (res driver.Result, wall tim
 	if j.spec.MaxRetries > 0 {
 		pol.MaxRetries = j.spec.MaxRetries
 	}
+	if s.jnl != nil && pol.CheckpointEvery > 0 {
+		// Durable mode mirrors this job's recovery points to its own file, so
+		// a crashed server resumes the solve instead of redoing it. Resume
+		// only on replayed jobs: a fresh job must never adopt a leftover
+		// checkpoint from a prior identically-named job (IDs restart only
+		// when the journal was removed).
+		pol.CheckpointPath = s.jobCkptPath(j.id)
+		pol.Resume = j.resumed
+	}
 
-	ctx := context.Background()
+	// Derived from the interrupt context: Drain past its budget cancels the
+	// solve at the next step boundary, which surfaces as errInterrupted (the
+	// cancellation cause) and settles the job as resumable.
+	ctx := s.intCtx
 	deadline := time.Duration(j.spec.Deadline)
 	if deadline == 0 {
 		deadline = s.opts.DefaultDeadline
@@ -1236,6 +1419,7 @@ func (s *Server) solve(j *job, port driver.Kernels) (res driver.Result, wall tim
 			ev.Temperature = sr.Totals.Temperature
 		}
 		j.progress.emit(ev)
+		s.journalProgress(j, sr.Step)
 		// Followers of this flight see the leader's live progress too.
 		if f := j.flight; f != nil {
 			s.mu.Lock()

@@ -20,11 +20,18 @@ import (
 // WorkerCommand = os.Args[0] re-execs this binary, and the TEALEAF_FLEET_*
 // environment routes the child into the worker path instead of the tests.
 func TestMain(m *testing.M) {
+	// The fleet-worker check must come first: workers spawned by a crash-drill
+	// child inherit its TEASERVE_CRASH_CHILD environment, and routing them
+	// into the server branch would fork servers recursively.
 	if fleet.InWorkerEnv() {
 		if err := fleet.RunWorkerFromEnv(context.Background(), os.Stderr); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		os.Exit(0)
+	}
+	if os.Getenv("TEASERVE_CRASH_CHILD") != "" {
+		crashChildMain()
 		os.Exit(0)
 	}
 	os.Exit(m.Run())
