@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race chaos fleet-chaos serve-crash fuzz bench-par bench-cg bench-sdc bench-serve bench-tiling bench
+.PHONY: build test race chaos fleet-chaos serve-crash fuzz bench-par bench-cg bench-sdc bench-serve bench-tiling bench-portability docs-lint bench
 
 build:
 	$(GO) build ./...
@@ -100,6 +100,21 @@ bench-serve:
 # table.
 bench-tiling:
 	$(GO) run ./cmd/teabench -experiment tiling -n 256 -json
+
+# bench-portability runs every registered version at a reduced mesh and
+# writes BENCH_portability.json: measured host wall times and application
+# efficiencies, per-family harmonic-mean scores, and the deterministic
+# modeled Pennycook report — the committed baseline TestPortabilityGate
+# enforces and the artefact `teaserve -bench-dir` seeds its predictor
+# from; see docs/PORTABILITY.md for the schema.
+bench-portability:
+	$(GO) run ./cmd/teabench -experiment portability -n 128 -steps 2 -json
+
+# docs-lint cross-checks the operator docs against the code: every metric
+# a doc names must be registered, every registered metric documented, and
+# every teaserve flag covered by docs/OPERATIONS.md.
+docs-lint:
+	$(GO) test -count=1 -run 'TestDocsLint' .
 
 # bench runs the full repo benchmark set.
 bench:

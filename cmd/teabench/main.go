@@ -45,10 +45,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "experiment id: all, fig1a, fig1b, fig2a, fig2b, table1, table2, table3, sysanalysis, knlmodes, scaling, tiling, blocksize, measured, cgfusion, serve")
+	exp := flag.String("experiment", "all", "experiment id: all, fig1a, fig1b, fig2a, fig2b, table1, table2, table3, sysanalysis, knlmodes, scaling, tiling, blocksize, measured, cgfusion, serve, portability")
 	n := flag.Int("n", 192, "mesh edge for measured (real-execution) experiments")
 	steps := flag.Int("steps", 3, "time steps for measured experiments")
-	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (tiling, cgfusion and serve only)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (tiling, cgfusion, serve and portability only)")
 	tileX := flag.Int("tile-x", 0, "tile width for the tiling experiment (0: default 128)")
 	tileY := flag.Int("tile-y", 0, "tile height for the tiling experiment (0: default 32)")
 	tileAuto := flag.Bool("tile-auto", false, "size the explicit tiling arm from the detected cache topology instead of -tile-x/-tile-y")
@@ -100,6 +100,8 @@ func main() {
 		cgFusion(w, *n, *jsonOut)
 	case "serve":
 		serveBench(w, *jsonOut)
+	case "portability":
+		portabilityBench(w, *n, *steps, *jsonOut)
 	default:
 		fmt.Fprintf(os.Stderr, "teabench: unknown experiment %q\n", *exp)
 		os.Exit(2)

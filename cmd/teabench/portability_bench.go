@@ -1,0 +1,173 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/config"
+	"github.com/warwick-hpsc/tealeaf-go/internal/perfmodel"
+	"github.com/warwick-hpsc/tealeaf-go/internal/portability"
+	"github.com/warwick-hpsc/tealeaf-go/internal/registry"
+)
+
+// benchPortabilityJSONFile is where -json drops the portability record
+// (repo root when teabench runs from there, as `make bench-portability`
+// does). The `host` rows double as predictor seed data: teaserve
+// -bench-dir ingests them at startup, and the CI portability gate
+// validates them against the committed baseline.
+const benchPortabilityJSONFile = "BENCH_portability.json"
+
+// portabilityHostRow is one version's measured run on this host.
+type portabilityHostRow struct {
+	Version     string  `json:"version"`
+	Group       string  `json:"group"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Iterations  int     `json:"iterations"`
+	Efficiency  float64 `json:"efficiency"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// portabilityBenchReport is the BENCH_portability.json schema (documented
+// in docs/PORTABILITY.md). Mesh/steps/host match the perfmodel bench-file
+// reader, so the artefact feeds straight back into the predictor. The
+// modeled section is a pure function of the calibration tables — the CI
+// gate recomputes it and fails on drift; the host section is measured and
+// therefore validated for shape, not for absolute times.
+type portabilityBenchReport struct {
+	Mesh          int                  `json:"mesh"`
+	Steps         int                  `json:"steps"`
+	Host          []portabilityHostRow `json:"host"`
+	HostPennycook map[string]float64   `json:"host_pennycook"`
+	Modeled       portability.Report   `json:"modeled"`
+}
+
+// modeledPortabilityReport builds the deterministic half of the dashboard:
+// every registered version priced by the static roofline models on the
+// paper's Table II machines, scored over the CPU-only and CPU+GPU sets.
+// This is exactly what /portability serves for those platforms, minus the
+// live host column.
+func modeledPortabilityReport() portability.Report {
+	w := perfmodel.BM(1000)
+	work := float64(w.Cells()) * float64(w.Steps*w.ItersPerStep)
+	platforms := []string{string(perfmodel.Xeon), string(perfmodel.KNL), string(perfmodel.P100)}
+	sets := map[string][]string{
+		"cpu":    {string(perfmodel.Xeon), string(perfmodel.KNL)},
+		"cpugpu": {string(perfmodel.Xeon), string(perfmodel.KNL), string(perfmodel.P100)},
+	}
+	groups := make(map[string][]string)
+	rates := make(map[string]map[string]portability.Rate)
+	for _, v := range registry.All() {
+		if v.Name != "manual-serial" {
+			groups[v.Group] = append(groups[v.Group], v.Name)
+		}
+		byPlatform := make(map[string]portability.Rate)
+		for _, m := range perfmodel.Machines() {
+			if !perfmodel.Supported(v.Name, m.ID) {
+				continue
+			}
+			est, err := perfmodel.Time(v.Name, m, w)
+			if err != nil {
+				continue
+			}
+			byPlatform[string(m.ID)] = portability.Rate{SecPerWork: est.Seconds / work, Source: "model"}
+		}
+		rates[v.Name] = byPlatform
+	}
+	return portability.BuildReport(rates, platforms, groups, sets)
+}
+
+// portabilityBench runs every registered version at the given mesh on this
+// host, derives application efficiencies from the measured seconds per
+// cell-iteration (best version = 1.0), folds them into per-family
+// harmonic-mean scores, and appends the deterministic modeled report. With
+// jsonOut the record lands in BENCH_portability.json.
+func portabilityBench(w io.Writer, n, steps int, jsonOut bool) {
+	cfg := config.BenchmarkN(n)
+	cfg.EndStep = steps
+	rep := portabilityBenchReport{Mesh: n, Steps: steps, HostPennycook: map[string]float64{}}
+	bestRate := 0.0
+	for _, v := range registry.All() {
+		row := portabilityHostRow{Version: v.Name, Group: v.Group}
+		d, res, err := runVersion(v, cfg)
+		if err != nil {
+			row.Error = err.Error()
+			rep.Host = append(rep.Host, row)
+			continue
+		}
+		row.WallSeconds = d.Seconds()
+		row.Iterations = res.TotalIterations
+		rep.Host = append(rep.Host, row)
+		if row.Iterations > 0 {
+			rate := row.WallSeconds / (float64(n*n) * float64(row.Iterations))
+			if bestRate == 0 || rate < bestRate {
+				bestRate = rate
+			}
+		}
+	}
+	// Application efficiency: the fastest measured seconds-per-cell-iteration
+	// divided by this version's — the same normalisation the live dashboard
+	// applies to its rate table.
+	byGroup := map[string][]portability.Efficiency{}
+	for i := range rep.Host {
+		r := &rep.Host[i]
+		if r.Error != "" || r.Iterations <= 0 {
+			continue
+		}
+		rate := r.WallSeconds / (float64(n*n) * float64(r.Iterations))
+		r.Efficiency = bestRate / rate
+		if r.Version != "manual-serial" {
+			byGroup[r.Group] = append(byGroup[r.Group],
+				portability.Efficiency{Platform: r.Version, Value: r.Efficiency, Supported: true})
+		}
+	}
+	// Per-family score: the harmonic mean of the members' host
+	// efficiencies (Pennycook's formula with versions as the set).
+	for g, effs := range byGroup {
+		rep.HostPennycook[g] = portability.Pennycook(effs)
+	}
+	rep.Modeled = modeledPortabilityReport()
+
+	if jsonOut {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "teabench: %v\n", err)
+			return
+		}
+		buf = append(buf, '\n')
+		w.Write(buf)
+		if err := os.WriteFile(benchPortabilityJSONFile, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "teabench: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "teabench: wrote %s\n", benchPortabilityJSONFile)
+		}
+		return
+	}
+
+	fmt.Fprintf(w, "\n## Portability — measured host efficiencies, %d^2, %d steps (real execution)\n\n", n, steps)
+	fmt.Fprintf(w, "| %-18s | %-6s | %12s | %6s | %10s |\n", "version", "group", "wall (s)", "iters", "efficiency")
+	fmt.Fprintf(w, "|%s|%s|%s|%s|%s|\n", dashes(20), dashes(8), dashes(14), dashes(8), dashes(12))
+	for _, r := range rep.Host {
+		if r.Error != "" {
+			fmt.Fprintf(w, "| %-18s | %-6s | error: %s |\n", r.Version, r.Group, r.Error)
+			continue
+		}
+		fmt.Fprintf(w, "| %-18s | %-6s | %12.3f | %6d | %10.3f |\n",
+			r.Version, r.Group, r.WallSeconds, r.Iterations, r.Efficiency)
+	}
+	fmt.Fprintf(w, "\nPer-family host score (harmonic mean of member efficiencies):\n\n")
+	gs := make([]string, 0, len(rep.HostPennycook))
+	for g := range rep.HostPennycook {
+		gs = append(gs, g)
+	}
+	sort.Strings(gs)
+	for _, g := range gs {
+		fmt.Fprintf(w, "  %-8s %.3f\n", g, rep.HostPennycook[g])
+	}
+	fmt.Fprintf(w, "\nModeled P(a,p,H) per family (Table II machines, deterministic):\n\n")
+	for _, row := range rep.Modeled.Groups {
+		fmt.Fprintf(w, "  %-8s cpu=%.3f cpugpu=%.3f\n", row.Group, row.P["cpu"], row.P["cpugpu"])
+	}
+}

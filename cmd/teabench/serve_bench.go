@@ -30,6 +30,7 @@ type serveBenchConfig struct {
 	BatchMaxCells int      `json:"batch_max_cells"`
 	BatchMaxJobs  int      `json:"batch_max_jobs"`
 	Versions      []string `json:"versions"`
+	Sched         string   `json:"sched"`
 	Jobs          int      `json:"jobs"`
 	HotDecks      int      `json:"hot_decks"`
 	HotFraction   float64  `json:"hot_fraction"`
@@ -51,6 +52,9 @@ type serveBenchResult struct {
 	CacheHitRatio  float64          `json:"cache_hit_ratio"`
 	LatencyP50     float64          `json:"latency_p50_seconds"`
 	LatencyP99     float64          `json:"latency_p99_seconds"`
+	SchedDecisions float64          `json:"sched_decisions"`
+	PredErrP50     float64          `json:"pred_err_ratio_p50"`
+	PredErrP99     float64          `json:"pred_err_ratio_p99"`
 	Reconciles     bool             `json:"reconciles"` // completed == solves+followers+hits
 }
 
@@ -66,6 +70,7 @@ func serveBench(w io.Writer, jsonOut bool) {
 		BatchMaxCells: 4096,
 		BatchMaxJobs:  4,
 		Versions:      []string{"manual-serial"},
+		Sched:         serve.SchedPredictive,
 		Jobs:          400,
 		HotDecks:      4,
 		HotFraction:   0.75,
@@ -74,6 +79,7 @@ func serveBench(w io.Writer, jsonOut bool) {
 		QueueSize:     cfg.QueueSize,
 		Workers:       cfg.Workers,
 		Versions:      cfg.Versions,
+		Sched:         cfg.Sched,
 		CacheSize:     cfg.CacheSize,
 		BatchMaxCells: cfg.BatchMaxCells,
 		BatchMaxJobs:  cfg.BatchMaxJobs,
@@ -164,6 +170,9 @@ func serveBench(w io.Writer, jsonOut bool) {
 		BatchedJobs:    seriesValue(exp, "teaserve_batch_jobs_total"),
 		LatencyP50:     histogramQuantile(exp, "teaserve_solve_seconds", 0.50),
 		LatencyP99:     histogramQuantile(exp, "teaserve_solve_seconds", 0.99),
+		SchedDecisions: seriesValue(exp, `teaserve_sched_decisions_total{policy="predictive"}`),
+		PredErrP50:     histogramQuantile(exp, "teaserve_sched_prediction_error_ratio", 0.50),
+		PredErrP99:     histogramQuantile(exp, "teaserve_sched_prediction_error_ratio", 0.99),
 	}
 	if res.Completed > 0 {
 		res.CacheHitRatio = (res.CacheHits + res.Followers) / res.Completed
@@ -195,6 +204,8 @@ func serveBench(w io.Writer, jsonOut bool) {
 	fmt.Fprintf(w, "  micro-batches %8.0f  covering %.0f jobs\n", res.Batches, res.BatchedJobs)
 	fmt.Fprintf(w, "  hit ratio     %8.2f\n", res.CacheHitRatio)
 	fmt.Fprintf(w, "  latency p50   %8.4fs   p99 %8.4fs\n", res.LatencyP50, res.LatencyP99)
+	fmt.Fprintf(w, "  sched (%s) %8.0f decisions, prediction error p50 %.2fx p99 %.2fx\n",
+		cfg.Sched, res.SchedDecisions, res.PredErrP50, res.PredErrP99)
 	fmt.Fprintf(w, "  reconciles    %8v  (completed == solves + followers + hits)\n", res.Reconciles)
 }
 

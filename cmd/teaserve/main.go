@@ -69,7 +69,9 @@ func run() error {
 		addr     = flag.String("addr", ":8080", "listen address")
 		queue    = flag.Int("queue", 16, "bounded job queue depth; a full queue rejects with 429")
 		workers  = flag.Int("workers", 2, "concurrent solves; each worker runs one job on its own port instance")
-		versions = flag.String("versions", "manual-serial", "comma-separated scheduling pool; unpinned jobs go to the least-loaded member")
+		versions = flag.String("versions", "manual-serial", "comma-separated scheduling pool for unpinned jobs; -sched picks the arbitration policy")
+		sched    = flag.String("sched", serve.SchedPredictive, "version-pick policy for unpinned jobs: predictive (least predicted completion time, model-derived tuning hints) or leastloaded (legacy job-count fallback)")
+		benchDir = flag.String("bench-dir", "", "seed the solve-time predictor from the BENCH_*.json artefacts in this directory at startup (empty: cold-start from the static machine models)")
 		threads  = flag.Int("threads", 0, "threads per process/team for every job's port (0: all cores)")
 		ranks    = flag.Int("ranks", 0, "ranks for distributed versions (0: 4)")
 		blockX   = flag.Int("blockx", 0, "GPU kernel block width (0: version default)")
@@ -124,6 +126,8 @@ func run() error {
 		QueueSize: *queue,
 		Workers:   *workers,
 		Versions:  pool,
+		Sched:     *sched,
+		BenchDir:  *benchDir,
 		Params: registry.Params{
 			Threads: *threads,
 			Ranks:   *ranks,
@@ -176,8 +180,8 @@ func run() error {
 	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Printf("teaserve listening on %s  workers=%d queue=%d versions=%s\n",
-			*addr, opts.Workers, opts.QueueSize, strings.Join(opts.Versions, ","))
+		fmt.Printf("teaserve listening on %s  workers=%d queue=%d sched=%s versions=%s\n",
+			*addr, opts.Workers, opts.QueueSize, opts.Sched, strings.Join(opts.Versions, ","))
 		errc <- srv.ListenAndServe()
 	}()
 

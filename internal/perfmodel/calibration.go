@@ -1,8 +1,10 @@
 package perfmodel
 
-// Calibration: the fraction of the machine's best-implementation
+// Calibration priors: the fraction of the machine's best-implementation
 // throughput each TeaLeaf version sustains, at the small (1000^2) and
-// large (4000^2) problem sizes. These constants are digitized from the
+// large (4000^2) problem sizes. These are the cold-start priors behind
+// Predictor — live fits from observed solves supersede them per host —
+// and the fixed inputs for the portability report's modeled platforms. These constants are digitized from the
 // paper — Table III's application-efficiency columns anchor the large
 // values per implementation family, and the bar heights / narrative of
 // Figures 1-2 and Sections IV-V set the per-version spread and the small

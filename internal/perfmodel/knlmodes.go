@@ -6,6 +6,13 @@ package perfmodel
 // to the other memory modes"; numactl bound the whole working set to
 // MCDRAM, overflowing into DDR only beyond 16 GB. This ablation models the
 // three classic configurations so that the claim can be regenerated.
+//
+// Status: paper-ablation prior only. The KNL has been retired from every
+// production line (this project runs on generic multi-core hosts), so
+// these variants are never consulted by the live predictor or the
+// scheduler — they exist solely for `teabench -experiment knlmodes` and
+// the portability report's modeled columns, and stay covered by
+// knlmodes_test.go. Delete them only together with that experiment.
 
 // KNLMode identifies a KNL memory configuration.
 type KNLMode string

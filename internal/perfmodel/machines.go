@@ -15,10 +15,22 @@
 // factor, where the crossovers fall — while absolute seconds follow this
 // reproduction's (smaller) iteration counts.
 //
+// Role of these models since the serving stack landed: the three Table II
+// machines (including the long-retired KNL) are *calibration priors*, not
+// descriptions of hardware this project targets. They seed the stateful
+// Predictor (predictor.go) before any measurement exists and price the
+// hypothetical paper platforms in the portability report; every
+// "host"-platform number is live-fit from observed solve times and
+// teabench trajectories instead. The KNL model and its memory-mode
+// ablation (knlmodes.go) are kept deliberately — they regenerate the
+// paper's Section IV-B claim and remain test-covered — but nothing in the
+// scheduler consults them once host fits exist.
+//
 // Concurrency and ownership: the machine and calibration tables are
-// immutable after package init and the prediction functions are pure, so
-// everything here is safe to call from any number of goroutines without
-// coordination.
+// immutable after package init and the static prediction functions are
+// pure, so they are safe to call from any number of goroutines without
+// coordination. The one stateful type is Predictor, which carries its own
+// lock and documents its own guarantees.
 package perfmodel
 
 import "fmt"

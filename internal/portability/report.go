@@ -1,0 +1,159 @@
+package portability
+
+import (
+	"math"
+	"sort"
+)
+
+// Rate is one (application, platform) cost measurement: seconds per work
+// unit (cell-iterations), with its provenance. Source is free-form but the
+// serving layer uses "measured" (live fit), "prior" (static calibration
+// before any measurement) and "model" (the Table II machine models).
+type Rate struct {
+	SecPerWork float64 `json:"sec_per_work"`
+	Source     string  `json:"source"`
+	Samples    int     `json:"samples,omitempty"`
+}
+
+// Cell is one efficiency entry of the report: how close an application
+// comes to the platform's best application, with the provenance of the
+// underlying rate.
+type Cell struct {
+	Platform   string  `json:"platform"`
+	Efficiency float64 `json:"efficiency"`
+	Supported  bool    `json:"supported"`
+	Source     string  `json:"source,omitempty"`
+	Samples    int     `json:"samples,omitempty"`
+}
+
+// AppRow is one application's dashboard line: its efficiency on every
+// platform plus two Pennycook scores — PAll over the full platform set
+// (zero if any platform is unsupported, the strict paper definition) and
+// PSupported over just the platforms the application runs on.
+type AppRow struct {
+	App        string  `json:"app"`
+	Cells      []Cell  `json:"efficiencies"`
+	PAll       float64 `json:"p_all"`
+	PSupported float64 `json:"p_supported"`
+}
+
+// GroupRow scores an implementation family the way the paper's Table III
+// does: the family is represented on each platform by its fastest member,
+// normalised against the globally fastest application, and P is reported
+// per named platform set.
+type GroupRow struct {
+	Group string             `json:"group"`
+	P     map[string]float64 `json:"p"`
+}
+
+// Report is the full dashboard payload served at GET /portability.
+type Report struct {
+	Platforms []string            `json:"platforms"`
+	Sets      map[string][]string `json:"sets,omitempty"`
+	Apps      []AppRow            `json:"apps"`
+	Groups    []GroupRow          `json:"groups,omitempty"`
+}
+
+// round6 trims floats to six decimals so the JSON is stable and readable;
+// the inputs carry nowhere near that much signal.
+func round6(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Round(x*1e6) / 1e6
+}
+
+// BuildReport turns a rate table (application -> platform -> Rate) into
+// the dashboard: per-platform best-rate normalisation, per-application
+// efficiency rows and Pennycook scores, and per-group Table III-style
+// scores for each named platform set. groups maps family -> member
+// applications; sets maps set name -> platform subset. Output ordering is
+// deterministic (sorted) so the report can be golden-tested byte-for-byte.
+func BuildReport(rates map[string]map[string]Rate, platforms []string, groups map[string][]string, sets map[string][]string) Report {
+	best := make(map[string]float64, len(platforms))
+	for _, p := range platforms {
+		for _, byPlatform := range rates {
+			r, ok := byPlatform[p]
+			if !ok || r.SecPerWork <= 0 {
+				continue
+			}
+			if b, seen := best[p]; !seen || r.SecPerWork < b {
+				best[p] = r.SecPerWork
+			}
+		}
+	}
+
+	apps := make([]string, 0, len(rates))
+	for app := range rates {
+		apps = append(apps, app)
+	}
+	sort.Strings(apps)
+
+	rep := Report{Platforms: platforms, Sets: sets}
+	for _, app := range apps {
+		row := AppRow{App: app}
+		effs := make([]Efficiency, 0, len(platforms))
+		for _, p := range platforms {
+			r, ok := rates[app][p]
+			if !ok || r.SecPerWork <= 0 || best[p] <= 0 {
+				row.Cells = append(row.Cells, Cell{Platform: p})
+				effs = append(effs, Efficiency{Platform: p})
+				continue
+			}
+			e := best[p] / r.SecPerWork
+			row.Cells = append(row.Cells, Cell{
+				Platform:   p,
+				Efficiency: round6(e),
+				Supported:  true,
+				Source:     r.Source,
+				Samples:    r.Samples,
+			})
+			effs = append(effs, Efficiency{Platform: p, Value: e, Supported: true})
+		}
+		row.PAll = round6(Pennycook(effs))
+		supported := effs[:0:0]
+		for _, e := range effs {
+			if e.Supported {
+				supported = append(supported, e)
+			}
+		}
+		row.PSupported = round6(Pennycook(supported))
+		rep.Apps = append(rep.Apps, row)
+	}
+
+	if len(groups) > 0 {
+		names := make([]string, 0, len(groups))
+		for g := range groups {
+			names = append(names, g)
+		}
+		sort.Strings(names)
+		for _, g := range names {
+			row := GroupRow{Group: g, P: make(map[string]float64, len(sets))}
+			groupRate := make(map[string]float64, len(platforms))
+			for _, member := range groups[g] {
+				for p, r := range rates[member] {
+					if r.SecPerWork <= 0 {
+						continue
+					}
+					if b, seen := groupRate[p]; !seen || r.SecPerWork < b {
+						groupRate[p] = r.SecPerWork
+					}
+				}
+			}
+			for set, setPlatforms := range sets {
+				effs := make([]Efficiency, 0, len(setPlatforms))
+				for _, p := range setPlatforms {
+					r, ok := groupRate[p]
+					if !ok || best[p] <= 0 {
+						effs = append(effs, Efficiency{Platform: p})
+						continue
+					}
+					effs = append(effs, Efficiency{Platform: p, Value: best[p] / r, Supported: true})
+				}
+				row.P[set] = round6(Pennycook(effs))
+			}
+			rep.Groups = append(rep.Groups, row)
+		}
+	}
+	return rep
+}

@@ -1,0 +1,117 @@
+package portability
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func rateTable() map[string]map[string]Rate {
+	return map[string]map[string]Rate{
+		// app "fast" is best everywhere it runs; "slow" is half speed on
+		// cpu and absent on gpu; "gpuonly" runs only on gpu.
+		"fast": {
+			"cpu": {SecPerWork: 1e-9, Source: "measured", Samples: 12},
+			"gpu": {SecPerWork: 2e-9, Source: "model"},
+		},
+		"slow": {
+			"cpu": {SecPerWork: 2e-9, Source: "prior"},
+		},
+		"gpuonly": {
+			"gpu": {SecPerWork: 1e-9, Source: "model"},
+		},
+	}
+}
+
+func TestBuildReportEfficiencies(t *testing.T) {
+	rep := BuildReport(rateTable(), []string{"cpu", "gpu"},
+		map[string][]string{"F": {"fast"}, "S": {"slow", "gpuonly"}},
+		map[string][]string{"all": {"cpu", "gpu"}, "cpu": {"cpu"}})
+
+	if len(rep.Apps) != 3 {
+		t.Fatalf("apps = %d, want 3", len(rep.Apps))
+	}
+	byApp := map[string]AppRow{}
+	for _, r := range rep.Apps {
+		byApp[r.App] = r
+	}
+	// fast: cpu eff 1.0, gpu eff (1e-9)/(2e-9) = 0.5 -> P_all harmonic = 2/3.
+	f := byApp["fast"]
+	if f.Cells[0].Efficiency != 1 || f.Cells[1].Efficiency != 0.5 {
+		t.Fatalf("fast cells = %+v", f.Cells)
+	}
+	if math.Abs(f.PAll-round6(2.0/3.0)) > 1e-12 || f.PAll != f.PSupported {
+		t.Fatalf("fast P = %g / %g", f.PAll, f.PSupported)
+	}
+	if f.Cells[0].Source != "measured" || f.Cells[0].Samples != 12 {
+		t.Fatalf("fast provenance lost: %+v", f.Cells[0])
+	}
+	// slow: unsupported on gpu -> strict P 0, supported-only P = 0.5.
+	s := byApp["slow"]
+	if s.PAll != 0 || s.PSupported != 0.5 {
+		t.Fatalf("slow P = %g / %g", s.PAll, s.PSupported)
+	}
+	if s.Cells[1].Supported {
+		t.Fatal("slow/gpu should be unsupported")
+	}
+	// Groups: family S covers both platforms via different members
+	// (cpu via slow at eff 0.5, gpu via gpuonly at eff 1) -> all-set
+	// harmonic mean 2/(1/0.5 + 1/1) = 2/3.
+	if len(rep.Groups) != 2 {
+		t.Fatalf("groups = %+v", rep.Groups)
+	}
+	for _, g := range rep.Groups {
+		switch g.Group {
+		case "F":
+			if g.P["all"] != round6(2.0/3.0) || g.P["cpu"] != 1 {
+				t.Fatalf("F scores = %+v", g.P)
+			}
+		case "S":
+			if g.P["all"] != round6(2.0/3.0) || g.P["cpu"] != 0.5 {
+				t.Fatalf("S scores = %+v", g.P)
+			}
+		}
+	}
+}
+
+// TestBuildReportDeterministic: same input, byte-identical JSON — the
+// property the golden endpoint test relies on.
+func TestBuildReportDeterministic(t *testing.T) {
+	args := func() ([]byte, error) {
+		return json.Marshal(BuildReport(rateTable(), []string{"cpu", "gpu"},
+			map[string][]string{"F": {"fast"}, "S": {"slow", "gpuonly"}},
+			map[string][]string{"all": {"cpu", "gpu"}}))
+	}
+	a, err := args()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		b, err := args()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Fatalf("run %d differs:\n%s\n%s", i, a, b)
+		}
+	}
+}
+
+// TestBuildReportDegenerate: empty/garbage rate tables never panic or
+// emit NaN.
+func TestBuildReportDegenerate(t *testing.T) {
+	rep := BuildReport(nil, []string{"cpu"}, nil, nil)
+	if len(rep.Apps) != 0 {
+		t.Fatalf("empty table produced rows: %+v", rep.Apps)
+	}
+	rep = BuildReport(map[string]map[string]Rate{
+		"junk": {"cpu": {SecPerWork: -1}},
+	}, []string{"cpu"}, map[string][]string{"J": {"junk"}},
+		map[string][]string{"cpu": {"cpu"}})
+	if rep.Apps[0].PAll != 0 || rep.Apps[0].PSupported != 0 {
+		t.Fatalf("garbage rate scored: %+v", rep.Apps[0])
+	}
+	if rep.Groups[0].P["cpu"] != 0 {
+		t.Fatalf("garbage group scored: %+v", rep.Groups[0])
+	}
+}

@@ -594,7 +594,7 @@ func (s *Server) interruptUndelivered(j *job) {
 	s.met.interrupted.Inc()
 	s.met.queueDepth.Dec()
 	s.journalInterrupt(j)
-	s.releaseVersion(j.version)
+	s.releaseVersion(j)
 }
 
 // interrupted reports whether shutdown has cancelled the interrupt context —

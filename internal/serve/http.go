@@ -39,6 +39,9 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 //	                           HTTP at all — draining does NOT fail it
 //	GET  /readyz               readiness: 200 "ok" while accepting traffic,
 //	                           503 while draining or fleet-degraded
+//	GET  /portability          live Pennycook P(a,p,H) dashboard: per-
+//	                           version efficiencies and per-family scores
+//	                           from live fits + the static machine models
 //	GET  /metrics              Prometheus text exposition
 //	GET  /debug/trace          Chrome trace-event JSON of recent spans
 //	     /debug/pprof/*        the standard net/http/pprof handlers
@@ -48,6 +51,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("GET /portability", s.handlePortability)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.Handle("GET /metrics", s.reg.Handler())
@@ -206,6 +210,13 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, j *job, si
 			return
 		}
 	}
+}
+
+// handlePortability serves the live Pennycook dashboard. The report is
+// recomputed per request from the predictor's current fits plus the
+// static machine models, so it reflects every solve completed so far.
+func (s *Server) handlePortability(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.PortabilityReport())
 }
 
 // handleHealthz is pure liveness: if this handler runs at all, the process

@@ -21,6 +21,7 @@ func TestServeLoadSmoke(t *testing.T) {
 		CacheSize:     64,
 		BatchMaxCells: 4096,
 		BatchMaxJobs:  4,
+		Sched:         SchedPredictive,
 	})
 
 	const (
@@ -118,6 +119,15 @@ func TestServeLoadSmoke(t *testing.T) {
 	if sm := scraped("teaserve_cache_misses_total"); sm != solves {
 		// Every miss became exactly one real solve (no failures in this run).
 		t.Errorf("scraped misses %v != solves %v", sm, solves)
+	}
+	// The predictive scheduler made exactly one decision per real solve
+	// (cache hits and followers never reach the version pick), and every
+	// successful solve scored its admission-time prediction.
+	if sd := scraped(`teaserve_sched_decisions_total{policy="predictive"}`); sd != solves {
+		t.Errorf("scraped predictive decisions %v != solves %v", sd, solves)
+	}
+	if ec := s.met.predError.Count(); float64(ec) != solves {
+		t.Errorf("prediction-error samples %v != solves %v", ec, solves)
 	}
 
 	t.Logf("load smoke: %d jobs in %v (%.0f jobs/s), %v solves, %v hits, %v followers, hit ratio %.2f, p99 %.4fs",

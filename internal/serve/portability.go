@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"sort"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/obs"
+	"github.com/warwick-hpsc/tealeaf-go/internal/perfmodel"
+	"github.com/warwick-hpsc/tealeaf-go/internal/portability"
+	"github.com/warwick-hpsc/tealeaf-go/internal/registry"
+)
+
+// The portability dashboard's platform set: "host" is this machine,
+// priced by the live predictor (source "measured" once fitted, "prior"
+// before any observation — the dashboard always covers all 17 versions);
+// the other three are the paper's Table II machines, priced by the static
+// roofline models (source "model").
+const portHost = "host"
+
+var portPlatforms = []string{portHost, string(perfmodel.Xeon), string(perfmodel.KNL), string(perfmodel.P100)}
+
+// portSets are the named platform subsets P(a,p,H) is reported over,
+// mirroring the paper's CPU-only and CPU+GPU columns plus the live host.
+var portSets = map[string][]string{
+	"host":   {portHost},
+	"cpu":    {string(perfmodel.Xeon), string(perfmodel.KNL)},
+	"cpugpu": {string(perfmodel.Xeon), string(perfmodel.KNL), string(perfmodel.P100)},
+	"all":    {portHost, string(perfmodel.Xeon), string(perfmodel.KNL), string(perfmodel.P100)},
+}
+
+// portGroups maps implementation family -> member versions, the paper's
+// Table III rows. The serial baseline is excluded there too.
+func portGroups() map[string][]string {
+	groups := make(map[string][]string)
+	for _, v := range registry.All() {
+		if v.Name == "manual-serial" {
+			continue
+		}
+		groups[v.Group] = append(groups[v.Group], v.Name)
+	}
+	return groups
+}
+
+// portRefWorkload is the reference deck the dashboard normalises rates at:
+// the paper's small dataset (1000^2, ten steps).
+func portRefWorkload() perfmodel.Workload { return perfmodel.BM(1000) }
+
+// portabilityRates assembles the rate table behind the dashboard: every
+// registered version on every platform, seconds per cell-iteration.
+func (s *Server) portabilityRates() map[string]map[string]portability.Rate {
+	w := portRefWorkload()
+	cells, iters := w.Cells(), w.Steps*w.ItersPerStep
+	work := float64(cells) * float64(iters)
+	machines := perfmodel.Machines()
+	rates := make(map[string]map[string]portability.Rate)
+	for _, v := range registry.All() {
+		byPlatform := make(map[string]portability.Rate, len(portPlatforms))
+		pr := s.pred.Predict(v.Name, cells, iters)
+		src := "prior"
+		if pr.Source == perfmodel.SourceFit {
+			src = "measured"
+		}
+		byPlatform[portHost] = portability.Rate{
+			SecPerWork: pr.Seconds / work,
+			Source:     src,
+			Samples:    pr.Samples,
+		}
+		for _, m := range machines {
+			if !perfmodel.Supported(v.Name, m.ID) {
+				continue
+			}
+			est, err := perfmodel.Time(v.Name, m, w)
+			if err != nil {
+				continue
+			}
+			byPlatform[string(m.ID)] = portability.Rate{
+				SecPerWork: est.Seconds / work,
+				Source:     "model",
+			}
+		}
+		rates[v.Name] = byPlatform
+	}
+	return rates
+}
+
+// PortabilityReport computes the live Pennycook dashboard: application
+// efficiency per (version, platform) and P(a,p,H) per version and per
+// implementation family, over the named platform sets.
+func (s *Server) PortabilityReport() portability.Report {
+	return portability.BuildReport(s.portabilityRates(), portPlatforms, portGroups(), portSets)
+}
+
+// registerPortabilityGauges publishes tealeaf_portability{group,set}
+// gauges for every (family, platform set) pair: the same scores Table III
+// tabulates, recomputed from the live rate table at every scrape.
+func (s *Server) registerPortabilityGauges() {
+	groups := make([]string, 0, 4)
+	for g := range portGroups() {
+		groups = append(groups, g)
+	}
+	sort.Strings(groups)
+	sets := make([]string, 0, len(portSets))
+	for name := range portSets {
+		sets = append(sets, name)
+	}
+	sort.Strings(sets)
+	for _, g := range groups {
+		for _, set := range sets {
+			g, set := g, set
+			s.reg.GaugeFunc(obs.SeriesName("tealeaf_portability", "group", g, "set", set),
+				"Pennycook performance-portability score P(a,p,H) per implementation family and platform set, from live fits plus the static machine models",
+				func() float64 {
+					rep := s.PortabilityReport()
+					for _, row := range rep.Groups {
+						if row.Group == g {
+							return row.P[set]
+						}
+					}
+					return 0
+				})
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/portability"
+	"github.com/warwick-hpsc/tealeaf-go/internal/registry"
+)
+
+var updatePortabilityGolden = flag.Bool("update-portability-golden", false,
+	"rewrite testdata/portability_golden.json from the live endpoint")
+
+// TestPortabilityGolden pins GET /portability byte-for-byte on a cold
+// server: with no observations the report is a pure function of the
+// registry and the static machine models, so any drift in the calibration
+// tables, the report builder or the JSON shape shows up as a diff here.
+// Regenerate deliberately with -update-portability-golden.
+func TestPortabilityGolden(t *testing.T) {
+	_, ts := newTestServer(t, Options{QueueSize: 4, Workers: 1})
+	resp, body := getBody(t, ts.URL+"/portability")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /portability = %d", resp.StatusCode)
+	}
+	golden := filepath.Join("testdata", "portability_golden.json")
+	if *updatePortabilityGolden {
+		if err := os.WriteFile(golden, body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update-portability-golden): %v", err)
+	}
+	if !bytes.Equal(body, want) {
+		t.Errorf("GET /portability drifted from the golden file; rerun with -update-portability-golden if intended.\ngot:\n%s\nwant:\n%s", body, want)
+	}
+}
+
+// TestPortabilityCoversEveryVersion: the dashboard must answer for all 17
+// registered versions — on the host platform via the prior even before any
+// job has run — and its per-family scores must be positive on the sets the
+// family fully supports.
+func TestPortabilityCoversEveryVersion(t *testing.T) {
+	_, ts := newTestServer(t, Options{QueueSize: 4, Workers: 1})
+	_, body := getBody(t, ts.URL+"/portability")
+	var rep portability.Report
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	names := registry.Names()
+	if len(rep.Apps) != len(names) {
+		t.Fatalf("report covers %d apps, want %d", len(rep.Apps), len(names))
+	}
+	byApp := make(map[string]portability.AppRow, len(rep.Apps))
+	for _, row := range rep.Apps {
+		byApp[row.App] = row
+	}
+	for _, name := range names {
+		row, ok := byApp[name]
+		if !ok {
+			t.Errorf("version %s missing from the report", name)
+			continue
+		}
+		var host *portability.Cell
+		for i := range row.Cells {
+			if row.Cells[i].Platform == "host" {
+				host = &row.Cells[i]
+			}
+		}
+		if host == nil || !host.Supported || host.Efficiency <= 0 || host.Efficiency > 1 {
+			t.Errorf("%s: host cell %+v — every version needs a live host efficiency", name, host)
+		}
+		if host != nil && host.Source != "prior" {
+			t.Errorf("%s: cold server host source = %q, want prior", name, host.Source)
+		}
+		if row.PSupported <= 0 || row.PSupported > 1 {
+			t.Errorf("%s: p_supported = %g out of (0,1]", name, row.PSupported)
+		}
+	}
+	// Per-family scores: every family supports the host and cpu sets via
+	// at least one member, so those scores must be positive.
+	if len(rep.Groups) != 4 {
+		t.Fatalf("groups = %d, want the 4 families", len(rep.Groups))
+	}
+	for _, g := range rep.Groups {
+		for _, set := range []string{"host", "cpu", "cpugpu", "all"} {
+			p, ok := g.P[set]
+			if !ok {
+				t.Errorf("family %s missing set %q", g.Group, set)
+				continue
+			}
+			if p < 0 || p > 1 {
+				t.Errorf("family %s set %s: P = %g out of [0,1]", g.Group, set, p)
+			}
+			if (set == "host" || set == "cpu") && p == 0 {
+				t.Errorf("family %s set %s: P = 0, want positive", g.Group, set)
+			}
+		}
+	}
+}
+
+// TestPortabilityTracksMeasurements: once a solve completes, the host
+// column flips from prior to measured for that version and the dashboard
+// reprices live.
+func TestPortabilityTracksMeasurements(t *testing.T) {
+	s, ts := newTestServer(t, Options{QueueSize: 4, Workers: 1})
+	st, err := s.Submit(JobSpec{Deck: deck(24, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, s, st.ID)
+	_, body := getBody(t, ts.URL+"/portability")
+	var rep portability.Report
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rep.Apps {
+		if row.App != "manual-serial" {
+			continue
+		}
+		for _, c := range row.Cells {
+			if c.Platform == "host" {
+				if c.Source != "measured" || c.Samples < 1 {
+					t.Fatalf("host cell after a solve = %+v, want measured with samples", c)
+				}
+				return
+			}
+		}
+	}
+	t.Fatal("manual-serial host cell not found")
+}

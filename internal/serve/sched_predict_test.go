@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/config"
+)
+
+// TestPredictiveBeatsLeastLoaded pits the two policies against a synthetic
+// skewed-cost pool: two versions whose fitted solve rates differ 10x. The
+// least-loaded policy balances job COUNTS, so it keeps feeding the slow
+// version; the predictive policy balances predicted SECONDS, so the slow
+// version gets work only once the fast one's backlog costs more. The
+// makespan under the seeded (true) per-job costs must be strictly better.
+func TestPredictiveBeatsLeastLoaded(t *testing.T) {
+	pool := []string{"manual-serial", "manual-omp"}
+	mk := func(sched string) *Server {
+		s, err := New(Options{QueueSize: 64, Workers: 1, Versions: pool, Sched: sched})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.Close)
+		// Seed the fitted rates: manual-serial is 10x the cost of
+		// manual-omp for the same deck.
+		for i := 0; i < 5; i++ {
+			s.pred.Observe("manual-serial", 24*24, 40, 1.0)
+			s.pred.Observe("manual-omp", 24*24, 40, 0.1)
+		}
+		return s
+	}
+
+	const jobs = 12
+	assign := func(s *Server) map[string]int {
+		counts := make(map[string]int)
+		for i := 0; i < jobs; i++ {
+			j := &job{cfg: config.Config{NX: 24, NY: 24, EndStep: 10}}
+			counts[s.pickVersion(j)]++ // no releases: all jobs outstanding
+		}
+		return counts
+	}
+
+	pred := mk(SchedPredictive)
+	ll := mk(SchedLeastLoaded)
+	predCounts := assign(pred)
+	llCounts := assign(ll)
+
+	// True per-job cost on each version, from the seeded rates scaled to
+	// this deck's modeled work (the same quantity the predictor prices).
+	cost := map[string]float64{}
+	for _, v := range pool {
+		cells, iters := (&job{cfg: config.Config{NX: 24, NY: 24, EndStep: 10}}).workEstimate()
+		cost[v] = pred.pred.Predict(v, cells, iters).Seconds
+	}
+	makespan := func(counts map[string]int) float64 {
+		worst := 0.0
+		for v, n := range counts {
+			if m := float64(n) * cost[v]; m > worst {
+				worst = m
+			}
+		}
+		return worst
+	}
+
+	mp, mll := makespan(predCounts), makespan(llCounts)
+	t.Logf("assignment: predictive=%v (makespan %.2fs), leastloaded=%v (makespan %.2fs)",
+		predCounts, mp, llCounts, mll)
+	if mp >= mll {
+		t.Fatalf("predictive makespan %.2fs not better than least-loaded %.2fs", mp, mll)
+	}
+	// Least-loaded splits counts evenly; predictive must shift the bulk of
+	// the work onto the cheap version.
+	if predCounts["manual-omp"] <= llCounts["manual-omp"] {
+		t.Errorf("predictive put %d jobs on the fast version, least-loaded %d — no shift",
+			predCounts["manual-omp"], llCounts["manual-omp"])
+	}
+}
+
+// TestSchedDecisionCounters: admitted jobs are attributed to the policy
+// that placed them, and a queue-full rejection leaves no trace in either
+// the decision counters or the predicted-seconds accumulator.
+func TestSchedDecisionCounters(t *testing.T) {
+	s, err := New(Options{QueueSize: 1, Workers: 1, CacheSize: 0,
+		Versions: []string{"manual-serial"}, Sched: SchedPredictive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Fill the depth-1 queue faster than the single worker drains it.
+	accepted := 0
+	var rejections int
+	for i := 0; i < 6; i++ {
+		_, err := s.Submit(JobSpec{Deck: deck(24+i, 1)})
+		if err == nil {
+			accepted++
+		} else if errors.Is(err, ErrQueueFull) {
+			rejections++
+		} else {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if rejections == 0 {
+		t.Skip("queue drained too fast to observe a rejection")
+	}
+	if got := s.met.schedPredictive.Value(); got > float64(accepted) {
+		t.Errorf("predictive decisions %v > accepted %d — rejections leaked into the counter", got, accepted)
+	}
+	// Drain, then the predicted-seconds accumulator must return to zero:
+	// every accepted job refunds at settlement, every rejection was
+	// refunded at admission.
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) && int(s.met.completed.Value()) < accepted {
+		time.Sleep(5 * time.Millisecond)
+	}
+	s.mu.Lock()
+	residual := s.predLoad["manual-serial"]
+	s.mu.Unlock()
+	if residual != 0 {
+		t.Errorf("predLoad residual %v after drain, want 0 (rejection leak)", residual)
+	}
+}
+
+// TestPredictiveReleaseRefundsSeconds: settling a job refunds exactly its
+// admission-time predicted seconds, and the accumulator never goes
+// negative even if a refund races ahead of a charge.
+func TestPredictiveReleaseRefundsSeconds(t *testing.T) {
+	s, err := New(Options{QueueSize: 4, Workers: 1,
+		Versions: []string{"manual-serial"}, Sched: SchedPredictive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	j := &job{cfg: config.Config{NX: 24, NY: 24, EndStep: 10}}
+	j.version = s.pickVersion(j)
+	s.mu.Lock()
+	charged := s.predLoad[j.version]
+	s.mu.Unlock()
+	if charged <= 0 || j.predSec != charged {
+		t.Fatalf("charged %v, job predSec %v", charged, j.predSec)
+	}
+	s.releaseVersion(j)
+	s.mu.Lock()
+	after := s.predLoad[j.version]
+	s.mu.Unlock()
+	if after != 0 || j.predSec != 0 {
+		t.Fatalf("after release: predLoad %v, predSec %v", after, j.predSec)
+	}
+	// Double release stays clamped at zero.
+	j.predSec = 1e9
+	j.version = "manual-serial"
+	s.releaseVersion(j)
+	s.mu.Lock()
+	clamped := s.predLoad["manual-serial"]
+	s.mu.Unlock()
+	if clamped != 0 {
+		t.Fatalf("over-refund went negative: %v", clamped)
+	}
+}
+
+// TestSchedOptionValidation: unknown policies are rejected, the zero value
+// keeps the legacy policy.
+func TestSchedOptionValidation(t *testing.T) {
+	if _, err := New(Options{Sched: "fifo"}); err == nil {
+		t.Fatal("unknown sched policy accepted")
+	}
+	s, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.opts.Sched != SchedLeastLoaded {
+		t.Fatalf("zero-value sched = %q, want %q", s.opts.Sched, SchedLeastLoaded)
+	}
+}

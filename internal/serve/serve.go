@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -17,6 +18,7 @@ import (
 	"github.com/warwick-hpsc/tealeaf-go/internal/driver"
 	"github.com/warwick-hpsc/tealeaf-go/internal/fleet"
 	"github.com/warwick-hpsc/tealeaf-go/internal/obs"
+	"github.com/warwick-hpsc/tealeaf-go/internal/perfmodel"
 	"github.com/warwick-hpsc/tealeaf-go/internal/profiler"
 	"github.com/warwick-hpsc/tealeaf-go/internal/registry"
 	"github.com/warwick-hpsc/tealeaf-go/internal/serve/journal"
@@ -208,6 +210,10 @@ type job struct {
 	// worker pool starts and read-only after.
 	attempt int
 	resumed bool
+	// predSec is the predicted solve seconds charged against the chosen
+	// version at admission under the predictive scheduler (0 otherwise).
+	// Guarded by Server.mu.
+	predSec float64
 }
 
 func (j *job) snapshot() JobStatus {
@@ -254,10 +260,25 @@ type Options struct {
 	// Workers is the solve concurrency (<= 0: 2). Each worker runs one job
 	// (or one micro-batch) at a time on its own port instance.
 	Workers int
-	// Versions is the scheduling pool for jobs that do not pin a version:
-	// least-loaded wins. Jobs may still pin any registered version by name.
-	// Empty defaults to ["manual-serial"].
+	// Versions is the scheduling pool for jobs that do not pin a version;
+	// Sched picks the policy that arbitrates between them. Jobs may still
+	// pin any registered version by name. Empty defaults to
+	// ["manual-serial"].
 	Versions []string
+	// Sched selects the version-pick policy for unpinned jobs:
+	// SchedPredictive assigns each job to the pool member with the least
+	// predicted outstanding work (cost model: perfmodel.Predictor, fitted
+	// online from completed solves, cold-started from the static machine
+	// models) and applies model-derived batching/tiling/block hints;
+	// SchedLeastLoaded is the legacy job-count policy. Empty defaults to
+	// SchedLeastLoaded so the zero value keeps the historical behaviour;
+	// anything else is rejected by New.
+	Sched string
+	// BenchDir, when set, seeds the predictor at startup from the
+	// teabench -json artefacts (BENCH_*.json) found there, so a fresh
+	// server starts from this host's measured rates instead of the paper
+	// priors.
+	BenchDir string
 	// Params carries thread/rank/block knobs into every port build.
 	Params registry.Params
 	// DefaultDeadline bounds jobs that do not set one (0: unbounded).
@@ -349,6 +370,12 @@ type metrics struct {
 	batchJobs   *obs.Counter
 	jobsEvicted *obs.Counter
 
+	// Perf-model scheduling: decision counters and prediction error.
+	schedPredictive  *obs.Counter
+	schedLeastLoaded *obs.Counter
+	schedPinned      *obs.Counter
+	predError        *obs.Histogram
+
 	// Fleet mode: supervised multi-process jobs.
 	fleetJobs       *obs.Counter
 	fleetMigrations *obs.Counter
@@ -402,6 +429,16 @@ func newMetrics(r *obs.Registry) metrics {
 		jobsEvicted: r.Counter("teaserve_jobs_evicted_total",
 			"finished jobs evicted from the store by the retention bounds"),
 
+		schedPredictive: r.Counter(`teaserve_sched_decisions_total{policy="predictive"}`,
+			"unpinned version picks made by predicted completion time"),
+		schedLeastLoaded: r.Counter(`teaserve_sched_decisions_total{policy="leastloaded"}`,
+			"unpinned version picks made by the legacy least-loaded job count"),
+		schedPinned: r.Counter(`teaserve_sched_decisions_total{policy="pinned"}`,
+			"scheduling decisions dictated by a job's pinned version"),
+		predError: r.Histogram("teaserve_sched_prediction_error_ratio",
+			"relative solve-time prediction error |predicted-actual|/actual of completed solves",
+			[]float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}),
+
 		fleetJobs: r.Counter("teaserve_fleet_jobs_total",
 			"jobs dispatched onto a supervised multi-process worker fleet"),
 		fleetMigrations: r.Counter("teaserve_fleet_migrations_total",
@@ -431,6 +468,16 @@ func newMetrics(r *obs.Registry) metrics {
 			"journaled jobs failed at replay because their resume budget was exhausted"),
 	}
 }
+
+// Scheduling policies for Options.Sched.
+const (
+	// SchedPredictive schedules unpinned jobs by predicted completion
+	// time and applies model-derived tuning hints.
+	SchedPredictive = "predictive"
+	// SchedLeastLoaded schedules unpinned jobs by queued+running job
+	// count, the pre-cost-model policy and the fallback.
+	SchedLeastLoaded = "leastloaded"
+)
 
 // Server is a running solve service. Create with New, stop with Drain (or
 // Close); all exported methods are safe for concurrent use.
@@ -469,8 +516,15 @@ type Server struct {
 	order         []string
 	seq           int
 	load          map[string]int     // per-version queued+running jobs, for least-loaded
+	predLoad      map[string]float64 // per-version outstanding predicted seconds, for predictive
 	flights       map[string]*flight // key -> in-flight solve identical submissions collapse onto
 	cache         *resultCache       // nil when Options.CacheSize <= 0
+
+	// pred is the live solve-time model: fitted from every successful
+	// solve (regardless of Sched, so /portability tracks measurements even
+	// under the fallback policy), consulted by the predictive scheduler
+	// and the portability dashboard. It has its own lock.
+	pred *perfmodel.Predictor
 }
 
 // New validates the options, starts the worker pool and returns the server.
@@ -491,6 +545,14 @@ func New(opts Options) (*Server, error) {
 	}
 	if opts.BatchMaxCells > 0 && opts.BatchMaxJobs <= 0 {
 		opts.BatchMaxJobs = 4
+	}
+	switch opts.Sched {
+	case "":
+		opts.Sched = SchedLeastLoaded
+	case SchedPredictive, SchedLeastLoaded:
+	default:
+		return nil, fmt.Errorf("serve: unknown scheduling policy %q (want %s or %s)",
+			opts.Sched, SchedPredictive, SchedLeastLoaded)
 	}
 	if opts.RetainJobs <= 0 {
 		opts.RetainJobs = 4096
@@ -524,7 +586,12 @@ func New(opts Options) (*Server, error) {
 		drainCh:   make(chan struct{}),
 		jobs:      make(map[string]*job),
 		load:      make(map[string]int),
+		predLoad:  make(map[string]float64),
 		flights:   make(map[string]*flight),
+		pred:      perfmodel.NewPredictor(),
+	}
+	if opts.BenchDir != "" {
+		s.pred.LoadBenchDir(opts.BenchDir)
 	}
 	if opts.CacheSize > 0 {
 		s.cache = newResultCache(opts.CacheSize, opts.CacheTTL)
@@ -543,6 +610,7 @@ func New(opts Options) (*Server, error) {
 	for _, name := range opts.Versions {
 		s.load[name] = 0
 	}
+	s.registerPortabilityGauges()
 	if opts.StateDir != "" {
 		// Replay happens before any worker starts: the rebuilt store and the
 		// resume queue are fully consistent by the time dispatch begins.
@@ -774,11 +842,12 @@ func (s *Server) admitJob(spec JobSpec, cfg config.Config, cfgHash string) (*job
 	j.version = version
 	j.status.Version = version
 	if err := s.sched.push(j); err != nil {
-		s.seq-- // the slot was never used
-		s.load[version]--
+		s.seq--                   // the slot was never used
+		s.releaseVersionLocked(j) // refund the load AND the predicted seconds
 		s.met.rejected.Inc()
 		return nil, err
 	}
+	s.countSchedDecision(spec)
 	if s.cacheable(spec) {
 		// Counted only after admission: a queue-full rejection is neither
 		// a hit nor a miss, so misses stay reconcilable against solves.
@@ -962,7 +1031,7 @@ func (s *Server) Close() { _ = s.Drain(context.Background()) }
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for {
-		batch, ok := s.sched.popBatch(s.opts.BatchMaxJobs, s.opts.BatchMaxCells)
+		batch, ok := s.sched.popBatch(s.opts.BatchMaxJobs, s.batchMaxCells())
 		if !ok {
 			return
 		}
@@ -970,32 +1039,132 @@ func (s *Server) worker() {
 	}
 }
 
-// pickVersion resolves a job's version: pinned by name, else least-loaded
-// across the configured pool, and accounts the job against it.
+// predictive reports whether the cost-model scheduler is active.
+func (s *Server) predictive() bool { return s.opts.Sched == SchedPredictive }
+
+// batchMaxCells is the micro-batch admission cap for the next dispatch.
+// Under the predictive scheduler the model may tighten the configured cap:
+// a batch should stay within the dispatch-latency budget at the slowest
+// pool member's current fitted rate. It never loosens the operator's cap.
+func (s *Server) batchMaxCells() int {
+	mc := s.opts.BatchMaxCells
+	if mc <= 0 || !s.predictive() {
+		return mc
+	}
+	for _, v := range s.opts.Versions {
+		if h := s.pred.Hints(v); h.BatchMaxCells < mc {
+			mc = h.BatchMaxCells
+		}
+	}
+	return mc
+}
+
+// paramsFor is the port-build parameter set for one version, with the
+// model's tuning hints applied under the predictive scheduler. Explicit
+// operator settings always win: hints only fill fields left at zero.
+func (s *Server) paramsFor(version string) registry.Params {
+	p := s.opts.Params
+	if !s.predictive() || version == FleetVersion {
+		return p
+	}
+	h := s.pred.Hints(version)
+	if h.AutoTile && !p.TileAuto && p.TileX <= 0 && p.TileY <= 0 {
+		p.TileAuto = true
+	}
+	if h.BlockX > 0 && p.Block.X <= 0 && p.Block.Y <= 0 {
+		p.Block.X, p.Block.Y = h.BlockX, h.BlockY
+	}
+	return p
+}
+
+// workEstimate is the predictor's view of a job: cell count plus the
+// modeled total iteration count of its deck.
+func (j *job) workEstimate() (cells, iters int) {
+	w := perfmodel.DeckWorkload(j.cfg.NX, j.cfg.NY, j.cfg.EndStep)
+	return j.cells(), w.Steps * w.ItersPerStep
+}
+
+// pickVersion resolves a job's version under the configured policy and
+// accounts the job against it.
 func (s *Server) pickVersion(j *job) string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.pickVersionLocked(j)
 }
 
+// pickVersionLocked: pinned jobs go where they asked; unpinned jobs go to
+// the pool member with the least predicted outstanding work (predictive)
+// or the fewest queued+running jobs (leastloaded). Under the predictive
+// policy the chosen version is also charged the job's predicted seconds,
+// which releaseVersion refunds at settlement. Caller holds s.mu.
 func (s *Server) pickVersionLocked(j *job) string {
 	if v := j.spec.Version; v != "" {
 		s.load[v]++
+		if s.predictive() {
+			cells, iters := j.workEstimate()
+			j.predSec = s.pred.Predict(v, cells, iters).Seconds
+			s.predLoad[v] += j.predSec
+		}
 		return v
 	}
-	best := s.opts.Versions[0]
-	for _, v := range s.opts.Versions[1:] {
-		if s.load[v] < s.load[best] {
-			best = v
+	if !s.predictive() {
+		best := s.opts.Versions[0]
+		for _, v := range s.opts.Versions[1:] {
+			if s.load[v] < s.load[best] {
+				best = v
+			}
+		}
+		s.load[best]++
+		return best
+	}
+	cells, iters := j.workEstimate()
+	best, bestSec, bestDone := "", 0.0, 0.0
+	for _, v := range s.opts.Versions {
+		sec := s.pred.Predict(v, cells, iters).Seconds
+		done := s.predLoad[v] + sec
+		if best == "" || done < bestDone {
+			best, bestSec, bestDone = v, sec, done
 		}
 	}
 	s.load[best]++
+	j.predSec = bestSec
+	s.predLoad[best] += bestSec
 	return best
 }
 
-func (s *Server) releaseVersion(v string) {
+// countSchedDecision attributes one admitted job to its policy label.
+// Counted only after the job holds a queue slot, so a queue-full retry
+// storm never inflates the decision counters past the real dispatches
+// (the load smoke reconciles decisions == solves exactly).
+func (s *Server) countSchedDecision(spec JobSpec) {
+	switch {
+	case spec.Fleet:
+		// Fleet routing is not a version decision.
+	case spec.Version != "":
+		s.met.schedPinned.Inc()
+	case s.predictive():
+		s.met.schedPredictive.Inc()
+	default:
+		s.met.schedLeastLoaded.Inc()
+	}
+}
+
+// releaseVersionLocked refunds a job's load accounting (and, under the
+// predictive policy, its outstanding predicted seconds). Caller holds s.mu.
+func (s *Server) releaseVersionLocked(j *job) {
+	s.load[j.version]--
+	if j.predSec > 0 {
+		s.predLoad[j.version] -= j.predSec
+		if s.predLoad[j.version] < 0 {
+			s.predLoad[j.version] = 0
+		}
+		j.predSec = 0
+	}
+}
+
+func (s *Server) releaseVersion(j *job) {
 	s.mu.Lock()
-	s.load[v]--
+	s.releaseVersionLocked(j)
 	s.mu.Unlock()
 }
 
@@ -1032,7 +1201,7 @@ func (s *Server) runBatch(batch []*job) {
 	for _, j := range batch {
 		for j != nil {
 			if port == nil && verr == nil {
-				port, verr = v.Make(s.opts.Params)
+				port, verr = v.Make(s.paramsFor(version))
 			}
 			var next *job
 			var healthy bool
@@ -1214,6 +1383,19 @@ func (s *Server) finishJob(j *job, res driver.Result, wall time.Duration, err er
 	s.met.recoveries.Add(float64(res.Recoveries))
 	s.met.sdcFound.Add(float64(res.SDCDetected))
 	s.met.sdcFixed.Add(float64(res.SDCRecovered))
+	if err == nil && wall > 0 && res.TotalIterations > 0 {
+		// Online recalibration: every successful solve refines the cost
+		// model (under either policy — the portability dashboard reads the
+		// same fits), and the admission-time prediction is scored against
+		// the measured wall so mispredictions are observable in /metrics.
+		s.pred.Observe(j.version, j.cells(), res.TotalIterations, wall.Seconds())
+		s.mu.Lock()
+		pred := j.predSec
+		s.mu.Unlock()
+		if pred > 0 {
+			s.met.predError.Observe(math.Abs(pred-wall.Seconds()) / wall.Seconds())
+		}
+	}
 	return s.settleJob(j, result, wall, err)
 }
 
@@ -1272,7 +1454,7 @@ func (s *Server) settleJob(j *job, result *JobResult, wall time.Duration, err er
 		j.progress.emit(Event{Type: "done", State: state, Result: &doneRes, Error: errStr})
 		s.journalFinish(j, j.snapshot())
 	}
-	s.releaseVersion(j.version)
+	s.releaseVersion(j)
 
 	// Singleflight settlement: a successful leader caches its result and
 	// completes every follower; a failed or expired one is never cached and

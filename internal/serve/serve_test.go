@@ -202,17 +202,21 @@ func TestLeastLoadedScheduling(t *testing.T) {
 	// White-box: pickVersion accounts each pick against the version it
 	// chose, so concurrent unfinished jobs must spread across the pool
 	// instead of stacking on one member.
-	a := s.pickVersion(&job{})
-	b := s.pickVersion(&job{})
+	ja, jb := &job{}, &job{}
+	a := s.pickVersion(ja)
+	b := s.pickVersion(jb)
 	if a == b {
 		t.Errorf("two concurrent picks stacked on %q", a)
 	}
-	s.releaseVersion(a)
-	if c := s.pickVersion(&job{}); c != a {
+	ja.version, jb.version = a, b
+	s.releaseVersion(ja)
+	jc := &job{}
+	if c := s.pickVersion(jc); c != a {
 		t.Errorf("after releasing %q the next pick chose %q, want the idle version", a, c)
 	}
-	s.releaseVersion(a)
-	s.releaseVersion(b)
+	jc.version = a
+	s.releaseVersion(jc)
+	s.releaseVersion(jb)
 
 	// End to end: unpinned jobs land on some pool member and complete.
 	st, err := s.Submit(JobSpec{Deck: deck(48, 5)})

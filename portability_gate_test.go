@@ -1,0 +1,140 @@
+// TestPortabilityGate guards the committed BENCH_portability.json baseline
+// produced by `make bench-portability`.
+//
+// The artefact has two halves with different stability properties. The
+// `modeled` report is a pure function of the calibration tables and the
+// report builder, so the gate recomputes it from the current code and
+// fails on ANY drift — a silent change to the machine models or the
+// Pennycook arithmetic cannot slip through. The `host` rows are measured
+// wall times on whatever machine ran the benchmark, so they are validated
+// for shape (all registered versions present, positive times and
+// iteration counts, efficiencies in (0,1]) but never for absolute speed.
+package tealeaf_test
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"testing"
+
+	"github.com/warwick-hpsc/tealeaf-go/internal/perfmodel"
+	"github.com/warwick-hpsc/tealeaf-go/internal/portability"
+	"github.com/warwick-hpsc/tealeaf-go/internal/registry"
+)
+
+// portabilityBaseline mirrors the BENCH_portability.json fields the gate
+// reads (see docs/PORTABILITY.md for the full schema).
+type portabilityBaseline struct {
+	Mesh  int `json:"mesh"`
+	Steps int `json:"steps"`
+	Host  []struct {
+		Version     string  `json:"version"`
+		WallSeconds float64 `json:"wall_seconds"`
+		Iterations  int     `json:"iterations"`
+		Efficiency  float64 `json:"efficiency"`
+		Error       string  `json:"error"`
+	} `json:"host"`
+	HostPennycook map[string]float64 `json:"host_pennycook"`
+	Modeled       portability.Report `json:"modeled"`
+}
+
+// modeledReport recomputes the deterministic half of the artefact exactly
+// the way `teabench -experiment portability` builds it.
+func modeledReport() portability.Report {
+	w := perfmodel.BM(1000)
+	work := float64(w.Cells()) * float64(w.Steps*w.ItersPerStep)
+	platforms := []string{string(perfmodel.Xeon), string(perfmodel.KNL), string(perfmodel.P100)}
+	sets := map[string][]string{
+		"cpu":    {string(perfmodel.Xeon), string(perfmodel.KNL)},
+		"cpugpu": {string(perfmodel.Xeon), string(perfmodel.KNL), string(perfmodel.P100)},
+	}
+	groups := make(map[string][]string)
+	rates := make(map[string]map[string]portability.Rate)
+	for _, v := range registry.All() {
+		if v.Name != "manual-serial" {
+			groups[v.Group] = append(groups[v.Group], v.Name)
+		}
+		byPlatform := make(map[string]portability.Rate)
+		for _, m := range perfmodel.Machines() {
+			if !perfmodel.Supported(v.Name, m.ID) {
+				continue
+			}
+			est, err := perfmodel.Time(v.Name, m, w)
+			if err != nil {
+				continue
+			}
+			byPlatform[string(m.ID)] = portability.Rate{SecPerWork: est.Seconds / work, Source: "model"}
+		}
+		rates[v.Name] = byPlatform
+	}
+	return portability.BuildReport(rates, platforms, groups, sets)
+}
+
+func TestPortabilityGate(t *testing.T) {
+	buf, err := os.ReadFile("BENCH_portability.json")
+	if err != nil {
+		t.Skipf("no committed BENCH_portability.json (%v); run `make bench-portability`", err)
+	}
+	var base portabilityBaseline
+	if err := json.Unmarshal(buf, &base); err != nil {
+		t.Fatalf("BENCH_portability.json is unreadable: %v", err)
+	}
+	if base.Mesh <= 0 || base.Steps <= 0 {
+		t.Fatalf("baseline mesh=%d steps=%d, want positive (the predictor seeds from these)", base.Mesh, base.Steps)
+	}
+
+	// Shape gate: every registered version must have a clean measured row.
+	seen := map[string]bool{}
+	for _, r := range base.Host {
+		seen[r.Version] = true
+		if r.Error != "" {
+			t.Errorf("host row %s carries an error: %s", r.Version, r.Error)
+			continue
+		}
+		if r.WallSeconds <= 0 || r.Iterations <= 0 {
+			t.Errorf("host row %s: wall=%g iters=%d, want positive", r.Version, r.WallSeconds, r.Iterations)
+		}
+		if r.Efficiency <= 0 || r.Efficiency > 1 {
+			t.Errorf("host row %s: efficiency %g out of (0,1]", r.Version, r.Efficiency)
+		}
+	}
+	for _, name := range registry.Names() {
+		if !seen[name] {
+			t.Errorf("version %s missing from the baseline's host rows", name)
+		}
+	}
+	for g, p := range base.HostPennycook {
+		if p <= 0 || p > 1 {
+			t.Errorf("host_pennycook[%s] = %g out of (0,1]", g, p)
+		}
+	}
+
+	// Drift gate: the modeled report must match a fresh recomputation from
+	// the current calibration tables bit-for-bit (both sides round to 6
+	// decimals, so exact equality is the correct comparison; the epsilon
+	// only absorbs float formatting on the JSON round-trip).
+	fresh := modeledReport()
+	wantGroups := map[string]map[string]float64{}
+	for _, row := range fresh.Groups {
+		wantGroups[row.Group] = row.P
+	}
+	if len(base.Modeled.Groups) != len(fresh.Groups) {
+		t.Fatalf("modeled report has %d family rows, recomputation has %d", len(base.Modeled.Groups), len(fresh.Groups))
+	}
+	for _, row := range base.Modeled.Groups {
+		want, ok := wantGroups[row.Group]
+		if !ok {
+			t.Errorf("baseline family %s no longer produced", row.Group)
+			continue
+		}
+		for set, p := range row.P {
+			if math.Abs(p-want[set]) > 1e-9 {
+				t.Errorf("modeled P[%s][%s] = %g in the baseline, %g recomputed — calibration drift; rerun `make bench-portability` if intended",
+					row.Group, set, p, want[set])
+			}
+		}
+	}
+	if len(base.Modeled.Apps) != len(registry.Names()) {
+		t.Errorf("modeled report covers %d apps, want %d", len(base.Modeled.Apps), len(registry.Names()))
+	}
+}
